@@ -1,0 +1,581 @@
+// Package indfd holds the repository-level benchmark harness: one
+// benchmark per experiment of EXPERIMENTS.md (E1–E14), plus the ablation
+// benchmarks called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+package indfd
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"indfd/internal/chase"
+	"indfd/internal/counterex"
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/emvd"
+	"indfd/internal/enum"
+	"indfd/internal/fd"
+	"indfd/internal/fo"
+	"indfd/internal/ind"
+	"indfd/internal/lba"
+	"indfd/internal/lint"
+	"indfd/internal/maintain"
+	"indfd/internal/mvd"
+	"indfd/internal/perm"
+	"indfd/internal/rules"
+	"indfd/internal/schema"
+	"indfd/internal/search"
+	"indfd/internal/td"
+	"indfd/internal/unary"
+)
+
+// --- E1: Theorem 3.1 — the chase-with-zeros construction -----------------
+
+func BenchmarkINDChase(b *testing.B) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B", "C"),
+		schema.MustScheme("S", "D", "E", "F"),
+		schema.MustScheme("T", "G", "H", "I"),
+	)
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B", "C"), "S", deps.Attrs("D", "E", "F")),
+		deps.NewIND("S", deps.Attrs("E", "D", "F"), "S", deps.Attrs("D", "E", "F")),
+		deps.NewIND("S", deps.Attrs("D", "E"), "T", deps.Attrs("G", "H")),
+		deps.NewIND("T", deps.Attrs("H", "G", "I"), "T", deps.Attrs("G", "H", "I")),
+	}
+	goal := deps.NewIND("R", deps.Attrs("A", "B"), "T", deps.Attrs("G", "H"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		implied, _, err := ind.DecideByChase(db, sigma, goal)
+		if err != nil || !implied {
+			b.Fatalf("chase decision wrong: %v %v", implied, err)
+		}
+	}
+}
+
+// --- E2: Section 3 — superpolynomial decision chains ----------------------
+
+func BenchmarkINDDecisionPermutation(b *testing.B) {
+	for _, m := range []int{6, 8, 10, 12} {
+		s := perm.Scheme(m)
+		db := schema.MustDatabase(s)
+		gamma := perm.LandauPermutation(m)
+		fm := perm.Landau(m)
+		delta := gamma.Pow(new(big.Int).Sub(fm, big.NewInt(1)))
+		sigma := []deps.IND{perm.IND(s, gamma)}
+		goal := perm.IND(s, delta)
+		b.Run(fmt.Sprintf("m=%d/f(m)=%v", m, fm), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := ind.Decide(db, sigma, goal)
+				if err != nil || !res.Implied {
+					b.Fatalf("decision wrong")
+				}
+				b.ReportMetric(float64(res.Stats.ChainLength), "chain-steps")
+			}
+		})
+	}
+}
+
+// Ablation: the indexed breadth-first search vs the paper's literal
+// step-(2) fixpoint loop.
+func BenchmarkINDDecisionNaiveVsMemo(b *testing.B) {
+	m := 8
+	s := perm.Scheme(m)
+	db := schema.MustDatabase(s)
+	gamma := perm.LandauPermutation(m)
+	fm := perm.Landau(m)
+	delta := gamma.Pow(new(big.Int).Sub(fm, big.NewInt(1)))
+	sigma := []deps.IND{perm.IND(s, gamma)}
+	goal := perm.IND(s, delta)
+	b.Run("memoBFS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res, err := ind.Decide(db, sigma, goal); err != nil || !res.Implied {
+				b.Fatal("wrong")
+			}
+		}
+	})
+	b.Run("naiveLoop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, _ := ind.DecideNaive(sigma, goal); !ok {
+				b.Fatal("wrong")
+			}
+		}
+	})
+}
+
+// --- E3: Theorem 3.3 — the LBA reduction ---------------------------------
+
+func BenchmarkLBAReduction(b *testing.B) {
+	for _, n := range []int{2, 3, 4} {
+		m := lba.Eraser()
+		input := lba.Input("a", n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				inst, err := lba.Reduce(m, input)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := ind.Decide(inst.DB, inst.Sigma, inst.Goal)
+				if err != nil || !res.Implied {
+					b.Fatal("reduction decision wrong")
+				}
+			}
+		})
+	}
+}
+
+// --- E4/E5: Theorem 4.4 — unary finite implication ------------------------
+
+func BenchmarkFiniteImplicationUnary(b *testing.B) {
+	inst := counterex.Fig41()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := unary.New(inst.DB, inst.Sigma)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok, err := sys.ImpliesFinite(inst.Goal)
+		if err != nil || !ok {
+			b.Fatal("finite implication wrong")
+		}
+	}
+}
+
+// --- E6: Propositions 4.1–4.3 — the FD+IND chase --------------------------
+
+func BenchmarkChaseProp41(b *testing.B) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	goal := deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := chase.ImpliesFD(db, sigma, goal, chase.Options{})
+		if err != nil || res.Verdict != chase.Implied {
+			b.Fatal("chase wrong")
+		}
+	}
+}
+
+// --- E7: Theorem 5.1 — k-ary closure over a small universe ----------------
+
+func BenchmarkKaryClosure(b *testing.B) {
+	var universe []deps.Dependency
+	attrs := []string{"A", "B", "C"}
+	for _, x := range attrs {
+		for _, y := range attrs {
+			universe = append(universe, deps.NewFD("R", deps.Attrs(x), deps.Attrs(y)))
+		}
+	}
+	oracle := func(T []deps.Dependency, tau deps.Dependency) (bool, error) {
+		var fds []deps.FD
+		for _, d := range T {
+			fds = append(fds, d.(deps.FD))
+		}
+		return fd.Implies(fds, tau.(deps.FD)), nil
+	}
+	gamma := []deps.Dependency{
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C")),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := rules.KaryClosure(gamma, universe, oracle, 2)
+		if err != nil || !c.Contains(deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C"))) {
+			b.Fatal("closure wrong")
+		}
+	}
+}
+
+// --- E8: Theorem 5.3 — the Sagiv–Walecka EMVD chase ------------------------
+
+func BenchmarkEMVDChase(b *testing.B) {
+	for _, k := range []int{2, 3} {
+		f, err := emvd.SagivWalecka(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := emvd.Implies(f.DB, f.Sigma, f.Goal, emvd.Options{})
+				if err != nil || res.Verdict != emvd.Implied {
+					b.Fatal("EMVD chase wrong")
+				}
+			}
+		})
+	}
+}
+
+// --- E9: Theorem 6.1 — the Fig 6.1 Armstrong verification ------------------
+
+func BenchmarkSection6Armstrong(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		s, err := counterex.NewSection6(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := s.Verify()
+				if err != nil || !rep.Ok() {
+					b.Fatal("verification failed")
+				}
+			}
+		})
+	}
+}
+
+// --- E10: Lemma 7.2 — the Section 7 chase ---------------------------------
+
+func BenchmarkLemma72Chase(b *testing.B) {
+	for _, n := range []int{2, 4, 6} {
+		s, err := counterex.NewSection7(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := s.Lemma72(chase.Options{})
+				if err != nil || res.Verdict != chase.Implied {
+					b.Fatal("Lemma 7.2 chase wrong")
+				}
+			}
+		})
+	}
+}
+
+// --- E11/E12: Section 7 — figure construction and verification -------------
+
+func BenchmarkSection7Databases(b *testing.B) {
+	s, err := counterex.NewSection7(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("figures", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Fig71(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Fig72(); err != nil {
+				b.Fatal(err)
+			}
+			s.Fig73()
+			if _, err := s.Fig74(0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Fig75(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := s.Verify(chase.Options{})
+			if err != nil || !rep.Ok() {
+				b.Fatal("verification failed")
+			}
+		}
+	})
+}
+
+// --- E13: FD closure (with naive ablation) ---------------------------------
+
+func fdChain(n int) []deps.FD {
+	var sigma []deps.FD
+	for i := 0; i+1 < n; i++ {
+		sigma = append(sigma, deps.NewFD("R",
+			deps.Attrs(fmt.Sprintf("A%d", i)), deps.Attrs(fmt.Sprintf("A%d", i+1))))
+	}
+	return sigma
+}
+
+func BenchmarkFDClosure(b *testing.B) {
+	for _, n := range []int{50, 200, 800} {
+		sigma := fdChain(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := fd.Closure("R", deps.Attrs("A0"), sigma); len(got) != n {
+					b.Fatal("closure wrong")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFDClosureNaive(b *testing.B) {
+	for _, n := range []int{50, 200, 800} {
+		sigma := fdChain(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := fd.ClosureNaive("R", deps.Attrs("A0"), sigma); len(got) != n {
+					b.Fatal("closure wrong")
+				}
+			}
+		})
+	}
+}
+
+// --- E14: polynomial special cases ------------------------------------------
+
+func BenchmarkINDBoundedWidth(b *testing.B) {
+	for _, n := range []int{20, 60, 180} {
+		var schemes []*schema.Scheme
+		for i := 0; i < n; i++ {
+			schemes = append(schemes, schema.MustScheme(fmt.Sprintf("R%d", i), "A"))
+		}
+		db := schema.MustDatabase(schemes...)
+		var sigma []deps.IND
+		for i := 0; i+1 < n; i++ {
+			sigma = append(sigma, deps.NewIND(fmt.Sprintf("R%d", i), deps.Attrs("A"), fmt.Sprintf("R%d", i+1), deps.Attrs("A")))
+		}
+		goal := deps.NewIND("R0", deps.Attrs("A"), fmt.Sprintf("R%d", n-1), deps.Attrs("A"))
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := ind.Decide(db, sigma, goal)
+				if err != nil || !res.Implied {
+					b.Fatal("decision wrong")
+				}
+			}
+		})
+	}
+}
+
+// --- E15: Armstrong databases for IND sets ---------------------------------
+
+func BenchmarkINDArmstrong(b *testing.B) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+	sigma := []deps.IND{deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("C", "D"))}
+	universe := enum.INDs(db, enum.Options{MaxWidth: 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ind.ArmstrongDatabase(db, sigma, universe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E16: the extended Maslov translation -----------------------------------
+
+func BenchmarkMaslovInstance(b *testing.B) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("C", "D")),
+		deps.NewIND("S", deps.Attrs("C"), "R", deps.Attrs("B")),
+	}
+	goal := deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inst, err := fo.InstanceSentence(db, sigma, goal)
+		if err != nil || !inst.InExtendedMaslov() {
+			b.Fatal("instance wrong")
+		}
+	}
+}
+
+// Ablation: syntactic (Corollary 3.2 search) vs semantic (Theorem 3.1
+// chase) IND decision on the same instance.
+func BenchmarkINDDecideVsChase(b *testing.B) {
+	m := lba.Eraser()
+	inst, err := lba.Reduce(m, lba.Input("a", 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("syntactic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ind.Decide(inst.DB, inst.Sigma, inst.Goal)
+			if err != nil || !res.Implied {
+				b.Fatal("wrong")
+			}
+		}
+	})
+	b.Run("semantic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			implied, _, err := ind.DecideByChase(inst.DB, inst.Sigma, inst.Goal)
+			if err != nil || !implied {
+				b.Fatal("wrong")
+			}
+		}
+	})
+}
+
+// --- toolkit benchmarks: lint, template dependencies, search ----------------
+
+func BenchmarkLintAdvise(b *testing.B) {
+	ds := schema.MustDatabase(
+		schema.MustScheme("CUST", "CID", "NAME"),
+		schema.MustScheme("ORD", "OID", "CID"),
+		schema.MustScheme("INV", "OID", "BILLCID", "SHIPCID"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewFD("CUST", deps.Attrs("CID"), deps.Attrs("NAME")),
+		deps.NewFD("ORD", deps.Attrs("OID"), deps.Attrs("CID")),
+		deps.NewIND("ORD", deps.Attrs("CID"), "CUST", deps.Attrs("CID")),
+		deps.NewIND("INV", deps.Attrs("OID", "BILLCID"), "ORD", deps.Attrs("OID", "CID")),
+		deps.NewIND("INV", deps.Attrs("OID", "SHIPCID"), "ORD", deps.Attrs("OID", "CID")),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		adv, err := lint.Advise(ds, sigma, chase.Options{MaxTuples: 256})
+		if err != nil || len(adv.DerivedRDs) == 0 {
+			b.Fatal("advice wrong")
+		}
+	}
+}
+
+func BenchmarkTDChaseSagivWalecka(b *testing.B) {
+	f, err := emvd.SagivWalecka(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sigma []td.TD
+	for _, e := range f.Sigma {
+		t, err := td.FromEMVD(f.DB, e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sigma = append(sigma, t)
+	}
+	goal, err := td.FromEMVD(f.DB, f.Goal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := td.Implies(f.DB, sigma, goal, td.Options{})
+		if err != nil || res.Verdict != td.Implied {
+			b.Fatal("TD chase wrong")
+		}
+	}
+}
+
+func BenchmarkSearchCounterexample(b *testing.B) {
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	sigma := []deps.Dependency{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))}
+	goal := deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, found, err := search.Counterexample(db, sigma, goal, search.Options{Domain: 2, MaxTuples: 3})
+		if err != nil || !found {
+			b.Fatal("search wrong")
+		}
+	}
+}
+
+func BenchmarkMaintainInsert(b *testing.B) {
+	ds := schema.MustDatabase(
+		schema.MustScheme("CUST", "CID", "NAME"),
+		schema.MustScheme("ORD", "OID", "CID"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewFD("CUST", deps.Attrs("CID"), deps.Attrs("NAME")),
+		deps.NewIND("ORD", deps.Attrs("CID"), "CUST", deps.Attrs("CID")),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := maintain.NewMonitor(ds, sigma)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100; j++ {
+			cid := data.Value(fmt.Sprintf("c%d", j))
+			if err := m.Insert("CUST", data.Tuple{cid, "n"}); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Insert("ORD", data.Tuple{data.Value(fmt.Sprintf("o%d", j)), cid}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- classical FD+MVD engine -------------------------------------------------
+
+func BenchmarkMVDChase(b *testing.B) {
+	s := schema.MustScheme("R", "A", "B", "C", "D", "E")
+	sigma := mvd.Sigma{
+		Scheme: s,
+		FDs:    []deps.FD{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))},
+		MVDs: []mvd.MVD{
+			mvd.New("R", deps.Attrs("A"), deps.Attrs("C")),
+			mvd.New("R", deps.Attrs("B"), deps.Attrs("D")),
+		},
+	}
+	goal := mvd.New("R", deps.Attrs("A"), deps.Attrs("D", "E"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sigma.Implies(goal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- workload sweep: IND decision across instance sizes ---------------------
+
+// syntheticINDs builds a layered random-ish IND workload: rels relations
+// of the given width, with chains plus cross-links, deterministic in its
+// parameters.
+func syntheticINDs(rels, width, extra int) (*schema.Database, []deps.IND, deps.IND) {
+	var schemes []*schema.Scheme
+	attrs := make([]schema.Attribute, width)
+	for i := range attrs {
+		attrs[i] = schema.Attribute(fmt.Sprintf("A%d", i))
+	}
+	names := make([]string, rels)
+	for i := range names {
+		names[i] = fmt.Sprintf("R%d", i)
+		schemes = append(schemes, schema.MustScheme(names[i], attrs...))
+	}
+	db := schema.MustDatabase(schemes...)
+	var sigma []deps.IND
+	for i := 0; i+1 < rels; i++ {
+		sigma = append(sigma, deps.NewIND(names[i], attrs, names[i+1], attrs))
+	}
+	// Cross-links with rotated columns.
+	rot := append(append([]schema.Attribute(nil), attrs[1:]...), attrs[0])
+	for i := 0; i < extra; i++ {
+		from := (i * 7) % rels
+		to := (i*13 + 3) % rels
+		sigma = append(sigma, deps.NewIND(names[from], attrs, names[to], rot))
+	}
+	goal := deps.NewIND(names[0], attrs[:1], names[rels-1], attrs[:1])
+	return db, sigma, goal
+}
+
+func BenchmarkINDDecisionSweep(b *testing.B) {
+	for _, cfg := range []struct{ rels, width, extra int }{
+		{8, 3, 4}, {16, 4, 8}, {32, 5, 16}, {64, 6, 32},
+	} {
+		db, sigma, goal := syntheticINDs(cfg.rels, cfg.width, cfg.extra)
+		b.Run(fmt.Sprintf("rels=%d/width=%d/inds=%d", cfg.rels, cfg.width, len(sigma)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := ind.Decide(db, sigma, goal)
+				if err != nil || !res.Implied {
+					b.Fatal("sweep decision wrong")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+// Command depcheck checks a concrete database (a directory of CSV files,
+// one per relation) against the dependencies of a .dep file, reports
+// every violation with the offending tuples, optionally repairs
+// referential-integrity violations by chasing the missing tuples in, and
+// optionally prints design advice (derived keys, foreign keys, forced
+// column equalities, finite-only consequences, redundant declarations).
+//
+// Usage:
+//
+//	depcheck -deps schema.dep -data ./csvdir [-repair ./fixed] [-advise]
+//
+// Exit status: 0 when the data satisfies every dependency, 3 when
+// violations were found, 1 on errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"indfd/internal/chase"
+	"indfd/internal/data"
+	"indfd/internal/lint"
+	"indfd/internal/parser"
+)
+
+func main() {
+	depsPath := flag.String("deps", "", "path to the .dep file (schema + dependencies)")
+	dataDir := flag.String("data", "", "directory of <relation>.csv files")
+	repairDir := flag.String("repair", "", "write a repaired copy of the data to this directory")
+	advise := flag.Bool("advise", false, "print design advice for the dependency set")
+	budget := flag.Int("budget", 1024, "chase tuple budget for repair and advice")
+	flag.Parse()
+
+	code, err := run(os.Stdout, *depsPath, *dataDir, *repairDir, *advise, *budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "depcheck:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(w io.Writer, depsPath, dataDir, repairDir string, advise bool, budget int) (int, error) {
+	if depsPath == "" {
+		return 1, fmt.Errorf("-deps is required")
+	}
+	f, err := os.Open(depsPath)
+	if err != nil {
+		return 1, err
+	}
+	file, err := parser.Parse(f)
+	f.Close()
+	if err != nil {
+		return 1, err
+	}
+	opt := chase.Options{MaxTuples: budget}
+
+	if advise {
+		adv, err := lint.Advise(file.DB, file.Sigma, opt)
+		if err != nil {
+			return 1, err
+		}
+		fmt.Fprintln(w, "=== design advice ===")
+		fmt.Fprintln(w, adv)
+	}
+
+	if dataDir == "" {
+		if !advise {
+			return 1, fmt.Errorf("nothing to do: pass -data and/or -advise")
+		}
+		return 0, nil
+	}
+	db, err := data.LoadDir(file.DB, dataDir)
+	if err != nil {
+		return 1, err
+	}
+	violations, err := lint.Check(db, file.Sigma)
+	if err != nil {
+		return 1, err
+	}
+	if len(violations) == 0 {
+		fmt.Fprintf(w, "OK: %d tuples satisfy all %d dependencies\n", db.Size(), len(file.Sigma))
+		return 0, nil
+	}
+	fmt.Fprintf(w, "%d violation(s):\n", len(violations))
+	for _, v := range violations {
+		fmt.Fprintf(w, "  %v\n", v)
+	}
+	if repairDir != "" {
+		repaired, added, err := lint.Repair(db, file.Sigma, opt)
+		if err != nil {
+			return 1, fmt.Errorf("repair failed: %w", err)
+		}
+		if err := data.SaveDir(repaired, repairDir); err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(w, "repaired: %d tuple(s) added, written to %s\n", added, repairDir)
+	}
+	return 3, nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const depFile = `
+schema CUST(CID, NAME)
+schema ORD(OID, CID)
+CUST: CID -> NAME
+ORD[CID] <= CUST[CID]
+`
+
+func setup(t *testing.T, custCSV, ordCSV string) (depPath, dataDir string) {
+	t.Helper()
+	dir := t.TempDir()
+	depPath = filepath.Join(dir, "schema.dep")
+	if err := os.WriteFile(depPath, []byte(depFile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir = filepath.Join(dir, "data")
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, content := range map[string]string{"CUST.csv": custCSV, "ORD.csv": ordCSV} {
+		if err := os.WriteFile(filepath.Join(dataDir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return depPath, dataDir
+}
+
+func TestCleanData(t *testing.T) {
+	dep, dir := setup(t, "CID,NAME\nc1,ann\n", "OID,CID\no1,c1\n")
+	var out bytes.Buffer
+	code, err := run(&out, dep, dir, "", false, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 || !strings.Contains(out.String(), "OK:") {
+		t.Errorf("clean data: code %d, output %q", code, out.String())
+	}
+}
+
+func TestViolationsAndRepair(t *testing.T) {
+	dep, dir := setup(t, "CID,NAME\nc1,ann\n", "OID,CID\no1,c1\no2,c9\n")
+	repairDir := filepath.Join(t.TempDir(), "fixed")
+	var out bytes.Buffer
+	code, err := run(&out, dep, dir, repairDir, false, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 3 {
+		t.Errorf("code = %d, want 3", code)
+	}
+	if !strings.Contains(out.String(), "no witness") || !strings.Contains(out.String(), "repaired: 1 tuple(s) added") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	// The repaired data passes a second check.
+	var out2 bytes.Buffer
+	code, err = run(&out2, dep, repairDir, "", false, 0)
+	if err != nil {
+		t.Fatalf("re-check: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("repaired data still fails:\n%s", out2.String())
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	dep, _ := setup(t, "CID,NAME\n", "OID,CID\n")
+	var out bytes.Buffer
+	code, err := run(&out, dep, "", "", true, 256)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 || !strings.Contains(out.String(), "keys of CUST: {CID}") {
+		t.Errorf("advice output wrong (code %d):\n%s", code, out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := run(&bytes.Buffer{}, "", "", "", false, 0); err == nil {
+		t.Errorf("missing -deps should error")
+	}
+	dep, _ := setup(t, "CID,NAME\n", "OID,CID\n")
+	if _, err := run(&bytes.Buffer{}, dep, "", "", false, 0); err == nil {
+		t.Errorf("missing -data without -advise should error")
+	}
+	if _, err := run(&bytes.Buffer{}, dep, "/nonexistent-dir", "", false, 0); err == nil {
+		t.Errorf("bad data dir should error")
+	}
+	if _, err := run(&bytes.Buffer{}, "/nonexistent.dep", "", "", true, 0); err == nil {
+		t.Errorf("bad deps path should error")
+	}
+}

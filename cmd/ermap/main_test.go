@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"indfd/internal/parser"
+)
+
+const sampleER = `
+# the paper's company
+entity EMP(ENO*, ENAME, SAL)
+entity DEPT(DNO*, DNAME)
+entity MGR(ENO*)
+isa MGR < EMP
+rel WORKS_IN(EMP, DEPT; SINCE)
+rel MENTORS(EMP, EMP)
+`
+
+func TestRunEmitsParseableDep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleER), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"schema EMP(ENO, ENAME, SAL)",
+		"MGR[ENO] <= EMP[ENO]",
+		"WORKS_IN[EMP_ENO] <= EMP[ENO]",
+		"MENTORS[EMP2_ENO] <= EMP[ENO]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// The output is consumable by the .dep parser.
+	f, err := parser.ParseString(text)
+	if err != nil {
+		t.Fatalf("emitted .dep does not parse: %v\n%s", err, text)
+	}
+	if f.DB.Len() != 5 || len(f.Sigma) != 8 {
+		t.Errorf("parsed %d relations, %d deps:\n%s", f.DB.Len(), len(f.Sigma), text)
+	}
+}
+
+func TestParseERErrors(t *testing.T) {
+	cases := []string{
+		"nonsense\n",
+		"entity E\n",    // no parens
+		"entity E(,)\n", // empty attr
+		"isa A B\n",     // missing <
+		"rel R(;X)\n",   // empty participant
+		"rel R(E; )\n",  // empty attribute
+		"entity E(K*)\nrel R(E;)\n",
+	}
+	for _, in := range cases {
+		if err := run(strings.NewReader(in), &bytes.Buffer{}); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestRunMapErrors(t *testing.T) {
+	// Parseable ER text whose mapping fails (unknown ISA target).
+	in := "entity E(K*)\nisa E < X\n"
+	if err := run(strings.NewReader(in), &bytes.Buffer{}); err == nil {
+		t.Errorf("mapping failure should surface")
+	}
+}

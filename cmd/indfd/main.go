@@ -1,0 +1,183 @@
+// Command indfd decides implication queries over sets of functional and
+// inclusion dependencies, using the engines of the paper "Inclusion
+// Dependencies and Their Interaction with Functional Dependencies"
+// (Casanova, Fagin, Papadimitriou, 1982).
+//
+// Usage:
+//
+//	indfd [-v] [-budget N] [file.dep]
+//
+// The input (a file, or stdin when no file is given) declares schemes,
+// dependencies and queries:
+//
+//	schema MGR(NAME, DEPT)
+//	schema EMP(NAME, DEPT, SAL)
+//	MGR[NAME,DEPT] <= EMP[NAME,DEPT]
+//	? MGR[NAME] <= EMP[NAME]      # unrestricted implication
+//	?fin EMP: NAME -> SAL         # finite implication
+//
+// With -v, proofs and counterexamples are printed. The exit status is 0
+// when every query was decided, 2 when some verdict was unknown (the
+// general FD+IND problem is undecidable and the chase is budgeted), and
+// 1 on input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"indfd/internal/core"
+	"indfd/internal/deps"
+	"indfd/internal/emvd"
+	"indfd/internal/parser"
+	"indfd/internal/td"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print proofs and counterexamples")
+	explain := flag.Bool("explain", false, "print derivations (implies -v; adds cardinality-cycle explanations)")
+	budget := flag.Int("budget", 0, "chase tuple budget for the general engine (0 = default)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	code, err := run(in, os.Stdout, *verbose || *explain, *budget, *explain)
+	if err != nil {
+		fatal(err)
+	}
+	os.Exit(code)
+}
+
+// run parses the input, answers every query onto w, and returns the
+// process exit code.
+func run(in io.Reader, w io.Writer, verbose bool, budget int, explain ...bool) (int, error) {
+	doExplain := len(explain) > 0 && explain[0]
+	file, err := parser.Parse(in)
+	if err != nil {
+		return 1, err
+	}
+	if len(file.Queries) == 0 && len(file.TDQueries) == 0 {
+		return 1, fmt.Errorf("no queries (add lines starting with '?' or '?fin')")
+	}
+
+	// Split Σ: EMVDs go to their own engine; everything else to the core
+	// system.
+	sys := core.NewSystem(file.DB)
+	var emvds []deps.EMVD
+	for _, d := range file.Sigma {
+		if e, ok := d.(deps.EMVD); ok {
+			emvds = append(emvds, e)
+			continue
+		}
+		if err := sys.Add(d); err != nil {
+			return 1, err
+		}
+	}
+
+	exit := 0
+	for _, q := range file.TDQueries {
+		mode := "⊨"
+		if q.Mode == parser.Finite {
+			mode = "⊨fin"
+		}
+		var sigma []td.TD
+		for _, t := range file.TDs {
+			if t.Rel == q.Goal.Rel {
+				sigma = append(sigma, t)
+			}
+		}
+		res, err := td.Implies(file.DB, sigma, q.Goal, td.Options{MaxTuples: budget})
+		if err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(w, "%s Σ %s %v  [td chase]\n", verdictMark(res.Verdict.String()), mode, q.Goal)
+		if res.Verdict == td.Unknown {
+			exit = 2
+		}
+		if verbose && res.Counterexample != nil {
+			fmt.Fprintf(w, "counterexample:\n%s\n", indent(res.Counterexample.String()))
+		}
+	}
+	for _, q := range file.Queries {
+		mode := "⊨"
+		if q.Mode == parser.Finite {
+			mode = "⊨fin"
+		}
+		if e, ok := q.Goal.(deps.EMVD); ok {
+			res, err := emvd.Implies(file.DB, emvds, e, emvd.Options{MaxTuples: budget})
+			if err != nil {
+				return 1, err
+			}
+			fmt.Fprintf(w, "%s Σ %s %v  [emvd chase]\n", verdictMark(res.Verdict.String()), mode, q.Goal)
+			if res.Verdict == emvd.Unknown {
+				exit = 2
+			}
+			if verbose && res.Counterexample != nil {
+				fmt.Fprintf(w, "counterexample:\n%s\n", indent(res.Counterexample.String()))
+			}
+			continue
+		}
+		var a core.Answer
+		var why string
+		if doExplain {
+			a, why, err = sys.Explain(q.Goal, core.Options{ChaseMaxTuples: budget}, q.Mode == parser.Finite)
+		} else if q.Mode == parser.Finite {
+			a, err = sys.ImpliesFinite(q.Goal, core.Options{ChaseMaxTuples: budget})
+		} else {
+			a, err = sys.Implies(q.Goal, core.Options{ChaseMaxTuples: budget})
+		}
+		if err != nil {
+			return 1, err
+		}
+		if doExplain && why != "" && a.Proof == "" && a.Counterexample == nil {
+			fmt.Fprintf(w, "%s Σ %s %v  [%s]\n%s\n", verdictMark(a.Verdict.String()), mode, q.Goal, a.Engine, indent(why))
+			if a.Verdict == core.Unknown {
+				exit = 2
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s Σ %s %v  [%s]\n", verdictMark(a.Verdict.String()), mode, q.Goal, a.Engine)
+		if a.Verdict == core.Unknown {
+			exit = 2
+		}
+		if verbose {
+			if a.Proof != "" {
+				fmt.Fprintf(w, "proof:\n%s\n", indent(a.Proof))
+			}
+			if a.Counterexample != nil {
+				fmt.Fprintf(w, "counterexample:\n%s\n", indent(a.Counterexample.String()))
+			}
+		}
+	}
+	return exit, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "indfd:", err)
+	os.Exit(1)
+}
+
+func verdictMark(v string) string {
+	switch v {
+	case "yes", "implied":
+		return "✓"
+	case "no", "not implied":
+		return "✗"
+	default:
+		return "?"
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}

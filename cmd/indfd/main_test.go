@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func runFile(t *testing.T, path string, verbose bool, budget int) (string, int) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out bytes.Buffer
+	code, err := run(f, &out, verbose, budget)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String(), code
+}
+
+func TestRunManagerFile(t *testing.T) {
+	out, code := runFile(t, "testdata/manager.dep", true, 0)
+	wantLines := []string{
+		"✓ Σ ⊨ MGR[NAME] <= EMP[NAME]",
+		"✓ Σ ⊨ MGR: NAME -> DEPT",
+		"✗ Σ ⊨ EMP[NAME] <= MGR[NAME]",
+		"✓ Σ ⊨fin R[B] <= R[A]", // Theorem 4.4: finite yes...
+		"✗ Σ ⊨ R[B] <= R[A]",    // ...unrestricted no.
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "proof:") || !strings.Contains(out, "counterexample:") {
+		t.Errorf("verbose output missing proof/counterexample:\n%s", out)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d", code)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := run(strings.NewReader("schema R(A)\n"), &bytes.Buffer{}, false, 0); err == nil {
+		t.Errorf("no queries should be an error")
+	}
+	if _, err := run(strings.NewReader("nonsense\n"), &bytes.Buffer{}, false, 0); err == nil {
+		t.Errorf("parse failure should be an error")
+	}
+}
+
+func TestRunEMVDQuery(t *testing.T) {
+	in := `
+schema R(A1, A2, A3, B)
+R: A1 ->> A2 | B
+R: A2 ->> A3 | B
+R: A3 ->> A1 | B
+? R: A1 ->> A3 | B
+`
+	var out bytes.Buffer
+	code, err := run(strings.NewReader(in), &out, false, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 || !strings.Contains(out.String(), "✓ Σ ⊨ R: A1 ->> A3 | B") {
+		t.Errorf("EMVD query failed (code %d):\n%s", code, out.String())
+	}
+}
+
+func TestRunUnknownExitCode(t *testing.T) {
+	// A general instance whose chase diverges yields exit code 2.
+	in := `
+schema R(A, B, C)
+R[A,B] <= R[B,C]
+R: A -> B
+? R[C] <= R[A]
+`
+	var out bytes.Buffer
+	code, err := run(strings.NewReader(in), &out, false, 64)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 2 || !strings.Contains(out.String(), "?") {
+		t.Errorf("expected unknown verdict and exit 2, got %d:\n%s", code, out.String())
+	}
+}
+
+func TestRunTDQuery(t *testing.T) {
+	// The EMVD-shaped TD chain from the Sagiv–Walecka family, in TD row
+	// syntax.
+	in := `
+schema R(A1, A2, A3, B)
+R :: (x, y1, u1, b1) (x, y2, u2, b2) / (x, y1, u3, b2)
+R :: (v1, y, u1, b1) (v2, y, u2, b2) / (v3, y, u1, b2)
+R :: (v1, y1, u, b1) (v2, y2, u, b2) / (v1, y3, u, b2)
+
+? R :: (x, y1, u1, b1) (x, y2, u2, b2) / (x, y3, u1, b2)
+`
+	var out bytes.Buffer
+	code, err := run(strings.NewReader(in), &out, false, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 || !strings.Contains(out.String(), "✓ Σ ⊨ R: ") {
+		t.Errorf("TD query failed (code %d):\n%s", code, out.String())
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	in := `
+schema R(A, B)
+R: A -> B
+R[A] <= R[B]
+?fin R[B] <= R[A]
+`
+	var out bytes.Buffer
+	code, err := run(strings.NewReader(in), &out, true, 0, true)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 || !strings.Contains(out.String(), "cardinality cycle") {
+		t.Errorf("explanation missing (code %d):\n%s", code, out.String())
+	}
+}

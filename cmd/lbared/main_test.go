@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEraser(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run(&out, "eraser", 3, true, true)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d", code)
+	}
+	for _, want := range []string{
+		"accepts=true",
+		"implied=true",
+		"reduction and simulation agree",
+		"computation history",
+		"R[s@1,a@2,a@3,a@4]", // the initial configuration expression
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejector(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run(&out, "rejector", 2, false, false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d", code)
+	}
+	if !strings.Contains(out.String(), "accepts=false") || !strings.Contains(out.String(), "implied=false") {
+		t.Errorf("rejector output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := run(&bytes.Buffer{}, "nope", 2, false, false); err == nil {
+		t.Errorf("unknown machine should error")
+	}
+	if _, err := run(&bytes.Buffer{}, "eraser", 1, false, false); err == nil {
+		t.Errorf("n=1 should error (reduction needs n ≥ 2)")
+	}
+}

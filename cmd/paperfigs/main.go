@@ -1,0 +1,496 @@
+// Command paperfigs regenerates every figure and quantitative claim of
+// the paper and verifies it mechanically. Each experiment is labelled
+// with its id from DESIGN.md / EXPERIMENTS.md.
+//
+// Usage:
+//
+//	paperfigs [-only E2] [-k 3] [-n 2] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"indfd/internal/chase"
+	"indfd/internal/counterex"
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/emvd"
+	"indfd/internal/enum"
+	"indfd/internal/fd"
+	"indfd/internal/fo"
+	"indfd/internal/ind"
+	"indfd/internal/lba"
+	"indfd/internal/perm"
+	"indfd/internal/rules"
+	"indfd/internal/schema"
+	"indfd/internal/unary"
+)
+
+var failed bool
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E16)")
+	k := flag.Int("k", 3, "parameter k for the Section 6 construction")
+	n := flag.Int("n", 2, "parameter n for the Section 7 construction")
+	csvDir := flag.String("csv", "", "also export every figure database as CSVs under this directory")
+	flag.Parse()
+	if *csvDir != "" {
+		if err := exportFigures(*csvDir, *k, *n); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("figure databases exported to %s\n\n", *csvDir)
+	}
+
+	experiments := []struct {
+		id  string
+		run func()
+	}{
+		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", func() { e45("E4", counterex.Fig41(), "Fig 4.1") }},
+		{"E5", func() { e45("E5", counterex.Fig42(), "Fig 4.2") }}, {"E6", e6}, {"E7", e7}, {"E8", e8},
+		{"E9", func() { e9(*k) }}, {"E10", func() { e10(*n) }}, {"E11", func() { e11(*n) }},
+		{"E12", func() { e12(*n) }}, {"E13", e13}, {"E14", e14}, {"E15", e15}, {"E16", e16},
+	}
+	ran := false
+	for _, e := range experiments {
+		if *only != "" && e.id != *only {
+			continue
+		}
+		ran = true
+		e.run()
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "paperfigs: unknown experiment %q (want E1..E16)\n", *only)
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func header(id, title string) {
+	fmt.Printf("=== %s: %s ===\n", id, title)
+}
+
+func check(ok bool, what string) {
+	mark := "✓"
+	if !ok {
+		mark = "✗"
+		failed = true
+	}
+	fmt.Printf("  %s %s\n", mark, what)
+}
+
+// E1: Theorem 3.1 — IND axiomatization completeness and ⊨ = ⊨fin, via
+// agreement of the syntactic procedure with the chase-with-zeros.
+func e1() {
+	header("E1", "Theorem 3.1 — completeness of IND1–IND3, finite = unrestricted")
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B", "C"),
+		schema.MustScheme("S", "D", "E", "F"),
+	)
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("D", "E")),
+		deps.NewIND("S", deps.Attrs("E", "D", "F"), "S", deps.Attrs("D", "E", "F")),
+	}
+	goal := deps.NewIND("R", deps.Attrs("B"), "S", deps.Attrs("D"))
+	res, err := ind.Decide(db, sigma, goal)
+	must(err)
+	chased, cdb, err := ind.DecideByChase(db, sigma, goal)
+	must(err)
+	check(res.Implied && chased, fmt.Sprintf("Σ ⊢ %v and the chase database agrees", goal))
+	p, _, err := ind.Prove(db, sigma, goal)
+	must(err)
+	check(p.Verify(sigma, goal) == nil, "formal IND1–IND3 proof verifies")
+	fmt.Println("  chase-with-zeros database (Rule (*)):")
+	fmt.Println(indent(cdb.String()))
+}
+
+// E2: Section 3 — the permutation family needs f(m)-1 steps; Landau
+// growth.
+func e2() {
+	header("E2", "Section 3 — superpolynomial decision chains via Landau permutations")
+	fmt.Println("    m   f(m)=g(m)    chain   states expanded   ln g(m)/√(m ln m)")
+	for _, m := range []int{4, 6, 8, 10, 12} {
+		s := perm.Scheme(m)
+		db := schema.MustDatabase(s)
+		gamma := perm.LandauPermutation(m)
+		fm := perm.Landau(m)
+		delta := gamma.Pow(new(big.Int).Sub(fm, big.NewInt(1)))
+		res, err := ind.Decide(db, []deps.IND{perm.IND(s, gamma)}, perm.IND(s, delta))
+		must(err)
+		fmt.Printf("  %3d   %9v   %6d   %8d   %17.3f\n", m, fm, res.Stats.ChainLength, res.Stats.Expanded, perm.LandauLogRatio(m))
+		if !res.Implied || res.Stats.ChainLength != int(fm.Int64()) {
+			check(false, "chain length must equal f(m)")
+		}
+	}
+	check(true, "minimal chains have length f(m) (superpolynomial in m)")
+}
+
+// E3: Theorem 3.3 — LBA reduction round trip.
+func e3() {
+	header("E3", "Theorem 3.3 — LBA acceptance ≡ IND implication")
+	for _, n := range []int{2, 3, 4} {
+		m := lba.Eraser()
+		input := lba.Input("a", n)
+		accepts, err := m.Accepts(input, 0)
+		must(err)
+		inst, err := lba.Reduce(m, input)
+		must(err)
+		start := time.Now()
+		res, err := ind.Decide(inst.DB, inst.Sigma, inst.Goal)
+		must(err)
+		check(res.Implied == accepts,
+			fmt.Sprintf("n=%d: accepts=%v, Σ⊨σ=%v, |Σ|=%d, decided in %v", n, accepts, res.Implied, len(inst.Sigma), time.Since(start).Round(time.Microsecond)))
+	}
+}
+
+// E4/E5: Theorem 4.4 — the finite/unrestricted gap.
+func e45(id string, inst counterex.Theorem44Instance, figName string) {
+	header(id, "Theorem 4.4 — "+figName+" and the finite/unrestricted gap")
+	sys, err := unary.New(inst.DB, inst.Sigma)
+	must(err)
+	fin, err := sys.ImpliesFinite(inst.Goal)
+	must(err)
+	unr, err := sys.ImpliesUnrestricted(inst.Goal)
+	must(err)
+	check(fin && !unr, fmt.Sprintf("Σ ⊨fin %v but Σ ⊭ it", inst.Goal))
+	ex, err := sys.Explain(inst.Goal)
+	must(err)
+	fmt.Println("  the counting argument, mechanically:")
+	fmt.Println(indent(ex.String()))
+	check(inst.CheckWitness(50) == nil, "infinite witness obeys Σ and violates the goal (50-tuple window)")
+	examined, err := inst.NoFiniteCounterexample(3, 4)
+	check(err == nil, fmt.Sprintf("no finite counterexample among %d small databases", examined))
+	fmt.Printf("  first tuples of %s: ", figName)
+	w, _ := inst.Witness.Window(4).Relation("R")
+	var rows []string
+	for _, t := range w.Tuples() {
+		rows = append(rows, t.String())
+	}
+	fmt.Println(strings.Join(rows, " "), "...")
+}
+
+// E6: Propositions 4.1–4.3 via the chase.
+func e6() {
+	header("E6", "Propositions 4.1–4.3 — FD/IND interaction via the chase")
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y", "Z"),
+		schema.MustScheme("S", "T", "U", "V"),
+	)
+	base := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewIND("R", deps.Attrs("X", "Z"), "S", deps.Attrs("T", "V")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	r41, err := chase.ImpliesFD(db, base, deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), chase.Options{})
+	must(err)
+	check(r41.Verdict == chase.Implied, "Prop 4.1: Σ ⊨ R: X -> Y")
+	r42, err := chase.ImpliesIND(db, base, deps.NewIND("R", deps.Attrs("X", "Y", "Z"), "S", deps.Attrs("T", "U", "V")), chase.Options{})
+	must(err)
+	check(r42.Verdict == chase.Implied, "Prop 4.2: Σ ⊨ R[XYZ] ⊆ S[TUV]")
+	deg := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewIND("R", deps.Attrs("X", "Z"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	r43, err := chase.ImpliesRD(db, deg, deps.NewRD("R", deps.Attrs("Y"), deps.Attrs("Z")), chase.Options{})
+	must(err)
+	check(r43.Verdict == chase.Implied, "Prop 4.3: Σ ⊨ R[Y = Z] (a repeating dependency)")
+}
+
+// E7: Theorem 5.1 in the small.
+func e7() {
+	header("E7", "Theorem 5.1 — k-ary completeness characterization (singleton FDs)")
+	var universe []deps.Dependency
+	attrs := []string{"A", "B", "C"}
+	for _, x := range attrs {
+		for _, y := range attrs {
+			universe = append(universe, deps.NewFD("R", deps.Attrs(x), deps.Attrs(y)))
+		}
+	}
+	oracle := func(T []deps.Dependency, tau deps.Dependency) (bool, error) {
+		var fds []deps.FD
+		for _, d := range T {
+			fds = append(fds, d.(deps.FD))
+		}
+		return fd.Implies(fds, tau.(deps.FD)), nil
+	}
+	ok2, _, err := rules.KaryCompleteExists(universe, oracle, 2)
+	must(err)
+	ok1, w, err := rules.KaryCompleteExists(universe, oracle, 1)
+	must(err)
+	check(ok2, "2-ary complete axiomatization exists (Armstrong transitivity)")
+	check(!ok1, "no 1-ary complete axiomatization exists")
+	if w != nil {
+		fmt.Printf("  witness Γ closed under 1-ary implication, Σ ⊨ %v ∉ Γ\n", w.Tau)
+	}
+}
+
+// E8: Theorem 5.3 — the Sagiv–Walecka EMVD family.
+func e8() {
+	header("E8", "Theorem 5.3 — Sagiv–Walecka EMVD cycle, Corollary 5.2 conditions")
+	f, err := emvd.SagivWalecka(2)
+	must(err)
+	rep, err := f.CheckConditions(emvd.Options{MaxTuples: 512})
+	must(err)
+	check(rep.Cond1 == emvd.Implied, "condition (i): Σ ⊨ σ (EMVD chase)")
+	check(len(rep.Cond2Violations) == 0, "condition (ii): no single member implies σ")
+	check(rep.Cond3Violations == 0,
+		fmt.Sprintf("condition (iii): %d (Δ,τ) pairs checked, %d unresolved, 0 violations", rep.Cond3Checked, rep.Cond3Unknown))
+	check(rep.Holds(), "⇒ no k-ary complete axiomatization for EMVDs (k=2 instance)")
+}
+
+// E9: Theorem 6.1 + Fig 6.1.
+func e9(k int) {
+	header("E9", fmt.Sprintf("Theorem 6.1 — finite implication, k = %d", k))
+	s, err := counterex.NewSection6(k)
+	must(err)
+	rep, err := s.Verify()
+	must(err)
+	check(rep.SigmaImpliesGoalFinitely, fmt.Sprintf("Σ_k ⊨fin σ = %v (cardinality cycle)", s.Goal))
+	check(rep.GoalNotImpliedUnrestrictedly, "Σ_k ⊭ σ (unrestricted)")
+	check(rep.GoalNotInGamma, "σ ∉ Γ")
+	for j, e := range rep.ArmstrongExact {
+		check(e, fmt.Sprintf("Armstrong database d_%d obeys exactly Γ − δ_%d (%d-sentence universe)", j, j, rep.UniverseSize))
+	}
+	check(rep.Ok(), fmt.Sprintf("⇒ Γ closed under %d-ary finite implication but not under finite implication", k))
+	for j := 0; j <= k; j++ {
+		mvdOK, err := s.ViolatesAllNontrivialMVDs(j)
+		must(err)
+		check(mvdOK, fmt.Sprintf("remark: d_%d obeys no nontrivial MVD (result extends to FDs+INDs+MVDs)", j))
+	}
+	if k == 3 {
+		d, _ := s.ArmstrongDatabase(3)
+		fmt.Println("  Fig 6.1 (k = 3, δ = R3[A] ⊆ R0[B] omitted):")
+		fmt.Println(indent(d.String()))
+	}
+}
+
+// E10: Lemma 7.2 via the chase.
+func e10(n int) {
+	header("E10", fmt.Sprintf("Lemma 7.2 — Σ ⊨ F: A -> C via the chase, n = %d", n))
+	s, err := counterex.NewSection7(n)
+	must(err)
+	res, err := s.Lemma72(chase.Options{Trace: true})
+	must(err)
+	check(res.Verdict == chase.Implied,
+		fmt.Sprintf("chase derives the goal in %d rounds over %d tuples (|Σ| = %d)", res.Rounds, res.Tuples, len(s.Sigma)))
+	fmt.Printf("  the derivation (the paper's steps (2)–(14), machine-generated; %d rule applications):\n", len(res.Trace))
+	show := res.Trace
+	if len(show) > 12 {
+		show = show[:12]
+	}
+	for _, line := range show {
+		fmt.Printf("    %s\n", line)
+	}
+	if len(res.Trace) > len(show) {
+		fmt.Printf("    ... (%d more)\n", len(res.Trace)-len(show))
+	}
+}
+
+// E11/E12: Figs 7.1–7.5 and the Theorem 7.1 verification.
+func e11(n int) {
+	header("E11", fmt.Sprintf("Lemmas 7.4–7.6 — Figs 7.1–7.3, n = %d", n))
+	s, err := counterex.NewSection7(n)
+	must(err)
+	fig71, err := s.Fig71()
+	must(err)
+	fmt.Println("  Fig 7.1 (obeys Σ, no nontrivial RD):")
+	fmt.Println(indent(fig71.String()))
+	fig72, err := s.Fig72()
+	must(err)
+	ok72, _, err := fig72.SatisfiesAll(s.Sigma)
+	must(err)
+	check(ok72, "Fig 7.2 obeys Σ; its FDs are exactly φ⁺ (verified in E12)")
+	fmt.Println("  Fig 7.2:")
+	fmt.Println(indent(fig72.String()))
+	fig73 := s.Fig73()
+	ok73, _, err := fig73.SatisfiesAll(s.Sigma)
+	must(err)
+	check(ok73, "Fig 7.3 obeys Σ; its INDs are exactly λ⁺ (verified in E12)")
+	fmt.Println("  Fig 7.3:")
+	fmt.Println(indent(fig73.String()))
+}
+
+func e12(n int) {
+	header("E12", fmt.Sprintf("Theorem 7.1 — full mechanized verification, n = %d (covers every k < n)", n))
+	s, err := counterex.NewSection7(n)
+	must(err)
+	rep, err := s.Verify(chase.Options{})
+	must(err)
+	check(rep.SigmaImpliesGoal, "Σ ⊨ σ = F: A -> C (Lemma 7.2)")
+	check(rep.FigsSatisfySigma, "Figs 7.1–7.3 satisfy Σ")
+	check(rep.NonMembersKilled,
+		fmt.Sprintf("every non-member of φ⁺ ∪ λ⁺ ∪ ω is violated by a figure (%d of %d sentences)", rep.NonMemberCount, rep.UniverseSize))
+	for j := range rep.Fig74Separates {
+		check(rep.Fig74Separates[j], fmt.Sprintf("Fig 7.4(%d) separates β_%d from λ − {β_%d}", j, j, j))
+		check(rep.Fig75Supports[j], fmt.Sprintf("Fig 7.5(%d) satisfies Γ − {β_%d} and violates σ", j, j))
+	}
+	check(rep.Ok(), "⇒ Γ closed under k-ary implication (k < n) but not under implication")
+}
+
+// E13: FD closure vs IND decision.
+func e13() {
+	header("E13", "Section 3 contrast — linear-time FD closure")
+	var sigma []deps.FD
+	nAttrs := 200
+	for i := 0; i+1 < nAttrs; i++ {
+		sigma = append(sigma, deps.NewFD("R", deps.Attrs(fmt.Sprintf("A%d", i)), deps.Attrs(fmt.Sprintf("A%d", i+1))))
+	}
+	start := time.Now()
+	closure := fd.Closure("R", deps.Attrs("A0"), sigma)
+	check(len(closure) == nAttrs, fmt.Sprintf("closure of a %d-FD chain computed in %v", len(sigma), time.Since(start).Round(time.Microsecond)))
+}
+
+// E14: polynomial special cases.
+func e14() {
+	header("E14", "Section 3 — polynomial special cases (bounded width, typed)")
+	// Width-1 INDs over many relations: the expression space is linear.
+	var schemes []*schema.Scheme
+	var sigma []deps.IND
+	n := 60
+	for i := 0; i < n; i++ {
+		schemes = append(schemes, schema.MustScheme(fmt.Sprintf("R%d", i), "A"))
+	}
+	db := schema.MustDatabase(schemes...)
+	for i := 0; i+1 < n; i++ {
+		sigma = append(sigma, deps.NewIND(fmt.Sprintf("R%d", i), deps.Attrs("A"), fmt.Sprintf("R%d", i+1), deps.Attrs("A")))
+	}
+	goal := deps.NewIND("R0", deps.Attrs("A"), fmt.Sprintf("R%d", n-1), deps.Attrs("A"))
+	start := time.Now()
+	res, err := ind.Decide(db, sigma, goal)
+	must(err)
+	check(res.Implied && res.Stats.Visited <= n,
+		fmt.Sprintf("unary IND chain of %d decided with %d states in %v (linear)", n, res.Stats.Visited, time.Since(start).Round(time.Microsecond)))
+}
+
+// E15: Armstrong databases for IND sets (Fagin; Fagin–Vardi, cited in §1).
+func e15() {
+	header("E15", "Armstrong databases for IND sets")
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+	sigma := []deps.IND{deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("C", "D"))}
+	universe := enum.INDs(db, enum.Options{MaxWidth: 2})
+	arm, err := ind.ArmstrongDatabase(db, sigma, universe)
+	must(err)
+	exact := true
+	for _, cand := range universe {
+		implied, err := ind.Implies(db, sigma, cand)
+		must(err)
+		sat, err := arm.Satisfies(cand)
+		must(err)
+		if sat != implied {
+			exact = false
+		}
+	}
+	check(exact, fmt.Sprintf("database satisfies exactly the consequences of Σ among %d candidate INDs", len(universe)))
+}
+
+// E16: the Section 3 closing note — Σ ∧ ¬σ for INDs is in the extended
+// Maslov class; FDs fall outside.
+func e16() {
+	header("E16", "Section 3 closing note — the extended Maslov class")
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("C", "D")),
+		deps.NewIND("S", deps.Attrs("C"), "R", deps.Attrs("B")),
+	}
+	goal := deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B"))
+	inst, err := fo.InstanceSentence(db, sigma, goal)
+	must(err)
+	check(inst.InExtendedMaslov(), "Σ ∧ ¬σ (INDs) is in the extended Maslov class ⇒ ⊨ = ⊨fin for INDs")
+	fmt.Println(indent(inst.String()))
+	fdSent, err := fo.FromFD(db, deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")), "f_")
+	must(err)
+	check(!fdSent.InExtendedMaslov(), "an FD clause has width 3 — outside the class (and indeed ⊨ ≠ ⊨fin for FDs+INDs)")
+}
+
+// exportFigures writes every figure database as a directory of CSVs.
+func exportFigures(dir string, k, n int) error {
+	save := func(sub string, db *data.Database) error {
+		return data.SaveDir(db, filepath.Join(dir, sub))
+	}
+	for _, fig := range []struct {
+		name string
+		inst counterex.Theorem44Instance
+	}{{"fig4.1", counterex.Fig41()}, {"fig4.2", counterex.Fig42()}} {
+		if err := save(fig.name+"-window", fig.inst.Witness.Window(8)); err != nil {
+			return err
+		}
+	}
+	s6, err := counterex.NewSection6(k)
+	if err != nil {
+		return err
+	}
+	for j := 0; j <= k; j++ {
+		d, err := s6.ArmstrongDatabase(j)
+		if err != nil {
+			return err
+		}
+		if err := save(fmt.Sprintf("fig6.1-d%d", j), d); err != nil {
+			return err
+		}
+	}
+	s7, err := counterex.NewSection7(n)
+	if err != nil {
+		return err
+	}
+	fig71, err := s7.Fig71()
+	if err != nil {
+		return err
+	}
+	fig72, err := s7.Fig72()
+	if err != nil {
+		return err
+	}
+	if err := save("fig7.1", fig71); err != nil {
+		return err
+	}
+	if err := save("fig7.2", fig72); err != nil {
+		return err
+	}
+	if err := save("fig7.3", s7.Fig73()); err != nil {
+		return err
+	}
+	for j := 0; j < n; j++ {
+		f74, err := s7.Fig74(j)
+		if err != nil {
+			return err
+		}
+		f75, err := s7.Fig75(j)
+		if err != nil {
+			return err
+		}
+		if err := save(fmt.Sprintf("fig7.4-j%d", j), f74); err != nil {
+			return err
+		}
+		if err := save(fmt.Sprintf("fig7.5-j%d", j), f75); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(s, "\n", "\n    ")
+}

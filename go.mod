@@ -1,0 +1,3 @@
+module indfd
+
+go 1.22

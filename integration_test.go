@@ -1,0 +1,164 @@
+package indfd
+
+import (
+	"strings"
+	"testing"
+
+	"indfd/internal/chase"
+	"indfd/internal/core"
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/er"
+	"indfd/internal/lint"
+	"indfd/internal/maintain"
+	"indfd/internal/parser"
+)
+
+// The full pipeline: an ER schema is mapped to relations and
+// dependencies, rendered to the .dep format, re-parsed, loaded into the
+// implication facade, used for design advice, and enforced on live data
+// by the maintenance monitor. Every stage feeds the next with no manual
+// glue — the "downstream user" workflow the library is built for.
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. ER design.
+	mapped, err := er.Map(er.Schema{
+		Entities: []er.Entity{
+			{Name: "EMP", Key: []string{"ENO"}, Attrs: []string{"ENAME"}},
+			{Name: "DEPT", Key: []string{"DNO"}, Attrs: []string{"DNAME"}},
+			{Name: "MGR", Key: []string{"ENO"}},
+		},
+		Relationships: []er.Relationship{
+			{Name: "WORKS_IN", Participants: []string{"EMP", "DEPT"}},
+		},
+		ISAs: []er.ISA{{Sub: "MGR", Super: "EMP"}},
+	})
+	if err != nil {
+		t.Fatalf("er.Map: %v", err)
+	}
+
+	// 2. Render to .dep text and re-parse.
+	var b strings.Builder
+	for _, name := range mapped.DB.Names() {
+		s, _ := mapped.DB.Scheme(name)
+		b.WriteString("schema " + s.String() + "\n")
+	}
+	for _, d := range mapped.Sigma {
+		b.WriteString(d.String() + "\n")
+	}
+	file, err := parser.ParseString(b.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, b.String())
+	}
+	if len(file.Sigma) != len(mapped.Sigma) {
+		t.Fatalf("round trip lost dependencies: %d vs %d", len(file.Sigma), len(mapped.Sigma))
+	}
+
+	// 3. Implication through the facade: the ISA composes with the
+	// relationship's foreign key.
+	sys := core.NewSystem(file.DB)
+	if err := sys.Add(file.Sigma...); err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Implies(deps.NewIND("MGR", deps.Attrs("ENO"), "EMP", deps.Attrs("ENO")), core.Options{})
+	if err != nil || a.Verdict != core.Yes {
+		t.Fatalf("ISA not implied: %+v %v", a, err)
+	}
+
+	// 4. Design advice runs clean on the generated schema.
+	adv, err := lint.Advise(file.DB, file.Sigma, chase.Options{MaxTuples: 256})
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	if len(adv.Redundant) != 0 {
+		t.Errorf("generated schema should have no redundant dependencies: %v", adv.Redundant)
+	}
+	if len(adv.Keys["EMP"]) != 1 {
+		t.Errorf("EMP keys = %v", adv.Keys["EMP"])
+	}
+
+	// 5. Live enforcement: the monitor accepts a consistent history and
+	// rejects the violations.
+	m, err := maintain.NewMonitor(file.DB, file.Sigma)
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	steps := []struct {
+		rel  string
+		t    data.Tuple
+		ok   bool
+		note string
+	}{
+		{"EMP", data.Tuple{"e1", "ann"}, true, "employee"},
+		{"DEPT", data.Tuple{"d1", "math"}, true, "department"},
+		{"MGR", data.Tuple{"e1"}, true, "manager is an employee"},
+		{"MGR", data.Tuple{"e9"}, false, "manager must be an employee (ISA)"},
+		{"WORKS_IN", data.Tuple{"e1", "d1"}, true, "assignment"},
+		{"WORKS_IN", data.Tuple{"e1", "d9"}, false, "unknown department"},
+		{"EMP", data.Tuple{"e1", "bob"}, false, "key conflict"},
+	}
+	for _, st := range steps {
+		err := m.Insert(st.rel, st.t)
+		if (err == nil) != st.ok {
+			t.Errorf("%s: Insert(%s, %v) error=%v, want ok=%v", st.note, st.rel, st.t, err, st.ok)
+		}
+	}
+	// The monitor's database satisfies everything, by construction.
+	ok, bad, err := m.Database().SatisfiesAll(file.Sigma)
+	if err != nil || !ok {
+		t.Errorf("monitored database violates %v (%v)", bad, err)
+	}
+	// Deleting the referenced employee is rejected; deleting bottom-up
+	// works.
+	if err := m.Delete("EMP", data.Tuple{"e1", "ann"}); err == nil {
+		t.Errorf("deleting a referenced employee should be rejected")
+	}
+	for _, st := range []struct {
+		rel string
+		t   data.Tuple
+	}{
+		{"WORKS_IN", data.Tuple{"e1", "d1"}},
+		{"MGR", data.Tuple{"e1"}},
+		{"DEPT", data.Tuple{"d1", "math"}},
+		{"EMP", data.Tuple{"e1", "ann"}},
+	} {
+		if err := m.Delete(st.rel, st.t); err != nil {
+			t.Errorf("Delete(%s, %v): %v", st.rel, st.t, err)
+		}
+	}
+	if m.Database().Size() != 0 {
+		t.Errorf("database not empty after bottom-up deletion")
+	}
+}
+
+// The theory pipeline: the paper's Section 6 witness flows through the
+// public facade — finite Yes, unrestricted No, with the explanation
+// exposing the counting argument.
+func TestEndToEndTheorem44ThroughFacade(t *testing.T) {
+	file, err := parser.ParseString(`
+schema R(A, B)
+R: A -> B
+R[A] <= R[B]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(file.DB)
+	if err := sys.Add(file.Sigma...); err != nil {
+		t.Fatal(err)
+	}
+	goal := deps.NewIND("R", deps.Attrs("B"), "R", deps.Attrs("A"))
+	fin, why, err := sys.Explain(goal, core.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unr, _, err := sys.Explain(goal, core.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Verdict != core.Yes || unr.Verdict != core.No {
+		t.Fatalf("Theorem 4.4 gap: finite=%v unrestricted=%v", fin.Verdict, unr.Verdict)
+	}
+	if !strings.Contains(why, "cardinality cycle") {
+		t.Errorf("explanation missing the counting argument:\n%s", why)
+	}
+}

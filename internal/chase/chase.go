@@ -1,0 +1,414 @@
+// Package chase implements the classical chase for sets of FDs and INDs
+// with labeled nulls, the tool Section 4 and Section 7 of the paper reason
+// with informally (the 14-step equality derivation of Lemma 7.2 is exactly
+// a chase run). FDs equate values (union-find); INDs add tuples with fresh
+// nulls.
+//
+// Because the implication problem for FDs and INDs together is undecidable
+// (Mitchell; Chandra–Vardi, cited in the paper's introduction), the chase
+// need not terminate. All entry points therefore take a step budget and
+// return a three-valued Verdict: Implied (the chase derived the goal —
+// sound for unrestricted implication, hence also for finite implication),
+// NotImplied (the chase reached a fixpoint; the resulting finite database
+// is a counterexample), or Unknown (budget exhausted).
+package chase
+
+import (
+	"fmt"
+	"strings"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Verdict is the outcome of a budgeted chase.
+type Verdict int
+
+const (
+	// Unknown means the step budget was exhausted before the chase
+	// either derived the goal or reached a fixpoint.
+	Unknown Verdict = iota
+	// Implied means the goal was derived: sigma ⊨ goal.
+	Implied
+	// NotImplied means the chase terminated in a model of sigma violating
+	// the goal: sigma ⊭ goal (and, since the model is finite, also
+	// sigma ⊭fin goal).
+	NotImplied
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Implied:
+		return "implied"
+	case NotImplied:
+		return "not implied"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a chase run.
+type Options struct {
+	// MaxTuples bounds the total number of tuples the chase may create
+	// (including seeds). Zero means DefaultMaxTuples.
+	MaxTuples int
+	// Trace records every rule application into Result.Trace — the
+	// machine-generated analogue of the step-by-step derivation in the
+	// proof of Lemma 7.2.
+	Trace bool
+}
+
+// DefaultMaxTuples is the default tuple budget.
+const DefaultMaxTuples = 4096
+
+func (o Options) maxTuples() int {
+	if o.MaxTuples <= 0 {
+		return DefaultMaxTuples
+	}
+	return o.MaxTuples
+}
+
+// engine is a chase tableau: relations of tuples of value IDs, with a
+// union-find over the IDs. Constants are IDs with names; labeled nulls are
+// unnamed IDs.
+type engine struct {
+	db      *schema.Database
+	fds     []deps.FD
+	rds     []deps.RD
+	inds    []deps.IND
+	parent  []int
+	name    []string // "" for nulls
+	consts  map[string]int
+	rels    map[string][][]int
+	tuples  int
+	max     int
+	trace   []string
+	doTrace bool
+}
+
+func newEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engine, error) {
+	e := &engine{
+		db:      db,
+		consts:  make(map[string]int),
+		rels:    make(map[string][][]int),
+		max:     opt.maxTuples(),
+		doTrace: opt.Trace,
+	}
+	for _, d := range sigma {
+		if err := d.Validate(db); err != nil {
+			return nil, err
+		}
+		switch dd := d.(type) {
+		case deps.FD:
+			e.fds = append(e.fds, dd)
+		case deps.IND:
+			e.inds = append(e.inds, dd)
+		case deps.RD:
+			e.rds = append(e.rds, dd)
+		default:
+			return nil, fmt.Errorf("chase: only FDs, INDs and RDs may appear in sigma, got %v", d.Kind())
+		}
+	}
+	return e, nil
+}
+
+func (e *engine) newNull() int {
+	id := len(e.parent)
+	e.parent = append(e.parent, id)
+	e.name = append(e.name, "")
+	return id
+}
+
+func (e *engine) newConst(name string) int {
+	if id, ok := e.consts[name]; ok {
+		return id
+	}
+	id := len(e.parent)
+	e.parent = append(e.parent, id)
+	e.name = append(e.name, name)
+	e.consts[name] = id
+	return id
+}
+
+func (e *engine) find(x int) int {
+	for e.parent[x] != x {
+		e.parent[x] = e.parent[e.parent[x]]
+		x = e.parent[x]
+	}
+	return x
+}
+
+// union merges the classes of a and b. Merging two distinct constants is a
+// hard contradiction (sigma plus the seed is unsatisfiable over distinct
+// constants) and reported as an error.
+func (e *engine) union(a, b int) (changed bool, err error) {
+	ra, rb := e.find(a), e.find(b)
+	if ra == rb {
+		return false, nil
+	}
+	na, nb := e.name[ra], e.name[rb]
+	if na != "" && nb != "" && na != nb {
+		return false, fmt.Errorf("chase: contradiction: constants %q and %q equated", na, nb)
+	}
+	// Keep the constant (if any) as the representative.
+	if na == "" && nb != "" {
+		ra, rb = rb, ra
+	}
+	e.parent[rb] = ra
+	return true, nil
+}
+
+// equal reports canonical equality.
+func (e *engine) equal(a, b int) bool { return e.find(a) == e.find(b) }
+
+// insert adds a tuple of value IDs to rel if no canonically-equal tuple is
+// already present. It enforces the tuple budget.
+func (e *engine) insert(rel string, t []int) (added bool, err error) {
+	key := e.tupleKey(t)
+	for _, u := range e.rels[rel] {
+		if e.tupleKey(u) == key {
+			return false, nil
+		}
+	}
+	if e.tuples >= e.max {
+		return false, errBudget
+	}
+	e.rels[rel] = append(e.rels[rel], t)
+	e.tuples++
+	return true, nil
+}
+
+var errBudget = fmt.Errorf("chase: tuple budget exhausted")
+
+func (e *engine) tupleKey(t []int) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		r := e.find(v)
+		b = append(b, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+	}
+	return string(b)
+}
+
+// applyFDs fires every FD and RD until no more values are equated.
+func (e *engine) applyFDs() (changed bool, err error) {
+	for again := true; again; {
+		again = false
+		for _, r := range e.rds {
+			sch, _ := e.db.Scheme(r.Rel)
+			xs := positions(sch, r.X)
+			ys := positions(sch, r.Y)
+			for _, t := range e.rels[r.Rel] {
+				for i := range xs {
+					ch, err := e.union(t[xs[i]], t[ys[i]])
+					if err != nil {
+						return changed, err
+					}
+					if ch {
+						again = true
+						changed = true
+						e.tracef("RD %v equates %v and %v within %v", r, e.describe(t[xs[i]]), e.describe(t[ys[i]]), e.describeTuple(t))
+					}
+				}
+			}
+		}
+		for _, f := range e.fds {
+			sch, _ := e.db.Scheme(f.Rel)
+			xs := positions(sch, f.X)
+			ys := positions(sch, f.Y)
+			groups := make(map[string][]int) // X-projection key -> first tuple index
+			tuples := e.rels[f.Rel]
+			for i, t := range tuples {
+				key := e.projKey(t, xs)
+				for _, j := range groups[key] {
+					u := tuples[j]
+					for _, y := range ys {
+						ch, err := e.union(t[y], u[y])
+						if err != nil {
+							return changed, err
+						}
+						if ch {
+							again = true
+							changed = true
+							e.tracef("FD %v equates %v and %v (tuples %v, %v agree on %s)",
+								f, e.describe(t[y]), e.describe(u[y]), e.describeTuple(t), e.describeTuple(u), schema.JoinAttrs(f.X))
+						}
+					}
+				}
+				groups[key] = append(groups[key], i)
+			}
+		}
+	}
+	return changed, nil
+}
+
+func (e *engine) projKey(t []int, pos []int) string {
+	b := make([]byte, 0, len(pos)*4)
+	for _, p := range pos {
+		r := e.find(t[p])
+		b = append(b, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+	}
+	return string(b)
+}
+
+// applyINDs fires every IND once: for each left tuple with no witness on
+// the right, a new right tuple is created with fresh nulls outside the
+// target columns.
+func (e *engine) applyINDs() (changed bool, err error) {
+	for _, d := range e.inds {
+		ls, _ := e.db.Scheme(d.LRel)
+		rs, _ := e.db.Scheme(d.RRel)
+		xs := positions(ls, d.X)
+		ys := positions(rs, d.Y)
+		// Index right-hand projections.
+		witnesses := make(map[string]bool)
+		for _, u := range e.rels[d.RRel] {
+			witnesses[e.projKey(u, ys)] = true
+		}
+		// Iterate over a snapshot: new tuples added to d.LRel (when LRel ==
+		// RRel) are handled in the next round.
+		snapshot := append([][]int(nil), e.rels[d.LRel]...)
+		for _, t := range snapshot {
+			key := e.projKey(t, xs)
+			if witnesses[key] {
+				continue
+			}
+			u := make([]int, rs.Width())
+			for i := range u {
+				u[i] = -1
+			}
+			for i := range ys {
+				u[ys[i]] = t[xs[i]]
+			}
+			for i := range u {
+				if u[i] == -1 {
+					u[i] = e.newNull()
+				}
+			}
+			added, err := e.insert(d.RRel, u)
+			if err != nil {
+				return changed, err
+			}
+			if added {
+				changed = true
+				witnesses[key] = true
+				e.tracef("IND %v adds %v to %s for %v", d, e.describeTuple(u), d.RRel, e.describeTuple(t))
+			}
+		}
+	}
+	return changed, nil
+}
+
+// dedup removes canonically duplicate tuples created by unions.
+func (e *engine) dedup() {
+	for rel, tuples := range e.rels {
+		seen := make(map[string]bool, len(tuples))
+		out := tuples[:0]
+		for _, t := range tuples {
+			k := e.tupleKey(t)
+			if seen[k] {
+				e.tuples--
+				continue
+			}
+			seen[k] = true
+			out = append(out, t)
+		}
+		e.rels[rel] = out
+	}
+}
+
+// run chases to fixpoint or budget. It returns done=true when a fixpoint
+// was reached (the tableau is a model of sigma).
+func (e *engine) run() (done bool, err error) {
+	for {
+		fdChanged, err := e.applyFDs()
+		if err != nil {
+			return false, err
+		}
+		e.dedup()
+		indChanged, err := e.applyINDs()
+		if err == errBudget {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		if !fdChanged && !indChanged {
+			return true, nil
+		}
+	}
+}
+
+func positions(s *schema.Scheme, attrs []schema.Attribute) []int {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, _ := s.Pos(a)
+		out[i] = p
+	}
+	return out
+}
+
+// export materializes the tableau as a concrete database: constants keep
+// their names, null classes become fresh values "_0", "_1", ... in a
+// deterministic order, skipping any name already taken by a constant (a
+// seed value may itself look like "_0").
+func (e *engine) export() *data.Database {
+	out := data.NewDatabase(e.db)
+	names := make(map[int]data.Value)
+	next := 0
+	valueOf := func(id int) data.Value {
+		r := e.find(id)
+		if e.name[r] != "" {
+			return data.Value(e.name[r])
+		}
+		if v, ok := names[r]; ok {
+			return v
+		}
+		var v data.Value
+		for {
+			v = data.Value(fmt.Sprintf("_%d", next))
+			next++
+			if _, taken := e.consts[string(v)]; !taken {
+				break
+			}
+		}
+		names[r] = v
+		return v
+	}
+	for _, rel := range e.db.Names() {
+		for _, t := range e.rels[rel] {
+			row := make(data.Tuple, len(t))
+			for i, id := range t {
+				row[i] = valueOf(id)
+			}
+			out.MustRelation(rel).MustInsert(row)
+		}
+	}
+	return out
+}
+
+// tracef appends a formatted trace line when tracing is on.
+func (e *engine) tracef(format string, args ...any) {
+	if e.doTrace {
+		e.trace = append(e.trace, fmt.Sprintf(format, args...))
+	}
+}
+
+// describe renders a value id: its constant name, or _<root> for nulls.
+func (e *engine) describe(id int) string {
+	r := e.find(id)
+	if e.name[r] != "" {
+		return e.name[r]
+	}
+	return fmt.Sprintf("_%d", r)
+}
+
+// describeTuple renders a tableau tuple.
+func (e *engine) describeTuple(t []int) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = e.describe(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}

@@ -1,0 +1,428 @@
+package chase
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/ind"
+	"indfd/internal/schema"
+)
+
+// prop41DB is the scheme of Proposition 4.1: R[XY] ⊆ S[TU], S: T -> U.
+func prop41DB() *schema.Database {
+	return schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+}
+
+func TestProposition41(t *testing.T) {
+	// {R[XY] ⊆ S[TU], S: T -> U} ⊨ R: X -> Y.
+	db := prop41DB()
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	res, err := ImpliesFD(db, sigma, deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{})
+	if err != nil {
+		t.Fatalf("ImpliesFD: %v", err)
+	}
+	if res.Verdict != Implied {
+		t.Errorf("Proposition 4.1: verdict %v, want implied", res.Verdict)
+	}
+	// Dropping the FD breaks the implication, with a finite counterexample.
+	res, err = ImpliesFD(db, sigma[:1], deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{})
+	if err != nil {
+		t.Fatalf("ImpliesFD: %v", err)
+	}
+	if res.Verdict != NotImplied {
+		t.Fatalf("without the FD: verdict %v, want not implied", res.Verdict)
+	}
+	ce := res.Counterexample
+	if ok, _ := ce.Satisfies(sigma[0]); !ok {
+		t.Errorf("counterexample violates sigma")
+	}
+	if ok, _ := ce.Satisfies(deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y"))); ok {
+		t.Errorf("counterexample satisfies the goal")
+	}
+}
+
+func TestProposition42(t *testing.T) {
+	// {R[XY] ⊆ S[TU], R[XZ] ⊆ S[TV], S: T -> U} ⊨ R[XYZ] ⊆ S[TUV].
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y", "Z"),
+		schema.MustScheme("S", "T", "U", "V"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewIND("R", deps.Attrs("X", "Z"), "S", deps.Attrs("T", "V")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	goal := deps.NewIND("R", deps.Attrs("X", "Y", "Z"), "S", deps.Attrs("T", "U", "V"))
+	res, err := ImpliesIND(db, sigma, goal, Options{})
+	if err != nil {
+		t.Fatalf("ImpliesIND: %v", err)
+	}
+	if res.Verdict != Implied {
+		t.Errorf("Proposition 4.2: verdict %v, want implied", res.Verdict)
+	}
+	// Without the FD the two witnesses need not coincide.
+	res, _ = ImpliesIND(db, sigma[:2], goal, Options{})
+	if res.Verdict != NotImplied {
+		t.Errorf("without the FD: verdict %v, want not implied", res.Verdict)
+	}
+}
+
+func TestProposition43(t *testing.T) {
+	// {R[XY] ⊆ S[TU], R[XZ] ⊆ S[TU], S: T -> U} ⊨ R[Y = Z].
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y", "Z"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewIND("R", deps.Attrs("X", "Z"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	res, err := ImpliesRD(db, sigma, deps.NewRD("R", deps.Attrs("Y"), deps.Attrs("Z")), Options{})
+	if err != nil {
+		t.Fatalf("ImpliesRD: %v", err)
+	}
+	if res.Verdict != Implied {
+		t.Errorf("Proposition 4.3: verdict %v, want implied", res.Verdict)
+	}
+	// The RD is nontrivial: without the FD it is not implied.
+	res, _ = ImpliesRD(db, sigma[:2], deps.NewRD("R", deps.Attrs("Y"), deps.Attrs("Z")), Options{})
+	if res.Verdict != NotImplied {
+		t.Errorf("without the FD: verdict %v, want not implied", res.Verdict)
+	}
+}
+
+func TestTheorem44UnrestrictedSideIsUnknown(t *testing.T) {
+	// Σ = {R: A -> B, R[A] ⊆ R[B]} does not (unrestrictedly) imply
+	// R[B] ⊆ R[A]; the only counterexamples are infinite, so the greedy
+	// chase diverges and the budgeted verdict is Unknown.
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	sigma := []deps.Dependency{
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B")),
+	}
+	res, err := ImpliesIND(db, sigma, deps.NewIND("R", deps.Attrs("B"), "R", deps.Attrs("A")), Options{MaxTuples: 64})
+	if err != nil {
+		t.Fatalf("ImpliesIND: %v", err)
+	}
+	if res.Verdict != Unknown {
+		t.Errorf("verdict %v, want unknown (divergent chase)", res.Verdict)
+	}
+	// Same for the FD goal of Theorem 4.4(b).
+	res, err = ImpliesFD(db, sigma, deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A")), Options{MaxTuples: 64})
+	if err != nil {
+		t.Fatalf("ImpliesFD: %v", err)
+	}
+	if res.Verdict != Unknown {
+		t.Errorf("FD goal verdict %v, want unknown", res.Verdict)
+	}
+}
+
+func TestImpliesDispatchAndValidation(t *testing.T) {
+	db := prop41DB()
+	if _, err := Implies(db, nil, deps.NewEMVD("R", deps.Attrs("X"), deps.Attrs("Y"), deps.Attrs("Y")), Options{}); err == nil {
+		t.Errorf("EMVD goal should be rejected")
+	}
+	if _, err := ImpliesFD(db, nil, deps.NewFD("Nope", deps.Attrs("X"), deps.Attrs("Y")), Options{}); err == nil {
+		t.Errorf("invalid goal should be rejected")
+	}
+	badSigma := []deps.Dependency{deps.NewEMVD("R", deps.Attrs("X"), deps.Attrs("Y"), deps.Attrs("Y"))}
+	if _, err := ImpliesFD(db, badSigma, deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{}); err == nil {
+		t.Errorf("EMVD in sigma should be rejected")
+	}
+	// Dispatch happy paths.
+	for _, goal := range []deps.Dependency{
+		deps.NewFD("R", deps.Attrs("X", "Y"), deps.Attrs("X")),
+		deps.NewIND("R", deps.Attrs("X"), "R", deps.Attrs("X")),
+		deps.NewRD("R", deps.Attrs("X"), deps.Attrs("X")),
+	} {
+		res, err := Implies(db, nil, goal, Options{})
+		if err != nil || res.Verdict != Implied {
+			t.Errorf("trivial %v: %v %v", goal, res.Verdict, err)
+		}
+	}
+}
+
+func TestCompleteBasic(t *testing.T) {
+	db := prop41DB()
+	seed := data.NewDatabase(db)
+	seed.MustInsert("R", data.Tuple{"x1", "y1"})
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	out, err := Complete(seed, sigma, Options{})
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	ok, bad, err := out.SatisfiesAll(sigma)
+	if err != nil || !ok {
+		t.Errorf("completed database violates %v (%v)", bad, err)
+	}
+	// The seed tuple must survive with its constants.
+	r, _ := out.Relation("R")
+	if !r.Contains(data.Tuple{"x1", "y1"}) {
+		t.Errorf("seed tuple lost: %v", out)
+	}
+	s, _ := out.Relation("S")
+	if s.Len() != 1 || s.Tuples()[0][0] != "x1" || s.Tuples()[0][1] != "y1" {
+		t.Errorf("S should contain exactly (x1,y1): %v", out)
+	}
+}
+
+func TestCompleteEquatesViaFDs(t *testing.T) {
+	// Two R tuples with the same X map into S, where T -> U forces their
+	// second components to merge — but constants cannot merge, so this
+	// seed contradicts sigma.
+	db := prop41DB()
+	seed := data.NewDatabase(db)
+	seed.MustInsert("R", data.Tuple{"x", "y1"}, data.Tuple{"x", "y2"})
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	if _, err := Complete(seed, sigma, Options{}); err == nil {
+		t.Errorf("contradictory seed should error")
+	}
+}
+
+func TestCompleteDirectFDContradiction(t *testing.T) {
+	db := prop41DB()
+	seed := data.NewDatabase(db)
+	seed.MustInsert("S", data.Tuple{"t", "u1"}, data.Tuple{"t", "u2"})
+	sigma := []deps.Dependency{deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U"))}
+	if _, err := Complete(seed, sigma, Options{}); err == nil {
+		t.Errorf("seed violating an FD on constants should error")
+	}
+}
+
+func TestCompleteBudget(t *testing.T) {
+	// The divergent instance: Complete must report non-termination.
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	seed := data.NewDatabase(db)
+	seed.MustInsert("R", data.Tuple{"1", "0"})
+	sigma := []deps.Dependency{deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B"))}
+	if _, err := Complete(seed, sigma, Options{MaxTuples: 32}); err == nil {
+		t.Errorf("divergent Complete should error")
+	}
+}
+
+func TestNotImpliedCounterexampleSatisfiesSigma(t *testing.T) {
+	// Generic sanity: whenever the verdict is NotImplied, the returned
+	// database satisfies sigma and violates the goal.
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("C")),
+		deps.NewFD("S", deps.Attrs("C"), deps.Attrs("D")),
+	}
+	goals := []deps.Dependency{
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewIND("R", deps.Attrs("B"), "S", deps.Attrs("D")),
+		deps.NewRD("R", deps.Attrs("A"), deps.Attrs("B")),
+	}
+	for _, goal := range goals {
+		res, err := Implies(db, sigma, goal, Options{})
+		if err != nil {
+			t.Fatalf("Implies(%v): %v", goal, err)
+		}
+		if res.Verdict != NotImplied {
+			t.Errorf("%v: verdict %v, want not implied", goal, res.Verdict)
+			continue
+		}
+		ok, bad, err := res.Counterexample.SatisfiesAll(sigma)
+		if err != nil || !ok {
+			t.Errorf("%v: counterexample violates %v (%v)", goal, bad, err)
+		}
+		if sat, _ := res.Counterexample.Satisfies(goal); sat {
+			t.Errorf("%v: counterexample satisfies the goal", goal)
+		}
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Implied.String() != "implied" || NotImplied.String() != "not implied" || Unknown.String() != "unknown" {
+		t.Errorf("Verdict strings wrong")
+	}
+}
+
+func TestRDsInSigma(t *testing.T) {
+	// The RD R[A == B] implies the FD A -> B, the FD B -> A, and the IND
+	// R[A] ⊆ R[B] (Section 4 notes RDs are equivalent to generalized
+	// INDs; here the chase handles them natively as equality rules).
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	sigma := []deps.Dependency{deps.NewRD("R", deps.Attrs("A"), deps.Attrs("B"))}
+	for _, goal := range []deps.Dependency{
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A")),
+		deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B")),
+		deps.NewRD("R", deps.Attrs("B"), deps.Attrs("A")),
+	} {
+		res, err := Implies(db, sigma, goal, Options{})
+		if err != nil {
+			t.Fatalf("Implies(%v): %v", goal, err)
+		}
+		if res.Verdict != Implied {
+			t.Errorf("%v should be implied by R[A == B], got %v", goal, res.Verdict)
+		}
+	}
+	// And of course an unrelated FD is not implied.
+	db3 := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C"))
+	sigma3 := []deps.Dependency{deps.NewRD("R", deps.Attrs("A"), deps.Attrs("B"))}
+	res, err := Implies(db3, sigma3, deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C")), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NotImplied {
+		t.Errorf("A -> C should not be implied, got %v", res.Verdict)
+	}
+}
+
+func TestProposition43RoundTrip(t *testing.T) {
+	// The RD derived in Proposition 4.3, fed back as a hypothesis,
+	// reproduces the equality behavior: completing a seed under the RD
+	// merges the Y and Z columns.
+	db := schema.MustDatabase(schema.MustScheme("R", "X", "Y", "Z"))
+	seed := data.NewDatabase(db)
+	seed.MustInsert("R", data.Tuple{"x", "y", "y"})
+	sigma := []deps.Dependency{deps.NewRD("R", deps.Attrs("Y"), deps.Attrs("Z"))}
+	out, err := Complete(seed, sigma, Options{})
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	ok, _, err := out.SatisfiesAll(sigma)
+	if err != nil || !ok {
+		t.Errorf("completion violates the RD")
+	}
+	// A seed contradicting the RD on constants errors.
+	bad := data.NewDatabase(db)
+	bad.MustInsert("R", data.Tuple{"x", "y", "z"})
+	if _, err := Complete(bad, sigma, Options{}); err == nil {
+		t.Errorf("contradictory RD seed should error")
+	}
+}
+
+// Cross-check against the complete IND engine: on pure-IND instances,
+// whenever the chase reaches a verdict it matches ind.Decide.
+func TestChaseAgreesWithINDEngine(t *testing.T) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+	names := []string{"R", "S"}
+	attrs := map[string][]schema.Attribute{"R": deps.Attrs("A", "B"), "S": deps.Attrs("C", "D")}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var inds []deps.IND
+		var sigma []deps.Dependency
+		for i := 0; i < 1+r.Intn(4); i++ {
+			ln, rn := names[r.Intn(2)], names[r.Intn(2)]
+			w := 1 + r.Intn(2)
+			pl, pr := r.Perm(2), r.Perm(2)
+			x := make([]schema.Attribute, w)
+			y := make([]schema.Attribute, w)
+			for j := 0; j < w; j++ {
+				x[j] = attrs[ln][pl[j]]
+				y[j] = attrs[rn][pr[j]]
+			}
+			d := deps.NewIND(ln, x, rn, y)
+			inds = append(inds, d)
+			sigma = append(sigma, d)
+		}
+		ln, rn := names[r.Intn(2)], names[r.Intn(2)]
+		goal := deps.NewIND(ln, []schema.Attribute{attrs[ln][r.Intn(2)]}, rn, []schema.Attribute{attrs[rn][r.Intn(2)]})
+		want, err := ind.Implies(db, inds, goal)
+		if err != nil {
+			return false
+		}
+		res, err := ImpliesIND(db, sigma, goal, Options{MaxTuples: 128})
+		if err != nil {
+			return false
+		}
+		switch res.Verdict {
+		case Implied:
+			return want
+		case NotImplied:
+			return !want
+		default:
+			return true
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	db := prop41DB()
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	res, err := ImpliesFD(db, sigma, deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{Trace: true})
+	if err != nil {
+		t.Fatalf("ImpliesFD: %v", err)
+	}
+	if res.Verdict != Implied {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if len(res.Trace) < 3 {
+		t.Fatalf("trace too short: %v", res.Trace)
+	}
+	var sawIND, sawFD bool
+	for _, line := range res.Trace {
+		if strings.HasPrefix(line, "IND") {
+			sawIND = true
+		}
+		if strings.HasPrefix(line, "FD") {
+			sawFD = true
+		}
+	}
+	if !sawIND || !sawFD {
+		t.Errorf("trace missing rule kinds:\n%s", strings.Join(res.Trace, "\n"))
+	}
+	// Without the option, no trace is recorded.
+	res, _ = ImpliesFD(db, sigma, deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{})
+	if len(res.Trace) != 0 {
+		t.Errorf("unexpected trace: %v", res.Trace)
+	}
+}
+
+func TestExportAvoidsConstantCollision(t *testing.T) {
+	// A seed value literally named "_0" must not be conflated with a
+	// fresh null in the exported counterexample.
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+	seed := data.NewDatabase(db)
+	seed.MustInsert("R", data.Tuple{"_0", "_1"})
+	sigma := []deps.Dependency{deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("C"))}
+	out, err := Complete(seed, sigma, Options{})
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	s, _ := out.Relation("S")
+	if s.Len() != 1 {
+		t.Fatalf("S = %v", s)
+	}
+	row := s.Tuples()[0]
+	if row[0] != "_0" {
+		t.Errorf("constant _0 lost: %v", row)
+	}
+	if row[1] == "_0" || row[1] == "_1" {
+		t.Errorf("fresh null collides with a seed constant: %v", row)
+	}
+}

@@ -1,0 +1,29 @@
+package chase_test
+
+import (
+	"fmt"
+
+	"indfd/internal/chase"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Proposition 4.3: two INDs with the same right-hand side plus a key FD
+// force a repeating dependency.
+func ExampleImpliesRD() {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y", "Z"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewIND("R", deps.Attrs("X", "Z"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	res, err := chase.ImpliesRD(db, sigma, deps.NewRD("R", deps.Attrs("Y"), deps.Attrs("Z")), chase.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Verdict)
+	// Output: implied
+}

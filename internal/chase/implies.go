@@ -1,0 +1,213 @@
+package chase
+
+import (
+	"fmt"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Result reports the outcome of a budgeted implication test.
+type Result struct {
+	Verdict Verdict
+	// Counterexample is a finite database satisfying sigma and violating
+	// the goal; it is set exactly when Verdict == NotImplied.
+	Counterexample *data.Database
+	// Rounds is the number of chase rounds executed.
+	Rounds int
+	// Tuples is the number of tableau tuples at the end.
+	Tuples int
+	// Trace lists the rule applications performed, when Options.Trace was
+	// set.
+	Trace []string
+}
+
+// runToGoal chases until derived() holds, a fixpoint is reached, or the
+// budget runs out, checking the goal after every FD pass.
+func (e *engine) runToGoal(derived func() bool) (Result, error) {
+	res := Result{}
+	for {
+		res.Rounds++
+		if _, err := e.applyFDs(); err != nil {
+			return res, err
+		}
+		e.dedup()
+		if derived() {
+			res.Verdict = Implied
+			res.Tuples = e.tuples
+			res.Trace = e.trace
+			return res, nil
+		}
+		indChanged, err := e.applyINDs()
+		if err == errBudget {
+			res.Verdict = Unknown
+			res.Tuples = e.tuples
+			res.Trace = e.trace
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		if !indChanged {
+			// One more FD pass cannot change anything either (applyFDs ran
+			// to its own fixpoint above), so this is a model of sigma.
+			res.Verdict = NotImplied
+			res.Counterexample = e.export()
+			res.Tuples = e.tuples
+			res.Trace = e.trace
+			return res, nil
+		}
+	}
+}
+
+// ImpliesFD tests sigma ⊨ goal for an FD goal R: X -> Y by chasing the
+// two-tuple tableau that agrees exactly on X.
+func ImpliesFD(db *schema.Database, sigma []deps.Dependency, goal deps.FD, opt Options) (Result, error) {
+	if err := goal.Validate(db); err != nil {
+		return Result{}, err
+	}
+	e, err := newEngine(db, sigma, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	sch, _ := db.Scheme(goal.Rel)
+	t1 := make([]int, sch.Width())
+	t2 := make([]int, sch.Width())
+	for i := range t1 {
+		t1[i] = e.newNull()
+		t2[i] = e.newNull()
+	}
+	for _, a := range goal.X {
+		p, _ := sch.Pos(a)
+		t2[p] = t1[p]
+	}
+	if _, err := e.insert(goal.Rel, t1); err != nil {
+		return Result{}, err
+	}
+	if _, err := e.insert(goal.Rel, t2); err != nil {
+		return Result{}, err
+	}
+	ys := positions(sch, goal.Y)
+	return e.runToGoal(func() bool {
+		for _, y := range ys {
+			if !e.equal(t1[y], t2[y]) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// ImpliesIND tests sigma ⊨ goal for an IND goal R[X] ⊆ S[Y] by chasing the
+// one-tuple tableau over R.
+func ImpliesIND(db *schema.Database, sigma []deps.Dependency, goal deps.IND, opt Options) (Result, error) {
+	if err := goal.Validate(db); err != nil {
+		return Result{}, err
+	}
+	e, err := newEngine(db, sigma, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	ls, _ := db.Scheme(goal.LRel)
+	rs, _ := db.Scheme(goal.RRel)
+	t := make([]int, ls.Width())
+	for i := range t {
+		t[i] = e.newNull()
+	}
+	if _, err := e.insert(goal.LRel, t); err != nil {
+		return Result{}, err
+	}
+	xs := positions(ls, goal.X)
+	ys := positions(rs, goal.Y)
+	return e.runToGoal(func() bool {
+		want := e.projKey(t, xs)
+		for _, u := range e.rels[goal.RRel] {
+			if e.projKey(u, ys) == want {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// ImpliesRD tests sigma ⊨ goal for an RD goal R[X = Y] by chasing the
+// one-tuple tableau over R (Proposition 4.3 is an instance).
+func ImpliesRD(db *schema.Database, sigma []deps.Dependency, goal deps.RD, opt Options) (Result, error) {
+	if err := goal.Validate(db); err != nil {
+		return Result{}, err
+	}
+	e, err := newEngine(db, sigma, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	sch, _ := db.Scheme(goal.Rel)
+	t := make([]int, sch.Width())
+	for i := range t {
+		t[i] = e.newNull()
+	}
+	if _, err := e.insert(goal.Rel, t); err != nil {
+		return Result{}, err
+	}
+	xs := positions(sch, goal.X)
+	ys := positions(sch, goal.Y)
+	return e.runToGoal(func() bool {
+		for i := range xs {
+			if !e.equal(t[xs[i]], t[ys[i]]) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Implies dispatches on the kind of the goal dependency.
+func Implies(db *schema.Database, sigma []deps.Dependency, goal deps.Dependency, opt Options) (Result, error) {
+	switch g := goal.(type) {
+	case deps.FD:
+		return ImpliesFD(db, sigma, g, opt)
+	case deps.IND:
+		return ImpliesIND(db, sigma, g, opt)
+	case deps.RD:
+		return ImpliesRD(db, sigma, g, opt)
+	default:
+		return Result{}, fmt.Errorf("chase: cannot test implication of a %v goal", goal.Kind())
+	}
+}
+
+// Complete chases a concrete seed database to a fixpoint under sigma and
+// returns the completed database: the least (up to null naming) extension
+// of the seed satisfying sigma's INDs in which sigma's FDs have been used
+// to equate values. Values of the seed act as distinct constants; if
+// sigma's FDs force two distinct seed values to be equal, Complete returns
+// an error (the seed contradicts sigma). It also errors if the chase does
+// not terminate within the budget.
+//
+// Section 7's counterexample databases (Figs 7.1, 7.4, 7.5) are built this
+// way: a small seed in relation F, completed under (a subset of) Σ.
+func Complete(seed *data.Database, sigma []deps.Dependency, opt Options) (*data.Database, error) {
+	e, err := newEngine(seed.Scheme(), sigma, opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, rel := range seed.Scheme().Names() {
+		r, _ := seed.Relation(rel)
+		for _, t := range r.Tuples() {
+			row := make([]int, len(t))
+			for i, v := range t {
+				row[i] = e.newConst(string(v))
+			}
+			if _, err := e.insert(rel, row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	done, err := e.run()
+	if err != nil {
+		return nil, err
+	}
+	if !done {
+		return nil, fmt.Errorf("chase: Complete did not reach a fixpoint within %d tuples", e.max)
+	}
+	return e.export(), nil
+}

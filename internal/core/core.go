@@ -1,0 +1,421 @@
+// Package core is the public facade of the library: a System holds a
+// database scheme and a set Σ of dependencies and answers implication
+// queries, dispatching to the strongest engine that is exact for the
+// fragment at hand:
+//
+//   - Σ and goal all INDs: the Section 3 decision procedure — exact for
+//     both finite and unrestricted implication (Theorem 3.1), with formal
+//     IND1–IND3 proofs and finite counterexamples;
+//   - Σ and goal all FDs: attribute-set closure — exact, with Armstrong
+//     derivations;
+//   - Σ and goal made of FDs (any shape) and UNARY INDs: the KCV-style
+//     engine — exact for both semantics, exhibiting the Theorem 4.4 gap;
+//   - anything else: the chase — sound but, the general problem being
+//     undecidable (Mitchell; Chandra–Vardi), necessarily incomplete; the
+//     verdict is three-valued and budgeted.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"indfd/internal/chase"
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/fd"
+	"indfd/internal/ind"
+	"indfd/internal/schema"
+	"indfd/internal/search"
+	"indfd/internal/unary"
+)
+
+// Verdict is a three-valued implication answer.
+type Verdict int
+
+const (
+	// Unknown means the engine could not decide within its budget (only
+	// possible for the general FD+IND fragment, which is undecidable).
+	Unknown Verdict = iota
+	// Yes means Σ implies the goal.
+	Yes
+	// No means Σ does not imply the goal.
+	No
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Yes:
+		return "yes"
+	case No:
+		return "no"
+	default:
+		return "unknown"
+	}
+}
+
+// Answer is the result of an implication query.
+type Answer struct {
+	Verdict Verdict
+	// Engine names the engine that produced the verdict: "ind", "fd",
+	// "unary", or "chase".
+	Engine string
+	// Proof is a human-readable derivation when the verdict is Yes and
+	// the engine produces proofs (ind, fd).
+	Proof string
+	// Counterexample is a finite database satisfying Σ and violating the
+	// goal, when the engine produces one (Verdict == No, engines ind and
+	// chase; for unary No verdicts under finite semantics no finite
+	// counterexample generator is provided).
+	Counterexample *data.Database
+}
+
+// Options configures a query.
+type Options struct {
+	// ChaseMaxTuples bounds the chase when the general engine is used.
+	ChaseMaxTuples int
+	// SearchFallback enables a bounded finite-counterexample search when
+	// the chase is inconclusive; a hit turns Unknown into No.
+	SearchFallback bool
+}
+
+// System is a database scheme plus a dependency set Σ.
+type System struct {
+	db    *schema.Database
+	sigma *deps.Set
+}
+
+// NewSystem creates a System over the scheme.
+func NewSystem(db *schema.Database) *System {
+	return &System{db: db, sigma: deps.NewSet()}
+}
+
+// DB returns the database scheme.
+func (s *System) DB() *schema.Database { return s.db }
+
+// Sigma returns the current dependency set in insertion order.
+func (s *System) Sigma() []deps.Dependency { return s.sigma.All() }
+
+// Add validates and inserts dependencies into Σ. EMVDs are not accepted
+// (they have their own engine in the emvd package).
+func (s *System) Add(ds ...deps.Dependency) error {
+	for _, d := range ds {
+		if d.Kind() == deps.KindEMVD {
+			return fmt.Errorf("core: EMVDs are not supported in a System; use the emvd package")
+		}
+		if err := d.Validate(s.db); err != nil {
+			return err
+		}
+	}
+	s.sigma.Add(ds...)
+	return nil
+}
+
+// relevant returns the members of Σ over relations in the same connected
+// component as the goal's relations, where two relations are connected
+// when an IND of Σ spans them. Dependencies outside the component cannot
+// affect the implication: a counterexample over the component extends to
+// the full scheme with empty relations elsewhere, and any model of Σ
+// restricts to a model of the component. Restricting keeps queries about
+// one part of a large scheme in the strongest exact engine.
+func (s *System) relevant(goal deps.Dependency) []deps.Dependency {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			if !ok {
+				parent[x] = x
+			}
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, d := range s.sigma.All() {
+		if ind, ok := d.(deps.IND); ok {
+			union(ind.LRel, ind.RRel)
+		}
+	}
+	goalRels := map[string]bool{}
+	switch g := goal.(type) {
+	case deps.FD:
+		goalRels[find(g.Rel)] = true
+	case deps.RD:
+		goalRels[find(g.Rel)] = true
+	case deps.IND:
+		goalRels[find(g.LRel)] = true
+		goalRels[find(g.RRel)] = true
+	default:
+		return s.sigma.All()
+	}
+	var out []deps.Dependency
+	for _, d := range s.sigma.All() {
+		var in bool
+		switch dd := d.(type) {
+		case deps.FD:
+			in = goalRels[find(dd.Rel)]
+		case deps.RD:
+			in = goalRels[find(dd.Rel)]
+		case deps.IND:
+			in = goalRels[find(dd.LRel)] || goalRels[find(dd.RRel)]
+		}
+		if in {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// classify inspects the relevant part of Σ plus the goal and picks an
+// engine.
+func (s *System) classify(sigma []deps.Dependency, goal deps.Dependency) string {
+	allINDs, allFDs, allUnary := true, true, true
+	consider := append([]deps.Dependency{}, sigma...)
+	consider = append(consider, goal)
+	for _, d := range consider {
+		switch dd := d.(type) {
+		case deps.IND:
+			allFDs = false
+			if dd.Width() != 1 {
+				allUnary = false
+			}
+		case deps.FD:
+			// FDs of any shape stay in the unary (KCV) fragment.
+			allINDs = false
+			_ = dd
+		default:
+			allINDs, allFDs, allUnary = false, false, false
+		}
+	}
+	switch {
+	case allINDs:
+		return "ind"
+	case allFDs:
+		return "fd"
+	case allUnary:
+		return "unary"
+	default:
+		return "chase"
+	}
+}
+
+// Implies answers whether Σ implies the goal over all (possibly infinite)
+// databases.
+func (s *System) Implies(goal deps.Dependency, opt Options) (Answer, error) {
+	return s.query(goal, opt, false)
+}
+
+// ImpliesFinite answers whether Σ implies the goal over finite databases.
+// For pure INDs and pure FDs this coincides with Implies (Theorem 3.1 and
+// the classical FD theory); for unary FDs+INDs the KCV cycle rule is
+// applied; for the general fragment the chase gives Yes answers (sound
+// for finite implication too) and finite counterexamples give No answers,
+// with Unknown otherwise.
+func (s *System) ImpliesFinite(goal deps.Dependency, opt Options) (Answer, error) {
+	return s.query(goal, opt, true)
+}
+
+func (s *System) query(goal deps.Dependency, opt Options, finite bool) (Answer, error) {
+	if err := goal.Validate(s.db); err != nil {
+		return Answer{}, err
+	}
+	relevant := s.relevant(goal)
+	engine := s.classify(relevant, goal)
+	switch engine {
+	case "ind":
+		return s.queryIND(relevant, goal.(deps.IND))
+	case "fd":
+		return s.queryFD(relevant, goal.(deps.FD))
+	case "unary":
+		return s.queryUnary(relevant, goal, finite)
+	default:
+		return s.queryChase(relevant, goal, opt, finite)
+	}
+}
+
+func (s *System) queryIND(relevant []deps.Dependency, goal deps.IND) (Answer, error) {
+	sigma := deps.NewSet(relevant...).INDs()
+	res, err := ind.Decide(s.db, sigma, goal)
+	if err != nil {
+		return Answer{}, err
+	}
+	if res.Implied {
+		p, err := ind.FromChain(res.Chain, res.Via)
+		if err != nil {
+			return Answer{}, err
+		}
+		return Answer{Verdict: Yes, Engine: "ind", Proof: p.String()}, nil
+	}
+	ce, _, err := ind.Counterexample(s.db, sigma, goal)
+	if err != nil {
+		return Answer{}, err
+	}
+	return Answer{Verdict: No, Engine: "ind", Counterexample: ce}, nil
+}
+
+func (s *System) queryFD(relevant []deps.Dependency, goal deps.FD) (Answer, error) {
+	sigma := deps.NewSet(relevant...).FDs()
+	if p, ok := fd.Prove(sigma, goal); ok {
+		return Answer{Verdict: Yes, Engine: "fd", Proof: p.String()}, nil
+	}
+	return Answer{Verdict: No, Engine: "fd"}, nil
+}
+
+func (s *System) queryUnary(relevant []deps.Dependency, goal deps.Dependency, finite bool) (Answer, error) {
+	sys, err := unary.New(s.db, relevant)
+	if err != nil {
+		return Answer{}, err
+	}
+	var ok bool
+	if finite {
+		ok, err = sys.ImpliesFinite(goal)
+	} else {
+		ok, err = sys.ImpliesUnrestricted(goal)
+	}
+	if err != nil {
+		return Answer{}, err
+	}
+	if ok {
+		return Answer{Verdict: Yes, Engine: "unary"}, nil
+	}
+	return Answer{Verdict: No, Engine: "unary"}, nil
+}
+
+func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, opt Options, finite bool) (Answer, error) {
+	relSet := deps.NewSet(relevant...)
+	// Fast path: a goal already provable from the same-class fragment of
+	// Σ is implied a fortiori, and those engines produce formal proofs.
+	switch g := goal.(type) {
+	case deps.IND:
+		res, err := ind.Decide(s.db, relSet.INDs(), g)
+		if err != nil {
+			return Answer{}, err
+		}
+		if res.Implied {
+			p, err := ind.FromChain(res.Chain, res.Via)
+			if err != nil {
+				return Answer{}, err
+			}
+			return Answer{Verdict: Yes, Engine: "ind", Proof: p.String()}, nil
+		}
+	case deps.FD:
+		if p, ok := fd.Prove(relSet.FDs(), g); ok {
+			return Answer{Verdict: Yes, Engine: "fd", Proof: p.String()}, nil
+		}
+	}
+	res, err := chase.Implies(s.db, relevant, goal, chase.Options{MaxTuples: opt.ChaseMaxTuples})
+	if err != nil {
+		return Answer{}, err
+	}
+	switch res.Verdict {
+	case chase.Implied:
+		// Chase derivations are sound for unrestricted implication, hence
+		// for finite implication as well.
+		return Answer{Verdict: Yes, Engine: "chase"}, nil
+	case chase.NotImplied:
+		// The counterexample is finite, so it refutes both semantics.
+		return Answer{Verdict: No, Engine: "chase", Counterexample: res.Counterexample}, nil
+	default:
+		_ = finite
+		if opt.SearchFallback {
+			ce, found, err := search.Counterexample(s.db, relevant, goal, search.Options{
+				Domain: 3, MaxTuples: 3, RandomTrials: 300,
+			})
+			if err != nil {
+				return Answer{}, err
+			}
+			if found {
+				return Answer{Verdict: No, Engine: "chase+search", Counterexample: ce}, nil
+			}
+		}
+		return Answer{Verdict: Unknown, Engine: "chase"}, nil
+	}
+}
+
+// Satisfies reports whether a concrete database obeys every dependency of
+// Σ, returning the first violated one otherwise.
+func (s *System) Satisfies(db *data.Database) (bool, deps.Dependency, error) {
+	return db.SatisfiesAll(s.sigma.All())
+}
+
+// Explain answers an implication query with a human-readable account of
+// why: a formal derivation for the ind/fd engines, the cardinality-cycle
+// explanation for the unary engine (the Theorem 4.4 counting argument),
+// or the counterexample for negative answers. The string is empty when
+// the engine has nothing beyond the verdict (chase Yes/Unknown).
+func (s *System) Explain(goal deps.Dependency, opt Options, finite bool) (Answer, string, error) {
+	var a Answer
+	var err error
+	if finite {
+		a, err = s.ImpliesFinite(goal, opt)
+	} else {
+		a, err = s.Implies(goal, opt)
+	}
+	if err != nil {
+		return a, "", err
+	}
+	switch {
+	case a.Proof != "":
+		return a, a.Proof, nil
+	case a.Engine == "unary":
+		sys, err := unary.New(s.db, s.relevant(goal))
+		if err != nil {
+			return a, "", err
+		}
+		ex, err := sys.Explain(goal)
+		if err != nil {
+			return a, "", err
+		}
+		return a, ex.String(), nil
+	case a.Counterexample != nil:
+		return a, "counterexample:\n" + a.Counterexample.String(), nil
+	default:
+		return a, "", nil
+	}
+}
+
+// ImpliesAll answers many goals concurrently (the System is read-only
+// during queries, so goals can be decided in parallel). Results are
+// returned in the goals' order; the first error aborts the batch.
+func (s *System) ImpliesAll(goals []deps.Dependency, opt Options, finite bool) ([]Answer, error) {
+	answers := make([]Answer, len(goals))
+	errs := make([]error, len(goals))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(goals) {
+		workers = len(goals)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				answers[i], errs[i] = s.query(goals[i], opt, finite)
+			}
+		}()
+	}
+	for i := range goals {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return answers, nil
+}

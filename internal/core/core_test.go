@@ -1,0 +1,337 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func managerDB() *schema.Database {
+	return schema.MustDatabase(
+		schema.MustScheme("MGR", "NAME", "DEPT"),
+		schema.MustScheme("EMP", "NAME", "DEPT", "SAL"),
+	)
+}
+
+func TestINDDispatchWithProof(t *testing.T) {
+	s := NewSystem(managerDB())
+	if err := s.Add(deps.NewIND("MGR", deps.Attrs("NAME", "DEPT"), "EMP", deps.Attrs("NAME", "DEPT"))); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	a, err := s.Implies(deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME")), Options{})
+	if err != nil {
+		t.Fatalf("Implies: %v", err)
+	}
+	if a.Verdict != Yes || a.Engine != "ind" {
+		t.Errorf("answer = %+v", a)
+	}
+	if !strings.Contains(a.Proof, "IND2") {
+		t.Errorf("proof should use IND2:\n%s", a.Proof)
+	}
+	// Finite and unrestricted agree for pure INDs.
+	af, err := s.ImpliesFinite(deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME")), Options{})
+	if err != nil || af.Verdict != Yes {
+		t.Errorf("finite answer = %+v (%v)", af, err)
+	}
+	// A non-consequence gets a counterexample.
+	a, err = s.Implies(deps.NewIND("EMP", deps.Attrs("NAME"), "MGR", deps.Attrs("NAME")), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != No || a.Counterexample == nil {
+		t.Errorf("answer = %+v", a)
+	}
+}
+
+func TestFDDispatchWithProof(t *testing.T) {
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C"))
+	s := NewSystem(db)
+	if err := s.Add(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Implies(deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C")), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != Yes || a.Engine != "fd" || a.Proof == "" {
+		t.Errorf("answer = %+v", a)
+	}
+	a, _ = s.Implies(deps.NewFD("R", deps.Attrs("C"), deps.Attrs("A")), Options{})
+	if a.Verdict != No {
+		t.Errorf("answer = %+v", a)
+	}
+}
+
+func TestUnaryDispatchShowsTheorem44Gap(t *testing.T) {
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	s := NewSystem(db)
+	if err := s.Add(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	goal := deps.NewIND("R", deps.Attrs("B"), "R", deps.Attrs("A"))
+	fin, err := s.ImpliesFinite(goal, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unr, err := s.Implies(goal, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Engine != "unary" || unr.Engine != "unary" {
+		t.Errorf("engines = %s, %s", fin.Engine, unr.Engine)
+	}
+	if fin.Verdict != Yes || unr.Verdict != No {
+		t.Errorf("Theorem 4.4 gap not reproduced: finite=%v unrestricted=%v", fin.Verdict, unr.Verdict)
+	}
+}
+
+func TestChaseDispatch(t *testing.T) {
+	// Proposition 4.1 goes through the general chase engine (binary IND).
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	s := NewSystem(db)
+	if err := s.Add(
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Implies(deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != Yes || a.Engine != "chase" {
+		t.Errorf("answer = %+v", a)
+	}
+	// An RD goal also routes to the chase.
+	a, err = s.Implies(deps.NewRD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Engine != "chase" || a.Verdict != No || a.Counterexample == nil {
+		t.Errorf("RD answer = %+v", a)
+	}
+}
+
+func TestChaseUnknown(t *testing.T) {
+	// A binary cyclic IND makes the chase diverge; with no exact engine
+	// applicable, the verdict is honestly Unknown.
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C"))
+	s := NewSystem(db)
+	if err := s.Add(
+		deps.NewIND("R", deps.Attrs("A", "B"), "R", deps.Attrs("B", "C")),
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Implies(deps.NewIND("R", deps.Attrs("C"), "R", deps.Attrs("A")), Options{ChaseMaxTuples: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Engine != "chase" || a.Verdict != Unknown {
+		t.Errorf("answer = %+v, want chase/unknown", a)
+	}
+}
+
+func TestUnaryEngineHandlesGeneralFDs(t *testing.T) {
+	// With FDs of any shape and unary INDs, the KCV engine answers
+	// exactly — the chase is not needed even when it would diverge.
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C"))
+	s := NewSystem(db)
+	if err := s.Add(
+		deps.NewFD("R", deps.Attrs("A", "C"), deps.Attrs("B")),
+		deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	goal := deps.NewIND("R", deps.Attrs("B"), "R", deps.Attrs("A"))
+	unr, err := s.Implies(goal, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unr.Engine != "unary" || unr.Verdict != No {
+		t.Errorf("unrestricted answer = %+v, want unary/no", unr)
+	}
+	fin, err := s.ImpliesFinite(goal, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Verdict != Yes {
+		t.Errorf("finite answer = %+v, want yes (Theorem 4.4 cycle)", fin)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s := NewSystem(managerDB())
+	if err := s.Add(deps.NewFD("NOPE", deps.Attrs("A"), deps.Attrs("B"))); err == nil {
+		t.Errorf("invalid dependency accepted")
+	}
+	if err := s.Add(deps.NewEMVD("EMP", deps.Attrs("NAME"), deps.Attrs("DEPT"), deps.Attrs("SAL"))); err == nil {
+		t.Errorf("EMVD accepted")
+	}
+	if err := s.Add(deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME"))); err != nil {
+		t.Errorf("valid dependency rejected: %v", err)
+	}
+	if len(s.Sigma()) != 1 {
+		t.Errorf("sigma = %v", s.Sigma())
+	}
+	if s.DB() == nil {
+		t.Errorf("DB() nil")
+	}
+	// Invalid goals are rejected too.
+	if _, err := s.Implies(deps.NewFD("NOPE", deps.Attrs("A"), deps.Attrs("B")), Options{}); err == nil {
+		t.Errorf("invalid goal accepted")
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	s := NewSystem(managerDB())
+	ind := deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME"))
+	if err := s.Add(ind); err != nil {
+		t.Fatal(err)
+	}
+	db := data.NewDatabase(s.DB())
+	db.MustInsert("MGR", data.Tuple{"hilbert", "math"})
+	ok, violated, err := s.Satisfies(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || violated == nil {
+		t.Errorf("empty EMP should violate the IND")
+	}
+	db.MustInsert("EMP", data.Tuple{"hilbert", "math", "1"})
+	ok, _, err = s.Satisfies(db)
+	if err != nil || !ok {
+		t.Errorf("Satisfies = %v, %v", ok, err)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Yes.String() != "yes" || No.String() != "no" || Unknown.String() != "unknown" {
+		t.Errorf("verdict strings wrong")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	// The unary Theorem 4.4 instance explains with a cardinality cycle.
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	s := NewSystem(db)
+	if err := s.Add(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	goal := deps.NewIND("R", deps.Attrs("B"), "R", deps.Attrs("A"))
+	a, why, err := s.Explain(goal, Options{}, true)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if a.Verdict != Yes || !strings.Contains(why, "cardinality cycle") {
+		t.Errorf("unary explanation wrong (%v):\n%s", a.Verdict, why)
+	}
+	// A pure-IND query explains with the formal proof.
+	s2 := NewSystem(managerDB())
+	if err := s2.Add(deps.NewIND("MGR", deps.Attrs("NAME", "DEPT"), "EMP", deps.Attrs("NAME", "DEPT"))); err != nil {
+		t.Fatal(err)
+	}
+	_, why, err = s2.Explain(deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME")), Options{}, false)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !strings.Contains(why, "IND2") {
+		t.Errorf("IND explanation missing proof:\n%s", why)
+	}
+	// A negative answer explains with the counterexample.
+	_, why, err = s2.Explain(deps.NewIND("EMP", deps.Attrs("NAME"), "MGR", deps.Attrs("NAME")), Options{}, false)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !strings.Contains(why, "counterexample") {
+		t.Errorf("negative explanation missing counterexample:\n%s", why)
+	}
+	// Errors propagate.
+	if _, _, err := s.Explain(deps.NewFD("NOPE", deps.Attrs("A"), deps.Attrs("B")), Options{}, false); err == nil {
+		t.Errorf("invalid goal should error")
+	}
+}
+
+func TestSearchFallback(t *testing.T) {
+	// An instance where the chase diverges (a cyclic binary IND keeps
+	// generating fresh nulls) but a small cyclic finite counterexample
+	// exists: with the fallback on, the verdict improves from Unknown to
+	// No.
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C"))
+	s := NewSystem(db)
+	if err := s.Add(
+		deps.NewIND("R", deps.Attrs("A", "B"), "R", deps.Attrs("B", "C")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	goal := deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))
+	a, err := s.Implies(goal, Options{ChaseMaxTuples: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != Unknown {
+		t.Fatalf("without fallback: verdict %v, want unknown", a.Verdict)
+	}
+	a, err = s.Implies(goal, Options{ChaseMaxTuples: 48, SearchFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != No || a.Counterexample == nil {
+		t.Fatalf("with fallback: verdict %v, want no + counterexample", a.Verdict)
+	}
+	// The counterexample is genuine.
+	ok, bad, err := a.Counterexample.SatisfiesAll(s.Sigma())
+	if err != nil || !ok {
+		t.Errorf("counterexample violates %v (%v)", bad, err)
+	}
+	if sat, _ := a.Counterexample.Satisfies(goal); sat {
+		t.Errorf("counterexample satisfies the goal")
+	}
+}
+
+func TestImpliesAll(t *testing.T) {
+	s := NewSystem(managerDB())
+	if err := s.Add(deps.NewIND("MGR", deps.Attrs("NAME", "DEPT"), "EMP", deps.Attrs("NAME", "DEPT"))); err != nil {
+		t.Fatal(err)
+	}
+	goals := []deps.Dependency{
+		deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME")),
+		deps.NewIND("MGR", deps.Attrs("DEPT"), "EMP", deps.Attrs("DEPT")),
+		deps.NewIND("EMP", deps.Attrs("NAME"), "MGR", deps.Attrs("NAME")),
+		deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("DEPT")),
+	}
+	answers, err := s.ImpliesAll(goals, Options{}, false)
+	if err != nil {
+		t.Fatalf("ImpliesAll: %v", err)
+	}
+	want := []Verdict{Yes, Yes, No, No}
+	for i, a := range answers {
+		if a.Verdict != want[i] {
+			t.Errorf("goal %d: verdict %v, want %v", i, a.Verdict, want[i])
+		}
+	}
+	// Errors abort the batch.
+	if _, err := s.ImpliesAll([]deps.Dependency{deps.NewFD("NOPE", deps.Attrs("A"), deps.Attrs("B"))}, Options{}, false); err == nil {
+		t.Errorf("invalid goal should error")
+	}
+	// Empty batch.
+	if out, err := s.ImpliesAll(nil, Options{}, true); err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v %v", out, err)
+	}
+}

@@ -1,0 +1,27 @@
+package core_test
+
+import (
+	"fmt"
+
+	"indfd/internal/core"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// The Theorem 4.4 gap through the facade: the same goal is finitely
+// implied but not unrestrictedly implied.
+func ExampleSystem_ImpliesFinite() {
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	sys := core.NewSystem(db)
+	if err := sys.Add(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B")),
+	); err != nil {
+		panic(err)
+	}
+	goal := deps.NewIND("R", deps.Attrs("B"), "R", deps.Attrs("A"))
+	fin, _ := sys.ImpliesFinite(goal, core.Options{})
+	unr, _ := sys.Implies(goal, core.Options{})
+	fmt.Printf("finite: %v, unrestricted: %v\n", fin.Verdict, unr.Verdict)
+	// Output: finite: yes, unrestricted: no
+}

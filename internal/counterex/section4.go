@@ -1,0 +1,246 @@
+// Package counterex implements every counterexample construction in the
+// paper: the infinite relations of Figs 4.1 and 4.2 (Theorem 4.4), the
+// Section 6 family Σ_k/σ_k with its Armstrong databases (Fig 6.1), and the
+// Section 7 scheme with Σ, Γ, φ, λ and the databases of Figs 7.1–7.5,
+// together with mechanized verification of the lemmas that use them.
+package counterex
+
+import (
+	"fmt"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// LazyRelation is an infinite relation presented by a tuple generator:
+// the relation is {Tuple(0), Tuple(1), ...}. It models the genuinely
+// infinite counterexamples of Theorem 4.4, which cannot be materialized;
+// Window materializes finite prefixes for empirical checks, and the
+// specific constructions below carry symbolic arguments for their claimed
+// properties.
+type LazyRelation struct {
+	Scheme *schema.Scheme
+	Tuple  func(i int) data.Tuple
+}
+
+// Window materializes the first n tuples as a concrete database over a
+// scheme containing just this relation.
+func (l *LazyRelation) Window(n int) *data.Database {
+	ds := schema.MustDatabase(l.Scheme)
+	db := data.NewDatabase(ds)
+	for i := 0; i < n; i++ {
+		db.MustInsert(l.Scheme.Name(), l.Tuple(i))
+	}
+	return db
+}
+
+// Theorem44Instance packages one half of Theorem 4.4: the dependency set
+// Σ = {R: A -> B, R[A] ⊆ R[B]}, a goal σ that Σ implies finitely but not
+// unrestrictedly, and the infinite witness relation that obeys Σ while
+// violating σ.
+type Theorem44Instance struct {
+	DB      *schema.Database
+	Sigma   []deps.Dependency
+	Goal    deps.Dependency
+	Witness *LazyRelation
+}
+
+func theorem44Scheme() (*schema.Database, *schema.Scheme) {
+	s := schema.MustScheme("R", "A", "B")
+	return schema.MustDatabase(s), s
+}
+
+// Fig41 returns the Theorem 4.4(a) instance. The witness is the relation
+// of Fig 4.1, {(i+1, i) : i ≥ 0}: it obeys R: A -> B (the A entries are
+// pairwise distinct), obeys R[A] ⊆ R[B] (the A entry i+1 of tuple i is the
+// B entry of tuple i+1), and violates σ = R[B] ⊆ R[A] (the B entry 0 of
+// tuple 0 is no A entry, since all A entries are ≥ 1).
+func Fig41() Theorem44Instance {
+	ds, s := theorem44Scheme()
+	return Theorem44Instance{
+		DB: ds,
+		Sigma: []deps.Dependency{
+			deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+			deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B")),
+		},
+		Goal: deps.NewIND("R", deps.Attrs("B"), "R", deps.Attrs("A")),
+		Witness: &LazyRelation{
+			Scheme: s,
+			Tuple:  func(i int) data.Tuple { return data.Tuple{data.Int(i + 1), data.Int(i)} },
+		},
+	}
+}
+
+// Fig42 returns the Theorem 4.4(b) instance. The witness is the relation
+// of Fig 4.2, {(1,1)} ∪ {(i+1, i) : i ≥ 1}: it obeys Σ and violates
+// σ = R: B -> A (the B entry 1 occurs with A entries 1 and 2).
+func Fig42() Theorem44Instance {
+	ds, s := theorem44Scheme()
+	return Theorem44Instance{
+		DB: ds,
+		Sigma: []deps.Dependency{
+			deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+			deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B")),
+		},
+		Goal: deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A")),
+		Witness: &LazyRelation{
+			Scheme: s,
+			Tuple: func(i int) data.Tuple {
+				if i == 0 {
+					return data.Tuple{data.Int(1), data.Int(1)}
+				}
+				return data.Tuple{data.Int(i + 1), data.Int(i)}
+			},
+		},
+	}
+}
+
+// CheckWitness verifies, over the first n tuples, the three defining
+// properties of the instance's infinite witness:
+//
+//   - the FD R: A -> B holds on every finite window (and, the A entries
+//     being pairwise distinct across the whole relation, on the infinite
+//     relation);
+//   - the IND R[A] ⊆ R[B] holds in the windowed sense appropriate for an
+//     infinite relation: every A entry among the first n tuples appears as
+//     a B entry among the first n+1 tuples;
+//   - the goal is violated already by the window (a violation in a prefix
+//     is a violation in the whole relation, both for INDs — a missing
+//     element stays missing, which CheckWitness confirms by scanning the
+//     larger window — and for FDs).
+func (t Theorem44Instance) CheckWitness(n int) error {
+	small := t.Witness.Window(n)
+	big := t.Witness.Window(2*n + 2)
+
+	// FD on the window.
+	for _, d := range t.Sigma {
+		if f, ok := d.(deps.FD); ok {
+			sat, err := small.Satisfies(f)
+			if err != nil {
+				return err
+			}
+			if !sat {
+				return fmt.Errorf("counterex: window violates %v", f)
+			}
+		}
+	}
+	// IND into the larger window.
+	rel := t.Witness.Scheme.Name()
+	smallRel, _ := small.Relation(rel)
+	bigRel, _ := big.Relation(rel)
+	for _, d := range t.Sigma {
+		ind, ok := d.(deps.IND)
+		if !ok {
+			continue
+		}
+		left, err := smallRel.Project(ind.X)
+		if err != nil {
+			return err
+		}
+		right, err := bigRel.Project(ind.Y)
+		if err != nil {
+			return err
+		}
+		rightSet := map[string]bool{}
+		for _, r := range right {
+			rightSet[r.String()] = true
+		}
+		for _, l := range left {
+			if !rightSet[l.String()] {
+				return fmt.Errorf("counterex: windowed IND %v fails at %v", ind, l)
+			}
+		}
+	}
+	// The goal is violated.
+	switch g := t.Goal.(type) {
+	case deps.FD:
+		sat, err := small.Satisfies(g)
+		if err != nil {
+			return err
+		}
+		if sat {
+			return fmt.Errorf("counterex: window does not yet violate the goal FD %v", g)
+		}
+	case deps.IND:
+		// Some left projection value of the small window must be missing
+		// from the big window's right projection (missing values never
+		// appear later in these constructions: the goal violation is the
+		// value 0, and every later A entry is larger).
+		left, err := smallRel.Project(g.X)
+		if err != nil {
+			return err
+		}
+		right, err := bigRel.Project(g.Y)
+		if err != nil {
+			return err
+		}
+		rightSet := map[string]bool{}
+		for _, r := range right {
+			rightSet[r.String()] = true
+		}
+		missing := false
+		for _, l := range left {
+			if !rightSet[l.String()] {
+				missing = true
+				break
+			}
+		}
+		if !missing {
+			return fmt.Errorf("counterex: window does not violate the goal IND %v", g)
+		}
+	}
+	return nil
+}
+
+// NoFiniteCounterexample exhaustively searches all relations over R(A,B)
+// with tuples drawn from {0, ..., domain-1}² and at most maxTuples tuples,
+// confirming that none satisfies the instance's Σ while violating the
+// goal — the finite-implication half of Theorem 4.4. It returns the number
+// of databases examined.
+func (t Theorem44Instance) NoFiniteCounterexample(domain, maxTuples int) (int, error) {
+	var tuples []data.Tuple
+	for a := 0; a < domain; a++ {
+		for b := 0; b < domain; b++ {
+			tuples = append(tuples, data.Tuple{data.Int(a), data.Int(b)})
+		}
+	}
+	n := len(tuples)
+	if n > 16 {
+		return 0, fmt.Errorf("counterex: domain too large for exhaustive search")
+	}
+	examined := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		cnt := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cnt++
+			}
+		}
+		if cnt > maxTuples {
+			continue
+		}
+		db := data.NewDatabase(t.DB)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				db.MustInsert("R", tuples[i])
+			}
+		}
+		examined++
+		ok, _, err := db.SatisfiesAll(t.Sigma)
+		if err != nil {
+			return examined, err
+		}
+		if !ok {
+			continue
+		}
+		sat, err := db.Satisfies(t.Goal)
+		if err != nil {
+			return examined, err
+		}
+		if !sat {
+			return examined, fmt.Errorf("counterex: finite counterexample found:\n%v", db)
+		}
+	}
+	return examined, nil
+}

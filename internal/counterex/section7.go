@@ -1,0 +1,464 @@
+package counterex
+
+import (
+	"fmt"
+
+	"indfd/internal/chase"
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/enum"
+	"indfd/internal/fd"
+	"indfd/internal/ind"
+	"indfd/internal/schema"
+)
+
+// Section7 is the Theorem 7.1 construction for parameters k < n: the
+// database scheme
+//
+//	F[ABC], G_0[ABC], G_i[BC] (1 ≤ i ≤ n), H_i[BC] (0 ≤ i < n), H_n[BCD],
+//
+// the dependency set Σ (α, β, γ', γ”, δ_0, ε_i, θ_n of the paper), the
+// goal σ = F: A -> C, and the sets φ (FD generators) and λ (the INDs of
+// Σ). Γ = φ⁺ ∪ λ⁺ ∪ ω − {σ} is closed under k-ary implication but not
+// under implication, for every k < n — so no k-ary complete
+// axiomatization exists for (unrestricted or finite) implication of FDs
+// and INDs, even with all FDs unary and all INDs binary.
+type Section7 struct {
+	N     int
+	DB    *schema.Database
+	Sigma []deps.Dependency
+	// Goal is σ = F: A -> C.
+	Goal deps.FD
+	// Phi is the FD generator set φ of the paper.
+	Phi []deps.FD
+	// Lambda is λ, the INDs of Σ.
+	Lambda []deps.IND
+	// Betas[i] is β_i = F[B] ⊆ H_i[B] for 0 ≤ i < n; any T ⊆ Γ with
+	// |T| ≤ k < n misses one of them.
+	Betas []deps.IND
+}
+
+// G returns the name of G_i; H the name of H_i.
+func (s *Section7) G(i int) string { return fmt.Sprintf("G%d", i) }
+
+// H returns the name of H_i.
+func (s *Section7) H(i int) string { return fmt.Sprintf("H%d", i) }
+
+// NewSection7 builds the construction for n ≥ 1.
+func NewSection7(n int) (*Section7, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("counterex: Section 7 needs n ≥ 1, got %d", n)
+	}
+	s := &Section7{N: n}
+	schemes := []*schema.Scheme{
+		schema.MustScheme("F", "A", "B", "C"),
+		schema.MustScheme(s.G(0), "A", "B", "C"),
+	}
+	for i := 1; i <= n; i++ {
+		schemes = append(schemes, schema.MustScheme(s.G(i), "B", "C"))
+	}
+	for i := 0; i < n; i++ {
+		schemes = append(schemes, schema.MustScheme(s.H(i), "B", "C"))
+	}
+	schemes = append(schemes, schema.MustScheme(s.H(n), "B", "C", "D"))
+	s.DB = schema.MustDatabase(schemes...)
+
+	b := deps.Attrs("B")
+	bc := deps.Attrs("B", "C")
+	// α_0 = F[AB] ⊆ G_0[AB]; α_i = F[B] ⊆ G_i[B] (1 ≤ i ≤ n).
+	alpha0 := deps.NewIND("F", deps.Attrs("A", "B"), s.G(0), deps.Attrs("A", "B"))
+	s.Lambda = append(s.Lambda, alpha0)
+	for i := 1; i <= n; i++ {
+		s.Lambda = append(s.Lambda, deps.NewIND("F", b, s.G(i), b))
+	}
+	// β_i = F[B] ⊆ H_i[B] (0 ≤ i < n); β_n = F[BC] ⊆ H_n[BD].
+	for i := 0; i < n; i++ {
+		beta := deps.NewIND("F", b, s.H(i), b)
+		s.Lambda = append(s.Lambda, beta)
+		s.Betas = append(s.Betas, beta)
+	}
+	s.Lambda = append(s.Lambda, deps.NewIND("F", deps.Attrs("B", "C"), s.H(n), deps.Attrs("B", "D")))
+	// γ'_i = H_i[BC] ⊆ G_i[BC] (0 ≤ i ≤ n); γ''_i = H_{i-1}[BC] ⊆ G_i[BC]
+	// (1 ≤ i ≤ n).
+	for i := 0; i <= n; i++ {
+		s.Lambda = append(s.Lambda, deps.NewIND(s.H(i), bc, s.G(i), bc))
+	}
+	for i := 1; i <= n; i++ {
+		s.Lambda = append(s.Lambda, deps.NewIND(s.H(i-1), bc, s.G(i), bc))
+	}
+	// FDs of Σ: δ_0 = G_0: A -> C; ε_i = G_i: B -> C (0 ≤ i ≤ n);
+	// θ_n = H_n: C -> D.
+	var fds []deps.FD
+	fds = append(fds, deps.NewFD(s.G(0), deps.Attrs("A"), deps.Attrs("C")))
+	for i := 0; i <= n; i++ {
+		fds = append(fds, deps.NewFD(s.G(i), deps.Attrs("B"), deps.Attrs("C")))
+	}
+	fds = append(fds, deps.NewFD(s.H(n), deps.Attrs("C"), deps.Attrs("D")))
+
+	for _, d := range s.Lambda {
+		s.Sigma = append(s.Sigma, d)
+	}
+	for _, f := range fds {
+		s.Sigma = append(s.Sigma, f)
+	}
+
+	// φ = φ(F) ∪ φ(G_0) ∪ ... ∪ φ(H_n).
+	s.Phi = append(s.Phi,
+		deps.NewFD("F", deps.Attrs("A"), deps.Attrs("C")),
+		deps.NewFD("F", deps.Attrs("B"), deps.Attrs("C")),
+		deps.NewFD(s.G(0), deps.Attrs("A"), deps.Attrs("C")),
+		deps.NewFD(s.G(0), deps.Attrs("B"), deps.Attrs("C")),
+	)
+	for i := 1; i <= n; i++ {
+		s.Phi = append(s.Phi, deps.NewFD(s.G(i), deps.Attrs("B"), deps.Attrs("C")))
+	}
+	for i := 0; i < n; i++ {
+		s.Phi = append(s.Phi, deps.NewFD(s.H(i), deps.Attrs("B"), deps.Attrs("C")))
+	}
+	s.Phi = append(s.Phi,
+		deps.NewFD(s.H(n), deps.Attrs("B"), deps.Attrs("C")),
+		deps.NewFD(s.H(n), deps.Attrs("C"), deps.Attrs("D")),
+	)
+
+	s.Goal = deps.NewFD("F", deps.Attrs("A"), deps.Attrs("C"))
+	return s, nil
+}
+
+// Universe returns the sentence universe of Theorem 7.1: unary FDs, INDs
+// of width at most 2, and unary RDs over the scheme.
+func (s *Section7) Universe() []deps.Dependency {
+	var out []deps.Dependency
+	for _, f := range enum.FDs(s.DB, enum.Options{MaxWidth: 1}) {
+		out = append(out, f)
+	}
+	for _, d := range enum.INDs(s.DB, enum.Options{MaxWidth: 2}) {
+		out = append(out, d)
+	}
+	for _, r := range enum.RDs(s.DB) {
+		out = append(out, r)
+	}
+	return out
+}
+
+// InPhiPlus reports whether the FD is a logical consequence of φ.
+func (s *Section7) InPhiPlus(f deps.FD) bool { return fd.Implies(s.Phi, f) }
+
+// InLambdaPlus reports whether the IND is a logical consequence of λ.
+func (s *Section7) InLambdaPlus(d deps.IND) (bool, error) {
+	return ind.Implies(s.DB, s.Lambda, d)
+}
+
+// GammaContains reports membership in Γ = φ⁺ ∪ λ⁺ ∪ ω − {σ}.
+func (s *Section7) GammaContains(d deps.Dependency) (bool, error) {
+	if d.Key() == deps.Dependency(s.Goal).Key() {
+		return false, nil
+	}
+	switch dd := d.(type) {
+	case deps.FD:
+		return s.InPhiPlus(dd), nil
+	case deps.IND:
+		return s.InLambdaPlus(dd)
+	case deps.RD:
+		return dd.Trivial(), nil
+	default:
+		return false, nil
+	}
+}
+
+// seed builds a seed database with the given F tuples.
+func (s *Section7) seed(fTuples ...data.Tuple) *data.Database {
+	db := data.NewDatabase(s.DB)
+	db.MustInsert("F", fTuples...)
+	return db
+}
+
+// sigmaWithout returns Σ with the IND omit removed.
+func (s *Section7) sigmaWithout(omit deps.IND) []deps.Dependency {
+	var out []deps.Dependency
+	for _, d := range s.Sigma {
+		if d.Key() == deps.Dependency(omit).Key() {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Fig71 builds the database of Fig 7.1: the chase completion of the
+// single tuple (a, b, c) in F under Σ. It satisfies Σ and no nontrivial
+// RD (Lemma 7.4).
+func (s *Section7) Fig71() (*data.Database, error) {
+	return chase.Complete(s.seed(data.Tuple{"a", "b", "c"}), s.Sigma, chase.Options{})
+}
+
+// Fig72 builds the database of Fig 7.2: a completion of a five-tuple seed
+// in F engineered so that an FD holds in the result iff it is in φ⁺
+// (Lemma 7.5). The seed kills every non-φ⁺ FD over F; the chase
+// propagation kills the rest (see the package tests, which verify the
+// claim by enumeration).
+func (s *Section7) Fig72() (*data.Database, error) {
+	seed := s.seed(
+		data.Tuple{"a1", "b1", "c1"},
+		data.Tuple{"a1", "b2", "c1"},
+		data.Tuple{"a2", "b1", "c1"},
+		data.Tuple{"a3", "b3", "c2"},
+		data.Tuple{"a4", "b4", "c1"},
+	)
+	return chase.Complete(seed, s.Sigma, chase.Options{})
+}
+
+// Fig73 builds the database of Fig 7.3: a hand-tuned database in which an
+// IND holds iff it is in λ⁺ (Lemma 7.6). The cardinalities and value
+// namespaces are chosen so that, as the paper puts it, "b_i, c_i occurs
+// only in h_i, g_i and g_{i+1}".
+func (s *Section7) Fig73() *data.Database {
+	n := s.N
+	db := data.NewDatabase(s.DB)
+	val := func(prefix string, i int) data.Value { return data.Value(fmt.Sprintf("%s%d", prefix, i)) }
+	// f: one tuple.
+	db.MustInsert("F", data.Tuple{"a0", "b0", "c0"})
+	// h_i (i < n): the required b0 row plus a private row.
+	for i := 0; i < n; i++ {
+		db.MustInsert(s.H(i),
+			data.Tuple{"b0", "cc"},
+			data.Tuple{val("bx", i), val("ccx", i)},
+		)
+	}
+	// h_n: B, C, D.
+	db.MustInsert(s.H(n),
+		data.Tuple{"b0", "cc", "c0"},
+		data.Tuple{val("bx", n), val("ex", n), val("cx", n)},
+	)
+	// g_0: the α_0 image, the γ'_0 image of h_0's private row, and a
+	// private row.
+	db.MustInsert(s.G(0),
+		data.Tuple{"a0", "b0", "cc"},
+		data.Tuple{"u2", val("bx", 0), val("ccx", 0)},
+		data.Tuple{"ag0", "bg0", "cg0"},
+	)
+	// g_i (1 ≤ i ≤ n): h_{i-1}[BC] ∪ h_i[BC] plus a private row.
+	for i := 1; i <= n; i++ {
+		g := db.MustRelation(s.G(i))
+		g.MustInsert(data.Tuple{"b0", "cc"})
+		g.MustInsert(data.Tuple{val("bx", i-1), val("ccx", i-1)})
+		if i < n {
+			g.MustInsert(data.Tuple{val("bx", i), val("ccx", i)})
+		} else {
+			g.MustInsert(data.Tuple{val("bx", n), val("ex", n)})
+		}
+		g.MustInsert(data.Tuple{val("bg", i), val("cg", i)})
+	}
+	return db
+}
+
+// Fig74 builds the database of Fig 7.4 for 0 ≤ j < n: the chase
+// completion of (a, b, c) under Σ − {β_j}. It satisfies λ − {β_j} but
+// violates β_j, establishing step (6) of Lemma 7.8.
+func (s *Section7) Fig74(j int) (*data.Database, error) {
+	if j < 0 || j >= s.N {
+		return nil, fmt.Errorf("counterex: Fig 7.4 needs 0 ≤ j < n")
+	}
+	return chase.Complete(s.seed(data.Tuple{"a", "b", "c"}), s.sigmaWithout(s.Betas[j]), chase.Options{})
+}
+
+// Fig75 builds the database of Fig 7.5 for 0 ≤ j < n: the chase
+// completion of a two-tuple seed violating σ = F: A -> C under
+// Σ − {β_j}. It satisfies (φ − {σ}) ∪ (λ − {β_j}) — hence all of
+// ρ = Γ − {β_j} — while violating σ (Lemma 7.9).
+func (s *Section7) Fig75(j int) (*data.Database, error) {
+	if j < 0 || j >= s.N {
+		return nil, fmt.Errorf("counterex: Fig 7.5 needs 0 ≤ j < n")
+	}
+	seed := s.seed(
+		data.Tuple{"a", "b", "c"},
+		data.Tuple{"a", "b'", "c'"},
+	)
+	return chase.Complete(seed, s.sigmaWithout(s.Betas[j]), chase.Options{})
+}
+
+// Lemma72 re-derives Σ ⊨ σ with the chase (the paper's 14-step equality
+// derivation is exactly the chase's run).
+func (s *Section7) Lemma72(opt chase.Options) (chase.Result, error) {
+	return chase.ImpliesFD(s.DB, s.Sigma, s.Goal, opt)
+}
+
+// Section7Report summarizes the mechanized verification of Theorem 7.1.
+type Section7Report struct {
+	// SigmaImpliesGoal confirms Lemma 7.2 via the chase.
+	SigmaImpliesGoal bool
+	// FigsSatisfySigma confirms Figs 7.1–7.3 satisfy Σ.
+	FigsSatisfySigma bool
+	// NonMembersKilled confirms that every universe sentence outside
+	// φ⁺ ∪ λ⁺ ∪ ω is violated by one of Figs 7.1–7.3 (Lemmas 7.4–7.6:
+	// Σ ⊭ τ for every such τ).
+	NonMembersKilled bool
+	// NonMemberCount is how many such sentences were checked.
+	NonMemberCount int
+	// Fig74Separates[j] confirms Fig 7.4(j) satisfies λ − {β_j} and
+	// violates β_j.
+	Fig74Separates []bool
+	// Fig75Supports[j] confirms Fig 7.5(j) satisfies every universe
+	// member of Γ − {β_j} and violates σ (Lemma 7.9's engine).
+	Fig75Supports []bool
+	// UniverseSize is the number of sentences enumerated.
+	UniverseSize int
+}
+
+// Ok reports whether every check passed.
+func (r Section7Report) Ok() bool {
+	if !r.SigmaImpliesGoal || !r.FigsSatisfySigma || !r.NonMembersKilled {
+		return false
+	}
+	for _, b := range r.Fig74Separates {
+		if !b {
+			return false
+		}
+	}
+	for _, b := range r.Fig75Supports {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify runs the full mechanized Theorem 7.1 argument for this n. With
+// every check passing, Γ is closed under k-ary implication for every
+// k < n (pigeonhole over the β_j plus Fig 7.5's support of Γ − {β_j} and
+// Figs 7.1–7.3's elimination of non-members) yet not closed under
+// implication (Σ ⊆ Γ, Σ ⊨ σ ∉ Γ) — the Theorem 5.1 witness.
+func (s *Section7) Verify(opt chase.Options) (Section7Report, error) {
+	var rep Section7Report
+	res, err := s.Lemma72(opt)
+	if err != nil {
+		return rep, err
+	}
+	rep.SigmaImpliesGoal = res.Verdict == chase.Implied
+
+	fig71, err := s.Fig71()
+	if err != nil {
+		return rep, err
+	}
+	fig72, err := s.Fig72()
+	if err != nil {
+		return rep, err
+	}
+	fig73 := s.Fig73()
+	figs := []*data.Database{fig71, fig72, fig73}
+
+	rep.FigsSatisfySigma = true
+	for _, f := range figs {
+		ok, _, err := f.SatisfiesAll(s.Sigma)
+		if err != nil {
+			return rep, err
+		}
+		if !ok {
+			rep.FigsSatisfySigma = false
+		}
+	}
+
+	universe := s.Universe()
+	rep.UniverseSize = len(universe)
+	rep.NonMembersKilled = true
+	for _, tau := range universe {
+		member, err := s.memberOfUnion(tau)
+		if err != nil {
+			return rep, err
+		}
+		if member {
+			continue
+		}
+		rep.NonMemberCount++
+		killed := false
+		for _, f := range figs {
+			sat, err := f.Satisfies(tau)
+			if err != nil {
+				return rep, err
+			}
+			if !sat {
+				killed = true
+				break
+			}
+		}
+		if !killed {
+			rep.NonMembersKilled = false
+		}
+	}
+
+	for j := 0; j < s.N; j++ {
+		fig74, err := s.Fig74(j)
+		if err != nil {
+			return rep, err
+		}
+		ok := true
+		for _, d := range s.Lambda {
+			if d.Key() == deps.Dependency(s.Betas[j]).Key() {
+				continue
+			}
+			sat, err := fig74.Satisfies(d)
+			if err != nil {
+				return rep, err
+			}
+			if !sat {
+				ok = false
+			}
+		}
+		sat, err := fig74.Satisfies(s.Betas[j])
+		if err != nil {
+			return rep, err
+		}
+		if sat {
+			ok = false
+		}
+		rep.Fig74Separates = append(rep.Fig74Separates, ok)
+
+		fig75, err := s.Fig75(j)
+		if err != nil {
+			return rep, err
+		}
+		ok = true
+		for _, tau := range universe {
+			if tau.Key() == deps.Dependency(s.Betas[j]).Key() {
+				continue
+			}
+			inGamma, err := s.GammaContains(tau)
+			if err != nil {
+				return rep, err
+			}
+			if !inGamma {
+				continue
+			}
+			sat, err := fig75.Satisfies(tau)
+			if err != nil {
+				return rep, err
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		satGoal, err := fig75.Satisfies(s.Goal)
+		if err != nil {
+			return rep, err
+		}
+		if satGoal {
+			ok = false
+		}
+		rep.Fig75Supports = append(rep.Fig75Supports, ok)
+	}
+	return rep, nil
+}
+
+// memberOfUnion reports membership in φ⁺ ∪ λ⁺ ∪ ω (without removing σ).
+func (s *Section7) memberOfUnion(d deps.Dependency) (bool, error) {
+	switch dd := d.(type) {
+	case deps.FD:
+		return s.InPhiPlus(dd), nil
+	case deps.IND:
+		return s.InLambdaPlus(dd)
+	case deps.RD:
+		return dd.Trivial(), nil
+	default:
+		return false, nil
+	}
+}

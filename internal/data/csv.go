@@ -1,0 +1,151 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"indfd/internal/schema"
+)
+
+// ReadCSV loads tuples into the relation from CSV input whose header row
+// names exactly the scheme's attributes (in any order). Duplicate rows
+// collapse, matching set semantics.
+func ReadCSV(r io.Reader, rel *Relation) error {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err == io.EOF {
+		return fmt.Errorf("data: empty CSV for relation %s", rel.Scheme().Name())
+	}
+	if err != nil {
+		return err
+	}
+	s := rel.Scheme()
+	if len(header) != s.Width() {
+		return fmt.Errorf("data: CSV for %s has %d columns, scheme has %d", s.Name(), len(header), s.Width())
+	}
+	// Map CSV column index -> scheme position.
+	to := make([]int, len(header))
+	seen := map[string]bool{}
+	for i, h := range header {
+		p, ok := s.Pos(schema.Attribute(h))
+		if !ok {
+			return fmt.Errorf("data: CSV for %s has unknown column %q", s.Name(), h)
+		}
+		if seen[h] {
+			return fmt.Errorf("data: CSV for %s repeats column %q", s.Name(), h)
+		}
+		seen[h] = true
+		to[i] = p
+	}
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		t := make(Tuple, s.Width())
+		for i, v := range record {
+			t[to[i]] = Value(v)
+		}
+		if _, err := rel.Insert(t); err != nil {
+			return err
+		}
+	}
+}
+
+// WriteCSV writes the relation as CSV with a header row, tuples sorted
+// for determinism.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	s := r.Scheme()
+	header := make([]string, s.Width())
+	for i, a := range s.Attrs() {
+		header[i] = string(a)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, r.Len())
+	for _, t := range r.Tuples() {
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = string(v)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadDir builds a database from a directory of <relation>.csv files, one
+// per relation scheme. Missing files leave the relation empty; unknown
+// .csv files are an error.
+func LoadDir(ds *schema.Database, dir string) (*Database, error) {
+	db := NewDatabase(ds)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".csv" {
+			continue
+		}
+		rel := e.Name()[:len(e.Name())-len(".csv")]
+		r, ok := db.Relation(rel)
+		if !ok {
+			return nil, fmt.Errorf("data: %s does not match any relation scheme", e.Name())
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		err = ReadCSV(f, r)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// SaveDir writes every relation of the database as <relation>.csv in dir,
+// creating the directory if needed.
+func SaveDir(db *Database, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range db.Scheme().Names() {
+		r, _ := db.Relation(name)
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		err = r.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

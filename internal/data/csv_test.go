@@ -1,0 +1,101 @@
+package data
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indfd/internal/schema"
+)
+
+func TestReadCSV(t *testing.T) {
+	d := twoRelDB()
+	r := d.MustRelation("R")
+	in := "B,A,C\n2,1,3\n2,1,3\n5,4,6\n"
+	if err := ReadCSV(strings.NewReader(in), r); err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d (duplicates should collapse)", r.Len())
+	}
+	// Columns were reordered by header.
+	if !r.Contains(T("1", "2", "3")) || !r.Contains(T("4", "5", "6")) {
+		t.Errorf("rows wrong: %v", r)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"A,B\n1,2\n",     // wrong column count
+		"A,B,Z\n1,2,3\n", // unknown column
+		"A,A,B\n1,2,3\n", // repeated column
+		"A,B,C\n1,2\n",   // ragged row
+	}
+	for _, in := range cases {
+		d := twoRelDB()
+		if err := ReadCSV(strings.NewReader(in), d.MustRelation("R")); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	d := twoRelDB()
+	r := d.MustRelation("R")
+	r.MustInsert(T("b", "2", "3"), T("a", "2", "3"))
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "A,B,C\n") {
+		t.Errorf("header wrong: %q", out)
+	}
+	// Sorted rows: a before b.
+	if strings.Index(out, "a,2,3") > strings.Index(out, "b,2,3") {
+		t.Errorf("rows not sorted: %q", out)
+	}
+	// Round trip.
+	d2 := twoRelDB()
+	if err := ReadCSV(strings.NewReader(out), d2.MustRelation("R")); err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if d2.MustRelation("R").Len() != 2 {
+		t.Errorf("round trip lost rows")
+	}
+}
+
+func TestLoadSaveDir(t *testing.T) {
+	dir := t.TempDir()
+	ds := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B", "C"),
+		schema.MustScheme("S", "D", "E"),
+	)
+	db := NewDatabase(ds)
+	db.MustInsert("R", T("1", "2", "3"))
+	db.MustInsert("S", T("x", "y"))
+	if err := SaveDir(db, dir); err != nil {
+		t.Fatalf("SaveDir: %v", err)
+	}
+	loaded, err := LoadDir(ds, dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if loaded.Size() != 2 || !loaded.MustRelation("R").Contains(T("1", "2", "3")) {
+		t.Errorf("LoadDir content wrong:\n%v", loaded)
+	}
+	// An unknown CSV file is an error.
+	if err := os.WriteFile(filepath.Join(dir, "NOPE.csv"), []byte("A\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(ds, dir); err == nil {
+		t.Errorf("unknown relation CSV should error")
+	}
+	// A missing directory is an error.
+	if _, err := LoadDir(ds, filepath.Join(dir, "missing")); err == nil {
+		t.Errorf("missing directory should error")
+	}
+}

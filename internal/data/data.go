@@ -1,0 +1,410 @@
+// Package data implements relations and databases (Section 2 of the
+// paper): a tuple over a relation scheme is a sequence of values of the
+// same length as the scheme, a relation is a set of tuples, and a database
+// associates a relation with each relation scheme of a database scheme.
+// The package also implements satisfaction checking for every dependency
+// class of package deps.
+package data
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Value is a single entry of a tuple. Values are compared by string
+// equality; the paper's constructions use integers and pairs, which are
+// rendered as strings (e.g. "0", "3|2" for the pair (3,2)).
+type Value string
+
+// Pair renders the pair (m, i) used throughout the Section 6 construction
+// as a single value.
+func Pair(m, i int) Value { return Value(fmt.Sprintf("%d|%d", m, i)) }
+
+// Int renders an integer value.
+func Int(i int) Value { return Value(fmt.Sprintf("%d", i)) }
+
+// Tuple is a sequence of values over a relation scheme.
+type Tuple []Value
+
+// key encodes a tuple for use as a map key. Values never contain the
+// separator byte 0x00 in this repository's constructions; Insert rejects
+// values that do.
+func (t Tuple) key() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = string(v)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// Equal reports componentwise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as (a,b,c).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = string(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Relation is a finite set of tuples over a relation scheme.
+type Relation struct {
+	scheme *schema.Scheme
+	order  []Tuple
+	index  map[string]bool
+}
+
+// NewRelation returns an empty relation over the scheme.
+func NewRelation(s *schema.Scheme) *Relation {
+	return &Relation{scheme: s, index: make(map[string]bool)}
+}
+
+// Scheme returns the relation scheme.
+func (r *Relation) Scheme() *schema.Scheme { return r.scheme }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.order) }
+
+// Insert adds a tuple. It returns an error if the tuple has the wrong
+// width or contains the reserved separator byte; inserting a duplicate is
+// a no-op and reports false.
+func (r *Relation) Insert(t Tuple) (added bool, err error) {
+	if len(t) != r.scheme.Width() {
+		return false, fmt.Errorf("data: tuple %v has width %d, scheme %s has width %d", t, len(t), r.scheme.Name(), r.scheme.Width())
+	}
+	for _, v := range t {
+		if strings.ContainsRune(string(v), 0) {
+			return false, fmt.Errorf("data: value contains reserved separator byte")
+		}
+	}
+	k := t.key()
+	if r.index[k] {
+		return false, nil
+	}
+	r.index[k] = true
+	r.order = append(r.order, t.Clone())
+	return true, nil
+}
+
+// MustInsert inserts tuples, panicking on structural errors. Intended for
+// the paper's fixed constructions and tests.
+func (r *Relation) MustInsert(ts ...Tuple) {
+	for _, t := range ts {
+		if _, err := r.Insert(t); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Contains reports whether the relation holds the tuple.
+func (r *Relation) Contains(t Tuple) bool { return r.index[t.key()] }
+
+// Tuples returns the tuples in insertion order. The caller must not modify
+// the returned slice or its tuples.
+func (r *Relation) Tuples() []Tuple { return r.order }
+
+// positions resolves an attribute sequence to column positions.
+func (r *Relation) positions(attrs []schema.Attribute) ([]int, error) {
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := r.scheme.Pos(a)
+		if !ok {
+			return nil, fmt.Errorf("data: relation %s has no attribute %s", r.scheme.Name(), a)
+		}
+		pos[i] = p
+	}
+	return pos, nil
+}
+
+// Project returns the set of projections r[X] = {t[X] : t ∈ r} as a list
+// of tuples in first-seen order.
+func (r *Relation) Project(attrs []schema.Attribute) ([]Tuple, error) {
+	pos, err := r.positions(attrs)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []Tuple
+	for _, t := range r.order {
+		p := make(Tuple, len(pos))
+		for i, j := range pos {
+			p[i] = t[j]
+		}
+		k := p.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// String renders the relation with its scheme header and sorted rows.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.scheme.String())
+	rows := make([]string, len(r.order))
+	for i, t := range r.order {
+		rows[i] = "  " + t.String()
+	}
+	sort.Strings(rows)
+	for _, row := range rows {
+		b.WriteByte('\n')
+		b.WriteString(row)
+	}
+	return b.String()
+}
+
+// Database associates each relation scheme of a database scheme with a
+// finite relation.
+type Database struct {
+	scheme *schema.Database
+	rels   map[string]*Relation
+}
+
+// NewDatabase returns a database over the scheme with all relations empty.
+func NewDatabase(ds *schema.Database) *Database {
+	d := &Database{scheme: ds, rels: make(map[string]*Relation, ds.Len())}
+	for _, name := range ds.Names() {
+		s, _ := ds.Scheme(name)
+		d.rels[name] = NewRelation(s)
+	}
+	return d
+}
+
+// Scheme returns the database scheme.
+func (d *Database) Scheme() *schema.Database { return d.scheme }
+
+// Relation returns the relation for the named scheme.
+func (d *Database) Relation(name string) (*Relation, bool) {
+	r, ok := d.rels[name]
+	return r, ok
+}
+
+// MustRelation returns the relation for the named scheme, panicking if the
+// scheme does not exist.
+func (d *Database) MustRelation(name string) *Relation {
+	r, ok := d.rels[name]
+	if !ok {
+		panic(fmt.Sprintf("data: no relation %s", name))
+	}
+	return r
+}
+
+// Insert adds a tuple to the named relation.
+func (d *Database) Insert(rel string, t Tuple) (bool, error) {
+	r, ok := d.rels[rel]
+	if !ok {
+		return false, fmt.Errorf("data: no relation %s", rel)
+	}
+	return r.Insert(t)
+}
+
+// MustInsert inserts tuples into the named relation, panicking on error.
+func (d *Database) MustInsert(rel string, ts ...Tuple) {
+	d.MustRelation(rel).MustInsert(ts...)
+}
+
+// Size returns the total number of tuples across all relations.
+func (d *Database) Size() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// String renders every relation in scheme order.
+func (d *Database) String() string {
+	var b strings.Builder
+	for i, name := range d.scheme.Names() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.rels[name].String())
+	}
+	return b.String()
+}
+
+// Satisfies reports whether the database obeys the dependency. It returns
+// an error if the dependency is not well formed over the database scheme.
+func (d *Database) Satisfies(dep deps.Dependency) (bool, error) {
+	if err := dep.Validate(d.scheme); err != nil {
+		return false, err
+	}
+	switch dd := dep.(type) {
+	case deps.FD:
+		return d.satisfiesFD(dd)
+	case deps.IND:
+		return d.satisfiesIND(dd)
+	case deps.RD:
+		return d.satisfiesRD(dd)
+	case deps.EMVD:
+		return d.satisfiesEMVD(dd)
+	default:
+		return false, fmt.Errorf("data: unsupported dependency kind %v", dep.Kind())
+	}
+}
+
+// SatisfiesAll reports whether the database obeys every dependency; on
+// failure it also returns the first violated dependency.
+func (d *Database) SatisfiesAll(ds []deps.Dependency) (bool, deps.Dependency, error) {
+	for _, dep := range ds {
+		ok, err := d.Satisfies(dep)
+		if err != nil {
+			return false, dep, err
+		}
+		if !ok {
+			return false, dep, nil
+		}
+	}
+	return true, nil, nil
+}
+
+func (d *Database) satisfiesFD(f deps.FD) (bool, error) {
+	r := d.rels[f.Rel]
+	xs, err := r.positions(f.X)
+	if err != nil {
+		return false, err
+	}
+	ys, err := r.positions(f.Y)
+	if err != nil {
+		return false, err
+	}
+	// Group tuples by X-projection; all members of a group must agree on Y.
+	groups := make(map[string]Tuple, r.Len())
+	for _, t := range r.order {
+		xk := projectKey(t, xs)
+		y := make(Tuple, len(ys))
+		for i, j := range ys {
+			y[i] = t[j]
+		}
+		if prev, ok := groups[xk]; ok {
+			if !prev.Equal(y) {
+				return false, nil
+			}
+		} else {
+			groups[xk] = y
+		}
+	}
+	return true, nil
+}
+
+func (d *Database) satisfiesIND(ind deps.IND) (bool, error) {
+	left := d.rels[ind.LRel]
+	right := d.rels[ind.RRel]
+	xs, err := left.positions(ind.X)
+	if err != nil {
+		return false, err
+	}
+	ys, err := right.positions(ind.Y)
+	if err != nil {
+		return false, err
+	}
+	rightSet := make(map[string]bool, right.Len())
+	for _, t := range right.order {
+		rightSet[projectKey(t, ys)] = true
+	}
+	for _, t := range left.order {
+		if !rightSet[projectKey(t, xs)] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (d *Database) satisfiesRD(rd deps.RD) (bool, error) {
+	r := d.rels[rd.Rel]
+	xs, err := r.positions(rd.X)
+	if err != nil {
+		return false, err
+	}
+	ys, err := r.positions(rd.Y)
+	if err != nil {
+		return false, err
+	}
+	for _, t := range r.order {
+		for i := range xs {
+			if t[xs[i]] != t[ys[i]] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func (d *Database) satisfiesEMVD(e deps.EMVD) (bool, error) {
+	r := d.rels[e.Rel]
+	xs, err := r.positions(e.X)
+	if err != nil {
+		return false, err
+	}
+	ys, err := r.positions(e.Y)
+	if err != nil {
+		return false, err
+	}
+	zs, err := r.positions(e.Z)
+	if err != nil {
+		return false, err
+	}
+	// Index the XYZ projections for the witness test.
+	xyz := append(append(append([]int(nil), xs...), ys...), zs...)
+	witness := make(map[string]bool, r.Len())
+	for _, t := range r.order {
+		witness[projectKey(t, xyz)] = true
+	}
+	// Group tuples by X; for each ordered pair in a group, a witness tuple
+	// t3 with t3[XY] = t1[XY] and t3[XZ] = t2[XZ] must exist.
+	byX := make(map[string][]Tuple)
+	for _, t := range r.order {
+		k := projectKey(t, xs)
+		byX[k] = append(byX[k], t)
+	}
+	for _, group := range byX {
+		for _, t1 := range group {
+			for _, t2 := range group {
+				want := make([]string, 0, len(xyz))
+				for _, j := range xs {
+					want = append(want, string(t1[j]))
+				}
+				for _, j := range ys {
+					want = append(want, string(t1[j]))
+				}
+				for _, j := range zs {
+					want = append(want, string(t2[j]))
+				}
+				if !witness[strings.Join(want, "\x00")] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+func projectKey(t Tuple, pos []int) string {
+	parts := make([]string, len(pos))
+	for i, j := range pos {
+		parts[i] = string(t[j])
+	}
+	return strings.Join(parts, "\x00")
+}

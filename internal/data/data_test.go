@@ -1,0 +1,232 @@
+package data
+
+import (
+	"strings"
+	"testing"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func twoRelDB() *Database {
+	ds := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B", "C"),
+		schema.MustScheme("S", "D", "E"),
+	)
+	return NewDatabase(ds)
+}
+
+func T(vals ...string) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = Value(v)
+	}
+	return t
+}
+
+func TestInsertAndContains(t *testing.T) {
+	d := twoRelDB()
+	r := d.MustRelation("R")
+	added, err := r.Insert(T("1", "2", "3"))
+	if err != nil || !added {
+		t.Fatalf("Insert: %v %v", added, err)
+	}
+	added, err = r.Insert(T("1", "2", "3"))
+	if err != nil || added {
+		t.Fatalf("duplicate Insert should be a no-op: %v %v", added, err)
+	}
+	if r.Len() != 1 || !r.Contains(T("1", "2", "3")) {
+		t.Errorf("relation state wrong")
+	}
+	if _, err := r.Insert(T("1", "2")); err == nil {
+		t.Errorf("wrong-width insert should error")
+	}
+	if _, err := r.Insert(Tuple{Value("a\x00b"), "2", "3"}); err == nil {
+		t.Errorf("reserved byte should be rejected")
+	}
+	if _, err := d.Insert("Nope", T("1")); err == nil {
+		t.Errorf("insert into unknown relation should error")
+	}
+}
+
+func TestProject(t *testing.T) {
+	d := twoRelDB()
+	r := d.MustRelation("R")
+	r.MustInsert(T("1", "2", "3"), T("1", "2", "4"), T("5", "2", "3"))
+	got, err := r.Project(deps.Attrs("B", "A"))
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	want := map[string]bool{"(2,1)": true, "(2,5)": true}
+	if len(got) != 2 {
+		t.Fatalf("Project returned %d tuples: %v", len(got), got)
+	}
+	for _, p := range got {
+		if !want[p.String()] {
+			t.Errorf("unexpected projection %v", p)
+		}
+	}
+	if _, err := r.Project(deps.Attrs("Z")); err == nil {
+		t.Errorf("projecting unknown attribute should error")
+	}
+}
+
+func TestSatisfiesFD(t *testing.T) {
+	d := twoRelDB()
+	d.MustInsert("R", T("1", "2", "3"), T("1", "2", "4"))
+	ok, err := d.Satisfies(deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")))
+	if err != nil || !ok {
+		t.Errorf("A -> B should hold: %v %v", ok, err)
+	}
+	ok, err = d.Satisfies(deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C")))
+	if err != nil || ok {
+		t.Errorf("A -> C should fail: %v %v", ok, err)
+	}
+	// Empty LHS: constant column.
+	ok, _ = d.Satisfies(deps.NewFD("R", nil, deps.Attrs("B")))
+	if !ok {
+		t.Errorf("∅ -> B should hold (B constant)")
+	}
+	ok, _ = d.Satisfies(deps.NewFD("R", nil, deps.Attrs("C")))
+	if ok {
+		t.Errorf("∅ -> C should fail (C varies)")
+	}
+}
+
+func TestSatisfiesIND(t *testing.T) {
+	d := twoRelDB()
+	d.MustInsert("R", T("1", "2", "3"))
+	d.MustInsert("S", T("1", "2"), T("9", "9"))
+	ok, err := d.Satisfies(deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("D", "E")))
+	if err != nil || !ok {
+		t.Errorf("R[A,B] <= S[D,E] should hold: %v %v", ok, err)
+	}
+	ok, _ = d.Satisfies(deps.NewIND("R", deps.Attrs("B", "A"), "S", deps.Attrs("D", "E")))
+	if ok {
+		t.Errorf("R[B,A] <= S[D,E] should fail (no (2,1) in S)")
+	}
+	ok, _ = d.Satisfies(deps.NewIND("S", deps.Attrs("D"), "R", deps.Attrs("A"))) // 9 not in R[A]
+	if ok {
+		t.Errorf("S[D] <= R[A] should fail")
+	}
+	// An IND out of an empty relation holds vacuously.
+	empty := twoRelDB()
+	empty.MustInsert("S", T("1", "2"))
+	ok, _ = empty.Satisfies(deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("D")))
+	if !ok {
+		t.Errorf("IND from empty relation should hold vacuously")
+	}
+}
+
+func TestSatisfiesRD(t *testing.T) {
+	d := twoRelDB()
+	d.MustInsert("R", T("1", "1", "2"))
+	ok, _ := d.Satisfies(deps.NewRD("R", deps.Attrs("A"), deps.Attrs("B")))
+	if !ok {
+		t.Errorf("R[A == B] should hold")
+	}
+	ok, _ = d.Satisfies(deps.NewRD("R", deps.Attrs("A"), deps.Attrs("C")))
+	if ok {
+		t.Errorf("R[A == C] should fail")
+	}
+	d.MustInsert("R", T("3", "4", "5"))
+	ok, _ = d.Satisfies(deps.NewRD("R", deps.Attrs("A"), deps.Attrs("B")))
+	if ok {
+		t.Errorf("R[A == B] should fail after (3,4,5)")
+	}
+}
+
+func TestSatisfiesEMVD(t *testing.T) {
+	ds := schema.MustDatabase(schema.MustScheme("R", "X", "Y", "Z"))
+	d := NewDatabase(ds)
+	// {(x,y1,z1),(x,y2,z2)} violates X ->> Y | Z: needs (x,y1,z2).
+	d.MustInsert("R", T("x", "y1", "z1"), T("x", "y2", "z2"))
+	e := deps.NewEMVD("R", deps.Attrs("X"), deps.Attrs("Y"), deps.Attrs("Z"))
+	ok, err := d.Satisfies(e)
+	if err != nil {
+		t.Fatalf("Satisfies: %v", err)
+	}
+	if ok {
+		t.Errorf("EMVD should fail without witness tuples")
+	}
+	// Adding both cross tuples satisfies it.
+	d.MustInsert("R", T("x", "y1", "z2"), T("x", "y2", "z1"))
+	ok, _ = d.Satisfies(e)
+	if !ok {
+		t.Errorf("EMVD should hold with all four combinations")
+	}
+}
+
+func TestSatisfiesEMVDEmbedded(t *testing.T) {
+	// The embedded case: a fourth attribute W is unconstrained.
+	ds := schema.MustDatabase(schema.MustScheme("R", "X", "Y", "Z", "W"))
+	d := NewDatabase(ds)
+	d.MustInsert("R",
+		T("x", "y1", "z1", "w1"),
+		T("x", "y2", "z2", "w2"),
+		T("x", "y1", "z2", "w3"), // witness for (t1,t2); W differs — still fine
+		T("x", "y2", "z1", "w4"), // witness for (t2,t1)
+	)
+	e := deps.NewEMVD("R", deps.Attrs("X"), deps.Attrs("Y"), deps.Attrs("Z"))
+	ok, err := d.Satisfies(e)
+	if err != nil || !ok {
+		t.Errorf("embedded EMVD should hold regardless of W: %v %v", ok, err)
+	}
+}
+
+func TestSatisfiesAll(t *testing.T) {
+	d := twoRelDB()
+	d.MustInsert("R", T("1", "2", "3"))
+	good := deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))
+	bad := deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("D"))
+	ok, violated, err := d.SatisfiesAll([]deps.Dependency{good, bad})
+	if err != nil {
+		t.Fatalf("SatisfiesAll: %v", err)
+	}
+	if ok || violated == nil || violated.Key() != bad.Key() {
+		t.Errorf("SatisfiesAll = %v, violated %v", ok, violated)
+	}
+}
+
+func TestSatisfiesValidates(t *testing.T) {
+	d := twoRelDB()
+	if _, err := d.Satisfies(deps.NewFD("Nope", deps.Attrs("A"), deps.Attrs("B"))); err == nil {
+		t.Errorf("Satisfies should validate the dependency")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	d := twoRelDB()
+	d.MustInsert("R", T("1", "2", "3"))
+	d.MustInsert("S", T("4", "5"))
+	out := d.String()
+	for _, want := range []string{"R(A,B,C)", "(1,2,3)", "S(D,E)", "(4,5)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q in:\n%s", want, out)
+		}
+	}
+	if d.Size() != 2 {
+		t.Errorf("Size = %d", d.Size())
+	}
+}
+
+func TestPairAndInt(t *testing.T) {
+	if Pair(3, 2) != Value("3|2") {
+		t.Errorf("Pair = %q", Pair(3, 2))
+	}
+	if Int(7) != Value("7") {
+		t.Errorf("Int = %q", Int(7))
+	}
+}
+
+func TestTupleHelpers(t *testing.T) {
+	a := T("1", "2")
+	b := a.Clone()
+	b[0] = "9"
+	if a[0] != "1" {
+		t.Errorf("Clone should copy")
+	}
+	if a.Equal(b) || !a.Equal(T("1", "2")) || a.Equal(T("1")) {
+		t.Errorf("Equal misbehaves")
+	}
+}

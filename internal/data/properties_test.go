@@ -1,0 +1,144 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Property: projection is idempotent as a set operation and composes —
+// projecting on X then reading column A equals projecting on A directly.
+func TestProjectionComposition(t *testing.T) {
+	ds := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C"))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := NewDatabase(ds)
+		rel := db.MustRelation("R")
+		for i := 0; i < r.Intn(6); i++ {
+			rel.MustInsert(Tuple{Int(r.Intn(3)), Int(r.Intn(3)), Int(r.Intn(3))})
+		}
+		ab, err := rel.Project(deps.Attrs("A", "B"))
+		if err != nil {
+			return false
+		}
+		a, err := rel.Project(deps.Attrs("A"))
+		if err != nil {
+			return false
+		}
+		// The A-values of the AB projection are exactly the A projection.
+		set := map[Value]bool{}
+		for _, t := range ab {
+			set[t[0]] = true
+		}
+		if len(set) != len(a) {
+			return false
+		}
+		for _, t := range a {
+			if !set[t[0]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IND satisfaction is invariant under simultaneous permutation
+// of both sides (the semantic content of IND2), and FD satisfaction under
+// permutation of either side.
+func TestSatisfactionPermutationInvariance(t *testing.T) {
+	ds := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := NewDatabase(ds)
+		for _, rel := range []string{"R", "S"} {
+			for i := 0; i < r.Intn(5); i++ {
+				db.MustInsert(rel, Tuple{Int(r.Intn(3)), Int(r.Intn(3))})
+			}
+		}
+		ind1 := deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("C", "D"))
+		ind2 := deps.NewIND("R", deps.Attrs("B", "A"), "S", deps.Attrs("D", "C"))
+		s1, err := db.Satisfies(ind1)
+		if err != nil {
+			return false
+		}
+		s2, err := db.Satisfies(ind2)
+		if err != nil {
+			return false
+		}
+		if s1 != s2 {
+			return false
+		}
+		fd1 := deps.NewFD("R", deps.Attrs("A", "B"), deps.Attrs("A"))
+		fd2 := deps.NewFD("R", deps.Attrs("B", "A"), deps.Attrs("A"))
+		t1, _ := db.Satisfies(fd1)
+		t2, _ := db.Satisfies(fd2)
+		return t1 == t2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: satisfaction is monotone under tuple REMOVAL for FDs and RDs
+// (fewer tuples cannot create a violation), and an IND out of a shrinking
+// left side stays satisfied when the right side is untouched.
+func TestSatisfactionMonotonicity(t *testing.T) {
+	ds := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		full := NewDatabase(ds)
+		var rTuples []Tuple
+		for i := 0; i < 1+r.Intn(5); i++ {
+			t := Tuple{Int(r.Intn(3)), Int(r.Intn(3))}
+			full.MustInsert("R", t)
+			rTuples = append(rTuples, t)
+		}
+		for i := 0; i < r.Intn(4); i++ {
+			full.MustInsert("S", Tuple{Int(r.Intn(3)), Int(r.Intn(3))})
+		}
+		smaller := NewDatabase(ds)
+		for _, t := range rTuples {
+			if r.Intn(2) == 0 {
+				smaller.MustInsert("R", t)
+			}
+		}
+		sRel, _ := full.Relation("S")
+		for _, t := range sRel.Tuples() {
+			smaller.MustInsert("S", t)
+		}
+		checks := []deps.Dependency{
+			deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+			deps.NewRD("R", deps.Attrs("A"), deps.Attrs("B")),
+			deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("C")),
+		}
+		for _, d := range checks {
+			fullSat, err := full.Satisfies(d)
+			if err != nil {
+				return false
+			}
+			smallSat, err := smaller.Satisfies(d)
+			if err != nil {
+				return false
+			}
+			if fullSat && !smallSat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package deps
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"indfd/internal/schema"
+)
+
+// envelope is the JSON wire form of a dependency.
+type envelope struct {
+	Kind string   `json:"kind"`
+	Rel  string   `json:"rel,omitempty"`
+	LRel string   `json:"lrel,omitempty"`
+	RRel string   `json:"rrel,omitempty"`
+	X    []string `json:"x,omitempty"`
+	Y    []string `json:"y,omitempty"`
+	Z    []string `json:"z,omitempty"`
+}
+
+func toStrings(attrs []schema.Attribute) []string {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = string(a)
+	}
+	return out
+}
+
+func toAttrs(names []string) []schema.Attribute {
+	out := make([]schema.Attribute, len(names))
+	for i, n := range names {
+		out[i] = schema.Attribute(n)
+	}
+	return out
+}
+
+// MarshalJSON encodes a dependency as a tagged JSON object, e.g.
+// {"kind":"IND","lrel":"R","x":["A"],"rrel":"S","y":["B"]}.
+func MarshalJSON(d Dependency) ([]byte, error) {
+	var e envelope
+	switch dd := d.(type) {
+	case FD:
+		e = envelope{Kind: "FD", Rel: dd.Rel, X: toStrings(dd.X), Y: toStrings(dd.Y)}
+	case IND:
+		e = envelope{Kind: "IND", LRel: dd.LRel, RRel: dd.RRel, X: toStrings(dd.X), Y: toStrings(dd.Y)}
+	case RD:
+		e = envelope{Kind: "RD", Rel: dd.Rel, X: toStrings(dd.X), Y: toStrings(dd.Y)}
+	case EMVD:
+		e = envelope{Kind: "EMVD", Rel: dd.Rel, X: toStrings(dd.X), Y: toStrings(dd.Y), Z: toStrings(dd.Z)}
+	default:
+		return nil, fmt.Errorf("deps: cannot marshal dependency kind %v", d.Kind())
+	}
+	return json.Marshal(e)
+}
+
+// UnmarshalJSON decodes a dependency from its tagged JSON object.
+func UnmarshalJSON(b []byte) (Dependency, error) {
+	var e envelope
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, err
+	}
+	switch e.Kind {
+	case "FD":
+		return NewFD(e.Rel, toAttrs(e.X), toAttrs(e.Y)), nil
+	case "IND":
+		return NewIND(e.LRel, toAttrs(e.X), e.RRel, toAttrs(e.Y)), nil
+	case "RD":
+		return NewRD(e.Rel, toAttrs(e.X), toAttrs(e.Y)), nil
+	case "EMVD":
+		return NewEMVD(e.Rel, toAttrs(e.X), toAttrs(e.Y), toAttrs(e.Z)), nil
+	default:
+		return nil, fmt.Errorf("deps: unknown dependency kind %q", e.Kind)
+	}
+}
+
+// MarshalSetJSON encodes a list of dependencies as a JSON array.
+func MarshalSetJSON(ds []Dependency) ([]byte, error) {
+	items := make([]json.RawMessage, len(ds))
+	for i, d := range ds {
+		b, err := MarshalJSON(d)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = b
+	}
+	return json.Marshal(items)
+}
+
+// UnmarshalSetJSON decodes a JSON array of dependencies.
+func UnmarshalSetJSON(b []byte) ([]Dependency, error) {
+	var items []json.RawMessage
+	if err := json.Unmarshal(b, &items); err != nil {
+		return nil, err
+	}
+	out := make([]Dependency, len(items))
+	for i, raw := range items {
+		d, err := UnmarshalJSON(raw)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}

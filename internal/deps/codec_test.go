@@ -1,0 +1,61 @@
+package deps
+
+import (
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	cases := []Dependency{
+		NewFD("R", Attrs("A", "B"), Attrs("C")),
+		NewFD("R", nil, Attrs("C")),
+		NewIND("R", Attrs("A"), "S", Attrs("B")),
+		NewRD("R", Attrs("A"), Attrs("B")),
+		NewEMVD("R", Attrs("A"), Attrs("B"), Attrs("C")),
+	}
+	for _, d := range cases {
+		b, err := MarshalJSON(d)
+		if err != nil {
+			t.Fatalf("MarshalJSON(%v): %v", d, err)
+		}
+		back, err := UnmarshalJSON(b)
+		if err != nil {
+			t.Fatalf("UnmarshalJSON(%s): %v", b, err)
+		}
+		if back.Key() != d.Key() {
+			t.Errorf("round trip changed %v into %v", d, back)
+		}
+	}
+}
+
+func TestJSONSetRoundTrip(t *testing.T) {
+	ds := []Dependency{
+		NewFD("R", Attrs("A"), Attrs("B")),
+		NewIND("R", Attrs("A"), "S", Attrs("B")),
+	}
+	b, err := MarshalSetJSON(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSetJSON(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Key() != ds[0].Key() || back[1].Key() != ds[1].Key() {
+		t.Errorf("set round trip wrong: %v", back)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, err := UnmarshalJSON([]byte(`{"kind":"XYZ"}`)); err == nil {
+		t.Errorf("unknown kind should error")
+	}
+	if _, err := UnmarshalJSON([]byte(`{`)); err == nil {
+		t.Errorf("malformed JSON should error")
+	}
+	if _, err := UnmarshalSetJSON([]byte(`[{"kind":"XYZ"}]`)); err == nil {
+		t.Errorf("bad member should error")
+	}
+	if _, err := UnmarshalSetJSON([]byte(`{`)); err == nil {
+		t.Errorf("malformed array should error")
+	}
+}

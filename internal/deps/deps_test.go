@@ -1,0 +1,272 @@
+package deps
+
+import (
+	"strings"
+	"testing"
+
+	"indfd/internal/schema"
+)
+
+func testDB(t *testing.T) *schema.Database {
+	t.Helper()
+	return schema.MustDatabase(
+		schema.MustScheme("R", "A", "B", "C"),
+		schema.MustScheme("S", "D", "E"),
+	)
+}
+
+func TestFDBasics(t *testing.T) {
+	db := testDB(t)
+	f := NewFD("R", Attrs("A"), Attrs("B", "C"))
+	if f.Kind() != KindFD {
+		t.Errorf("Kind = %v", f.Kind())
+	}
+	if got := f.String(); got != "R: A -> B,C" {
+		t.Errorf("String = %q", got)
+	}
+	if err := f.Validate(db); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if f.Trivial() {
+		t.Errorf("A -> B,C should not be trivial")
+	}
+	if !NewFD("R", Attrs("A", "B"), Attrs("A")).Trivial() {
+		t.Errorf("A,B -> A should be trivial")
+	}
+	// Empty LHS is legal (Section 6 Case 1 uses R: ∅ -> A).
+	empty := NewFD("R", nil, Attrs("A"))
+	if err := empty.Validate(db); err != nil {
+		t.Errorf("empty-LHS FD should validate: %v", err)
+	}
+	if empty.Trivial() {
+		t.Errorf("∅ -> A should not be trivial")
+	}
+}
+
+func TestFDKeyIsSetBased(t *testing.T) {
+	a := NewFD("R", Attrs("A", "B"), Attrs("C"))
+	b := NewFD("R", Attrs("B", "A"), Attrs("C"))
+	if a.Key() != b.Key() {
+		t.Errorf("FD keys should ignore side order: %q vs %q", a.Key(), b.Key())
+	}
+	c := NewFD("S", Attrs("A", "B"), Attrs("C"))
+	if a.Key() == c.Key() {
+		t.Errorf("FD keys must include the relation")
+	}
+}
+
+func TestFDValidateErrors(t *testing.T) {
+	db := testDB(t)
+	bad := []FD{
+		NewFD("T", Attrs("A"), Attrs("B")),      // unknown relation
+		NewFD("R", Attrs("A"), nil),             // empty RHS
+		NewFD("R", Attrs("A", "A"), Attrs("B")), // repeated attribute
+		NewFD("R", Attrs("A"), Attrs("Z")),      // unknown attribute
+	}
+	for _, f := range bad {
+		if err := f.Validate(db); err == nil {
+			t.Errorf("Validate(%v): expected error", f)
+		}
+	}
+}
+
+func TestINDBasics(t *testing.T) {
+	db := testDB(t)
+	d := NewIND("R", Attrs("A", "B"), "S", Attrs("D", "E"))
+	if d.Kind() != KindIND {
+		t.Errorf("Kind = %v", d.Kind())
+	}
+	if d.Width() != 2 {
+		t.Errorf("Width = %d", d.Width())
+	}
+	if got := d.String(); got != "R[A,B] <= S[D,E]" {
+		t.Errorf("String = %q", got)
+	}
+	if err := d.Validate(db); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if d.Trivial() {
+		t.Errorf("cross-relation IND should not be trivial")
+	}
+	if d.Typed() {
+		t.Errorf("R[A,B] <= S[D,E] is not typed")
+	}
+	if !NewIND("R", Attrs("A", "B"), "R", Attrs("A", "B")).Trivial() {
+		t.Errorf("R[A,B] <= R[A,B] should be trivial")
+	}
+	if NewIND("R", Attrs("A", "B"), "R", Attrs("B", "A")).Trivial() {
+		t.Errorf("R[A,B] <= R[B,A] is NOT trivial")
+	}
+	if !NewIND("R", Attrs("A"), "S", Attrs("A")).Typed() {
+		t.Errorf("R[A] <= S[A] is typed")
+	}
+}
+
+func TestINDKeyPermutationInvariant(t *testing.T) {
+	// IND2 says R[A,B] <= S[D,E] and R[B,A] <= S[E,D] are the same
+	// sentence up to permutation; their keys must agree.
+	a := NewIND("R", Attrs("A", "B"), "S", Attrs("D", "E"))
+	b := NewIND("R", Attrs("B", "A"), "S", Attrs("E", "D"))
+	if a.Key() != b.Key() {
+		t.Errorf("IND keys should be permutation-invariant: %q vs %q", a.Key(), b.Key())
+	}
+	// But swapping only one side is a different sentence.
+	c := NewIND("R", Attrs("A", "B"), "S", Attrs("E", "D"))
+	if a.Key() == c.Key() {
+		t.Errorf("IND keys must distinguish column pairings")
+	}
+}
+
+func TestINDValidateErrors(t *testing.T) {
+	db := testDB(t)
+	bad := []IND{
+		NewIND("T", Attrs("A"), "S", Attrs("D")),           // unknown left
+		NewIND("R", Attrs("A"), "T", Attrs("D")),           // unknown right
+		NewIND("R", nil, "S", nil),                         // empty
+		NewIND("R", Attrs("A", "B"), "S", Attrs("D")),      // length mismatch
+		NewIND("R", Attrs("A", "A"), "S", Attrs("D", "E")), // repeated attribute
+		NewIND("R", Attrs("A"), "S", Attrs("Z")),           // unknown attribute
+	}
+	for _, d := range bad {
+		if err := d.Validate(db); err == nil {
+			t.Errorf("Validate(%v): expected error", d)
+		}
+	}
+}
+
+func TestRDBasics(t *testing.T) {
+	db := testDB(t)
+	r := NewRD("R", Attrs("A"), Attrs("B"))
+	if r.Kind() != KindRD {
+		t.Errorf("Kind = %v", r.Kind())
+	}
+	if got := r.String(); got != "R[A == B]" {
+		t.Errorf("String = %q", got)
+	}
+	if err := r.Validate(db); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if r.Trivial() {
+		t.Errorf("R[A == B] should not be trivial")
+	}
+	if !NewRD("R", Attrs("A", "B"), Attrs("A", "B")).Trivial() {
+		t.Errorf("R[A,B == A,B] should be trivial")
+	}
+	u := NewRD("R", Attrs("A", "B"), Attrs("B", "C")).Unary()
+	if len(u) != 2 || u[0].String() != "R[A == B]" || u[1].String() != "R[B == C]" {
+		t.Errorf("Unary = %v", u)
+	}
+}
+
+func TestRDKeySymmetric(t *testing.T) {
+	a := NewRD("R", Attrs("A"), Attrs("B"))
+	b := NewRD("R", Attrs("B"), Attrs("A"))
+	if a.Key() != b.Key() {
+		t.Errorf("RD keys should be symmetric: %q vs %q", a.Key(), b.Key())
+	}
+	// Multi-component RDs are order-insensitive too.
+	c := NewRD("R", Attrs("A", "B"), Attrs("B", "C"))
+	d := NewRD("R", Attrs("C", "B"), Attrs("B", "A"))
+	if c.Key() != d.Key() {
+		t.Errorf("multi-component RD keys should normalize: %q vs %q", c.Key(), d.Key())
+	}
+}
+
+func TestEMVDBasics(t *testing.T) {
+	db := testDB(t)
+	e := NewEMVD("R", Attrs("A"), Attrs("B"), Attrs("C"))
+	if e.Kind() != KindEMVD {
+		t.Errorf("Kind = %v", e.Kind())
+	}
+	if got := e.String(); got != "R: A ->> B | C" {
+		t.Errorf("String = %q", got)
+	}
+	if err := e.Validate(db); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if e.Trivial() {
+		t.Errorf("A ->> B | C should not be trivial")
+	}
+	if !NewEMVD("R", Attrs("A", "B"), Attrs("B"), Attrs("C")).Trivial() {
+		t.Errorf("EMVD with Y ⊆ X should be trivial")
+	}
+	if NewEMVD("R", Attrs("A"), Attrs("B"), Attrs("B")).Validate(db) == nil {
+		t.Errorf("EMVD with overlapping Y,Z should not validate")
+	}
+}
+
+func TestEMVDKeySymmetric(t *testing.T) {
+	a := NewEMVD("R", Attrs("A"), Attrs("B"), Attrs("C"))
+	b := NewEMVD("R", Attrs("A"), Attrs("C"), Attrs("B"))
+	if a.Key() != b.Key() {
+		t.Errorf("EMVD keys should treat Y|Z symmetrically")
+	}
+}
+
+func TestSet(t *testing.T) {
+	f := NewFD("R", Attrs("A"), Attrs("B"))
+	i := NewIND("R", Attrs("A"), "S", Attrs("D"))
+	r := NewRD("R", Attrs("A"), Attrs("B"))
+	s := NewSet(f, i, r, f) // duplicate f dropped
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !s.Contains(f) || !s.Contains(i) || !s.Contains(r) {
+		t.Errorf("Contains misbehaves")
+	}
+	if len(s.FDs()) != 1 || len(s.INDs()) != 1 || len(s.RDs()) != 1 {
+		t.Errorf("kind accessors misbehave")
+	}
+	s.Remove(i)
+	if s.Contains(i) || s.Len() != 2 {
+		t.Errorf("Remove misbehaves")
+	}
+	s.Remove(i) // removing twice is a no-op
+	if s.Len() != 2 {
+		t.Errorf("double Remove changed the set")
+	}
+	m := s.Minus(f)
+	if m.Contains(f) || !m.Contains(r) || s.Contains(f) == false {
+		t.Errorf("Minus should not mutate the receiver")
+	}
+}
+
+func TestSetValidateAll(t *testing.T) {
+	db := testDB(t)
+	good := NewSet(NewFD("R", Attrs("A"), Attrs("B")))
+	if err := good.ValidateAll(db); err != nil {
+		t.Errorf("ValidateAll(good): %v", err)
+	}
+	bad := NewSet(NewFD("T", Attrs("A"), Attrs("B")))
+	if err := bad.ValidateAll(db); err == nil {
+		t.Errorf("ValidateAll(bad): expected error")
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	got := Attrs("A", "B")
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("Attrs = %v", got)
+	}
+}
+
+func TestKeysDistinguishKinds(t *testing.T) {
+	// An FD, RD and IND over the same attributes must have distinct keys.
+	keys := []string{
+		NewFD("R", Attrs("A"), Attrs("B")).Key(),
+		NewRD("R", Attrs("A"), Attrs("B")).Key(),
+		NewIND("R", Attrs("A"), "R", Attrs("B")).Key(),
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[i] == keys[j] {
+				t.Errorf("keys collide: %q", keys[i])
+			}
+		}
+	}
+	for _, k := range keys {
+		if !strings.Contains(k, "|") {
+			t.Errorf("suspicious key %q", k)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package emvd
+
+import (
+	"indfd/internal/deps"
+	"indfd/internal/enum"
+)
+
+// ConditionReport summarizes a mechanical check of the Corollary 5.2
+// conditions on a Sagiv–Walecka family. Chase verdicts can be Unknown, so
+// the report distinguishes confirmed facts from unresolved ones.
+type ConditionReport struct {
+	// Cond1 is condition (i): Σ ⊨ σ.
+	Cond1 Verdict
+	// Cond2Violations lists members τ of Σ for which τ ⊨ σ was confirmed
+	// (condition (ii) requires none).
+	Cond2Violations []deps.EMVD
+	// Cond2Unknown counts members whose status could not be resolved.
+	Cond2Unknown int
+	// Cond3Violations lists (Δ, τ) pairs where Δ ⊆ Σ with |Δ| ≤ k implies
+	// τ but no single member of Δ does (condition (iii) requires none).
+	Cond3Violations int
+	// Cond3Checked and Cond3Unknown count the (Δ, τ) implication tests
+	// performed and the ones the chase could not resolve.
+	Cond3Checked int
+	Cond3Unknown int
+}
+
+// Holds reports whether the checks confirm all three conditions (no
+// violations; unknowns are tolerated and reported separately).
+func (r ConditionReport) Holds() bool {
+	return r.Cond1 == Implied && len(r.Cond2Violations) == 0 && r.Cond3Violations == 0
+}
+
+// CheckConditions mechanically tests the three Corollary 5.2 conditions on
+// the family, with the given chase options. Condition (ii) additionally
+// cross-checks with the explicit separating relations. Condition (iii)
+// quantifies τ over all EMVDs of the family's scheme (via enumeration) and
+// Δ over all subsets of Σ of size ≤ f.K.
+func (f Family) CheckConditions(opt Options) (ConditionReport, error) {
+	var rep ConditionReport
+	res, err := Implies(f.DB, f.Sigma, f.Goal, opt)
+	if err != nil {
+		return rep, err
+	}
+	rep.Cond1 = res.Verdict
+
+	// Condition (ii): no single member implies σ.
+	for i, tau := range f.Sigma {
+		r, err := Implies(f.DB, []deps.EMVD{tau}, f.Goal, opt)
+		if err != nil {
+			return rep, err
+		}
+		switch r.Verdict {
+		case Implied:
+			rep.Cond2Violations = append(rep.Cond2Violations, tau)
+		case Unknown:
+			// Fall back to the explicit separating relation.
+			sep, err := f.SeparatingRelation(i)
+			if err != nil {
+				rep.Cond2Unknown++
+				continue
+			}
+			okTau, err := sep.Satisfies(tau)
+			if err != nil {
+				return rep, err
+			}
+			okGoal, err := sep.Satisfies(f.Goal)
+			if err != nil {
+				return rep, err
+			}
+			if !(okTau && !okGoal) {
+				rep.Cond2Unknown++
+			}
+		}
+	}
+
+	// Condition (iii): for each Δ ⊆ Σ with |Δ| ≤ k and each EMVD τ over
+	// the scheme, if Δ ⊨ τ then some δ ∈ Δ ⊨ τ.
+	universe := enum.EMVDs(f.DB)
+	n := len(f.Sigma)
+	for mask := 1; mask < 1<<n; mask++ {
+		var delta []deps.EMVD
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				delta = append(delta, f.Sigma[i])
+			}
+		}
+		if len(delta) > f.K {
+			continue
+		}
+		for _, tau := range universe {
+			if tau.Trivial() {
+				continue
+			}
+			rep.Cond3Checked++
+			r, err := Implies(f.DB, delta, tau, opt)
+			if err != nil {
+				return rep, err
+			}
+			switch r.Verdict {
+			case Unknown:
+				rep.Cond3Unknown++
+			case Implied:
+				single := false
+				for _, d := range delta {
+					rs, err := Implies(f.DB, []deps.EMVD{d}, tau, opt)
+					if err != nil {
+						return rep, err
+					}
+					if rs.Verdict == Implied {
+						single = true
+						break
+					}
+				}
+				if !single {
+					rep.Cond3Violations++
+				}
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,336 @@
+// Package emvd implements embedded multivalued dependencies as used in
+// Section 5 of the paper: a budgeted chase deciding EMVD implication (when
+// it terminates), the cyclic Sagiv–Walecka family behind Theorem 5.3, and
+// mechanical checks of the Corollary 5.2 conditions.
+//
+// EMVD implication has no known decision procedure; the chase here is
+// sound in both directions when it answers (Implied on derivation,
+// NotImplied on fixpoint) and returns Unknown when the tuple budget runs
+// out.
+package emvd
+
+import (
+	"fmt"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Verdict is a three-valued chase outcome.
+type Verdict int
+
+const (
+	// Unknown means the budget was exhausted.
+	Unknown Verdict = iota
+	// Implied means sigma ⊨ goal.
+	Implied
+	// NotImplied means a finite counterexample was constructed.
+	NotImplied
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Implied:
+		return "implied"
+	case NotImplied:
+		return "not implied"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures the chase.
+type Options struct {
+	// MaxTuples bounds the tableau size; zero means DefaultMaxTuples.
+	MaxTuples int
+}
+
+// DefaultMaxTuples is the default tableau budget.
+const DefaultMaxTuples = 2048
+
+// Result reports a chase outcome.
+type Result struct {
+	Verdict Verdict
+	// Counterexample is a relation satisfying sigma and violating the
+	// goal; set exactly when Verdict == NotImplied.
+	Counterexample *data.Database
+	// Rounds counts chase rounds.
+	Rounds int
+}
+
+// Implies tests sigma ⊨ goal for EMVDs over a single relation scheme by
+// chasing the two-tuple tableau that agrees exactly on goal.X.
+func Implies(db *schema.Database, sigma []deps.EMVD, goal deps.EMVD, opt Options) (Result, error) {
+	if err := goal.Validate(db); err != nil {
+		return Result{}, err
+	}
+	sch, ok := db.Scheme(goal.Rel)
+	if !ok {
+		return Result{}, fmt.Errorf("emvd: unknown relation %s", goal.Rel)
+	}
+	for _, d := range sigma {
+		if err := d.Validate(db); err != nil {
+			return Result{}, err
+		}
+		if d.Rel != goal.Rel {
+			return Result{}, fmt.Errorf("emvd: sigma member %v is over a different relation than the goal", d)
+		}
+	}
+	max := opt.MaxTuples
+	if max <= 0 {
+		max = DefaultMaxTuples
+	}
+
+	w := sch.Width()
+	next := 0
+	fresh := func() int { next++; return next - 1 }
+	t1 := make([]int, w)
+	t2 := make([]int, w)
+	for i := 0; i < w; i++ {
+		t1[i] = fresh()
+		t2[i] = fresh()
+	}
+	for _, a := range goal.X {
+		p, _ := sch.Pos(a)
+		t2[p] = t1[p]
+	}
+	tableau := [][]int{t1, t2}
+	keys := map[string]bool{rowKey(t1): true, rowKey(t2): true}
+
+	pos := func(attrs []schema.Attribute) []int {
+		out := make([]int, len(attrs))
+		for i, a := range attrs {
+			p, _ := sch.Pos(a)
+			out[i] = p
+		}
+		return out
+	}
+	gx, gy, gz := pos(goal.X), pos(goal.Y), pos(goal.Z)
+	derived := func() bool {
+		for _, t := range tableau {
+			ok := true
+			for _, p := range gx {
+				if t[p] != t1[p] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, p := range gy {
+				if t[p] != t1[p] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, p := range gz {
+				if t[p] != t2[p] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	res := Result{}
+	for {
+		res.Rounds++
+		if derived() {
+			res.Verdict = Implied
+			return res, nil
+		}
+		changed := false
+		for _, d := range sigma {
+			dx, dy, dz := pos(d.X), pos(d.Y), pos(d.Z)
+			// Group by X-projection; within a group, every ordered pair
+			// needs a witness.
+			groups := map[string][]int{}
+			for i, t := range tableau {
+				groups[projKey(t, dx)] = append(groups[projKey(t, dx)], i)
+			}
+			// Index of (XYZ)-projections for witness lookup.
+			xyz := append(append(append([]int(nil), dx...), dy...), dz...)
+			witnesses := map[string]bool{}
+			for _, t := range tableau {
+				witnesses[projKey(t, xyz)] = true
+			}
+			snapshot := len(tableau)
+			for _, group := range groups {
+				for _, i := range group {
+					if i >= snapshot {
+						continue
+					}
+					for _, j := range group {
+						if j >= snapshot {
+							continue
+						}
+						u1, u2 := tableau[i], tableau[j]
+						want := make([]int, 0, len(xyz))
+						for _, p := range dx {
+							want = append(want, u1[p])
+						}
+						for _, p := range dy {
+							want = append(want, u1[p])
+						}
+						for _, p := range dz {
+							want = append(want, u2[p])
+						}
+						if witnesses[rowKey(want)] {
+							continue
+						}
+						if len(tableau) >= max {
+							res.Verdict = Unknown
+							return res, nil
+						}
+						t3 := make([]int, w)
+						for c := range t3 {
+							t3[c] = -1
+						}
+						for k, p := range dx {
+							t3[p] = want[k]
+						}
+						for k, p := range dy {
+							t3[p] = want[len(dx)+k]
+						}
+						for k, p := range dz {
+							t3[p] = want[len(dx)+len(dy)+k]
+						}
+						for c := range t3 {
+							if t3[c] == -1 {
+								t3[c] = fresh()
+							}
+						}
+						if k := rowKey(t3); !keys[k] {
+							keys[k] = true
+							tableau = append(tableau, t3)
+							witnesses[rowKey(want)] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			if derived() {
+				res.Verdict = Implied
+				return res, nil
+			}
+			res.Verdict = NotImplied
+			res.Counterexample = export(db, goal.Rel, tableau)
+			return res, nil
+		}
+	}
+}
+
+func rowKey(t []int) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func projKey(t []int, pos []int) string {
+	b := make([]byte, 0, len(pos)*4)
+	for _, p := range pos {
+		v := t[p]
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func export(db *schema.Database, rel string, tableau [][]int) *data.Database {
+	out := data.NewDatabase(db)
+	for _, t := range tableau {
+		row := make(data.Tuple, len(t))
+		for i, v := range t {
+			row[i] = data.Value(fmt.Sprintf("v%d", v))
+		}
+		out.MustRelation(rel).MustInsert(row)
+	}
+	return out
+}
+
+// Family is the Theorem 5.3 instance for a given k: the relation scheme
+// R[A1, ..., A_{k+1}, B], the cyclic set Σ of k+1 EMVDs
+// A_i ->> A_{i+1} | B (indices cyclic), and σ = A1 ->> A_{k+1} | B.
+type Family struct {
+	K     int
+	DB    *schema.Database
+	Sigma []deps.EMVD
+	Goal  deps.EMVD
+}
+
+// SagivWalecka builds the Theorem 5.3 family for k ≥ 1.
+func SagivWalecka(k int) (Family, error) {
+	if k < 1 {
+		return Family{}, fmt.Errorf("emvd: k must be ≥ 1, got %d", k)
+	}
+	attrs := make([]schema.Attribute, k+2)
+	for i := 0; i <= k; i++ {
+		attrs[i] = schema.Attribute(fmt.Sprintf("A%d", i+1))
+	}
+	attrs[k+1] = "B"
+	db := schema.MustDatabase(schema.MustScheme("R", attrs...))
+	a := func(i int) []schema.Attribute { // A_i, 1-based, cyclic over 1..k+1
+		idx := (i-1)%(k+1) + 1
+		return []schema.Attribute{schema.Attribute(fmt.Sprintf("A%d", idx))}
+	}
+	b := []schema.Attribute{"B"}
+	var sigma []deps.EMVD
+	for i := 1; i <= k+1; i++ {
+		sigma = append(sigma, deps.NewEMVD("R", a(i), a(i+1), b))
+	}
+	goal := deps.NewEMVD("R", a(1), a(k+1), b)
+	return Family{K: k, DB: db, Sigma: sigma, Goal: goal}, nil
+}
+
+// SeparatingRelation returns a relation that obeys the single EMVD
+// sigma[i] of the family but violates the family goal, witnessing
+// Corollary 5.2's condition (ii) for that member. It requires k ≥ 2 (for
+// k = 1 the goal coincides with a member of Σ and condition (ii) fails;
+// Theorem 5.3 for k = 1 is subsumed by the k = 2 instance).
+func (f Family) SeparatingRelation(i int) (*data.Database, error) {
+	if f.K < 2 {
+		return nil, fmt.Errorf("emvd: separating relations need k ≥ 2")
+	}
+	if i < 0 || i >= len(f.Sigma) {
+		return nil, fmt.Errorf("emvd: no sigma member %d", i)
+	}
+	sch, _ := f.DB.Scheme("R")
+	w := sch.Width() // k+2; columns 0..k are A1..A_{k+1}, column k+1 is B.
+	out := data.NewDatabase(f.DB)
+	mk := func(vals []int) data.Tuple {
+		t := make(data.Tuple, w)
+		for c, v := range vals {
+			t[c] = data.Int(v)
+		}
+		return t
+	}
+	t1 := make([]int, w) // all zeros
+	t2 := make([]int, w) // A1 = 0, everything else 1
+	for c := 1; c < w; c++ {
+		t2[c] = 1
+	}
+	out.MustInsert("R", mk(t1), mk(t2))
+	if i == 0 {
+		// sigma[0] = A1 ->> A2 | B constrains the pair; add the two
+		// crossing witnesses (and they introduce no new A1-groups).
+		t3 := append([]int(nil), t2...) // A2 from t1, B from t2
+		t3[1] = t1[1]
+		t4 := append([]int(nil), t1...) // A2 from t2, B from t1
+		t4[1] = t2[1]
+		out.MustInsert("R", mk(t3), mk(t4))
+	}
+	return out, nil
+}

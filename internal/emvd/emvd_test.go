@@ -1,0 +1,158 @@
+package emvd
+
+import (
+	"testing"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func TestImpliesTrivialAndHypothesis(t *testing.T) {
+	db := schema.MustDatabase(schema.MustScheme("R", "X", "Y", "Z"))
+	goal := deps.NewEMVD("R", deps.Attrs("X"), deps.Attrs("Y"), deps.Attrs("Z"))
+	// The goal is implied by itself.
+	res, err := Implies(db, []deps.EMVD{goal}, goal, Options{})
+	if err != nil {
+		t.Fatalf("Implies: %v", err)
+	}
+	if res.Verdict != Implied {
+		t.Errorf("hypothesis: verdict %v", res.Verdict)
+	}
+	// The symmetric form X ->> Z | Y implies it too.
+	sym := deps.NewEMVD("R", deps.Attrs("X"), deps.Attrs("Z"), deps.Attrs("Y"))
+	res, _ = Implies(db, []deps.EMVD{sym}, goal, Options{})
+	if res.Verdict != Implied {
+		t.Errorf("symmetry: verdict %v", res.Verdict)
+	}
+	// The empty sigma does not imply a nontrivial EMVD, and the chase
+	// produces a counterexample.
+	res, _ = Implies(db, nil, goal, Options{})
+	if res.Verdict != NotImplied {
+		t.Fatalf("empty sigma: verdict %v", res.Verdict)
+	}
+	if ok, _ := res.Counterexample.Satisfies(goal); ok {
+		t.Errorf("counterexample satisfies the goal")
+	}
+}
+
+func TestImpliesValidation(t *testing.T) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y", "Z"),
+		schema.MustScheme("S", "X", "Y", "Z"),
+	)
+	goal := deps.NewEMVD("R", deps.Attrs("X"), deps.Attrs("Y"), deps.Attrs("Z"))
+	cross := deps.NewEMVD("S", deps.Attrs("X"), deps.Attrs("Y"), deps.Attrs("Z"))
+	if _, err := Implies(db, []deps.EMVD{cross}, goal, Options{}); err == nil {
+		t.Errorf("cross-relation sigma should be rejected")
+	}
+	bad := deps.NewEMVD("R", deps.Attrs("X"), deps.Attrs("Y"), deps.Attrs("Y"))
+	if _, err := Implies(db, nil, bad, Options{}); err == nil {
+		t.Errorf("invalid goal should be rejected")
+	}
+}
+
+func TestSagivWaleckaFamily(t *testing.T) {
+	f, err := SagivWalecka(2)
+	if err != nil {
+		t.Fatalf("SagivWalecka: %v", err)
+	}
+	if len(f.Sigma) != 3 {
+		t.Fatalf("Sigma has %d members, want k+1=3: %v", len(f.Sigma), f.Sigma)
+	}
+	if f.Goal.String() != "R: A1 ->> A3 | B" {
+		t.Errorf("goal = %v", f.Goal)
+	}
+	if _, err := SagivWalecka(0); err == nil {
+		t.Errorf("k=0 should be rejected")
+	}
+	// Condition (i): Σ ⊨ σ, found by the chase.
+	res, err := Implies(f.DB, f.Sigma, f.Goal, Options{})
+	if err != nil {
+		t.Fatalf("Implies: %v", err)
+	}
+	if res.Verdict != Implied {
+		t.Errorf("Σ should imply σ (Sagiv–Walecka): verdict %v", res.Verdict)
+	}
+}
+
+func TestSeparatingRelations(t *testing.T) {
+	f, _ := SagivWalecka(2)
+	for i, tau := range f.Sigma {
+		sep, err := f.SeparatingRelation(i)
+		if err != nil {
+			t.Fatalf("SeparatingRelation(%d): %v", i, err)
+		}
+		okTau, err := sep.Satisfies(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okTau {
+			t.Errorf("separating relation %d violates its own tau %v:\n%v", i, tau, sep)
+		}
+		okGoal, err := sep.Satisfies(f.Goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okGoal {
+			t.Errorf("separating relation %d satisfies the goal:\n%v", i, sep)
+		}
+	}
+	f1, _ := SagivWalecka(1)
+	if _, err := f1.SeparatingRelation(0); err == nil {
+		t.Errorf("k=1 separating relation should be rejected")
+	}
+	if _, err := f.SeparatingRelation(99); err == nil {
+		t.Errorf("out-of-range index should be rejected")
+	}
+}
+
+func TestSeparatingRelationsLargerK(t *testing.T) {
+	f, _ := SagivWalecka(3)
+	for i, tau := range f.Sigma {
+		sep, err := f.SeparatingRelation(i)
+		if err != nil {
+			t.Fatalf("SeparatingRelation(%d): %v", i, err)
+		}
+		if ok, _ := sep.Satisfies(tau); !ok {
+			t.Errorf("k=3: relation %d violates tau", i)
+		}
+		if ok, _ := sep.Satisfies(f.Goal); ok {
+			t.Errorf("k=3: relation %d satisfies goal", i)
+		}
+	}
+}
+
+func TestCheckConditions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("condition check is slow")
+	}
+	f, _ := SagivWalecka(2)
+	rep, err := f.CheckConditions(Options{MaxTuples: 512})
+	if err != nil {
+		t.Fatalf("CheckConditions: %v", err)
+	}
+	if !rep.Holds() {
+		t.Errorf("Corollary 5.2 conditions should hold: %+v", rep)
+	}
+	if rep.Cond3Checked == 0 {
+		t.Errorf("condition (iii) checked nothing")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	f, _ := SagivWalecka(3)
+	// A one-tuple budget cannot even hold the seed tableau's successors.
+	res, err := Implies(f.DB, f.Sigma, f.Goal, Options{MaxTuples: 2})
+	if err != nil {
+		t.Fatalf("Implies: %v", err)
+	}
+	if res.Verdict == NotImplied {
+		t.Errorf("tiny budget must not produce a bogus NotImplied")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Implied.String() != "implied" || NotImplied.String() != "not implied" || Unknown.String() != "unknown" {
+		t.Errorf("verdict strings wrong")
+	}
+}

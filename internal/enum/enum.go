@@ -1,0 +1,250 @@
+// Package enum enumerates all dependencies of bounded width over a
+// database scheme. Sections 6 and 7 of the paper argue about databases
+// that satisfy "exactly" a given set of FDs, INDs and RDs; verifying such
+// claims mechanically requires enumerating the candidate dependency
+// universe and checking satisfaction of each member.
+package enum
+
+import (
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Options bounds the enumeration.
+type Options struct {
+	// MaxWidth bounds IND/RD width and FD side sizes. Zero means the
+	// maximal scheme width.
+	MaxWidth int
+	// IncludeEmptyLHSFDs includes FDs with an empty left-hand side
+	// (R: ∅ -> Y), which Section 6 counts among the nontrivial FDs.
+	IncludeEmptyLHSFDs bool
+}
+
+func (o Options) maxWidth(db *schema.Database) int {
+	if o.MaxWidth > 0 {
+		return o.MaxWidth
+	}
+	m := 0
+	for _, name := range db.Names() {
+		s, _ := db.Scheme(name)
+		if s.Width() > m {
+			m = s.Width()
+		}
+	}
+	return m
+}
+
+// seqs enumerates all sequences of distinct attributes of s with length
+// between 1 and maxLen.
+func seqs(s *schema.Scheme, maxLen int) [][]schema.Attribute {
+	attrs := s.Attrs()
+	var out [][]schema.Attribute
+	var cur []schema.Attribute
+	used := make([]bool, len(attrs))
+	var rec func()
+	rec = func() {
+		if len(cur) >= 1 {
+			out = append(out, append([]schema.Attribute(nil), cur...))
+		}
+		if len(cur) == maxLen {
+			return
+		}
+		for i, a := range attrs {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, a)
+			rec()
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// setsOf enumerates all subsets (as sorted sequences) of s's attributes
+// with size between min and maxLen.
+func setsOf(s *schema.Scheme, min, maxLen int) [][]schema.Attribute {
+	attrs := s.Attrs()
+	var out [][]schema.Attribute
+	n := len(attrs)
+	for mask := 0; mask < 1<<n; mask++ {
+		var sub []schema.Attribute
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, attrs[i])
+			}
+		}
+		if len(sub) >= min && len(sub) <= maxLen {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// FDs enumerates all FDs over the scheme up to the width bound, one
+// canonical representative per semantic FD (sides as sorted sets).
+func FDs(db *schema.Database, opt Options) []deps.FD {
+	w := opt.maxWidth(db)
+	var out []deps.FD
+	for _, name := range db.Names() {
+		s, _ := db.Scheme(name)
+		minLHS := 1
+		if opt.IncludeEmptyLHSFDs {
+			minLHS = 0
+		}
+		for _, x := range setsOf(s, minLHS, w) {
+			for _, y := range setsOf(s, 1, w) {
+				out = append(out, deps.NewFD(name, x, y))
+			}
+		}
+	}
+	return out
+}
+
+// INDs enumerates all INDs over the scheme up to the width bound, one
+// canonical representative per semantic IND: left-hand sides are taken in
+// sorted order (IND2 permutation closure makes other orders equivalent),
+// right-hand sides range over all distinct sequences.
+func INDs(db *schema.Database, opt Options) []deps.IND {
+	w := opt.maxWidth(db)
+	var out []deps.IND
+	seen := map[string]bool{}
+	for _, ln := range db.Names() {
+		ls, _ := db.Scheme(ln)
+		for _, rn := range db.Names() {
+			rs, _ := db.Scheme(rn)
+			for _, x := range seqs(ls, w) {
+				for _, y := range seqs(rs, w) {
+					if len(x) != len(y) {
+						continue
+					}
+					d := deps.NewIND(ln, x, rn, y)
+					k := d.Key()
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RDs enumerates all unary RDs over the scheme (every RD is equivalent to
+// a set of unary RDs, so unary RDs suffice as the semantic universe),
+// one canonical representative per unordered attribute pair, including
+// the trivial R[A == A].
+func RDs(db *schema.Database) []deps.RD {
+	var out []deps.RD
+	seen := map[string]bool{}
+	for _, name := range db.Names() {
+		s, _ := db.Scheme(name)
+		for _, a := range s.Attrs() {
+			for _, b := range s.Attrs() {
+				d := deps.NewRD(name, []schema.Attribute{a}, []schema.Attribute{b})
+				if seen[d.Key()] {
+					continue
+				}
+				seen[d.Key()] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// EMVDs enumerates all EMVDs over the scheme with X, Y, Z disjoint
+// (representatives up to the Y|Z symmetry).
+func EMVDs(db *schema.Database) []deps.EMVD {
+	var out []deps.EMVD
+	seen := map[string]bool{}
+	for _, name := range db.Names() {
+		s, _ := db.Scheme(name)
+		full := s.Width()
+		for _, x := range setsOf(s, 0, full) {
+			rest := minusAttrs(s.Attrs(), x)
+			restScheme := rest
+			for _, y := range subsetsOf(restScheme) {
+				if len(y) == 0 {
+					continue
+				}
+				rest2 := minusAttrs(rest, y)
+				for _, z := range subsetsOf(rest2) {
+					if len(z) == 0 {
+						continue
+					}
+					d := deps.NewEMVD(name, x, y, z)
+					if seen[d.Key()] {
+						continue
+					}
+					seen[d.Key()] = true
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func minusAttrs(all, remove []schema.Attribute) []schema.Attribute {
+	rm := map[schema.Attribute]bool{}
+	for _, a := range remove {
+		rm[a] = true
+	}
+	var out []schema.Attribute
+	for _, a := range all {
+		if !rm[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func subsetsOf(attrs []schema.Attribute) [][]schema.Attribute {
+	n := len(attrs)
+	var out [][]schema.Attribute
+	for mask := 0; mask < 1<<n; mask++ {
+		var sub []schema.Attribute
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, attrs[i])
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+// All enumerates FDs, INDs and unary RDs as one dependency universe.
+func All(db *schema.Database, opt Options) []deps.Dependency {
+	var out []deps.Dependency
+	for _, f := range FDs(db, opt) {
+		out = append(out, f)
+	}
+	for _, i := range INDs(db, opt) {
+		out = append(out, i)
+	}
+	for _, r := range RDs(db) {
+		out = append(out, r)
+	}
+	return out
+}
+
+// MVDs enumerates all multivalued dependencies over the scheme: EMVDs
+// whose attribute sets X, Y, Z cover the whole relation scheme (the
+// classical MVD X ->> Y over R is the EMVD X ->> Y | U−X−Y).
+func MVDs(db *schema.Database) []deps.EMVD {
+	var out []deps.EMVD
+	for _, e := range EMVDs(db) {
+		s, _ := db.Scheme(e.Rel)
+		if len(e.X)+len(e.Y)+len(e.Z) == s.Width() {
+			out = append(out, e)
+		}
+	}
+	return out
+}

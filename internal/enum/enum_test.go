@@ -1,0 +1,154 @@
+package enum
+
+import (
+	"testing"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func rabDB() *schema.Database {
+	return schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+}
+
+func TestFDCounts(t *testing.T) {
+	db := rabDB()
+	// X in {A, B, AB}, Y in {A, B, AB}: 9 canonical FDs.
+	if got := len(FDs(db, Options{})); got != 9 {
+		t.Errorf("FDs = %d, want 9", got)
+	}
+	// With empty LHS: X also ∅, so 12.
+	if got := len(FDs(db, Options{IncludeEmptyLHSFDs: true})); got != 12 {
+		t.Errorf("FDs with ∅ LHS = %d, want 12", got)
+	}
+	// Width bound 1 restricts side sizes.
+	if got := len(FDs(db, Options{MaxWidth: 1})); got != 4 {
+		t.Errorf("unary FDs = %d, want 4", got)
+	}
+}
+
+func TestINDCounts(t *testing.T) {
+	db := rabDB()
+	// Width 1: 4; width 2 canonical: 2. Total 6.
+	if got := len(INDs(db, Options{})); got != 6 {
+		t.Errorf("INDs = %d, want 6", got)
+	}
+	if got := len(INDs(db, Options{MaxWidth: 1})); got != 4 {
+		t.Errorf("unary INDs = %d, want 4", got)
+	}
+	// Two relations of one attribute each: 4 unary INDs.
+	db2 := schema.MustDatabase(schema.MustScheme("R", "A"), schema.MustScheme("S", "B"))
+	if got := len(INDs(db2, Options{})); got != 4 {
+		t.Errorf("INDs over two unary schemes = %d, want 4", got)
+	}
+}
+
+func TestINDsAreCanonical(t *testing.T) {
+	db := rabDB()
+	seen := map[string]bool{}
+	for _, d := range INDs(db, Options{}) {
+		if seen[d.Key()] {
+			t.Errorf("duplicate canonical IND %v", d)
+		}
+		seen[d.Key()] = true
+	}
+}
+
+func TestRDCounts(t *testing.T) {
+	db := rabDB()
+	// Unordered pairs with repetition over {A,B}: AA, AB, BB.
+	if got := len(RDs(db)); got != 3 {
+		t.Errorf("RDs = %d, want 3", got)
+	}
+}
+
+func TestEMVDCounts(t *testing.T) {
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C"))
+	// X=∅: 6 unordered {Y|Z} splits; X singleton: 3. Total 9.
+	if got := len(EMVDs(db)); got != 9 {
+		t.Errorf("EMVDs = %d, want 9", got)
+	}
+}
+
+func TestAllValidates(t *testing.T) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D", "E"),
+	)
+	all := All(db, Options{MaxWidth: 2, IncludeEmptyLHSFDs: true})
+	if len(all) == 0 {
+		t.Fatalf("empty universe")
+	}
+	for _, d := range all {
+		if err := d.Validate(db); err != nil {
+			t.Errorf("enumerated invalid dependency %v: %v", d, err)
+		}
+	}
+	// Everything enumerated must be checkable against a database.
+	dbase := data.NewDatabase(db)
+	dbase.MustInsert("R", data.Tuple{"1", "2"})
+	dbase.MustInsert("S", data.Tuple{"1", "2", "3"})
+	for _, d := range all {
+		if _, err := dbase.Satisfies(d); err != nil {
+			t.Errorf("cannot check %v: %v", d, err)
+		}
+	}
+}
+
+// The enumeration is semantically exhaustive in the small: for the scheme
+// R(A,B), a database satisfying exactly a set of dependencies can be
+// described by which universe members it satisfies; check a known case.
+func TestSatisfactionProfile(t *testing.T) {
+	db := rabDB()
+	d := data.NewDatabase(db)
+	d.MustInsert("R", data.Tuple{"1", "1"}, data.Tuple{"2", "2"})
+	// This relation satisfies A -> B, B -> A, R[A] <= R[B], R[B] <= R[A],
+	// and R[A == B].
+	var satisfied []deps.Dependency
+	for _, dep := range All(db, Options{IncludeEmptyLHSFDs: true}) {
+		ok, err := d.Satisfies(dep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && !dep.Trivial() {
+			satisfied = append(satisfied, dep)
+		}
+	}
+	want := map[string]bool{
+		"R: A -> B":        true,
+		"R: B -> A":        true,
+		"R: A -> A,B":      true,
+		"R: B -> A,B":      true,
+		"R: A,B -> A":      false, // trivial, excluded above
+		"R[A] <= R[B]":     true,
+		"R[B] <= R[A]":     true,
+		"R[A,B] <= R[B,A]": true,
+		"R[A == B]":        true,
+	}
+	for _, dep := range satisfied {
+		if !want[dep.String()] {
+			t.Errorf("unexpected satisfied dependency %v", dep)
+		}
+	}
+	if len(satisfied) != 8 {
+		t.Errorf("satisfied %d nontrivial dependencies, want 8: %v", len(satisfied), satisfied)
+	}
+}
+
+func TestMVDCounts(t *testing.T) {
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C"))
+	// X ∪ Y ∪ Z = {A,B,C}: X=∅ gives 3 unordered splits of 3 attrs into
+	// two nonempty parts... each split {Y|Z} with Y∪Z = ABC: ({A},{BC}),
+	// ({B},{AC}), ({C},{AB}); X singleton gives ({B},{C}) etc., 3 more.
+	got := MVDs(db)
+	if len(got) != 6 {
+		t.Errorf("MVDs = %d (%v), want 6", len(got), got)
+	}
+	for _, m := range got {
+		s, _ := db.Scheme(m.Rel)
+		if len(m.X)+len(m.Y)+len(m.Z) != s.Width() {
+			t.Errorf("%v does not cover the scheme", m)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package er maps entity-relationship schemas to the relational model,
+// the setting the paper's introduction names as a source of inclusion
+// dependencies ("they also appear when an entity-relationship schema is
+// mapped to the relational model [Ch, Kl]", and "inclusion dependencies
+// are commonly known in Artificial Intelligence applications as ISA
+// relationships"). The mapping produces a database scheme together with
+// the FDs (keys) and INDs (foreign keys and ISA inclusions) it carries,
+// ready for the implication engines, the lint toolkit and the maintain
+// monitor.
+package er
+
+import (
+	"fmt"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Entity is an entity set with attributes, the first Key of which form
+// the key.
+type Entity struct {
+	Name  string
+	Key   []string
+	Attrs []string // non-key attributes
+}
+
+// Relationship is a relationship set among entities, with optional
+// attributes of its own. Each participant is referenced through its key.
+type Relationship struct {
+	Name         string
+	Participants []string // entity names; may repeat (roles get suffixes)
+	Attrs        []string
+}
+
+// ISA declares that every Sub entity is a Super entity (the paper's
+// "every manager is an employee").
+type ISA struct {
+	Sub, Super string
+}
+
+// Schema is an entity-relationship schema.
+type Schema struct {
+	Entities      []Entity
+	Relationships []Relationship
+	ISAs          []ISA
+}
+
+// Mapped is the relational image of an ER schema.
+type Mapped struct {
+	DB    *schema.Database
+	Sigma []deps.Dependency
+}
+
+// Map translates the ER schema:
+//
+//   - each entity becomes a relation over key + attributes, with the FD
+//     key -> attributes;
+//   - each ISA Sub ⊑ Super becomes the IND Sub[key] ⊆ Super[key] (the Sub
+//     must have the same key as the Super);
+//   - each relationship becomes a relation over the participants' keys
+//     (role-disambiguated when an entity participates twice) plus its own
+//     attributes, with one IND per participant into the participant's
+//     relation.
+func Map(s Schema) (*Mapped, error) {
+	entities := map[string]Entity{}
+	var schemes []*schema.Scheme
+	var sigma []deps.Dependency
+
+	prefixed := func(prefix string, names []string) []schema.Attribute {
+		out := make([]schema.Attribute, len(names))
+		for i, n := range names {
+			out[i] = schema.Attribute(prefix + n)
+		}
+		return out
+	}
+
+	for _, e := range s.Entities {
+		if _, dup := entities[e.Name]; dup {
+			return nil, fmt.Errorf("er: duplicate entity %s", e.Name)
+		}
+		if len(e.Key) == 0 {
+			return nil, fmt.Errorf("er: entity %s has no key", e.Name)
+		}
+		entities[e.Name] = e
+		attrs := append(prefixed("", e.Key), prefixed("", e.Attrs)...)
+		sch, err := schema.NewScheme(e.Name, attrs...)
+		if err != nil {
+			return nil, fmt.Errorf("er: entity %s: %w", e.Name, err)
+		}
+		schemes = append(schemes, sch)
+		if len(e.Attrs) > 0 {
+			sigma = append(sigma, deps.NewFD(e.Name, prefixed("", e.Key), prefixed("", e.Attrs)))
+		}
+	}
+
+	for _, isa := range s.ISAs {
+		sub, ok := entities[isa.Sub]
+		if !ok {
+			return nil, fmt.Errorf("er: ISA references unknown entity %s", isa.Sub)
+		}
+		super, ok := entities[isa.Super]
+		if !ok {
+			return nil, fmt.Errorf("er: ISA references unknown entity %s", isa.Super)
+		}
+		if len(sub.Key) != len(super.Key) {
+			return nil, fmt.Errorf("er: ISA %s ⊑ %s: key widths differ", isa.Sub, isa.Super)
+		}
+		sigma = append(sigma, deps.NewIND(isa.Sub, prefixed("", sub.Key), isa.Super, prefixed("", super.Key)))
+	}
+
+	for _, r := range s.Relationships {
+		if len(r.Participants) == 0 {
+			return nil, fmt.Errorf("er: relationship %s has no participants", r.Name)
+		}
+		var attrs []schema.Attribute
+		type ref struct {
+			entity string
+			cols   []schema.Attribute
+			keys   []schema.Attribute
+		}
+		var refs []ref
+		seen := map[string]int{}
+		for _, p := range r.Participants {
+			e, ok := entities[p]
+			if !ok {
+				return nil, fmt.Errorf("er: relationship %s references unknown entity %s", r.Name, p)
+			}
+			role := ""
+			seen[p]++
+			if seen[p] > 1 {
+				role = fmt.Sprintf("%d", seen[p])
+			}
+			cols := prefixed(p+role+"_", e.Key)
+			attrs = append(attrs, cols...)
+			refs = append(refs, ref{entity: p, cols: cols, keys: prefixed("", e.Key)})
+		}
+		attrs = append(attrs, prefixed("", r.Attrs)...)
+		sch, err := schema.NewScheme(r.Name, attrs...)
+		if err != nil {
+			return nil, fmt.Errorf("er: relationship %s: %w", r.Name, err)
+		}
+		schemes = append(schemes, sch)
+		for _, rf := range refs {
+			sigma = append(sigma, deps.NewIND(r.Name, rf.cols, rf.entity, rf.keys))
+		}
+		if len(r.Attrs) > 0 {
+			var keyCols []schema.Attribute
+			for _, rf := range refs {
+				keyCols = append(keyCols, rf.cols...)
+			}
+			sigma = append(sigma, deps.NewFD(r.Name, keyCols, prefixed("", r.Attrs)))
+		}
+	}
+
+	db, err := schema.NewDatabase(schemes...)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range sigma {
+		if err := d.Validate(db); err != nil {
+			return nil, fmt.Errorf("er: generated invalid dependency %v: %w", d, err)
+		}
+	}
+	return &Mapped{DB: db, Sigma: sigma}, nil
+}

@@ -1,0 +1,123 @@
+package er
+
+import (
+	"testing"
+
+	"indfd/internal/core"
+	"indfd/internal/deps"
+)
+
+// company is the paper's motivating scenario: employees, departments,
+// managers (ISA employee), and a WORKS_IN relationship.
+func company() Schema {
+	return Schema{
+		Entities: []Entity{
+			{Name: "EMP", Key: []string{"ENO"}, Attrs: []string{"ENAME", "SAL"}},
+			{Name: "DEPT", Key: []string{"DNO"}, Attrs: []string{"DNAME"}},
+			{Name: "MGR", Key: []string{"ENO"}},
+		},
+		Relationships: []Relationship{
+			{Name: "WORKS_IN", Participants: []string{"EMP", "DEPT"}, Attrs: []string{"SINCE"}},
+		},
+		ISAs: []ISA{{Sub: "MGR", Super: "EMP"}},
+	}
+}
+
+func TestMapCompany(t *testing.T) {
+	m, err := Map(company())
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if m.DB.Len() != 4 {
+		t.Errorf("relations = %v", m.DB.Names())
+	}
+	want := map[string]bool{
+		"EMP: ENO -> ENAME,SAL":               true,
+		"DEPT: DNO -> DNAME":                  true,
+		"MGR[ENO] <= EMP[ENO]":                true, // the ISA
+		"WORKS_IN[EMP_ENO] <= EMP[ENO]":       true,
+		"WORKS_IN[DEPT_DNO] <= DEPT[DNO]":     true,
+		"WORKS_IN: EMP_ENO,DEPT_DNO -> SINCE": true,
+	}
+	if len(m.Sigma) != len(want) {
+		t.Fatalf("sigma = %v", m.Sigma)
+	}
+	for _, d := range m.Sigma {
+		if !want[d.String()] {
+			t.Errorf("unexpected dependency %v", d)
+		}
+	}
+}
+
+// The mapped dependencies feed the implication engines: every manager
+// working in a department is (transitively) an employee of the company.
+func TestMappedSchemaReasoning(t *testing.T) {
+	m, err := Map(company())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(m.DB)
+	if err := sys.Add(m.Sigma...); err != nil {
+		t.Fatal(err)
+	}
+	// Derived: WORKS_IN references names transitively? WORKS_IN[EMP_ENO]
+	// ⊆ EMP[ENO] is declared; with MGR ⊑ EMP, MGR[ENO] ⊆ EMP[ENO] holds,
+	// and nothing implies EMP[ENO] ⊆ MGR[ENO].
+	a, err := sys.Implies(deps.NewIND("MGR", deps.Attrs("ENO"), "EMP", deps.Attrs("ENO")), core.Options{})
+	if err != nil || a.Verdict != core.Yes {
+		t.Errorf("ISA IND should be implied: %+v %v", a, err)
+	}
+	a, err = sys.Implies(deps.NewIND("EMP", deps.Attrs("ENO"), "MGR", deps.Attrs("ENO")), core.Options{})
+	if err != nil || a.Verdict != core.No {
+		t.Errorf("converse ISA should not be implied: %+v %v", a, err)
+	}
+}
+
+func TestRolesDisambiguate(t *testing.T) {
+	// A self-relationship (employee mentors employee) gets role-suffixed
+	// columns and two INDs into EMP.
+	s := Schema{
+		Entities: []Entity{{Name: "EMP", Key: []string{"ENO"}}},
+		Relationships: []Relationship{
+			{Name: "MENTORS", Participants: []string{"EMP", "EMP"}},
+		},
+	}
+	m, err := Map(s)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	sch, ok := m.DB.Scheme("MENTORS")
+	if !ok || sch.Width() != 2 {
+		t.Fatalf("MENTORS scheme wrong: %v", sch)
+	}
+	if !sch.Has("EMP_ENO") || !sch.Has("EMP2_ENO") {
+		t.Errorf("role columns wrong: %v", sch)
+	}
+	inds := 0
+	for _, d := range m.Sigma {
+		if d.Kind() == deps.KindIND {
+			inds++
+		}
+	}
+	if inds != 2 {
+		t.Errorf("INDs = %d, want 2", inds)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	cases := []Schema{
+		{Entities: []Entity{{Name: "E", Key: []string{"K"}}, {Name: "E", Key: []string{"K"}}}}, // duplicate entity
+		{Entities: []Entity{{Name: "E"}}}, // no key
+		{Entities: []Entity{{Name: "E", Key: []string{"K"}}}, ISAs: []ISA{{Sub: "E", Super: "X"}}},                                       // unknown super
+		{Entities: []Entity{{Name: "E", Key: []string{"K"}}}, ISAs: []ISA{{Sub: "X", Super: "E"}}},                                       // unknown sub
+		{Entities: []Entity{{Name: "E", Key: []string{"K"}}}, Relationships: []Relationship{{Name: "R"}}},                                // no participants
+		{Entities: []Entity{{Name: "E", Key: []string{"K"}}}, Relationships: []Relationship{{Name: "R", Participants: []string{"X"}}}},   // unknown participant
+		{Entities: []Entity{{Name: "E", Key: []string{"K"}}, {Name: "F", Key: []string{"A", "B"}}}, ISAs: []ISA{{Sub: "E", Super: "F"}}}, // key width mismatch
+		{Entities: []Entity{{Name: "E", Key: []string{"K"}, Attrs: []string{"K"}}}},                                                      // duplicate attribute
+	}
+	for i, s := range cases {
+		if _, err := Map(s); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

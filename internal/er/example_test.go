@@ -1,0 +1,28 @@
+package er_test
+
+import (
+	"fmt"
+
+	"indfd/internal/er"
+)
+
+// The introduction's "every manager is an employee" as an ISA, mapped to
+// the relational model.
+func ExampleMap() {
+	m, err := er.Map(er.Schema{
+		Entities: []er.Entity{
+			{Name: "EMP", Key: []string{"ENO"}, Attrs: []string{"NAME"}},
+			{Name: "MGR", Key: []string{"ENO"}},
+		},
+		ISAs: []er.ISA{{Sub: "MGR", Super: "EMP"}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range m.Sigma {
+		fmt.Println(d)
+	}
+	// Output:
+	// EMP: ENO -> NAME
+	// MGR[ENO] <= EMP[ENO]
+}

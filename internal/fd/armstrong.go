@@ -1,0 +1,75 @@
+package fd
+
+import (
+	"fmt"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// ClosedSets returns all attribute sets X of the scheme with X = X⁺ under
+// the FDs of sigma naming the scheme, each as a sorted attribute sequence.
+// The enumeration is exponential in the scheme width; the paper's schemes
+// never exceed three attributes, and the method guards against widths
+// above 16.
+func ClosedSets(s *schema.Scheme, sigma []deps.FD) ([][]schema.Attribute, error) {
+	attrs := s.Attrs()
+	n := len(attrs)
+	if n > 16 {
+		return nil, fmt.Errorf("fd: scheme %s too wide (%d attributes) for closed-set enumeration", s.Name(), n)
+	}
+	var out [][]schema.Attribute
+	for mask := 0; mask < 1<<n; mask++ {
+		var x []schema.Attribute
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				x = append(x, attrs[i])
+			}
+		}
+		if schema.EqualSeq(Closure(s.Name(), x, sigma), schema.SortedSet(x)) {
+			out = append(out, schema.SortedSet(x))
+		}
+	}
+	return out, nil
+}
+
+// ArmstrongRelation builds a finite relation over the scheme that obeys
+// exactly the FDs implied by sigma: an FD X -> Y over the scheme holds in
+// the relation iff sigma ⊨ X -> Y. (Armstrong relations always exist for
+// FDs — Armstrong; Fagin — and the paper's introduction points to Fagin
+// and Vardi's extension to FDs and INDs together.)
+//
+// The construction is the classical one: one tuple t_C per closed set C,
+// with t_C agreeing with the all-zero tuple exactly on C; the agreement
+// set of t_C and t_C' is then C ∩ C', which is closed, so every implied
+// FD holds, while for A ∉ X⁺ the tuples t_{X⁺} and t_U disagree on A.
+func ArmstrongRelation(s *schema.Scheme, sigma []deps.FD) (*data.Database, error) {
+	closed, err := ClosedSets(s, sigma)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := schema.NewDatabase(s)
+	if err != nil {
+		return nil, err
+	}
+	db := data.NewDatabase(ds)
+	for id, c := range closed {
+		inC := make(map[schema.Attribute]bool, len(c))
+		for _, a := range c {
+			inC[a] = true
+		}
+		t := make(data.Tuple, s.Width())
+		for i, a := range s.Attrs() {
+			if inC[a] {
+				t[i] = data.Int(0)
+			} else {
+				t[i] = data.Value(fmt.Sprintf("x%d", id+1))
+			}
+		}
+		if _, err := db.Insert(s.Name(), t); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,125 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func TestClosedSets(t *testing.T) {
+	s := schema.MustScheme("R", "A", "B", "C")
+	sigma := fds(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+	)
+	closed, err := ClosedSets(s, sigma)
+	if err != nil {
+		t.Fatalf("ClosedSets: %v", err)
+	}
+	// Closed: ∅, B, C, BC, AB, ABC — not A (A⁺ = AB), not AC.
+	if len(closed) != 6 {
+		t.Errorf("closed sets = %v, want 6 of them", closed)
+	}
+	for _, c := range closed {
+		if !schema.EqualSeq(schema.SortedSet(Closure("R", c, sigma)), c) {
+			t.Errorf("%v is not closed", c)
+		}
+	}
+}
+
+func TestClosedSetsTooWide(t *testing.T) {
+	attrs := make([]schema.Attribute, 17)
+	for i := range attrs {
+		attrs[i] = schema.Attribute("X" + string(rune('A'+i)))
+	}
+	s := schema.MustScheme("R", attrs...)
+	if _, err := ClosedSets(s, nil); err == nil {
+		t.Errorf("17-attribute scheme should be rejected")
+	}
+}
+
+func TestArmstrongRelationExample(t *testing.T) {
+	s := schema.MustScheme("R", "A", "B", "C")
+	sigma := fds(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C")),
+	)
+	db, err := ArmstrongRelation(s, sigma)
+	if err != nil {
+		t.Fatalf("ArmstrongRelation: %v", err)
+	}
+	cases := []struct {
+		fd   deps.FD
+		want bool
+	}{
+		{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")), true},
+		{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C")), true},
+		{deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C")), true},
+		{deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A")), false},
+		{deps.NewFD("R", deps.Attrs("C"), deps.Attrs("A")), false},
+		{deps.NewFD("R", deps.Attrs("C"), deps.Attrs("B")), false},
+	}
+	for _, c := range cases {
+		sat, err := db.Satisfies(c.fd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sat != c.want {
+			t.Errorf("%v: satisfied=%v, want %v", c.fd, sat, c.want)
+		}
+	}
+}
+
+// Property: the Armstrong relation satisfies an FD iff sigma implies it,
+// for every FD over the scheme (enumerating all side pairs).
+func TestArmstrongRelationExactness(t *testing.T) {
+	s := schema.MustScheme("R", "A", "B", "C", "D")
+	attrs := s.Attrs()
+	subsets := func() [][]schema.Attribute {
+		var out [][]schema.Attribute
+		for mask := 0; mask < 1<<len(attrs); mask++ {
+			var x []schema.Attribute
+			for i := range attrs {
+				if mask&(1<<i) != 0 {
+					x = append(x, attrs[i])
+				}
+			}
+			out = append(out, x)
+		}
+		return out
+	}()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sigma []deps.FD
+		for i := 0; i < r.Intn(5); i++ {
+			x := subsets[r.Intn(len(subsets))]
+			y := subsets[1+r.Intn(len(subsets)-1)] // nonempty
+			sigma = append(sigma, deps.NewFD("R", x, y))
+		}
+		db, err := ArmstrongRelation(s, sigma)
+		if err != nil {
+			return false
+		}
+		for _, x := range subsets {
+			for _, y := range subsets {
+				if len(y) == 0 {
+					continue
+				}
+				goal := deps.NewFD("R", x, y)
+				sat, err := db.Satisfies(goal)
+				if err != nil {
+					return false
+				}
+				if sat != Implies(sigma, goal) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package fd_test
+
+import (
+	"fmt"
+
+	"indfd/internal/deps"
+	"indfd/internal/fd"
+	"indfd/internal/schema"
+)
+
+// Attribute-set closure under a set of FDs (Beeri–Bernstein).
+func ExampleClosure() {
+	sigma := []deps.FD{
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C")),
+	}
+	fmt.Println(fd.Closure("R", deps.Attrs("A"), sigma))
+	// Output: [A B C]
+}
+
+// Minimal keys of a relation scheme.
+func ExampleKeys() {
+	s := schema.MustScheme("R", "A", "B", "C")
+	sigma := []deps.FD{
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B", "C")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A")),
+	}
+	for _, k := range fd.Keys(s, sigma) {
+		fmt.Println(k)
+	}
+	// Output:
+	// [A]
+	// [B]
+}

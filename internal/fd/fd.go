@@ -1,0 +1,252 @@
+// Package fd implements the classical theory of functional dependencies
+// that the paper builds on and contrasts with: Armstrong's complete
+// axiomatization, the near-linear-time attribute-set closure of Beeri and
+// Bernstein (cited in Section 3 as the polynomial counterpoint to the
+// PSPACE-complete IND decision problem), implication, minimal covers, and
+// key discovery.
+//
+// FDs in this package may span several relations of a database scheme; an
+// FD only ever constrains the single relation it names, so implication
+// questions decompose per relation.
+package fd
+
+import (
+	"sort"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// attrSet is a set of attributes.
+type attrSet map[schema.Attribute]bool
+
+func newAttrSet(attrs []schema.Attribute) attrSet {
+	s := make(attrSet, len(attrs))
+	for _, a := range attrs {
+		s[a] = true
+	}
+	return s
+}
+
+func (s attrSet) containsAll(attrs []schema.Attribute) bool {
+	for _, a := range attrs {
+		if !s[a] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s attrSet) sorted() []schema.Attribute {
+	out := make([]schema.Attribute, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Closure computes the attribute-set closure X⁺ of the attribute set x
+// under the FDs of sigma that name relation rel, using the Beeri–Bernstein
+// counting algorithm: each FD keeps a count of left-hand-side attributes
+// not yet derived, and fires when the count reaches zero. The running time
+// is linear in the total size of the relevant FDs.
+func Closure(rel string, x []schema.Attribute, sigma []deps.FD) []schema.Attribute {
+	var fds []deps.FD
+	for _, f := range sigma {
+		if f.Rel == rel {
+			fds = append(fds, f)
+		}
+	}
+	// remaining[i] counts LHS attributes of fds[i] not yet in the closure.
+	remaining := make([]int, len(fds))
+	// byAttr[a] lists the FDs with a on the left-hand side.
+	byAttr := make(map[schema.Attribute][]int)
+	closure := make(attrSet)
+	var queue []schema.Attribute
+
+	add := func(a schema.Attribute) {
+		if !closure[a] {
+			closure[a] = true
+			queue = append(queue, a)
+		}
+	}
+	for i, f := range fds {
+		remaining[i] = len(f.X)
+		for _, a := range f.X {
+			byAttr[a] = append(byAttr[a], i)
+		}
+	}
+	for _, a := range x {
+		add(a)
+	}
+	// FDs with an empty left-hand side fire immediately (R: ∅ -> Y).
+	for i, f := range fds {
+		if remaining[i] == 0 {
+			for _, b := range f.Y {
+				add(b)
+			}
+		}
+		_ = f
+	}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for _, i := range byAttr[a] {
+			remaining[i]--
+			if remaining[i] == 0 {
+				for _, b := range fds[i].Y {
+					add(b)
+				}
+			}
+		}
+	}
+	return closure.sorted()
+}
+
+// closureSet is Closure returning the set form.
+func closureSet(rel string, x []schema.Attribute, sigma []deps.FD) attrSet {
+	return newAttrSet(Closure(rel, x, sigma))
+}
+
+// Implies reports whether sigma logically implies the FD f. By the
+// completeness of Armstrong's axioms this holds iff every attribute of
+// f.Y is in the closure of f.X under the FDs of sigma over f.Rel. For FDs,
+// finite and unrestricted implication coincide.
+func Implies(sigma []deps.FD, f deps.FD) bool {
+	return closureSet(f.Rel, f.X, sigma).containsAll(f.Y)
+}
+
+// ImpliesAll reports whether sigma implies every FD in fs.
+func ImpliesAll(sigma []deps.FD, fs []deps.FD) bool {
+	for _, f := range fs {
+		if !Implies(sigma, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether two FD sets have the same consequences.
+func Equivalent(a, b []deps.FD) bool {
+	return ImpliesAll(a, b) && ImpliesAll(b, a)
+}
+
+// ClosureNaive computes the same closure as Closure with the textbook
+// quadratic fixpoint loop. It exists as the ablation baseline for
+// BenchmarkFDClosureNaive (see DESIGN.md §4).
+func ClosureNaive(rel string, x []schema.Attribute, sigma []deps.FD) []schema.Attribute {
+	closure := newAttrSet(x)
+	for changed := true; changed; {
+		changed = false
+		for _, f := range sigma {
+			if f.Rel != rel {
+				continue
+			}
+			if closure.containsAll(f.X) {
+				for _, b := range f.Y {
+					if !closure[b] {
+						closure[b] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return closure.sorted()
+}
+
+// MinimalCover returns a minimal cover of sigma: an equivalent set of FDs
+// in which every right-hand side is a single attribute, no left-hand side
+// contains a redundant attribute, and no FD is redundant. The result is
+// deterministic for a given input order.
+func MinimalCover(sigma []deps.FD) []deps.FD {
+	// Step 1: split right-hand sides.
+	var g []deps.FD
+	for _, f := range sigma {
+		for _, b := range f.Y {
+			g = append(g, deps.NewFD(f.Rel, f.X, []schema.Attribute{b}))
+		}
+	}
+	// Step 2: remove extraneous left-hand-side attributes.
+	for i := range g {
+		x := g[i].X
+		for j := 0; j < len(x); {
+			trimmed := make([]schema.Attribute, 0, len(x)-1)
+			trimmed = append(trimmed, x[:j]...)
+			trimmed = append(trimmed, x[j+1:]...)
+			if closureSet(g[i].Rel, trimmed, g).containsAll(g[i].Y) {
+				x = trimmed
+			} else {
+				j++
+			}
+		}
+		g[i] = deps.NewFD(g[i].Rel, x, g[i].Y)
+	}
+	// Step 3: remove redundant FDs.
+	for i := 0; i < len(g); {
+		rest := make([]deps.FD, 0, len(g)-1)
+		rest = append(rest, g[:i]...)
+		rest = append(rest, g[i+1:]...)
+		if Implies(rest, g[i]) {
+			g = rest
+		} else {
+			i++
+		}
+	}
+	return g
+}
+
+// Keys returns all minimal keys of the relation scheme under the FDs of
+// sigma naming it, in sorted order. A key is a minimal attribute set whose
+// closure is the full attribute set of the scheme.
+func Keys(s *schema.Scheme, sigma []deps.FD) [][]schema.Attribute {
+	all := s.Attrs()
+	var keys [][]schema.Attribute
+	// Enumerate candidate subsets in order of increasing size so that
+	// supersets of found keys can be skipped. Scheme widths in this
+	// repository are tiny (the paper never exceeds three attributes), so
+	// exhaustive enumeration is appropriate.
+	n := len(all)
+	isSuperset := func(cand attrSet) bool {
+		for _, k := range keys {
+			if cand.containsAll(k) {
+				return true
+			}
+		}
+		return false
+	}
+	for size := 0; size <= n; size++ {
+		subsets(n, size, func(idx []int) {
+			cand := make([]schema.Attribute, len(idx))
+			for i, j := range idx {
+				cand[i] = all[j]
+			}
+			cs := newAttrSet(cand)
+			if isSuperset(cs) {
+				return
+			}
+			if closureSet(s.Name(), cand, sigma).containsAll(all) {
+				keys = append(keys, cand)
+			}
+		})
+	}
+	return keys
+}
+
+// subsets calls fn with every size-k index subset of {0,...,n-1}.
+func subsets(n, k int, fn func([]int)) {
+	idx := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			fn(idx)
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}

@@ -1,0 +1,310 @@
+package fd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func fds(fs ...deps.FD) []deps.FD { return fs }
+
+func TestClosureBasic(t *testing.T) {
+	sigma := fds(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C")),
+		deps.NewFD("R", deps.Attrs("C", "D"), deps.Attrs("E")),
+	)
+	got := Closure("R", deps.Attrs("A"), sigma)
+	want := deps.Attrs("A", "B", "C")
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Closure(A) = %v, want %v", got, want)
+	}
+	got = Closure("R", deps.Attrs("A", "D"), sigma)
+	want = deps.Attrs("A", "B", "C", "D", "E")
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Closure(A,D) = %v, want %v", got, want)
+	}
+}
+
+func TestClosureRespectsRelation(t *testing.T) {
+	sigma := fds(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("S", deps.Attrs("B"), deps.Attrs("C")),
+	)
+	got := Closure("R", deps.Attrs("A"), sigma)
+	if !reflect.DeepEqual(got, deps.Attrs("A", "B")) {
+		t.Errorf("Closure over R must ignore FDs over S: %v", got)
+	}
+}
+
+func TestClosureEmptyLHS(t *testing.T) {
+	// R: ∅ -> A fires unconditionally (Section 6, Case 1).
+	sigma := fds(
+		deps.NewFD("R", nil, deps.Attrs("A")),
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+	)
+	got := Closure("R", nil, sigma)
+	if !reflect.DeepEqual(got, deps.Attrs("A", "B")) {
+		t.Errorf("Closure(∅) = %v", got)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	sigma := fds(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C")),
+	)
+	if !Implies(sigma, deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C"))) {
+		t.Errorf("transitivity should give A -> C")
+	}
+	if Implies(sigma, deps.NewFD("R", deps.Attrs("C"), deps.Attrs("A"))) {
+		t.Errorf("C -> A should not be implied")
+	}
+	if !Implies(nil, deps.NewFD("R", deps.Attrs("A", "B"), deps.Attrs("A"))) {
+		t.Errorf("trivial FD should be implied by the empty set")
+	}
+	// The Section 5 chain T_k: A1->A2, ..., A_{k+1}->A_{k+2} implies A1->A_{k+2}.
+	var chain []deps.FD
+	names := []string{"A1", "A2", "A3", "A4", "A5"}
+	for i := 0; i+1 < len(names); i++ {
+		chain = append(chain, deps.NewFD("R", deps.Attrs(names[i]), deps.Attrs(names[i+1])))
+	}
+	if !Implies(chain, deps.NewFD("R", deps.Attrs("A1"), deps.Attrs("A5"))) {
+		t.Errorf("FD chain should imply A1 -> A5")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := fds(deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B", "C")))
+	b := fds(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C")),
+	)
+	if !Equivalent(a, b) {
+		t.Errorf("split RHS should be equivalent")
+	}
+	c := fds(deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")))
+	if Equivalent(a, c) {
+		t.Errorf("a and c differ on A -> C")
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	sigma := fds(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B", "C")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C")),
+		deps.NewFD("R", deps.Attrs("A", "B"), deps.Attrs("C")), // redundant
+	)
+	mc := MinimalCover(sigma)
+	if !Equivalent(sigma, mc) {
+		t.Fatalf("minimal cover not equivalent: %v", mc)
+	}
+	for _, f := range mc {
+		if len(f.Y) != 1 {
+			t.Errorf("minimal cover FD %v has non-singleton RHS", f)
+		}
+	}
+	// A -> C is redundant given A -> B, B -> C, so the cover has 2 FDs.
+	if len(mc) != 2 {
+		t.Errorf("minimal cover has %d FDs, want 2: %v", len(mc), mc)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	s := schema.MustScheme("R", "A", "B", "C")
+	sigma := fds(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A")),
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C")),
+	)
+	keys := Keys(s, sigma)
+	if len(keys) != 2 {
+		t.Fatalf("Keys = %v, want {A},{B}", keys)
+	}
+	got := map[string]bool{}
+	for _, k := range keys {
+		got[schema.JoinAttrs(k)] = true
+	}
+	if !got["A"] || !got["B"] {
+		t.Errorf("Keys = %v", keys)
+	}
+	// With no FDs, the only key is the full attribute set.
+	keys = Keys(s, nil)
+	if len(keys) != 1 || schema.JoinAttrs(keys[0]) != "A,B,C" {
+		t.Errorf("Keys(no FDs) = %v", keys)
+	}
+}
+
+func TestProveAndVerify(t *testing.T) {
+	sigma := fds(
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C")),
+		deps.NewFD("R", deps.Attrs("Z"), deps.Attrs("W")), // irrelevant
+	)
+	goal := deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C"))
+	p, ok := Prove(sigma, goal)
+	if !ok {
+		t.Fatalf("Prove failed")
+	}
+	if err := p.Verify(sigma); err != nil {
+		t.Fatalf("Verify: %v\n%s", err, p)
+	}
+	// The proof must not use the irrelevant FD.
+	for _, s := range p.Steps {
+		if s.Via.X[0] == "Z" {
+			t.Errorf("proof uses irrelevant FD %v", s.Via)
+		}
+	}
+	if _, ok := Prove(sigma, deps.NewFD("R", deps.Attrs("C"), deps.Attrs("A"))); ok {
+		t.Errorf("Prove should fail for non-consequences")
+	}
+	// A tampered proof must not verify.
+	bad := p
+	bad.Steps = append([]Step(nil), p.Steps...)
+	bad.Steps[0].Via = deps.NewFD("R", deps.Attrs("Q"), deps.Attrs("B"))
+	if err := bad.Verify(sigma); err == nil {
+		t.Errorf("tampered proof verified")
+	}
+	if p.String() == "" {
+		t.Errorf("empty proof rendering")
+	}
+}
+
+func TestProveTrivial(t *testing.T) {
+	goal := deps.NewFD("R", deps.Attrs("A", "B"), deps.Attrs("A"))
+	p, ok := Prove(nil, goal)
+	if !ok || len(p.Steps) != 0 {
+		t.Errorf("trivial proof should have no steps: %v %v", ok, p.Steps)
+	}
+	if err := p.Verify(nil); err != nil {
+		t.Errorf("Verify trivial: %v", err)
+	}
+}
+
+// randomFDs generates a random FD set over attributes A..E of relation R.
+func randomFDs(r *rand.Rand) []deps.FD {
+	attrs := deps.Attrs("A", "B", "C", "D", "E")
+	n := r.Intn(6)
+	var out []deps.FD
+	for i := 0; i < n; i++ {
+		perm := r.Perm(len(attrs))
+		nx := 1 + r.Intn(2)
+		x := make([]schema.Attribute, nx)
+		for j := 0; j < nx; j++ {
+			x[j] = attrs[perm[j]]
+		}
+		y := []schema.Attribute{attrs[perm[nx]]}
+		out = append(out, deps.NewFD("R", x, y))
+	}
+	return out
+}
+
+// Property: the indexed closure and the naive closure agree.
+func TestClosureAgreesWithNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sigma := randomFDs(r)
+		start := deps.Attrs("A", "B", "C", "D", "E")[:1+r.Intn(3)]
+		return reflect.DeepEqual(Closure("R", start, sigma), ClosureNaive("R", start, sigma))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: closure is monotone, extensive and idempotent.
+func TestClosureIsAClosureOperator(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sigma := randomFDs(r)
+		x := deps.Attrs("A", "B")
+		cx := Closure("R", x, sigma)
+		// extensive: X ⊆ X⁺
+		if !schema.SubsetOf(x, cx) {
+			return false
+		}
+		// idempotent: (X⁺)⁺ = X⁺
+		if !reflect.DeepEqual(Closure("R", cx, sigma), cx) {
+			return false
+		}
+		// monotone: X ⊆ XY ⇒ X⁺ ⊆ (XY)⁺
+		cxy := Closure("R", deps.Attrs("A", "B", "C"), sigma)
+		return schema.SubsetOf(cx, cxy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (soundness against the semantics): if Implies(sigma, f), then
+// every randomly generated small relation satisfying sigma satisfies f.
+func TestImpliesSoundAgainstSemantics(t *testing.T) {
+	ds := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C", "D", "E"))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sigma := randomFDs(r)
+		goal := deps.NewFD("R", deps.Attrs("A"), deps.Attrs("E"))
+		if !Implies(sigma, goal) {
+			return true // nothing to check
+		}
+		// Generate random relations; keep ones satisfying sigma.
+		for trial := 0; trial < 20; trial++ {
+			db := data.NewDatabase(ds)
+			rel := db.MustRelation("R")
+			for i := 0; i < 4; i++ {
+				tup := make(data.Tuple, 5)
+				for j := range tup {
+					tup[j] = data.Int(r.Intn(3))
+				}
+				rel.MustInsert(tup)
+			}
+			sat := true
+			for _, g := range sigma {
+				ok, err := db.Satisfies(g)
+				if err != nil {
+					return false
+				}
+				if !ok {
+					sat = false
+					break
+				}
+			}
+			if !sat {
+				continue
+			}
+			ok, err := db.Satisfies(goal)
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every FD produced by Prove verifies.
+func TestProveAlwaysVerifies(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sigma := randomFDs(r)
+		goal := deps.NewFD("R", deps.Attrs("A"), deps.Attrs("D"))
+		p, ok := Prove(sigma, goal)
+		if ok != Implies(sigma, goal) {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return p.Verify(sigma) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

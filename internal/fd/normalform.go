@@ -1,0 +1,76 @@
+package fd
+
+import (
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// isSuperkey reports whether x determines every attribute of the scheme.
+func isSuperkey(s *schema.Scheme, x []schema.Attribute, sigma []deps.FD) bool {
+	return newAttrSet(Closure(s.Name(), x, sigma)).containsAll(s.Attrs())
+}
+
+// BCNFViolations returns the FDs of sigma over the scheme that violate
+// Boyce–Codd normal form: nontrivial FDs whose left-hand side is not a
+// superkey. (Normalization into BCNF is exactly what creates the
+// multi-relation schemes with inter-relational INDs that motivate the
+// paper.)
+func BCNFViolations(s *schema.Scheme, sigma []deps.FD) []deps.FD {
+	var out []deps.FD
+	for _, f := range sigma {
+		if f.Rel != s.Name() || f.Trivial() {
+			continue
+		}
+		if !isSuperkey(s, f.X, sigma) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// IsBCNF reports whether the scheme is in Boyce–Codd normal form under
+// the FDs of sigma.
+func IsBCNF(s *schema.Scheme, sigma []deps.FD) bool {
+	return len(BCNFViolations(s, sigma)) == 0
+}
+
+// primeAttrs returns the attributes occurring in some minimal key.
+func primeAttrs(s *schema.Scheme, sigma []deps.FD) map[schema.Attribute]bool {
+	out := map[schema.Attribute]bool{}
+	for _, key := range Keys(s, sigma) {
+		for _, a := range key {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// ThirdNFViolations returns the FDs of sigma over the scheme that violate
+// third normal form: nontrivial FDs whose left-hand side is not a
+// superkey and whose right-hand side contains a non-prime attribute.
+func ThirdNFViolations(s *schema.Scheme, sigma []deps.FD) []deps.FD {
+	prime := primeAttrs(s, sigma)
+	var out []deps.FD
+	for _, f := range sigma {
+		if f.Rel != s.Name() || f.Trivial() {
+			continue
+		}
+		if isSuperkey(s, f.X, sigma) {
+			continue
+		}
+		inX := newAttrSet(f.X)
+		for _, b := range f.Y {
+			if !inX[b] && !prime[b] {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// IsThirdNF reports whether the scheme is in third normal form under the
+// FDs of sigma.
+func IsThirdNF(s *schema.Scheme, sigma []deps.FD) bool {
+	return len(ThirdNFViolations(s, sigma)) == 0
+}

@@ -1,0 +1,65 @@
+package fd
+
+import (
+	"testing"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func TestBCNF(t *testing.T) {
+	// The classic example: R(CITY, STREET, ZIP) with
+	// CITY,STREET -> ZIP and ZIP -> CITY is 3NF but not BCNF.
+	s := schema.MustScheme("R", "CITY", "STREET", "ZIP")
+	sigma := fds(
+		deps.NewFD("R", deps.Attrs("CITY", "STREET"), deps.Attrs("ZIP")),
+		deps.NewFD("R", deps.Attrs("ZIP"), deps.Attrs("CITY")),
+	)
+	if IsBCNF(s, sigma) {
+		t.Errorf("ZIP -> CITY should violate BCNF")
+	}
+	vs := BCNFViolations(s, sigma)
+	if len(vs) != 1 || vs[0].String() != "R: ZIP -> CITY" {
+		t.Errorf("BCNFViolations = %v", vs)
+	}
+	if !IsThirdNF(s, sigma) {
+		t.Errorf("the scheme IS in 3NF (CITY is prime)")
+	}
+}
+
+func TestBCNFKeyBased(t *testing.T) {
+	// With only key FDs, the scheme is in BCNF.
+	s := schema.MustScheme("R", "A", "B", "C")
+	sigma := fds(deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B", "C")))
+	if !IsBCNF(s, sigma) || !IsThirdNF(s, sigma) {
+		t.Errorf("key-determined scheme should be BCNF and 3NF")
+	}
+	// A partial dependency breaks both.
+	sigma = append(sigma, deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C")))
+	if IsBCNF(s, sigma) {
+		t.Errorf("B -> C should violate BCNF")
+	}
+	if IsThirdNF(s, sigma) {
+		t.Errorf("B -> C should violate 3NF (C is not prime)")
+	}
+	vs := ThirdNFViolations(s, sigma)
+	if len(vs) != 1 || vs[0].String() != "R: B -> C" {
+		t.Errorf("ThirdNFViolations = %v", vs)
+	}
+}
+
+func TestNormalFormsIgnoreOtherRelations(t *testing.T) {
+	s := schema.MustScheme("R", "A", "B")
+	sigma := fds(deps.NewFD("S", deps.Attrs("X"), deps.Attrs("Y")))
+	if !IsBCNF(s, sigma) || !IsThirdNF(s, sigma) {
+		t.Errorf("FDs over other relations must be ignored")
+	}
+}
+
+func TestTrivialFDsAreFine(t *testing.T) {
+	s := schema.MustScheme("R", "A", "B")
+	sigma := fds(deps.NewFD("R", deps.Attrs("A", "B"), deps.Attrs("A")))
+	if !IsBCNF(s, sigma) {
+		t.Errorf("trivial FDs never violate BCNF")
+	}
+}

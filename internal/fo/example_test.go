@@ -1,0 +1,33 @@
+package fo_test
+
+import (
+	"fmt"
+
+	"indfd/internal/deps"
+	"indfd/internal/fo"
+	"indfd/internal/schema"
+)
+
+// The Section 3 closing note, mechanically: Σ ∧ ¬σ for INDs lands in the
+// extended Maslov class; an FD clause does not.
+func ExampleInstanceSentence() {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+	sigma := []deps.IND{deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("C"))}
+	goal := deps.NewIND("R", deps.Attrs("B"), "S", deps.Attrs("D"))
+	inst, err := fo.InstanceSentence(db, sigma, goal)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(inst.InExtendedMaslov())
+	fdSent, err := fo.FromFD(db, deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")), "f_")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(fdSent.InExtendedMaslov())
+	// Output:
+	// true
+	// false
+}

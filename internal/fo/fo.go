@@ -1,0 +1,453 @@
+// Package fo gives dependencies their first-order reading and reproduces
+// the closing observation of Section 3: for a finite set Σ of INDs and a
+// single IND σ, the sentence Σ ∧ ¬σ is (equivalent to a sentence) in the
+// extended Maslov class — prenex form with quantifier structure ∀∃∀ whose
+// quantifier-free part is a conjunction of binary disjunctions — and
+// sentences in that class are satisfiable iff finitely satisfiable, which
+// re-proves that finite and unrestricted implication coincide for INDs.
+// FDs translate to clauses of width three, falling outside the class;
+// and indeed finite and unrestricted implication differ for FDs and INDs
+// together (Theorem 4.4).
+package fo
+
+import (
+	"fmt"
+	"strings"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Term is a variable or a (Skolem) constant.
+type Term struct {
+	Name     string
+	Constant bool
+}
+
+// String renders the term (constants are marked with a leading #).
+func (t Term) String() string {
+	if t.Constant {
+		return "#" + t.Name
+	}
+	return t.Name
+}
+
+// Literal is an atom R(t1,...,tn), an equality t1 = t2 (Rel empty, two
+// Args), or a negation of either.
+type Literal struct {
+	Negated bool
+	Rel     string
+	Args    []Term
+}
+
+// IsEquality reports whether the literal is an equality atom.
+func (l Literal) IsEquality() bool { return l.Rel == "" }
+
+// String renders the literal.
+func (l Literal) String() string {
+	var body string
+	if l.IsEquality() {
+		body = fmt.Sprintf("%v = %v", l.Args[0], l.Args[1])
+	} else {
+		parts := make([]string, len(l.Args))
+		for i, a := range l.Args {
+			parts[i] = a.String()
+		}
+		body = l.Rel + "(" + strings.Join(parts, ",") + ")"
+	}
+	if l.Negated {
+		return "¬" + body
+	}
+	return body
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// String renders the clause.
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// Block is one quantifier block of a prenex prefix.
+type Block struct {
+	Universal bool
+	Vars      []string
+}
+
+// Sentence is a prenex sentence with a CNF matrix.
+type Sentence struct {
+	Prefix []Block
+	Matrix []Clause
+}
+
+// String renders the sentence.
+func (s Sentence) String() string {
+	var b strings.Builder
+	for _, blk := range s.Prefix {
+		if len(blk.Vars) == 0 {
+			continue
+		}
+		if blk.Universal {
+			b.WriteString("∀")
+		} else {
+			b.WriteString("∃")
+		}
+		b.WriteString(strings.Join(blk.Vars, ","))
+		b.WriteString(" ")
+	}
+	parts := make([]string, len(s.Matrix))
+	for i, c := range s.Matrix {
+		parts[i] = c.String()
+	}
+	b.WriteString(strings.Join(parts, " ∧ "))
+	return b.String()
+}
+
+// InExtendedMaslov reports whether the sentence is syntactically in the
+// extended Maslov class: the prefix collapses to at most three blocks
+// ∀* ∃* ∀* and every clause of the matrix has at most two literals.
+func (s Sentence) InExtendedMaslov() bool {
+	// Collapse adjacent blocks of the same kind and drop empty ones.
+	var kinds []bool
+	for _, blk := range s.Prefix {
+		if len(blk.Vars) == 0 {
+			continue
+		}
+		if len(kinds) == 0 || kinds[len(kinds)-1] != blk.Universal {
+			kinds = append(kinds, blk.Universal)
+		}
+	}
+	switch len(kinds) {
+	case 0: // ground
+	case 1: // ∀* or ∃* (∃* embeds as the middle block)
+	case 2:
+		if !kinds[0] && !kinds[1] {
+			return false // cannot happen after collapsing
+		}
+		// ∀∃ or ∃∀ both embed into ∀∃∀.
+	case 3:
+		if !(kinds[0] && !kinds[1] && kinds[2]) {
+			return false
+		}
+	default:
+		return false
+	}
+	for _, c := range s.Matrix {
+		if len(c) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// FromIND renders the IND R[X] ⊆ S[Y] as the sentence
+// ∀x⃗ ∃z⃗ (¬R(x⃗) ∨ S(...)), where the S atom reuses the x variables at the
+// Y positions and fresh z variables elsewhere — a single binary clause.
+// The name prefix keeps variables of different conjuncts apart.
+func FromIND(db *schema.Database, d deps.IND, prefix string) (Sentence, error) {
+	ls, ok := db.Scheme(d.LRel)
+	if !ok {
+		return Sentence{}, fmt.Errorf("fo: unknown relation %s", d.LRel)
+	}
+	rs, ok := db.Scheme(d.RRel)
+	if !ok {
+		return Sentence{}, fmt.Errorf("fo: unknown relation %s", d.RRel)
+	}
+	// Universal variables: one per attribute of the left relation.
+	uvars := make([]string, ls.Width())
+	largs := make([]Term, ls.Width())
+	for i := range uvars {
+		uvars[i] = fmt.Sprintf("%sx%d", prefix, i)
+		largs[i] = Term{Name: uvars[i]}
+	}
+	// Right atom: x variables at the target positions, fresh z elsewhere.
+	rargs := make([]Term, rs.Width())
+	var evars []string
+	for u := range d.X {
+		li, _ := ls.Pos(d.X[u])
+		ri, _ := rs.Pos(d.Y[u])
+		rargs[ri] = largs[li]
+	}
+	for i := range rargs {
+		if rargs[i].Name == "" {
+			v := fmt.Sprintf("%sz%d", prefix, i)
+			evars = append(evars, v)
+			rargs[i] = Term{Name: v}
+		}
+	}
+	return Sentence{
+		Prefix: []Block{{Universal: true, Vars: uvars}, {Universal: false, Vars: evars}},
+		Matrix: []Clause{{
+			{Negated: true, Rel: d.LRel, Args: largs},
+			{Rel: d.RRel, Args: rargs},
+		}},
+	}, nil
+}
+
+// FromFD renders the FD R: X -> Y as
+// ∀x⃗ ∀y⃗' (¬R(x⃗) ∨ ¬R(y⃗) ∨ x_b = y_b) for each b in Y, where the two R
+// atoms share variables at the X positions. Each clause has width three —
+// outside the extended Maslov class, as the theory requires.
+func FromFD(db *schema.Database, f deps.FD, prefix string) (Sentence, error) {
+	s, ok := db.Scheme(f.Rel)
+	if !ok {
+		return Sentence{}, fmt.Errorf("fo: unknown relation %s", f.Rel)
+	}
+	inX := map[int]bool{}
+	for _, a := range f.X {
+		p, _ := s.Pos(a)
+		inX[p] = true
+	}
+	var vars []string
+	args1 := make([]Term, s.Width())
+	args2 := make([]Term, s.Width())
+	for i := 0; i < s.Width(); i++ {
+		v1 := fmt.Sprintf("%sx%d", prefix, i)
+		args1[i] = Term{Name: v1}
+		vars = append(vars, v1)
+		if inX[i] {
+			args2[i] = args1[i]
+		} else {
+			v2 := fmt.Sprintf("%sy%d", prefix, i)
+			args2[i] = Term{Name: v2}
+			vars = append(vars, v2)
+		}
+	}
+	var matrix []Clause
+	for _, b := range f.Y {
+		p, _ := s.Pos(b)
+		if inX[p] {
+			continue // trivially equal
+		}
+		matrix = append(matrix, Clause{
+			{Negated: true, Rel: f.Rel, Args: args1},
+			{Negated: true, Rel: f.Rel, Args: args2},
+			{Args: []Term{args1[p], args2[p]}},
+		})
+	}
+	return Sentence{
+		Prefix: []Block{{Universal: true, Vars: vars}},
+		Matrix: matrix,
+	}, nil
+}
+
+// NegatedIND renders ¬(R[X] ⊆ S[Y]) with the outer existential
+// Skolemized to constants: R(c⃗) ∧ ∀z⃗ ¬S(...), two clauses of width one.
+func NegatedIND(db *schema.Database, d deps.IND, prefix string) (Sentence, error) {
+	ls, ok := db.Scheme(d.LRel)
+	if !ok {
+		return Sentence{}, fmt.Errorf("fo: unknown relation %s", d.LRel)
+	}
+	rs, ok := db.Scheme(d.RRel)
+	if !ok {
+		return Sentence{}, fmt.Errorf("fo: unknown relation %s", d.RRel)
+	}
+	largs := make([]Term, ls.Width())
+	for i := range largs {
+		largs[i] = Term{Name: fmt.Sprintf("%sc%d", prefix, i), Constant: true}
+	}
+	rargs := make([]Term, rs.Width())
+	var uvars []string
+	for u := range d.X {
+		li, _ := ls.Pos(d.X[u])
+		ri, _ := rs.Pos(d.Y[u])
+		rargs[ri] = largs[li]
+	}
+	for i := range rargs {
+		if rargs[i].Name == "" {
+			v := fmt.Sprintf("%sw%d", prefix, i)
+			uvars = append(uvars, v)
+			rargs[i] = Term{Name: v}
+		}
+	}
+	return Sentence{
+		Prefix: []Block{{Universal: true, Vars: uvars}},
+		Matrix: []Clause{
+			{{Rel: d.LRel, Args: largs}},
+			{{Negated: true, Rel: d.RRel, Args: rargs}},
+		},
+	}, nil
+}
+
+// Conjoin merges sentences (with variables already renamed apart by their
+// prefixes) into one prenex sentence: all universal blocks first, then
+// all existential blocks. This preserves equivalence because each
+// conjunct's existential variables depend only on that conjunct's own
+// universals.
+func Conjoin(ss ...Sentence) Sentence {
+	var uni, exi []string
+	var matrix []Clause
+	for _, s := range ss {
+		for _, blk := range s.Prefix {
+			if blk.Universal {
+				uni = append(uni, blk.Vars...)
+			} else {
+				exi = append(exi, blk.Vars...)
+			}
+		}
+		matrix = append(matrix, s.Matrix...)
+	}
+	return Sentence{
+		Prefix: []Block{{Universal: true, Vars: uni}, {Universal: false, Vars: exi}},
+		Matrix: matrix,
+	}
+}
+
+// InstanceSentence builds Σ ∧ ¬σ for an IND implication instance, the
+// sentence the paper places in the extended Maslov class.
+func InstanceSentence(db *schema.Database, sigma []deps.IND, goal deps.IND) (Sentence, error) {
+	var parts []Sentence
+	for i, d := range sigma {
+		s, err := FromIND(db, d, fmt.Sprintf("s%d_", i))
+		if err != nil {
+			return Sentence{}, err
+		}
+		parts = append(parts, s)
+	}
+	neg, err := NegatedIND(db, goal, "g_")
+	if err != nil {
+		return Sentence{}, err
+	}
+	parts = append(parts, neg)
+	return Conjoin(parts...), nil
+}
+
+// Eval model-checks the sentence against a finite database: quantifiers
+// range over the database's active domain plus any constants of the
+// sentence. Intended for small databases (the assignment space is
+// |domain|^#vars); it exists to validate the translations against the
+// native satisfaction checkers.
+func Eval(db *data.Database, s Sentence) (bool, error) {
+	// Active domain.
+	domainSet := map[data.Value]bool{}
+	for _, name := range db.Scheme().Names() {
+		r, _ := db.Relation(name)
+		for _, t := range r.Tuples() {
+			for _, v := range t {
+				domainSet[v] = true
+			}
+		}
+	}
+	// Constants evaluate to themselves and join the domain.
+	assign := map[string]data.Value{}
+	collect := func(t Term) {
+		if t.Constant {
+			v := data.Value("#" + t.Name)
+			domainSet[v] = true
+			assign[t.Name] = v
+		}
+	}
+	for _, c := range s.Matrix {
+		for _, l := range c {
+			for _, t := range l.Args {
+				collect(t)
+			}
+		}
+	}
+	var domain []data.Value
+	for v := range domainSet {
+		domain = append(domain, v)
+	}
+
+	evalMatrix := func() (bool, error) {
+		for _, c := range s.Matrix {
+			sat := false
+			for _, l := range c {
+				ok, err := evalLiteral(db, l, assign)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	// Flatten the prefix into a variable list with quantifier kinds.
+	type qvar struct {
+		name string
+		univ bool
+	}
+	var qs []qvar
+	for _, blk := range s.Prefix {
+		for _, v := range blk.Vars {
+			qs = append(qs, qvar{v, blk.Universal})
+		}
+	}
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(qs) {
+			return evalMatrix()
+		}
+		q := qs[i]
+		for _, v := range domain {
+			assign[q.name] = v
+			ok, err := rec(i + 1)
+			if err != nil {
+				return false, err
+			}
+			if q.univ && !ok {
+				return false, nil
+			}
+			if !q.univ && ok {
+				return true, nil
+			}
+		}
+		delete(assign, q.name)
+		// Empty domain or exhausted: ∀ vacuously true, ∃ false.
+		return q.univ, nil
+	}
+	return rec(0)
+}
+
+func evalLiteral(db *data.Database, l Literal, assign map[string]data.Value) (bool, error) {
+	val := func(t Term) (data.Value, error) {
+		v, ok := assign[t.Name]
+		if !ok {
+			return "", fmt.Errorf("fo: unbound term %v", t)
+		}
+		return v, nil
+	}
+	var truth bool
+	if l.IsEquality() {
+		a, err := val(l.Args[0])
+		if err != nil {
+			return false, err
+		}
+		b, err := val(l.Args[1])
+		if err != nil {
+			return false, err
+		}
+		truth = a == b
+	} else {
+		r, ok := db.Relation(l.Rel)
+		if !ok {
+			return false, fmt.Errorf("fo: unknown relation %s", l.Rel)
+		}
+		t := make(data.Tuple, len(l.Args))
+		for i, a := range l.Args {
+			v, err := val(a)
+			if err != nil {
+				return false, err
+			}
+			t[i] = v
+		}
+		truth = r.Contains(t)
+	}
+	if l.Negated {
+		truth = !truth
+	}
+	return truth, nil
+}

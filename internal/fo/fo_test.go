@@ -1,0 +1,216 @@
+package fo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func twoRelDB() *schema.Database {
+	return schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+}
+
+func randomDB(r *rand.Rand, ds *schema.Database) *data.Database {
+	db := data.NewDatabase(ds)
+	for _, name := range ds.Names() {
+		rel, _ := db.Relation(name)
+		for i := 0; i < r.Intn(4); i++ {
+			s, _ := ds.Scheme(name)
+			t := make(data.Tuple, s.Width())
+			for j := range t {
+				t[j] = data.Int(r.Intn(3))
+			}
+			rel.MustInsert(t)
+		}
+	}
+	return db
+}
+
+// Property: the first-order reading of an IND agrees with native
+// satisfaction on random finite databases.
+func TestFromINDAgreesWithSatisfies(t *testing.T) {
+	ds := twoRelDB()
+	cands := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("C")),
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("C", "D")),
+		deps.NewIND("S", deps.Attrs("D"), "R", deps.Attrs("A")),
+		deps.NewIND("R", deps.Attrs("B"), "R", deps.Attrs("A")),
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, ds)
+		for _, d := range cands {
+			sent, err := FromIND(ds, d, "t_")
+			if err != nil {
+				return false
+			}
+			got, err := Eval(db, sent)
+			if err != nil {
+				return false
+			}
+			want, err := db.Satisfies(d)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the first-order reading of an FD agrees with native
+// satisfaction.
+func TestFromFDAgreesWithSatisfies(t *testing.T) {
+	ds := twoRelDB()
+	cands := []deps.FD{
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A")),
+		deps.NewFD("S", deps.Attrs("C"), deps.Attrs("D")),
+		deps.NewFD("R", deps.Attrs("A", "B"), deps.Attrs("A")), // trivial
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, ds)
+		for _, d := range cands {
+			sent, err := FromFD(ds, d, "t_")
+			if err != nil {
+				return false
+			}
+			got, err := Eval(db, sent)
+			if err != nil {
+				return false
+			}
+			want, err := db.Satisfies(d)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The Section 3 closing observation: Σ ∧ ¬σ for INDs lies in the extended
+// Maslov class; adding a single FD clause leaves it.
+func TestExtendedMaslovMembership(t *testing.T) {
+	ds := twoRelDB()
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("C", "D")),
+		deps.NewIND("S", deps.Attrs("C"), "R", deps.Attrs("B")),
+	}
+	goal := deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B"))
+	inst, err := InstanceSentence(ds, sigma, goal)
+	if err != nil {
+		t.Fatalf("InstanceSentence: %v", err)
+	}
+	if !inst.InExtendedMaslov() {
+		t.Errorf("IND instance should be in the extended Maslov class:\n%v", inst)
+	}
+	// Every clause is binary, the prefix is ∀*∃*.
+	for _, c := range inst.Matrix {
+		if len(c) > 2 {
+			t.Errorf("clause too wide: %v", c)
+		}
+	}
+	// Adding an FD's width-3 clause leaves the class.
+	fdSent, err := FromFD(ds, deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")), "f_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdSent.InExtendedMaslov() {
+		t.Errorf("FD sentence should NOT be in the extended Maslov class:\n%v", fdSent)
+	}
+	mixed := Conjoin(inst, fdSent)
+	if mixed.InExtendedMaslov() {
+		t.Errorf("FD+IND instance should NOT be in the extended Maslov class")
+	}
+}
+
+func TestInExtendedMaslovPrefixShapes(t *testing.T) {
+	bin := []Clause{{{Rel: "R", Args: []Term{{Name: "x"}}}}}
+	cases := []struct {
+		prefix []Block
+		want   bool
+	}{
+		{nil, true},
+		{[]Block{{Universal: true, Vars: []string{"x"}}}, true},
+		{[]Block{{Universal: false, Vars: []string{"x"}}}, true},
+		{[]Block{{Universal: true, Vars: []string{"x"}}, {Universal: false, Vars: []string{"y"}}}, true},
+		{[]Block{{Universal: false, Vars: []string{"x"}}, {Universal: true, Vars: []string{"y"}}}, true},
+		{[]Block{{Universal: true, Vars: []string{"x"}}, {Universal: false, Vars: []string{"y"}}, {Universal: true, Vars: []string{"z"}}}, true},
+		{[]Block{{Universal: false, Vars: []string{"x"}}, {Universal: true, Vars: []string{"y"}}, {Universal: false, Vars: []string{"z"}}}, false},
+		{[]Block{{Universal: true, Vars: []string{"a"}}, {Universal: false, Vars: []string{"b"}}, {Universal: true, Vars: []string{"c"}}, {Universal: false, Vars: []string{"d"}}}, false},
+		// Empty blocks collapse.
+		{[]Block{{Universal: true}, {Universal: false, Vars: []string{"x"}}}, true},
+	}
+	for i, c := range cases {
+		s := Sentence{Prefix: c.prefix, Matrix: bin}
+		if got := s.InExtendedMaslov(); got != c.want {
+			t.Errorf("case %d: InExtendedMaslov = %v, want %v", i, got, c.want)
+		}
+	}
+	wide := Sentence{Matrix: []Clause{{
+		{Rel: "R", Args: []Term{{Name: "x"}}},
+		{Rel: "R", Args: []Term{{Name: "y"}}},
+		{Rel: "R", Args: []Term{{Name: "z"}}},
+	}}}
+	if wide.InExtendedMaslov() {
+		t.Errorf("width-3 clause should fail")
+	}
+}
+
+func TestRendering(t *testing.T) {
+	ds := twoRelDB()
+	sent, err := FromIND(ds, deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("D")), "p_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sent.String()
+	for _, want := range []string{"∀", "∃", "¬R(", "S("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q: %s", want, out)
+		}
+	}
+	neg, err := NegatedIND(ds, deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("D")), "n_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(neg.String(), "#n_c0") {
+		t.Errorf("Skolem constant missing: %s", neg)
+	}
+	if !neg.InExtendedMaslov() {
+		t.Errorf("negated IND should be in the class: %s", neg)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ds := twoRelDB()
+	if _, err := FromIND(ds, deps.NewIND("NOPE", deps.Attrs("A"), "S", deps.Attrs("C")), ""); err == nil {
+		t.Errorf("unknown relation should error")
+	}
+	if _, err := FromFD(ds, deps.NewFD("NOPE", deps.Attrs("A"), deps.Attrs("B")), ""); err == nil {
+		t.Errorf("unknown relation should error")
+	}
+	if _, err := NegatedIND(ds, deps.NewIND("R", deps.Attrs("A"), "NOPE", deps.Attrs("C")), ""); err == nil {
+		t.Errorf("unknown relation should error")
+	}
+	// Unbound terms in Eval error.
+	db := data.NewDatabase(ds)
+	db.MustInsert("R", data.Tuple{"1", "2"})
+	bad := Sentence{Matrix: []Clause{{{Rel: "R", Args: []Term{{Name: "x"}, {Name: "y"}}}}}}
+	if _, err := Eval(db, bad); err == nil {
+		t.Errorf("unbound variable should error")
+	}
+}

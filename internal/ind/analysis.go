@@ -1,0 +1,169 @@
+package ind
+
+import (
+	"fmt"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// DecideTyped decides implication for typed INDs — INDs of the form
+// R[X] ⊆ S[X] with identical attribute sequences on both sides — in
+// polynomial time, as Section 3 observes is possible. A typed IND applies
+// to an expression R[X'] exactly when X' ⊆ X (as sets), and the successor
+// keeps the same attribute sequence; the search space is therefore one
+// expression per relation, and the procedure is breadth-first reachability
+// over relation names.
+//
+// Every IND in sigma and the goal must be typed.
+func DecideTyped(db *schema.Database, sigma []deps.IND, goal deps.IND) (bool, error) {
+	if !goal.Typed() {
+		return false, fmt.Errorf("ind: goal %v is not typed", goal)
+	}
+	for _, d := range sigma {
+		if !d.Typed() {
+			return false, fmt.Errorf("ind: sigma member %v is not typed", d)
+		}
+	}
+	if db != nil {
+		if err := goal.Validate(db); err != nil {
+			return false, err
+		}
+		for _, d := range sigma {
+			if err := d.Validate(db); err != nil {
+				return false, err
+			}
+		}
+	}
+	need := make(map[schema.Attribute]bool, len(goal.X))
+	for _, a := range goal.X {
+		need[a] = true
+	}
+	covers := func(label []schema.Attribute) bool {
+		have := make(map[schema.Attribute]bool, len(label))
+		for _, a := range label {
+			have[a] = true
+		}
+		for a := range need {
+			if !have[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if goal.LRel == goal.RRel {
+		return true, nil
+	}
+	visited := map[string]bool{goal.LRel: true}
+	queue := []string{goal.LRel}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range sigma {
+			if d.LRel != cur || visited[d.RRel] || !covers(d.X) {
+				continue
+			}
+			if d.RRel == goal.RRel {
+				return true, nil
+			}
+			visited[d.RRel] = true
+			queue = append(queue, d.RRel)
+		}
+	}
+	return false, nil
+}
+
+// Redundant reports whether sigma[i] is implied by the remaining INDs.
+func Redundant(db *schema.Database, sigma []deps.IND, i int) (bool, error) {
+	if i < 0 || i >= len(sigma) {
+		return false, fmt.Errorf("ind: no sigma member %d", i)
+	}
+	rest := make([]deps.IND, 0, len(sigma)-1)
+	rest = append(rest, sigma[:i]...)
+	rest = append(rest, sigma[i+1:]...)
+	return Implies(db, rest, sigma[i])
+}
+
+// MinimalCover returns an equivalent subset of sigma with no redundant
+// member, removing trivial INDs first and then redundant ones in input
+// order. The result depends on the input order (minimal covers are not
+// unique), but is always equivalent to sigma.
+func MinimalCover(db *schema.Database, sigma []deps.IND) ([]deps.IND, error) {
+	var cover []deps.IND
+	for _, d := range sigma {
+		if !d.Trivial() {
+			cover = append(cover, d)
+		}
+	}
+	for i := 0; i < len(cover); {
+		red, err := Redundant(db, cover, i)
+		if err != nil {
+			return nil, err
+		}
+		if red {
+			cover = append(cover[:i], cover[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	return cover, nil
+}
+
+// Equivalent reports whether two IND sets have the same consequences.
+func Equivalent(db *schema.Database, a, b []deps.IND) (bool, error) {
+	for _, d := range b {
+		ok, err := Implies(db, a, d)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	for _, d := range a {
+		ok, err := Implies(db, b, d)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// ArmstrongDatabase builds a finite database that satisfies exactly the
+// consequences of sigma within the given candidate universe: it satisfies
+// every IND of the universe implied by sigma and violates every other.
+// (Such databases exist for INDs — Fagin; Fagin and Vardi, cited in the
+// paper's introduction — and here they are constructed as the disjoint
+// union of the Theorem 3.1 chase counterexamples for each non-implied
+// candidate, with per-component value namespaces. INDs are preserved
+// under disjoint union of databases with disjoint active domains, which
+// makes the union satisfy sigma while each component keeps its
+// violation.)
+func ArmstrongDatabase(db *schema.Database, sigma []deps.IND, universe []deps.IND) (*data.Database, error) {
+	out := data.NewDatabase(db)
+	for i, cand := range universe {
+		res, err := Decide(db, sigma, cand)
+		if err != nil {
+			return nil, err
+		}
+		if res.Implied {
+			continue
+		}
+		comp, err := Chase(db, sigma, cand)
+		if err != nil {
+			return nil, err
+		}
+		prefix := fmt.Sprintf("c%d|", i)
+		for _, rel := range db.Names() {
+			r, _ := comp.Relation(rel)
+			for _, t := range r.Tuples() {
+				nt := make(data.Tuple, len(t))
+				for j, v := range t {
+					nt[j] = data.Value(prefix + string(v))
+				}
+				if _, err := out.Insert(rel, nt); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,204 @@
+package ind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"indfd/internal/deps"
+	"indfd/internal/enum"
+	"indfd/internal/schema"
+)
+
+func typedDB() *schema.Database {
+	return schema.MustDatabase(
+		schema.MustScheme("R", "A", "B", "C"),
+		schema.MustScheme("S", "A", "B", "C"),
+		schema.MustScheme("T", "A", "B", "C"),
+	)
+}
+
+func TestDecideTyped(t *testing.T) {
+	db := typedDB()
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("A", "B")),
+		deps.NewIND("S", deps.Attrs("A"), "T", deps.Attrs("A")),
+	}
+	// R[A] ⊆ T[A] via R -> S (label AB ⊇ {A}) then S -> T (label A).
+	ok, err := DecideTyped(db, sigma, deps.NewIND("R", deps.Attrs("A"), "T", deps.Attrs("A")))
+	if err != nil || !ok {
+		t.Errorf("typed chain should be implied: %v %v", ok, err)
+	}
+	// R[B] ⊆ T[B]: the S -> T edge only covers A.
+	ok, err = DecideTyped(db, sigma, deps.NewIND("R", deps.Attrs("B"), "T", deps.Attrs("B")))
+	if err != nil || ok {
+		t.Errorf("R[B] <= T[B] should not be implied: %v %v", ok, err)
+	}
+	// Reflexive typed goal.
+	ok, _ = DecideTyped(db, nil, deps.NewIND("R", deps.Attrs("C"), "R", deps.Attrs("C")))
+	if !ok {
+		t.Errorf("reflexive typed goal should be implied")
+	}
+	// Untyped inputs are rejected.
+	if _, err := DecideTyped(db, nil, deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("B"))); err == nil {
+		t.Errorf("untyped goal should be rejected")
+	}
+	untypedSigma := []deps.IND{deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("B"))}
+	if _, err := DecideTyped(db, untypedSigma, deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("A"))); err == nil {
+		t.Errorf("untyped sigma should be rejected")
+	}
+}
+
+// Property: on typed instances, DecideTyped agrees with the general
+// procedure.
+func TestDecideTypedAgreesWithDecide(t *testing.T) {
+	db := typedDB()
+	names := []string{"R", "S", "T"}
+	attrs := deps.Attrs("A", "B", "C")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sigma []deps.IND
+		for i := 0; i < 1+r.Intn(5); i++ {
+			perm := r.Perm(3)
+			w := 1 + r.Intn(3)
+			x := make([]schema.Attribute, w)
+			for j := 0; j < w; j++ {
+				x[j] = attrs[perm[j]]
+			}
+			sigma = append(sigma, deps.NewIND(names[r.Intn(3)], x, names[r.Intn(3)], x))
+		}
+		goal := deps.NewIND(names[r.Intn(3)], deps.Attrs("A"), names[r.Intn(3)], deps.Attrs("A"))
+		fast, err := DecideTyped(db, sigma, goal)
+		if err != nil {
+			return false
+		}
+		slow, err := Implies(db, sigma, goal)
+		if err != nil {
+			return false
+		}
+		return fast == slow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRedundantAndMinimalCover(t *testing.T) {
+	db := typedDB()
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("A", "B")),
+		deps.NewIND("S", deps.Attrs("A"), "T", deps.Attrs("A")),
+		deps.NewIND("R", deps.Attrs("A"), "T", deps.Attrs("A")), // redundant (composition)
+		deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("A")), // redundant (projection)
+		deps.NewIND("R", deps.Attrs("C"), "R", deps.Attrs("C")), // trivial
+	}
+	red, err := Redundant(db, sigma, 2)
+	if err != nil || !red {
+		t.Errorf("composition should be redundant: %v %v", red, err)
+	}
+	red, err = Redundant(db, sigma, 0)
+	if err != nil || red {
+		t.Errorf("the generator should not be redundant: %v %v", red, err)
+	}
+	if _, err := Redundant(db, sigma, 99); err == nil {
+		t.Errorf("out-of-range index should error")
+	}
+	cover, err := MinimalCover(db, sigma)
+	if err != nil {
+		t.Fatalf("MinimalCover: %v", err)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v, want the two generators", cover)
+	}
+	eq, err := Equivalent(db, sigma, cover)
+	if err != nil || !eq {
+		t.Errorf("cover not equivalent: %v %v", eq, err)
+	}
+	// A cover member removed breaks equivalence.
+	eq, err = Equivalent(db, sigma, cover[:1])
+	if err != nil || eq {
+		t.Errorf("proper subset should not be equivalent: %v %v", eq, err)
+	}
+}
+
+// Property: MinimalCover output is equivalent to the input and has no
+// redundant member.
+func TestMinimalCoverProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db, sigma, _ := randomInstance(r)
+		cover, err := MinimalCover(db, sigma)
+		if err != nil {
+			return false
+		}
+		eq, err := Equivalent(db, sigma, cover)
+		if err != nil || !eq {
+			return false
+		}
+		for i := range cover {
+			red, err := Redundant(db, cover, i)
+			if err != nil || red {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArmstrongDatabase(t *testing.T) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("C", "D")),
+	}
+	universe := enum.INDs(db, enum.Options{MaxWidth: 2})
+	arm, err := ArmstrongDatabase(db, sigma, universe)
+	if err != nil {
+		t.Fatalf("ArmstrongDatabase: %v", err)
+	}
+	for _, cand := range universe {
+		implied, err := Implies(db, sigma, cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat, err := arm.Satisfies(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sat != implied {
+			t.Errorf("Armstrong database: %v satisfied=%v implied=%v", cand, sat, implied)
+		}
+	}
+}
+
+// Property: the Armstrong database is exact on random IND sets.
+func TestArmstrongDatabaseExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db, sigma, _ := randomInstance(r)
+		universe := enum.INDs(db, enum.Options{MaxWidth: 2})
+		arm, err := ArmstrongDatabase(db, sigma, universe)
+		if err != nil {
+			return false
+		}
+		for _, cand := range universe {
+			implied, err := Implies(db, sigma, cand)
+			if err != nil {
+				return false
+			}
+			sat, err := arm.Satisfies(cand)
+			if err != nil || sat != implied {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

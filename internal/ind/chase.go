@@ -1,0 +1,116 @@
+package ind
+
+import (
+	"fmt"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Chase builds the finite database of Theorem 3.1's proof of (2) ⇒ (3):
+// starting from the single tuple p over goal.LRel with p[goal.X[i]] = i+1
+// and 0 elsewhere, it applies Rule (*) — for each IND R_i[C] ⊆ R_j[D] in
+// sigma and each tuple v of r_i, add to r_j the tuple t with t[D_u] =
+// v[C_u] and 0 in every other column — until no new tuple can be added.
+//
+// The result always satisfies sigma; every tuple entry lies in
+// {0, 1, ..., m} where m is the goal's width, so the database is finite.
+// It satisfies the goal IND iff sigma implies the goal, so the chase is a
+// second, semantic decision procedure (and, when sigma does not imply the
+// goal, the returned database is a finite counterexample — this is exactly
+// why finite and unrestricted implication coincide for INDs).
+func Chase(db *schema.Database, sigma []deps.IND, goal deps.IND) (*data.Database, error) {
+	if db == nil {
+		return nil, fmt.Errorf("ind: Chase requires a database scheme")
+	}
+	if err := goal.Validate(db); err != nil {
+		return nil, err
+	}
+	for _, d := range sigma {
+		if err := d.Validate(db); err != nil {
+			return nil, err
+		}
+	}
+	out := data.NewDatabase(db)
+
+	// Initial tuple p over goal.LRel.
+	ls, _ := db.Scheme(goal.LRel)
+	p := make(data.Tuple, ls.Width())
+	for i := range p {
+		p[i] = data.Int(0)
+	}
+	for i, a := range goal.X {
+		j, _ := ls.Pos(a)
+		p[j] = data.Int(i + 1)
+	}
+	if _, err := out.Insert(goal.LRel, p); err != nil {
+		return nil, err
+	}
+
+	// Worklist of (relation, tuple) pairs to apply Rule (*) to.
+	type item struct {
+		rel string
+		t   data.Tuple
+	}
+	work := []item{{goal.LRel, p}}
+	byLRel := make(map[string][]deps.IND)
+	for _, d := range sigma {
+		byLRel[d.LRel] = append(byLRel[d.LRel], d)
+	}
+	for len(work) > 0 {
+		it := work[0]
+		work = work[1:]
+		src, _ := db.Scheme(it.rel)
+		for _, d := range byLRel[it.rel] {
+			dst, _ := db.Scheme(d.RRel)
+			t := make(data.Tuple, dst.Width())
+			for i := range t {
+				t[i] = data.Int(0)
+			}
+			for u := range d.X {
+				ci, _ := src.Pos(d.X[u])
+				dj, _ := dst.Pos(d.Y[u])
+				t[dj] = it.t[ci]
+			}
+			added, err := out.Insert(d.RRel, t)
+			if err != nil {
+				return nil, err
+			}
+			if added {
+				work = append(work, item{d.RRel, t})
+			}
+		}
+	}
+	return out, nil
+}
+
+// DecideByChase decides sigma ⊨ goal semantically, by running Chase and
+// checking whether the goal IND holds in the resulting database. It agrees
+// with Decide on every input (Theorem 3.1) and additionally returns the
+// chase database, which is a counterexample when the goal is not implied.
+func DecideByChase(db *schema.Database, sigma []deps.IND, goal deps.IND) (bool, *data.Database, error) {
+	cd, err := Chase(db, sigma, goal)
+	if err != nil {
+		return false, nil, err
+	}
+	ok, err := cd.Satisfies(goal)
+	if err != nil {
+		return false, nil, err
+	}
+	return ok, cd, nil
+}
+
+// Counterexample returns a finite database that satisfies sigma but
+// violates goal, or ok=false when sigma implies goal (so no counterexample
+// exists, finite or infinite).
+func Counterexample(db *schema.Database, sigma []deps.IND, goal deps.IND) (*data.Database, bool, error) {
+	implied, cd, err := DecideByChase(db, sigma, goal)
+	if err != nil {
+		return nil, false, err
+	}
+	if implied {
+		return nil, false, nil
+	}
+	return cd, true, nil
+}

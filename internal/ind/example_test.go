@@ -1,0 +1,51 @@
+package ind_test
+
+import (
+	"fmt"
+
+	"indfd/internal/deps"
+	"indfd/internal/ind"
+	"indfd/internal/schema"
+)
+
+// Deciding an IND implication and printing the formal IND1–IND3 proof.
+func ExampleProve() {
+	db := schema.MustDatabase(
+		schema.MustScheme("MGR", "NAME", "DEPT"),
+		schema.MustScheme("EMP", "NAME", "DEPT", "SAL"),
+	)
+	sigma := []deps.IND{
+		deps.NewIND("MGR", deps.Attrs("NAME", "DEPT"), "EMP", deps.Attrs("NAME", "DEPT")),
+	}
+	goal := deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME"))
+	p, ok, err := ind.Prove(db, sigma, goal)
+	if err != nil || !ok {
+		panic(err)
+	}
+	fmt.Println(p)
+	// Output:
+	//   1. MGR[NAME,DEPT] <= EMP[NAME,DEPT]   [hypothesis]
+	//   2. MGR[NAME] <= EMP[NAME]   [IND2 from 1]
+}
+
+// A non-implied IND yields a finite counterexample database via the
+// Theorem 3.1 chase-with-zeros.
+func ExampleCounterexample() {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+	)
+	sigma := []deps.IND{deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("C"))}
+	goal := deps.NewIND("S", deps.Attrs("C"), "R", deps.Attrs("A"))
+	ce, found, err := ind.Counterexample(db, sigma, goal)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(found)
+	fmt.Println(ce)
+	// Output:
+	// true
+	// R(A,B)
+	// S(C,D)
+	//   (1,0)
+}

@@ -1,0 +1,391 @@
+package ind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func twoRelDB() *schema.Database {
+	return schema.MustDatabase(
+		schema.MustScheme("R", "A", "B", "C"),
+		schema.MustScheme("S", "D", "E", "F"),
+		schema.MustScheme("T", "G", "H", "I"),
+	)
+}
+
+func TestDecideTrivial(t *testing.T) {
+	db := twoRelDB()
+	goal := deps.NewIND("R", deps.Attrs("A", "B"), "R", deps.Attrs("A", "B"))
+	res, err := Decide(db, nil, goal)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if !res.Implied || len(res.Chain) != 1 {
+		t.Errorf("trivial IND should be implied with a 1-chain: %+v", res)
+	}
+	if err := CheckChain(nil, goal, res.Chain, res.Via); err != nil {
+		t.Errorf("CheckChain: %v", err)
+	}
+}
+
+func TestDecideHypothesisAndProjection(t *testing.T) {
+	db := twoRelDB()
+	sigma := []deps.IND{deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("D", "E"))}
+	// Direct hypothesis.
+	if ok, _ := Implies(db, sigma, sigma[0]); !ok {
+		t.Errorf("hypothesis not implied")
+	}
+	// IND2 projection: R[A] <= S[D].
+	if ok, _ := Implies(db, sigma, deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("D"))); !ok {
+		t.Errorf("projection not implied")
+	}
+	// IND2 permutation: R[B,A] <= S[E,D].
+	if ok, _ := Implies(db, sigma, deps.NewIND("R", deps.Attrs("B", "A"), "S", deps.Attrs("E", "D"))); !ok {
+		t.Errorf("permutation not implied")
+	}
+	// Broken pairing must not be implied: R[A,B] <= S[E,D].
+	if ok, _ := Implies(db, sigma, deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("E", "D"))); ok {
+		t.Errorf("mispaired IND implied")
+	}
+	// Wrong direction.
+	if ok, _ := Implies(db, sigma, deps.NewIND("S", deps.Attrs("D"), "R", deps.Attrs("A"))); ok {
+		t.Errorf("converse IND implied")
+	}
+}
+
+func TestDecideTransitivity(t *testing.T) {
+	db := twoRelDB()
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("D", "E")),
+		deps.NewIND("S", deps.Attrs("D", "E", "F"), "T", deps.Attrs("G", "H", "I")),
+	}
+	goal := deps.NewIND("R", deps.Attrs("A", "B"), "T", deps.Attrs("G", "H"))
+	res, err := Decide(db, sigma, goal)
+	if err != nil || !res.Implied {
+		t.Fatalf("transitive goal not implied: %+v %v", res, err)
+	}
+	if len(res.Chain) != 3 {
+		t.Errorf("chain length = %d, want 3", len(res.Chain))
+	}
+	if err := CheckChain(sigma, goal, res.Chain, res.Via); err != nil {
+		t.Errorf("CheckChain: %v", err)
+	}
+}
+
+func TestDecidePaperExample(t *testing.T) {
+	// "every manager is an employee of the department that they manage":
+	// MGR[NAME,DEPT] <= EMP[NAME,DEPT] (Section 3).
+	db := schema.MustDatabase(
+		schema.MustScheme("MGR", "NAME", "DEPT"),
+		schema.MustScheme("EMP", "NAME", "DEPT", "SAL"),
+	)
+	sigma := []deps.IND{deps.NewIND("MGR", deps.Attrs("NAME", "DEPT"), "EMP", deps.Attrs("NAME", "DEPT"))}
+	if ok, err := Implies(db, sigma, deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME"))); err != nil || !ok {
+		t.Errorf("every manager should be an employee: %v %v", ok, err)
+	}
+	if ok, _ := Implies(db, sigma, deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("DEPT"))); ok {
+		t.Errorf("names should not be implied to be departments")
+	}
+}
+
+func TestDecideValidates(t *testing.T) {
+	db := twoRelDB()
+	if _, err := Decide(db, nil, deps.NewIND("R", deps.Attrs("Z"), "S", deps.Attrs("D"))); err == nil {
+		t.Errorf("Decide should validate the goal")
+	}
+	bad := []deps.IND{deps.NewIND("Nope", deps.Attrs("A"), "S", deps.Attrs("D"))}
+	if _, err := Decide(db, bad, deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("D"))); err == nil {
+		t.Errorf("Decide should validate sigma")
+	}
+}
+
+// cyclicSigma builds the permutation INDs sigma(gamma_i) for the swap
+// permutations on attributes A1..Am of a single relation R (Section 3).
+func cyclicSigma(m int) (*schema.Database, []deps.IND) {
+	attrs := make([]schema.Attribute, m)
+	for i := range attrs {
+		attrs[i] = schema.Attribute("A" + string(rune('0'+i)))
+	}
+	db := schema.MustDatabase(schema.MustScheme("R", attrs...))
+	var sigma []deps.IND
+	for i := 1; i < m; i++ {
+		// Swap positions 0 and i.
+		y := append([]schema.Attribute(nil), attrs...)
+		y[0], y[i] = y[i], y[0]
+		sigma = append(sigma, deps.NewIND("R", attrs, "R", y))
+	}
+	return db, sigma
+}
+
+func TestDecidePermutationGenerators(t *testing.T) {
+	// The transposition INDs generate every permutation IND (Section 3).
+	db, sigma := cyclicSigma(4)
+	attrs := deps.Attrs("A0", "A1", "A2", "A3")
+	goal := deps.NewIND("R", attrs, "R", deps.Attrs("A3", "A2", "A1", "A0")) // full reversal
+	res, err := Decide(db, sigma, goal)
+	if err != nil || !res.Implied {
+		t.Fatalf("reversal should be implied: %+v %v", res, err)
+	}
+	if err := CheckChain(sigma, goal, res.Chain, res.Via); err != nil {
+		t.Errorf("CheckChain: %v", err)
+	}
+}
+
+func TestProveVerify(t *testing.T) {
+	db := twoRelDB()
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("D", "E")),
+		deps.NewIND("S", deps.Attrs("E", "D"), "T", deps.Attrs("G", "H")),
+	}
+	goal := deps.NewIND("R", deps.Attrs("B"), "T", deps.Attrs("G"))
+	p, ok, err := Prove(db, sigma, goal)
+	if err != nil || !ok {
+		t.Fatalf("Prove: %v %v", ok, err)
+	}
+	if err := p.Verify(sigma, goal); err != nil {
+		t.Fatalf("Verify: %v\n%s", err, p)
+	}
+	if p.String() == "" {
+		t.Errorf("empty rendering")
+	}
+	// Tampering breaks verification.
+	bad := Proof{Lines: append([]Line(nil), p.Lines...)}
+	for i := range bad.Lines {
+		if bad.Lines[i].Rule == Hypothesis {
+			bad.Lines[i].IND = deps.NewIND("R", deps.Attrs("A"), "T", deps.Attrs("I"))
+			break
+		}
+	}
+	if err := bad.Verify(sigma, goal); err == nil {
+		t.Errorf("tampered proof verified")
+	}
+	// A proof for a different goal must not verify against it.
+	other := deps.NewIND("R", deps.Attrs("A"), "T", deps.Attrs("H"))
+	if err := p.Verify(sigma, other); err == nil {
+		t.Errorf("proof verified against wrong goal")
+	}
+}
+
+func TestProveTrivialGoal(t *testing.T) {
+	db := twoRelDB()
+	goal := deps.NewIND("R", deps.Attrs("C", "A"), "R", deps.Attrs("C", "A"))
+	p, ok, err := Prove(db, nil, goal)
+	if err != nil || !ok {
+		t.Fatalf("Prove trivial: %v %v", ok, err)
+	}
+	if len(p.Lines) != 1 || p.Lines[0].Rule != IND1 {
+		t.Errorf("trivial proof should be a single IND1 line: %v", p)
+	}
+	if err := p.Verify(nil, goal); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestChaseSatisfiesSigmaAndDecides(t *testing.T) {
+	db := twoRelDB()
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("D", "E")),
+		deps.NewIND("S", deps.Attrs("D"), "T", deps.Attrs("G")),
+	}
+	goal := deps.NewIND("R", deps.Attrs("A"), "T", deps.Attrs("G"))
+	cd, err := Chase(db, sigma, goal)
+	if err != nil {
+		t.Fatalf("Chase: %v", err)
+	}
+	for _, d := range sigma {
+		ok, err := cd.Satisfies(d)
+		if err != nil || !ok {
+			t.Errorf("chase database violates sigma member %v: %v %v", d, ok, err)
+		}
+	}
+	implied, _, err := DecideByChase(db, sigma, goal)
+	if err != nil || !implied {
+		t.Errorf("DecideByChase = %v, %v; want implied", implied, err)
+	}
+	// A goal that is not implied yields a counterexample.
+	badGoal := deps.NewIND("T", deps.Attrs("G"), "R", deps.Attrs("A"))
+	ce, ok, err := Counterexample(db, sigma, badGoal)
+	if err != nil || !ok {
+		t.Fatalf("Counterexample: %v %v", ok, err)
+	}
+	for _, d := range sigma {
+		if sat, _ := ce.Satisfies(d); !sat {
+			t.Errorf("counterexample violates sigma member %v", d)
+		}
+	}
+	if sat, _ := ce.Satisfies(badGoal); sat {
+		t.Errorf("counterexample satisfies the goal")
+	}
+	// No counterexample exists for an implied goal.
+	if _, ok, _ := Counterexample(db, sigma, goal); ok {
+		t.Errorf("counterexample returned for an implied goal")
+	}
+}
+
+// randomInstance builds a random database scheme, IND set and goal.
+func randomInstance(r *rand.Rand) (*schema.Database, []deps.IND, deps.IND) {
+	names := []string{"R", "S", "T"}
+	allAttrs := [][]schema.Attribute{
+		deps.Attrs("A", "B", "C"),
+		deps.Attrs("D", "E", "F"),
+		deps.Attrs("G", "H", "I"),
+	}
+	var schemes []*schema.Scheme
+	for i, n := range names {
+		schemes = append(schemes, schema.MustScheme(n, allAttrs[i]...))
+	}
+	db := schema.MustDatabase(schemes...)
+	randSeq := func(rel int, width int) []schema.Attribute {
+		perm := r.Perm(3)
+		out := make([]schema.Attribute, width)
+		for i := 0; i < width; i++ {
+			out[i] = allAttrs[rel][perm[i]]
+		}
+		return out
+	}
+	var sigma []deps.IND
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		li, ri := r.Intn(3), r.Intn(3)
+		w := 1 + r.Intn(3)
+		sigma = append(sigma, deps.NewIND(names[li], randSeq(li, w), names[ri], randSeq(ri, w)))
+	}
+	li, ri := r.Intn(3), r.Intn(3)
+	w := 1 + r.Intn(2)
+	goal := deps.NewIND(names[li], randSeq(li, w), names[ri], randSeq(ri, w))
+	return db, sigma, goal
+}
+
+// Property: the syntactic decision procedure (Corollary 3.2 search), the
+// naive fixpoint variant, and the semantic chase (Theorem 3.1) all agree.
+func TestDecideAgreesWithNaiveAndChase(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db, sigma, goal := randomInstance(r)
+		res, err := Decide(db, sigma, goal)
+		if err != nil {
+			return false
+		}
+		naive, _ := DecideNaive(sigma, goal)
+		if naive != res.Implied {
+			return false
+		}
+		chased, _, err := DecideByChase(db, sigma, goal)
+		if err != nil {
+			return false
+		}
+		return chased == res.Implied
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: whenever Decide says implied, the chain checks and the formal
+// proof verifies.
+func TestDecideProofsAlwaysVerify(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db, sigma, goal := randomInstance(r)
+		res, err := Decide(db, sigma, goal)
+		if err != nil || !res.Implied {
+			return err == nil
+		}
+		if CheckChain(sigma, goal, res.Chain, res.Via) != nil {
+			return false
+		}
+		p, err := FromChain(res.Chain, res.Via)
+		if err != nil {
+			return false
+		}
+		return p.Verify(sigma, goal) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the chase database always satisfies sigma (it is an Armstrong-
+// style database for the IND fragment).
+func TestChaseAlwaysSatisfiesSigma(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db, sigma, goal := randomInstance(r)
+		cd, err := Chase(db, sigma, goal)
+		if err != nil {
+			return false
+		}
+		for _, d := range sigma {
+			ok, err := cd.Satisfies(d)
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	db, sigma := cyclicSigma(3)
+	goal := deps.NewIND("R", deps.Attrs("A0", "A1", "A2"), "R", deps.Attrs("A2", "A0", "A1"))
+	res, err := Decide(db, sigma, goal)
+	if err != nil || !res.Implied {
+		t.Fatalf("Decide: %+v %v", res, err)
+	}
+	if res.Stats.Visited < 2 || res.Stats.Expanded < 1 || res.Stats.ChainLength != len(res.Chain) {
+		t.Errorf("suspicious stats: %+v", res.Stats)
+	}
+}
+
+func TestFormatChain(t *testing.T) {
+	db := twoRelDB()
+	sigma := []deps.IND{deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("D"))}
+	res, _ := Decide(db, sigma, sigma[0])
+	out := FormatChain(res.Chain, res.Via)
+	if out == "" {
+		t.Errorf("empty chain rendering")
+	}
+}
+
+// The space-bounded search of Theorem 3.3's upper bound agrees with the
+// breadth-first procedure when the depth bound covers the state space.
+func TestDecideDepthBoundedAgrees(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db, sigma, goal := randomInstance(r)
+		res, err := Decide(db, sigma, goal)
+		if err != nil {
+			return false
+		}
+		got := DecideDepthBounded(sigma, goal, res.Stats.Visited+1)
+		return got == res.Implied
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecideDepthBoundedTooShallow(t *testing.T) {
+	// A 3-step chain is invisible at depth 2.
+	db := twoRelDB()
+	_ = db
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("D")),
+		deps.NewIND("S", deps.Attrs("D"), "T", deps.Attrs("G")),
+		deps.NewIND("T", deps.Attrs("G"), "T", deps.Attrs("H")),
+	}
+	goal := deps.NewIND("R", deps.Attrs("A"), "T", deps.Attrs("H"))
+	if DecideDepthBounded(sigma, goal, 2) {
+		t.Errorf("depth 2 should not reach a 3-step target")
+	}
+	if !DecideDepthBounded(sigma, goal, 3) {
+		t.Errorf("depth 3 should reach the target")
+	}
+}

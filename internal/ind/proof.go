@@ -1,0 +1,223 @@
+package ind
+
+import (
+	"fmt"
+	"strings"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Rule identifies the inference rule justifying a proof line.
+type Rule int
+
+const (
+	// Hypothesis marks a line that is a member of Σ.
+	Hypothesis Rule = iota
+	// IND1 is reflexivity: R[X] ⊆ R[X].
+	IND1
+	// IND2 is projection and permutation.
+	IND2
+	// IND3 is transitivity.
+	IND3
+)
+
+// String names the rule.
+func (r Rule) String() string {
+	switch r {
+	case Hypothesis:
+		return "hypothesis"
+	case IND1:
+		return "IND1 (reflexivity)"
+	case IND2:
+		return "IND2 (projection and permutation)"
+	case IND3:
+		return "IND3 (transitivity)"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
+
+// Line is one step of a formal proof in the axiom system of Section 3.
+type Line struct {
+	IND  deps.IND
+	Rule Rule
+	// Premises holds the indices (into the proof) of the lines this line
+	// is inferred from: none for Hypothesis and IND1, one for IND2, two
+	// for IND3.
+	Premises []int
+}
+
+// Proof is a derivation Σ ⊢ σ: a finite sequence of INDs, each a member of
+// Σ or inferred from earlier lines by IND1–IND3, ending in σ.
+type Proof struct {
+	Lines []Line
+}
+
+// Goal returns the final IND of the proof.
+func (p Proof) Goal() deps.IND {
+	if len(p.Lines) == 0 {
+		return deps.IND{}
+	}
+	return p.Lines[len(p.Lines)-1].IND
+}
+
+// FromChain converts a Corollary 3.2 chain into a formal proof: each step
+// becomes a Hypothesis line followed by an IND2 projection, and the steps
+// are folded together with IND3. A length-1 chain (a trivial goal) becomes
+// a single IND1 line.
+func FromChain(chain []Expression, via []deps.IND) (Proof, error) {
+	if len(chain) == 0 {
+		return Proof{}, fmt.Errorf("ind: empty chain")
+	}
+	var p Proof
+	if len(chain) == 1 {
+		p.Lines = append(p.Lines, Line{
+			IND:  deps.NewIND(chain[0].Rel, chain[0].Attrs, chain[0].Rel, chain[0].Attrs),
+			Rule: IND1,
+		})
+		return p, nil
+	}
+	acc := -1 // index of the line holding chain[0] ⊆ chain[i]
+	for i := 0; i+1 < len(chain); i++ {
+		hyp := len(p.Lines)
+		p.Lines = append(p.Lines, Line{IND: via[i], Rule: Hypothesis})
+		step := len(p.Lines)
+		stepIND := deps.NewIND(chain[i].Rel, chain[i].Attrs, chain[i+1].Rel, chain[i+1].Attrs)
+		p.Lines = append(p.Lines, Line{IND: stepIND, Rule: IND2, Premises: []int{hyp}})
+		if acc == -1 {
+			acc = step
+			continue
+		}
+		combined := deps.NewIND(chain[0].Rel, chain[0].Attrs, chain[i+1].Rel, chain[i+1].Attrs)
+		p.Lines = append(p.Lines, Line{IND: combined, Rule: IND3, Premises: []int{acc, step}})
+		acc = len(p.Lines) - 1
+	}
+	return p, nil
+}
+
+// Prove returns a formal IND1–IND3 proof of goal from sigma, or ok=false
+// when sigma does not imply goal.
+func Prove(db *schema.Database, sigma []deps.IND, goal deps.IND) (Proof, bool, error) {
+	res, err := Decide(db, sigma, goal)
+	if err != nil || !res.Implied {
+		return Proof{}, false, err
+	}
+	p, err := FromChain(res.Chain, res.Via)
+	if err != nil {
+		return Proof{}, false, err
+	}
+	return p, true, nil
+}
+
+// Verify checks every line of the proof against sigma and the inference
+// rules, and that the proof ends in goal.
+func (p Proof) Verify(sigma []deps.IND, goal deps.IND) error {
+	if len(p.Lines) == 0 {
+		return fmt.Errorf("ind: empty proof")
+	}
+	inSigma := make(map[string]bool, len(sigma))
+	for _, d := range sigma {
+		inSigma[d.Key()] = true
+	}
+	for i, ln := range p.Lines {
+		for _, pr := range ln.Premises {
+			if pr < 0 || pr >= i {
+				return fmt.Errorf("ind: line %d refers to invalid premise %d", i, pr)
+			}
+		}
+		switch ln.Rule {
+		case Hypothesis:
+			if !inSigma[ln.IND.Key()] {
+				return fmt.Errorf("ind: line %d claims hypothesis %v, not in sigma", i, ln.IND)
+			}
+		case IND1:
+			if !ln.IND.Trivial() {
+				return fmt.Errorf("ind: line %d is not an instance of IND1: %v", i, ln.IND)
+			}
+			if !schema.Distinct(ln.IND.X) {
+				return fmt.Errorf("ind: line %d: IND1 needs distinct attributes: %v", i, ln.IND)
+			}
+		case IND2:
+			if len(ln.Premises) != 1 {
+				return fmt.Errorf("ind: line %d: IND2 needs one premise", i)
+			}
+			if err := checkIND2(p.Lines[ln.Premises[0]].IND, ln.IND); err != nil {
+				return fmt.Errorf("ind: line %d: %v", i, err)
+			}
+		case IND3:
+			if len(ln.Premises) != 2 {
+				return fmt.Errorf("ind: line %d: IND3 needs two premises", i)
+			}
+			a := p.Lines[ln.Premises[0]].IND
+			b := p.Lines[ln.Premises[1]].IND
+			if a.RRel != b.LRel || !schema.EqualSeq(a.Y, b.X) {
+				return fmt.Errorf("ind: line %d: IND3 middles do not match: %v then %v", i, a, b)
+			}
+			if ln.IND.LRel != a.LRel || !schema.EqualSeq(ln.IND.X, a.X) ||
+				ln.IND.RRel != b.RRel || !schema.EqualSeq(ln.IND.Y, b.Y) {
+				return fmt.Errorf("ind: line %d: IND3 conclusion %v does not follow from %v, %v", i, ln.IND, a, b)
+			}
+		default:
+			return fmt.Errorf("ind: line %d: unknown rule %v", i, ln.Rule)
+		}
+	}
+	got := p.Goal()
+	if got.Key() != goal.Key() && got.String() != goal.String() {
+		// Key() normalizes by permutation, which is exactly IND2-closure
+		// of the final line; require the stricter exact match here.
+		if got.LRel != goal.LRel || got.RRel != goal.RRel ||
+			!schema.EqualSeq(got.X, goal.X) || !schema.EqualSeq(got.Y, goal.Y) {
+			return fmt.Errorf("ind: proof concludes %v, want %v", got, goal)
+		}
+	}
+	return nil
+}
+
+// checkIND2 verifies that conclusion is obtained from premise by IND2:
+// there is a sequence of distinct positions selecting conclusion's columns
+// out of premise's columns, pairwise.
+func checkIND2(premise, conclusion deps.IND) error {
+	if premise.LRel != conclusion.LRel || premise.RRel != conclusion.RRel {
+		return fmt.Errorf("IND2 cannot change relations: %v from %v", conclusion, premise)
+	}
+	pos := make(map[schema.Attribute]int, len(premise.X))
+	for i, a := range premise.X {
+		pos[a] = i
+	}
+	used := make(map[int]bool, len(conclusion.X))
+	for u, a := range conclusion.X {
+		j, ok := pos[a]
+		if !ok {
+			return fmt.Errorf("IND2: attribute %s not on premise left-hand side", a)
+		}
+		if used[j] {
+			return fmt.Errorf("IND2: position of %s selected twice", a)
+		}
+		used[j] = true
+		if premise.Y[j] != conclusion.Y[u] {
+			return fmt.Errorf("IND2: column pairing broken at %s", a)
+		}
+	}
+	return nil
+}
+
+// String renders the proof as a numbered derivation.
+func (p Proof) String() string {
+	var b strings.Builder
+	for i, ln := range p.Lines {
+		fmt.Fprintf(&b, "%3d. %v", i+1, ln.IND)
+		switch ln.Rule {
+		case Hypothesis:
+			b.WriteString("   [hypothesis]")
+		case IND1:
+			b.WriteString("   [IND1]")
+		case IND2:
+			fmt.Fprintf(&b, "   [IND2 from %d]", ln.Premises[0]+1)
+		case IND3:
+			fmt.Fprintf(&b, "   [IND3 from %d, %d]", ln.Premises[0]+1, ln.Premises[1]+1)
+		}
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

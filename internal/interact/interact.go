@@ -1,0 +1,297 @@
+// Package interact implements a sound, bounded-arity inference engine for
+// FDs, INDs and RDs together: Armstrong's axioms, IND1–IND3, and the
+// interaction rules of Propositions 4.1, 4.2 and 4.3. Every rule has at
+// most three antecedents.
+//
+// The paper's central negative result (Theorems 6.1 and 7.1) is that NO
+// such engine — indeed no k-ary axiomatization for any k — can be
+// complete for FDs and INDs taken together. This package exists to make
+// that theorem tangible: its Closure derives all the Proposition 4.x
+// consequences, yet provably misses the Section 6 goal σ_k (which needs
+// the (k+1)-antecedent counting rule) and the Section 7 goal F: A -> C.
+package interact
+
+import (
+	"indfd/internal/deps"
+	"indfd/internal/fd"
+	"indfd/internal/ind"
+	"indfd/internal/schema"
+)
+
+// Closure computes the set of sentences in the universe derivable from
+// sigma by the bounded-arity rules:
+//
+//   - Armstrong closure within the derived FDs (complete for FDs alone);
+//   - IND1–IND3 closure within the derived INDs (complete for INDs alone);
+//   - Proposition 4.1: R[XY] ⊆ S[TU] and S: T -> U give R: X -> Y;
+//   - Proposition 4.2: R[XY] ⊆ S[TU], R[XZ] ⊆ S[TV] and S: T -> U give
+//     R[XYZ] ⊆ S[TUV];
+//   - Proposition 4.3: R[XY] ⊆ S[TU], R[XZ] ⊆ S[TU] and S: T -> U give
+//     the RD R[Y = Z];
+//
+// iterated to a fixpoint. Sound for unrestricted implication (hence also
+// finite), but not complete — by Theorem 7.1 nothing of bounded arity is.
+func Closure(db *schema.Database, sigma []deps.Dependency, universe []deps.Dependency) (*deps.Set, error) {
+	derived := deps.NewSet(sigma...)
+	for changed := true; changed; {
+		changed = false
+
+		// A derived RD R[A = B] acts as the FDs A -> B, B -> A and the
+		// INDs R[A] ⊆ R[B], R[B] ⊆ R[A] (Section 4 observes RDs are
+		// special generalized INDs); expose those to the class closures.
+		fds := derived.FDs()
+		inds := derived.INDs()
+		eq := rdEquivalence(derived.RDs())
+		for rel, classes := range eq {
+			for a := range classes.parent {
+				b := classes.find(a)
+				if a != b {
+					fds = append(fds,
+						deps.NewFD(rel, []schema.Attribute{a}, []schema.Attribute{b}),
+						deps.NewFD(rel, []schema.Attribute{b}, []schema.Attribute{a}),
+					)
+					inds = append(inds,
+						deps.NewIND(rel, []schema.Attribute{a}, rel, []schema.Attribute{b}),
+						deps.NewIND(rel, []schema.Attribute{b}, rel, []schema.Attribute{a}),
+					)
+				}
+			}
+		}
+
+		// Class-internal closures, restricted to the universe.
+		for _, tau := range universe {
+			if derived.Contains(tau) {
+				continue
+			}
+			switch t := tau.(type) {
+			case deps.FD:
+				if fd.Implies(fds, t) {
+					derived.Add(t)
+					changed = true
+				}
+			case deps.IND:
+				ok, err := ind.Implies(db, inds, t)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					derived.Add(t)
+					changed = true
+				}
+			case deps.RD:
+				if t.Trivial() || rdDerivable(eq, t) {
+					derived.Add(t)
+					changed = true
+				}
+			}
+		}
+
+		// Interaction rules. INDs are re-read so this round's additions
+		// feed the next round.
+		for _, d := range derived.INDs() {
+			if applyProp41(derived, d) {
+				changed = true
+			}
+		}
+		indList := derived.INDs()
+		for i := range indList {
+			for j := range indList {
+				if i == j {
+					continue
+				}
+				if applyProp42And43(db, derived, indList[i], indList[j]) {
+					changed = true
+				}
+			}
+		}
+	}
+	// Intersect with the universe (interaction rules may derive sentences
+	// outside it; keep them out of the reported closure but note they
+	// were available as intermediates — we therefore iterate once more
+	// over the universe before trimming).
+	out := deps.NewSet()
+	inUniverse := deps.NewSet(universe...)
+	for _, d := range derived.All() {
+		if inUniverse.Contains(d) {
+			out.Add(d)
+		}
+	}
+	return out, nil
+}
+
+// Derives reports whether goal is in the closure of sigma within the
+// universe extended with the goal itself.
+func Derives(db *schema.Database, sigma []deps.Dependency, universe []deps.Dependency, goal deps.Dependency) (bool, error) {
+	ext := append(append([]deps.Dependency(nil), universe...), goal)
+	c, err := Closure(db, sigma, ext)
+	if err != nil {
+		return false, err
+	}
+	return c.Contains(goal), nil
+}
+
+// applyProp41 adds, for every split of d's column pairs into X-pairs and
+// Y-pairs such that the FD T -> U over the right side is derived, the FD
+// X -> Y over the left side.
+func applyProp41(derived *deps.Set, d deps.IND) bool {
+	w := d.Width()
+	changed := false
+	fds := derived.FDs()
+	for mask := 0; mask < 1<<w; mask++ {
+		// Pairs in mask form X/T; the rest form Y/U. Y must be nonempty.
+		if mask == (1<<w)-1 {
+			continue
+		}
+		var x, y, t, u []schema.Attribute
+		for i := 0; i < w; i++ {
+			if mask&(1<<i) != 0 {
+				x = append(x, d.X[i])
+				t = append(t, d.Y[i])
+			} else {
+				y = append(y, d.X[i])
+				u = append(u, d.Y[i])
+			}
+		}
+		if !fd.Implies(fds, deps.NewFD(d.RRel, t, u)) {
+			continue
+		}
+		f := deps.NewFD(d.LRel, x, y)
+		if !derived.Contains(f) {
+			derived.Add(f)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// applyProp42And43 matches the two INDs d1 = R[XY] ⊆ S[TU] and
+// d2 = R[XZ] ⊆ S[TV] on their shared column pairs X/T and, when the FD
+// T -> U is derived, adds the combined IND R[XYZ] ⊆ S[TUV]
+// (Proposition 4.2) or, in the degenerate case U = V (matching pairs),
+// the RD R[Y = Z] (Proposition 4.3).
+func applyProp42And43(db *schema.Database, derived *deps.Set, d1, d2 deps.IND) bool {
+	if d1.LRel != d2.LRel || d1.RRel != d2.RRel {
+		return false
+	}
+	changed := false
+	fds := derived.FDs()
+	// Shared pairs: column pairs present in both INDs.
+	type pair struct{ x, y schema.Attribute }
+	in2 := map[pair]bool{}
+	for i := range d2.X {
+		in2[pair{d2.X[i], d2.Y[i]}] = true
+	}
+	var x, t []schema.Attribute
+	var y, u []schema.Attribute // d1-only pairs
+	for i := range d1.X {
+		p := pair{d1.X[i], d1.Y[i]}
+		if in2[p] {
+			x = append(x, p.x)
+			t = append(t, p.y)
+		} else {
+			y = append(y, p.x)
+			u = append(u, p.y)
+		}
+	}
+	shared := map[pair]bool{}
+	for i := range x {
+		shared[pair{x[i], t[i]}] = true
+	}
+	var z, v []schema.Attribute // d2-only pairs
+	for i := range d2.X {
+		p := pair{d2.X[i], d2.Y[i]}
+		if !shared[p] {
+			z = append(z, p.x)
+			v = append(v, p.y)
+		}
+	}
+	if len(y) == 0 || len(z) == 0 {
+		return false
+	}
+	if !fd.Implies(fds, deps.NewFD(d1.RRel, t, u)) {
+		return false
+	}
+	// Proposition 4.3: if the non-shared pairs of d2 target the same
+	// right-hand columns as d1's (U = V as sequences after alignment),
+	// the left-hand columns must repeat.
+	if schema.EqualSeq(u, v) && !schema.EqualSeq(y, z) {
+		rd := deps.NewRD(d1.LRel, y, z)
+		if !derived.Contains(rd) {
+			derived.Add(rd)
+			changed = true
+		}
+	}
+	// Proposition 4.2: combined IND, when the attribute sequences remain
+	// distinct.
+	lhs := schema.Concat(x, y, z)
+	rhs := schema.Concat(t, u, v)
+	if schema.Distinct(lhs) && schema.Distinct(rhs) {
+		comb := deps.NewIND(d1.LRel, lhs, d1.RRel, rhs)
+		if err := comb.Validate(db); err == nil && !derived.Contains(comb) {
+			derived.Add(comb)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// attrUF is a union-find over attribute names of one relation.
+type attrUF struct {
+	parent map[schema.Attribute]schema.Attribute
+}
+
+func (u *attrUF) find(a schema.Attribute) schema.Attribute {
+	p, ok := u.parent[a]
+	if !ok || p == a {
+		if !ok {
+			u.parent[a] = a
+		}
+		return a
+	}
+	root := u.find(p)
+	u.parent[a] = root
+	return root
+}
+
+func (u *attrUF) union(a, b schema.Attribute) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		// Keep the lexicographically smaller attribute as the root so the
+		// representative choice is deterministic.
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		u.parent[rb] = ra
+	}
+}
+
+// rdEquivalence builds, per relation, the attribute equivalence induced
+// by the derived RDs (RD symmetry and transitivity come for free).
+func rdEquivalence(rds []deps.RD) map[string]*attrUF {
+	out := map[string]*attrUF{}
+	for _, r := range rds {
+		uf := out[r.Rel]
+		if uf == nil {
+			uf = &attrUF{parent: map[schema.Attribute]schema.Attribute{}}
+			out[r.Rel] = uf
+		}
+		for i := range r.X {
+			uf.union(r.X[i], r.Y[i])
+		}
+	}
+	return out
+}
+
+// rdDerivable reports whether the RD follows from the equivalence.
+func rdDerivable(eq map[string]*attrUF, r deps.RD) bool {
+	uf := eq[r.Rel]
+	for i := range r.X {
+		if r.X[i] == r.Y[i] {
+			continue
+		}
+		if uf == nil || uf.find(r.X[i]) != uf.find(r.Y[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+package interact
+
+import (
+	"testing"
+
+	"indfd/internal/counterex"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func TestProp41Derivation(t *testing.T) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	goal := deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y"))
+	ok, err := Derives(db, sigma, nil, goal)
+	if err != nil {
+		t.Fatalf("Derives: %v", err)
+	}
+	if !ok {
+		t.Errorf("Proposition 4.1 consequence not derived")
+	}
+	// Without the FD the rule must not fire.
+	ok, _ = Derives(db, sigma[:1], nil, goal)
+	if ok {
+		t.Errorf("unsound derivation without the FD")
+	}
+}
+
+func TestProp42Derivation(t *testing.T) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y", "Z"),
+		schema.MustScheme("S", "T", "U", "V"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewIND("R", deps.Attrs("X", "Z"), "S", deps.Attrs("T", "V")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	goal := deps.NewIND("R", deps.Attrs("X", "Y", "Z"), "S", deps.Attrs("T", "U", "V"))
+	ok, err := Derives(db, sigma, nil, goal)
+	if err != nil {
+		t.Fatalf("Derives: %v", err)
+	}
+	if !ok {
+		t.Errorf("Proposition 4.2 consequence not derived")
+	}
+}
+
+func TestProp43Derivation(t *testing.T) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y", "Z"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewIND("R", deps.Attrs("X", "Z"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	goal := deps.NewRD("R", deps.Attrs("Y"), deps.Attrs("Z"))
+	ok, err := Derives(db, sigma, nil, goal)
+	if err != nil {
+		t.Fatalf("Derives: %v", err)
+	}
+	if !ok {
+		t.Errorf("Proposition 4.3 consequence not derived")
+	}
+}
+
+func TestClassInternalClosures(t *testing.T) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B", "C"),
+		schema.MustScheme("S", "D", "E"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C")),
+		deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("D")),
+		deps.NewIND("S", deps.Attrs("D"), "S", deps.Attrs("E")),
+	}
+	for _, goal := range []deps.Dependency{
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C")),
+		deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("E")),
+	} {
+		ok, err := Derives(db, sigma, nil, goal)
+		if err != nil {
+			t.Fatalf("Derives(%v): %v", goal, err)
+		}
+		if !ok {
+			t.Errorf("%v not derived by class-internal closure", goal)
+		}
+	}
+}
+
+// The engine is honest about its incompleteness: it cannot derive the
+// Section 6 goal (which needs a (k+1)-ary counting rule for finite
+// implication — indeed σ_k is not even unrestrictedly implied) nor the
+// Section 7 goal F: A -> C (which IS unrestrictedly implied, by
+// Lemma 7.2, but whose derivation needs unbounded arity).
+func TestIncompletenessOnPaperWitnesses(t *testing.T) {
+	s6, err := counterex.NewSection6(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Derives(s6.DB, s6.Sigma, nil, s6.Goal)
+	if err != nil {
+		t.Fatalf("Derives: %v", err)
+	}
+	if ok {
+		t.Errorf("engine derived σ_k, which is not unrestrictedly implied — unsound")
+	}
+
+	s7, err := counterex.NewSection7(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = Derives(s7.DB, s7.Sigma, nil, s7.Goal)
+	if err != nil {
+		t.Fatalf("Derives: %v", err)
+	}
+	if ok {
+		t.Errorf("bounded-arity engine derived F: A -> C; Theorem 7.1 says it cannot")
+	}
+	// Yet the φ members ARE derivable (Lemma 7.3's Proposition 4.1
+	// argument), except the goal itself.
+	for _, f := range s7.Phi {
+		if f.Key() == deps.Dependency(s7.Goal).Key() {
+			continue
+		}
+		ok, err := Derives(s7.DB, s7.Sigma, nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("φ member %v not derived (Lemma 7.3 path broken)", f)
+		}
+	}
+}
+
+// Soundness: everything the engine derives on the Section 7 instance is a
+// genuine consequence of Σ (member of φ⁺ ∪ λ⁺ ∪ ω by Lemmas 7.4–7.6).
+func TestSoundnessAgainstSection7(t *testing.T) {
+	s7, err := counterex.NewSection7(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := s7.Universe()
+	c, err := Closure(s7.DB, s7.Sigma, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range c.All() {
+		var member bool
+		switch dd := d.(type) {
+		case deps.FD:
+			member = s7.InPhiPlus(dd)
+		case deps.IND:
+			member, err = s7.InLambdaPlus(dd)
+			if err != nil {
+				t.Fatal(err)
+			}
+		case deps.RD:
+			member = dd.Trivial()
+		}
+		if !member && d.Key() != deps.Dependency(s7.Goal).Key() {
+			t.Errorf("engine derived %v, which is not a consequence of Σ", d)
+		}
+	}
+}
+
+func TestRDRules(t *testing.T) {
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C"))
+	sigma := []deps.Dependency{
+		deps.NewRD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewRD("R", deps.Attrs("B"), deps.Attrs("C")),
+	}
+	goals := []deps.Dependency{
+		deps.NewRD("R", deps.Attrs("A"), deps.Attrs("C")),       // RD transitivity
+		deps.NewRD("R", deps.Attrs("C"), deps.Attrs("A")),       // RD symmetry
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),       // RD -> FD
+		deps.NewFD("R", deps.Attrs("C"), deps.Attrs("A")),       // via closure
+		deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("C")), // RD -> IND
+	}
+	for _, g := range goals {
+		ok, err := Derives(db, sigma, nil, g)
+		if err != nil {
+			t.Fatalf("Derives(%v): %v", g, err)
+		}
+		if !ok {
+			t.Errorf("%v not derived from RDs", g)
+		}
+	}
+	// A disconnected pair stays disconnected.
+	ok, _ := Derives(db, sigma[:1], nil, deps.NewRD("R", deps.Attrs("A"), deps.Attrs("C")))
+	if ok {
+		t.Errorf("R[A == C] should not follow from R[A == B] alone")
+	}
+}

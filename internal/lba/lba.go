@@ -1,0 +1,338 @@
+// Package lba implements the substrate of Theorem 3.3: nondeterministic
+// Turing machines operating in linear space (linear bounded automata),
+// their configurations, bounded-space acceptance, and the reduction from
+// LINEAR BOUNDED AUTOMATON ACCEPTANCE to the decision problem for INDs
+// that proves the problem PSPACE-hard.
+//
+// Following the paper, a configuration of a machine on an input of length
+// n is a string in Γ*KΓ⁺ of length n+1: the n tape symbols with the state
+// symbol inserted immediately to the left of the scanned cell. Moves are
+// rewriting rules abc → a'b'c' applied at any position of the
+// configuration; the machine accepts when the exact final configuration
+// h B^n is reached from the initial configuration s x.
+package lba
+
+import (
+	"fmt"
+	"strings"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Rewrite is one move of the machine: the length-3 pattern From may be
+// rewritten to To wherever it occurs in a configuration.
+type Rewrite struct {
+	From [3]string
+	To   [3]string
+}
+
+// String renders the rewrite as "a b c -> a' b' c'".
+func (r Rewrite) String() string {
+	return fmt.Sprintf("%s %s %s -> %s %s %s", r.From[0], r.From[1], r.From[2], r.To[0], r.To[1], r.To[2])
+}
+
+// Machine is a nondeterministic Turing machine in the paper's rewriting
+// presentation: state set K, tape alphabet Γ (containing Blank), start and
+// halt states, and a move relation given by rewriting rules.
+type Machine struct {
+	States   []string
+	Alphabet []string
+	Blank    string
+	Start    string
+	Halt     string
+	Rules    []Rewrite
+}
+
+// Validate checks the machine's well-formedness.
+func (m *Machine) Validate() error {
+	states := map[string]bool{}
+	for _, s := range m.States {
+		if s == "" {
+			return fmt.Errorf("lba: empty state name")
+		}
+		if states[s] {
+			return fmt.Errorf("lba: duplicate state %q", s)
+		}
+		states[s] = true
+	}
+	tape := map[string]bool{}
+	for _, g := range m.Alphabet {
+		if g == "" {
+			return fmt.Errorf("lba: empty tape symbol")
+		}
+		if tape[g] || states[g] {
+			return fmt.Errorf("lba: symbol %q duplicated or clashes with a state", g)
+		}
+		tape[g] = true
+	}
+	if !tape[m.Blank] {
+		return fmt.Errorf("lba: blank %q not in alphabet", m.Blank)
+	}
+	if !states[m.Start] || !states[m.Halt] {
+		return fmt.Errorf("lba: start %q or halt %q not in state set", m.Start, m.Halt)
+	}
+	known := func(s string) bool { return states[s] || tape[s] }
+	for _, r := range m.Rules {
+		for i := 0; i < 3; i++ {
+			if !known(r.From[i]) || !known(r.To[i]) {
+				return fmt.Errorf("lba: rule %v uses unknown symbol", r)
+			}
+		}
+	}
+	return nil
+}
+
+// Config is a machine configuration: a sequence of n+1 symbols with
+// exactly one state symbol.
+type Config []string
+
+// String renders the configuration with spaces.
+func (c Config) String() string { return strings.Join(c, " ") }
+
+// Initial returns the initial configuration s·x for the given input.
+func (m *Machine) Initial(input []string) Config {
+	c := make(Config, 0, len(input)+1)
+	c = append(c, m.Start)
+	c = append(c, input...)
+	return c
+}
+
+// Final returns the accepting configuration h·B^n.
+func (m *Machine) Final(n int) Config {
+	c := make(Config, n+1)
+	c[0] = m.Halt
+	for i := 1; i <= n; i++ {
+		c[i] = m.Blank
+	}
+	return c
+}
+
+// Successors returns every configuration reachable from c in one move.
+func (m *Machine) Successors(c Config) []Config {
+	var out []Config
+	for _, r := range m.Rules {
+		for j := 0; j+2 < len(c); j++ {
+			if c[j] == r.From[0] && c[j+1] == r.From[1] && c[j+2] == r.From[2] {
+				succ := append(Config(nil), c...)
+				succ[j], succ[j+1], succ[j+2] = r.To[0], r.To[1], r.To[2]
+				out = append(out, succ)
+			}
+		}
+	}
+	return out
+}
+
+// Accepts reports whether the machine accepts the input within space
+// |input|: whether the final configuration h·B^n is reachable from the
+// initial configuration. maxConfigs bounds the search (0 means 1 << 20);
+// exceeding it returns an error.
+func (m *Machine) Accepts(input []string, maxConfigs int) (bool, error) {
+	if err := m.Validate(); err != nil {
+		return false, err
+	}
+	tape := map[string]bool{}
+	for _, g := range m.Alphabet {
+		tape[g] = true
+	}
+	for _, x := range input {
+		if !tape[x] {
+			return false, fmt.Errorf("lba: input symbol %q not in alphabet", x)
+		}
+	}
+	if maxConfigs <= 0 {
+		maxConfigs = 1 << 20
+	}
+	start := m.Initial(input)
+	goal := m.Final(len(input)).String()
+	if start.String() == goal {
+		return true, nil
+	}
+	visited := map[string]bool{start.String(): true}
+	queue := []Config{start}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, succ := range m.Successors(c) {
+			k := succ.String()
+			if visited[k] {
+				continue
+			}
+			if k == goal {
+				return true, nil
+			}
+			if len(visited) >= maxConfigs {
+				return false, fmt.Errorf("lba: configuration budget %d exceeded", maxConfigs)
+			}
+			visited[k] = true
+			queue = append(queue, succ)
+		}
+	}
+	return false, nil
+}
+
+// Instance is the IND-implication instance produced by the Theorem 3.3
+// reduction: Σ ⊨ Goal over DB iff the machine accepts the input in space
+// |input|.
+type Instance struct {
+	DB    *schema.Database
+	Sigma []deps.IND
+	Goal  deps.IND
+}
+
+// attr encodes the attribute (symbol, position) of the reduction's single
+// relation scheme.
+func attr(sym string, pos int) schema.Attribute {
+	return schema.Attribute(fmt.Sprintf("%s@%d", sym, pos))
+}
+
+// Reduce builds the Theorem 3.3 instance for machine m on the given input.
+// The single relation scheme R has attributes (K ∪ Γ) × {1, ..., n+1}; the
+// goal IND relates the initial configuration's attribute sequence to the
+// final configuration's; each move abc → a'b'c' and each position j
+// contributes the IND S(move, j) whose two sides share the padding P_j
+// (all tape-symbol attributes at the untouched positions). Requires
+// len(input) ≥ 2 so that at least one rule position exists.
+func Reduce(m *Machine, input []string) (*Instance, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(input)
+	if n < 2 {
+		return nil, fmt.Errorf("lba: reduction needs |input| ≥ 2, got %d", n)
+	}
+	var attrs []schema.Attribute
+	for _, s := range m.States {
+		for p := 1; p <= n+1; p++ {
+			attrs = append(attrs, attr(s, p))
+		}
+	}
+	for _, g := range m.Alphabet {
+		for p := 1; p <= n+1; p++ {
+			attrs = append(attrs, attr(g, p))
+		}
+	}
+	sch, err := schema.NewScheme("R", attrs...)
+	if err != nil {
+		return nil, err
+	}
+	db, err := schema.NewDatabase(sch)
+	if err != nil {
+		return nil, err
+	}
+
+	// P_j: tape-symbol attributes at every position other than j, j+1,
+	// j+2, in a fixed order.
+	padding := func(j int) []schema.Attribute {
+		var out []schema.Attribute
+		for _, g := range m.Alphabet {
+			for p := 1; p <= n+1; p++ {
+				if p == j || p == j+1 || p == j+2 {
+					continue
+				}
+				out = append(out, attr(g, p))
+			}
+		}
+		return out
+	}
+	var sigma []deps.IND
+	for _, r := range m.Rules {
+		for j := 1; j <= n-1; j++ {
+			pj := padding(j)
+			lhs := append(append([]schema.Attribute(nil), pj...),
+				attr(r.From[0], j), attr(r.From[1], j+1), attr(r.From[2], j+2))
+			rhs := append(append([]schema.Attribute(nil), pj...),
+				attr(r.To[0], j), attr(r.To[1], j+1), attr(r.To[2], j+2))
+			if !schema.Distinct(lhs) || !schema.Distinct(rhs) {
+				// A rule like a a c -> ... at positions j, j+1 uses two
+				// different attributes (positions differ), so sides are
+				// always distinct; this is defensive.
+				return nil, fmt.Errorf("lba: rule %v yields a non-distinct attribute sequence", r)
+			}
+			sigma = append(sigma, deps.NewIND("R", lhs, "R", rhs))
+		}
+	}
+	goalLHS := configAttrs(m.Initial(input))
+	goalRHS := configAttrs(m.Final(n))
+	goal := deps.NewIND("R", goalLHS, "R", goalRHS)
+	return &Instance{DB: db, Sigma: sigma, Goal: goal}, nil
+}
+
+// configAttrs maps a configuration to its attribute sequence
+// ((y1,1), ..., (y_{n+1}, n+1)).
+func configAttrs(c Config) []schema.Attribute {
+	out := make([]schema.Attribute, len(c))
+	for i, sym := range c {
+		out[i] = attr(sym, i+1)
+	}
+	return out
+}
+
+// Eraser returns a small nondeterministic machine that accepts a^n for
+// every n ≥ 2 in linear space: it sweeps right erasing a's, turns around
+// at the right end, walks back to the left end, and halts. Wrong
+// nondeterministic guesses (turning around early, halting away from the
+// left end) fail to reach the exact final configuration and die.
+func Eraser() *Machine {
+	m := &Machine{
+		States:   []string{"s", "r", "h"},
+		Alphabet: []string{"a", "B"},
+		Blank:    "B",
+		Start:    "s",
+		Halt:     "h",
+	}
+	for _, y := range m.Alphabet {
+		// Erase and move right.
+		m.Rules = append(m.Rules, Rewrite{From: [3]string{"s", "a", y}, To: [3]string{"B", "s", y}})
+		// Turn around at (nondeterministically guessed) right end,
+		// erasing the last a.
+		m.Rules = append(m.Rules, Rewrite{From: [3]string{y, "s", "a"}, To: [3]string{"r", y, "B"}})
+		// Halt while scanning blank (only correct at the left end).
+		m.Rules = append(m.Rules, Rewrite{From: [3]string{"r", "B", y}, To: [3]string{"h", "B", y}})
+		for _, z := range m.Alphabet {
+			// Walk left.
+			m.Rules = append(m.Rules, Rewrite{From: [3]string{y, "r", z}, To: [3]string{"r", y, z}})
+		}
+	}
+	return m
+}
+
+// Input builds the input word a^n for the eraser machine.
+func Input(sym string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = sym
+	}
+	return out
+}
+
+// EvenEraser returns a nondeterministic machine accepting a^n exactly for
+// even n ≥ 2: the rightward sweep toggles between states s (even number
+// of a's erased so far) and p (odd), and the turnaround — which erases
+// one final a — is only permitted from p, so the total count is even.
+// The return walk and halting guess work as in Eraser.
+func EvenEraser() *Machine {
+	m := &Machine{
+		States:   []string{"s", "p", "r", "h"},
+		Alphabet: []string{"a", "B"},
+		Blank:    "B",
+		Start:    "s",
+		Halt:     "h",
+	}
+	for _, y := range m.Alphabet {
+		m.Rules = append(m.Rules,
+			// Erase and move right, toggling parity.
+			Rewrite{From: [3]string{"s", "a", y}, To: [3]string{"B", "p", y}},
+			Rewrite{From: [3]string{"p", "a", y}, To: [3]string{"B", "s", y}},
+			// Turn around (erasing the final a) only with odd count so far.
+			Rewrite{From: [3]string{y, "p", "a"}, To: [3]string{"r", y, "B"}},
+			// Halt while scanning blank (only correct at the left end).
+			Rewrite{From: [3]string{"r", "B", y}, To: [3]string{"h", "B", y}},
+		)
+		for _, z := range m.Alphabet {
+			// Walk left.
+			m.Rules = append(m.Rules, Rewrite{From: [3]string{y, "r", z}, To: [3]string{"r", y, z}})
+		}
+	}
+	return m
+}

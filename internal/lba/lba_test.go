@@ -1,0 +1,270 @@
+package lba
+
+import (
+	"strings"
+	"testing"
+
+	"indfd/internal/ind"
+)
+
+func TestEraserValidates(t *testing.T) {
+	m := Eraser()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []*Machine{
+		{States: []string{"s", "s"}, Alphabet: []string{"B"}, Blank: "B", Start: "s", Halt: "s"},
+		{States: []string{"s"}, Alphabet: []string{"B", "B"}, Blank: "B", Start: "s", Halt: "s"},
+		{States: []string{"s"}, Alphabet: []string{"s"}, Blank: "s", Start: "s", Halt: "s"},
+		{States: []string{"s"}, Alphabet: []string{"B"}, Blank: "X", Start: "s", Halt: "s"},
+		{States: []string{"s"}, Alphabet: []string{"B"}, Blank: "B", Start: "q", Halt: "s"},
+		{States: []string{"s"}, Alphabet: []string{"B"}, Blank: "B", Start: "s", Halt: "s",
+			Rules: []Rewrite{{From: [3]string{"?", "B", "B"}, To: [3]string{"B", "B", "B"}}}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEraserAccepts(t *testing.T) {
+	m := Eraser()
+	for n := 2; n <= 5; n++ {
+		ok, err := m.Accepts(Input("a", n), 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !ok {
+			t.Errorf("eraser should accept a^%d", n)
+		}
+	}
+	// A blank in the middle of the input strands the sweep.
+	ok, err := m.Accepts([]string{"a", "B", "a"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("eraser should reject a B a")
+	}
+	// Unknown input symbols are rejected up front.
+	if _, err := m.Accepts([]string{"a", "z"}, 0); err == nil {
+		t.Errorf("unknown input symbol should error")
+	}
+}
+
+func TestRejectorRejects(t *testing.T) {
+	m := Eraser()
+	// Remove the halt rules: the machine can never reach h·B^n.
+	var rules []Rewrite
+	for _, r := range m.Rules {
+		if r.To[0] == "h" {
+			continue
+		}
+		rules = append(rules, r)
+	}
+	m.Rules = rules
+	ok, err := m.Accepts(Input("a", 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("halting-rule-free machine should reject")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	m := Eraser()
+	init := m.Initial([]string{"a", "a"})
+	if init.String() != "s a a" {
+		t.Errorf("Initial = %q", init)
+	}
+	fin := m.Final(2)
+	if fin.String() != "h B B" {
+		t.Errorf("Final = %q", fin)
+	}
+	succs := m.Successors(init)
+	if len(succs) != 1 || succs[0].String() != "B s a" {
+		t.Errorf("Successors(init) = %v", succs)
+	}
+}
+
+func TestAcceptsBudget(t *testing.T) {
+	m := Eraser()
+	if _, err := m.Accepts(Input("a", 5), 2); err == nil {
+		t.Errorf("tiny budget should error")
+	}
+}
+
+func TestReduceShape(t *testing.T) {
+	m := Eraser()
+	input := Input("a", 3)
+	inst, err := Reduce(m, input)
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	n := len(input)
+	// One relation scheme with (|K| + |Γ|)·(n+1) attributes.
+	sch, ok := inst.DB.Scheme("R")
+	if !ok {
+		t.Fatalf("no scheme R")
+	}
+	wantAttrs := (len(m.States) + len(m.Alphabet)) * (n + 1)
+	if sch.Width() != wantAttrs {
+		t.Errorf("scheme width %d, want %d", sch.Width(), wantAttrs)
+	}
+	// One IND per (rule, position).
+	if len(inst.Sigma) != len(m.Rules)*(n-1) {
+		t.Errorf("|Sigma| = %d, want %d", len(inst.Sigma), len(m.Rules)*(n-1))
+	}
+	// Goal width is n+1; Sigma INDs have width |Γ|(n-2)+3.
+	if inst.Goal.Width() != n+1 {
+		t.Errorf("goal width %d", inst.Goal.Width())
+	}
+	want := len(m.Alphabet)*(n-2) + 3
+	for _, d := range inst.Sigma {
+		if d.Width() != want {
+			t.Errorf("sigma IND width %d, want %d", d.Width(), want)
+		}
+	}
+	// Everything validates against the scheme.
+	if err := inst.Goal.Validate(inst.DB); err != nil {
+		t.Errorf("goal invalid: %v", err)
+	}
+	for _, d := range inst.Sigma {
+		if err := d.Validate(inst.DB); err != nil {
+			t.Errorf("sigma IND invalid: %v", err)
+		}
+	}
+	if _, err := Reduce(m, Input("a", 1)); err == nil {
+		t.Errorf("|input| = 1 should be rejected")
+	}
+}
+
+// The Theorem 3.3 round trip: Σ ⊨ σ iff M accepts x in space |x|.
+func TestReductionRoundTrip(t *testing.T) {
+	type tc struct {
+		name  string
+		mach  *Machine
+		input []string
+	}
+	rejector := Eraser()
+	var rules []Rewrite
+	for _, r := range rejector.Rules {
+		if r.To[0] != "h" {
+			rules = append(rules, r)
+		}
+	}
+	rejector.Rules = rules
+	cases := []tc{
+		{"eraser-aa", Eraser(), Input("a", 2)},
+		{"eraser-aaa", Eraser(), Input("a", 3)},
+		{"eraser-aBa", Eraser(), []string{"a", "B", "a"}},
+		{"rejector-aaa", rejector, Input("a", 3)},
+	}
+	for _, c := range cases {
+		accepts, err := c.mach.Accepts(c.input, 0)
+		if err != nil {
+			t.Fatalf("%s: Accepts: %v", c.name, err)
+		}
+		inst, err := Reduce(c.mach, c.input)
+		if err != nil {
+			t.Fatalf("%s: Reduce: %v", c.name, err)
+		}
+		res, err := ind.Decide(inst.DB, inst.Sigma, inst.Goal)
+		if err != nil {
+			t.Fatalf("%s: Decide: %v", c.name, err)
+		}
+		if res.Implied != accepts {
+			t.Errorf("%s: Decide = %v, Accepts = %v — reduction broken", c.name, res.Implied, accepts)
+		}
+		if res.Implied {
+			// The Corollary 3.2 chain is a computation history: its length
+			// is the number of configurations visited.
+			if err := ind.CheckChain(inst.Sigma, inst.Goal, res.Chain, res.Via); err != nil {
+				t.Errorf("%s: chain does not verify: %v", c.name, err)
+			}
+			// Decode the chain back to configurations: every expression
+			// must mention exactly one state symbol per position pattern.
+			for _, e := range res.Chain {
+				if len(e.Attrs) != len(c.input)+1 {
+					t.Errorf("%s: chain expression of width %d", c.name, len(e.Attrs))
+				}
+			}
+		}
+	}
+}
+
+// DecodeChain sanity: the first chain expression spells the initial
+// configuration and the last the final one.
+func TestChainSpellsComputation(t *testing.T) {
+	m := Eraser()
+	input := Input("a", 2)
+	inst, _ := Reduce(m, input)
+	res, err := ind.Decide(inst.DB, inst.Sigma, inst.Goal)
+	if err != nil || !res.Implied {
+		t.Fatalf("Decide: %+v %v", res.Implied, err)
+	}
+	first := res.Chain[0]
+	last := res.Chain[len(res.Chain)-1]
+	if got := decode(first); got != "s a a" {
+		t.Errorf("first expression decodes to %q", got)
+	}
+	if got := decode(last); got != "h B B" {
+		t.Errorf("last expression decodes to %q", got)
+	}
+}
+
+// decode turns an expression over (sym@pos) attributes back into a
+// configuration string.
+func decode(e ind.Expression) string {
+	syms := make([]string, len(e.Attrs))
+	for i, a := range e.Attrs {
+		parts := strings.SplitN(string(a), "@", 2)
+		syms[i] = parts[0]
+	}
+	return strings.Join(syms, " ")
+}
+
+func TestEvenEraser(t *testing.T) {
+	m := EvenEraser()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for n := 2; n <= 7; n++ {
+		ok, err := m.Accepts(Input("a", n), 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ok != (n%2 == 0) {
+			t.Errorf("EvenEraser on a^%d: accepts=%v, want %v", n, ok, n%2 == 0)
+		}
+	}
+}
+
+// The reduction round trip distinguishes accepting and rejecting inputs
+// of the SAME machine (parity of n).
+func TestReductionRoundTripParity(t *testing.T) {
+	m := EvenEraser()
+	for n := 2; n <= 5; n++ {
+		input := Input("a", n)
+		accepts, err := m.Accepts(input, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := Reduce(m, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ind.Decide(inst.DB, inst.Sigma, inst.Goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Implied != accepts {
+			t.Errorf("n=%d: Decide=%v, Accepts=%v", n, res.Implied, accepts)
+		}
+	}
+}

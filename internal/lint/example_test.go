@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"fmt"
+
+	"indfd/internal/chase"
+	"indfd/internal/deps"
+	"indfd/internal/lint"
+	"indfd/internal/schema"
+)
+
+// Design advice surfaces the Theorem 4.4 phenomenon as a warning.
+func ExampleAdvise() {
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	sigma := []deps.Dependency{
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B")),
+	}
+	adv, err := lint.Advise(db, sigma, chase.Options{MaxTuples: 64})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(adv)
+	// Output:
+	// keys of R: {A}
+	// hold over FINITE databases only (Theorem 4.4 warning):
+	//   R: B -> A
+	//   R[B] <= R[A]
+}

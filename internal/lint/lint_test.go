@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"indfd/internal/chase"
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func orderScheme() *schema.Database {
+	return schema.MustDatabase(
+		schema.MustScheme("CUST", "CID", "NAME"),
+		schema.MustScheme("ORD", "OID", "CID"),
+	)
+}
+
+func orderSigma() []deps.Dependency {
+	return []deps.Dependency{
+		deps.NewFD("CUST", deps.Attrs("CID"), deps.Attrs("NAME")),
+		deps.NewIND("ORD", deps.Attrs("CID"), "CUST", deps.Attrs("CID")),
+	}
+}
+
+func TestCheckFindsViolations(t *testing.T) {
+	ds := orderScheme()
+	db := data.NewDatabase(ds)
+	db.MustInsert("CUST",
+		data.Tuple{"c1", "ann"},
+		data.Tuple{"c1", "bob"}, // FD violation
+	)
+	db.MustInsert("ORD",
+		data.Tuple{"o1", "c1"},
+		data.Tuple{"o2", "c9"}, // dangling foreign key
+	)
+	vs, err := Check(db, orderSigma())
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v, want 2", vs)
+	}
+	var fdV, indV bool
+	for _, v := range vs {
+		switch v.Dep.Kind() {
+		case deps.KindFD:
+			fdV = true
+			if !strings.Contains(v.Detail, "agree on CID") {
+				t.Errorf("FD detail wrong: %s", v.Detail)
+			}
+		case deps.KindIND:
+			indV = true
+			if !strings.Contains(v.Detail, "no witness") || !strings.Contains(v.Detail, "c9") {
+				t.Errorf("IND detail wrong: %s", v.Detail)
+			}
+		}
+		if v.String() == "" {
+			t.Errorf("empty rendering")
+		}
+	}
+	if !fdV || !indV {
+		t.Errorf("missing violation kinds: %v", vs)
+	}
+}
+
+func TestCheckRD(t *testing.T) {
+	ds := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	db := data.NewDatabase(ds)
+	db.MustInsert("R", data.Tuple{"x", "x"}, data.Tuple{"y", "z"})
+	vs, err := Check(db, []deps.Dependency{deps.NewRD("R", deps.Attrs("A"), deps.Attrs("B"))})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0].Detail, "(y,z)") {
+		t.Errorf("RD violations = %v", vs)
+	}
+}
+
+func TestCheckCleanAndErrors(t *testing.T) {
+	ds := orderScheme()
+	db := data.NewDatabase(ds)
+	db.MustInsert("CUST", data.Tuple{"c1", "ann"})
+	db.MustInsert("ORD", data.Tuple{"o1", "c1"})
+	vs, err := Check(db, orderSigma())
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("clean database reported violations: %v", vs)
+	}
+	// Invalid and unsupported dependencies error.
+	if _, err := Check(db, []deps.Dependency{deps.NewFD("NOPE", deps.Attrs("A"), deps.Attrs("B"))}); err == nil {
+		t.Errorf("invalid dependency should error")
+	}
+	if _, err := Check(db, []deps.Dependency{deps.NewEMVD("CUST", deps.Attrs("CID"), deps.Attrs("NAME"), nil)}); err == nil {
+		t.Errorf("EMVD should error")
+	}
+}
+
+func TestRepair(t *testing.T) {
+	ds := orderScheme()
+	db := data.NewDatabase(ds)
+	db.MustInsert("ORD", data.Tuple{"o1", "c9"})
+	repaired, added, err := Repair(db, orderSigma(), chase.Options{})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if added != 1 {
+		t.Errorf("added = %d, want 1", added)
+	}
+	vs, err := Check(repaired, orderSigma())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("repaired database still has violations: %v", vs)
+	}
+	// The repair kept the original tuple and invented a customer row for
+	// c9 with a placeholder name.
+	if !repaired.MustRelation("ORD").Contains(data.Tuple{"o1", "c9"}) {
+		t.Errorf("original tuple lost")
+	}
+	cust := repaired.MustRelation("CUST")
+	if cust.Len() != 1 || cust.Tuples()[0][0] != "c9" {
+		t.Errorf("repair wrong: %v", cust)
+	}
+}
+
+func TestRepairContradiction(t *testing.T) {
+	// Repairing cannot fix an FD violation on constants: error.
+	ds := orderScheme()
+	db := data.NewDatabase(ds)
+	db.MustInsert("CUST", data.Tuple{"c1", "ann"}, data.Tuple{"c1", "bob"})
+	if _, _, err := Repair(db, orderSigma(), chase.Options{}); err == nil {
+		t.Errorf("contradictory data should not repair")
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	// The referential example: INV's two customer columns both pair OID
+	// with the ordering customer.
+	ds := schema.MustDatabase(
+		schema.MustScheme("CUST", "CID", "NAME"),
+		schema.MustScheme("ORD", "OID", "CID"),
+		schema.MustScheme("INV", "OID", "BILLCID", "SHIPCID"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewFD("CUST", deps.Attrs("CID"), deps.Attrs("NAME")),
+		deps.NewFD("ORD", deps.Attrs("OID"), deps.Attrs("CID")),
+		deps.NewIND("ORD", deps.Attrs("CID"), "CUST", deps.Attrs("CID")),
+		deps.NewIND("INV", deps.Attrs("OID", "BILLCID"), "ORD", deps.Attrs("OID", "CID")),
+		deps.NewIND("INV", deps.Attrs("OID", "SHIPCID"), "ORD", deps.Attrs("OID", "CID")),
+		// A deliberately redundant declaration.
+		deps.NewIND("INV", deps.Attrs("BILLCID"), "CUST", deps.Attrs("CID")),
+	}
+	adv, err := Advise(ds, sigma, chase.Options{MaxTuples: 256})
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	// Keys.
+	if got := adv.Keys["CUST"]; len(got) != 1 || schema.JoinAttrs(got[0]) != "CID" {
+		t.Errorf("CUST keys = %v", got)
+	}
+	contains := func(items []string, want string) bool {
+		for _, it := range items {
+			if it == want {
+				return true
+			}
+		}
+		return false
+	}
+	var derivedFDs, derivedRDs, derivedINDs, redundant []string
+	for _, d := range adv.DerivedFDs {
+		derivedFDs = append(derivedFDs, d.String())
+	}
+	for _, d := range adv.DerivedRDs {
+		derivedRDs = append(derivedRDs, d.String())
+	}
+	for _, d := range adv.DerivedINDs {
+		derivedINDs = append(derivedINDs, d.String())
+	}
+	for _, d := range adv.TransitiveINDs {
+		derivedINDs = append(derivedINDs, d.String())
+	}
+	for _, d := range adv.Redundant {
+		redundant = append(redundant, d.String())
+	}
+	if !contains(derivedFDs, "INV: OID -> BILLCID") {
+		t.Errorf("derived FDs = %v", derivedFDs)
+	}
+	if !contains(derivedRDs, "INV[BILLCID == SHIPCID]") {
+		t.Errorf("derived RDs = %v", derivedRDs)
+	}
+	if !contains(derivedINDs, "INV[SHIPCID] <= CUST[CID]") {
+		t.Errorf("derived INDs = %v", derivedINDs)
+	}
+	if !contains(redundant, "INV[BILLCID] <= CUST[CID]") {
+		t.Errorf("redundant = %v", redundant)
+	}
+	out := adv.String()
+	for _, want := range []string{"keys of CUST", "derived column equalities", "redundant declarations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAdviseFiniteOnly(t *testing.T) {
+	ds := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	sigma := []deps.Dependency{
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B")),
+	}
+	adv, err := Advise(ds, sigma, chase.Options{MaxTuples: 64})
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	if len(adv.FiniteOnly) != 2 {
+		t.Errorf("FiniteOnly = %v, want the two Theorem 4.4 consequences", adv.FiniteOnly)
+	}
+	if !strings.Contains(adv.String(), "FINITE databases only") {
+		t.Errorf("report missing finite-only warning:\n%s", adv)
+	}
+}
+
+func TestAdviseValidates(t *testing.T) {
+	ds := orderScheme()
+	if _, err := Advise(ds, []deps.Dependency{deps.NewFD("NOPE", deps.Attrs("X"), deps.Attrs("Y"))}, chase.Options{}); err == nil {
+		t.Errorf("invalid sigma should error")
+	}
+}
+
+// Property: whenever Repair succeeds, the result passes Check.
+func TestRepairAlwaysChecks(t *testing.T) {
+	ds := orderScheme()
+	sigma := orderSigma()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := data.NewDatabase(ds)
+		for i := 0; i < r.Intn(4); i++ {
+			db.MustInsert("ORD", data.Tuple{data.Int(r.Intn(3)), data.Int(r.Intn(3))})
+		}
+		for i := 0; i < r.Intn(3); i++ {
+			db.MustInsert("CUST", data.Tuple{data.Int(r.Intn(3)), data.Int(r.Intn(3))})
+		}
+		repaired, _, err := Repair(db, sigma, chase.Options{MaxTuples: 256})
+		if err != nil {
+			return true // contradictory data is allowed to fail
+		}
+		vs, err := Check(repaired, sigma)
+		return err == nil && len(vs) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

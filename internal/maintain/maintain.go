@@ -1,0 +1,294 @@
+// Package maintain enforces FDs, INDs and RDs on a live database with
+// incremental, index-backed checks: each insert or delete is validated in
+// time proportional to the number of dependencies touching the relation,
+// not the database size. Violating operations are rejected (RESTRICT
+// semantics), so a Monitor's database always satisfies its dependency
+// set — the runtime face of the paper's referential-integrity INDs.
+package maintain
+
+import (
+	"fmt"
+	"strings"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Monitor owns a database and its dependency set, and maintains indexes
+// for incremental validation.
+type Monitor struct {
+	ds   *schema.Database
+	db   *data.Database
+	fds  []deps.FD
+	inds []deps.IND
+	rds  []deps.RD
+	// fdIndex[i] maps an X-projection key to the Y-projection key and the
+	// number of tuples carrying that pair.
+	fdIndex []map[string]fdEntry
+	// left[i] / right[i] count, per IND i, the left-side demands and the
+	// right-side supplies of each projection key.
+	left  []map[string]int
+	right []map[string]int
+}
+
+type fdEntry struct {
+	yKey  string
+	count int
+}
+
+// NewMonitor builds a Monitor over an empty database.
+func NewMonitor(ds *schema.Database, sigma []deps.Dependency) (*Monitor, error) {
+	m := &Monitor{ds: ds, db: data.NewDatabase(ds)}
+	for _, d := range sigma {
+		if err := d.Validate(ds); err != nil {
+			return nil, err
+		}
+		switch dd := d.(type) {
+		case deps.FD:
+			m.fds = append(m.fds, dd)
+			m.fdIndex = append(m.fdIndex, map[string]fdEntry{})
+		case deps.IND:
+			m.inds = append(m.inds, dd)
+			m.left = append(m.left, map[string]int{})
+			m.right = append(m.right, map[string]int{})
+		case deps.RD:
+			m.rds = append(m.rds, dd)
+		default:
+			return nil, fmt.Errorf("maintain: unsupported dependency kind %v", d.Kind())
+		}
+	}
+	return m, nil
+}
+
+// Database returns the monitored database. The caller must not modify it
+// directly; use Insert and Delete.
+func (m *Monitor) Database() *data.Database { return m.db }
+
+// projKey computes the projection key of tuple t (over relation rel) on
+// the attribute sequence attrs.
+func (m *Monitor) projKey(rel string, t data.Tuple, attrs []schema.Attribute) string {
+	s, _ := m.ds.Scheme(rel)
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		p, _ := s.Pos(a)
+		parts[i] = string(t[p])
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// Insert validates and applies the insertion of t into rel. Inserting a
+// duplicate tuple is a no-op. On any violation the database is unchanged
+// and a descriptive error is returned.
+func (m *Monitor) Insert(rel string, t data.Tuple) error {
+	r, ok := m.db.Relation(rel)
+	if !ok {
+		return fmt.Errorf("maintain: no relation %s", rel)
+	}
+	s, _ := m.ds.Scheme(rel)
+	if len(t) != s.Width() {
+		return fmt.Errorf("maintain: tuple %v has width %d, scheme %s has width %d", t, len(t), rel, s.Width())
+	}
+	if r.Contains(t) {
+		return nil
+	}
+	// RDs: purely tuple-local.
+	for _, rd := range m.rds {
+		if rd.Rel != rel {
+			continue
+		}
+		for i := range rd.X {
+			px, _ := s.Pos(rd.X[i])
+			py, _ := s.Pos(rd.Y[i])
+			if t[px] != t[py] {
+				return fmt.Errorf("maintain: %v rejects %v (%s ≠ %s)", rd, t, rd.X[i], rd.Y[i])
+			}
+		}
+	}
+	// FDs: the X-projection must be new or agree on Y.
+	for i, f := range m.fds {
+		if f.Rel != rel {
+			continue
+		}
+		xk := m.projKey(rel, t, f.X)
+		yk := m.projKey(rel, t, f.Y)
+		if e, ok := m.fdIndex[i][xk]; ok && e.yKey != yk {
+			return fmt.Errorf("maintain: %v rejects %v (conflicting tuples share %s)", f, t, schema.JoinAttrs(f.X))
+		}
+	}
+	// INDs with this relation on the left: a witness must exist, counting
+	// the new tuple itself when the IND is reflexive on this relation.
+	for i, d := range m.inds {
+		if d.LRel != rel {
+			continue
+		}
+		need := m.projKey(rel, t, d.X)
+		if m.right[i][need] > 0 {
+			continue
+		}
+		if d.RRel == rel && m.projKey(rel, t, d.Y) == need {
+			continue // self-witnessing tuple
+		}
+		return fmt.Errorf("maintain: %v rejects %v (no witness in %s)", d, t, d.RRel)
+	}
+	// Commit.
+	if _, err := r.Insert(t); err != nil {
+		return err
+	}
+	m.index(rel, t, +1)
+	return nil
+}
+
+// Delete validates and applies the deletion of t from rel. Deleting an
+// absent tuple is an error. The deletion is rejected when it would orphan
+// a referencing tuple (the tuple supplies the last witness of a demanded
+// projection).
+func (m *Monitor) Delete(rel string, t data.Tuple) error {
+	r, ok := m.db.Relation(rel)
+	if !ok {
+		return fmt.Errorf("maintain: no relation %s", rel)
+	}
+	if !r.Contains(t) {
+		return fmt.Errorf("maintain: %v not in %s", t, rel)
+	}
+	// Tentatively apply the count changes of the deletion, then verify the
+	// deleted tuple's right-side projections are not the last supply of a
+	// demanded key (removing a left-side tuple only lowers demand, so only
+	// INDs with rel on the right can break).
+	m.index(rel, t, -1)
+	for i, d := range m.inds {
+		if d.RRel != rel {
+			continue
+		}
+		k := m.projKey(rel, t, d.Y)
+		if m.left[i][k] > 0 && m.right[i][k] == 0 {
+			m.index(rel, t, +1) // roll back
+			return fmt.Errorf("maintain: deleting %v from %s would orphan %v", t, rel, d)
+		}
+	}
+	// Commit: rebuild the relation without t (the data layer has no
+	// delete; rebuilds stay O(|relation|), acceptable for deletions).
+	fresh := data.NewDatabase(m.ds)
+	for _, name := range m.ds.Names() {
+		src, _ := m.db.Relation(name)
+		for _, u := range src.Tuples() {
+			if name == rel && u.Equal(t) {
+				continue
+			}
+			fresh.MustInsert(name, u)
+		}
+	}
+	m.db = fresh
+	return nil
+}
+
+// index applies the tuple's contribution to every index with the given
+// sign (+1 insert, -1 delete).
+func (m *Monitor) index(rel string, t data.Tuple, sign int) {
+	for i, f := range m.fds {
+		if f.Rel != rel {
+			continue
+		}
+		xk := m.projKey(rel, t, f.X)
+		e := m.fdIndex[i][xk]
+		e.yKey = m.projKey(rel, t, f.Y)
+		e.count += sign
+		if e.count <= 0 {
+			delete(m.fdIndex[i], xk)
+		} else {
+			m.fdIndex[i][xk] = e
+		}
+	}
+	for i, d := range m.inds {
+		if d.LRel == rel {
+			k := m.projKey(rel, t, d.X)
+			m.left[i][k] += sign
+			if m.left[i][k] <= 0 {
+				delete(m.left[i], k)
+			}
+		}
+		if d.RRel == rel {
+			k := m.projKey(rel, t, d.Y)
+			m.right[i][k] += sign
+			if m.right[i][k] <= 0 {
+				delete(m.right[i], k)
+			}
+		}
+	}
+}
+
+// InsertCascading inserts t into rel, chasing in any missing referenced
+// tuples (fresh "_k" placeholder values fill undetermined attributes) —
+// CASCADE-flavored insertion built on the same indexes. It returns the
+// tuples added beyond t itself.
+func (m *Monitor) InsertCascading(rel string, t data.Tuple) ([]string, error) {
+	var added []string
+	type item struct {
+		rel string
+		t   data.Tuple
+	}
+	fresh := 0
+	queue := []item{{rel, t}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		err := m.Insert(it.rel, it.t)
+		if err == nil {
+			if !(it.rel == rel && it.t.Equal(t)) {
+				added = append(added, fmt.Sprintf("%s%v", it.rel, it.t))
+			}
+			// New demands may need new witnesses.
+			for i, d := range m.inds {
+				if d.LRel != it.rel {
+					continue
+				}
+				need := m.projKey(it.rel, it.t, d.X)
+				if m.right[i][need] > 0 {
+					continue
+				}
+				queue = append(queue, item{d.RRel, m.witnessFor(d, it.rel, it.t, &fresh)})
+			}
+			continue
+		}
+		// A missing witness: synthesize it first, then retry.
+		if strings.Contains(err.Error(), "no witness") {
+			for i, d := range m.inds {
+				if d.LRel != it.rel {
+					continue
+				}
+				need := m.projKey(it.rel, it.t, d.X)
+				if m.right[i][need] > 0 || (d.RRel == it.rel && m.projKey(it.rel, it.t, d.Y) == need) {
+					continue
+				}
+				queue = append(queue, item{d.RRel, m.witnessFor(d, it.rel, it.t, &fresh)})
+			}
+			queue = append(queue, it)
+			if len(queue) > 10000 {
+				return added, fmt.Errorf("maintain: cascade did not terminate")
+			}
+			continue
+		}
+		return added, err
+	}
+	return added, nil
+}
+
+// witnessFor builds the right-side tuple witnessing d for the left tuple
+// t, with placeholder values outside the determined columns.
+func (m *Monitor) witnessFor(d deps.IND, rel string, t data.Tuple, fresh *int) data.Tuple {
+	ls, _ := m.ds.Scheme(rel)
+	rs, _ := m.ds.Scheme(d.RRel)
+	w := make(data.Tuple, rs.Width())
+	for u := range d.X {
+		li, _ := ls.Pos(d.X[u])
+		ri, _ := rs.Pos(d.Y[u])
+		w[ri] = t[li]
+	}
+	for i := range w {
+		if w[i] == "" {
+			w[i] = data.Value(fmt.Sprintf("_%d", *fresh))
+			*fresh++
+		}
+	}
+	return w
+}

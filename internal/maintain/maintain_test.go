@@ -1,0 +1,187 @@
+package maintain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/lint"
+	"indfd/internal/schema"
+)
+
+func orderScheme() *schema.Database {
+	return schema.MustDatabase(
+		schema.MustScheme("CUST", "CID", "NAME"),
+		schema.MustScheme("ORD", "OID", "CID"),
+	)
+}
+
+func orderSigma() []deps.Dependency {
+	return []deps.Dependency{
+		deps.NewFD("CUST", deps.Attrs("CID"), deps.Attrs("NAME")),
+		deps.NewIND("ORD", deps.Attrs("CID"), "CUST", deps.Attrs("CID")),
+	}
+}
+
+func TestInsertRestrict(t *testing.T) {
+	m, err := NewMonitor(orderScheme(), orderSigma())
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	// An order without its customer is rejected.
+	if err := m.Insert("ORD", data.Tuple{"o1", "c1"}); err == nil {
+		t.Errorf("dangling insert should be rejected")
+	}
+	// Customer first, then the order.
+	if err := m.Insert("CUST", data.Tuple{"c1", "ann"}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := m.Insert("ORD", data.Tuple{"o1", "c1"}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	// FD conflict rejected.
+	if err := m.Insert("CUST", data.Tuple{"c1", "bob"}); err == nil {
+		t.Errorf("FD conflict should be rejected")
+	}
+	// Same tuple again: no-op.
+	if err := m.Insert("CUST", data.Tuple{"c1", "ann"}); err != nil {
+		t.Errorf("duplicate insert should be a no-op: %v", err)
+	}
+	if m.Database().Size() != 2 {
+		t.Errorf("size = %d", m.Database().Size())
+	}
+}
+
+func TestDeleteRestrict(t *testing.T) {
+	m, _ := NewMonitor(orderScheme(), orderSigma())
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.Insert("CUST", data.Tuple{"c1", "ann"}))
+	must(m.Insert("CUST", data.Tuple{"c2", "bob"}))
+	must(m.Insert("ORD", data.Tuple{"o1", "c1"}))
+	// Deleting a referenced customer is rejected.
+	if err := m.Delete("CUST", data.Tuple{"c1", "ann"}); err == nil {
+		t.Errorf("deleting a referenced customer should be rejected")
+	}
+	// Deleting the unreferenced one is fine.
+	must(m.Delete("CUST", data.Tuple{"c2", "bob"}))
+	// Delete the order, then its customer.
+	must(m.Delete("ORD", data.Tuple{"o1", "c1"}))
+	must(m.Delete("CUST", data.Tuple{"c1", "ann"}))
+	if m.Database().Size() != 0 {
+		t.Errorf("size = %d", m.Database().Size())
+	}
+	// Deleting an absent tuple errors.
+	if err := m.Delete("CUST", data.Tuple{"c1", "ann"}); err == nil {
+		t.Errorf("deleting an absent tuple should error")
+	}
+}
+
+func TestSelfWitness(t *testing.T) {
+	// R[A] ⊆ R[B] over one relation: the tuple (x, x) witnesses itself.
+	ds := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	m, _ := NewMonitor(ds, []deps.Dependency{deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B"))})
+	if err := m.Insert("R", data.Tuple{"x", "x"}); err != nil {
+		t.Fatalf("self-witnessing insert rejected: %v", err)
+	}
+	// (y, x) is fine (x supplied by the first tuple); (z, w) is not.
+	if err := m.Insert("R", data.Tuple{"y", "x"}); err == nil {
+		t.Errorf("(y,x) demands y in column B, which nothing supplies")
+	}
+	if err := m.Insert("R", data.Tuple{"x", "q"}); err != nil {
+		t.Errorf("(x,q): x is supplied by (x,x): %v", err)
+	}
+}
+
+func TestRDs(t *testing.T) {
+	ds := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	m, _ := NewMonitor(ds, []deps.Dependency{deps.NewRD("R", deps.Attrs("A"), deps.Attrs("B"))})
+	if err := m.Insert("R", data.Tuple{"x", "y"}); err == nil {
+		t.Errorf("RD violation should be rejected")
+	}
+	if err := m.Insert("R", data.Tuple{"x", "x"}); err != nil {
+		t.Errorf("RD-conforming tuple rejected: %v", err)
+	}
+}
+
+func TestInsertCascading(t *testing.T) {
+	m, _ := NewMonitor(orderScheme(), orderSigma())
+	added, err := m.InsertCascading("ORD", data.Tuple{"o1", "c9"})
+	if err != nil {
+		t.Fatalf("InsertCascading: %v", err)
+	}
+	if len(added) != 1 {
+		t.Errorf("added = %v, want the synthesized customer", added)
+	}
+	ok, bad, err := m.Database().SatisfiesAll(orderSigma())
+	if err != nil || !ok {
+		t.Errorf("cascaded database violates %v (%v)", bad, err)
+	}
+	cust, _ := m.Database().Relation("CUST")
+	if cust.Len() != 1 || cust.Tuples()[0][0] != "c9" {
+		t.Errorf("synthesized customer wrong: %v", cust)
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	ds := orderScheme()
+	if _, err := NewMonitor(ds, []deps.Dependency{deps.NewFD("NOPE", deps.Attrs("A"), deps.Attrs("B"))}); err == nil {
+		t.Errorf("invalid sigma should be rejected")
+	}
+	if _, err := NewMonitor(ds, []deps.Dependency{deps.NewEMVD("CUST", deps.Attrs("CID"), deps.Attrs("NAME"), nil)}); err == nil {
+		t.Errorf("EMVD should be rejected")
+	}
+	m, _ := NewMonitor(ds, nil)
+	if err := m.Insert("NOPE", data.Tuple{"x"}); err == nil {
+		t.Errorf("unknown relation should error")
+	}
+	if err := m.Insert("CUST", data.Tuple{"x"}); err == nil {
+		t.Errorf("wrong-width tuple should error")
+	}
+	if err := m.Delete("NOPE", data.Tuple{"x"}); err == nil {
+		t.Errorf("unknown relation should error")
+	}
+}
+
+// Property: under random accepted operations, the monitored database
+// always satisfies sigma (cross-checked with the lint checker), and a
+// rejected operation, if forced through, would violate it.
+func TestMonitorInvariant(t *testing.T) {
+	ds := orderScheme()
+	sigma := orderSigma()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, err := NewMonitor(ds, sigma)
+		if err != nil {
+			return false
+		}
+		rels := []string{"CUST", "ORD"}
+		vals := []data.Value{"0", "1", "2"}
+		for step := 0; step < 40; step++ {
+			rel := rels[r.Intn(2)]
+			tup := data.Tuple{vals[r.Intn(3)], vals[r.Intn(3)]}
+			var opErr error
+			if r.Intn(3) == 0 {
+				opErr = m.Delete(rel, tup)
+			} else {
+				opErr = m.Insert(rel, tup)
+			}
+			_ = opErr
+			// Invariant: the database satisfies sigma after every step.
+			vs, err := lint.Check(m.Database(), sigma)
+			if err != nil || len(vs) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

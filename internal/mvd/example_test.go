@@ -1,0 +1,30 @@
+package mvd_test
+
+import (
+	"fmt"
+
+	"indfd/internal/deps"
+	"indfd/internal/mvd"
+	"indfd/internal/schema"
+)
+
+// The dependency basis DEP(A): the finest partition of the remaining
+// attributes into MVD-implied blocks.
+func ExampleDependencyBasis() {
+	s := schema.MustScheme("R", "A", "B", "C", "D")
+	mvds := []mvd.MVD{
+		mvd.New("R", deps.Attrs("A"), deps.Attrs("B")),
+		mvd.New("R", deps.Attrs("A"), deps.Attrs("C")),
+	}
+	basis, err := mvd.DependencyBasis(s, mvds, deps.Attrs("A"))
+	if err != nil {
+		panic(err)
+	}
+	for _, b := range basis {
+		fmt.Println(schema.JoinAttrs(b))
+	}
+	// Output:
+	// B
+	// C
+	// D
+}

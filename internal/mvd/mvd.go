@@ -1,0 +1,408 @@
+// Package mvd implements the classical theory of multivalued dependencies
+// over a single relation scheme — the world of Fagin [Fa1] and Beeri,
+// Fagin and Howard [BFH] that the paper contrasts with INDs throughout
+// (Section 5 uses EMVDs; the Section 6 remark extends the negative result
+// to FDs+INDs+MVDs).
+//
+// Unlike FDs+INDs, implication for FDs+MVDs is decidable: both classes
+// are full typed dependencies, so the chase terminates (the MVD rule only
+// recombines the values already present, never inventing new ones).
+// Implies runs that terminating chase; DependencyBasis implements the
+// block-refinement algorithm for pure MVDs and is cross-validated against
+// the chase in the tests.
+package mvd
+
+import (
+	"fmt"
+	"sort"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// MVD is the multivalued dependency X ->> Y over the scheme's full
+// attribute set: whenever two tuples agree on X, the tuple taking its
+// X∪Y values from the first and the rest from the second is also present.
+// It is the EMVD X ->> Y | U−X−Y.
+type MVD struct {
+	Rel string
+	X   []schema.Attribute
+	Y   []schema.Attribute
+}
+
+// New builds the MVD rel: x ->> y.
+func New(rel string, x, y []schema.Attribute) MVD {
+	return MVD{Rel: rel, X: append([]schema.Attribute(nil), x...), Y: append([]schema.Attribute(nil), y...)}
+}
+
+// String renders the MVD.
+func (m MVD) String() string {
+	return fmt.Sprintf("%s: %s ->> %s", m.Rel, schema.JoinAttrs(m.X), schema.JoinAttrs(m.Y))
+}
+
+// Validate checks the MVD against the scheme.
+func (m MVD) Validate(s *schema.Scheme) error {
+	if m.Rel != s.Name() {
+		return fmt.Errorf("mvd: %v is not over scheme %s", m, s.Name())
+	}
+	if !schema.Distinct(m.X) || !schema.Distinct(m.Y) {
+		return fmt.Errorf("mvd: %v has repeated attributes", m)
+	}
+	if !s.HasAll(m.X) || !s.HasAll(m.Y) {
+		return fmt.Errorf("mvd: %v uses attributes outside %v", m, s)
+	}
+	return nil
+}
+
+// AsEMVD returns the equivalent EMVD X ->> Y−X | U−X−Y.
+func (m MVD) AsEMVD(s *schema.Scheme) deps.EMVD {
+	inX := map[schema.Attribute]bool{}
+	for _, a := range m.X {
+		inX[a] = true
+	}
+	inY := map[schema.Attribute]bool{}
+	var y []schema.Attribute
+	for _, a := range m.Y {
+		if !inX[a] {
+			inY[a] = true
+			y = append(y, a)
+		}
+	}
+	var z []schema.Attribute
+	for _, a := range s.Attrs() {
+		if !inX[a] && !inY[a] {
+			z = append(z, a)
+		}
+	}
+	return deps.NewEMVD(m.Rel, m.X, y, z)
+}
+
+// Sigma is a set of FDs and MVDs over one relation scheme.
+type Sigma struct {
+	Scheme *schema.Scheme
+	FDs    []deps.FD
+	MVDs   []MVD
+}
+
+// Validate checks every member.
+func (s Sigma) Validate() error {
+	for _, f := range s.FDs {
+		if f.Rel != s.Scheme.Name() {
+			return fmt.Errorf("mvd: FD %v is not over scheme %s", f, s.Scheme.Name())
+		}
+		if !s.Scheme.HasAll(f.X) || !s.Scheme.HasAll(f.Y) {
+			return fmt.Errorf("mvd: FD %v uses attributes outside the scheme", f)
+		}
+	}
+	for _, m := range s.MVDs {
+		if err := m.Validate(s.Scheme); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Implies decides Σ ⊨ goal (an FD or MVD over the scheme) with the
+// terminating chase: the two-row tableau agreeing exactly on the goal's
+// left-hand side is closed under the FD rule (equate) and the MVD rule
+// (recombine rows); since recombination draws only on the two initial
+// symbols per column, the tableau is finite and the chase always
+// terminates. FD and MVD implication over finite and unrestricted
+// databases coincide for this class, so the verdict is exact for both.
+func (s Sigma) Implies(goal any) (bool, error) {
+	if err := s.Validate(); err != nil {
+		return false, err
+	}
+	var x []schema.Attribute
+	switch g := goal.(type) {
+	case deps.FD:
+		if g.Rel != s.Scheme.Name() || !s.Scheme.HasAll(g.X) || !s.Scheme.HasAll(g.Y) {
+			return false, fmt.Errorf("mvd: goal %v is not over scheme %s", g, s.Scheme.Name())
+		}
+		x = g.X
+	case MVD:
+		if err := g.Validate(s.Scheme); err != nil {
+			return false, err
+		}
+		x = g.X
+	default:
+		return false, fmt.Errorf("mvd: goal must be an FD or MVD, got %T", goal)
+	}
+
+	w := s.Scheme.Width()
+	pos := func(attrs []schema.Attribute) []int {
+		out := make([]int, len(attrs))
+		for i, a := range attrs {
+			p, _ := s.Scheme.Pos(a)
+			out[i] = p
+		}
+		return out
+	}
+	// Tableau rows: values 2*i (from t1) and 2*i+1 (from t2) per column i,
+	// with union-find for FD equating.
+	parent := make([]int, 2*w)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(v int) int {
+		if parent[v] != v {
+			parent[v] = find(parent[v])
+		}
+		return parent[v]
+	}
+	union := func(a, b int) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return false
+		}
+		parent[rb] = ra
+		return true
+	}
+	t1 := make([]int, w)
+	t2 := make([]int, w)
+	for i := 0; i < w; i++ {
+		t1[i] = 2 * i
+		t2[i] = 2*i + 1
+	}
+	for _, p := range pos(x) {
+		union(t1[p], t2[p])
+	}
+	rowKey := func(r []int) string {
+		b := make([]byte, 0, len(r))
+		for _, v := range r {
+			b = append(b, byte(find(v)))
+		}
+		return string(b)
+	}
+	rows := [][]int{t1, t2}
+	have := map[string]bool{rowKey(t1): true, rowKey(t2): true}
+
+	for changed := true; changed; {
+		changed = false
+		// FD rule.
+		for _, f := range s.FDs {
+			xs, ys := pos(f.X), pos(f.Y)
+			for i := 0; i < len(rows); i++ {
+				for j := i + 1; j < len(rows); j++ {
+					agree := true
+					for _, p := range xs {
+						if find(rows[i][p]) != find(rows[j][p]) {
+							agree = false
+							break
+						}
+					}
+					if !agree {
+						continue
+					}
+					for _, p := range ys {
+						if union(rows[i][p], rows[j][p]) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		// MVD rule: for rows agreeing on X', add the row taking X'∪Y'
+		// from the first and the rest from the second.
+		for _, m := range s.MVDs {
+			xs := pos(m.X)
+			inXY := make([]bool, w)
+			for _, p := range xs {
+				inXY[p] = true
+			}
+			for _, p := range pos(m.Y) {
+				inXY[p] = true
+			}
+			n := len(rows)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					agree := true
+					for _, p := range xs {
+						if find(rows[i][p]) != find(rows[j][p]) {
+							agree = false
+							break
+						}
+					}
+					if !agree {
+						continue
+					}
+					nr := make([]int, w)
+					for p := 0; p < w; p++ {
+						if inXY[p] {
+							nr[p] = rows[i][p]
+						} else {
+							nr[p] = rows[j][p]
+						}
+					}
+					k := rowKey(nr)
+					if !have[k] {
+						have[k] = true
+						rows = append(rows, nr)
+						changed = true
+					}
+				}
+			}
+		}
+		if changed {
+			// Re-key rows after unions.
+			have = map[string]bool{}
+			dedup := rows[:0]
+			for _, r := range rows {
+				k := rowKey(r)
+				if !have[k] {
+					have[k] = true
+					dedup = append(dedup, r)
+				}
+			}
+			rows = dedup
+		}
+	}
+
+	switch g := goal.(type) {
+	case deps.FD:
+		for _, p := range pos(g.Y) {
+			if find(t1[p]) != find(t2[p]) {
+				return false, nil
+			}
+		}
+		return true, nil
+	case MVD:
+		inXY := make([]bool, w)
+		for _, p := range pos(g.X) {
+			inXY[p] = true
+		}
+		for _, p := range pos(g.Y) {
+			inXY[p] = true
+		}
+		want := make([]int, w)
+		for p := 0; p < w; p++ {
+			if inXY[p] {
+				want[p] = t1[p]
+			} else {
+				want[p] = t2[p]
+			}
+		}
+		return have[rowKey(want)], nil
+	}
+	return false, nil
+}
+
+// DependencyBasis computes DEP(X) for a PURE MVD set: the unique finest
+// partition of U − X such that every implied MVD X ->> Y has Y − X a
+// union of blocks. Blocks are returned sorted.
+func DependencyBasis(s *schema.Scheme, mvds []MVD, x []schema.Attribute) ([][]schema.Attribute, error) {
+	for _, m := range mvds {
+		if err := m.Validate(s); err != nil {
+			return nil, err
+		}
+	}
+	inX := map[schema.Attribute]bool{}
+	for _, a := range x {
+		if !s.Has(a) {
+			return nil, fmt.Errorf("mvd: attribute %s not in scheme", a)
+		}
+		inX[a] = true
+	}
+	var rest []schema.Attribute
+	for _, a := range s.Attrs() {
+		if !inX[a] {
+			rest = append(rest, a)
+		}
+	}
+	blocks := [][]schema.Attribute{rest}
+	if len(rest) == 0 {
+		return nil, nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range mvds {
+			// The refinement rule: for W ->> Z with block B such that
+			// B ∩ W = ∅ and B ∩ Z ∉ {∅, B}, split B into B∩Z and B−Z,
+			// provided W is covered by X and the blocks disjoint from...
+			// The classical sufficient rule (Beeri): applicable when
+			// B ∩ W = ∅.
+			wSet := map[schema.Attribute]bool{}
+			for _, a := range m.X {
+				wSet[a] = true
+			}
+			zSet := map[schema.Attribute]bool{}
+			for _, a := range m.Y {
+				zSet[a] = true
+			}
+			var next [][]schema.Attribute
+			for _, b := range blocks {
+				touchesW := false
+				for _, a := range b {
+					if wSet[a] {
+						touchesW = true
+						break
+					}
+				}
+				if touchesW {
+					next = append(next, b)
+					continue
+				}
+				var in, out []schema.Attribute
+				for _, a := range b {
+					if zSet[a] {
+						in = append(in, a)
+					} else {
+						out = append(out, a)
+					}
+				}
+				if len(in) == 0 || len(out) == 0 {
+					next = append(next, b)
+					continue
+				}
+				next = append(next, in, out)
+				changed = true
+			}
+			blocks = next
+		}
+	}
+	for i := range blocks {
+		blocks[i] = schema.SortedSet(blocks[i])
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		return schema.JoinAttrs(blocks[i]) < schema.JoinAttrs(blocks[j])
+	})
+	return blocks, nil
+}
+
+// ImpliesMVDByBasis decides pure-MVD implication via the dependency
+// basis: Σ ⊨ X ->> Y iff Y − X is a union of DEP(X) blocks.
+func ImpliesMVDByBasis(s *schema.Scheme, mvds []MVD, goal MVD) (bool, error) {
+	if err := goal.Validate(s); err != nil {
+		return false, err
+	}
+	basis, err := DependencyBasis(s, mvds, goal.X)
+	if err != nil {
+		return false, err
+	}
+	inX := map[schema.Attribute]bool{}
+	for _, a := range goal.X {
+		inX[a] = true
+	}
+	target := map[schema.Attribute]bool{}
+	for _, a := range goal.Y {
+		if !inX[a] {
+			target[a] = true
+		}
+	}
+	for _, b := range basis {
+		inTarget := 0
+		for _, a := range b {
+			if target[a] {
+				inTarget++
+			}
+		}
+		if inTarget != 0 && inTarget != len(b) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

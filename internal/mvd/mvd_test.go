@@ -1,0 +1,273 @@
+package mvd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func abcd() *schema.Scheme { return schema.MustScheme("R", "A", "B", "C", "D") }
+
+func TestImpliesClassics(t *testing.T) {
+	s := abcd()
+	sigma := Sigma{
+		Scheme: s,
+		FDs:    []deps.FD{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))},
+		MVDs:   []MVD{New("R", deps.Attrs("A"), deps.Attrs("C"))},
+	}
+	cases := []struct {
+		goal any
+		want bool
+	}{
+		// FD promotion: every FD is an MVD.
+		{New("R", deps.Attrs("A"), deps.Attrs("B")), true},
+		// Complementation: A ->> C gives A ->> BD.
+		{New("R", deps.Attrs("A"), deps.Attrs("B", "D")), true},
+		// Given A -> B, the complement block splits: A ->> D.
+		{New("R", deps.Attrs("A"), deps.Attrs("D")), true},
+		// Augmentation.
+		{New("R", deps.Attrs("A", "B"), deps.Attrs("C")), true},
+		// Not implied.
+		{New("R", deps.Attrs("B"), deps.Attrs("C")), false},
+		{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C")), false},
+		// Trivial.
+		{New("R", deps.Attrs("A"), deps.Attrs("A")), true},
+		{deps.NewFD("R", deps.Attrs("A", "B"), deps.Attrs("A")), true},
+	}
+	for _, c := range cases {
+		got, err := sigma.Implies(c.goal)
+		if err != nil {
+			t.Fatalf("Implies(%v): %v", c.goal, err)
+		}
+		if got != c.want {
+			t.Errorf("Implies(%v) = %v, want %v", c.goal, got, c.want)
+		}
+	}
+}
+
+func TestFDMVDInteraction(t *testing.T) {
+	// The classical mixed rule: X ->> Y and Y -> Z (Z ∩ Y = ∅) give
+	// X -> Z... in the coalescence form: A ->> B and B -> C imply A -> C.
+	s := schema.MustScheme("R", "A", "B", "C")
+	sigma := Sigma{
+		Scheme: s,
+		FDs:    []deps.FD{deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C"))},
+		MVDs:   []MVD{New("R", deps.Attrs("A"), deps.Attrs("B"))},
+	}
+	ok, err := sigma.Implies(deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("coalescence: A ->> B, B -> C should imply A -> C")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := abcd()
+	bad := Sigma{Scheme: s, FDs: []deps.FD{deps.NewFD("S", deps.Attrs("A"), deps.Attrs("B"))}}
+	if _, err := bad.Implies(New("R", deps.Attrs("A"), deps.Attrs("B"))); err == nil {
+		t.Errorf("FD over wrong relation should error")
+	}
+	good := Sigma{Scheme: s}
+	if _, err := good.Implies(New("S", deps.Attrs("A"), deps.Attrs("B"))); err == nil {
+		t.Errorf("goal over wrong relation should error")
+	}
+	if _, err := good.Implies(42); err == nil {
+		t.Errorf("bad goal type should error")
+	}
+	if _, err := DependencyBasis(s, nil, deps.Attrs("Z")); err == nil {
+		t.Errorf("unknown attribute should error")
+	}
+}
+
+func TestDependencyBasis(t *testing.T) {
+	s := abcd()
+	mvds := []MVD{New("R", deps.Attrs("A"), deps.Attrs("B"))}
+	basis, err := DependencyBasis(s, mvds, deps.Attrs("A"))
+	if err != nil {
+		t.Fatalf("DependencyBasis: %v", err)
+	}
+	// DEP(A) = {B}, {C,D}.
+	if len(basis) != 2 || schema.JoinAttrs(basis[0]) != "B" || schema.JoinAttrs(basis[1]) != "C,D" {
+		t.Errorf("DEP(A) = %v", basis)
+	}
+	// DEP of the full set is empty.
+	basis, _ = DependencyBasis(s, mvds, s.Attrs())
+	if len(basis) != 0 {
+		t.Errorf("DEP(U) = %v", basis)
+	}
+}
+
+// AsEMVD agrees with native satisfaction.
+func TestAsEMVDAgrees(t *testing.T) {
+	s := abcd()
+	ds := schema.MustDatabase(s)
+	m := New("R", deps.Attrs("A"), deps.Attrs("B"))
+	e := m.AsEMVD(s)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := data.NewDatabase(ds)
+		for i := 0; i < r.Intn(5); i++ {
+			db.MustInsert("R", data.Tuple{
+				data.Int(r.Intn(2)), data.Int(r.Intn(2)), data.Int(r.Intn(2)), data.Int(r.Intn(2)),
+			})
+		}
+		sat, err := db.Satisfies(e)
+		if err != nil {
+			return false
+		}
+		// Direct MVD check: closure under recombination.
+		want := satisfiesMVD(db, s, m)
+		return sat == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// satisfiesMVD checks the MVD directly by recombination.
+func satisfiesMVD(db *data.Database, s *schema.Scheme, m MVD) bool {
+	rel, _ := db.Relation("R")
+	inXY := make([]bool, s.Width())
+	for _, a := range m.X {
+		p, _ := s.Pos(a)
+		inXY[p] = true
+	}
+	for _, a := range m.Y {
+		p, _ := s.Pos(a)
+		inXY[p] = true
+	}
+	xs := make([]int, 0)
+	for _, a := range m.X {
+		p, _ := s.Pos(a)
+		xs = append(xs, p)
+	}
+	for _, t1 := range rel.Tuples() {
+		for _, t2 := range rel.Tuples() {
+			agree := true
+			for _, p := range xs {
+				if t1[p] != t2[p] {
+					agree = false
+					break
+				}
+			}
+			if !agree {
+				continue
+			}
+			mixed := make(data.Tuple, s.Width())
+			for p := 0; p < s.Width(); p++ {
+				if inXY[p] {
+					mixed[p] = t1[p]
+				} else {
+					mixed[p] = t2[p]
+				}
+			}
+			if !rel.Contains(mixed) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: the chase verdict is sound against random finite relations.
+func TestImpliesSoundness(t *testing.T) {
+	s := schema.MustScheme("R", "A", "B", "C")
+	ds := schema.MustDatabase(s)
+	attrs := s.Attrs()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sigma := Sigma{Scheme: s}
+		for i := 0; i < r.Intn(3); i++ {
+			x := []schema.Attribute{attrs[r.Intn(3)]}
+			y := []schema.Attribute{attrs[r.Intn(3)]}
+			if r.Intn(2) == 0 {
+				sigma.FDs = append(sigma.FDs, deps.NewFD("R", x, y))
+			} else {
+				sigma.MVDs = append(sigma.MVDs, New("R", x, y))
+			}
+		}
+		goal := New("R", []schema.Attribute{attrs[r.Intn(3)]}, []schema.Attribute{attrs[r.Intn(3)]})
+		implied, err := sigma.Implies(goal)
+		if err != nil || !implied {
+			return err == nil
+		}
+		// Every random relation satisfying sigma satisfies the goal.
+		for trial := 0; trial < 15; trial++ {
+			db := data.NewDatabase(ds)
+			for i := 0; i < r.Intn(5); i++ {
+				db.MustInsert("R", data.Tuple{data.Int(r.Intn(2)), data.Int(r.Intn(2)), data.Int(r.Intn(2))})
+			}
+			ok := true
+			for _, fd := range sigma.FDs {
+				sat, err := db.Satisfies(fd)
+				if err != nil {
+					return false
+				}
+				if !sat {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, m := range sigma.MVDs {
+					if !satisfiesMVD(db, s, m) {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			if !satisfiesMVD(db, s, goal) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the dependency-basis decision agrees with the chase on pure
+// MVD sets.
+func TestBasisAgreesWithChase(t *testing.T) {
+	s := abcd()
+	attrs := s.Attrs()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var mvds []MVD
+		for i := 0; i < 1+r.Intn(3); i++ {
+			nx := 1 + r.Intn(2)
+			perm := r.Perm(4)
+			x := make([]schema.Attribute, nx)
+			for j := 0; j < nx; j++ {
+				x[j] = attrs[perm[j]]
+			}
+			y := []schema.Attribute{attrs[perm[nx]]}
+			mvds = append(mvds, New("R", x, y))
+		}
+		perm := r.Perm(4)
+		goal := New("R", []schema.Attribute{attrs[perm[0]]}, []schema.Attribute{attrs[perm[1]]})
+		sigma := Sigma{Scheme: s, MVDs: mvds}
+		byChase, err := sigma.Implies(goal)
+		if err != nil {
+			return false
+		}
+		byBasis, err := ImpliesMVDByBasis(s, mvds, goal)
+		if err != nil {
+			return false
+		}
+		return byChase == byBasis
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

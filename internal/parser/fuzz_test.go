@@ -1,0 +1,58 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that everything it accepts
+// is well-formed (validated against the declared schemes) and re-parses
+// after rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"schema R(A, B)\nR: A -> B\n",
+		"schema R(A, B)\nR[A] <= R[B]\n? R: A -> B\n",
+		"schema R(A, B)\nR[A == B]\n",
+		"schema R(A, B, C)\nR: A ->> B | C\n",
+		"schema R(X, Y)\nR :: (x, y) / (x, y)\n",
+		"schema R(A)\n?fin R[A] <= R[A]\n",
+		"# comment\n\nschema R(A)\n",
+		"schema R(A, B)\nR[A] ⊆ R[B]\nR: A → B\n",
+		"nonsense",
+		"schema R(",
+		"R: A -> B",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		file, err := ParseString(in)
+		if err != nil {
+			return
+		}
+		// Accepted input: every dependency validates and round-trips.
+		for _, d := range file.Sigma {
+			if err := d.Validate(file.DB); err != nil {
+				t.Fatalf("accepted invalid dependency %v: %v", d, err)
+			}
+			re, err := ParseString("schema " + renderSchemes(file) + "\n" + d.String() + "\n")
+			if err != nil {
+				t.Fatalf("rendered dependency %q does not re-parse: %v", d.String(), err)
+			}
+			if len(re.Sigma) != 1 || re.Sigma[0].Key() != d.Key() {
+				t.Fatalf("round trip changed %v", d)
+			}
+		}
+	})
+}
+
+// renderSchemes renders the file's schemes back into declarations (all on
+// one line after the leading "schema ").
+func renderSchemes(f *File) string {
+	var parts []string
+	for _, name := range f.DB.Names() {
+		s, _ := f.DB.Scheme(name)
+		parts = append(parts, s.String())
+	}
+	return strings.Join(parts, "\nschema ")
+}

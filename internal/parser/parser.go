@@ -1,0 +1,378 @@
+// Package parser reads the repository's text format for database schemes,
+// dependencies and implication queries:
+//
+//	# comment
+//	schema R(A, B, C)
+//	schema S(D, E)
+//
+//	R: A, B -> C          # functional dependency
+//	R: -> C               # FD with empty left-hand side (constant column)
+//	R[A,B] <= S[D,E]      # inclusion dependency
+//	R[A == B]             # repeating dependency
+//	R: A ->> B | C        # embedded multivalued dependency
+//
+//	? R: A -> C           # implication query
+//	?fin R[B] <= R[A]     # finite-implication query
+//
+// Template dependencies (Section 4's contrast class) use row syntax:
+// hypothesis rows, then "/", then the conclusion row:
+//
+//	R :: (x, y, z1) (x, y2, z2) / (x, y, z2)
+//	? R :: (x, y, z1) (x, y2, z2) / (x, y2, z1)
+//
+// Blank lines and #-comments are ignored. The Unicode forms ⊆ and → are
+// accepted as synonyms for <= and ->.
+package parser
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+	"indfd/internal/td"
+)
+
+// QueryMode distinguishes unrestricted from finite implication queries.
+type QueryMode int
+
+const (
+	// Unrestricted is implication over all databases (⊨).
+	Unrestricted QueryMode = iota
+	// Finite is implication over finite databases (⊨fin).
+	Finite
+)
+
+// Query is a parsed implication query.
+type Query struct {
+	Mode QueryMode
+	Goal deps.Dependency
+}
+
+// TDQuery is a parsed template-dependency implication query.
+type TDQuery struct {
+	Mode QueryMode
+	Goal td.TD
+}
+
+// File is the result of parsing an input.
+type File struct {
+	DB        *schema.Database
+	Sigma     []deps.Dependency
+	TDs       []td.TD
+	Queries   []Query
+	TDQueries []TDQuery
+}
+
+// Parse reads the text format from r. Dependencies are validated against
+// the schemes declared earlier in the input.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{}
+	var schemes []*schema.Scheme
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(f, &schemes, line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if f.DB == nil {
+		var err error
+		f.DB, err = schema.NewDatabase(schemes...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*File, error) { return Parse(strings.NewReader(s)) }
+
+func parseLine(f *File, schemes *[]*schema.Scheme, line string) error {
+	// Normalize the Unicode operators.
+	line = strings.ReplaceAll(line, "⊆", "<=")
+	line = strings.ReplaceAll(line, "→", "->")
+
+	switch {
+	case strings.HasPrefix(line, "schema "):
+		s, err := parseScheme(strings.TrimSpace(strings.TrimPrefix(line, "schema ")))
+		if err != nil {
+			return err
+		}
+		*schemes = append(*schemes, s)
+		return nil
+	case strings.HasPrefix(line, "?fin "):
+		return parseQuery(f, schemes, strings.TrimSpace(strings.TrimPrefix(line, "?fin ")), Finite)
+	case strings.HasPrefix(line, "? "):
+		return parseQuery(f, schemes, strings.TrimSpace(strings.TrimPrefix(line, "? ")), Unrestricted)
+	case strings.Contains(line, "::"):
+		t, err := parseTD(line)
+		if err != nil {
+			return err
+		}
+		if err := ensureDB(f, schemes); err != nil {
+			return err
+		}
+		if err := t.Validate(f.DB); err != nil {
+			return err
+		}
+		f.TDs = append(f.TDs, t)
+		return nil
+	default:
+		d, err := parseDep(line)
+		if err != nil {
+			return err
+		}
+		if err := validate(f, schemes, d); err != nil {
+			return err
+		}
+		f.Sigma = append(f.Sigma, d)
+		return nil
+	}
+}
+
+func parseQuery(f *File, schemes *[]*schema.Scheme, body string, mode QueryMode) error {
+	if strings.Contains(body, "::") {
+		t, err := parseTD(body)
+		if err != nil {
+			return err
+		}
+		if err := ensureDB(f, schemes); err != nil {
+			return err
+		}
+		if err := t.Validate(f.DB); err != nil {
+			return err
+		}
+		f.TDQueries = append(f.TDQueries, TDQuery{Mode: mode, Goal: t})
+		return nil
+	}
+	d, err := parseDep(body)
+	if err != nil {
+		return err
+	}
+	if err := validate(f, schemes, d); err != nil {
+		return err
+	}
+	f.Queries = append(f.Queries, Query{Mode: mode, Goal: d})
+	return nil
+}
+
+func ensureDB(f *File, schemes *[]*schema.Scheme) error {
+	if f.DB == nil {
+		db, err := schema.NewDatabase(*schemes...)
+		if err != nil {
+			return err
+		}
+		f.DB = db
+	}
+	return nil
+}
+
+func validate(f *File, schemes *[]*schema.Scheme, d deps.Dependency) error {
+	if err := ensureDB(f, schemes); err != nil {
+		return err
+	}
+	return d.Validate(f.DB)
+}
+
+// parseTD parses "R :: (x,y) (x,z) / (x,w)".
+func parseTD(s string) (td.TD, error) {
+	parts := strings.SplitN(s, "::", 2)
+	rel := strings.TrimSpace(parts[0])
+	body := parts[1]
+	slash := strings.LastIndex(body, "/")
+	if slash < 0 {
+		return td.TD{}, fmt.Errorf("parser: TD %q needs a '/' before the conclusion row", s)
+	}
+	hyps, err := parseRows(body[:slash])
+	if err != nil {
+		return td.TD{}, err
+	}
+	concl, err := parseRows(body[slash+1:])
+	if err != nil {
+		return td.TD{}, err
+	}
+	if len(hyps) == 0 || len(concl) != 1 {
+		return td.TD{}, fmt.Errorf("parser: TD %q needs hypothesis rows and exactly one conclusion row", s)
+	}
+	return td.New(rel, hyps, concl[0]), nil
+}
+
+// parseRows parses a sequence of "(v1, v2, ...)" groups.
+func parseRows(s string) ([][]string, error) {
+	var out [][]string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '(' {
+			return nil, fmt.Errorf("parser: expected '(' in TD rows at %q", s)
+		}
+		close := strings.Index(s, ")")
+		if close < 0 {
+			return nil, fmt.Errorf("parser: unclosed TD row in %q", s)
+		}
+		var row []string
+		for _, v := range strings.Split(s[1:close], ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				return nil, fmt.Errorf("parser: empty variable in TD row %q", s[:close+1])
+			}
+			row = append(row, v)
+		}
+		out = append(out, row)
+		s = strings.TrimSpace(s[close+1:])
+	}
+	return out, nil
+}
+
+// parseScheme parses "R(A, B, C)".
+func parseScheme(s string) (*schema.Scheme, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("parser: malformed scheme %q, want R(A,B,...)", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	attrs, err := parseAttrList(s[open+1 : len(s)-1])
+	if err != nil {
+		return nil, err
+	}
+	return schema.NewScheme(name, attrs...)
+}
+
+// parseDep parses one dependency.
+func parseDep(s string) (deps.Dependency, error) {
+	// EMVD: "R: X ->> Y | Z" — check before FD since "->>" contains "->".
+	if colon := strings.Index(s, ":"); colon >= 0 && strings.Contains(s, "->>") {
+		rel := strings.TrimSpace(s[:colon])
+		rest := s[colon+1:]
+		arrow := strings.Index(rest, "->>")
+		bar := strings.LastIndex(rest, "|")
+		if arrow < 0 || bar < arrow {
+			return nil, fmt.Errorf("parser: malformed EMVD %q, want R: X ->> Y | Z", s)
+		}
+		x, err := parseAttrList(rest[:arrow])
+		if err != nil {
+			return nil, err
+		}
+		y, err := parseAttrList(rest[arrow+3 : bar])
+		if err != nil {
+			return nil, err
+		}
+		z, err := parseAttrList(rest[bar+1:])
+		if err != nil {
+			return nil, err
+		}
+		return deps.NewEMVD(rel, x, y, z), nil
+	}
+	// IND: "R[X] <= S[Y]".
+	if strings.Contains(s, "<=") {
+		parts := strings.SplitN(s, "<=", 2)
+		lrel, x, err := parseBracketed(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, err
+		}
+		rrel, y, err := parseBracketed(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, err
+		}
+		return deps.NewIND(lrel, x, rrel, y), nil
+	}
+	// RD: "R[X == Y]".
+	if strings.Contains(s, "==") && strings.Contains(s, "[") {
+		open := strings.Index(s, "[")
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("parser: malformed RD %q, want R[X == Y]", s)
+		}
+		rel := strings.TrimSpace(s[:open])
+		body := s[open+1 : len(s)-1]
+		sides := strings.SplitN(body, "==", 2)
+		if len(sides) != 2 {
+			return nil, fmt.Errorf("parser: malformed RD %q", s)
+		}
+		x, err := parseAttrList(sides[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := parseAttrList(sides[1])
+		if err != nil {
+			return nil, err
+		}
+		return deps.NewRD(rel, x, y), nil
+	}
+	// FD: "R: X -> Y".
+	if colon := strings.Index(s, ":"); colon >= 0 && strings.Contains(s[colon+1:], "->") {
+		rel := strings.TrimSpace(s[:colon])
+		rest := s[colon+1:]
+		arrow := strings.Index(rest, "->")
+		x, err := parseAttrListAllowEmpty(rest[:arrow])
+		if err != nil {
+			return nil, err
+		}
+		y, err := parseAttrList(rest[arrow+2:])
+		if err != nil {
+			return nil, err
+		}
+		return deps.NewFD(rel, x, y), nil
+	}
+	return nil, fmt.Errorf("parser: unrecognized dependency %q", s)
+}
+
+// parseBracketed parses "R[A,B]" into the relation name and attributes.
+func parseBracketed(s string) (string, []schema.Attribute, error) {
+	open := strings.Index(s, "[")
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return "", nil, fmt.Errorf("parser: malformed projection %q, want R[A,B]", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	attrs, err := parseAttrList(s[open+1 : len(s)-1])
+	if err != nil {
+		return "", nil, err
+	}
+	return name, attrs, nil
+}
+
+func parseAttrList(s string) ([]schema.Attribute, error) {
+	attrs, err := parseAttrListAllowEmpty(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("parser: empty attribute list")
+	}
+	return attrs, nil
+}
+
+func parseAttrListAllowEmpty(s string) ([]schema.Attribute, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []schema.Attribute
+	for _, part := range strings.Split(s, ",") {
+		a := strings.TrimSpace(part)
+		if a == "" {
+			return nil, fmt.Errorf("parser: empty attribute name in %q", s)
+		}
+		for _, r := range a {
+			if r == '[' || r == ']' || r == '(' || r == ')' || r == ' ' {
+				return nil, fmt.Errorf("parser: bad attribute name %q", a)
+			}
+		}
+		out = append(out, schema.Attribute(a))
+	}
+	return out, nil
+}

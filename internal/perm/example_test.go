@@ -1,0 +1,19 @@
+package perm_test
+
+import (
+	"fmt"
+
+	"indfd/internal/perm"
+)
+
+// Landau's function g(m): the maximal order of a permutation of m
+// elements, the source of the Section 3 superpolynomial lower bound.
+func ExampleLandau() {
+	for _, m := range []int{5, 10, 20} {
+		fmt.Printf("g(%d) = %v\n", m, perm.Landau(m))
+	}
+	// Output:
+	// g(5) = 6
+	// g(10) = 30
+	// g(20) = 420
+}

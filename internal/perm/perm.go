@@ -1,0 +1,269 @@
+// Package perm implements the permutation machinery behind the Section 3
+// lower bound: the naive IND decision procedure needs a superpolynomial
+// number of steps on the family σ(γ) ⊨ σ(γ^{f(m)-1}), where γ is a
+// permutation of maximal order f(m) and Landau's theorem gives
+// log f(m) ~ √(m log m).
+package perm
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Perm is a permutation of {0, ..., n-1}: p[i] is the image of i.
+type Perm []int
+
+// Identity returns the identity permutation on n elements.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Valid reports whether p is a permutation.
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Compose returns the permutation p∘q: (p∘q)(i) = p(q(i)).
+func (p Perm) Compose(q Perm) (Perm, error) {
+	if len(p) != len(q) {
+		return nil, fmt.Errorf("perm: composing permutations of different sizes %d, %d", len(p), len(q))
+	}
+	out := make(Perm, len(p))
+	for i := range out {
+		out[i] = p[q[i]]
+	}
+	return out, nil
+}
+
+// MustCompose is Compose that panics on error.
+func (p Perm) MustCompose(q Perm) Perm {
+	out, err := p.Compose(q)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Inverse returns the inverse permutation.
+func (p Perm) Inverse() Perm {
+	out := make(Perm, len(p))
+	for i, v := range p {
+		out[v] = i
+	}
+	return out
+}
+
+// IsIdentity reports whether p is the identity.
+func (p Perm) IsIdentity() bool {
+	for i, v := range p {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Cycles returns the cycle decomposition of p (cycles of length ≥ 1, each
+// starting at its smallest element, in increasing order of that element).
+func (p Perm) Cycles() [][]int {
+	seen := make([]bool, len(p))
+	var out [][]int
+	for i := range p {
+		if seen[i] {
+			continue
+		}
+		var cyc []int
+		for j := i; !seen[j]; j = p[j] {
+			seen[j] = true
+			cyc = append(cyc, j)
+		}
+		out = append(out, cyc)
+	}
+	return out
+}
+
+// Order returns the order of p: the least k ≥ 1 with p^k the identity,
+// computed as the LCM of its cycle lengths. The result is exact (big.Int)
+// since Landau orders grow like e^√(m log m).
+func (p Perm) Order() *big.Int {
+	out := big.NewInt(1)
+	for _, c := range p.Cycles() {
+		l := big.NewInt(int64(len(c)))
+		g := new(big.Int).GCD(nil, nil, out, l)
+		out.Div(out.Mul(out, l), g)
+	}
+	return out
+}
+
+// Pow returns p^k for k ≥ 0, by binary exponentiation.
+func (p Perm) Pow(k *big.Int) Perm {
+	result := Identity(len(p))
+	base := append(Perm(nil), p...)
+	e := new(big.Int).Set(k)
+	two := big.NewInt(2)
+	mod := new(big.Int)
+	for e.Sign() > 0 {
+		if mod.Mod(e, two).Sign() != 0 {
+			result = result.MustCompose(base)
+		}
+		base = base.MustCompose(base)
+		e.Rsh(e, 1)
+	}
+	return result
+}
+
+// Landau returns g(m), Landau's function: the maximal order of a
+// permutation of m elements, i.e. the maximum LCM of any partition of m.
+// It is computed exactly by dynamic programming over prime powers.
+func Landau(m int) *big.Int {
+	if m <= 0 {
+		return big.NewInt(1)
+	}
+	best, _ := landauDP(m)
+	return best[m]
+}
+
+// LandauPermutation returns a permutation of m elements whose order is
+// g(m): disjoint cycles whose lengths are the prime powers of an optimal
+// partition (unused elements become fixed points).
+func LandauPermutation(m int) Perm {
+	_, parts := landauDP(m)
+	p := Identity(m)
+	at := 0
+	for _, l := range parts[m] {
+		// cycle at..at+l-1
+		for i := 0; i < l; i++ {
+			p[at+i] = at + (i+1)%l
+		}
+		at += l
+	}
+	return p
+}
+
+// landauDP computes, for every budget b ≤ m, the maximal LCM best[b]
+// achievable by a sum of distinct prime powers ≤ b, together with one
+// optimal multiset of prime-power cycle lengths parts[b]. Since the
+// optimal partition uses powers of distinct primes, LCM = product.
+func landauDP(m int) (best []*big.Int, parts [][]int) {
+	primes := primesUpTo(m)
+	best = make([]*big.Int, m+1)
+	parts = make([][]int, m+1)
+	for b := 0; b <= m; b++ {
+		best[b] = big.NewInt(1)
+	}
+	for _, p := range primes {
+		// Iterate budgets downward so each prime is used at most once.
+		for b := m; b >= p; b-- {
+			for pk := p; pk <= b; pk *= p {
+				cand := new(big.Int).Mul(best[b-pk], big.NewInt(int64(pk)))
+				if cand.Cmp(best[b]) > 0 {
+					best[b] = cand
+					parts[b] = append(append([]int(nil), parts[b-pk]...), pk)
+				}
+				if pk > m/p {
+					break // next pk would overflow the budget anyway
+				}
+			}
+		}
+	}
+	// best is nondecreasing in the budget; propagate so best[b] is the max
+	// over partitions of any m' ≤ b.
+	for b := 1; b <= m; b++ {
+		if best[b].Cmp(best[b-1]) < 0 {
+			best[b] = best[b-1]
+			parts[b] = parts[b-1]
+		}
+	}
+	return best, parts
+}
+
+func primesUpTo(n int) []int {
+	if n < 2 {
+		return nil
+	}
+	sieve := make([]bool, n+1)
+	var out []int
+	for i := 2; i <= n; i++ {
+		if sieve[i] {
+			continue
+		}
+		out = append(out, i)
+		for j := i * i; j <= n; j += i {
+			sieve[j] = true
+		}
+	}
+	return out
+}
+
+// Scheme returns the single relation scheme R[A1,...,Am] used by the
+// Section 3 permutation family.
+func Scheme(m int) *schema.Scheme {
+	attrs := make([]schema.Attribute, m)
+	for i := range attrs {
+		attrs[i] = schema.Attribute(fmt.Sprintf("A%d", i+1))
+	}
+	return schema.MustScheme("R", attrs...)
+}
+
+// IND returns σ(γ), the IND R[A1,...,Am] ⊆ R[Aγ(1),...,Aγ(m)] associated
+// with the permutation γ (Section 3).
+func IND(s *schema.Scheme, g Perm) deps.IND {
+	attrs := s.Attrs()
+	y := make([]schema.Attribute, len(g))
+	for i := range g {
+		y[i] = attrs[g[i]]
+	}
+	return deps.NewIND(s.Name(), attrs, s.Name(), y)
+}
+
+// Transpositions returns the swap permutations γ_2, ..., γ_m (exchanging
+// element 0 with element i), which generate the symmetric group; the
+// associated INDs imply every permutation IND (Section 3).
+func Transpositions(m int) []Perm {
+	var out []Perm
+	for i := 1; i < m; i++ {
+		p := Identity(m)
+		p[0], p[i] = p[i], p[0]
+		out = append(out, p)
+	}
+	return out
+}
+
+// LandauParts returns one optimal partition of m into prime powers whose
+// product is g(m) (fixed points omitted).
+func LandauParts(m int) []int {
+	if m <= 0 {
+		return nil
+	}
+	_, parts := landauDP(m)
+	return append([]int(nil), parts[m]...)
+}
+
+// LandauLogRatio returns ln g(m) / sqrt(m ln m), the quantity Landau's
+// theorem (cited in Section 3) proves tends to 1 — the source of the
+// e^sqrt(m ln m) growth of the worst-case decision chain.
+func LandauLogRatio(m int) float64 {
+	if m < 2 {
+		return 0
+	}
+	logG := 0.0
+	for _, pk := range LandauParts(m) {
+		logG += math.Log(float64(pk))
+	}
+	return logG / math.Sqrt(float64(m)*math.Log(float64(m)))
+}

@@ -1,0 +1,223 @@
+package perm
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"indfd/internal/deps"
+	"indfd/internal/ind"
+	"indfd/internal/schema"
+)
+
+func TestIdentityAndValid(t *testing.T) {
+	p := Identity(4)
+	if !p.Valid() || !p.IsIdentity() {
+		t.Errorf("Identity(4) = %v", p)
+	}
+	if (Perm{0, 0, 1}).Valid() {
+		t.Errorf("repeated image should be invalid")
+	}
+	if (Perm{0, 3}).Valid() {
+		t.Errorf("out-of-range image should be invalid")
+	}
+}
+
+func TestComposeInverse(t *testing.T) {
+	p := Perm{1, 2, 0} // 3-cycle
+	q := p.Inverse()
+	pq := p.MustCompose(q)
+	if !pq.IsIdentity() {
+		t.Errorf("p∘p⁻¹ = %v", pq)
+	}
+	if _, err := p.Compose(Perm{0}); err == nil {
+		t.Errorf("size mismatch should error")
+	}
+}
+
+func TestCyclesAndOrder(t *testing.T) {
+	// (0 1 2)(3 4): order lcm(3,2) = 6.
+	p := Perm{1, 2, 0, 4, 3}
+	cycles := p.Cycles()
+	if len(cycles) != 2 || len(cycles[0]) != 3 || len(cycles[1]) != 2 {
+		t.Errorf("Cycles = %v", cycles)
+	}
+	if p.Order().Cmp(big.NewInt(6)) != 0 {
+		t.Errorf("Order = %v, want 6", p.Order())
+	}
+	if !Identity(3).Order().IsInt64() || Identity(3).Order().Int64() != 1 {
+		t.Errorf("identity order = %v", Identity(3).Order())
+	}
+}
+
+func TestPow(t *testing.T) {
+	p := Perm{1, 2, 0}
+	if !p.Pow(big.NewInt(3)).IsIdentity() {
+		t.Errorf("p^3 should be identity for a 3-cycle")
+	}
+	if !p.Pow(big.NewInt(0)).IsIdentity() {
+		t.Errorf("p^0 should be identity")
+	}
+	p2 := p.Pow(big.NewInt(2))
+	want := p.MustCompose(p)
+	for i := range p2 {
+		if p2[i] != want[i] {
+			t.Fatalf("p^2 = %v, want %v", p2, want)
+		}
+	}
+}
+
+// Known values of Landau's function g(m).
+func TestLandauKnownValues(t *testing.T) {
+	want := map[int]int64{
+		1: 1, 2: 2, 3: 3, 4: 4, 5: 6, 6: 6, 7: 12, 8: 15, 9: 20, 10: 30,
+		11: 30, 12: 60, 13: 60, 14: 84, 15: 105, 16: 140, 17: 210, 18: 210,
+		19: 420, 20: 420, 25: 1260, 30: 4620,
+	}
+	for m, g := range want {
+		if got := Landau(m); got.Cmp(big.NewInt(g)) != 0 {
+			t.Errorf("Landau(%d) = %v, want %d", m, got, g)
+		}
+	}
+}
+
+func TestLandauPermutationAchievesLandau(t *testing.T) {
+	for m := 1; m <= 40; m++ {
+		p := LandauPermutation(m)
+		if len(p) != m || !p.Valid() {
+			t.Fatalf("LandauPermutation(%d) = %v invalid", m, p)
+		}
+		if p.Order().Cmp(Landau(m)) != 0 {
+			t.Errorf("LandauPermutation(%d) has order %v, want g(m)=%v", m, p.Order(), Landau(m))
+		}
+	}
+}
+
+// Property: Order(p) is the least k with p^k = identity (checked against
+// brute force for small orders).
+func TestOrderIsMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := Perm(r.Perm(6))
+		ord := p.Order()
+		if !ord.IsInt64() {
+			return false
+		}
+		k := ord.Int64()
+		// p^k must be identity, and no smaller positive power may be.
+		if !p.Pow(big.NewInt(k)).IsIdentity() {
+			return false
+		}
+		cur := Identity(6)
+		for i := int64(1); i < k; i++ {
+			cur = cur.MustCompose(p)
+			if cur.IsIdentity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestINDAndTranspositions(t *testing.T) {
+	s := Scheme(3)
+	g := Perm{1, 2, 0}
+	d := IND(s, g)
+	if d.String() != "R[A1,A2,A3] <= R[A2,A3,A1]" {
+		t.Errorf("IND = %v", d)
+	}
+	ts := Transpositions(4)
+	if len(ts) != 3 {
+		t.Fatalf("Transpositions(4) = %v", ts)
+	}
+	for i, p := range ts {
+		if !p.Valid() || p[0] != i+1 || p[i+1] != 0 {
+			t.Errorf("transposition %d = %v", i, p)
+		}
+	}
+}
+
+// The Section 3 claim, in the small: σ(γ) ⊨ σ(γ^{f(m)-1}) and the
+// breadth-first decision procedure needs exactly f(m)-1 steps of chain.
+func TestPermutationFamilyChainLength(t *testing.T) {
+	for _, m := range []int{3, 5, 7} {
+		s := Scheme(m)
+		db := schema.MustDatabase(s)
+		gamma := LandauPermutation(m)
+		fm := Landau(m)
+		delta := gamma.Pow(new(big.Int).Sub(fm, big.NewInt(1)))
+		sigma := []deps.IND{IND(s, gamma)}
+		goal := IND(s, delta)
+		res, err := ind.Decide(db, sigma, goal)
+		if err != nil || !res.Implied {
+			t.Fatalf("m=%d: σ(γ) should imply σ(γ^{f(m)-1}): %v %v", m, res.Implied, err)
+		}
+		wantChain := int(fm.Int64()) // f(m)-1 applications = chain of f(m) expressions
+		if res.Stats.ChainLength != wantChain {
+			t.Errorf("m=%d: chain length %d, want %d", m, res.Stats.ChainLength, wantChain)
+		}
+	}
+}
+
+// The transposition INDs imply every permutation IND (Section 3).
+func TestTranspositionsGenerateAllPermutationINDs(t *testing.T) {
+	m := 4
+	s := Scheme(m)
+	db := schema.MustDatabase(s)
+	var sigma []deps.IND
+	for _, p := range Transpositions(m) {
+		sigma = append(sigma, IND(s, p))
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Perm(r.Perm(m))
+		ok, err := ind.Implies(db, sigma, IND(s, g))
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLandauParts(t *testing.T) {
+	// g(10) = 30 = 2·3·5.
+	parts := LandauParts(10)
+	prod := 1
+	sum := 0
+	for _, p := range parts {
+		prod *= p
+		sum += p
+	}
+	if prod != 30 || sum > 10 {
+		t.Errorf("LandauParts(10) = %v (product %d, sum %d)", parts, prod, sum)
+	}
+	if LandauParts(0) != nil {
+		t.Errorf("LandauParts(0) should be nil")
+	}
+}
+
+// Landau's theorem: ln g(m) / sqrt(m ln m) -> 1. The convergence is slow;
+// check the ratio is sane, increasing over decades, and that g itself is
+// nondecreasing.
+func TestLandauAsymptotics(t *testing.T) {
+	prev := 0.0
+	for _, m := range []int{50, 200, 800} {
+		r := LandauLogRatio(m)
+		if r <= 0.5 || r >= 1.2 {
+			t.Errorf("LandauLogRatio(%d) = %f out of range", m, r)
+		}
+		if r < prev {
+			t.Errorf("ratio decreased at m=%d: %f < %f", m, r, prev)
+		}
+		prev = r
+	}
+	for m := 2; m < 60; m++ {
+		if Landau(m).Cmp(Landau(m-1)) < 0 {
+			t.Errorf("Landau not monotone at %d", m)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package rules implements the Section 5 formalism: inference rules
+// "if T then τ", k-ary rule sets, proofs via rule sets, closure of a
+// sentence set under (k-ary) implication, and the Theorem 5.1
+// characterization — a k-ary complete axiomatization for 𝒮 exists iff
+// every Γ ⊆ 𝒮 closed under k-ary implication is closed under implication.
+//
+// Implication itself is abstract here: callers supply an Oracle. For the
+// small finite universes the paper's counterexamples live in, the oracle
+// is the unary engine (Section 6), the IND engine plus enumeration
+// (Section 7), or a semantic table.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"indfd/internal/deps"
+)
+
+// Oracle decides implication for the sentence class under study:
+// Implies(T, tau) reports whether T ⊨ τ (in whichever sense — finite or
+// unrestricted — the caller is working).
+type Oracle func(T []deps.Dependency, tau deps.Dependency) (bool, error)
+
+// Rule is an inference rule "if Antecedents then Consequence". A rule with
+// no antecedents is an axiom (0-ary).
+type Rule struct {
+	Antecedents []deps.Dependency
+	Consequence deps.Dependency
+}
+
+// Arity returns the number of distinct antecedents.
+func (r Rule) Arity() int {
+	seen := map[string]bool{}
+	for _, a := range r.Antecedents {
+		seen[a.Key()] = true
+	}
+	return len(seen)
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	if len(r.Antecedents) == 0 {
+		return fmt.Sprintf("⊢ %v", r.Consequence)
+	}
+	parts := make([]string, len(r.Antecedents))
+	for i, a := range r.Antecedents {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("if {%s} then %v", strings.Join(parts, "; "), r.Consequence)
+}
+
+// Sound reports whether the rule is sound under the oracle.
+func (r Rule) Sound(oracle Oracle) (bool, error) {
+	return oracle(r.Antecedents, r.Consequence)
+}
+
+// RuleSet is a set of rules.
+type RuleSet struct {
+	Rules []Rule
+}
+
+// MaxArity returns the largest rule arity (a RuleSet is "k-ary" in the
+// paper's sense when MaxArity() ≤ k).
+func (rs RuleSet) MaxArity() int {
+	m := 0
+	for _, r := range rs.Rules {
+		if a := r.Arity(); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Derive computes the set of sentences derivable from sigma via the rule
+// set: the least superset of sigma closed under the rules. This is the
+// "Σ ⊢_R" relation of Section 5, computed to fixpoint; it terminates
+// because the consequences are drawn from the rules' finite consequence
+// set.
+func (rs RuleSet) Derive(sigma []deps.Dependency) *deps.Set {
+	derived := deps.NewSet(sigma...)
+	for changed := true; changed; {
+		changed = false
+		for _, r := range rs.Rules {
+			if derived.Contains(r.Consequence) {
+				continue
+			}
+			ok := true
+			for _, a := range r.Antecedents {
+				if !derived.Contains(a) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				derived.Add(r.Consequence)
+				changed = true
+			}
+		}
+	}
+	return derived
+}
+
+// Proves reports whether sigma ⊢_rs tau.
+func (rs RuleSet) Proves(sigma []deps.Dependency, tau deps.Dependency) bool {
+	return rs.Derive(sigma).Contains(tau)
+}
+
+// KaryClosure returns the closure of gamma under k-ary implication within
+// the finite universe: the least superset Γ' of gamma such that whenever
+// T ⊆ Γ' with |T| ≤ k, τ ∈ universe, and oracle(T, τ), then τ ∈ Γ'.
+//
+// The subset enumeration is exponential in k; the paper's constructions
+// need only small k and small Γ.
+func KaryClosure(gamma []deps.Dependency, universe []deps.Dependency, oracle Oracle, k int) (*deps.Set, error) {
+	closed := deps.NewSet(gamma...)
+	for changed := true; changed; {
+		changed = false
+		members := append([]deps.Dependency(nil), closed.All()...)
+		for _, tau := range universe {
+			if closed.Contains(tau) {
+				continue
+			}
+			ok, err := impliedBySomeSubset(members, tau, oracle, k)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				closed.Add(tau)
+				changed = true
+			}
+		}
+	}
+	return closed, nil
+}
+
+// impliedBySomeSubset reports whether some subset T of members with
+// |T| ≤ k has oracle(T, tau). It prunes by monotonicity: only maximal-size
+// subsets need not be tried separately — but since oracles may be
+// expensive, it tries small subsets first.
+func impliedBySomeSubset(members []deps.Dependency, tau deps.Dependency, oracle Oracle, k int) (bool, error) {
+	n := len(members)
+	if k > n {
+		k = n
+	}
+	// size 0 first (tautologies), then singletons, etc.
+	idx := make([]int, 0, k)
+	var rec func(start, size int) (bool, error)
+	var target int
+	rec = func(start, size int) (bool, error) {
+		if size == target {
+			T := make([]deps.Dependency, len(idx))
+			for i, j := range idx {
+				T[i] = members[j]
+			}
+			return oracle(T, tau)
+		}
+		for i := start; i < n; i++ {
+			idx = append(idx, i)
+			ok, err := rec(i+1, size+1)
+			idx = idx[:len(idx)-1]
+			if err != nil || ok {
+				return ok, err
+			}
+		}
+		return false, nil
+	}
+	for target = 0; target <= k; target++ {
+		ok, err := rec(0, 0)
+		if err != nil || ok {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
+// ClosedUnderKaryImplication reports whether gamma (as a subset of
+// universe) is already closed under k-ary implication.
+func ClosedUnderKaryImplication(gamma []deps.Dependency, universe []deps.Dependency, oracle Oracle, k int) (bool, deps.Dependency, error) {
+	in := deps.NewSet(gamma...)
+	for _, tau := range universe {
+		if in.Contains(tau) {
+			continue
+		}
+		ok, err := impliedBySomeSubset(gamma, tau, oracle, k)
+		if err != nil {
+			return false, nil, err
+		}
+		if ok {
+			return false, tau, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// ClosedUnderImplication reports whether gamma is closed under full
+// implication with respect to the universe: whenever gamma ⊨ τ for
+// τ ∈ universe, τ ∈ gamma. (The whole of gamma is used as the antecedent
+// set; by monotonicity of ⊨ this is equivalent to quantifying over all
+// subsets.)
+func ClosedUnderImplication(gamma []deps.Dependency, universe []deps.Dependency, oracle Oracle) (bool, deps.Dependency, error) {
+	in := deps.NewSet(gamma...)
+	for _, tau := range universe {
+		if in.Contains(tau) {
+			continue
+		}
+		ok, err := oracle(gamma, tau)
+		if err != nil {
+			return false, nil, err
+		}
+		if ok {
+			return false, tau, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// Witness is the object Theorem 5.1 turns non-existence proofs into: a set
+// Γ that is closed under k-ary implication but not under implication. If a
+// Witness exists for every k (as Sections 6 and 7 construct), no k-ary
+// complete axiomatization exists for the sentence class.
+type Witness struct {
+	Gamma []deps.Dependency
+	// Sigma ⊆ Gamma and Tau ∉ Gamma with Sigma ⊨ Tau exhibit the failure
+	// of closure under implication.
+	Sigma []deps.Dependency
+	Tau   deps.Dependency
+}
+
+// Check verifies the witness against the universe and oracle for the given
+// k: Γ must be closed under k-ary implication, Σ ⊆ Γ, τ ∉ Γ, and Σ ⊨ τ.
+func (w Witness) Check(universe []deps.Dependency, oracle Oracle, k int) error {
+	in := deps.NewSet(w.Gamma...)
+	for _, s := range w.Sigma {
+		if !in.Contains(s) {
+			return fmt.Errorf("rules: witness sigma member %v not in gamma", s)
+		}
+	}
+	if in.Contains(w.Tau) {
+		return fmt.Errorf("rules: witness tau %v is in gamma", w.Tau)
+	}
+	ok, err := oracle(w.Sigma, w.Tau)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("rules: witness sigma does not imply tau %v", w.Tau)
+	}
+	closed, offender, err := ClosedUnderKaryImplication(w.Gamma, universe, oracle, k)
+	if err != nil {
+		return err
+	}
+	if !closed {
+		return fmt.Errorf("rules: gamma not closed under %d-ary implication: %v escapes", k, offender)
+	}
+	return nil
+}
+
+// KaryCompleteExists implements the Theorem 5.1 characterization by brute
+// force over all subsets of the universe: a k-ary complete axiomatization
+// exists iff every Γ ⊆ universe closed under k-ary implication is closed
+// under implication. Only feasible for tiny universes (≤ ~16 sentences);
+// it exists to validate Theorem 5.1 mechanically on small instances.
+func KaryCompleteExists(universe []deps.Dependency, oracle Oracle, k int) (bool, *Witness, error) {
+	n := len(universe)
+	if n > 20 {
+		return false, nil, fmt.Errorf("rules: universe of %d sentences is too large for exhaustive search", n)
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		var gamma []deps.Dependency
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				gamma = append(gamma, universe[i])
+			}
+		}
+		closedK, _, err := ClosedUnderKaryImplication(gamma, universe, oracle, k)
+		if err != nil {
+			return false, nil, err
+		}
+		if !closedK {
+			continue
+		}
+		closedFull, tau, err := ClosedUnderImplication(gamma, universe, oracle)
+		if err != nil {
+			return false, nil, err
+		}
+		if !closedFull {
+			return false, &Witness{Gamma: gamma, Sigma: gamma, Tau: tau}, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// CanonicalKary builds the canonical k-ary rule set over the universe used
+// in the proof of Theorem 5.1: every sound rule "if T then τ" with T ⊆
+// universe, |T| ≤ k, τ ∈ universe. Exponential in k; intended for tiny
+// universes.
+func CanonicalKary(universe []deps.Dependency, oracle Oracle, k int) (RuleSet, error) {
+	var rs RuleSet
+	n := len(universe)
+	var idx []int
+	var rec func(start, size, target int) error
+	rec = func(start, size, target int) error {
+		if size == target {
+			T := make([]deps.Dependency, len(idx))
+			for i, j := range idx {
+				T[i] = universe[j]
+			}
+			inT := deps.NewSet(T...)
+			for _, tau := range universe {
+				if inT.Contains(tau) {
+					continue
+				}
+				ok, err := oracle(T, tau)
+				if err != nil {
+					return err
+				}
+				if ok {
+					rs.Rules = append(rs.Rules, Rule{Antecedents: T, Consequence: tau})
+				}
+			}
+			return nil
+		}
+		for i := start; i < n; i++ {
+			idx = append(idx, i)
+			if err := rec(i+1, size+1, target); err != nil {
+				return err
+			}
+			idx = idx[:len(idx)-1]
+		}
+		return nil
+	}
+	for target := 0; target <= k && target <= n; target++ {
+		if err := rec(0, 0, target); err != nil {
+			return RuleSet{}, err
+		}
+	}
+	return rs, nil
+}
+
+// SortDeps sorts a dependency slice by rendering, for deterministic
+// output in experiments.
+func SortDeps(ds []deps.Dependency) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i].String() < ds[j].String() })
+}

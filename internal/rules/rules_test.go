@@ -1,0 +1,273 @@
+package rules
+
+import (
+	"testing"
+
+	"indfd/internal/deps"
+	"indfd/internal/fd"
+)
+
+// fdOracle decides implication for FD-only sentence sets using the
+// (complete, decidable) FD engine.
+func fdOracle(T []deps.Dependency, tau deps.Dependency) (bool, error) {
+	var fds []deps.FD
+	for _, d := range T {
+		f, ok := d.(deps.FD)
+		if !ok {
+			return false, nil
+		}
+		fds = append(fds, f)
+	}
+	g, ok := tau.(deps.FD)
+	if !ok {
+		return false, nil
+	}
+	return fd.Implies(fds, g), nil
+}
+
+// singletonFDUniverse is every FD A -> B with single attributes over
+// R(A,B,C): 9 sentences, 3 of them trivial.
+func singletonFDUniverse() []deps.Dependency {
+	attrs := []string{"A", "B", "C"}
+	var out []deps.Dependency
+	for _, x := range attrs {
+		for _, y := range attrs {
+			out = append(out, deps.NewFD("R", deps.Attrs(x), deps.Attrs(y)))
+		}
+	}
+	return out
+}
+
+func fdAB() deps.Dependency { return deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")) }
+func fdBC() deps.Dependency { return deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C")) }
+func fdAC() deps.Dependency { return deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C")) }
+
+func TestRuleBasics(t *testing.T) {
+	r := Rule{Antecedents: []deps.Dependency{fdAB(), fdBC()}, Consequence: fdAC()}
+	if r.Arity() != 2 {
+		t.Errorf("Arity = %d", r.Arity())
+	}
+	ok, err := r.Sound(fdOracle)
+	if err != nil || !ok {
+		t.Errorf("transitivity rule should be sound: %v %v", ok, err)
+	}
+	bad := Rule{Antecedents: []deps.Dependency{fdAB()}, Consequence: fdAC()}
+	ok, _ = bad.Sound(fdOracle)
+	if ok {
+		t.Errorf("A->B alone should not imply A->C")
+	}
+	axiom := Rule{Consequence: deps.NewFD("R", deps.Attrs("A"), deps.Attrs("A"))}
+	if axiom.Arity() != 0 {
+		t.Errorf("axiom arity = %d", axiom.Arity())
+	}
+	if axiom.String() == "" || r.String() == "" {
+		t.Errorf("empty renderings")
+	}
+	// Duplicate antecedents count once.
+	dup := Rule{Antecedents: []deps.Dependency{fdAB(), fdAB()}, Consequence: fdAB()}
+	if dup.Arity() != 1 {
+		t.Errorf("duplicate antecedent arity = %d, want 1", dup.Arity())
+	}
+}
+
+func TestDeriveAndProves(t *testing.T) {
+	trans := Rule{Antecedents: []deps.Dependency{fdAB(), fdBC()}, Consequence: fdAC()}
+	rs := RuleSet{Rules: []Rule{trans}}
+	if rs.MaxArity() != 2 {
+		t.Errorf("MaxArity = %d", rs.MaxArity())
+	}
+	if !rs.Proves([]deps.Dependency{fdAB(), fdBC()}, fdAC()) {
+		t.Errorf("transitivity should derive A->C")
+	}
+	if rs.Proves([]deps.Dependency{fdAB()}, fdAC()) {
+		t.Errorf("A->C should not be derivable from A->B alone")
+	}
+	derived := rs.Derive([]deps.Dependency{fdAB(), fdBC()})
+	if derived.Len() != 3 {
+		t.Errorf("Derive produced %d sentences, want 3", derived.Len())
+	}
+}
+
+func TestKaryClosure(t *testing.T) {
+	universe := singletonFDUniverse()
+	gamma := []deps.Dependency{fdAB(), fdBC()}
+	// 1-ary closure adds only trivial FDs and per-sentence consequences.
+	c1, err := KaryClosure(gamma, universe, fdOracle, 1)
+	if err != nil {
+		t.Fatalf("KaryClosure: %v", err)
+	}
+	if c1.Contains(fdAC()) {
+		t.Errorf("1-ary closure should not contain A->C")
+	}
+	if !c1.Contains(deps.NewFD("R", deps.Attrs("A"), deps.Attrs("A"))) {
+		t.Errorf("closure should contain tautologies (0-ary implication)")
+	}
+	// 2-ary closure contains transitivity consequences.
+	c2, err := KaryClosure(gamma, universe, fdOracle, 2)
+	if err != nil {
+		t.Fatalf("KaryClosure: %v", err)
+	}
+	if !c2.Contains(fdAC()) {
+		t.Errorf("2-ary closure should contain A->C")
+	}
+}
+
+func TestClosedPredicates(t *testing.T) {
+	universe := singletonFDUniverse()
+	c1, _ := KaryClosure([]deps.Dependency{fdAB(), fdBC()}, universe, fdOracle, 1)
+	closed, _, err := ClosedUnderKaryImplication(c1.All(), universe, fdOracle, 1)
+	if err != nil || !closed {
+		t.Errorf("KaryClosure output should be closed under k-ary implication")
+	}
+	closedFull, tau, err := ClosedUnderImplication(c1.All(), universe, fdOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closedFull {
+		t.Errorf("1-ary closure of a 2-step chain should not be closed under implication")
+	}
+	if tau == nil || tau.Key() != fdAC().Key() {
+		t.Errorf("escaping sentence = %v, want A->C", tau)
+	}
+}
+
+// Theorem 5.1 in the small: over the singleton-FD universe, transitivity
+// makes 2-ary complete axiomatizations exist, while 1-ary does not.
+func TestKaryCompleteExists(t *testing.T) {
+	universe := singletonFDUniverse()
+	ok, w, err := KaryCompleteExists(universe, fdOracle, 2)
+	if err != nil {
+		t.Fatalf("k=2: %v", err)
+	}
+	if !ok {
+		t.Errorf("2-ary complete axiomatization should exist for singleton FDs, witness %+v", w)
+	}
+	ok, w, err = KaryCompleteExists(universe, fdOracle, 1)
+	if err != nil {
+		t.Fatalf("k=1: %v", err)
+	}
+	if ok {
+		t.Errorf("1-ary complete axiomatization should NOT exist for singleton FDs")
+	}
+	if w == nil {
+		t.Fatalf("no witness returned")
+	}
+	if err := w.Check(universe, fdOracle, 1); err != nil {
+		t.Errorf("returned witness does not check: %v", err)
+	}
+}
+
+func TestKaryCompleteExistsTooLarge(t *testing.T) {
+	big := make([]deps.Dependency, 21)
+	for i := range big {
+		big[i] = fdAB()
+	}
+	if _, _, err := KaryCompleteExists(big, fdOracle, 1); err == nil {
+		t.Errorf("oversized universe should be rejected")
+	}
+}
+
+func TestWitnessCheckFailures(t *testing.T) {
+	universe := singletonFDUniverse()
+	// Sigma not inside Gamma.
+	w := Witness{Gamma: []deps.Dependency{fdAB()}, Sigma: []deps.Dependency{fdBC()}, Tau: fdAC()}
+	if err := w.Check(universe, fdOracle, 1); err == nil {
+		t.Errorf("sigma outside gamma should fail")
+	}
+	// Tau inside Gamma.
+	w = Witness{Gamma: []deps.Dependency{fdAB(), fdAC()}, Sigma: []deps.Dependency{fdAB()}, Tau: fdAC()}
+	if err := w.Check(universe, fdOracle, 1); err == nil {
+		t.Errorf("tau in gamma should fail")
+	}
+	// Sigma does not imply tau.
+	w = Witness{Gamma: []deps.Dependency{fdAB()}, Sigma: []deps.Dependency{fdAB()}, Tau: fdAC()}
+	if err := w.Check(universe, fdOracle, 1); err == nil {
+		t.Errorf("non-implication should fail")
+	}
+	// Gamma not k-ary closed.
+	w = Witness{Gamma: []deps.Dependency{fdAB(), fdBC()}, Sigma: []deps.Dependency{fdAB(), fdBC()}, Tau: fdAC()}
+	if err := w.Check(universe, fdOracle, 2); err == nil {
+		t.Errorf("gamma open under 2-ary implication should fail for k=2")
+	}
+}
+
+func TestCanonicalKary(t *testing.T) {
+	universe := singletonFDUniverse()
+	rs, err := CanonicalKary(universe, fdOracle, 2)
+	if err != nil {
+		t.Fatalf("CanonicalKary: %v", err)
+	}
+	if rs.MaxArity() > 2 {
+		t.Errorf("MaxArity = %d", rs.MaxArity())
+	}
+	// Every rule is sound.
+	for _, r := range rs.Rules {
+		ok, err := r.Sound(fdOracle)
+		if err != nil || !ok {
+			t.Errorf("unsound canonical rule %v", r)
+		}
+	}
+	// The canonical 2-ary rules derive transitive consequences.
+	if !rs.Proves([]deps.Dependency{fdAB(), fdBC()}, fdAC()) {
+		t.Errorf("canonical 2-ary rules should prove A->C")
+	}
+	// The canonical 1-ary rules do not.
+	rs1, err := CanonicalKary(universe, fdOracle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs1.Proves([]deps.Dependency{fdAB(), fdBC()}, fdAC()) {
+		t.Errorf("canonical 1-ary rules should not prove A->C")
+	}
+}
+
+func TestSortDeps(t *testing.T) {
+	ds := []deps.Dependency{fdBC(), fdAB()}
+	SortDeps(ds)
+	if ds[0].Key() != fdAB().Key() {
+		t.Errorf("SortDeps order wrong: %v", ds)
+	}
+}
+
+// The warning at the end of Section 5: the FD-chain rule "if T_k then
+// τ_k" has k+1 antecedents none of which can be dropped, yet FDs still
+// have a 2-ary complete axiomatization — irredundant high-arity sound
+// rules do NOT by themselves preclude a k-ary axiomatization.
+func TestSection5Warning(t *testing.T) {
+	// T_3: A1->A2, A2->A3, A3->A4; τ_3: A1->A4.
+	names := []string{"A1", "A2", "A3", "A4"}
+	var T []deps.Dependency
+	for i := 0; i+1 < len(names); i++ {
+		T = append(T, deps.NewFD("R", deps.Attrs(names[i]), deps.Attrs(names[i+1])))
+	}
+	tau := deps.NewFD("R", deps.Attrs("A1"), deps.Attrs("A4"))
+	rule := Rule{Antecedents: T, Consequence: tau}
+	ok, err := rule.Sound(fdOracle)
+	if err != nil || !ok {
+		t.Fatalf("chain rule should be sound: %v %v", ok, err)
+	}
+	// No antecedent can be dropped.
+	for i := range T {
+		rest := append(append([]deps.Dependency{}, T[:i]...), T[i+1:]...)
+		ok, err := (Rule{Antecedents: rest, Consequence: tau}).Sound(fdOracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("dropping antecedent %d left the rule sound", i)
+		}
+	}
+	// Yet 2-ary rules (Armstrong transitivity, as canonical sound rules
+	// over the chain's sentences) derive τ from T.
+	universe := append(append([]deps.Dependency{}, T...), tau,
+		deps.NewFD("R", deps.Attrs("A1"), deps.Attrs("A3")),
+		deps.NewFD("R", deps.Attrs("A2"), deps.Attrs("A4")),
+	)
+	rs, err := CanonicalKary(universe, fdOracle, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Proves(T, tau) {
+		t.Errorf("2-ary canonical rules should derive the chain consequence")
+	}
+}

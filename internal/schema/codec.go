@@ -1,0 +1,63 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// schemeJSON is the wire form of a relation scheme.
+type schemeJSON struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+}
+
+// MarshalJSON encodes the scheme as {"name":"R","attrs":["A","B"]}.
+func (s *Scheme) MarshalJSON() ([]byte, error) {
+	attrs := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		attrs[i] = string(a)
+	}
+	return json.Marshal(schemeJSON{Name: s.name, Attrs: attrs})
+}
+
+// UnmarshalJSON decodes and validates a scheme.
+func (s *Scheme) UnmarshalJSON(b []byte) error {
+	var w schemeJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	attrs := make([]Attribute, len(w.Attrs))
+	for i, a := range w.Attrs {
+		attrs[i] = Attribute(a)
+	}
+	fresh, err := NewScheme(w.Name, attrs...)
+	if err != nil {
+		return err
+	}
+	*s = *fresh
+	return nil
+}
+
+// MarshalJSON encodes the database scheme as an array of schemes in
+// insertion order.
+func (d *Database) MarshalJSON() ([]byte, error) {
+	schemes := make([]*Scheme, 0, d.Len())
+	for _, name := range d.order {
+		schemes = append(schemes, d.schemes[name])
+	}
+	return json.Marshal(schemes)
+}
+
+// UnmarshalJSON decodes and validates a database scheme.
+func (d *Database) UnmarshalJSON(b []byte) error {
+	var schemes []*Scheme
+	if err := json.Unmarshal(b, &schemes); err != nil {
+		return err
+	}
+	fresh, err := NewDatabase(schemes...)
+	if err != nil {
+		return fmt.Errorf("schema: %w", err)
+	}
+	*d = *fresh
+	return nil
+}

@@ -1,0 +1,43 @@
+package schema
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSchemeJSONRoundTrip(t *testing.T) {
+	s := MustScheme("R", "A", "B")
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scheme
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != "R(A,B)" {
+		t.Errorf("round trip = %v", back.String())
+	}
+	// Invalid schemes are rejected on decode.
+	if err := json.Unmarshal([]byte(`{"name":"R","attrs":["A","A"]}`), &back); err == nil {
+		t.Errorf("duplicate attrs should fail")
+	}
+}
+
+func TestDatabaseJSONRoundTrip(t *testing.T) {
+	d := MustDatabase(MustScheme("R", "A"), MustScheme("S", "B", "C"))
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Database
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != d.String() {
+		t.Errorf("round trip:\n%v\nvs\n%v", back.String(), d.String())
+	}
+	if err := json.Unmarshal([]byte(`[{"name":"R","attrs":["A"]},{"name":"R","attrs":["A"]}]`), &back); err == nil {
+		t.Errorf("duplicate relation names should fail")
+	}
+}

@@ -1,0 +1,198 @@
+package schema
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewScheme(t *testing.T) {
+	s, err := NewScheme("R", "A", "B", "C")
+	if err != nil {
+		t.Fatalf("NewScheme: %v", err)
+	}
+	if s.Name() != "R" {
+		t.Errorf("Name = %q, want R", s.Name())
+	}
+	if s.Width() != 3 {
+		t.Errorf("Width = %d, want 3", s.Width())
+	}
+	if got := s.String(); got != "R(A,B,C)" {
+		t.Errorf("String = %q", got)
+	}
+	if p, ok := s.Pos("B"); !ok || p != 1 {
+		t.Errorf("Pos(B) = %d,%v", p, ok)
+	}
+	if _, ok := s.Pos("Z"); ok {
+		t.Errorf("Pos(Z) should not exist")
+	}
+	if !s.Has("C") || s.Has("D") {
+		t.Errorf("Has misbehaves")
+	}
+	if !s.HasAll([]Attribute{"A", "C"}) {
+		t.Errorf("HasAll(A,C) = false")
+	}
+	if s.HasAll([]Attribute{"A", "Z"}) {
+		t.Errorf("HasAll(A,Z) = true")
+	}
+}
+
+func TestNewSchemeErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		attrs []Attribute
+	}{
+		{"", []Attribute{"A"}},
+		{"R", nil},
+		{"R", []Attribute{"A", "A"}},
+		{"R", []Attribute{""}},
+	}
+	for _, c := range cases {
+		if _, err := NewScheme(c.name, c.attrs...); err == nil {
+			t.Errorf("NewScheme(%q, %v): expected error", c.name, c.attrs)
+		}
+	}
+}
+
+func TestMustSchemePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustScheme did not panic on duplicate attribute")
+		}
+	}()
+	MustScheme("R", "A", "A")
+}
+
+func TestDatabase(t *testing.T) {
+	r := MustScheme("R", "A", "B")
+	s := MustScheme("S", "C")
+	d, err := NewDatabase(r, s)
+	if err != nil {
+		t.Fatalf("NewDatabase: %v", err)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if !reflect.DeepEqual(d.Names(), []string{"R", "S"}) {
+		t.Errorf("Names = %v", d.Names())
+	}
+	got, ok := d.Scheme("S")
+	if !ok || got != s {
+		t.Errorf("Scheme(S) = %v, %v", got, ok)
+	}
+	if _, ok := d.Scheme("T"); ok {
+		t.Errorf("Scheme(T) should not exist")
+	}
+	if err := d.Add(MustScheme("R", "X")); err == nil {
+		t.Errorf("Add duplicate name: expected error")
+	}
+	if err := d.Add(nil); err == nil {
+		t.Errorf("Add(nil): expected error")
+	}
+	want := "R(A,B)\nS(C)"
+	if d.String() != want {
+		t.Errorf("String = %q, want %q", d.String(), want)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	if !Distinct([]Attribute{"A", "B", "C"}) {
+		t.Errorf("Distinct(A,B,C) = false")
+	}
+	if Distinct([]Attribute{"A", "B", "A"}) {
+		t.Errorf("Distinct(A,B,A) = true")
+	}
+	if !Distinct(nil) {
+		t.Errorf("Distinct(nil) = false")
+	}
+}
+
+func TestEqualSeqAndSubset(t *testing.T) {
+	x := []Attribute{"A", "B"}
+	y := []Attribute{"A", "B"}
+	z := []Attribute{"B", "A"}
+	if !EqualSeq(x, y) || EqualSeq(x, z) || EqualSeq(x, x[:1]) {
+		t.Errorf("EqualSeq misbehaves")
+	}
+	if !SubsetOf(x, z) {
+		t.Errorf("SubsetOf order should not matter")
+	}
+	if SubsetOf([]Attribute{"C"}, x) {
+		t.Errorf("SubsetOf(C, AB) = true")
+	}
+	if !SubsetOf(nil, nil) {
+		t.Errorf("SubsetOf(nil, nil) = false")
+	}
+}
+
+func TestSortedSet(t *testing.T) {
+	got := SortedSet([]Attribute{"C", "A", "C", "B"})
+	want := []Attribute{"A", "B", "C"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedSet = %v, want %v", got, want)
+	}
+}
+
+func TestJoinAttrsAndConcat(t *testing.T) {
+	if got := JoinAttrs([]Attribute{"A", "B"}); got != "A,B" {
+		t.Errorf("JoinAttrs = %q", got)
+	}
+	if got := JoinAttrs(nil); got != "" {
+		t.Errorf("JoinAttrs(nil) = %q", got)
+	}
+	got := Concat([]Attribute{"A"}, []Attribute{"B", "C"})
+	if !reflect.DeepEqual(got, []Attribute{"A", "B", "C"}) {
+		t.Errorf("Concat = %v", got)
+	}
+}
+
+// Property: SortedSet is idempotent and its output is always Distinct.
+func TestSortedSetProperties(t *testing.T) {
+	gen := func(r *rand.Rand) []Attribute {
+		n := r.Intn(8)
+		out := make([]Attribute, n)
+		for i := range out {
+			out[i] = Attribute('A' + rune(r.Intn(4)))
+		}
+		return out
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		seq := gen(r)
+		once := SortedSet(seq)
+		twice := SortedSet(once)
+		if !reflect.DeepEqual(once, twice) {
+			return false
+		}
+		if !Distinct(once) {
+			return false
+		}
+		// Every element of the input appears in the output and vice versa.
+		return SubsetOf(seq, once) && SubsetOf(once, seq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EqualSeq is reflexive and symmetric.
+func TestEqualSeqProperties(t *testing.T) {
+	f := func(xs, ys []byte) bool {
+		toAttrs := func(b []byte) []Attribute {
+			out := make([]Attribute, len(b))
+			for i, c := range b {
+				out[i] = Attribute('A' + rune(c%3))
+			}
+			return out
+		}
+		x, y := toAttrs(xs), toAttrs(ys)
+		if !EqualSeq(x, x) {
+			return false
+		}
+		return EqualSeq(x, y) == EqualSeq(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

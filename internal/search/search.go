@@ -1,0 +1,200 @@
+// Package search implements bounded exhaustive and randomized search for
+// finite counterexample databases: given Σ and a goal, it looks for a
+// finite database satisfying Σ and violating the goal. A hit refutes both
+// finite and unrestricted implication; exhausting the bounded space proves
+// nothing (the paper's Section 6 witnesses show finite implication can
+// hold while unrestricted fails, and undecidability rules out any complete
+// search). The core facade uses this as a refutation fallback when the
+// chase diverges.
+package search
+
+import (
+	"fmt"
+	"math/rand"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// Options bounds a search.
+type Options struct {
+	// Domain is the number of distinct values (default 3).
+	Domain int
+	// MaxTuples bounds tuples per relation in exhaustive search
+	// (default 3) and sets the tuple count in random search.
+	MaxTuples int
+	// RandomTrials is the number of random databases to try after (or
+	// instead of) exhaustive search; 0 disables random search.
+	RandomTrials int
+	// Seed seeds the random search (0 uses a fixed default, keeping runs
+	// deterministic).
+	Seed int64
+	// MaxExhaustive bounds the number of databases the exhaustive phase
+	// may enumerate; beyond it the phase is skipped (default 1 << 22).
+	MaxExhaustive int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Domain <= 0 {
+		o.Domain = 3
+	}
+	if o.MaxTuples <= 0 {
+		o.MaxTuples = 3
+	}
+	if o.MaxExhaustive <= 0 {
+		o.MaxExhaustive = 1 << 22
+	}
+	return o
+}
+
+// Counterexample searches for a finite database over db satisfying every
+// member of sigma and violating goal. It returns the database and
+// found=true on a hit; found=false means the bounded search space held no
+// counterexample (NOT that the implication holds).
+func Counterexample(db *schema.Database, sigma []deps.Dependency, goal deps.Dependency, opt Options) (*data.Database, bool, error) {
+	opt = opt.withDefaults()
+	if err := goal.Validate(db); err != nil {
+		return nil, false, err
+	}
+	for _, d := range sigma {
+		if err := d.Validate(db); err != nil {
+			return nil, false, err
+		}
+	}
+	check := func(cand *data.Database) (bool, error) {
+		ok, _, err := cand.SatisfiesAll(sigma)
+		if err != nil || !ok {
+			return false, err
+		}
+		sat, err := cand.Satisfies(goal)
+		if err != nil {
+			return false, err
+		}
+		return !sat, nil
+	}
+
+	// Exhaustive phase: enumerate tuple subsets per relation, with at most
+	// MaxTuples tuples each, over the value domain.
+	names := db.Names()
+	universes := make([][]data.Tuple, len(names))
+	total := 1.0
+	for i, name := range names {
+		s, _ := db.Scheme(name)
+		universes[i] = allTuples(s.Width(), opt.Domain)
+		subsets := 0
+		n := len(universes[i])
+		// Count subsets of size ≤ MaxTuples (approximately; used only to
+		// decide whether exhaustive search is feasible).
+		c := 1
+		for size := 0; size <= opt.MaxTuples && size <= n; size++ {
+			subsets += c
+			c = c * (n - size) / (size + 1)
+		}
+		total *= float64(subsets)
+	}
+	if total <= float64(opt.MaxExhaustive) {
+		cand, found, err := exhaustive(db, names, universes, opt.MaxTuples, check)
+		if err != nil || found {
+			return cand, found, err
+		}
+	}
+
+	// Random phase.
+	if opt.RandomTrials > 0 {
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		r := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < opt.RandomTrials; trial++ {
+			cand := data.NewDatabase(db)
+			for i, name := range names {
+				n := r.Intn(opt.MaxTuples + 1)
+				for j := 0; j < n; j++ {
+					cand.MustInsert(name, universes[i][r.Intn(len(universes[i]))])
+				}
+			}
+			ok, err := check(cand)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return cand, true, nil
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// allTuples enumerates every tuple of the given width over the domain
+// {0, ..., domain-1}.
+func allTuples(width, domain int) []data.Tuple {
+	var out []data.Tuple
+	t := make([]int, width)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == width {
+			row := make(data.Tuple, width)
+			for j, v := range t {
+				row[j] = data.Value(fmt.Sprintf("%d", v))
+			}
+			out = append(out, row)
+			return
+		}
+		for v := 0; v < domain; v++ {
+			t[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// exhaustive enumerates databases relation by relation (subsets of the
+// tuple universe with at most maxTuples members) and returns the first
+// counterexample.
+func exhaustive(db *schema.Database, names []string, universes [][]data.Tuple, maxTuples int, check func(*data.Database) (bool, error)) (*data.Database, bool, error) {
+	choice := make([][]data.Tuple, len(names))
+	var rec func(rel int) (*data.Database, bool, error)
+	rec = func(rel int) (*data.Database, bool, error) {
+		if rel == len(names) {
+			cand := data.NewDatabase(db)
+			for i, name := range names {
+				for _, t := range choice[i] {
+					cand.MustInsert(name, t)
+				}
+			}
+			ok, err := check(cand)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return cand, true, nil
+			}
+			return nil, false, nil
+		}
+		universe := universes[rel]
+		var pick func(start, left int) (*data.Database, bool, error)
+		pick = func(start, left int) (*data.Database, bool, error) {
+			cand, found, err := rec(rel + 1)
+			if err != nil || found {
+				return cand, found, err
+			}
+			if left == 0 {
+				return nil, false, nil
+			}
+			for i := start; i < len(universe); i++ {
+				choice[rel] = append(choice[rel], universe[i])
+				cand, found, err := pick(i+1, left-1)
+				choice[rel] = choice[rel][:len(choice[rel])-1]
+				if err != nil || found {
+					return cand, found, err
+				}
+			}
+			return nil, false, nil
+		}
+		return pick(0, maxTuples)
+	}
+	return rec(0)
+}

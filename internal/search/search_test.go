@@ -1,0 +1,100 @@
+package search
+
+import (
+	"testing"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func rab() *schema.Database {
+	return schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+}
+
+func TestFindsEasyCounterexample(t *testing.T) {
+	// ∅ ⊭ R: A -> B: a two-tuple counterexample exists in the smallest
+	// space.
+	db := rab()
+	goal := deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))
+	ce, found, err := Counterexample(db, nil, goal, Options{Domain: 2, MaxTuples: 2})
+	if err != nil {
+		t.Fatalf("Counterexample: %v", err)
+	}
+	if !found {
+		t.Fatalf("no counterexample found")
+	}
+	sat, err := ce.Satisfies(goal)
+	if err != nil || sat {
+		t.Errorf("returned database satisfies the goal: %v %v", sat, err)
+	}
+}
+
+func TestRespectsSigma(t *testing.T) {
+	// {R: A -> B} vs goal R: B -> A: counterexamples exist and must
+	// satisfy the FD.
+	db := rab()
+	sigma := []deps.Dependency{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))}
+	goal := deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A"))
+	ce, found, err := Counterexample(db, sigma, goal, Options{Domain: 2, MaxTuples: 3})
+	if err != nil || !found {
+		t.Fatalf("Counterexample: %v %v", found, err)
+	}
+	ok, _, err := ce.SatisfiesAll(sigma)
+	if err != nil || !ok {
+		t.Errorf("counterexample violates sigma")
+	}
+}
+
+func TestNoCounterexampleForTheorem44(t *testing.T) {
+	// Theorem 4.4: only infinite counterexamples exist, so the bounded
+	// search comes up empty.
+	db := rab()
+	sigma := []deps.Dependency{
+		deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("B")),
+	}
+	goal := deps.NewIND("R", deps.Attrs("B"), "R", deps.Attrs("A"))
+	_, found, err := Counterexample(db, sigma, goal, Options{Domain: 3, MaxTuples: 3, RandomTrials: 200})
+	if err != nil {
+		t.Fatalf("Counterexample: %v", err)
+	}
+	if found {
+		t.Errorf("found a finite counterexample, contradicting Theorem 4.4")
+	}
+}
+
+func TestRandomPhase(t *testing.T) {
+	// Make the exhaustive phase infeasible (wide scheme) and rely on the
+	// random phase.
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C", "D", "E"))
+	goal := deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))
+	_, found, err := Counterexample(db, nil, goal, Options{
+		Domain: 2, MaxTuples: 4, RandomTrials: 500, MaxExhaustive: 1,
+	})
+	if err != nil {
+		t.Fatalf("Counterexample: %v", err)
+	}
+	if !found {
+		t.Errorf("random search should stumble on a violation of A -> B")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	db := rab()
+	if _, _, err := Counterexample(db, nil, deps.NewFD("NOPE", deps.Attrs("A"), deps.Attrs("B")), Options{}); err == nil {
+		t.Errorf("invalid goal should error")
+	}
+	bad := []deps.Dependency{deps.NewFD("NOPE", deps.Attrs("A"), deps.Attrs("B"))}
+	if _, _, err := Counterexample(db, bad, deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")), Options{}); err == nil {
+		t.Errorf("invalid sigma should error")
+	}
+}
+
+func TestTrivialGoalHasNoCounterexample(t *testing.T) {
+	db := rab()
+	goal := deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("A"))
+	_, found, err := Counterexample(db, nil, goal, Options{Domain: 2, MaxTuples: 2, RandomTrials: 50})
+	if err != nil || found {
+		t.Errorf("trivial goal cannot have a counterexample: %v %v", found, err)
+	}
+}

@@ -1,0 +1,42 @@
+package td_test
+
+import (
+	"fmt"
+
+	"indfd/internal/emvd"
+	"indfd/internal/td"
+)
+
+// EMVDs embed into template dependencies; the TD chase re-proves the
+// Sagiv–Walecka implication of Theorem 5.3.
+func ExampleImplies() {
+	f, err := emvd.SagivWalecka(2)
+	if err != nil {
+		panic(err)
+	}
+	var sigma []td.TD
+	for _, e := range f.Sigma {
+		t, err := td.FromEMVD(f.DB, e)
+		if err != nil {
+			panic(err)
+		}
+		sigma = append(sigma, t)
+	}
+	goal, _ := td.FromEMVD(f.DB, f.Goal)
+	res, err := td.Implies(f.DB, sigma, goal, td.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Verdict)
+	// Output: implied
+}
+
+// The row syntax of a template dependency.
+func ExampleNew() {
+	t := td.New("R",
+		[][]string{{"x", "y1", "z1"}, {"x", "y2", "z2"}},
+		[]string{"x", "y1", "z2"},
+	)
+	fmt.Println(t)
+	// Output: R: (x,y1,z1) (x,y2,z2) / (x,y1,z2)
+}

@@ -1,0 +1,448 @@
+// Package td implements template dependencies, the class Section 4 of the
+// paper contrasts with EMVDs: "for no k does there exist a k-ary complete
+// axiomatization for embedded multivalued dependencies [SW]. However, the
+// larger class of template dependencies has a 2-ary complete
+// axiomatization [BV2, SU]." A template dependency (TD) over a relation
+// scheme consists of hypothesis rows and one conclusion row, all filled
+// with variables: a relation satisfies the TD when every embedding of the
+// hypothesis rows extends to an embedding of the conclusion row
+// (variables appearing only in the conclusion are existential).
+//
+// The package provides satisfaction checking, the standard (budgeted) TD
+// chase for implication, and the embedding of EMVDs into TDs, which the
+// tests cross-validate against the emvd package.
+package td
+
+import (
+	"fmt"
+	"strings"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// TD is a template dependency over a single relation scheme. Rows are
+// sequences of variable names of the scheme's width.
+type TD struct {
+	Rel        string
+	Hypotheses [][]string
+	Conclusion []string
+}
+
+// New builds a TD.
+func New(rel string, hypotheses [][]string, conclusion []string) TD {
+	hs := make([][]string, len(hypotheses))
+	for i, h := range hypotheses {
+		hs[i] = append([]string(nil), h...)
+	}
+	return TD{Rel: rel, Hypotheses: hs, Conclusion: append([]string(nil), conclusion...)}
+}
+
+// Validate checks the TD against the database scheme: rows have the
+// scheme's width and at least one hypothesis exists.
+func (t TD) Validate(db *schema.Database) error {
+	s, ok := db.Scheme(t.Rel)
+	if !ok {
+		return fmt.Errorf("td: unknown relation %s", t.Rel)
+	}
+	if len(t.Hypotheses) == 0 {
+		return fmt.Errorf("td: %s needs at least one hypothesis row", t.Rel)
+	}
+	for _, h := range t.Hypotheses {
+		if len(h) != s.Width() {
+			return fmt.Errorf("td: hypothesis row %v has width %d, scheme has %d", h, len(h), s.Width())
+		}
+	}
+	if len(t.Conclusion) != s.Width() {
+		return fmt.Errorf("td: conclusion row %v has width %d, scheme has %d", t.Conclusion, len(t.Conclusion), s.Width())
+	}
+	return nil
+}
+
+// String renders the TD.
+func (t TD) String() string {
+	var b strings.Builder
+	b.WriteString(t.Rel)
+	b.WriteString(": ")
+	rows := make([]string, len(t.Hypotheses))
+	for i, h := range t.Hypotheses {
+		rows[i] = "(" + strings.Join(h, ",") + ")"
+	}
+	b.WriteString(strings.Join(rows, " "))
+	b.WriteString(" / (")
+	b.WriteString(strings.Join(t.Conclusion, ","))
+	b.WriteString(")")
+	return b.String()
+}
+
+// hypVars returns the set of variables occurring in the hypotheses.
+func (t TD) hypVars() map[string]bool {
+	out := map[string]bool{}
+	for _, h := range t.Hypotheses {
+		for _, v := range h {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// Satisfies reports whether the database's relation obeys the TD: every
+// valuation embedding all hypothesis rows extends to the conclusion.
+func Satisfies(db *data.Database, t TD) (bool, error) {
+	if err := t.Validate(db.Scheme()); err != nil {
+		return false, err
+	}
+	rel, _ := db.Relation(t.Rel)
+	tuples := rel.Tuples()
+	// Enumerate valuations by assigning each hypothesis row to a tuple.
+	assign := map[string]data.Value{}
+	var rec func(row int) (bool, error)
+	rec = func(row int) (bool, error) {
+		if row == len(t.Hypotheses) {
+			ok := conclusionWitness(tuples, t.Conclusion, assign)
+			return ok, nil
+		}
+	next:
+		for _, tu := range tuples {
+			// Try to unify hypothesis row `row` with tuple tu.
+			var bound []string
+			for i, v := range t.Hypotheses[row] {
+				if old, ok := assign[v]; ok {
+					if old != tu[i] {
+						for _, b := range bound {
+							delete(assign, b)
+						}
+						bound = nil
+						continue next
+					}
+				} else {
+					assign[v] = tu[i]
+					bound = append(bound, v)
+				}
+			}
+			ok, err := rec(row + 1)
+			for _, b := range bound {
+				delete(assign, b)
+			}
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	return rec(0)
+}
+
+// conclusionWitness reports whether some tuple matches the conclusion row
+// under the (partial) valuation: bound variables must match exactly;
+// unbound variables bind greedily but must stay consistent within the
+// conclusion.
+func conclusionWitness(tuples []data.Tuple, conclusion []string, assign map[string]data.Value) bool {
+	for _, tu := range tuples {
+		local := map[string]data.Value{}
+		ok := true
+		for i, v := range conclusion {
+			want, bound := assign[v]
+			if bound {
+				if tu[i] != want {
+					ok = false
+					break
+				}
+				continue
+			}
+			if prev, seen := local[v]; seen {
+				if tu[i] != prev {
+					ok = false
+					break
+				}
+				continue
+			}
+			local[v] = tu[i]
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// FromEMVD embeds the EMVD X ->> Y | Z over its scheme as a TD with two
+// hypothesis rows and one conclusion row — the definition of EMVD
+// satisfaction, verbatim.
+func FromEMVD(db *schema.Database, e deps.EMVD) (TD, error) {
+	if err := e.Validate(db); err != nil {
+		return TD{}, err
+	}
+	s, _ := db.Scheme(e.Rel)
+	class := func(a schema.Attribute) string {
+		for _, x := range e.X {
+			if x == a {
+				return "x"
+			}
+		}
+		for _, y := range e.Y {
+			if y == a {
+				return "y"
+			}
+		}
+		for _, z := range e.Z {
+			if z == a {
+				return "z"
+			}
+		}
+		return "w"
+	}
+	w := s.Width()
+	h1 := make([]string, w)
+	h2 := make([]string, w)
+	con := make([]string, w)
+	for i, a := range s.Attrs() {
+		name := fmt.Sprintf("%s%d", class(a), i)
+		switch class(a) {
+		case "x":
+			h1[i], h2[i], con[i] = name, name, name
+		case "y":
+			h1[i], h2[i], con[i] = name+"_1", name+"_2", name+"_1"
+		case "z":
+			h1[i], h2[i], con[i] = name+"_1", name+"_2", name+"_2"
+		default: // attributes outside X ∪ Y ∪ Z are unconstrained
+			h1[i], h2[i], con[i] = name+"_1", name+"_2", name+"_3"
+		}
+	}
+	return New(e.Rel, [][]string{h1, h2}, con), nil
+}
+
+// Verdict is a three-valued chase outcome.
+type Verdict int
+
+const (
+	// Unknown means the budget was exhausted.
+	Unknown Verdict = iota
+	// Implied means sigma ⊨ goal.
+	Implied
+	// NotImplied means a finite counterexample was found.
+	NotImplied
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Implied:
+		return "implied"
+	case NotImplied:
+		return "not implied"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures the chase.
+type Options struct {
+	// MaxTuples bounds the tableau; zero means 2048.
+	MaxTuples int
+}
+
+// Result is the chase outcome.
+type Result struct {
+	Verdict        Verdict
+	Counterexample *data.Database
+	Rounds         int
+}
+
+// Implies tests sigma ⊨ goal for TDs over the same relation by the
+// standard TD chase: start with the goal's hypothesis rows as tuples of
+// distinct labeled nulls, fire the TDs of sigma until the goal's
+// conclusion row is matched, a fixpoint is reached (counterexample), or
+// the budget runs out.
+func Implies(db *schema.Database, sigma []TD, goal TD, opt Options) (Result, error) {
+	if err := goal.Validate(db); err != nil {
+		return Result{}, err
+	}
+	for _, t := range sigma {
+		if err := t.Validate(db); err != nil {
+			return Result{}, err
+		}
+		if t.Rel != goal.Rel {
+			return Result{}, fmt.Errorf("td: sigma member over %s, goal over %s", t.Rel, goal.Rel)
+		}
+	}
+	max := opt.MaxTuples
+	if max <= 0 {
+		max = 2048
+	}
+	s, _ := db.Scheme(goal.Rel)
+	w := s.Width()
+
+	next := 0
+	fresh := func() int { next++; return next - 1 }
+	// Seed: goal hypotheses with one null per distinct variable.
+	varID := map[string]int{}
+	id := func(v string) int {
+		if i, ok := varID[v]; ok {
+			return i
+		}
+		i := fresh()
+		varID[v] = i
+		return i
+	}
+	var tableau [][]int
+	keys := map[string]bool{}
+	add := func(row []int) bool {
+		k := rowKey(row)
+		if keys[k] {
+			return false
+		}
+		keys[k] = true
+		tableau = append(tableau, row)
+		return true
+	}
+	for _, h := range goal.Hypotheses {
+		row := make([]int, w)
+		for i, v := range h {
+			row[i] = id(v)
+		}
+		add(row)
+	}
+	goalAssign := map[string]int{}
+	for v, i := range varID {
+		goalAssign[v] = i
+	}
+
+	derived := func() bool {
+		return intWitness(tableau, goal.Conclusion, goalAssign)
+	}
+
+	res := Result{}
+	for {
+		res.Rounds++
+		if derived() {
+			res.Verdict = Implied
+			return res, nil
+		}
+		changed := false
+		for _, t := range sigma {
+			snapshot := len(tableau)
+			assign := map[string]int{}
+			var rec func(row int) bool // returns false to abort on budget
+			rec = func(row int) bool {
+				if row == len(t.Hypotheses) {
+					if intWitness(tableau[:snapshot], t.Conclusion, assign) {
+						return true
+					}
+					if len(tableau) >= max {
+						return false
+					}
+					out := make([]int, w)
+					local := map[string]int{}
+					for i, v := range t.Conclusion {
+						if b, ok := assign[v]; ok {
+							out[i] = b
+						} else if b, ok := local[v]; ok {
+							out[i] = b
+						} else {
+							local[v] = fresh()
+							out[i] = local[v]
+						}
+					}
+					if add(out) {
+						changed = true
+					}
+					return true
+				}
+			next:
+				for ti := 0; ti < snapshot; ti++ {
+					tu := tableau[ti]
+					var bound []string
+					for i, v := range t.Hypotheses[row] {
+						if old, ok := assign[v]; ok {
+							if old != tu[i] {
+								for _, b := range bound {
+									delete(assign, b)
+								}
+								bound = nil
+								continue next
+							}
+						} else {
+							assign[v] = tu[i]
+							bound = append(bound, v)
+						}
+					}
+					ok := rec(row + 1)
+					for _, b := range bound {
+						delete(assign, b)
+					}
+					if !ok {
+						return false
+					}
+				}
+				return true
+			}
+			if !rec(0) {
+				res.Verdict = Unknown
+				return res, nil
+			}
+		}
+		if !changed {
+			if derived() {
+				res.Verdict = Implied
+				return res, nil
+			}
+			res.Verdict = NotImplied
+			res.Counterexample = export(db, goal.Rel, tableau)
+			return res, nil
+		}
+	}
+}
+
+// intWitness is conclusionWitness over int-valued tableaus.
+func intWitness(tableau [][]int, conclusion []string, assign map[string]int) bool {
+	for _, tu := range tableau {
+		local := map[string]int{}
+		ok := true
+		for i, v := range conclusion {
+			if want, bound := assign[v]; bound {
+				if tu[i] != want {
+					ok = false
+					break
+				}
+				continue
+			}
+			if prev, seen := local[v]; seen {
+				if tu[i] != prev {
+					ok = false
+					break
+				}
+				continue
+			}
+			local[v] = tu[i]
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func rowKey(t []int) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func export(db *schema.Database, rel string, tableau [][]int) *data.Database {
+	out := data.NewDatabase(db)
+	for _, t := range tableau {
+		row := make(data.Tuple, len(t))
+		for i, v := range t {
+			row[i] = data.Value(fmt.Sprintf("v%d", v))
+		}
+		out.MustRelation(rel).MustInsert(row)
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package td
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/emvd"
+	"indfd/internal/schema"
+)
+
+func xyzDB() *schema.Database {
+	return schema.MustDatabase(schema.MustScheme("R", "X", "Y", "Z"))
+}
+
+func TestValidate(t *testing.T) {
+	db := xyzDB()
+	good := New("R", [][]string{{"x", "y", "z"}}, []string{"x", "y", "z"})
+	if err := good.Validate(db); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	bad := []TD{
+		New("NOPE", [][]string{{"x", "y", "z"}}, []string{"x", "y", "z"}),
+		New("R", nil, []string{"x", "y", "z"}),
+		New("R", [][]string{{"x", "y"}}, []string{"x", "y", "z"}),
+		New("R", [][]string{{"x", "y", "z"}}, []string{"x", "y"}),
+	}
+	for _, td := range bad {
+		if err := td.Validate(db); err == nil {
+			t.Errorf("expected error for %v", td)
+		}
+	}
+	if good.String() == "" {
+		t.Errorf("empty rendering")
+	}
+}
+
+func TestSatisfiesBasic(t *testing.T) {
+	db := xyzDB()
+	d := data.NewDatabase(db)
+	// The EMVD-shaped TD: rows (x,y1,z1),(x,y2,z2) require (x,y1,z2).
+	td := New("R",
+		[][]string{{"x", "y1", "z1"}, {"x", "y2", "z2"}},
+		[]string{"x", "y1", "z2"},
+	)
+	d.MustInsert("R", data.Tuple{"a", "b", "c"}, data.Tuple{"a", "e", "f"})
+	ok, err := Satisfies(d, td)
+	if err != nil {
+		t.Fatalf("Satisfies: %v", err)
+	}
+	if ok {
+		t.Errorf("missing witness should fail")
+	}
+	d.MustInsert("R", data.Tuple{"a", "b", "f"}, data.Tuple{"a", "e", "c"})
+	ok, _ = Satisfies(d, td)
+	if !ok {
+		t.Errorf("with witnesses the TD should hold")
+	}
+}
+
+func TestSatisfiesExistentialConclusion(t *testing.T) {
+	db := xyzDB()
+	d := data.NewDatabase(db)
+	// Conclusion variable w appears nowhere in the hypotheses: any Z value
+	// witnesses.
+	td := New("R",
+		[][]string{{"x", "y", "z1"}},
+		[]string{"x", "y", "w"},
+	)
+	d.MustInsert("R", data.Tuple{"a", "b", "c"})
+	ok, err := Satisfies(d, td)
+	if err != nil || !ok {
+		t.Errorf("existential conclusion should hold: %v %v", ok, err)
+	}
+	// A repeated existential variable must take one consistent value.
+	td2 := New("R",
+		[][]string{{"x", "y", "z1"}},
+		[]string{"w", "w", "z1"},
+	)
+	ok, _ = Satisfies(d, td2)
+	if ok {
+		t.Errorf("(w,w,c) requires a tuple with equal first two columns")
+	}
+	d.MustInsert("R", data.Tuple{"q", "q", "c"})
+	ok, _ = Satisfies(d, td2)
+	if !ok {
+		t.Errorf("(q,q,c) should witness the repeated variable")
+	}
+}
+
+// Property: the TD embedding of an EMVD agrees with native EMVD
+// satisfaction on random relations.
+func TestFromEMVDAgreesWithSatisfaction(t *testing.T) {
+	ds := schema.MustDatabase(schema.MustScheme("R", "X", "Y", "Z", "W"))
+	cands := []deps.EMVD{
+		deps.NewEMVD("R", deps.Attrs("X"), deps.Attrs("Y"), deps.Attrs("Z")),
+		deps.NewEMVD("R", deps.Attrs("X"), deps.Attrs("Y"), deps.Attrs("Z", "W")),
+		deps.NewEMVD("R", nil, deps.Attrs("X"), deps.Attrs("Y")),
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := data.NewDatabase(ds)
+		for i := 0; i < r.Intn(5); i++ {
+			d.MustInsert("R", data.Tuple{
+				data.Int(r.Intn(2)), data.Int(r.Intn(2)), data.Int(r.Intn(2)), data.Int(r.Intn(2)),
+			})
+		}
+		for _, e := range cands {
+			td, err := FromEMVD(ds, e)
+			if err != nil {
+				return false
+			}
+			got, err := Satisfies(d, td)
+			if err != nil {
+				return false
+			}
+			want, err := d.Satisfies(e)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The Sagiv–Walecka family through the TD embedding: the TD chase reaches
+// the same conclusion as the EMVD chase.
+func TestImpliesMatchesEMVDChaseOnSagivWalecka(t *testing.T) {
+	f, err := emvd.SagivWalecka(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sigma []TD
+	for _, e := range f.Sigma {
+		td, err := FromEMVD(f.DB, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma = append(sigma, td)
+	}
+	goal, err := FromEMVD(f.DB, f.Goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Implies(f.DB, sigma, goal, Options{})
+	if err != nil {
+		t.Fatalf("Implies: %v", err)
+	}
+	if res.Verdict != Implied {
+		t.Errorf("TD chase verdict %v, want implied (matches the EMVD chase)", res.Verdict)
+	}
+	// A single member does not imply the goal; the chase terminates with a
+	// counterexample relation that the native checkers confirm.
+	res, err = Implies(f.DB, sigma[:1], goal, Options{MaxTuples: 256})
+	if err != nil {
+		t.Fatalf("Implies: %v", err)
+	}
+	if res.Verdict == Implied {
+		t.Errorf("single member should not imply the goal")
+	}
+	if res.Verdict == NotImplied {
+		ok, err := Satisfies(res.Counterexample, sigma[0])
+		if err != nil || !ok {
+			t.Errorf("counterexample violates sigma[0]: %v %v", ok, err)
+		}
+		ok, err = Satisfies(res.Counterexample, goal)
+		if err != nil || ok {
+			t.Errorf("counterexample satisfies the goal: %v %v", ok, err)
+		}
+	}
+}
+
+func TestImpliesTrivialAndErrors(t *testing.T) {
+	db := xyzDB()
+	td := New("R", [][]string{{"x", "y", "z"}}, []string{"x", "y", "z"})
+	res, err := Implies(db, nil, td, Options{})
+	if err != nil {
+		t.Fatalf("Implies: %v", err)
+	}
+	if res.Verdict != Implied {
+		t.Errorf("a TD whose conclusion is a hypothesis row is trivially implied")
+	}
+	other := schema.MustDatabase(schema.MustScheme("S", "X", "Y", "Z"))
+	_ = other
+	cross := New("S", [][]string{{"x", "y", "z"}}, []string{"x", "y", "z"})
+	if _, err := Implies(db, []TD{cross}, td, Options{}); err == nil {
+		t.Errorf("sigma over a different relation should be rejected")
+	}
+	if _, err := Implies(db, nil, New("NOPE", [][]string{{"x"}}, []string{"x"}), Options{}); err == nil {
+		t.Errorf("invalid goal should be rejected")
+	}
+}
+
+func TestImpliesBudget(t *testing.T) {
+	f, _ := emvd.SagivWalecka(3)
+	var sigma []TD
+	for _, e := range f.Sigma {
+		td, _ := FromEMVD(f.DB, e)
+		sigma = append(sigma, td)
+	}
+	goal, _ := FromEMVD(f.DB, f.Goal)
+	res, err := Implies(f.DB, sigma, goal, Options{MaxTuples: 3})
+	if err != nil {
+		t.Fatalf("Implies: %v", err)
+	}
+	if res.Verdict == NotImplied {
+		t.Errorf("tiny budget must not fabricate a NotImplied verdict")
+	}
+}

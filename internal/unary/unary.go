@@ -1,0 +1,321 @@
+// Package unary decides implication for sets of FDs (of any shape) and
+// UNARY INDs — the setting of Theorem 4.4 and of the whole Section 6
+// construction, and exactly the fragment for which Kanellakis, Cosmadakis
+// and Vardi [KCV] (cited in Sections 3, 6 and 7 of the paper) gave
+// complete axiomatizations: a binary one for unrestricted implication and
+// a non-k-ary one (the cycle rule) for finite implication.
+//
+// For unrestricted implication, FDs and unary INDs do not interact:
+// implication is decided by the two independent transitive closures
+// (Kanellakis, Cosmadakis and Vardi [KCV] give a binary complete
+// axiomatization, cited at the end of Section 7).
+//
+// For finite implication the two classes interact through a counting
+// argument (the proofs of Theorem 4.4 and Theorem 6.1): an FD A -> B
+// forces |r[B]| ≤ |r[A]| and an IND R[A] ⊆ S[B] forces |r[A]| ≤ |s[B]|;
+// around any cycle of such inequalities all cardinalities are equal, which
+// over a FINITE database reverses every IND (inclusion of equal finite
+// cardinality is equality) and every FD (a surjection between finite sets
+// of equal cardinality is a bijection) on the cycle. Iterating this cycle
+// rule together with the transitive closures is the [KCV] complete
+// axiomatization for finite implication of unary FDs and INDs, which the
+// paper notes is not k-ary for any k.
+package unary
+
+import (
+	"fmt"
+	"sort"
+
+	"indfd/internal/deps"
+	"indfd/internal/fd"
+	"indfd/internal/schema"
+)
+
+// Column identifies one column of the database scheme: a relation name
+// plus one of its attributes.
+type Column struct {
+	Rel  string
+	Attr schema.Attribute
+}
+
+// String renders the column as R.A.
+func (c Column) String() string { return c.Rel + "." + string(c.Attr) }
+
+// System holds a set of unary FDs and INDs over a database scheme and
+// answers implication queries. Create one with New; a System is immutable
+// afterwards and safe for concurrent use.
+type System struct {
+	db *schema.Database
+	// declared FDs (any shape) and the unary IND edges
+	fds []deps.FD
+	ind map[Column]map[Column]bool // R[A] ⊆ S[B]
+	// base unary FD edges derived from fds via attribute-set closure
+	fd map[Column]map[Column]bool
+	// finite closure (computed eagerly by New): fdsFin extends fds with
+	// the reversed unary FDs the cycle rule derives; the edge maps are
+	// the resulting unary reachability relations.
+	fdsFin []deps.FD
+	fdFin  map[Column]map[Column]bool
+	indFin map[Column]map[Column]bool
+}
+
+// New builds a System from sigma, which may contain FDs of any shape and
+// unary INDs.
+func New(db *schema.Database, sigma []deps.Dependency) (*System, error) {
+	s := &System{
+		db:  db,
+		ind: map[Column]map[Column]bool{},
+	}
+	for _, d := range sigma {
+		if err := d.Validate(db); err != nil {
+			return nil, err
+		}
+		switch dd := d.(type) {
+		case deps.FD:
+			s.fds = append(s.fds, dd)
+		case deps.IND:
+			if dd.Width() != 1 {
+				return nil, fmt.Errorf("unary: IND %v is not unary", dd)
+			}
+			addEdge(s.ind, Column{dd.LRel, dd.X[0]}, Column{dd.RRel, dd.Y[0]})
+		default:
+			return nil, fmt.Errorf("unary: sigma may contain only FDs and INDs, got %v", d.Kind())
+		}
+	}
+	s.fd = unaryFDEdges(db, s.fds)
+	s.fdsFin, s.fdFin, s.indFin = s.finiteClosure()
+	return s, nil
+}
+
+// unaryFDEdges computes the unary FD edge relation induced by a general
+// FD set: an edge A -> B within a relation whenever the FDs imply the
+// unary FD A -> B (membership in the attribute-set closure of {A}).
+func unaryFDEdges(db *schema.Database, fds []deps.FD) map[Column]map[Column]bool {
+	out := map[Column]map[Column]bool{}
+	for _, name := range db.Names() {
+		sch, _ := db.Scheme(name)
+		for _, a := range sch.Attrs() {
+			for _, b := range fd.Closure(name, []schema.Attribute{a}, fds) {
+				if b != a {
+					addEdge(out, Column{name, a}, Column{name, b})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func addEdge(g map[Column]map[Column]bool, from, to Column) {
+	if g[from] == nil {
+		g[from] = map[Column]bool{}
+	}
+	g[from][to] = true
+}
+
+func copyGraph(g map[Column]map[Column]bool) map[Column]map[Column]bool {
+	out := make(map[Column]map[Column]bool, len(g))
+	for u, m := range g {
+		out[u] = make(map[Column]bool, len(m))
+		for v := range m {
+			out[u][v] = true
+		}
+	}
+	return out
+}
+
+// columns returns every column of the database scheme.
+func (s *System) columns() []Column {
+	var out []Column
+	for _, name := range s.db.Names() {
+		sch, _ := s.db.Scheme(name)
+		for _, a := range sch.Attrs() {
+			out = append(out, Column{name, a})
+		}
+	}
+	return out
+}
+
+// reach computes the reflexive-transitive closure of g restricted to the
+// given node set.
+func reach(g map[Column]map[Column]bool, nodes []Column) map[Column]map[Column]bool {
+	out := map[Column]map[Column]bool{}
+	for _, start := range nodes {
+		seen := map[Column]bool{start: true}
+		queue := []Column{start}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := range g[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		out[start] = seen
+	}
+	return out
+}
+
+// finiteClosure iterates the cycle rule to a fixpoint over the FD set
+// (reversed unary FDs join the set and feed the Armstrong closure) and
+// the unary IND edges, returning the closed FD set and the unary
+// reachability relations (reflexive edges omitted; triviality is handled
+// at query time).
+func (s *System) finiteClosure() (fdsC []deps.FD, fdC, indC map[Column]map[Column]bool) {
+	nodes := s.columns()
+	fdsC = append([]deps.FD(nil), s.fds...)
+	indC = copyGraph(s.ind)
+	for {
+		fdR := unaryFDEdges(s.db, fdsC) // fdR[u][v]: the FDs imply u -> v
+		indR := reach(indC, nodes)      // indR[u][v]: u ⊆* v
+		// Cardinality graph: le[u][v] iff |u| ≤ |v| is forced.
+		le := map[Column]map[Column]bool{}
+		for u, m := range fdR {
+			for v := range m {
+				addEdge(le, v, u) // u -> v forces |v| ≤ |u|
+			}
+		}
+		for u, m := range indR {
+			for v := range m {
+				addEdge(le, u, v) // u ⊆ v forces |u| ≤ |v|
+			}
+		}
+		leR := reach(le, nodes)
+		sameSCC := func(u, v Column) bool { return leR[u][v] && leR[v][u] }
+		changed := false
+		// Reverse every derived unary FD and IND whose endpoints have
+		// equal forced cardinality.
+		for u, m := range fdR {
+			for v := range m {
+				if u != v && sameSCC(u, v) && !fdR[v][u] {
+					fdsC = append(fdsC, deps.NewFD(v.Rel, []schema.Attribute{v.Attr}, []schema.Attribute{u.Attr}))
+					changed = true
+				}
+			}
+		}
+		for u, m := range indR {
+			for v := range m {
+				if u != v && sameSCC(u, v) && !indR[v][u] {
+					addEdge(indC, v, u)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			indOut := map[Column]map[Column]bool{}
+			for u, m := range indR {
+				for v := range m {
+					if u != v {
+						addEdge(indOut, u, v)
+					}
+				}
+			}
+			return fdsC, fdR, indOut
+		}
+	}
+}
+
+// goalColumns validates a unary goal and extracts its columns.
+func goalColumns(db *schema.Database, goal deps.Dependency) (from, to Column, isFD bool, err error) {
+	if err := goal.Validate(db); err != nil {
+		return Column{}, Column{}, false, err
+	}
+	switch g := goal.(type) {
+	case deps.FD:
+		if len(g.X) != 1 || len(g.Y) != 1 {
+			return Column{}, Column{}, false, fmt.Errorf("unary: goal FD %v is not unary", g)
+		}
+		return Column{g.Rel, g.X[0]}, Column{g.Rel, g.Y[0]}, true, nil
+	case deps.IND:
+		if g.Width() != 1 {
+			return Column{}, Column{}, false, fmt.Errorf("unary: goal IND %v is not unary", g)
+		}
+		return Column{g.LRel, g.X[0]}, Column{g.RRel, g.Y[0]}, false, nil
+	default:
+		return Column{}, Column{}, false, fmt.Errorf("unary: goal must be a unary FD or IND, got %v", goal.Kind())
+	}
+}
+
+// ImpliesFinite reports whether sigma finitely implies the goal (an FD of
+// any shape, or a unary IND): whether every FINITE database satisfying
+// sigma satisfies goal.
+func (s *System) ImpliesFinite(goal deps.Dependency) (bool, error) {
+	// FD goals of any shape go through the closed FD set.
+	if g, ok := goal.(deps.FD); ok && (len(g.X) != 1 || len(g.Y) != 1) {
+		if err := g.Validate(s.db); err != nil {
+			return false, err
+		}
+		return fd.Implies(s.fdsFin, g), nil
+	}
+	from, to, isFD, err := goalColumns(s.db, goal)
+	if err != nil {
+		return false, err
+	}
+	if from == to {
+		return true, nil
+	}
+	if isFD {
+		return s.fdFin[from][to], nil
+	}
+	return s.indFin[from][to], nil
+}
+
+// ImpliesUnrestricted reports whether sigma implies the goal over all
+// (possibly infinite) databases: Armstrong closure for FDs and transitive
+// closure for the unary INDs, with no interaction ([KCV]'s binary
+// complete axiomatization for this fragment has no mixed rules).
+func (s *System) ImpliesUnrestricted(goal deps.Dependency) (bool, error) {
+	if g, ok := goal.(deps.FD); ok {
+		if err := g.Validate(s.db); err != nil {
+			return false, err
+		}
+		return fd.Implies(s.fds, g), nil
+	}
+	from, to, isFD, err := goalColumns(s.db, goal)
+	if err != nil {
+		return false, err
+	}
+	if from == to {
+		return true, nil
+	}
+	nodes := s.columns()
+	if isFD {
+		return reach(s.fd, nodes)[from][to], nil
+	}
+	return reach(s.ind, nodes)[from][to], nil
+}
+
+// FiniteGap returns the nontrivial unary FDs and INDs that are finitely
+// implied but not unrestrictedly implied — the phenomenon of Theorem 4.4.
+// Results are sorted for determinism.
+func (s *System) FiniteGap() []deps.Dependency {
+	var out []deps.Dependency
+	for _, goal := range s.AllFiniteConsequences() {
+		ok, err := s.ImpliesUnrestricted(goal)
+		if err == nil && !ok {
+			out = append(out, goal)
+		}
+	}
+	return out
+}
+
+// AllFiniteConsequences enumerates every nontrivial UNARY FD and IND over
+// the scheme that sigma finitely implies, sorted for determinism. (When
+// sigma contains composite FDs, their composite consequences are decided
+// by ImpliesFinite but not enumerated here.)
+func (s *System) AllFiniteConsequences() []deps.Dependency {
+	var out []deps.Dependency
+	for u, m := range s.fdFin {
+		for v := range m {
+			out = append(out, deps.NewFD(u.Rel, []schema.Attribute{u.Attr}, []schema.Attribute{v.Attr}))
+		}
+	}
+	for u, m := range s.indFin {
+		for v := range m {
+			out = append(out, deps.NewIND(u.Rel, []schema.Attribute{u.Attr}, v.Rel, []schema.Attribute{v.Attr}))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
