@@ -1,0 +1,28 @@
+# Development targets. `make check` is the gate every change must pass:
+# build, vet, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build vet test race bench benchjson
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Machine-readable per-engine counters from the reference workloads
+# (see bench_test.go): writes BENCH_engines.json.
+benchjson:
+	$(GO) test -run TestMain -bench BenchmarkChaseObs -benchjson BENCH_engines.json .

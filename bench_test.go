@@ -6,8 +6,10 @@
 package indfd
 
 import (
+	"flag"
 	"fmt"
 	"math/big"
+	"os"
 	"testing"
 
 	"indfd/internal/chase"
@@ -23,6 +25,7 @@ import (
 	"indfd/internal/lint"
 	"indfd/internal/maintain"
 	"indfd/internal/mvd"
+	"indfd/internal/obs"
 	"indfd/internal/perm"
 	"indfd/internal/rules"
 	"indfd/internal/schema"
@@ -578,4 +581,161 @@ func BenchmarkINDDecisionSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- machine-readable export and instrumentation-overhead guard -------------
+
+// benchJSON is the -benchjson flag: after the tests/benchmarks of this
+// package run, TestMain executes one representative instrumented workload
+// per engine (IND decision, FD proof, unary closure, FD+IND chase,
+// counterexample search, maintenance) into a single obs registry and
+// writes its snapshot — counters, gauges, histograms, span trees — to the
+// named file (conventionally BENCH_engines.json):
+//
+//	go test -bench . -benchjson BENCH_engines.json
+var benchJSON = flag.String("benchjson", "", "write per-engine obs counters to `file` after the run")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	code := m.Run()
+	if code == 0 && *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// writeBenchJSON runs the per-engine reference workloads under one
+// registry and exports the snapshot.
+func writeBenchJSON(path string) error {
+	reg := obs.New()
+
+	// IND engine: the Theorem 3.3 reduction instance at n=3.
+	inst, err := lba.Reduce(lba.Eraser(), lba.Input("a", 3))
+	if err != nil {
+		return err
+	}
+	res, err := ind.Decide(inst.DB, inst.Sigma, inst.Goal)
+	if err != nil || !res.Implied {
+		return fmt.Errorf("ind workload wrong: %v %v", res.Implied, err)
+	}
+	res.Stats.Record(reg)
+
+	// FD engine: an 800-step chain proof.
+	sigma800 := fdChain(800)
+	goal800 := deps.NewFD("R", deps.Attrs("A0"), deps.Attrs("A799"))
+	if _, ok := fd.ProveObs(sigma800, goal800, reg); !ok {
+		return fmt.Errorf("fd workload wrong")
+	}
+
+	// Unary engine: the Fig 4.1 finite-implication instance.
+	u := counterex.Fig41()
+	usys, err := unary.NewObs(u.DB, u.Sigma, reg)
+	if err != nil {
+		return err
+	}
+	if ok, err := usys.ImpliesFinite(u.Goal); err != nil || !ok {
+		return fmt.Errorf("unary workload wrong: %v %v", ok, err)
+	}
+
+	// Chase engine: Proposition 4.1 and the Lemma 7.2 derivation at n=4.
+	db41 := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma41 := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	cres, err := chase.ImpliesFD(db41, sigma41,
+		deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), chase.Options{Obs: reg})
+	if err != nil || cres.Verdict != chase.Implied {
+		return fmt.Errorf("chase workload wrong: %v %v", cres.Verdict, err)
+	}
+	s7, err := counterex.NewSection7(4)
+	if err != nil {
+		return err
+	}
+	if lres, err := s7.Lemma72(chase.Options{Obs: reg}); err != nil || lres.Verdict != chase.Implied {
+		return fmt.Errorf("lemma 7.2 workload wrong: %v", err)
+	}
+
+	// Search engine: a small counterexample hunt.
+	sdb := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	if _, found, err := search.Counterexample(sdb,
+		[]deps.Dependency{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))},
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A")),
+		search.Options{Domain: 2, MaxTuples: 3, Obs: reg}); err != nil || !found {
+		return fmt.Errorf("search workload wrong: %v %v", found, err)
+	}
+
+	// Maintenance engine: 100 referentially-linked inserts.
+	mds := schema.MustDatabase(
+		schema.MustScheme("CUST", "CID", "NAME"),
+		schema.MustScheme("ORD", "OID", "CID"),
+	)
+	mon, err := maintain.NewMonitorObs(mds, []deps.Dependency{
+		deps.NewFD("CUST", deps.Attrs("CID"), deps.Attrs("NAME")),
+		deps.NewIND("ORD", deps.Attrs("CID"), "CUST", deps.Attrs("CID")),
+	}, reg)
+	if err != nil {
+		return err
+	}
+	for j := 0; j < 100; j++ {
+		cid := data.Value(fmt.Sprintf("c%d", j))
+		if err := mon.Insert("CUST", data.Tuple{cid, "n"}); err != nil {
+			return err
+		}
+		if err := mon.Insert("ORD", data.Tuple{data.Value(fmt.Sprintf("o%d", j)), cid}); err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// BenchmarkChaseObs compares the Proposition 4.1 chase with
+// instrumentation disabled (nil registry — the default for every caller
+// that doesn't opt in) and enabled. The disabled path must not allocate
+// beyond the uninstrumented chase: nil instruments are a predictable
+// branch, not an interface call.
+func BenchmarkChaseObs(b *testing.B) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	goal := deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y"))
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := chase.ImpliesFD(db, sigma, goal, chase.Options{})
+			if err != nil || res.Verdict != chase.Implied {
+				b.Fatal("chase wrong")
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		reg := obs.New()
+		for i := 0; i < b.N; i++ {
+			res, err := chase.ImpliesFD(db, sigma, goal, chase.Options{Obs: reg})
+			if err != nil || res.Verdict != chase.Implied {
+				b.Fatal("chase wrong")
+			}
+		}
+	})
 }

@@ -8,6 +8,12 @@
 // Usage:
 //
 //	depcheck -deps schema.dep -data ./csvdir [-repair ./fixed] [-advise]
+//	         [-stats] [-trace-json FILE] [-pprof ADDR]
+//
+// With -stats, a metrics and span report (lint.* check counters plus the
+// chase.* counters of any repair or advice chases) goes to stderr;
+// -trace-json FILE writes the span tree as JSON and -pprof ADDR serves
+// net/http/pprof.
 //
 // Exit status: 0 when the data satisfies every dependency, 3 when
 // violations were found, 1 on errors.
@@ -20,8 +26,10 @@ import (
 	"os"
 
 	"indfd/internal/chase"
+	"indfd/internal/cliutil"
 	"indfd/internal/data"
 	"indfd/internal/lint"
+	"indfd/internal/obs"
 	"indfd/internal/parser"
 )
 
@@ -31,9 +39,18 @@ func main() {
 	repairDir := flag.String("repair", "", "write a repaired copy of the data to this directory")
 	advise := flag.Bool("advise", false, "print design advice for the dependency set")
 	budget := flag.Int("budget", 1024, "chase tuple budget for repair and advice")
+	obsFlags := cliutil.Register(flag.CommandLine)
 	flag.Parse()
+	if err := obsFlags.StartPprof(); err != nil {
+		fmt.Fprintln(os.Stderr, "depcheck:", err)
+		os.Exit(1)
+	}
 
-	code, err := run(os.Stdout, *depsPath, *dataDir, *repairDir, *advise, *budget)
+	reg := obsFlags.Registry()
+	code, err := run(os.Stdout, *depsPath, *dataDir, *repairDir, *advise, *budget, reg)
+	if ferr := obsFlags.Finish(reg); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "depcheck:", err)
 		os.Exit(1)
@@ -41,7 +58,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(w io.Writer, depsPath, dataDir, repairDir string, advise bool, budget int) (int, error) {
+func run(w io.Writer, depsPath, dataDir, repairDir string, advise bool, budget int, reg *obs.Registry) (int, error) {
 	if depsPath == "" {
 		return 1, fmt.Errorf("-deps is required")
 	}
@@ -54,10 +71,14 @@ func run(w io.Writer, depsPath, dataDir, repairDir string, advise bool, budget i
 	if err != nil {
 		return 1, err
 	}
-	opt := chase.Options{MaxTuples: budget}
+	opt := chase.Options{MaxTuples: budget, Obs: reg}
 
 	if advise {
-		adv, err := lint.Advise(file.DB, file.Sigma, opt)
+		// Parent every candidate-probe chase under one advise span so the
+		// trace stays one tree rather than hundreds of roots.
+		aSp := reg.StartSpan("depcheck.advise")
+		adv, err := lint.Advise(file.DB, file.Sigma, chase.Options{MaxTuples: budget, Obs: reg, Span: aSp})
+		aSp.End()
 		if err != nil {
 			return 1, err
 		}
@@ -75,7 +96,7 @@ func run(w io.Writer, depsPath, dataDir, repairDir string, advise bool, budget i
 	if err != nil {
 		return 1, err
 	}
-	violations, err := lint.Check(db, file.Sigma)
+	violations, err := lint.CheckObs(db, file.Sigma, reg)
 	if err != nil {
 		return 1, err
 	}

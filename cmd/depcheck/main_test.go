@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"indfd/internal/obs"
 )
 
 const depFile = `
@@ -37,7 +39,7 @@ func setup(t *testing.T, custCSV, ordCSV string) (depPath, dataDir string) {
 func TestCleanData(t *testing.T) {
 	dep, dir := setup(t, "CID,NAME\nc1,ann\n", "OID,CID\no1,c1\n")
 	var out bytes.Buffer
-	code, err := run(&out, dep, dir, "", false, 0)
+	code, err := run(&out, dep, dir, "", false, 0, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -50,7 +52,7 @@ func TestViolationsAndRepair(t *testing.T) {
 	dep, dir := setup(t, "CID,NAME\nc1,ann\n", "OID,CID\no1,c1\no2,c9\n")
 	repairDir := filepath.Join(t.TempDir(), "fixed")
 	var out bytes.Buffer
-	code, err := run(&out, dep, dir, repairDir, false, 0)
+	code, err := run(&out, dep, dir, repairDir, false, 0, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -62,7 +64,7 @@ func TestViolationsAndRepair(t *testing.T) {
 	}
 	// The repaired data passes a second check.
 	var out2 bytes.Buffer
-	code, err = run(&out2, dep, repairDir, "", false, 0)
+	code, err = run(&out2, dep, repairDir, "", false, 0, nil)
 	if err != nil {
 		t.Fatalf("re-check: %v", err)
 	}
@@ -74,7 +76,7 @@ func TestViolationsAndRepair(t *testing.T) {
 func TestAdvise(t *testing.T) {
 	dep, _ := setup(t, "CID,NAME\n", "OID,CID\n")
 	var out bytes.Buffer
-	code, err := run(&out, dep, "", "", true, 256)
+	code, err := run(&out, dep, "", "", true, 256, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -84,17 +86,54 @@ func TestAdvise(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	if _, err := run(&bytes.Buffer{}, "", "", "", false, 0); err == nil {
+	if _, err := run(&bytes.Buffer{}, "", "", "", false, 0, nil); err == nil {
 		t.Errorf("missing -deps should error")
 	}
 	dep, _ := setup(t, "CID,NAME\n", "OID,CID\n")
-	if _, err := run(&bytes.Buffer{}, dep, "", "", false, 0); err == nil {
+	if _, err := run(&bytes.Buffer{}, dep, "", "", false, 0, nil); err == nil {
 		t.Errorf("missing -data without -advise should error")
 	}
-	if _, err := run(&bytes.Buffer{}, dep, "/nonexistent-dir", "", false, 0); err == nil {
+	if _, err := run(&bytes.Buffer{}, dep, "/nonexistent-dir", "", false, 0, nil); err == nil {
 		t.Errorf("bad data dir should error")
 	}
-	if _, err := run(&bytes.Buffer{}, "/nonexistent.dep", "", "", true, 0); err == nil {
+	if _, err := run(&bytes.Buffer{}, "/nonexistent.dep", "", "", true, 0, nil); err == nil {
 		t.Errorf("bad deps path should error")
+	}
+}
+
+func TestRunInstrumented(t *testing.T) {
+	// A violating dataset with a repair, fully instrumented: the registry
+	// collects lint check counters and chase repair counters, and the
+	// advise pass hangs its probe chases under one span.
+	dep, dir := setup(t, "CID,NAME\nc1,ann\n", "OID,CID\no1,c1\no2,c9\n")
+	repairDir := filepath.Join(t.TempDir(), "fixed")
+	reg := obs.New()
+	var out bytes.Buffer
+	code, err := run(&out, dep, dir, repairDir, true, 256, reg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 3 {
+		t.Errorf("code = %d, want 3", code)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["lint.deps_checked"] != 2 || snap.Counters["lint.violations"] != 1 {
+		t.Errorf("lint counters wrong: %v", snap.Counters)
+	}
+	if snap.Counters["chase.tuples_created"] == 0 {
+		t.Errorf("advise/repair chases left no chase counters: %v", snap.Counters)
+	}
+	var names []string
+	for _, sp := range snap.Spans {
+		names = append(names, sp.Name)
+	}
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "depcheck.advise") || !strings.Contains(joined, "lint.check") {
+		t.Errorf("root spans = %v", names)
+	}
+	for _, sp := range snap.Spans {
+		if sp.Name == "depcheck.advise" && len(sp.Children) == 0 {
+			t.Errorf("advise span has no probe children")
+		}
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	indfd [-v] [-budget N] [file.dep]
+//	indfd [-v] [-budget N] [-stats] [-trace-json FILE] [-pprof ADDR] [file.dep]
 //
 // The input (a file, or stdin when no file is given) declares schemes,
 // dependencies and queries:
@@ -16,10 +16,13 @@
 //	? MGR[NAME] <= EMP[NAME]      # unrestricted implication
 //	?fin EMP: NAME -> SAL         # finite implication
 //
-// With -v, proofs and counterexamples are printed. The exit status is 0
-// when every query was decided, 2 when some verdict was unknown (the
-// general FD+IND problem is undecidable and the chase is budgeted), and
-// 1 on input errors.
+// With -v, proofs and counterexamples are printed. With -stats, each
+// query's engine cost (IND expansions, chase rounds and tuples) and a
+// full metrics/span report go to stderr; -trace-json FILE writes the
+// span tree as JSON and -pprof ADDR serves net/http/pprof. The exit
+// status is 0 when every query was decided, 2 when some verdict was
+// unknown (the general FD+IND problem is undecidable and the chase is
+// budgeted), and 1 on input errors.
 package main
 
 import (
@@ -29,9 +32,11 @@ import (
 	"os"
 	"strings"
 
+	"indfd/internal/cliutil"
 	"indfd/internal/core"
 	"indfd/internal/deps"
 	"indfd/internal/emvd"
+	"indfd/internal/obs"
 	"indfd/internal/parser"
 	"indfd/internal/td"
 )
@@ -40,7 +45,11 @@ func main() {
 	verbose := flag.Bool("v", false, "print proofs and counterexamples")
 	explain := flag.Bool("explain", false, "print derivations (implies -v; adds cardinality-cycle explanations)")
 	budget := flag.Int("budget", 0, "chase tuple budget for the general engine (0 = default)")
+	obsFlags := cliutil.Register(flag.CommandLine)
 	flag.Parse()
+	if err := obsFlags.StartPprof(); err != nil {
+		fatal(err)
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
@@ -51,17 +60,43 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	code, err := run(in, os.Stdout, *verbose || *explain, *budget, *explain)
+	cfg := config{
+		verbose: *verbose || *explain,
+		explain: *explain,
+		budget:  *budget,
+		obs:     obsFlags.Registry(),
+		stats:   obsFlags.Stats,
+		statsW:  os.Stderr,
+	}
+	code, err := run(in, os.Stdout, cfg)
+	if ferr := obsFlags.Finish(cfg.obs); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		fatal(err)
 	}
 	os.Exit(code)
 }
 
+// config carries the command's flags into run.
+type config struct {
+	verbose bool
+	explain bool
+	budget  int
+	obs     *obs.Registry // nil = instrumentation off
+	stats   bool          // print per-query engine costs to statsW
+	statsW  io.Writer
+}
+
 // run parses the input, answers every query onto w, and returns the
 // process exit code.
-func run(in io.Reader, w io.Writer, verbose bool, budget int, explain ...bool) (int, error) {
-	doExplain := len(explain) > 0 && explain[0]
+func run(in io.Reader, w io.Writer, cfg config) (int, error) {
+	doExplain := cfg.explain
+	verbose := cfg.verbose
+	budget := cfg.budget
+	if cfg.statsW == nil {
+		cfg.statsW = io.Discard
+	}
 	file, err := parser.Parse(in)
 	if err != nil {
 		return 1, err
@@ -127,17 +162,21 @@ func run(in io.Reader, w io.Writer, verbose bool, budget int, explain ...bool) (
 			}
 			continue
 		}
+		opt := core.Options{ChaseMaxTuples: budget, Obs: cfg.obs}
 		var a core.Answer
 		var why string
 		if doExplain {
-			a, why, err = sys.Explain(q.Goal, core.Options{ChaseMaxTuples: budget}, q.Mode == parser.Finite)
+			a, why, err = sys.Explain(q.Goal, opt, q.Mode == parser.Finite)
 		} else if q.Mode == parser.Finite {
-			a, err = sys.ImpliesFinite(q.Goal, core.Options{ChaseMaxTuples: budget})
+			a, err = sys.ImpliesFinite(q.Goal, opt)
 		} else {
-			a, err = sys.Implies(q.Goal, core.Options{ChaseMaxTuples: budget})
+			a, err = sys.Implies(q.Goal, opt)
 		}
 		if err != nil {
 			return 1, err
+		}
+		if cfg.stats {
+			printQueryStats(cfg.statsW, q.Goal, a)
 		}
 		if doExplain && why != "" && a.Proof == "" && a.Counterexample == nil {
 			fmt.Fprintf(w, "%s Σ %s %v  [%s]\n%s\n", verdictMark(a.Verdict.String()), mode, q.Goal, a.Engine, indent(why))
@@ -165,6 +204,20 @@ func run(in io.Reader, w io.Writer, verbose bool, budget int, explain ...bool) (
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "indfd:", err)
 	os.Exit(1)
+}
+
+// printQueryStats writes one line of per-query engine cost: which engine
+// answered and what it spent (IND graph work, chase rounds and tuples).
+func printQueryStats(w io.Writer, goal deps.Dependency, a core.Answer) {
+	fmt.Fprintf(w, "stats: %v engine=%s", goal, a.Engine)
+	if st := a.INDStats; st != nil {
+		fmt.Fprintf(w, " ind_expanded=%d ind_generated=%d ind_visited=%d ind_frontier_peak=%d",
+			st.Expanded, st.Generated, st.Visited, st.FrontierPeak)
+	}
+	if a.ChaseRounds > 0 || a.ChaseTuples > 0 {
+		fmt.Fprintf(w, " chase_rounds=%d chase_tuples=%d", a.ChaseRounds, a.ChaseTuples)
+	}
+	fmt.Fprintln(w)
 }
 
 func verdictMark(v string) string {

@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"indfd/internal/obs"
 )
 
 func runFile(t *testing.T, path string, verbose bool, budget int) (string, int) {
@@ -15,7 +17,7 @@ func runFile(t *testing.T, path string, verbose bool, budget int) (string, int) 
 	}
 	defer f.Close()
 	var out bytes.Buffer
-	code, err := run(f, &out, verbose, budget)
+	code, err := run(f, &out, config{verbose: verbose, budget: budget})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -45,10 +47,10 @@ func TestRunManagerFile(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := run(strings.NewReader("schema R(A)\n"), &bytes.Buffer{}, false, 0); err == nil {
+	if _, err := run(strings.NewReader("schema R(A)\n"), &bytes.Buffer{}, config{}); err == nil {
 		t.Errorf("no queries should be an error")
 	}
-	if _, err := run(strings.NewReader("nonsense\n"), &bytes.Buffer{}, false, 0); err == nil {
+	if _, err := run(strings.NewReader("nonsense\n"), &bytes.Buffer{}, config{}); err == nil {
 		t.Errorf("parse failure should be an error")
 	}
 }
@@ -62,7 +64,7 @@ R: A3 ->> A1 | B
 ? R: A1 ->> A3 | B
 `
 	var out bytes.Buffer
-	code, err := run(strings.NewReader(in), &out, false, 0)
+	code, err := run(strings.NewReader(in), &out, config{})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -80,7 +82,7 @@ R: A -> B
 ? R[C] <= R[A]
 `
 	var out bytes.Buffer
-	code, err := run(strings.NewReader(in), &out, false, 64)
+	code, err := run(strings.NewReader(in), &out, config{budget: 64})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -101,7 +103,7 @@ R :: (v1, y1, u, b1) (v2, y2, u, b2) / (v1, y3, u, b2)
 ? R :: (x, y1, u1, b1) (x, y2, u2, b2) / (x, y3, u1, b2)
 `
 	var out bytes.Buffer
-	code, err := run(strings.NewReader(in), &out, false, 0)
+	code, err := run(strings.NewReader(in), &out, config{})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -118,11 +120,57 @@ R[A] <= R[B]
 ?fin R[B] <= R[A]
 `
 	var out bytes.Buffer
-	code, err := run(strings.NewReader(in), &out, true, 0, true)
+	code, err := run(strings.NewReader(in), &out, config{verbose: true, explain: true})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if code != 0 || !strings.Contains(out.String(), "cardinality cycle") {
 		t.Errorf("explanation missing (code %d):\n%s", code, out.String())
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	f, err := os.Open("testdata/manager.dep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reg := obs.New()
+	var out, stats bytes.Buffer
+	code, err := run(f, &out, config{obs: reg, stats: true, statsW: &stats})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d", code)
+	}
+	s := stats.String()
+	for _, want := range []string{
+		"stats: MGR[NAME] <= EMP[NAME] engine=ind",
+		"ind_expanded=",
+		"ind_frontier_peak=",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats output missing %q:\n%s", want, s)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["ind.expanded"] == 0 {
+		t.Errorf("registry missing ind.expanded: %v", snap.Counters)
+	}
+	if len(snap.Spans) == 0 || snap.Spans[0].Name != "core.query" {
+		t.Errorf("registry missing core.query spans: %+v", snap.Spans)
+	}
+	// The snapshot the -trace-json flag would write round-trips.
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != len(snap.Spans) {
+		t.Errorf("trace JSON round-trip lost spans: %d != %d", len(back.Spans), len(snap.Spans))
 	}
 }

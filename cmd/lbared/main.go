@@ -6,6 +6,13 @@
 // Usage:
 //
 //	lbared [-machine eraser|rejector] [-n 3] [-show] [-chain]
+//	       [-stats] [-trace-json FILE] [-pprof ADDR]
+//
+// With -stats, the decision procedure's ind.* counters (expansions,
+// frontier high-water mark, chain length) and spans go to stderr;
+// -trace-json FILE writes the span tree as JSON and -pprof ADDR serves
+// net/http/pprof — useful because the reduction's instances grow
+// exponentially in n (Theorem 3.3).
 package main
 
 import (
@@ -14,8 +21,10 @@ import (
 	"io"
 	"os"
 
+	"indfd/internal/cliutil"
 	"indfd/internal/ind"
 	"indfd/internal/lba"
+	"indfd/internal/obs"
 )
 
 func main() {
@@ -23,8 +32,16 @@ func main() {
 	n := flag.Int("n", 3, "input length (a^n); must be ≥ 2")
 	show := flag.Bool("show", false, "print the generated IND instance")
 	chain := flag.Bool("chain", false, "print the Corollary 3.2 chain (the computation history)")
+	obsFlags := cliutil.Register(flag.CommandLine)
 	flag.Parse()
-	code, err := run(os.Stdout, *machine, *n, *show, *chain)
+	if err := obsFlags.StartPprof(); err != nil {
+		fatal(err)
+	}
+	reg := obsFlags.Registry()
+	code, err := run(os.Stdout, *machine, *n, *show, *chain, reg)
+	if ferr := obsFlags.Finish(reg); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -33,7 +50,7 @@ func main() {
 
 // run executes the demonstration, writing to w, and returns the process
 // exit code.
-func run(w io.Writer, machine string, n int, show, chain bool) (int, error) {
+func run(w io.Writer, machine string, n int, show, chain bool, reg *obs.Registry) (int, error) {
 	var m *lba.Machine
 	switch machine {
 	case "eraser":
@@ -51,14 +68,23 @@ func run(w io.Writer, machine string, n int, show, chain bool) (int, error) {
 		return 1, fmt.Errorf("unknown machine %q", machine)
 	}
 
+	sp := reg.StartSpan("lbared.reduction")
+	defer sp.End()
+	sp.SetAttr("machine", machine)
+	sp.SetInt("n", int64(n))
+
 	input := lba.Input("a", n)
+	simSp := sp.StartSpan("lba.simulate")
 	accepts, err := m.Accepts(input, 0)
+	simSp.End()
 	if err != nil {
 		return 1, err
 	}
 	fmt.Fprintf(w, "machine %s on input a^%d: accepts=%v (space bound %d)\n", machine, n, accepts, n)
 
+	redSp := sp.StartSpan("lba.reduce")
 	inst, err := lba.Reduce(m, input)
+	redSp.End()
 	if err != nil {
 		return 1, err
 	}
@@ -72,10 +98,15 @@ func run(w io.Writer, machine string, n int, show, chain bool) (int, error) {
 		}
 	}
 
+	decSp := sp.StartSpan("ind.decide")
 	res, err := ind.Decide(inst.DB, inst.Sigma, inst.Goal)
+	decSp.End()
 	if err != nil {
 		return 1, err
 	}
+	res.Stats.Record(reg)
+	decSp.SetInt("expanded", int64(res.Stats.Expanded))
+	decSp.SetInt("frontier_peak", int64(res.Stats.FrontierPeak))
 	fmt.Fprintf(w, "IND decision procedure: implied=%v (expanded %d expressions, visited %d)\n",
 		res.Implied, res.Stats.Expanded, res.Stats.Visited)
 	if res.Implied != accepts {

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"indfd/internal/obs"
 )
 
 func TestRunEraser(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run(&out, "eraser", 3, true, true)
+	code, err := run(&out, "eraser", 3, true, true, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -30,7 +32,7 @@ func TestRunEraser(t *testing.T) {
 
 func TestRunRejector(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run(&out, "rejector", 2, false, false)
+	code, err := run(&out, "rejector", 2, false, false, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -43,10 +45,40 @@ func TestRunRejector(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := run(&bytes.Buffer{}, "nope", 2, false, false); err == nil {
+	if _, err := run(&bytes.Buffer{}, "nope", 2, false, false, nil); err == nil {
 		t.Errorf("unknown machine should error")
 	}
-	if _, err := run(&bytes.Buffer{}, "eraser", 1, false, false); err == nil {
+	if _, err := run(&bytes.Buffer{}, "eraser", 1, false, false, nil); err == nil {
 		t.Errorf("n=1 should error (reduction needs n ≥ 2)")
+	}
+}
+
+func TestRunInstrumented(t *testing.T) {
+	reg := obs.New()
+	var out bytes.Buffer
+	code, err := run(&out, "eraser", 3, false, false, reg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d", code)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["ind.expanded"] == 0 || snap.Gauges["ind.frontier_peak"] == 0 {
+		t.Errorf("ind instruments missing: %v %v", snap.Counters, snap.Gauges)
+	}
+	if h, ok := snap.Histograms["ind.chain_length"]; !ok || h.Count == 0 {
+		t.Errorf("chain length histogram missing: %v", snap.Histograms)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "lbared.reduction" {
+		t.Fatalf("root span wrong: %+v", snap.Spans)
+	}
+	var names []string
+	for _, c := range snap.Spans[0].Children {
+		names = append(names, c.Name)
+	}
+	want := []string{"lba.simulate", "lba.reduce", "ind.decide"}
+	if len(names) != 3 || names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Errorf("child spans = %v, want %v", names, want)
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"indfd/internal/data"
 	"indfd/internal/deps"
+	"indfd/internal/obs"
 	"indfd/internal/schema"
 )
 
@@ -58,6 +59,15 @@ type Options struct {
 	// machine-generated analogue of the step-by-step derivation in the
 	// proof of Lemma 7.2.
 	Trace bool
+	// Obs, when non-nil, receives the chase's work counters under the
+	// "chase." namespace (rounds, tuples created, union-find merges,
+	// fixpoint passes, ...). A nil registry costs nothing: the engine
+	// holds nil instruments and every update is a no-op branch.
+	Obs *obs.Registry
+	// Span, when non-nil, is the parent under which the chase opens its
+	// span (with per-round child spans, capped at spanRoundCap). When Span
+	// is nil but Obs is set, the chase opens a root span on Obs.
+	Span *obs.Span
 }
 
 // DefaultMaxTuples is the default tuple budget.
@@ -86,6 +96,17 @@ type engine struct {
 	max     int
 	trace   []string
 	doTrace bool
+
+	// Possibly-nil instruments, fetched once per chase call; the hot
+	// loops touch them unconditionally (a nil receiver is a no-op).
+	cRounds   *obs.Counter // chase rounds (IND pass + FD fixpoint)
+	cTuples   *obs.Counter // tableau tuples created (seeds included)
+	cUnions   *obs.Counter // union-find merges performed
+	cFDFires  *obs.Counter // FD applications that equated values
+	cRDFires  *obs.Counter // RD applications that equated values
+	cINDAdds  *obs.Counter // IND applications that added a tuple
+	cFixpoint *obs.Counter // FD fixpoint passes
+	gTuples   *obs.Gauge   // high-water mark of live tableau tuples
 }
 
 func newEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engine, error) {
@@ -95,6 +116,15 @@ func newEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engi
 		rels:    make(map[string][][]int),
 		max:     opt.maxTuples(),
 		doTrace: opt.Trace,
+
+		cRounds:   opt.Obs.Counter("chase.rounds"),
+		cTuples:   opt.Obs.Counter("chase.tuples_created"),
+		cUnions:   opt.Obs.Counter("chase.unions"),
+		cFDFires:  opt.Obs.Counter("chase.fd_applications"),
+		cRDFires:  opt.Obs.Counter("chase.rd_applications"),
+		cINDAdds:  opt.Obs.Counter("chase.ind_applications"),
+		cFixpoint: opt.Obs.Counter("chase.fixpoint_passes"),
+		gTuples:   opt.Obs.Gauge("chase.tuples_peak"),
 	}
 	for _, d := range sigma {
 		if err := d.Validate(db); err != nil {
@@ -157,6 +187,7 @@ func (e *engine) union(a, b int) (changed bool, err error) {
 		ra, rb = rb, ra
 	}
 	e.parent[rb] = ra
+	e.cUnions.Inc()
 	return true, nil
 }
 
@@ -177,6 +208,8 @@ func (e *engine) insert(rel string, t []int) (added bool, err error) {
 	}
 	e.rels[rel] = append(e.rels[rel], t)
 	e.tuples++
+	e.cTuples.Inc()
+	e.gTuples.SetMax(int64(e.tuples))
 	return true, nil
 }
 
@@ -195,6 +228,7 @@ func (e *engine) tupleKey(t []int) string {
 func (e *engine) applyFDs() (changed bool, err error) {
 	for again := true; again; {
 		again = false
+		e.cFixpoint.Inc()
 		for _, r := range e.rds {
 			sch, _ := e.db.Scheme(r.Rel)
 			xs := positions(sch, r.X)
@@ -208,6 +242,7 @@ func (e *engine) applyFDs() (changed bool, err error) {
 					if ch {
 						again = true
 						changed = true
+						e.cRDFires.Inc()
 						e.tracef("RD %v equates %v and %v within %v", r, e.describe(t[xs[i]]), e.describe(t[ys[i]]), e.describeTuple(t))
 					}
 				}
@@ -231,6 +266,7 @@ func (e *engine) applyFDs() (changed bool, err error) {
 						if ch {
 							again = true
 							changed = true
+							e.cFDFires.Inc()
 							e.tracef("FD %v equates %v and %v (tuples %v, %v agree on %s)",
 								f, e.describe(t[y]), e.describe(u[y]), e.describeTuple(t), e.describeTuple(u), schema.JoinAttrs(f.X))
 						}
@@ -293,6 +329,7 @@ func (e *engine) applyINDs() (changed bool, err error) {
 			if added {
 				changed = true
 				witnesses[key] = true
+				e.cINDAdds.Inc()
 				e.tracef("IND %v adds %v to %s for %v", d, e.describeTuple(u), d.RRel, e.describeTuple(t))
 			}
 		}
@@ -322,6 +359,7 @@ func (e *engine) dedup() {
 // was reached (the tableau is a model of sigma).
 func (e *engine) run() (done bool, err error) {
 	for {
+		e.cRounds.Inc()
 		fdChanged, err := e.applyFDs()
 		if err != nil {
 			return false, err

@@ -5,8 +5,27 @@ import (
 
 	"indfd/internal/data"
 	"indfd/internal/deps"
+	"indfd/internal/obs"
 	"indfd/internal/schema"
 )
+
+// spanRoundCap bounds the number of per-round child spans recorded on a
+// chase span; a diverging chase can run thousands of rounds and the span
+// tree must stay small. Rounds past the cap are summarized by the
+// "rounds" attribute on the parent span.
+const spanRoundCap = 32
+
+// startSpan opens the chase's span for one entry point: a child of
+// opt.Span when a parent was provided, else a root span on opt.Obs (nil
+// when instrumentation is off). Callers attach the goal themselves,
+// guarded by a nil check, so the uninstrumented path never boxes the
+// goal into an interface or renders it.
+func (opt Options) startSpan(name string) *obs.Span {
+	if opt.Span != nil {
+		return opt.Span.StartSpan(name)
+	}
+	return opt.Obs.StartSpan(name)
+}
 
 // Result reports the outcome of a budgeted implication test.
 type Result struct {
@@ -24,41 +43,60 @@ type Result struct {
 }
 
 // runToGoal chases until derived() holds, a fixpoint is reached, or the
-// budget runs out, checking the goal after every FD pass.
-func (e *engine) runToGoal(derived func() bool) (Result, error) {
+// budget runs out, checking the goal after every FD pass. The span (nil
+// when instrumentation is off) gets one child per round up to
+// spanRoundCap, and verdict/rounds/tuples attributes at the end.
+func (e *engine) runToGoal(derived func() bool, sp *obs.Span) (Result, error) {
 	res := Result{}
 	for {
 		res.Rounds++
+		e.cRounds.Inc()
+		var round *obs.Span
+		if res.Rounds <= spanRoundCap {
+			round = sp.StartSpan("round")
+		}
 		if _, err := e.applyFDs(); err != nil {
+			sp.End()
 			return res, err
 		}
 		e.dedup()
 		if derived() {
-			res.Verdict = Implied
-			res.Tuples = e.tuples
-			res.Trace = e.trace
-			return res, nil
+			round.SetInt("tuples", int64(e.tuples))
+			round.End()
+			return e.finish(res, Implied, sp)
 		}
 		indChanged, err := e.applyINDs()
+		round.SetInt("tuples", int64(e.tuples))
+		round.End()
 		if err == errBudget {
-			res.Verdict = Unknown
-			res.Tuples = e.tuples
-			res.Trace = e.trace
-			return res, nil
+			return e.finish(res, Unknown, sp)
 		}
 		if err != nil {
+			sp.End()
 			return res, err
 		}
 		if !indChanged {
 			// One more FD pass cannot change anything either (applyFDs ran
 			// to its own fixpoint above), so this is a model of sigma.
-			res.Verdict = NotImplied
 			res.Counterexample = e.export()
-			res.Tuples = e.tuples
-			res.Trace = e.trace
-			return res, nil
+			return e.finish(res, NotImplied, sp)
 		}
 	}
+}
+
+// finish seals the result with the verdict and final tableau size, and
+// closes the span with verdict/rounds/tuples attributes.
+func (e *engine) finish(res Result, v Verdict, sp *obs.Span) (Result, error) {
+	res.Verdict = v
+	res.Tuples = e.tuples
+	res.Trace = e.trace
+	if sp != nil {
+		sp.SetAttr("verdict", v.String())
+		sp.SetInt("rounds", int64(res.Rounds))
+		sp.SetInt("tuples", int64(res.Tuples))
+		sp.End()
+	}
+	return res, nil
 }
 
 // ImpliesFD tests sigma ⊨ goal for an FD goal R: X -> Y by chasing the
@@ -70,6 +108,10 @@ func ImpliesFD(db *schema.Database, sigma []deps.Dependency, goal deps.FD, opt O
 	e, err := newEngine(db, sigma, opt)
 	if err != nil {
 		return Result{}, err
+	}
+	sp := opt.startSpan("chase.fd")
+	if sp != nil {
+		sp.SetAttr("goal", goal.String())
 	}
 	sch, _ := db.Scheme(goal.Rel)
 	t1 := make([]int, sch.Width())
@@ -83,9 +125,11 @@ func ImpliesFD(db *schema.Database, sigma []deps.Dependency, goal deps.FD, opt O
 		t2[p] = t1[p]
 	}
 	if _, err := e.insert(goal.Rel, t1); err != nil {
+		sp.End()
 		return Result{}, err
 	}
 	if _, err := e.insert(goal.Rel, t2); err != nil {
+		sp.End()
 		return Result{}, err
 	}
 	ys := positions(sch, goal.Y)
@@ -96,7 +140,7 @@ func ImpliesFD(db *schema.Database, sigma []deps.Dependency, goal deps.FD, opt O
 			}
 		}
 		return true
-	})
+	}, sp)
 }
 
 // ImpliesIND tests sigma ⊨ goal for an IND goal R[X] ⊆ S[Y] by chasing the
@@ -109,6 +153,10 @@ func ImpliesIND(db *schema.Database, sigma []deps.Dependency, goal deps.IND, opt
 	if err != nil {
 		return Result{}, err
 	}
+	sp := opt.startSpan("chase.ind")
+	if sp != nil {
+		sp.SetAttr("goal", goal.String())
+	}
 	ls, _ := db.Scheme(goal.LRel)
 	rs, _ := db.Scheme(goal.RRel)
 	t := make([]int, ls.Width())
@@ -116,6 +164,7 @@ func ImpliesIND(db *schema.Database, sigma []deps.Dependency, goal deps.IND, opt
 		t[i] = e.newNull()
 	}
 	if _, err := e.insert(goal.LRel, t); err != nil {
+		sp.End()
 		return Result{}, err
 	}
 	xs := positions(ls, goal.X)
@@ -128,7 +177,7 @@ func ImpliesIND(db *schema.Database, sigma []deps.Dependency, goal deps.IND, opt
 			}
 		}
 		return false
-	})
+	}, sp)
 }
 
 // ImpliesRD tests sigma ⊨ goal for an RD goal R[X = Y] by chasing the
@@ -141,12 +190,17 @@ func ImpliesRD(db *schema.Database, sigma []deps.Dependency, goal deps.RD, opt O
 	if err != nil {
 		return Result{}, err
 	}
+	sp := opt.startSpan("chase.rd")
+	if sp != nil {
+		sp.SetAttr("goal", goal.String())
+	}
 	sch, _ := db.Scheme(goal.Rel)
 	t := make([]int, sch.Width())
 	for i := range t {
 		t[i] = e.newNull()
 	}
 	if _, err := e.insert(goal.Rel, t); err != nil {
+		sp.End()
 		return Result{}, err
 	}
 	xs := positions(sch, goal.X)
@@ -158,7 +212,7 @@ func ImpliesRD(db *schema.Database, sigma []deps.Dependency, goal deps.RD, opt O
 			}
 		}
 		return true
-	})
+	}, sp)
 }
 
 // Implies dispatches on the kind of the goal dependency.
@@ -190,6 +244,8 @@ func Complete(seed *data.Database, sigma []deps.Dependency, opt Options) (*data.
 	if err != nil {
 		return nil, err
 	}
+	sp := opt.startSpan("chase.complete")
+	defer sp.End()
 	for _, rel := range seed.Scheme().Names() {
 		r, _ := seed.Relation(rel)
 		for _, t := range r.Tuples() {
@@ -203,6 +259,7 @@ func Complete(seed *data.Database, sigma []deps.Dependency, opt Options) (*data.
 		}
 	}
 	done, err := e.run()
+	sp.SetInt("tuples", int64(e.tuples))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,88 @@
+// Package cliutil wires the observability flags shared by the indfd,
+// depcheck and lbared commands: -stats (human-readable metrics report on
+// stderr), -trace-json (span-tree JSON export), and -pprof (a
+// net/http/pprof listener for live profiling).
+package cliutil
+
+import (
+	"flag"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+
+	"indfd/internal/obs"
+)
+
+// ObsFlags holds the values of the shared instrumentation flags.
+type ObsFlags struct {
+	// Stats requests the metrics/span text report on stderr at exit.
+	Stats bool
+	// TraceJSON, when nonempty, is the file the span-tree JSON snapshot is
+	// written to at exit.
+	TraceJSON string
+	// Pprof, when nonempty, is the address a net/http/pprof server
+	// listens on for the life of the process.
+	Pprof string
+}
+
+// Register installs -stats, -trace-json and -pprof on fs (typically
+// flag.CommandLine) and returns the struct their values land in.
+func Register(fs *flag.FlagSet) *ObsFlags {
+	of := &ObsFlags{}
+	fs.BoolVar(&of.Stats, "stats", false, "print a metrics and span report to stderr")
+	fs.StringVar(&of.TraceJSON, "trace-json", "", "write the span tree as JSON to `file`")
+	fs.StringVar(&of.Pprof, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
+	return of
+}
+
+// Registry returns a fresh registry when any instrumentation output was
+// requested, else nil — and a nil registry makes every instrument a
+// no-op, so the engines run uninstrumented.
+func (of *ObsFlags) Registry() *obs.Registry {
+	if of.Stats || of.TraceJSON != "" {
+		return obs.New()
+	}
+	return nil
+}
+
+// StartPprof binds the pprof listener when -pprof was given. The server
+// runs detached for the life of the process; only the bind can fail.
+func (of *ObsFlags) StartPprof() error {
+	if of.Pprof == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", of.Pprof)
+	if err != nil {
+		return err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // best-effort debug server
+	return nil
+}
+
+// Finish writes the requested reports from reg: the text report to
+// stderr under -stats and the JSON snapshot to the -trace-json file.
+// A nil registry writes nothing.
+func (of *ObsFlags) Finish(reg *obs.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	if of.Stats {
+		if err := snap.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if of.TraceJSON != "" {
+		f, err := os.Create(of.TraceJSON)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"indfd/internal/deps"
 	"indfd/internal/fd"
 	"indfd/internal/ind"
+	"indfd/internal/obs"
 	"indfd/internal/schema"
 	"indfd/internal/search"
 	"indfd/internal/unary"
@@ -69,6 +70,21 @@ type Answer struct {
 	// chase; for unary No verdicts under finite semantics no finite
 	// counterexample generator is provided).
 	Counterexample *data.Database
+	// INDStats is the Corollary 3.2 search's work (expanded / generated /
+	// visited expressions, frontier peak, chain length) whenever the ind
+	// engine ran — including the general engine's IND fast path.
+	INDStats *ind.Stats
+	// ChaseRounds and ChaseTuples report the chase engine's work when it
+	// ran: rounds executed and final tableau size.
+	ChaseRounds int
+	ChaseTuples int
+	// Metrics is a snapshot of Options.Obs taken when the query finished,
+	// nil when no registry was supplied. With a registry shared across
+	// queries the counters are cumulative.
+	Metrics *obs.Snapshot
+	// Trace is this query's span tree (engine dispatch down to chase
+	// rounds), nil when no registry was supplied.
+	Trace *obs.SpanSnapshot
 }
 
 // Options configures a query.
@@ -78,6 +94,11 @@ type Options struct {
 	// SearchFallback enables a bounded finite-counterexample search when
 	// the chase is inconclusive; a hit turns Unknown into No.
 	SearchFallback bool
+	// Obs, when non-nil, collects every engine's counters, gauges and
+	// histograms for this query and gives the Answer a Metrics snapshot
+	// and a span tree. A nil registry makes instrumentation free (see
+	// internal/obs).
+	Obs *obs.Registry
 }
 
 // System is a database scheme plus a dependency set Σ.
@@ -230,48 +251,86 @@ func (s *System) query(goal deps.Dependency, opt Options, finite bool) (Answer, 
 	}
 	relevant := s.relevant(goal)
 	engine := s.classify(relevant, goal)
+	sp := opt.Obs.StartSpan("core.query")
+	sp.SetAttr("goal", goal.String())
+	if finite {
+		sp.SetAttr("mode", "finite")
+	} else {
+		sp.SetAttr("mode", "unrestricted")
+	}
+	sp.SetAttr("dispatch", engine)
+	sp.SetInt("sigma_relevant", int64(len(relevant)))
+
+	var a Answer
+	var err error
 	switch engine {
 	case "ind":
-		return s.queryIND(relevant, goal.(deps.IND))
+		a, err = s.queryIND(relevant, goal.(deps.IND), opt, sp)
 	case "fd":
-		return s.queryFD(relevant, goal.(deps.FD))
+		a, err = s.queryFD(relevant, goal.(deps.FD), opt, sp)
 	case "unary":
-		return s.queryUnary(relevant, goal, finite)
+		a, err = s.queryUnary(relevant, goal, opt, finite, sp)
 	default:
-		return s.queryChase(relevant, goal, opt, finite)
+		a, err = s.queryChase(relevant, goal, opt, finite, sp)
 	}
+	if err != nil {
+		sp.End()
+		return a, err
+	}
+	// a.Engine can differ from the dispatch class: the general engine's
+	// fast paths answer as "ind" or "fd".
+	sp.SetAttr("engine", a.Engine)
+	sp.SetAttr("verdict", a.Verdict.String())
+	sp.End()
+	if opt.Obs != nil {
+		a.Metrics = opt.Obs.Snapshot()
+		a.Trace = sp.Snapshot()
+	}
+	return a, nil
 }
 
-func (s *System) queryIND(relevant []deps.Dependency, goal deps.IND) (Answer, error) {
+func (s *System) queryIND(relevant []deps.Dependency, goal deps.IND, opt Options, sp *obs.Span) (Answer, error) {
 	sigma := deps.NewSet(relevant...).INDs()
+	dsp := sp.StartSpan("ind.decide")
 	res, err := ind.Decide(s.db, sigma, goal)
+	dsp.SetInt("expanded", int64(res.Stats.Expanded))
+	dsp.SetInt("visited", int64(res.Stats.Visited))
+	dsp.End()
 	if err != nil {
 		return Answer{}, err
 	}
+	res.Stats.Record(opt.Obs)
 	if res.Implied {
 		p, err := ind.FromChain(res.Chain, res.Via)
 		if err != nil {
 			return Answer{}, err
 		}
-		return Answer{Verdict: Yes, Engine: "ind", Proof: p.String()}, nil
+		return Answer{Verdict: Yes, Engine: "ind", Proof: p.String(), INDStats: &res.Stats}, nil
 	}
+	csp := sp.StartSpan("ind.counterexample")
 	ce, _, err := ind.Counterexample(s.db, sigma, goal)
+	csp.End()
 	if err != nil {
 		return Answer{}, err
 	}
-	return Answer{Verdict: No, Engine: "ind", Counterexample: ce}, nil
+	return Answer{Verdict: No, Engine: "ind", Counterexample: ce, INDStats: &res.Stats}, nil
 }
 
-func (s *System) queryFD(relevant []deps.Dependency, goal deps.FD) (Answer, error) {
+func (s *System) queryFD(relevant []deps.Dependency, goal deps.FD, opt Options, sp *obs.Span) (Answer, error) {
 	sigma := deps.NewSet(relevant...).FDs()
-	if p, ok := fd.Prove(sigma, goal); ok {
+	psp := sp.StartSpan("fd.prove")
+	p, ok := fd.ProveObs(sigma, goal, opt.Obs)
+	psp.End()
+	if ok {
 		return Answer{Verdict: Yes, Engine: "fd", Proof: p.String()}, nil
 	}
 	return Answer{Verdict: No, Engine: "fd"}, nil
 }
 
-func (s *System) queryUnary(relevant []deps.Dependency, goal deps.Dependency, finite bool) (Answer, error) {
-	sys, err := unary.New(s.db, relevant)
+func (s *System) queryUnary(relevant []deps.Dependency, goal deps.Dependency, opt Options, finite bool, sp *obs.Span) (Answer, error) {
+	usp := sp.StartSpan("unary.closure")
+	sys, err := unary.NewObs(s.db, relevant, opt.Obs)
+	usp.End()
 	if err != nil {
 		return Answer{}, err
 	}
@@ -290,54 +349,68 @@ func (s *System) queryUnary(relevant []deps.Dependency, goal deps.Dependency, fi
 	return Answer{Verdict: No, Engine: "unary"}, nil
 }
 
-func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, opt Options, finite bool) (Answer, error) {
+func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, opt Options, finite bool, sp *obs.Span) (Answer, error) {
 	relSet := deps.NewSet(relevant...)
 	// Fast path: a goal already provable from the same-class fragment of
 	// Σ is implied a fortiori, and those engines produce formal proofs.
 	switch g := goal.(type) {
 	case deps.IND:
+		dsp := sp.StartSpan("ind.decide")
 		res, err := ind.Decide(s.db, relSet.INDs(), g)
+		dsp.End()
 		if err != nil {
 			return Answer{}, err
 		}
+		res.Stats.Record(opt.Obs)
 		if res.Implied {
 			p, err := ind.FromChain(res.Chain, res.Via)
 			if err != nil {
 				return Answer{}, err
 			}
-			return Answer{Verdict: Yes, Engine: "ind", Proof: p.String()}, nil
+			return Answer{Verdict: Yes, Engine: "ind", Proof: p.String(), INDStats: &res.Stats}, nil
 		}
 	case deps.FD:
-		if p, ok := fd.Prove(relSet.FDs(), g); ok {
+		psp := sp.StartSpan("fd.prove")
+		p, ok := fd.ProveObs(relSet.FDs(), g, opt.Obs)
+		psp.End()
+		if ok {
 			return Answer{Verdict: Yes, Engine: "fd", Proof: p.String()}, nil
 		}
 	}
-	res, err := chase.Implies(s.db, relevant, goal, chase.Options{MaxTuples: opt.ChaseMaxTuples})
+	res, err := chase.Implies(s.db, relevant, goal, chase.Options{
+		MaxTuples: opt.ChaseMaxTuples, Obs: opt.Obs, Span: sp,
+	})
 	if err != nil {
 		return Answer{}, err
 	}
+	cost := Answer{ChaseRounds: res.Rounds, ChaseTuples: res.Tuples}
 	switch res.Verdict {
 	case chase.Implied:
 		// Chase derivations are sound for unrestricted implication, hence
 		// for finite implication as well.
-		return Answer{Verdict: Yes, Engine: "chase"}, nil
+		cost.Verdict, cost.Engine = Yes, "chase"
+		return cost, nil
 	case chase.NotImplied:
 		// The counterexample is finite, so it refutes both semantics.
-		return Answer{Verdict: No, Engine: "chase", Counterexample: res.Counterexample}, nil
+		cost.Verdict, cost.Engine, cost.Counterexample = No, "chase", res.Counterexample
+		return cost, nil
 	default:
 		_ = finite
 		if opt.SearchFallback {
 			ce, found, err := search.Counterexample(s.db, relevant, goal, search.Options{
 				Domain: 3, MaxTuples: 3, RandomTrials: 300,
+				Obs: opt.Obs, Span: sp,
 			})
 			if err != nil {
 				return Answer{}, err
 			}
 			if found {
-				return Answer{Verdict: No, Engine: "chase+search", Counterexample: ce}, nil
+				cost.Verdict, cost.Engine, cost.Counterexample = No, "chase+search", ce
+				return cost, nil
 			}
 		}
-		return Answer{Verdict: Unknown, Engine: "chase"}, nil
+		cost.Verdict, cost.Engine = Unknown, "chase"
+		return cost, nil
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"indfd/internal/data"
 	"indfd/internal/deps"
+	"indfd/internal/obs"
 	"indfd/internal/schema"
 )
 
@@ -333,5 +334,94 @@ func TestImpliesAll(t *testing.T) {
 	// Empty batch.
 	if out, err := s.ImpliesAll(nil, Options{}, true); err != nil || len(out) != 0 {
 		t.Errorf("empty batch: %v %v", out, err)
+	}
+}
+
+// TestInstrumentedQuery exercises the Options.Obs surface: the answer
+// carries a metrics snapshot, a span tree rooted at core.query, and the
+// engine cost fields (INDStats / ChaseRounds) the facade used to drop.
+func TestInstrumentedQuery(t *testing.T) {
+	s := NewSystem(managerDB())
+	if err := s.Add(deps.NewIND("MGR", deps.Attrs("NAME", "DEPT"), "EMP", deps.Attrs("NAME", "DEPT"))); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	a, err := s.Implies(deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME")), Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.INDStats == nil || a.INDStats.Visited < 2 || a.INDStats.FrontierPeak < 1 {
+		t.Errorf("INDStats not surfaced: %+v", a.INDStats)
+	}
+	if a.Metrics == nil || a.Metrics.Counters["ind.visited"] == 0 {
+		t.Errorf("metrics snapshot missing ind counters: %+v", a.Metrics)
+	}
+	if a.Trace == nil || a.Trace.Name != "core.query" || len(a.Trace.Children) == 0 {
+		t.Errorf("span tree missing: %+v", a.Trace)
+	}
+	if a.Trace.Children[0].Name != "ind.decide" {
+		t.Errorf("child span = %q, want ind.decide", a.Trace.Children[0].Name)
+	}
+	if a.Trace.Running {
+		t.Errorf("exported query span should be ended")
+	}
+}
+
+// TestInstrumentedChaseQuery checks the chase engine's cost surfaces both
+// in the answer fields and in the chase.* counters, with per-round child
+// spans under the chase span.
+func TestInstrumentedChaseQuery(t *testing.T) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	s := NewSystem(db)
+	if err := s.Add(
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	a, err := s.Implies(deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Engine != "chase" || a.ChaseRounds == 0 || a.ChaseTuples == 0 {
+		t.Errorf("chase cost not surfaced: %+v", a)
+	}
+	if a.Metrics.Counters["chase.rounds"] != int64(a.ChaseRounds) {
+		t.Errorf("chase.rounds counter = %d, answer rounds = %d",
+			a.Metrics.Counters["chase.rounds"], a.ChaseRounds)
+	}
+	if a.Metrics.Counters["chase.tuples_created"] == 0 || a.Metrics.Gauges["chase.tuples_peak"] == 0 {
+		t.Errorf("chase tuple instruments missing: %+v", a.Metrics)
+	}
+	var chaseSpan *obs.SpanSnapshot
+	for _, c := range a.Trace.Children {
+		if c.Name == "chase.fd" {
+			chaseSpan = c
+		}
+	}
+	if chaseSpan == nil || len(chaseSpan.Children) == 0 || chaseSpan.Children[0].Name != "round" {
+		t.Errorf("chase span tree wrong: %+v", a.Trace)
+	}
+}
+
+// TestUninstrumentedAnswerHasNoSnapshot pins the zero-cost default.
+func TestUninstrumentedAnswerHasNoSnapshot(t *testing.T) {
+	s := NewSystem(managerDB())
+	if err := s.Add(deps.NewIND("MGR", deps.Attrs("NAME", "DEPT"), "EMP", deps.Attrs("NAME", "DEPT"))); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Implies(deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME")), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != nil || a.Trace != nil {
+		t.Errorf("uninstrumented answer should carry no snapshot: %+v", a)
+	}
+	if a.INDStats == nil {
+		t.Errorf("INDStats should be surfaced even without a registry")
 	}
 }

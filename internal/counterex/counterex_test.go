@@ -1,6 +1,10 @@
 package counterex
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"indfd/internal/chase"
@@ -399,5 +403,58 @@ func TestExhaustiveKaryOverSingleRelation(t *testing.T) {
 	t.Logf("2-ary complete axiomatization over R(A,B): %v (oracle cache: %d entries)", ok2, len(memo))
 	if !ok2 && w2 != nil {
 		t.Logf("k=2 witness: Γ of %d sentences, escaping τ = %v", len(w2.Gamma), w2.Tau)
+	}
+}
+
+// updateGolden regenerates the golden trace files instead of comparing:
+//
+//	go test ./internal/counterex/ -run TestLemma72TraceGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestLemma72TraceGolden pins the chase's Lemma 7.2 derivation at n=2 —
+// the mechanized form of the paper's fourteen-step equality chain —
+// line by line against a golden file. The chase applies rules in
+// deterministic order, so any drift in rule ordering, null naming, or
+// trace formatting shows up as a diff here.
+func TestLemma72TraceGolden(t *testing.T) {
+	s, err := NewSection7(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Lemma72(chase.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != chase.Implied {
+		t.Fatalf("verdict = %v, want implied", res.Verdict)
+	}
+	got := strings.Join(res.Trace, "\n") + "\n"
+	path := filepath.Join("testdata", "lemma72_n2_trace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	wantLines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	gotLines := res.Trace
+	for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if w != g {
+			t.Errorf("trace line %d:\n  got:  %q\n  want: %q", i+1, g, w)
+		}
+	}
+	if len(gotLines) != len(wantLines) {
+		t.Errorf("trace has %d lines, golden has %d", len(gotLines), len(wantLines))
 	}
 }

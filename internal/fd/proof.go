@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"indfd/internal/deps"
+	"indfd/internal/obs"
 	"indfd/internal/schema"
 )
 
@@ -30,6 +31,16 @@ type Proof struct {
 // not imply f. The derivation records only the steps needed to reach the
 // goal attributes.
 func Prove(sigma []deps.FD, f deps.FD) (Proof, bool) {
+	return ProveObs(sigma, f, nil)
+}
+
+// ProveObs is Prove publishing its work into reg under the "fd."
+// namespace: prove calls, fixpoint passes over the FD set, and attribute
+// derivations. A nil registry costs nothing.
+func ProveObs(sigma []deps.FD, f deps.FD, reg *obs.Registry) (Proof, bool) {
+	reg.Counter("fd.prove_calls").Inc()
+	cPasses := reg.Counter("fd.closure_passes")
+	cDerived := reg.Counter("fd.attrs_derived")
 	// Re-run the closure, recording which FD derived each new attribute.
 	var fds []deps.FD
 	for _, g := range sigma {
@@ -41,12 +52,14 @@ func Prove(sigma []deps.FD, f deps.FD) (Proof, bool) {
 	closure := newAttrSet(f.X)
 	for changed := true; changed; {
 		changed = false
+		cPasses.Inc()
 		for i, g := range fds {
 			if closure.containsAll(g.X) {
 				for _, b := range g.Y {
 					if !closure[b] {
 						closure[b] = true
 						derivedBy[b] = &fds[i]
+						cDerived.Inc()
 						changed = true
 					}
 				}

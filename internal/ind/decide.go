@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"indfd/internal/deps"
+	"indfd/internal/obs"
 	"indfd/internal/schema"
 )
 
@@ -51,9 +52,30 @@ type Stats struct {
 	Generated int
 	// Visited is the number of distinct expressions reached.
 	Visited int
+	// FrontierPeak is the high-water mark of the search frontier (visited
+	// expressions not yet expanded) — the procedure's working-set size,
+	// which Theorem 3.3's PSPACE-hardness says can grow exponentially.
+	FrontierPeak int
 	// ChainLength is the length w of the Corollary 3.2 sequence found
 	// (0 when the goal is not implied).
 	ChainLength int
+}
+
+// Record publishes the stats into reg under the "ind." namespace. A nil
+// registry is free. Counters accumulate across calls; the frontier peak
+// is a high-water gauge and the chain length feeds a histogram (the
+// Section 3 lower bound is exactly about this distribution's tail).
+func (st Stats) Record(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("ind.expanded").Add(int64(st.Expanded))
+	reg.Counter("ind.generated").Add(int64(st.Generated))
+	reg.Counter("ind.visited").Add(int64(st.Visited))
+	reg.Gauge("ind.frontier_peak").SetMax(int64(st.FrontierPeak))
+	if st.ChainLength > 0 {
+		reg.Histogram("ind.chain_length").Observe(int64(st.ChainLength))
+	}
 }
 
 // Result is the outcome of a Decide call.
@@ -109,6 +131,7 @@ func Decide(db *schema.Database, sigma []deps.IND, goal deps.IND) (Result, error
 	visited := map[string]bool{start.key(): true}
 	var st Stats
 	st.Visited = 1
+	st.FrontierPeak = 1
 
 	finish := func(i int) Result {
 		// Reconstruct the chain from the node trail.
@@ -148,6 +171,11 @@ func Decide(db *schema.Database, sigma []deps.IND, goal deps.IND) (Result, error
 			visited[k] = true
 			st.Visited++
 			nodes = append(nodes, node{expr: succ, parent: head, via: si})
+			// The frontier is every visited-but-unexpanded node; head has
+			// been expanded, nodes beyond it have not.
+			if frontier := len(nodes) - head - 1; frontier > st.FrontierPeak {
+				st.FrontierPeak = frontier
+			}
 			if k == target.key() {
 				return finish(len(nodes) - 1), nil
 			}
@@ -196,6 +224,7 @@ func DecideNaive(sigma []deps.IND, goal deps.IND) (bool, Stats) {
 	inZ := map[string]bool{start.key(): true}
 	var st Stats
 	st.Visited = 1
+	st.FrontierPeak = 1 // the naive loop keeps all of Z live
 	if start.key() == target.key() {
 		return true, st
 	}
@@ -216,6 +245,7 @@ func DecideNaive(sigma []deps.IND, goal deps.IND) (bool, Stats) {
 				inZ[k] = true
 				st.Visited++
 				z = append(z, succ)
+				st.FrontierPeak = len(z)
 				changed = true
 				if k == target.key() {
 					return true, st

@@ -19,6 +19,7 @@ import (
 	"indfd/internal/deps"
 	"indfd/internal/fd"
 	"indfd/internal/ind"
+	"indfd/internal/obs"
 	"indfd/internal/schema"
 	"indfd/internal/unary"
 )
@@ -38,8 +39,20 @@ func (v Violation) String() string { return fmt.Sprintf("%v: %s", v.Dep, v.Detai
 // detail: for an FD the first conflicting tuple pair per left-hand value,
 // for an IND every dangling tuple, for an RD every offending tuple.
 func Check(db *data.Database, sigma []deps.Dependency) ([]Violation, error) {
+	return CheckObs(db, sigma, nil)
+}
+
+// CheckObs is Check publishing its work into reg under the "lint."
+// namespace (dependencies checked, violations found, per dependency
+// kind) inside a "lint.check" span. A nil registry costs nothing.
+func CheckObs(db *data.Database, sigma []deps.Dependency, reg *obs.Registry) ([]Violation, error) {
+	sp := reg.StartSpan("lint.check")
+	defer sp.End()
+	cDeps := reg.Counter("lint.deps_checked")
+	cViol := reg.Counter("lint.violations")
 	var out []Violation
 	for _, d := range sigma {
+		cDeps.Inc()
 		if err := d.Validate(db.Scheme()); err != nil {
 			return nil, err
 		}
@@ -66,6 +79,8 @@ func Check(db *data.Database, sigma []deps.Dependency) ([]Violation, error) {
 			return nil, fmt.Errorf("lint: cannot check dependency kind %v", d.Kind())
 		}
 	}
+	cViol.Add(int64(len(out)))
+	sp.SetInt("violations", int64(len(out)))
 	return out, nil
 }
 
@@ -322,7 +337,7 @@ func Advise(db *schema.Database, sigma []deps.Dependency, opt chase.Options) (Ad
 
 	// Finite-only consequences (unary fragment).
 	if allUnary {
-		sys, err := unary.New(db, sigma)
+		sys, err := unary.NewObs(db, sigma, opt.Obs)
 		if err != nil {
 			return adv, err
 		}

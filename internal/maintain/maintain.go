@@ -12,6 +12,7 @@ import (
 
 	"indfd/internal/data"
 	"indfd/internal/deps"
+	"indfd/internal/obs"
 	"indfd/internal/schema"
 )
 
@@ -30,6 +31,16 @@ type Monitor struct {
 	// right-side supplies of each projection key.
 	left  []map[string]int
 	right []map[string]int
+
+	// Possibly-nil instruments (see internal/obs): per-op validation
+	// counts and index sizes, under the "maintain." namespace.
+	cInserts   *obs.Counter // accepted inserts
+	cDeletes   *obs.Counter // accepted deletes
+	cRejects   *obs.Counter // operations rejected by a dependency
+	cFDChecks  *obs.Counter // FD index probes performed
+	cINDChecks *obs.Counter // IND witness probes performed
+	cCascade   *obs.Counter // tuples chased in by InsertCascading
+	gIndexSize *obs.Gauge   // total entries across all indexes
 }
 
 type fdEntry struct {
@@ -39,7 +50,22 @@ type fdEntry struct {
 
 // NewMonitor builds a Monitor over an empty database.
 func NewMonitor(ds *schema.Database, sigma []deps.Dependency) (*Monitor, error) {
-	m := &Monitor{ds: ds, db: data.NewDatabase(ds)}
+	return NewMonitorObs(ds, sigma, nil)
+}
+
+// NewMonitorObs is NewMonitor publishing per-operation validation counts
+// and index sizes into reg under the "maintain." namespace. A nil
+// registry costs nothing.
+func NewMonitorObs(ds *schema.Database, sigma []deps.Dependency, reg *obs.Registry) (*Monitor, error) {
+	m := &Monitor{ds: ds, db: data.NewDatabase(ds),
+		cInserts:   reg.Counter("maintain.inserts"),
+		cDeletes:   reg.Counter("maintain.deletes"),
+		cRejects:   reg.Counter("maintain.rejects"),
+		cFDChecks:  reg.Counter("maintain.fd_checks"),
+		cINDChecks: reg.Counter("maintain.ind_checks"),
+		cCascade:   reg.Counter("maintain.cascade_tuples"),
+		gIndexSize: reg.Gauge("maintain.index_entries"),
+	}
 	for _, d := range sigma {
 		if err := d.Validate(ds); err != nil {
 			return nil, err
@@ -101,6 +127,7 @@ func (m *Monitor) Insert(rel string, t data.Tuple) error {
 			px, _ := s.Pos(rd.X[i])
 			py, _ := s.Pos(rd.Y[i])
 			if t[px] != t[py] {
+				m.cRejects.Inc()
 				return fmt.Errorf("maintain: %v rejects %v (%s ≠ %s)", rd, t, rd.X[i], rd.Y[i])
 			}
 		}
@@ -110,9 +137,11 @@ func (m *Monitor) Insert(rel string, t data.Tuple) error {
 		if f.Rel != rel {
 			continue
 		}
+		m.cFDChecks.Inc()
 		xk := m.projKey(rel, t, f.X)
 		yk := m.projKey(rel, t, f.Y)
 		if e, ok := m.fdIndex[i][xk]; ok && e.yKey != yk {
+			m.cRejects.Inc()
 			return fmt.Errorf("maintain: %v rejects %v (conflicting tuples share %s)", f, t, schema.JoinAttrs(f.X))
 		}
 	}
@@ -122,6 +151,7 @@ func (m *Monitor) Insert(rel string, t data.Tuple) error {
 		if d.LRel != rel {
 			continue
 		}
+		m.cINDChecks.Inc()
 		need := m.projKey(rel, t, d.X)
 		if m.right[i][need] > 0 {
 			continue
@@ -129,6 +159,7 @@ func (m *Monitor) Insert(rel string, t data.Tuple) error {
 		if d.RRel == rel && m.projKey(rel, t, d.Y) == need {
 			continue // self-witnessing tuple
 		}
+		m.cRejects.Inc()
 		return fmt.Errorf("maintain: %v rejects %v (no witness in %s)", d, t, d.RRel)
 	}
 	// Commit.
@@ -136,6 +167,7 @@ func (m *Monitor) Insert(rel string, t data.Tuple) error {
 		return err
 	}
 	m.index(rel, t, +1)
+	m.cInserts.Inc()
 	return nil
 }
 
@@ -160,9 +192,11 @@ func (m *Monitor) Delete(rel string, t data.Tuple) error {
 		if d.RRel != rel {
 			continue
 		}
+		m.cINDChecks.Inc()
 		k := m.projKey(rel, t, d.Y)
 		if m.left[i][k] > 0 && m.right[i][k] == 0 {
 			m.index(rel, t, +1) // roll back
+			m.cRejects.Inc()
 			return fmt.Errorf("maintain: deleting %v from %s would orphan %v", t, rel, d)
 		}
 	}
@@ -179,6 +213,7 @@ func (m *Monitor) Delete(rel string, t data.Tuple) error {
 		}
 	}
 	m.db = fresh
+	m.cDeletes.Inc()
 	return nil
 }
 
@@ -215,6 +250,16 @@ func (m *Monitor) index(rel string, t data.Tuple, sign int) {
 			}
 		}
 	}
+	if m.gIndexSize != nil {
+		total := 0
+		for _, idx := range m.fdIndex {
+			total += len(idx)
+		}
+		for i := range m.left {
+			total += len(m.left[i]) + len(m.right[i])
+		}
+		m.gIndexSize.Set(int64(total))
+	}
 }
 
 // InsertCascading inserts t into rel, chasing in any missing referenced
@@ -236,6 +281,7 @@ func (m *Monitor) InsertCascading(rel string, t data.Tuple) ([]string, error) {
 		if err == nil {
 			if !(it.rel == rel && it.t.Equal(t)) {
 				added = append(added, fmt.Sprintf("%s%v", it.rel, it.t))
+				m.cCascade.Inc()
 			}
 			// New demands may need new witnesses.
 			for i, d := range m.inds {

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Errorf("nil counter value = %d", c.Value())
+	}
+	g := r.Gauge("y")
+	g.Set(7)
+	g.SetMax(9)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge value = %d", g.Value())
+	}
+	h := r.Histogram("z")
+	h.Observe(5)
+	sp := r.StartSpan("root")
+	child := sp.StartSpan("child")
+	child.SetAttr("k", "v")
+	child.SetInt("n", 1)
+	child.End()
+	sp.End()
+	if sp.Snapshot() != nil {
+		t.Errorf("nil span snapshot should be nil")
+	}
+	if r.Snapshot() != nil {
+		t.Errorf("nil registry snapshot should be nil")
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil snapshot text: %q, %v", buf.String(), err)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from many
+// goroutines; run under -race this is the data-race guard for the whole
+// instrument set.
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared.counter")
+			g := r.Gauge("shared.gauge")
+			h := r.Histogram("shared.hist")
+			sp := r.StartSpan("shared.span")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.SetMax(int64(w*perWorker + i))
+				h.Observe(int64(i))
+				sp.SetInt("i", int64(i))
+			}
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counters["shared.counter"]; got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Gauges["shared.gauge"]; got != workers*perWorker-1 {
+		t.Errorf("gauge high-water = %d, want %d", got, workers*perWorker-1)
+	}
+	h := s.Histograms["shared.hist"]
+	if h.Count != workers*perWorker || h.Max != perWorker-1 {
+		t.Errorf("hist count=%d max=%d", h.Count, h.Max)
+	}
+	var total int64
+	for _, b := range h.Buckets {
+		total += b.Count
+	}
+	if total != h.Count {
+		t.Errorf("bucket sum %d != count %d", total, h.Count)
+	}
+	if len(s.Spans) != workers {
+		t.Errorf("got %d root spans, want %d", len(s.Spans), workers)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 8 || s.Sum != 1025 || s.Max != 1000 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	// Buckets: le=0 {0}, le=1 {1}, le=3 {2,3}, le=7 {4,7}, le=15 {8},
+	// le=1023 {1000}.
+	want := []Bucket{{0, 1}, {1, 1}, {3, 2}, {7, 2}, {15, 1}, {1023, 1}}
+	if !reflect.DeepEqual(s.Buckets, want) {
+		t.Errorf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	r := New()
+	root := r.StartSpan("root")
+	root.SetAttr("engine", "chase")
+	a := root.StartSpan("a")
+	aa := a.StartSpan("aa")
+	aa.End()
+	a.End()
+	b := root.StartSpan("b")
+	b.SetInt("tuples", 42)
+	b.End()
+	root.End()
+
+	s := r.Snapshot()
+	if len(s.Spans) != 1 {
+		t.Fatalf("got %d root spans", len(s.Spans))
+	}
+	rs := s.Spans[0]
+	if rs.Name != "root" || rs.Running || len(rs.Children) != 2 {
+		t.Fatalf("root span %+v", rs)
+	}
+	if rs.Children[0].Name != "a" || len(rs.Children[0].Children) != 1 ||
+		rs.Children[0].Children[0].Name != "aa" {
+		t.Errorf("nesting wrong: %+v", rs.Children[0])
+	}
+	if rs.Children[1].Name != "b" || len(rs.Children[1].Attrs) != 1 ||
+		rs.Children[1].Attrs[0] != (Attr{"tuples", "42"}) {
+		t.Errorf("attrs wrong: %+v", rs.Children[1])
+	}
+	if rs.DurationNS < rs.Children[0].DurationNS {
+		t.Errorf("parent duration %d < child duration %d", rs.DurationNS, rs.Children[0].DurationNS)
+	}
+	// A snapshot before End reports the span as running.
+	open := r.StartSpan("open")
+	if snap := open.Snapshot(); !snap.Running || snap.DurationNS < 0 {
+		t.Errorf("open span snapshot %+v", snap)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("chase.rounds").Add(14)
+	r.Counter("ind.expanded").Add(3)
+	r.Gauge("ind.frontier_peak").SetMax(9)
+	r.Histogram("ind.chain_length").Observe(14)
+	root := r.StartSpan("core.query")
+	root.SetAttr("engine", "ind")
+	child := root.StartSpan("ind.decide")
+	child.SetInt("visited", 9)
+	child.End()
+	root.End()
+
+	snap := r.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", snap, back)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := New()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Gauge("g").Set(5)
+	r.Histogram("h").Observe(3)
+	sp := r.StartSpan("root")
+	sp.StartSpan("child").End()
+	sp.End()
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"counters:", "a.count", "b.count", "gauges:", "histograms:", "spans:", "root", "child"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted: a.count before b.count.
+	if strings.Index(out, "a.count") > strings.Index(out, "b.count") {
+		t.Errorf("counters not sorted:\n%s", out)
+	}
+}

@@ -10,10 +10,11 @@ package search
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"indfd/internal/data"
 	"indfd/internal/deps"
+	"indfd/internal/obs"
 	"indfd/internal/schema"
 )
 
@@ -28,11 +29,19 @@ type Options struct {
 	// instead of) exhaustive search; 0 disables random search.
 	RandomTrials int
 	// Seed seeds the random search (0 uses a fixed default, keeping runs
-	// deterministic).
+	// deterministic: the PCG generator of math/rand/v2 produces the same
+	// sequence for the same seed on every platform and Go release).
 	Seed int64
 	// MaxExhaustive bounds the number of databases the exhaustive phase
 	// may enumerate; beyond it the phase is skipped (default 1 << 22).
 	MaxExhaustive int
+	// Obs, when non-nil, receives the search's work counters under the
+	// "search." namespace (databases enumerated, random trials,
+	// satisfaction checks). A nil registry costs nothing.
+	Obs *obs.Registry
+	// Span, when non-nil, parents the search's span; with Span nil but Obs
+	// set, a root span is opened on Obs.
+	Span *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -62,7 +71,19 @@ func Counterexample(db *schema.Database, sigma []deps.Dependency, goal deps.Depe
 			return nil, false, err
 		}
 	}
+	var sp *obs.Span
+	if opt.Span != nil {
+		sp = opt.Span.StartSpan("search")
+	} else {
+		sp = opt.Obs.StartSpan("search")
+	}
+	defer sp.End()
+	cChecks := opt.Obs.Counter("search.checks")
+	cEnumerated := opt.Obs.Counter("search.databases_enumerated")
+	cTrials := opt.Obs.Counter("search.random_trials")
+	cHits := opt.Obs.Counter("search.hits")
 	check := func(cand *data.Database) (bool, error) {
+		cChecks.Inc()
 		ok, _, err := cand.SatisfiesAll(sigma)
 		if err != nil || !ok {
 			return false, err
@@ -70,6 +91,9 @@ func Counterexample(db *schema.Database, sigma []deps.Dependency, goal deps.Depe
 		sat, err := cand.Satisfies(goal)
 		if err != nil {
 			return false, err
+		}
+		if !sat {
+			cHits.Inc()
 		}
 		return !sat, nil
 	}
@@ -94,7 +118,12 @@ func Counterexample(db *schema.Database, sigma []deps.Dependency, goal deps.Depe
 		total *= float64(subsets)
 	}
 	if total <= float64(opt.MaxExhaustive) {
-		cand, found, err := exhaustive(db, names, universes, opt.MaxTuples, check)
+		exSp := sp.StartSpan("search.exhaustive")
+		cand, found, err := exhaustive(db, names, universes, opt.MaxTuples, func(cand *data.Database) (bool, error) {
+			cEnumerated.Inc()
+			return check(cand)
+		})
+		exSp.End()
 		if err != nil || found {
 			return cand, found, err
 		}
@@ -102,17 +131,20 @@ func Counterexample(db *schema.Database, sigma []deps.Dependency, goal deps.Depe
 
 	// Random phase.
 	if opt.RandomTrials > 0 {
+		rndSp := sp.StartSpan("search.random")
+		defer rndSp.End()
 		seed := opt.Seed
 		if seed == 0 {
 			seed = 1
 		}
-		r := rand.New(rand.NewSource(seed))
+		r := rand.New(rand.NewPCG(uint64(seed), 0))
 		for trial := 0; trial < opt.RandomTrials; trial++ {
+			cTrials.Inc()
 			cand := data.NewDatabase(db)
 			for i, name := range names {
-				n := r.Intn(opt.MaxTuples + 1)
+				n := r.IntN(opt.MaxTuples + 1)
 				for j := 0; j < n; j++ {
-					cand.MustInsert(name, universes[i][r.Intn(len(universes[i]))])
+					cand.MustInsert(name, universes[i][r.IntN(len(universes[i]))])
 				}
 			}
 			ok, err := check(cand)
@@ -120,6 +152,7 @@ func Counterexample(db *schema.Database, sigma []deps.Dependency, goal deps.Depe
 				return nil, false, err
 			}
 			if ok {
+				rndSp.SetInt("trials", int64(trial+1))
 				return cand, true, nil
 			}
 		}

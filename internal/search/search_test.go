@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"indfd/internal/deps"
+	"indfd/internal/obs"
 	"indfd/internal/schema"
 )
 
@@ -96,5 +97,48 @@ func TestTrivialGoalHasNoCounterexample(t *testing.T) {
 	_, found, err := Counterexample(db, nil, goal, Options{Domain: 2, MaxTuples: 2, RandomTrials: 50})
 	if err != nil || found {
 		t.Errorf("trivial goal cannot have a counterexample: %v %v", found, err)
+	}
+}
+
+// TestRandomPhaseDeterminism pins one random-search outcome: math/rand/v2's
+// PCG generator is fully specified, so a fixed seed must reproduce this
+// exact counterexample on every platform and Go release. If this test
+// breaks, the documented fixed-seed determinism of Options.Seed broke.
+func TestRandomPhaseDeterminism(t *testing.T) {
+	db := rab()
+	sigma := []deps.Dependency{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))}
+	goal := deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A"))
+	opt := Options{Domain: 2, MaxTuples: 2, RandomTrials: 200, Seed: 42, MaxExhaustive: 1}
+	want := "R(A,B)\n  (0,0)\n  (1,0)"
+	for run := 0; run < 2; run++ {
+		ce, found, err := Counterexample(db, sigma, goal, opt)
+		if err != nil || !found {
+			t.Fatalf("run %d: found=%v err=%v", run, found, err)
+		}
+		if got := ce.String(); got != want {
+			t.Errorf("run %d: seed-42 counterexample drifted:\ngot:\n%s\nwant:\n%s", run, got, want)
+		}
+	}
+}
+
+// TestSearchObs checks the search publishes its work counters.
+func TestSearchObs(t *testing.T) {
+	reg := obs.New()
+	db := rab()
+	sigma := []deps.Dependency{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))}
+	goal := deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A"))
+	_, found, err := Counterexample(db, sigma, goal, Options{Domain: 2, MaxTuples: 3, Obs: reg})
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["search.databases_enumerated"] == 0 || s.Counters["search.checks"] == 0 {
+		t.Errorf("missing search counters: %v", s.Counters)
+	}
+	if s.Counters["search.hits"] != 1 {
+		t.Errorf("search.hits = %d, want 1", s.Counters["search.hits"])
+	}
+	if len(s.Spans) != 1 || s.Spans[0].Name != "search" {
+		t.Errorf("missing search span: %+v", s.Spans)
 	}
 }

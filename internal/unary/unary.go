@@ -28,6 +28,7 @@ import (
 
 	"indfd/internal/deps"
 	"indfd/internal/fd"
+	"indfd/internal/obs"
 	"indfd/internal/schema"
 )
 
@@ -57,11 +58,23 @@ type System struct {
 	fdsFin []deps.FD
 	fdFin  map[Column]map[Column]bool
 	indFin map[Column]map[Column]bool
+	// closure work, published by NewObs
+	cycleRounds  int // cycle-rule fixpoint iterations
+	reversedFDs  int // unary FDs reversed by the cycle rule
+	reversedINDs int // unary INDs reversed by the cycle rule
 }
 
 // New builds a System from sigma, which may contain FDs of any shape and
 // unary INDs.
 func New(db *schema.Database, sigma []deps.Dependency) (*System, error) {
+	return NewObs(db, sigma, nil)
+}
+
+// NewObs is New publishing the finite-closure's work into reg under the
+// "unary." namespace: cycle-rule rounds, FDs and INDs reversed by the
+// cardinality argument (the engine's whole cost is paid eagerly here; the
+// queries afterwards are lookups). A nil registry costs nothing.
+func NewObs(db *schema.Database, sigma []deps.Dependency, reg *obs.Registry) (*System, error) {
 	s := &System{
 		db:  db,
 		ind: map[Column]map[Column]bool{},
@@ -84,6 +97,18 @@ func New(db *schema.Database, sigma []deps.Dependency) (*System, error) {
 	}
 	s.fd = unaryFDEdges(db, s.fds)
 	s.fdsFin, s.fdFin, s.indFin = s.finiteClosure()
+	if reg != nil {
+		reg.Counter("unary.systems_built").Inc()
+		reg.Counter("unary.cycle_rounds").Add(int64(s.cycleRounds))
+		reg.Counter("unary.reversed_fds").Add(int64(s.reversedFDs))
+		reg.Counter("unary.reversed_inds").Add(int64(s.reversedINDs))
+		reg.Gauge("unary.columns").SetMax(int64(len(s.columns())))
+		edges := 0
+		for _, m := range s.indFin {
+			edges += len(m)
+		}
+		reg.Gauge("unary.ind_closure_edges").SetMax(int64(edges))
+	}
 	return s, nil
 }
 
@@ -167,6 +192,7 @@ func (s *System) finiteClosure() (fdsC []deps.FD, fdC, indC map[Column]map[Colum
 	fdsC = append([]deps.FD(nil), s.fds...)
 	indC = copyGraph(s.ind)
 	for {
+		s.cycleRounds++
 		fdR := unaryFDEdges(s.db, fdsC) // fdR[u][v]: the FDs imply u -> v
 		indR := reach(indC, nodes)      // indR[u][v]: u ⊆* v
 		// Cardinality graph: le[u][v] iff |u| ≤ |v| is forced.
@@ -190,6 +216,7 @@ func (s *System) finiteClosure() (fdsC []deps.FD, fdC, indC map[Column]map[Colum
 			for v := range m {
 				if u != v && sameSCC(u, v) && !fdR[v][u] {
 					fdsC = append(fdsC, deps.NewFD(v.Rel, []schema.Attribute{v.Attr}, []schema.Attribute{u.Attr}))
+					s.reversedFDs++
 					changed = true
 				}
 			}
@@ -198,6 +225,7 @@ func (s *System) finiteClosure() (fdsC []deps.FD, fdC, indC map[Column]map[Colum
 			for v := range m {
 				if u != v && sameSCC(u, v) && !indR[v][u] {
 					addEdge(indC, v, u)
+					s.reversedINDs++
 					changed = true
 				}
 			}
