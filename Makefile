@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench benchjson
+.PHONY: check build vet test race bench benchjson bench-json serve
 
 check: build vet race
 
@@ -23,6 +23,13 @@ bench:
 	$(GO) test -bench . -benchmem ./...
 
 # Machine-readable per-engine counters from the reference workloads
-# (see bench_test.go): writes BENCH_engines.json.
-benchjson:
+# (see bench_test.go): regenerates the committed BENCH_engines.json
+# baseline. CI runs this to keep the baseline honest.
+bench-json:
 	$(GO) test -run TestMain -bench BenchmarkChaseObs -benchjson BENCH_engines.json .
+
+benchjson: bench-json
+
+# Run the implication service locally with live /metrics.
+serve:
+	$(GO) run ./cmd/depserve

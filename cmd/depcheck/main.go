@@ -8,12 +8,13 @@
 // Usage:
 //
 //	depcheck -deps schema.dep -data ./csvdir [-repair ./fixed] [-advise]
-//	         [-stats] [-trace-json FILE] [-pprof ADDR]
+//	         [-stats] [-trace-json FILE] [-pprof ADDR] [-memprofile FILE]
 //
 // With -stats, a metrics and span report (lint.* check counters plus the
 // chase.* counters of any repair or advice chases) goes to stderr;
-// -trace-json FILE writes the span tree as JSON and -pprof ADDR serves
-// net/http/pprof.
+// -trace-json FILE writes the span tree as JSON, -pprof ADDR serves
+// net/http/pprof, and -memprofile FILE writes an end-of-run heap
+// profile.
 //
 // Exit status: 0 when the data satisfies every dependency, 3 when
 // violations were found, 1 on errors.

@@ -1,0 +1,118 @@
+// Command depserve runs the implication engines as a resident HTTP
+// service with live observability: a JSON API over internal/core, a
+// Prometheus /metrics endpoint, structured request logs, readiness and
+// pprof endpoints, and a per-request deadline so the instances the
+// paper proves intractable (PSPACE-hard IND implication, divergent
+// FD+IND chases) degrade into 503s with partial statistics instead of
+// wedged workers.
+//
+// Usage:
+//
+//	depserve [-addr :8377] [-deadline 10s] [-max-deadline 60s]
+//	         [-slow 500ms] [-budget N] [-search] [-span-cap 64]
+//	         [-stats] [-trace-json FILE] [-pprof ADDR] [-memprofile FILE]
+//
+// Endpoints (see internal/serve):
+//
+//	POST /v1/implies     implication query
+//	POST /v1/satisfies   satisfaction check of concrete tuples
+//	GET  /metrics        Prometheus text exposition
+//	GET  /healthz        liveness
+//	GET  /readyz         readiness (armed once the listener is bound)
+//	GET  /debug/obs      full metrics + recent query traces as JSON
+//	GET  /debug/pprof/   profiles and execution traces
+//
+// Logs are JSON on stderr, one record per request; requests slower than
+// -slow are logged at Warn with slow_query=true. On SIGINT/SIGTERM the
+// server drains in-flight requests, then writes the -stats / -trace-json
+// / -memprofile end-of-run artifacts like the batch commands do.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"indfd/internal/cliutil"
+	"indfd/internal/obs"
+	"indfd/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8377", "listen address")
+	deadline := flag.Duration("deadline", 10*time.Second, "default per-request engine deadline")
+	maxDeadline := flag.Duration("max-deadline", 60*time.Second, "cap on the per-request timeout_ms")
+	slow := flag.Duration("slow", 500*time.Millisecond, "latency above which a request is logged as slow")
+	budget := flag.Int("budget", 0, "default chase tuple budget (0 = the chase package's default)")
+	search := flag.Bool("search", false, "enable the counterexample-search fallback by default")
+	spanCap := flag.Int("span-cap", 64, "root query spans retained for /debug/obs (0 = unbounded)")
+	obsFlags := cliutil.Register(flag.CommandLine)
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if err := run(logger, *addr, *deadline, *maxDeadline, *slow, *budget, *search, *spanCap, obsFlags); err != nil {
+		fmt.Fprintln(os.Stderr, "depserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Duration,
+	budget int, search bool, spanCap int, obsFlags *cliutil.ObsFlags) error {
+	// The server always runs instrumented — /metrics is its point — so
+	// the registry does not depend on the -stats/-trace-json flags.
+	reg := obs.New()
+	reg.SetSpanCap(spanCap)
+	if err := obsFlags.StartPprof(); err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{
+		Reg:             reg,
+		Logger:          logger,
+		DefaultDeadline: deadline,
+		MaxDeadline:     maxDeadline,
+		SlowQuery:       slow,
+		ChaseBudget:     budget,
+		SearchFallback:  search,
+	})
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv.SetReady(true)
+	logger.Info("listening", "addr", ln.Addr().String())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Info("shutting down", "reason", "signal")
+		srv.SetReady(false)
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			return err
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	return obsFlags.Finish(reg)
+}

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	indfd [-v] [-budget N] [-stats] [-trace-json FILE] [-pprof ADDR] [file.dep]
+//	indfd [-v] [-budget N] [-stats] [-trace-json FILE] [-pprof ADDR]
+//	      [-memprofile FILE] [file.dep]
 //
 // The input (a file, or stdin when no file is given) declares schemes,
 // dependencies and queries:
@@ -19,7 +20,8 @@
 // With -v, proofs and counterexamples are printed. With -stats, each
 // query's engine cost (IND expansions, chase rounds and tuples) and a
 // full metrics/span report go to stderr; -trace-json FILE writes the
-// span tree as JSON and -pprof ADDR serves net/http/pprof. The exit
+// span tree as JSON, -pprof ADDR serves net/http/pprof, and
+// -memprofile FILE writes an end-of-run heap profile. The exit
 // status is 0 when every query was decided, 2 when some verdict was
 // unknown (the general FD+IND problem is undecidable and the chase is
 // budgeted), and 1 on input errors.

@@ -6,13 +6,14 @@
 // Usage:
 //
 //	lbared [-machine eraser|rejector] [-n 3] [-show] [-chain]
-//	       [-stats] [-trace-json FILE] [-pprof ADDR]
+//	       [-stats] [-trace-json FILE] [-pprof ADDR] [-memprofile FILE]
 //
 // With -stats, the decision procedure's ind.* counters (expansions,
 // frontier high-water mark, chain length) and spans go to stderr;
-// -trace-json FILE writes the span tree as JSON and -pprof ADDR serves
-// net/http/pprof — useful because the reduction's instances grow
-// exponentially in n (Theorem 3.3).
+// -trace-json FILE writes the span tree as JSON, -pprof ADDR serves
+// net/http/pprof, and -memprofile FILE writes an end-of-run heap
+// profile — useful because the reduction's instances grow exponentially
+// in n (Theorem 3.3).
 package main
 
 import (

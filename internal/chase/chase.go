@@ -14,6 +14,7 @@
 package chase
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -55,6 +56,13 @@ type Options struct {
 	// MaxTuples bounds the total number of tuples the chase may create
 	// (including seeds). Zero means DefaultMaxTuples.
 	MaxTuples int
+	// Ctx, when non-nil, is checked once per chase round: a cancelled or
+	// expired context stops the run within one round, returning the
+	// context's error together with a partial Result (rounds and tuples
+	// so far). This is how a resident server bounds the divergent chases
+	// the paper proves must exist — a deadline, not just a tuple budget.
+	// A nil Ctx never cancels and costs one predictable branch per round.
+	Ctx context.Context
 	// Trace records every rule application into Result.Trace — the
 	// machine-generated analogue of the step-by-step derivation in the
 	// proof of Lemma 7.2.
@@ -96,6 +104,7 @@ type engine struct {
 	max     int
 	trace   []string
 	doTrace bool
+	ctx     context.Context // nil = never cancelled
 
 	// Possibly-nil instruments, fetched once per chase call; the hot
 	// loops touch them unconditionally (a nil receiver is a no-op).
@@ -116,6 +125,7 @@ func newEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engi
 		rels:    make(map[string][][]int),
 		max:     opt.maxTuples(),
 		doTrace: opt.Trace,
+		ctx:     opt.Ctx,
 
 		cRounds:   opt.Obs.Counter("chase.rounds"),
 		cTuples:   opt.Obs.Counter("chase.tuples_created"),
@@ -355,10 +365,23 @@ func (e *engine) dedup() {
 	}
 }
 
+// cancelled reports the context's error, if any: the per-round
+// cancellation probe (a nil context is a predictable branch, keeping
+// the uninstrumented, undeadlined path free).
+func (e *engine) cancelled() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
 // run chases to fixpoint or budget. It returns done=true when a fixpoint
 // was reached (the tableau is a model of sigma).
 func (e *engine) run() (done bool, err error) {
 	for {
+		if err := e.cancelled(); err != nil {
+			return false, err
+		}
 		e.cRounds.Inc()
 		fdChanged, err := e.applyFDs()
 		if err != nil {

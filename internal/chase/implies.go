@@ -49,6 +49,20 @@ type Result struct {
 func (e *engine) runToGoal(derived func() bool, sp *obs.Span) (Result, error) {
 	res := Result{}
 	for {
+		// The cancellation probe runs once per round, so a cancelled
+		// context stops even a divergent chase within one round — with the
+		// partial rounds/tuples counts preserved in the Result.
+		if err := e.cancelled(); err != nil {
+			res.Tuples = e.tuples
+			res.Trace = e.trace
+			if sp != nil {
+				sp.SetAttr("cancelled", err.Error())
+				sp.SetInt("rounds", int64(res.Rounds))
+				sp.SetInt("tuples", int64(res.Tuples))
+				sp.End()
+			}
+			return res, err
+		}
 		res.Rounds++
 		e.cRounds.Inc()
 		var round *obs.Span

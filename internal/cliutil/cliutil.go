@@ -1,7 +1,8 @@
 // Package cliutil wires the observability flags shared by the indfd,
-// depcheck and lbared commands: -stats (human-readable metrics report on
-// stderr), -trace-json (span-tree JSON export), and -pprof (a
-// net/http/pprof listener for live profiling).
+// depcheck, lbared and depserve commands: -stats (human-readable metrics
+// report on stderr), -trace-json (span-tree JSON export), -pprof (a
+// net/http/pprof listener for live profiling), and -memprofile (a heap
+// profile written at exit).
 package cliutil
 
 import (
@@ -10,6 +11,8 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"indfd/internal/obs"
 )
@@ -24,6 +27,10 @@ type ObsFlags struct {
 	// Pprof, when nonempty, is the address a net/http/pprof server
 	// listens on for the life of the process.
 	Pprof string
+	// MemProfile, when nonempty, is the file an end-of-run heap profile
+	// is written to (after a forced GC, so it shows live memory, not
+	// garbage) — the companion to -pprof for runs too short to scrape.
+	MemProfile string
 }
 
 // Register installs -stats, -trace-json and -pprof on fs (typically
@@ -33,6 +40,7 @@ func Register(fs *flag.FlagSet) *ObsFlags {
 	fs.BoolVar(&of.Stats, "stats", false, "print a metrics and span report to stderr")
 	fs.StringVar(&of.TraceJSON, "trace-json", "", "write the span tree as JSON to `file`")
 	fs.StringVar(&of.Pprof, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
+	fs.StringVar(&of.MemProfile, "memprofile", "", "write an end-of-run heap profile to `file`")
 	return of
 }
 
@@ -60,25 +68,40 @@ func (of *ObsFlags) StartPprof() error {
 	return nil
 }
 
-// Finish writes the requested reports from reg: the text report to
-// stderr under -stats and the JSON snapshot to the -trace-json file.
-// A nil registry writes nothing.
+// Finish writes the requested end-of-run artifacts: the text report to
+// stderr under -stats and the JSON snapshot to the -trace-json file
+// (both skipped for a nil registry), and the heap profile to the
+// -memprofile file (written regardless of the registry — memory is a
+// property of the process, not of the instrumentation).
 func (of *ObsFlags) Finish(reg *obs.Registry) error {
-	if reg == nil {
-		return nil
-	}
-	snap := reg.Snapshot()
-	if of.Stats {
-		if err := snap.WriteText(os.Stderr); err != nil {
-			return err
+	if reg != nil {
+		snap := reg.Snapshot()
+		if of.Stats {
+			if err := snap.WriteText(os.Stderr); err != nil {
+				return err
+			}
+		}
+		if of.TraceJSON != "" {
+			f, err := os.Create(of.TraceJSON)
+			if err != nil {
+				return err
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
 	}
-	if of.TraceJSON != "" {
-		f, err := os.Create(of.TraceJSON)
+	if of.MemProfile != "" {
+		f, err := os.Create(of.MemProfile)
 		if err != nil {
 			return err
 		}
-		if err := snap.WriteJSON(f); err != nil {
+		runtime.GC() // materialize the final live set before profiling
+		if err := pprof.WriteHeapProfile(f); err != nil {
 			f.Close()
 			return err
 		}

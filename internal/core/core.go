@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -99,6 +100,17 @@ type Options struct {
 	// and a span tree. A nil registry makes instrumentation free (see
 	// internal/obs).
 	Obs *obs.Registry
+	// Ctx, when non-nil, imposes a cooperative deadline on the engines
+	// whose cost the paper proves can blow up: the chase (checked once
+	// per round), the Corollary 3.2 IND search (checked every few
+	// expansions) and the counterexample search (checked per candidate).
+	// On cancellation the query returns the context's error together
+	// with an Answer carrying the partial work counters (ChaseRounds,
+	// ChaseTuples, INDStats) — a resident server turns this into a 503
+	// with partial stats instead of a wedged worker. The polynomial fd
+	// and unary engines always run to completion. A nil Ctx never
+	// cancels.
+	Ctx context.Context
 }
 
 // System is a database scheme plus a dependency set Σ.
@@ -274,7 +286,15 @@ func (s *System) query(goal deps.Dependency, opt Options, finite bool) (Answer, 
 		a, err = s.queryChase(relevant, goal, opt, finite, sp)
 	}
 	if err != nil {
+		// a may carry partial work counters (a cancelled chase or IND
+		// search); thread the metrics snapshot through so callers can
+		// report what was spent before the deadline hit.
+		sp.SetAttr("error", err.Error())
 		sp.End()
+		if opt.Obs != nil {
+			a.Metrics = opt.Obs.Snapshot()
+			a.Trace = sp.Snapshot()
+		}
 		return a, err
 	}
 	// a.Engine can differ from the dispatch class: the general engine's
@@ -292,14 +312,15 @@ func (s *System) query(goal deps.Dependency, opt Options, finite bool) (Answer, 
 func (s *System) queryIND(relevant []deps.Dependency, goal deps.IND, opt Options, sp *obs.Span) (Answer, error) {
 	sigma := deps.NewSet(relevant...).INDs()
 	dsp := sp.StartSpan("ind.decide")
-	res, err := ind.Decide(s.db, sigma, goal)
+	res, err := ind.DecideCtx(opt.Ctx, s.db, sigma, goal)
 	dsp.SetInt("expanded", int64(res.Stats.Expanded))
 	dsp.SetInt("visited", int64(res.Stats.Visited))
 	dsp.End()
-	if err != nil {
-		return Answer{}, err
-	}
 	res.Stats.Record(opt.Obs)
+	if err != nil {
+		// A cancelled search carries its partial stats out with the error.
+		return Answer{Verdict: Unknown, Engine: "ind", INDStats: &res.Stats}, err
+	}
 	if res.Implied {
 		p, err := ind.FromChain(res.Chain, res.Via)
 		if err != nil {
@@ -356,12 +377,12 @@ func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, op
 	switch g := goal.(type) {
 	case deps.IND:
 		dsp := sp.StartSpan("ind.decide")
-		res, err := ind.Decide(s.db, relSet.INDs(), g)
+		res, err := ind.DecideCtx(opt.Ctx, s.db, relSet.INDs(), g)
 		dsp.End()
-		if err != nil {
-			return Answer{}, err
-		}
 		res.Stats.Record(opt.Obs)
+		if err != nil {
+			return Answer{Verdict: Unknown, Engine: "ind", INDStats: &res.Stats}, err
+		}
 		if res.Implied {
 			p, err := ind.FromChain(res.Chain, res.Via)
 			if err != nil {
@@ -378,10 +399,13 @@ func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, op
 		}
 	}
 	res, err := chase.Implies(s.db, relevant, goal, chase.Options{
-		MaxTuples: opt.ChaseMaxTuples, Obs: opt.Obs, Span: sp,
+		MaxTuples: opt.ChaseMaxTuples, Obs: opt.Obs, Span: sp, Ctx: opt.Ctx,
 	})
 	if err != nil {
-		return Answer{}, err
+		// A cancelled chase returns the rounds and tuples it managed —
+		// the partial stats a server reports alongside the 503.
+		return Answer{Verdict: Unknown, Engine: "chase",
+			ChaseRounds: res.Rounds, ChaseTuples: res.Tuples}, err
 	}
 	cost := Answer{ChaseRounds: res.Rounds, ChaseTuples: res.Tuples}
 	switch res.Verdict {
@@ -399,10 +423,11 @@ func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, op
 		if opt.SearchFallback {
 			ce, found, err := search.Counterexample(s.db, relevant, goal, search.Options{
 				Domain: 3, MaxTuples: 3, RandomTrials: 300,
-				Obs: opt.Obs, Span: sp,
+				Obs: opt.Obs, Span: sp, Ctx: opt.Ctx,
 			})
 			if err != nil {
-				return Answer{}, err
+				cost.Verdict, cost.Engine = Unknown, "chase+search"
+				return cost, err
 			}
 			if found {
 				cost.Verdict, cost.Engine, cost.Counterexample = No, "chase+search", ce

@@ -1,0 +1,97 @@
+package ind
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// chainInstance builds a width-1 IND chain R0 ⊆ R1 ⊆ ... ⊆ R(n-1) with
+// the goal R0[A] ⊆ R(n-1)[A]: the breadth-first search must expand ~n
+// expressions to find it, giving the cancellation probe (which fires
+// every ctxCheckMask+1 expansions) room to trigger.
+func chainInstance(n int) (*schema.Database, []deps.IND, deps.IND) {
+	var schemes []*schema.Scheme
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("R%d", i)
+		schemes = append(schemes, schema.MustScheme(names[i], "A"))
+	}
+	db := schema.MustDatabase(schemes...)
+	var sigma []deps.IND
+	for i := 0; i+1 < n; i++ {
+		sigma = append(sigma, deps.NewIND(names[i], deps.Attrs("A"), names[i+1], deps.Attrs("A")))
+	}
+	return db, sigma, deps.NewIND(names[0], deps.Attrs("A"), names[n-1], deps.Attrs("A"))
+}
+
+// countdownCtx is a deterministic test context: Err reports Canceled
+// after the probe has been consulted `allow` times. It makes the
+// cancellation point in the search exact, with no timers involved.
+type countdownCtx struct {
+	context.Context
+	allow int
+	calls int
+}
+
+func (c *countdownCtx) Err() error {
+	c.calls++
+	if c.calls > c.allow {
+		return context.Canceled
+	}
+	return nil
+}
+
+// A context cancelled before the search starts returns immediately with
+// (almost) no work done.
+func TestDecideCtxCancelledBeforeStart(t *testing.T) {
+	db, sigma, goal := chainInstance(400)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := DecideCtx(ctx, db, sigma, goal)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Implied {
+		t.Errorf("cancelled search must not claim implication")
+	}
+	if res.Stats.Expanded != 0 {
+		t.Errorf("expanded %d expressions after pre-cancellation, want 0", res.Stats.Expanded)
+	}
+}
+
+// Cancellation mid-search stops within one probe interval and carries
+// the partial stats out.
+func TestDecideCtxCancelledMidSearch(t *testing.T) {
+	db, sigma, goal := chainInstance(400)
+	ctx := &countdownCtx{Context: context.Background(), allow: 2}
+	res, err := DecideCtx(ctx, db, sigma, goal)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Two allowed probes cover expansions [0, 2*(ctxCheckMask+1)); the
+	// third probe, at most one interval later, must stop the search.
+	if max := 3 * (ctxCheckMask + 1); res.Stats.Expanded >= max {
+		t.Errorf("search expanded %d expressions after cancellation, want < %d", res.Stats.Expanded, max)
+	}
+	if res.Stats.Expanded == 0 {
+		t.Errorf("mid-search cancellation should leave partial stats")
+	}
+}
+
+// A nil context must not change Decide's behaviour or answers.
+func TestDecideCtxNilMatchesDecide(t *testing.T) {
+	db, sigma, goal := chainInstance(50)
+	res, err := DecideCtx(nil, db, sigma, goal)
+	if err != nil || !res.Implied {
+		t.Fatalf("nil-ctx decide broken: %+v %v", res, err)
+	}
+	ref, err := Decide(db, sigma, goal)
+	if err != nil || ref.Stats != res.Stats {
+		t.Fatalf("Decide and DecideCtx(nil) disagree: %+v vs %+v (%v)", ref.Stats, res.Stats, err)
+	}
+}

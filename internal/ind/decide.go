@@ -15,6 +15,7 @@
 package ind
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -102,6 +103,22 @@ type Result struct {
 // The db scheme is used only to validate the inputs; pass nil to skip
 // validation (the paper's generated instances are valid by construction).
 func Decide(db *schema.Database, sigma []deps.IND, goal deps.IND) (Result, error) {
+	return DecideCtx(nil, db, sigma, goal)
+}
+
+// ctxCheckMask makes the cancellation probe run every 64 expansions:
+// frequent enough to stop a PSPACE-hard search promptly, cheap enough
+// to vanish against successor generation.
+const ctxCheckMask = 63
+
+// DecideCtx is Decide with cooperative cancellation: the search checks
+// ctx every few expansions and, when the context is cancelled or its
+// deadline passes, stops and returns the context's error together with
+// the partial Stats accumulated so far. Theorem 3.3 makes this the
+// engine's only defence on adversarial inputs — the LBA reduction
+// instances are exactly the ones whose frontier grows exponentially. A
+// nil ctx never cancels.
+func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal deps.IND) (Result, error) {
 	if db != nil {
 		if err := goal.Validate(db); err != nil {
 			return Result{}, err
@@ -156,6 +173,11 @@ func Decide(db *schema.Database, sigma []deps.IND, goal deps.IND) (Result, error
 		return finish(0), nil
 	}
 	for head := 0; head < len(nodes); head++ {
+		if ctx != nil && head&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{Stats: st}, err
+			}
+		}
 		cur := nodes[head].expr
 		st.Expanded++
 		for _, si := range byLRel[cur.Rel] {

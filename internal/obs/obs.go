@@ -35,6 +35,33 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    []*Span // root spans, in StartSpan order
+	spanCap  int     // 0 = unbounded; else max root spans retained
+}
+
+// SetSpanCap bounds the number of root spans the registry retains: once
+// more than n root spans have been started, the oldest are evicted. A
+// long-running process (depserve) shares one registry across every
+// request; without a cap the span forest would grow without bound, so
+// servers set a small cap and the registry keeps a sliding window of
+// the most recent query traces. n <= 0 restores the unbounded default.
+// A nil receiver is a no-op.
+func (r *Registry) SetSpanCap(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spanCap = n
+	r.trimSpansLocked()
+}
+
+// trimSpansLocked drops the oldest root spans beyond the cap.
+func (r *Registry) trimSpansLocked() {
+	if r.spanCap <= 0 || len(r.spans) <= r.spanCap {
+		return
+	}
+	keep := r.spans[len(r.spans)-r.spanCap:]
+	r.spans = append(r.spans[:0], keep...)
 }
 
 // New creates an empty Registry.

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// updateGolden regenerates the exposition golden file instead of
+// comparing (the Lemma 7.2 trace-golden convention):
+//
+//	go test ./internal/obs/ -run TestWritePrometheusGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a fixed registry exercising every exposition
+// shape: plain and labeled counters, gauges, a multi-bucket histogram,
+// a labeled histogram, and a label value needing escaping.
+func goldenRegistry() *Registry {
+	reg := New()
+	reg.Counter("chase.rounds").Add(42)
+	reg.Counter(MetricName("http.requests", "path", "/v1/implies", "code", "200")).Add(7)
+	reg.Counter(MetricName("http.requests", "path", "/v1/implies", "code", "503")).Add(1)
+	reg.Counter(MetricName("http.requests", "path", "/metrics", "code", "200")).Add(3)
+	reg.Counter(MetricName("serve.answers", "engine", "ind", "verdict", "yes")).Inc()
+	reg.Counter(MetricName("quote.test", "q", `a"b\c`+"\n")).Inc()
+	reg.Gauge("http.in_flight").Set(2)
+	reg.Gauge("chase.tuples_peak").SetMax(17)
+	h := reg.Histogram("ind.chain_length")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(200)
+	lat := reg.Histogram(MetricName("http.latency_us", "path", "/v1/implies"))
+	lat.Observe(120)
+	lat.Observe(90000)
+	return reg
+}
+
+// TestWritePrometheusGolden pins the /metrics exposition format — line
+// ordering, family grouping, cumulative buckets, escaping — against a
+// golden file so scrapes stay diffable across changes.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	wantLines := strings.Split(string(raw), "\n")
+	gotLines := strings.Split(got, "\n")
+	for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if w != g {
+			t.Errorf("exposition line %d:\n  got:  %q\n  want: %q", i+1, g, w)
+		}
+	}
+}
+
+// The exposition must be byte-stable across repeated snapshots of the
+// same state (map iteration order must not leak through).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := goldenRegistry()
+	var first string
+	for i := 0; i < 10; i++ {
+		var b strings.Builder
+		if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = b.String()
+		} else if b.String() != first {
+			t.Fatalf("exposition differs between identical snapshots:\n%s\nvs\n%s", first, b.String())
+		}
+	}
+}
+
+// Cumulative histogram invariants: bucket counts are nondecreasing in
+// le order, the +Inf bucket equals _count, and _sum matches.
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("x")
+	for _, v := range []int64{1, 2, 2, 5, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`x_bucket{le="1"} 1`,
+		`x_bucket{le="3"} 3`,
+		`x_bucket{le="7"} 4`,
+		`x_bucket{le="127"} 5`,
+		`x_bucket{le="+Inf"} 5`,
+		`x_sum 110`,
+		`x_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricNameEscaping(t *testing.T) {
+	got := MetricName("m", "k", "a\"b\\c\nd")
+	want := `m{k="a\"b\\c\nd"}`
+	if got != want {
+		t.Errorf("MetricName = %q, want %q", got, want)
+	}
+	if MetricName("m") != "m" {
+		t.Errorf("MetricName with no labels should be the base name")
+	}
+}
+
+func TestSanitizeFamily(t *testing.T) {
+	for in, want := range map[string]string{
+		"chase.rounds":    "chase_rounds",
+		"http.latency_us": "http_latency_us",
+		"9lives":          "_lives",
+		"a-b.c":           "a_b_c",
+	} {
+		if got := sanitizeFamily(in); got != want {
+			t.Errorf("sanitizeFamily(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	reg := New()
+	reg.Counter("c").Add(5)
+	reg.Gauge("g").Set(3)
+	reg.Histogram("h").Observe(2)
+	before := reg.Snapshot()
+
+	reg.Counter("c").Add(2)
+	reg.Counter("new").Inc()
+	reg.Gauge("g").Set(9)
+	reg.Histogram("h").Observe(2)
+	reg.Histogram("h").Observe(1000)
+	after := reg.Snapshot()
+
+	d := after.Diff(before)
+	if d.Counters["c"] != 2 || d.Counters["new"] != 1 {
+		t.Errorf("counter deltas = %v", d.Counters)
+	}
+	if _, ok := d.Counters["unchanged"]; ok {
+		t.Errorf("zero-delta counters must be dropped")
+	}
+	if d.Gauges["g"] != 9 {
+		t.Errorf("gauges keep current level, got %v", d.Gauges)
+	}
+	dh := d.Histograms["h"]
+	if dh.Count != 2 || dh.Sum != 1002 {
+		t.Errorf("histogram delta = %+v", dh)
+	}
+	var le3 int64
+	for _, b := range dh.Buckets {
+		if b.Le == 3 {
+			le3 = b.Count
+		}
+	}
+	if le3 != 1 {
+		t.Errorf("bucket delta for le=3 is %d, want 1 (buckets %v)", le3, dh.Buckets)
+	}
+	if len(d.Spans) != 0 {
+		t.Errorf("diff must not carry spans")
+	}
+	// Diff against nil is the snapshot itself minus spans.
+	if full := after.Diff(nil); full.Counters["c"] != 7 {
+		t.Errorf("Diff(nil) counters = %v", full.Counters)
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	reg := New()
+	reg.SetSpanCap(3)
+	for i := 0; i < 10; i++ {
+		sp := reg.StartSpan("q")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+	snap := reg.Snapshot()
+	if len(snap.Spans) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(snap.Spans))
+	}
+	// The survivors are the most recent three (i = 7, 8, 9).
+	if got := snap.Spans[0].Attrs[0].Value; got != "7" {
+		t.Errorf("oldest retained span has i=%s, want 7", got)
+	}
+	// Lowering the cap trims retroactively; nil registry is a no-op.
+	reg.SetSpanCap(1)
+	if n := len(reg.Snapshot().Spans); n != 1 {
+		t.Errorf("after lowering cap: %d spans, want 1", n)
+	}
+	var nilReg *Registry
+	nilReg.SetSpanCap(5)
+}

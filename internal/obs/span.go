@@ -43,6 +43,7 @@ func (r *Registry) StartSpan(name string) *Span {
 	sp := &Span{name: name, start: time.Now()}
 	r.mu.Lock()
 	r.spans = append(r.spans, sp)
+	r.trimSpansLocked()
 	r.mu.Unlock()
 	return sp
 }

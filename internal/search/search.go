@@ -9,6 +9,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -42,6 +43,10 @@ type Options struct {
 	// Span, when non-nil, parents the search's span; with Span nil but Obs
 	// set, a root span is opened on Obs.
 	Span *obs.Span
+	// Ctx, when non-nil, is checked before every candidate database is
+	// tested; a cancelled or expired context aborts the search with the
+	// context's error. A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +88,11 @@ func Counterexample(db *schema.Database, sigma []deps.Dependency, goal deps.Depe
 	cTrials := opt.Obs.Counter("search.random_trials")
 	cHits := opt.Obs.Counter("search.hits")
 	check := func(cand *data.Database) (bool, error) {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return false, err
+			}
+		}
 		cChecks.Inc()
 		ok, _, err := cand.SatisfiesAll(sigma)
 		if err != nil || !ok {

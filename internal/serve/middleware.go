@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"indfd/internal/obs"
+)
+
+// ridKey is the context key under which the per-request ID travels.
+type ridKey struct{}
+
+// RequestID returns the request ID the middleware assigned, or "" when
+// the context did not pass through the middleware.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// statusWriter captures the status code and body size a handler wrote,
+// so the access log and the http.requests counter can label by outcome.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// Flush forwards to the underlying writer so the pprof trace endpoint
+// (which streams) keeps working behind the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the per-request observability stack:
+// a request ID (assigned, stored in the context, and echoed in the
+// X-Request-ID response header), the http.in_flight gauge, a
+// per-endpoint latency histogram in microseconds, a
+// per-endpoint-and-status request counter, and one structured log
+// record per request — at Warn with a slow_query marker when the
+// request outran Config.SlowQuery, at Info otherwise.
+//
+// route is the label the metrics carry; it is the registered pattern,
+// not the raw URL path, so label cardinality stays bounded no matter
+// what clients request.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	// The instruments are resolved once at registration, not per
+	// request; the handler's hot path only touches atomics.
+	latency := s.reg.Histogram(obs.MetricName("http.latency_us", "path", route))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.nextRequestID()
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
+
+		s.gInFlight.Add(1)
+		defer s.gInFlight.Add(-1)
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		elapsed := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+
+		latency.Observe(elapsed.Microseconds())
+		s.reg.Counter(obs.MetricName("http.requests",
+			"path", route, "code", strconv.Itoa(sw.status))).Inc()
+
+		attrs := []any{
+			"request_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"elapsed_us", elapsed.Microseconds(),
+			"remote", r.RemoteAddr,
+		}
+		if elapsed >= s.cfg.SlowQuery {
+			s.cSlow.Inc()
+			attrs = append(attrs, "slow_query", true,
+				"threshold_ms", s.cfg.SlowQuery.Milliseconds())
+			s.log.Warn("request", attrs...)
+		} else {
+			s.log.Info("request", attrs...)
+		}
+	})
+}
+
+// nextRequestID mints a process-unique request ID: a per-process base
+// (start-time derived, so IDs from different depserve runs differ) plus
+// a monotone counter.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.idBase, s.nextID.Add(1))
+}

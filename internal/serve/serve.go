@@ -1,0 +1,490 @@
+// Package serve is the HTTP layer of depserve, the resident implication
+// service: a JSON API over internal/core plus the live observability the
+// engines deserve — the decision procedures served here are exactly the
+// ones the paper proves can blow up (PSPACE-hard IND implication,
+// divergent FD+IND chases), so every request runs under a deadline, is
+// tagged with a request ID, logged as structured JSON, and measured into
+// a shared obs registry that GET /metrics exposes in the Prometheus text
+// format while the process runs.
+//
+// Endpoints:
+//
+//	POST /v1/implies    implication query (schema + Σ + goal in the .dep
+//	                    text forms), answered by the strongest exact
+//	                    engine; 503 with partial stats on deadline
+//	POST /v1/satisfies  satisfaction check of concrete tuples against Σ
+//	GET  /metrics       Prometheus text exposition of the registry
+//	GET  /healthz       liveness (always 200 once the mux is up)
+//	GET  /readyz        readiness (503 until SetReady(true))
+//	GET  /debug/obs     full obs.Snapshot as JSON (counters, gauges,
+//	                    histograms, recent query span trees)
+//	GET  /debug/pprof/  net/http/pprof profiles and execution traces
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"indfd/internal/core"
+	"indfd/internal/data"
+	"indfd/internal/obs"
+	"indfd/internal/parser"
+)
+
+// Config parameterizes a Server. The zero value of every field has a
+// usable default except Reg, which must be non-nil (a metrics-less
+// server would defeat the point).
+type Config struct {
+	// Reg is the shared registry every request's engine work lands in;
+	// /metrics and /debug/obs expose it. Callers running a long-lived
+	// server should bound its span retention with Reg.SetSpanCap.
+	Reg *obs.Registry
+	// Logger receives one structured record per request (plus slow-query
+	// warnings). Defaults to JSON on stderr.
+	Logger *slog.Logger
+	// DefaultDeadline bounds a request that does not set timeout_ms
+	// (default 10s).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps the per-request timeout_ms (default 60s).
+	MaxDeadline time.Duration
+	// SlowQuery is the latency above which a request is logged at Warn
+	// level and counted in http.slow_requests (default 500ms).
+	SlowQuery time.Duration
+	// ChaseBudget is the default chase tuple budget when a request does
+	// not set one (0 = the chase package's default).
+	ChaseBudget int
+	// SearchFallback enables the bounded counterexample search for
+	// inconclusive chases unless the request says otherwise.
+	SearchFallback bool
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Server answers implication traffic over HTTP. Create with New; the
+// instrumented handler comes from Handler.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	log     *slog.Logger
+	handler http.Handler
+	ready   atomic.Bool
+	nextID  atomic.Uint64
+	idBase  string
+	started time.Time
+
+	gInFlight *obs.Gauge
+	cSlow     *obs.Counter
+	cDeadline *obs.Counter
+}
+
+// New builds a Server. It panics when cfg.Reg is nil — the server
+// exists to expose metrics, so an instrumentation-off server is a
+// programming error, not a configuration.
+func New(cfg Config) *Server {
+	if cfg.Reg == nil {
+		panic("serve: Config.Reg must be non-nil")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 10 * time.Second
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 60 * time.Second
+	}
+	if cfg.SlowQuery <= 0 {
+		cfg.SlowQuery = 500 * time.Millisecond
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       cfg.Reg,
+		log:       cfg.Logger,
+		started:   time.Now(),
+		gInFlight: cfg.Reg.Gauge("http.in_flight"),
+		cSlow:     cfg.Reg.Counter("http.slow_requests"),
+		cDeadline: cfg.Reg.Counter("serve.deadline_exceeded"),
+	}
+	s.idBase = fmt.Sprintf("%x", s.started.UnixNano()&0xfffffff)
+
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/implies", s.instrument("/v1/implies", s.handleImplies))
+	mux.Handle("POST /v1/satisfies", s.instrument("/v1/satisfies", s.handleSatisfies))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	mux.Handle("GET /debug/obs", s.instrument("/debug/obs", s.handleObs))
+	mux.Handle("GET /debug/pprof/", s.instrument("/debug/pprof", pprof.Index))
+	mux.Handle("GET /debug/pprof/cmdline", s.instrument("/debug/pprof", pprof.Cmdline))
+	mux.Handle("GET /debug/pprof/profile", s.instrument("/debug/pprof", pprof.Profile))
+	mux.Handle("GET /debug/pprof/symbol", s.instrument("/debug/pprof", pprof.Symbol))
+	mux.Handle("GET /debug/pprof/trace", s.instrument("/debug/pprof", pprof.Trace))
+	mux.Handle("GET /", s.instrument("/", s.handleIndex))
+	s.handler = mux
+	return s
+}
+
+// Handler returns the instrumented mux.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// SetReady flips the /readyz verdict; depserve arms it once the
+// listener is bound.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// --- request/response types -------------------------------------------------
+
+// ImpliesRequest is the POST /v1/implies body. Schema entries use the
+// .dep scheme form without the "schema " keyword ("R(A, B)"); sigma and
+// goal use the .dep dependency forms ("R[A] <= S[B]", "R: A -> B",
+// "R[A == B]").
+type ImpliesRequest struct {
+	Schema []string `json:"schema"`
+	Sigma  []string `json:"sigma"`
+	Goal   string   `json:"goal"`
+	// Finite asks for finite implication (⊨fin) instead of unrestricted.
+	Finite bool `json:"finite,omitempty"`
+	// Budget overrides the server's chase tuple budget for this query.
+	Budget int `json:"budget,omitempty"`
+	// Search enables the bounded counterexample-search fallback.
+	Search bool `json:"search,omitempty"`
+	// TimeoutMS lowers (or raises, up to the server cap) the deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Explain adds the engine's explanation (derivation, cardinality
+	// cycle, or counterexample) to the response.
+	Explain bool `json:"explain,omitempty"`
+	// IncludeMetrics attaches this request's metric deltas (a
+	// Snapshot.Diff of the shared registry around the query; best-effort
+	// under concurrent traffic).
+	IncludeMetrics bool `json:"include_metrics,omitempty"`
+}
+
+// INDStats mirrors ind.Stats with JSON names.
+type INDStats struct {
+	Expanded     int `json:"expanded"`
+	Generated    int `json:"generated"`
+	Visited      int `json:"visited"`
+	FrontierPeak int `json:"frontier_peak"`
+	ChainLength  int `json:"chain_length,omitempty"`
+}
+
+// ImpliesResponse is the POST /v1/implies reply. On a 503 deadline the
+// verdict is "unknown" and the chase/IND stats hold the partial work
+// done before the deadline hit.
+type ImpliesResponse struct {
+	RequestID      string        `json:"request_id"`
+	Goal           string        `json:"goal,omitempty"`
+	Mode           string        `json:"mode,omitempty"`
+	Verdict        string        `json:"verdict,omitempty"`
+	Engine         string        `json:"engine,omitempty"`
+	Proof          string        `json:"proof,omitempty"`
+	Explanation    string        `json:"explanation,omitempty"`
+	Counterexample string        `json:"counterexample,omitempty"`
+	ChaseRounds    int           `json:"chase_rounds,omitempty"`
+	ChaseTuples    int           `json:"chase_tuples,omitempty"`
+	IND            *INDStats     `json:"ind,omitempty"`
+	ElapsedUS      int64         `json:"elapsed_us"`
+	DeadlineMS     int64         `json:"deadline_ms,omitempty"`
+	Metrics        *obs.Snapshot `json:"metrics,omitempty"`
+	Error          string        `json:"error,omitempty"`
+}
+
+// SatisfiesRequest is the POST /v1/satisfies body: a concrete database
+// (rows per relation) checked against Σ.
+type SatisfiesRequest struct {
+	Schema []string              `json:"schema"`
+	Sigma  []string              `json:"sigma"`
+	Data   map[string][][]string `json:"data"`
+}
+
+// SatisfiesResponse is the POST /v1/satisfies reply.
+type SatisfiesResponse struct {
+	RequestID string `json:"request_id"`
+	Satisfied bool   `json:"satisfied"`
+	Violated  string `json:"violated,omitempty"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	Error     string `json:"error,omitempty"`
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
+	var req ImpliesRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	resp := ImpliesResponse{RequestID: RequestID(r.Context())}
+	if req.Goal == "" {
+		s.badRequest(w, r, resp, "missing goal")
+		return
+	}
+	file, err := parser.ParseString(depDocument(req.Schema, req.Sigma, req.Goal, req.Finite))
+	if err != nil {
+		s.badRequest(w, r, resp, err.Error())
+		return
+	}
+	if len(file.Queries) != 1 || len(file.TDQueries) != 0 {
+		s.badRequest(w, r, resp, "goal must be a single FD, IND or RD")
+		return
+	}
+	q := file.Queries[0]
+	sys := core.NewSystem(file.DB)
+	if err := sys.Add(file.Sigma...); err != nil {
+		s.badRequest(w, r, resp, err.Error())
+		return
+	}
+	resp.Goal = q.Goal.String()
+	resp.Mode = "unrestricted"
+	if req.Finite {
+		resp.Mode = "finite"
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if req.TimeoutMS > 0 {
+		deadline = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	resp.DeadlineMS = deadline.Milliseconds()
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	budget := req.Budget
+	if budget <= 0 {
+		budget = s.cfg.ChaseBudget
+	}
+	opt := core.Options{
+		ChaseMaxTuples: budget,
+		SearchFallback: req.Search || s.cfg.SearchFallback,
+		Obs:            s.reg,
+		Ctx:            ctx,
+	}
+
+	var before *obs.Snapshot
+	if req.IncludeMetrics {
+		before = s.reg.Snapshot()
+	}
+	start := time.Now()
+	var a core.Answer
+	var why string
+	if req.Explain {
+		a, why, err = sys.Explain(q.Goal, opt, req.Finite)
+	} else if req.Finite {
+		a, err = sys.ImpliesFinite(q.Goal, opt)
+	} else {
+		a, err = sys.Implies(q.Goal, opt)
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	fillAnswer(&resp, a)
+	resp.Explanation = why
+	if req.IncludeMetrics {
+		resp.Metrics = s.reg.Snapshot().Diff(before)
+	}
+
+	switch {
+	case err == nil:
+		s.reg.Counter(obs.MetricName("serve.answers",
+			"engine", a.Engine, "verdict", a.Verdict.String())).Inc()
+		s.writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		// The engines return their partial work with the error; the 503
+		// tells the client the instance, not the server, is the problem —
+		// the general FD+IND implication problem is undecidable and this
+		// instance outran its deadline.
+		s.cDeadline.Inc()
+		s.reg.Counter(obs.MetricName("serve.answers",
+			"engine", a.Engine, "verdict", "deadline")).Inc()
+		resp.Error = err.Error()
+		s.writeJSON(w, http.StatusServiceUnavailable, resp)
+	default:
+		resp.Error = err.Error()
+		s.writeJSON(w, http.StatusInternalServerError, resp)
+	}
+}
+
+func (s *Server) handleSatisfies(w http.ResponseWriter, r *http.Request) {
+	var req SatisfiesRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	resp := SatisfiesResponse{RequestID: RequestID(r.Context())}
+	file, err := parser.ParseString(depDocument(req.Schema, req.Sigma, "", false))
+	if err != nil {
+		s.badRequestSat(w, resp, err.Error())
+		return
+	}
+	db := data.NewDatabase(file.DB)
+	for rel, rows := range req.Data {
+		for _, row := range rows {
+			t := make(data.Tuple, len(row))
+			for i, v := range row {
+				t[i] = data.Value(v)
+			}
+			if _, err := db.Insert(rel, t); err != nil {
+				s.badRequestSat(w, resp, err.Error())
+				return
+			}
+		}
+	}
+	start := time.Now()
+	ok, bad, err := db.SatisfiesAll(file.Sigma)
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	if err != nil {
+		resp.Error = err.Error()
+		s.writeJSON(w, http.StatusInternalServerError, resp)
+		return
+	}
+	resp.Satisfied = ok
+	if !ok {
+		resp.Violated = bad.String()
+	}
+	s.reg.Counter(obs.MetricName("serve.satisfies", "satisfied", fmt.Sprintf("%t", ok))).Inc()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics refreshes the process gauges and writes the registry in
+// the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.Gauge("process.goroutines").Set(int64(runtime.NumGoroutine()))
+	s.reg.Gauge("process.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	s.reg.Gauge("process.uptime_seconds").Set(int64(time.Since(s.started).Seconds()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.Snapshot().WritePrometheus(w); err != nil {
+		s.log.Error("metrics exposition failed", "err", err)
+	}
+}
+
+func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
+		s.log.Error("obs snapshot failed", "err", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	io.WriteString(w, "ok\n") //nolint:errcheck
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ready\n") //nolint:errcheck
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	io.WriteString(w, `depserve — implication service for FDs and INDs
+POST /v1/implies     {"schema":["R(A,B)"],"sigma":["R: A -> B"],"goal":"R: A -> B"}
+POST /v1/satisfies   {"schema":[...],"sigma":[...],"data":{"R":[["a","b"]]}}
+GET  /metrics        Prometheus text exposition
+GET  /healthz        liveness
+GET  /readyz         readiness
+GET  /debug/obs      metrics + recent query traces as JSON
+GET  /debug/pprof/   profiles
+`) //nolint:errcheck
+}
+
+// --- helpers ----------------------------------------------------------------
+
+// depDocument assembles a .dep text document from the request's parts;
+// goal == "" omits the query line (the satisfies path).
+func depDocument(schema, sigma []string, goal string, finite bool) string {
+	var b strings.Builder
+	for _, s := range schema {
+		b.WriteString("schema ")
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	for _, d := range sigma {
+		b.WriteString(d)
+		b.WriteByte('\n')
+	}
+	if goal != "" {
+		if finite {
+			b.WriteString("?fin ")
+		} else {
+			b.WriteString("? ")
+		}
+		b.WriteString(goal)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// fillAnswer copies a core.Answer (possibly partial, on the deadline
+// path) into the response.
+func fillAnswer(resp *ImpliesResponse, a core.Answer) {
+	resp.Verdict = a.Verdict.String()
+	resp.Engine = a.Engine
+	resp.Proof = a.Proof
+	if a.Counterexample != nil {
+		resp.Counterexample = a.Counterexample.String()
+	}
+	resp.ChaseRounds = a.ChaseRounds
+	resp.ChaseTuples = a.ChaseTuples
+	if st := a.INDStats; st != nil {
+		resp.IND = &INDStats{
+			Expanded:     st.Expanded,
+			Generated:    st.Generated,
+			Visited:      st.Visited,
+			FrontierPeak: st.FrontierPeak,
+			ChainLength:  st.ChainLength,
+		}
+	}
+}
+
+// decodeBody reads a bounded JSON body, rejecting unknown fields so
+// typos surface as 400s instead of silently ignored options.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{
+			"request_id": RequestID(r.Context()),
+			"error":      "invalid request body: " + err.Error(),
+		})
+		return false
+	}
+	return true
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, r *http.Request, resp ImpliesResponse, msg string) {
+	resp.Error = msg
+	s.writeJSON(w, http.StatusBadRequest, resp)
+}
+
+func (s *Server) badRequestSat(w http.ResponseWriter, resp SatisfiesResponse, msg string) {
+	resp.Error = msg
+	s.writeJSON(w, http.StatusBadRequest, resp)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		s.log.Error("response encoding failed", "err", err)
+	}
+}

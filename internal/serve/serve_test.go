@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"indfd/internal/obs"
+)
+
+// newTestServer builds a Server (plus its registry) with a tight slow
+// threshold and a discard logger.
+func newTestServer(t *testing.T, cfg Config) (*Server, *obs.Registry, *httptest.Server) {
+	t.Helper()
+	reg := obs.New()
+	cfg.Reg = reg
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	s := New(cfg)
+	s.SetReady(true)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, reg, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, b
+}
+
+const fastImplies = `{
+	"schema": ["MGR(NAME, DEPT)", "EMP(NAME, DEPT, SAL)"],
+	"sigma": ["MGR[NAME,DEPT] <= EMP[NAME,DEPT]"],
+	"goal": "MGR[NAME] <= EMP[NAME]"
+}`
+
+const divergentImplies = `{
+	"schema": ["R(A, B, C)"],
+	"sigma": ["R[A,B] <= R[B,C]", "R: A, B -> C"],
+	"goal": "R: A -> C",
+	"budget": 1000000,
+	"timeout_ms": 50
+}`
+
+func TestImpliesFast(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/implies", fastImplies)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Errorf("missing X-Request-ID header")
+	}
+	var out ImpliesResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, body)
+	}
+	if out.Verdict != "yes" || out.Engine != "ind" {
+		t.Errorf("verdict/engine = %q/%q, want yes/ind", out.Verdict, out.Engine)
+	}
+	if out.Proof == "" {
+		t.Errorf("expected an IND1-IND3 proof")
+	}
+	if out.RequestID == "" {
+		t.Errorf("missing request_id in body")
+	}
+	if out.IND == nil || out.IND.ChainLength == 0 {
+		t.Errorf("expected IND stats with a chain, got %+v", out.IND)
+	}
+}
+
+// TestImpliesDeadline drives the divergent FD+IND instance with a 50ms
+// deadline and wants the 503-with-partial-stats contract: verdict
+// unknown, engine chase, nonzero rounds/tuples, and the context error.
+func TestImpliesDeadline(t *testing.T) {
+	_, reg, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/implies", divergentImplies)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", resp.StatusCode, body)
+	}
+	var out ImpliesResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, body)
+	}
+	if out.Verdict != "unknown" || out.Engine != "chase" {
+		t.Errorf("verdict/engine = %q/%q, want unknown/chase", out.Verdict, out.Engine)
+	}
+	if out.ChaseRounds == 0 || out.ChaseTuples == 0 {
+		t.Errorf("expected partial chase stats, got rounds=%d tuples=%d",
+			out.ChaseRounds, out.ChaseTuples)
+	}
+	if !strings.Contains(out.Error, "deadline") {
+		t.Errorf("error = %q, want a deadline error", out.Error)
+	}
+	if n := reg.Counter("serve.deadline_exceeded").Value(); n != 1 {
+		t.Errorf("serve.deadline_exceeded = %d, want 1", n)
+	}
+}
+
+func TestImpliesFiniteAndExplain(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	// The Theorem 4.4 gap instance: under finite implication the unary
+	// cycle rule derives the converse IND.
+	req := `{
+		"schema": ["R(A, B)"],
+		"sigma": ["R[A] <= R[B]", "R: A -> B"],
+		"goal": "R[B] <= R[A]",
+		"finite": true,
+		"explain": true
+	}`
+	resp, body := postJSON(t, ts.URL+"/v1/implies", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; body %s", resp.StatusCode, body)
+	}
+	var out ImpliesResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Verdict != "yes" || out.Engine != "unary" || out.Mode != "finite" {
+		t.Errorf("got verdict=%q engine=%q mode=%q, want yes/unary/finite",
+			out.Verdict, out.Engine, out.Mode)
+	}
+	if out.Explanation == "" {
+		t.Errorf("explain=true returned no explanation")
+	}
+}
+
+func TestImpliesIncludeMetrics(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	req := strings.Replace(fastImplies, "\n}", ",\n\t\"include_metrics\": true\n}", 1)
+	resp, body := postJSON(t, ts.URL+"/v1/implies", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; body %s", resp.StatusCode, body)
+	}
+	var out ImpliesResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Metrics == nil {
+		t.Fatalf("include_metrics=true returned no metrics")
+	}
+	if out.Metrics.Counters["ind.expanded"] == 0 {
+		t.Errorf("metrics diff should show this request's ind.expanded, got %v",
+			out.Metrics.Counters)
+	}
+}
+
+func TestImpliesBadRequests(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"not json":      `{`,
+		"unknown field": `{"goal": "R: A -> B", "budgte": 3}`,
+		"missing goal":  `{"schema": ["R(A, B)"], "sigma": []}`,
+		"parse error":   `{"schema": ["R(A, B)"], "sigma": ["R: A => B"], "goal": "R: A -> B"}`,
+		"bad schema":    `{"schema": ["R(A, B)"], "sigma": ["S: A -> B"], "goal": "R: A -> B"}`,
+	} {
+		resp, b := postJSON(t, ts.URL+"/v1/implies", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400; body %s", name, resp.StatusCode, b)
+		}
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	good := `{
+		"schema": ["R(A, B)"],
+		"sigma": ["R: A -> B"],
+		"data": {"R": [["x", "1"], ["y", "2"]]}
+	}`
+	resp, body := postJSON(t, ts.URL+"/v1/satisfies", good)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; body %s", resp.StatusCode, body)
+	}
+	var out SatisfiesResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !out.Satisfied || out.Violated != "" {
+		t.Errorf("got satisfied=%t violated=%q, want satisfied", out.Satisfied, out.Violated)
+	}
+
+	bad := strings.Replace(good, `["y", "2"]`, `["x", "2"]`, 1)
+	resp, body = postJSON(t, ts.URL+"/v1/satisfies", bad)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Satisfied || !strings.Contains(out.Violated, "A -> B") {
+		t.Errorf("got satisfied=%t violated=%q, want the FD violated", out.Satisfied, out.Violated)
+	}
+}
+
+// TestMetricsExposition checks that after real traffic the Prometheus
+// endpoint exposes the per-endpoint latency histogram, the
+// per-endpoint/per-status counters, the per-engine serve counters, and
+// the process gauges.
+func TestMetricsExposition(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/implies", fastImplies)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	for _, want := range []string{
+		`http_latency_us_bucket{path="/v1/implies",le="`,
+		`http_latency_us_count{path="/v1/implies"}`,
+		`http_requests_total{path="/v1/implies",code="200"} 1`,
+		`serve_answers_total{engine="ind",verdict="yes"} 1`,
+		`ind_expanded_total`,
+		"# TYPE http_latency_us histogram",
+		"process_goroutines",
+		"process_heap_alloc_bytes",
+		"http_in_flight 1", // the /metrics request itself is in flight
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	s, _, ts := newTestServer(t, Config{})
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", code)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz = %d, want 200 when ready", code)
+	}
+	s.SetReady(false)
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz = %d, want 503 when not ready", code)
+	}
+}
+
+func TestDebugObsAndPprof(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/implies", fastImplies)
+
+	resp, err := http.Get(ts.URL + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("/debug/obs is not a Snapshot: %v\n%s", err, b)
+	}
+	if len(snap.Spans) == 0 {
+		t.Errorf("/debug/obs has no query spans")
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestSlowQueryCounter uses a zero-ish threshold so every request is
+// slow, and checks the counter and that normal service continues.
+func TestSlowQueryCounter(t *testing.T) {
+	_, reg, ts := newTestServer(t, Config{SlowQuery: time.Nanosecond})
+	postJSON(t, ts.URL+"/v1/implies", fastImplies)
+	if n := reg.Counter("http.slow_requests").Value(); n == 0 {
+		t.Errorf("http.slow_requests = 0, want > 0 with a 1ns threshold")
+	}
+}
+
+func TestRequestIDsDistinct(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	r1, _ := postJSON(t, ts.URL+"/v1/implies", fastImplies)
+	r2, _ := postJSON(t, ts.URL+"/v1/implies", fastImplies)
+	id1, id2 := r1.Header.Get("X-Request-ID"), r2.Header.Get("X-Request-ID")
+	if id1 == "" || id1 == id2 {
+		t.Errorf("request IDs not distinct: %q vs %q", id1, id2)
+	}
+}
+
+func TestIndexAndNotFound(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "/v1/implies") {
+		t.Errorf("index page does not list endpoints:\n%s", b)
+	}
+	resp, err = http.Get(ts.URL + "/no/such/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", resp.StatusCode)
+	}
+}
