@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"math/big"
 	"os"
+	"runtime"
 	"testing"
 
+	"indfd/internal/benchws"
 	"indfd/internal/chase"
 	"indfd/internal/counterex"
 	"indfd/internal/data"
@@ -583,6 +585,67 @@ func BenchmarkINDDecisionSweep(b *testing.B) {
 	}
 }
 
+// --- hot-path benchmarks: IND frontier and exhaustive search ----------------
+
+// BenchmarkINDDecide tracks the Corollary 3.2 frontier on the two
+// adversarial families the paper supplies: the Lemma 3.2 superpolynomial
+// chain family (Landau permutations; chains of length f(m)) and a
+// Theorem 3.3 LBA-reduction instance. These are the allocation-heavy hot
+// paths the interned frontier targets; allocs/op here is the interning
+// regression guard.
+func BenchmarkINDDecide(b *testing.B) {
+	b.Run("chain", func(b *testing.B) {
+		for _, m := range []int{8, 10} {
+			s := perm.Scheme(m)
+			db := schema.MustDatabase(s)
+			gamma := perm.LandauPermutation(m)
+			fm := perm.Landau(m)
+			delta := gamma.Pow(new(big.Int).Sub(fm, big.NewInt(1)))
+			sigma := []deps.IND{perm.IND(s, gamma)}
+			goal := perm.IND(s, delta)
+			b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := ind.Decide(db, sigma, goal)
+					if err != nil || !res.Implied {
+						b.Fatal("decision wrong")
+					}
+				}
+			})
+		}
+	})
+	b.Run("lba", func(b *testing.B) {
+		inst, err := lba.Reduce(lba.Eraser(), lba.Input("a", 3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := ind.Decide(inst.DB, inst.Sigma, inst.Goal)
+			if err != nil || !res.Implied {
+				b.Fatal("reduction decision wrong")
+			}
+		}
+	})
+}
+
+// BenchmarkSearchExhaustive scans a full Domain=3/MaxTuples=3 exhaustive
+// space (the goal is trivially satisfied, so no early hit cuts the scan
+// short). Run with -cpu 1,2,8 to see the worker sharding; the candidate
+// order contract keeps the result deterministic at any width.
+func BenchmarkSearchExhaustive(b *testing.B) {
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C"))
+	sigma := []deps.Dependency{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))}
+	goal := deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("A"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, found, err := search.Counterexample(db, sigma, goal, search.Options{Domain: 3, MaxTuples: 3})
+		if err != nil || found {
+			b.Fatalf("trivial goal cannot have a counterexample: %v %v", found, err)
+		}
+	}
+}
+
 // --- machine-readable export and instrumentation-overhead guard -------------
 
 // benchJSON is the -benchjson flag: after the tests/benchmarks of this
@@ -607,92 +670,19 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
-// writeBenchJSON runs the per-engine reference workloads under one
-// registry and exports the snapshot.
+// writeBenchJSON runs the per-engine reference workloads of
+// internal/benchws under one registry and exports the snapshot
+// (counters plus benchws.*_ns wall-time gauges; cmd/benchdiff compares
+// a fresh run against this committed baseline).
 func writeBenchJSON(path string) error {
+	// The benchmarks that just ran leave a heap the GC is still paying
+	// for; settle it so the baseline's wall times measure the workloads,
+	// not the harness's garbage.
+	runtime.GC()
 	reg := obs.New()
-
-	// IND engine: the Theorem 3.3 reduction instance at n=3.
-	inst, err := lba.Reduce(lba.Eraser(), lba.Input("a", 3))
-	if err != nil {
+	if err := benchws.Run(reg, 5); err != nil {
 		return err
 	}
-	res, err := ind.Decide(inst.DB, inst.Sigma, inst.Goal)
-	if err != nil || !res.Implied {
-		return fmt.Errorf("ind workload wrong: %v %v", res.Implied, err)
-	}
-	res.Stats.Record(reg)
-
-	// FD engine: an 800-step chain proof.
-	sigma800 := fdChain(800)
-	goal800 := deps.NewFD("R", deps.Attrs("A0"), deps.Attrs("A799"))
-	if _, ok := fd.ProveObs(sigma800, goal800, reg); !ok {
-		return fmt.Errorf("fd workload wrong")
-	}
-
-	// Unary engine: the Fig 4.1 finite-implication instance.
-	u := counterex.Fig41()
-	usys, err := unary.NewObs(u.DB, u.Sigma, reg)
-	if err != nil {
-		return err
-	}
-	if ok, err := usys.ImpliesFinite(u.Goal); err != nil || !ok {
-		return fmt.Errorf("unary workload wrong: %v %v", ok, err)
-	}
-
-	// Chase engine: Proposition 4.1 and the Lemma 7.2 derivation at n=4.
-	db41 := schema.MustDatabase(
-		schema.MustScheme("R", "X", "Y"),
-		schema.MustScheme("S", "T", "U"),
-	)
-	sigma41 := []deps.Dependency{
-		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
-		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
-	}
-	cres, err := chase.ImpliesFD(db41, sigma41,
-		deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), chase.Options{Obs: reg})
-	if err != nil || cres.Verdict != chase.Implied {
-		return fmt.Errorf("chase workload wrong: %v %v", cres.Verdict, err)
-	}
-	s7, err := counterex.NewSection7(4)
-	if err != nil {
-		return err
-	}
-	if lres, err := s7.Lemma72(chase.Options{Obs: reg}); err != nil || lres.Verdict != chase.Implied {
-		return fmt.Errorf("lemma 7.2 workload wrong: %v", err)
-	}
-
-	// Search engine: a small counterexample hunt.
-	sdb := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
-	if _, found, err := search.Counterexample(sdb,
-		[]deps.Dependency{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))},
-		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A")),
-		search.Options{Domain: 2, MaxTuples: 3, Obs: reg}); err != nil || !found {
-		return fmt.Errorf("search workload wrong: %v %v", found, err)
-	}
-
-	// Maintenance engine: 100 referentially-linked inserts.
-	mds := schema.MustDatabase(
-		schema.MustScheme("CUST", "CID", "NAME"),
-		schema.MustScheme("ORD", "OID", "CID"),
-	)
-	mon, err := maintain.NewMonitorObs(mds, []deps.Dependency{
-		deps.NewFD("CUST", deps.Attrs("CID"), deps.Attrs("NAME")),
-		deps.NewIND("ORD", deps.Attrs("CID"), "CUST", deps.Attrs("CID")),
-	}, reg)
-	if err != nil {
-		return err
-	}
-	for j := 0; j < 100; j++ {
-		cid := data.Value(fmt.Sprintf("c%d", j))
-		if err := mon.Insert("CUST", data.Tuple{cid, "n"}); err != nil {
-			return err
-		}
-		if err := mon.Insert("ORD", data.Tuple{data.Value(fmt.Sprintf("o%d", j)), cid}); err != nil {
-			return err
-		}
-	}
-
 	f, err := os.Create(path)
 	if err != nil {
 		return err

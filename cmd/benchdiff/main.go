@@ -1,0 +1,106 @@
+// Command benchdiff guards the committed per-engine baseline: it runs
+// the internal/benchws reference workloads fresh and compares their
+// benchws.*_ns wall-time gauges against BENCH_engines.json, failing
+// when any workload regressed by more than the threshold.
+//
+//	benchdiff [-baseline BENCH_engines.json] [-rounds 5] [-threshold 0.20]
+//
+// Wall times are best-of-rounds on both sides, so scheduler noise
+// shrinks them, never grows them; a regression past the threshold is a
+// code change, not jitter (CI still runs this step as advisory, since
+// shared runners are slower and noisier than the machine that produced
+// the baseline). Counter drift — the deterministic work counts changing
+// — is reported as a warning: it means an engine's algorithm changed
+// and the baseline should be regenerated with `make bench-json`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"indfd/internal/benchws"
+	"indfd/internal/obs"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_engines.json", "committed baseline snapshot to compare against")
+	rounds := flag.Int("rounds", 5, "timing rounds per workload (best-of)")
+	threshold := flag.Float64("threshold", 0.20, "relative ns regression that fails the diff")
+	flag.Parse()
+
+	if err := run(*baseline, *rounds, *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath string, rounds int, threshold float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base obs.Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+
+	reg := obs.New()
+	if err := benchws.Run(reg, rounds); err != nil {
+		return err
+	}
+	fresh := reg.Snapshot()
+
+	var regressions, drifts []string
+	fmt.Printf("%-20s %14s %14s %9s\n", "workload", "baseline ns", "fresh ns", "ratio")
+	for _, w := range benchws.Workloads() {
+		gauge := "benchws." + w.Name + "_ns"
+		baseNS, ok := base.Gauges[gauge]
+		freshNS := fresh.Gauges[gauge]
+		if !ok || baseNS <= 0 {
+			fmt.Printf("%-20s %14s %14d %9s\n", w.Name, "(absent)", freshNS, "-")
+			continue
+		}
+		ratio := float64(freshNS) / float64(baseNS)
+		marker := ""
+		if ratio > 1+threshold {
+			marker = "  REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d ns -> %d ns (%.2fx > %.2fx)", w.Name, baseNS, freshNS, ratio, 1+threshold))
+		}
+		fmt.Printf("%-20s %14d %14d %8.2fx%s\n", w.Name, baseNS, freshNS, ratio, marker)
+	}
+
+	// The work counters are deterministic: any drift is an algorithm
+	// change, not noise, and the committed baseline is stale.
+	keys := make([]string, 0, len(base.Counters))
+	for k := range base.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got := fresh.Counters[k]; got != base.Counters[k] {
+			drifts = append(drifts, fmt.Sprintf("%s: %d -> %d", k, base.Counters[k], got))
+		}
+	}
+	for k, got := range fresh.Counters {
+		if _, ok := base.Counters[k]; !ok {
+			drifts = append(drifts, fmt.Sprintf("%s: (absent) -> %d", k, got))
+		}
+	}
+	if len(drifts) > 0 {
+		sort.Strings(drifts)
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: %d counter(s) drifted from the baseline — regenerate it with `make bench-json`:\n  %s\n",
+			len(drifts), strings.Join(drifts, "\n  "))
+	}
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d workload(s) regressed past the %.0f%% threshold:\n  %s",
+			len(regressions), threshold*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("ok: no workload regressed past %.0f%%\n", threshold*100)
+	return nil
+}

@@ -10,6 +10,7 @@
 //
 //	depserve [-addr :8377] [-deadline 10s] [-max-deadline 60s]
 //	         [-slow 500ms] [-budget N] [-search] [-span-cap 64]
+//	         [-cache-size 1024] [-cache-ttl 0]
 //	         [-stats] [-trace-json FILE] [-pprof ADDR] [-memprofile FILE]
 //
 // Endpoints (see internal/serve):
@@ -54,18 +55,22 @@ func main() {
 	budget := flag.Int("budget", 0, "default chase tuple budget (0 = the chase package's default)")
 	search := flag.Bool("search", false, "enable the counterexample-search fallback by default")
 	spanCap := flag.Int("span-cap", 64, "root query spans retained for /debug/obs (0 = unbounded)")
+	cacheSize := flag.Int("cache-size", 1024, "answer cache entries (0 disables caching)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "answer cache entry lifetime (0 = never expire)")
 	obsFlags := cliutil.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	if err := run(logger, *addr, *deadline, *maxDeadline, *slow, *budget, *search, *spanCap, obsFlags); err != nil {
+	if err := run(logger, *addr, *deadline, *maxDeadline, *slow, *budget, *search, *spanCap,
+		*cacheSize, *cacheTTL, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "depserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Duration,
-	budget int, search bool, spanCap int, obsFlags *cliutil.ObsFlags) error {
+	budget int, search bool, spanCap, cacheSize int, cacheTTL time.Duration,
+	obsFlags *cliutil.ObsFlags) error {
 	// The server always runs instrumented — /metrics is its point — so
 	// the registry does not depend on the -stats/-trace-json flags.
 	reg := obs.New()
@@ -82,6 +87,8 @@ func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Dura
 		SlowQuery:       slow,
 		ChaseBudget:     budget,
 		SearchFallback:  search,
+		CacheSize:       cacheSize,
+		CacheTTL:        cacheTTL,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

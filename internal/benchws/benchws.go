@@ -1,0 +1,215 @@
+// Package benchws holds the per-engine reference workloads behind the
+// committed BENCH_engines.json baseline: one representative instrumented
+// run per engine (IND decision, FD proof, unary finite implication,
+// FD+IND chase, counterexample search, exhaustive search, maintenance),
+// all recording into a single obs registry.
+//
+// Run executes every workload and adds a benchws.<name>_ns wall-time
+// gauge per workload (best of the requested rounds, so scheduler noise
+// shrinks the number, never grows it). The counters are exact and
+// machine-independent; the _ns gauges are what cmd/benchdiff compares
+// against the committed baseline to catch performance regressions.
+//
+// The search workloads pin Workers to 1: the parallel search's work
+// counters (databases enumerated, checks) are timing-dependent under
+// early cancellation, and a baseline that drifts with the scheduler
+// would make every diff noisy.
+package benchws
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"indfd/internal/chase"
+	"indfd/internal/counterex"
+	"indfd/internal/data"
+	"indfd/internal/deps"
+	"indfd/internal/fd"
+	"indfd/internal/ind"
+	"indfd/internal/lba"
+	"indfd/internal/maintain"
+	"indfd/internal/obs"
+	"indfd/internal/schema"
+	"indfd/internal/search"
+	"indfd/internal/unary"
+)
+
+// Workload is one engine's reference run. Run must be deterministic:
+// identical counters into reg on every call, on every machine.
+type Workload struct {
+	Name string
+	Run  func(reg *obs.Registry) error
+}
+
+// Workloads returns the reference workloads in their canonical order.
+func Workloads() []Workload {
+	return []Workload{
+		{"ind_decide", indWorkload},
+		{"fd_prove", fdWorkload},
+		{"unary_finite", unaryWorkload},
+		{"chase", chaseWorkload},
+		{"search", searchWorkload},
+		{"search_exhaustive", searchExhaustiveWorkload},
+		{"maintain", maintainWorkload},
+	}
+}
+
+// Run executes every workload: the first round's counters land in reg,
+// and each workload's best wall time across rounds (min 1) lands in the
+// benchws.<name>_ns gauge.
+func Run(reg *obs.Registry, rounds int) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	for _, w := range Workloads() {
+		best := int64(math.MaxInt64)
+		for r := 0; r < rounds; r++ {
+			target := reg
+			if r > 0 {
+				// Timing rounds must not double-count into the baseline.
+				target = obs.New()
+			}
+			// Allocation-heavy workloads are bimodal in whether a GC cycle
+			// lands inside the round; start every round from a collected
+			// heap so the two sides of a diff measure the same thing.
+			runtime.GC()
+			start := time.Now()
+			if err := w.Run(target); err != nil {
+				return fmt.Errorf("benchws %s: %w", w.Name, err)
+			}
+			if ns := time.Since(start).Nanoseconds(); ns < best {
+				best = ns
+			}
+		}
+		reg.Gauge("benchws." + w.Name + "_ns").Set(best)
+	}
+	return nil
+}
+
+// indWorkload: the Theorem 3.3 LBA-reduction instance at n=3, decided
+// by the Corollary 3.2 interned frontier.
+func indWorkload(reg *obs.Registry) error {
+	inst, err := lba.Reduce(lba.Eraser(), lba.Input("a", 3))
+	if err != nil {
+		return err
+	}
+	res, err := ind.Decide(inst.DB, inst.Sigma, inst.Goal)
+	if err != nil || !res.Implied {
+		return fmt.Errorf("ind workload wrong: %v %v", res.Implied, err)
+	}
+	res.Stats.Record(reg)
+	return nil
+}
+
+// fdChain builds the n-attribute FD chain A0 -> A1 -> ... -> A(n-1).
+func fdChain(n int) []deps.FD {
+	var sigma []deps.FD
+	for i := 0; i+1 < n; i++ {
+		sigma = append(sigma, deps.NewFD("R",
+			deps.Attrs(fmt.Sprintf("A%d", i)), deps.Attrs(fmt.Sprintf("A%d", i+1))))
+	}
+	return sigma
+}
+
+// fdWorkload: an 800-step chain proof.
+func fdWorkload(reg *obs.Registry) error {
+	sigma := fdChain(800)
+	goal := deps.NewFD("R", deps.Attrs("A0"), deps.Attrs("A799"))
+	if _, ok := fd.ProveObs(sigma, goal, reg); !ok {
+		return fmt.Errorf("fd workload wrong")
+	}
+	return nil
+}
+
+// unaryWorkload: the Fig 4.1 finite-implication instance.
+func unaryWorkload(reg *obs.Registry) error {
+	u := counterex.Fig41()
+	sys, err := unary.NewObs(u.DB, u.Sigma, reg)
+	if err != nil {
+		return err
+	}
+	if ok, err := sys.ImpliesFinite(u.Goal); err != nil || !ok {
+		return fmt.Errorf("unary workload wrong: %v %v", ok, err)
+	}
+	return nil
+}
+
+// chaseWorkload: Proposition 4.1 plus the Lemma 7.2 derivation at n=4.
+func chaseWorkload(reg *obs.Registry) error {
+	db41 := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma41 := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	cres, err := chase.ImpliesFD(db41, sigma41,
+		deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), chase.Options{Obs: reg})
+	if err != nil || cres.Verdict != chase.Implied {
+		return fmt.Errorf("chase workload wrong: %v %v", cres.Verdict, err)
+	}
+	s7, err := counterex.NewSection7(4)
+	if err != nil {
+		return err
+	}
+	if lres, err := s7.Lemma72(chase.Options{Obs: reg}); err != nil || lres.Verdict != chase.Implied {
+		return fmt.Errorf("lemma 7.2 workload wrong: %v", err)
+	}
+	return nil
+}
+
+// searchWorkload: a small counterexample hunt with an early hit.
+func searchWorkload(reg *obs.Registry) error {
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B"))
+	_, found, err := search.Counterexample(db,
+		[]deps.Dependency{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))},
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("A")),
+		search.Options{Domain: 2, MaxTuples: 3, Workers: 1, Obs: reg})
+	if err != nil || !found {
+		return fmt.Errorf("search workload wrong: %v %v", found, err)
+	}
+	return nil
+}
+
+// searchExhaustiveWorkload: a full Domain=3/MaxTuples=3 scan — the goal
+// is trivially satisfied, so no early hit shortens it. This is the
+// enumeration throughput baseline.
+func searchExhaustiveWorkload(reg *obs.Registry) error {
+	db := schema.MustDatabase(schema.MustScheme("R", "A", "B", "C"))
+	_, found, err := search.Counterexample(db,
+		[]deps.Dependency{deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B"))},
+		deps.NewIND("R", deps.Attrs("A"), "R", deps.Attrs("A")),
+		search.Options{Domain: 3, MaxTuples: 3, Workers: 1, Obs: reg})
+	if err != nil || found {
+		return fmt.Errorf("trivial goal cannot have a counterexample: %v %v", found, err)
+	}
+	return nil
+}
+
+// maintainWorkload: 100 referentially-linked inserts.
+func maintainWorkload(reg *obs.Registry) error {
+	db := schema.MustDatabase(
+		schema.MustScheme("CUST", "CID", "NAME"),
+		schema.MustScheme("ORD", "OID", "CID"),
+	)
+	mon, err := maintain.NewMonitorObs(db, []deps.Dependency{
+		deps.NewFD("CUST", deps.Attrs("CID"), deps.Attrs("NAME")),
+		deps.NewIND("ORD", deps.Attrs("CID"), "CUST", deps.Attrs("CID")),
+	}, reg)
+	if err != nil {
+		return err
+	}
+	for j := 0; j < 100; j++ {
+		cid := data.Value(fmt.Sprintf("c%d", j))
+		if err := mon.Insert("CUST", data.Tuple{cid, "n"}); err != nil {
+			return err
+		}
+		if err := mon.Insert("ORD", data.Tuple{data.Value(fmt.Sprintf("o%d", j)), cid}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

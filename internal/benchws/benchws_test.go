@@ -1,0 +1,40 @@
+package benchws
+
+import (
+	"fmt"
+	"testing"
+
+	"indfd/internal/obs"
+)
+
+// TestRunDeterministicCounters: the baseline's value rests on the
+// workload counters being exact and machine-independent — two runs must
+// produce identical counters (wall-time gauges excluded, of course).
+func TestRunDeterministicCounters(t *testing.T) {
+	snap := func() map[string]int64 {
+		reg := obs.New()
+		if err := Run(reg, 1); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return reg.Snapshot().Counters
+	}
+	a, b := snap(), snap()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("counters drifted between runs:\n%v\n%v", a, b)
+	}
+}
+
+// TestRunEmitsWallTimeGauges: every workload must land its _ns gauge.
+func TestRunEmitsWallTimeGauges(t *testing.T) {
+	reg := obs.New()
+	if err := Run(reg, 2); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	gauges := reg.Snapshot().Gauges
+	for _, w := range Workloads() {
+		name := "benchws." + w.Name + "_ns"
+		if ns, ok := gauges[name]; !ok || ns <= 0 {
+			t.Errorf("gauge %s = %d, %v; want a positive wall time", name, ns, ok)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Answer caching for implication queries.
+//
+// Implication is a pure function of (schema, Σ, goal, semantics, engine
+// budgets): the same question always has the same answer, and the paper's
+// lower bounds (PSPACE-hard IND implication, undecidable FD+IND
+// implication) make re-deriving it arbitrarily expensive. A resident
+// server therefore caches complete answers behind a canonical
+// fingerprint: textually different but semantically identical requests —
+// Σ reordered, relations declared in another order — hit the same entry.
+//
+// The cache is a fixed array of mutex-striped LRU shards, so concurrent
+// clients contend only when their fingerprints collide on a shard.
+// Entries carry an optional TTL. Only COMPLETE answers may be stored:
+// a deadline-killed chase returns an error alongside its partial stats,
+// and caching that as "the answer" would wedge every later client into
+// the first client's deadline; callers enforce this by caching only
+// error-free results (serve additionally never caches 5xx responses).
+package core
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"indfd/internal/deps"
+	"indfd/internal/obs"
+	"indfd/internal/schema"
+)
+
+// QueryFingerprint is the canonical cache key of an implication query:
+// a SHA-256 over the sorted relation schemes, the sorted canonical keys
+// of Σ, the goal's canonical key, the semantics mode, and any extra
+// answer-shaping knobs the caller appends (budget, search fallback,
+// explain). Two queries with equal fingerprints have byte-identical
+// complete answers.
+func QueryFingerprint(db *schema.Database, sigma []deps.Dependency, goal deps.Dependency, mode string, extras ...string) string {
+	h := sha256.New()
+	write := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	names := append([]string(nil), db.Names()...)
+	sort.Strings(names)
+	for _, name := range names {
+		s, _ := db.Scheme(name)
+		write(s.String())
+	}
+	write("|sigma")
+	keys := make([]string, len(sigma))
+	for i, d := range sigma {
+		keys[i] = d.Key()
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		write(k)
+	}
+	write("|goal")
+	write(goal.Key())
+	write(mode)
+	for _, e := range extras {
+		write(e)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FingerprintOptions renders the answer-shaping members of Options into
+// fingerprint extras. Obs and Ctx are deliberately absent: they shape
+// observability and deadlines, not the answer.
+func FingerprintOptions(opt Options) []string {
+	return []string{
+		"budget=" + strconv.Itoa(opt.ChaseMaxTuples),
+		"search=" + strconv.FormatBool(opt.SearchFallback),
+	}
+}
+
+// CachedAnswer is the unit an AnswerCache stores: a complete Answer plus
+// the engine's explanation when the caller requested one. Metrics and
+// Trace are per-query observability, not part of the answer, and are
+// stripped before storage.
+type CachedAnswer struct {
+	Answer      Answer
+	Explanation string
+}
+
+// cacheShards is the stripe count. 16 shards keep 32 concurrent clients
+// mostly un-contended while the array stays small enough to embed.
+const cacheShards = 16
+
+// AnswerCache is a concurrency-safe, sharded LRU of complete implication
+// answers. A nil *AnswerCache is a valid "caching off" cache: Get always
+// misses without counting, Put is a no-op.
+type AnswerCache struct {
+	shards   [cacheShards]cacheShard
+	perShard int
+	ttl      time.Duration
+	now      func() time.Time // injectable for TTL tests
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key     string
+	val     CachedAnswer
+	expires time.Time // zero = no expiry
+}
+
+// NewAnswerCache builds a cache holding at most size entries in total
+// (rounded up to a multiple of the shard count), each valid for ttl
+// (0 = forever). The cache.hits / cache.misses / cache.evictions
+// counters land in reg; a nil reg disables counting but not caching.
+// size <= 0 returns nil — the caching-off cache.
+func NewAnswerCache(size int, ttl time.Duration, reg *obs.Registry) *AnswerCache {
+	if size <= 0 {
+		return nil
+	}
+	per := (size + cacheShards - 1) / cacheShards
+	c := &AnswerCache{
+		perShard:  per,
+		ttl:       ttl,
+		now:       time.Now,
+		hits:      reg.Counter("cache.hits"),
+		misses:    reg.Counter("cache.misses"),
+		evictions: reg.Counter("cache.evictions"),
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*list.Element, per)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// shardFor maps a fingerprint to its stripe (FNV-1a over the key).
+func (c *AnswerCache) shardFor(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the cached answer for the fingerprint, if present and
+// unexpired, and counts the hit or miss.
+func (c *AnswerCache) Get(key string) (CachedAnswer, bool) {
+	if c == nil {
+		return CachedAnswer{}, false
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return CachedAnswer{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		sh.lru.Remove(el)
+		delete(sh.entries, key)
+		c.misses.Inc()
+		return CachedAnswer{}, false
+	}
+	sh.lru.MoveToFront(el)
+	c.hits.Inc()
+	return e.val, true
+}
+
+// Put stores a complete answer under the fingerprint, evicting the
+// shard's least-recently-used entry when the shard is full. Callers must
+// not Put partial answers (cancelled or deadline-killed queries); the
+// cache cannot tell them apart from complete ones.
+func (c *AnswerCache) Put(key string, val CachedAnswer) {
+	if c == nil {
+		return
+	}
+	// The answer is the payload; per-query observability is not.
+	val.Answer.Metrics = nil
+	val.Answer.Trace = nil
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.val, e.expires = val, expires
+		sh.lru.MoveToFront(el)
+		return
+	}
+	if sh.lru.Len() >= c.perShard {
+		oldest := sh.lru.Back()
+		if oldest != nil {
+			sh.lru.Remove(oldest)
+			delete(sh.entries, oldest.Value.(*cacheEntry).key)
+			c.evictions.Inc()
+		}
+	}
+	sh.entries[key] = sh.lru.PushFront(&cacheEntry{key: key, val: val, expires: expires})
+}
+
+// Len reports the live entry count across all shards (expired entries
+// not yet touched still count; they are reaped lazily on Get).
+func (c *AnswerCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].lru.Len()
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

@@ -131,29 +131,36 @@ func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal 
 	}
 	start := Expression{Rel: goal.LRel, Attrs: goal.X}
 	target := Expression{Rel: goal.RRel, Attrs: goal.Y}
+	startKey := start.key()
+	targetKey := target.key()
 
-	// Index sigma by left-hand relation name so successor generation only
-	// touches applicable INDs.
-	byLRel := make(map[string][]int)
-	for i, d := range sigma {
-		byLRel[d.LRel] = append(byLRel[d.LRel], i)
-	}
+	// Compile sigma once: per-IND projection maps and left-hand Bloom
+	// masks, indexed by left-hand relation name, so successor generation
+	// only touches applicable INDs and pays no per-apply map construction.
+	byLRel := compileSigma(sigma)
 
+	// node is an arena entry; node i is the expression the interner
+	// assigned ID i, so the visited set, the arena, and the BFS frontier
+	// share one dense index space.
 	type node struct {
 		expr   Expression
-		parent int // index into nodes; -1 for the root
-		via    int // index into sigma of the IND used to reach this node
+		mask   uint64 // Bloom mask of expr.Attrs
+		parent int32  // arena index; -1 for the root
+		via    int32  // index into sigma of the IND used to reach this node
 	}
-	nodes := []node{{expr: start, parent: -1, via: -1}}
-	visited := map[string]bool{start.key(): true}
+	nodes := []node{{expr: start, mask: attrMask(start.Attrs), parent: -1, via: -1}}
+	in := newInterner(64)
+	var buf []byte
+	buf = appendKey(buf, start.Rel, start.Attrs)
+	in.intern(buf) // ID 0 == arena index 0
 	var st Stats
 	st.Visited = 1
 	st.FrontierPeak = 1
 
 	finish := func(i int) Result {
 		// Reconstruct the chain from the node trail.
-		var rev []int
-		for j := i; j != -1; j = nodes[j].parent {
+		var rev []int32
+		for j := int32(i); j != -1; j = nodes[j].parent {
 			rev = append(rev, j)
 		}
 		chain := make([]Expression, len(rev))
@@ -169,7 +176,7 @@ func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal 
 		return Result{Implied: true, Chain: chain, Via: via, Stats: st}
 	}
 
-	if start.key() == target.key() {
+	if startKey == targetKey {
 		return finish(0), nil
 	}
 	for head := 0; head < len(nodes); head++ {
@@ -178,27 +185,42 @@ func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal 
 				return Result{Stats: st}, err
 			}
 		}
-		cur := nodes[head].expr
+		// Copy what the successor loop reads out of the arena: appends
+		// below may grow the backing array.
+		curRel, curAttrs, curMask := nodes[head].expr.Rel, nodes[head].expr.Attrs, nodes[head].mask
 		st.Expanded++
-		for _, si := range byLRel[cur.Rel] {
-			succ, ok := apply(cur, sigma[si])
+		appliers := byLRel[curRel]
+		for ai := range appliers {
+			a := &appliers[ai]
+			if curMask&^a.mask != 0 {
+				// Some attribute of the expression hashes outside the
+				// IND's left-hand side: IND2 cannot apply. The mask is a
+				// necessary test only; survivors still probe the map.
+				continue
+			}
+			key, ok := a.appendSuccKey(buf[:0], curAttrs)
+			buf = key[:0]
 			if !ok {
 				continue
 			}
 			st.Generated++
-			k := succ.key()
-			if visited[k] {
+			if _, fresh := in.intern(key); !fresh {
 				continue
 			}
-			visited[k] = true
 			st.Visited++
-			nodes = append(nodes, node{expr: succ, parent: head, via: si})
+			succAttrs := a.succAttrs(curAttrs)
+			nodes = append(nodes, node{
+				expr:   Expression{Rel: a.d.RRel, Attrs: succAttrs},
+				mask:   attrMask(succAttrs),
+				parent: int32(head),
+				via:    int32(a.si),
+			})
 			// The frontier is every visited-but-unexpanded node; head has
 			// been expanded, nodes beyond it have not.
 			if frontier := len(nodes) - head - 1; frontier > st.FrontierPeak {
 				st.FrontierPeak = frontier
 			}
-			if k == target.key() {
+			if string(key) == targetKey {
 				return finish(len(nodes) - 1), nil
 			}
 		}

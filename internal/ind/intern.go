@@ -1,0 +1,149 @@
+// Interned expression keys for the Corollary 3.2 frontier.
+//
+// The decision procedure's inner loop generates one successor expression
+// per (frontier node, applicable IND) pair, and Theorem 3.3 says the
+// number of such pairs can grow exponentially. The naive implementation
+// paid three to five heap allocations per generated successor (a
+// projection map, an attribute slice, and the string key built from
+// them) even when the successor had already been visited. This file
+// removes the per-duplicate cost entirely:
+//
+//   - an interner maps expression keys to dense int IDs; the visited set
+//     becomes the interner's map, and the goal test becomes an int
+//     compare against the target's ID;
+//   - keys are assembled into one reusable []byte scratch buffer, and
+//     the map probe uses the m[string(buf)] form the compiler compiles
+//     to an allocation-free lookup — a duplicate successor allocates
+//     nothing;
+//   - each member of Σ is precompiled into an applier carrying its
+//     attribute→position projection map (built once, not per apply call)
+//     and a 64-bit Bloom mask of its left-hand attributes, so most
+//     inapplicable INDs are rejected with one AND instead of a map probe.
+package ind
+
+import (
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// interner assigns dense IDs to expression keys. IDs are handed out in
+// first-seen order, so node ID i lives at index i of the caller's arena.
+type interner struct {
+	ids map[string]int32
+}
+
+func newInterner(capHint int) *interner {
+	return &interner{ids: make(map[string]int32, capHint)}
+}
+
+// intern returns the ID of the key in buf, minting the next dense ID on
+// first sight. Only a first sight allocates (the one string copy the
+// table keeps); probing with an existing key is allocation-free.
+func (in *interner) intern(buf []byte) (id int32, fresh bool) {
+	if id, ok := in.ids[string(buf)]; ok {
+		return id, false
+	}
+	id = int32(len(in.ids))
+	in.ids[string(buf)] = id
+	return id, true
+}
+
+// lookup probes without inserting; it never allocates.
+func (in *interner) lookup(buf []byte) (int32, bool) {
+	id, ok := in.ids[string(buf)]
+	return id, ok
+}
+
+// appendKey appends the canonical key of the expression rel[attrs] —
+// identical to Expression.key(), but into a caller-owned buffer.
+func appendKey(buf []byte, rel string, attrs []schema.Attribute) []byte {
+	buf = append(buf, rel...)
+	buf = append(buf, '[')
+	for i, a := range attrs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, a...)
+	}
+	return append(buf, ']')
+}
+
+// attrBit hashes one attribute to a bit position (FNV-1a, folded to 64
+// positions). The mask of an attribute set is the OR of its bits.
+func attrBit(a schema.Attribute) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(a); i++ {
+		h ^= uint64(a[i])
+		h *= 1099511628211
+	}
+	return 1 << (h & 63)
+}
+
+// attrMask is the Bloom mask of an attribute sequence.
+func attrMask(attrs []schema.Attribute) uint64 {
+	var m uint64
+	for _, a := range attrs {
+		m |= attrBit(a)
+	}
+	return m
+}
+
+// applier is a member of Σ compiled for repeated application: the IND
+// itself, its position in sigma (for proof reconstruction), the
+// projection map of its left-hand side, and the Bloom mask of those
+// attributes. An expression E applies under the IND iff every attribute
+// of E occurs in d.X; mask(E) &^ mask is a one-instruction necessary
+// test for that.
+type applier struct {
+	d    deps.IND
+	si   int
+	pos  map[schema.Attribute]int8
+	mask uint64
+}
+
+// compileSigma groups Σ into appliers indexed by left-hand relation.
+func compileSigma(sigma []deps.IND) map[string][]applier {
+	byLRel := make(map[string][]applier)
+	for i, d := range sigma {
+		pos := make(map[schema.Attribute]int8, len(d.X))
+		for j, a := range d.X {
+			pos[a] = int8(j)
+		}
+		byLRel[d.LRel] = append(byLRel[d.LRel], applier{
+			d: d, si: i, pos: pos, mask: attrMask(d.X),
+		})
+	}
+	return byLRel
+}
+
+// appendSuccKey appends the key of the successor of attrs under the
+// applier without materializing the successor's attribute slice — the
+// duplicate-successor path needs only the key. ok is false when some
+// attribute does not occur on the IND's left-hand side (the apply
+// precondition of IND2).
+func (a *applier) appendSuccKey(buf []byte, attrs []schema.Attribute) ([]byte, bool) {
+	buf = append(buf, a.d.RRel...)
+	buf = append(buf, '[')
+	for i, at := range attrs {
+		j, ok := a.pos[at]
+		if !ok {
+			return buf, false
+		}
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, a.d.Y[j]...)
+	}
+	return append(buf, ']'), true
+}
+
+// succAttrs materializes the successor's attribute sequence; callers
+// invoke it only after appendSuccKey reported ok and the key proved
+// fresh, so the allocation happens once per distinct expression.
+func (a *applier) succAttrs(attrs []schema.Attribute) []schema.Attribute {
+	out := make([]schema.Attribute, len(attrs))
+	for i, at := range attrs {
+		out[i] = a.d.Y[a.pos[at]]
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package ind
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := newInterner(4)
+	keys := []string{"R[A]", "S[A,B]", "R[A]", "T[C]", "S[A,B]"}
+	wantID := []int32{0, 1, 0, 2, 1}
+	wantFresh := []bool{true, true, false, true, false}
+	for i, k := range keys {
+		id, fresh := in.intern([]byte(k))
+		if id != wantID[i] || fresh != wantFresh[i] {
+			t.Errorf("intern(%q) = (%d, %v), want (%d, %v)", k, id, fresh, wantID[i], wantFresh[i])
+		}
+	}
+	if id, ok := in.lookup([]byte("T[C]")); !ok || id != 2 {
+		t.Errorf("lookup(T[C]) = (%d, %v), want (2, true)", id, ok)
+	}
+	if _, ok := in.lookup([]byte("T[D]")); ok {
+		t.Errorf("lookup(T[D]) found a key never interned")
+	}
+}
+
+func TestAppendKeyMatchesExpressionKey(t *testing.T) {
+	exprs := []Expression{
+		{Rel: "R", Attrs: deps.Attrs("A")},
+		{Rel: "S", Attrs: deps.Attrs("A", "B", "C")},
+		{Rel: "T", Attrs: nil},
+	}
+	for _, e := range exprs {
+		got := string(appendKey(nil, e.Rel, e.Attrs))
+		if got != e.key() {
+			t.Errorf("appendKey = %q, want %q", got, e.key())
+		}
+	}
+}
+
+func TestAttrMaskIsSubsetTest(t *testing.T) {
+	// mask(X) &^ mask(Y) == 0 must hold whenever X ⊆ Y (the mask is a
+	// necessary condition; false positives are fine, false negatives are
+	// a soundness bug in the precheck).
+	x := deps.Attrs("A", "B")
+	y := deps.Attrs("A", "B", "C")
+	if attrMask(x)&^attrMask(y) != 0 {
+		t.Fatalf("mask rejects a genuine subset")
+	}
+	if attrMask(y)&^attrMask(y) != 0 {
+		t.Fatalf("mask rejects itself")
+	}
+}
+
+// TestApplierAgreesWithApply cross-checks the compiled fast path against
+// the reference apply on randomized expressions and INDs: same
+// applicability verdict, same successor key, same successor attributes.
+func TestApplierAgreesWithApply(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 0))
+	attrs := deps.Attrs("A", "B", "C", "D", "E")
+	for trial := 0; trial < 500; trial++ {
+		// Random IND d: X and Y of equal width over distinct attrs.
+		w := 1 + r.IntN(4)
+		permX := r.Perm(len(attrs))[:w]
+		permY := r.Perm(len(attrs))[:w]
+		x := make([]schema.Attribute, w)
+		y := make([]schema.Attribute, w)
+		for i := 0; i < w; i++ {
+			x[i], y[i] = attrs[permX[i]], attrs[permY[i]]
+		}
+		d := deps.NewIND("R", x, "S", y)
+		// Random expression over R with distinct attrs.
+		ew := 1 + r.IntN(4)
+		permE := r.Perm(len(attrs))[:ew]
+		e := Expression{Rel: "R", Attrs: make([]schema.Attribute, ew)}
+		for i := 0; i < ew; i++ {
+			e.Attrs[i] = attrs[permE[i]]
+		}
+
+		want, wantOK := apply(e, d)
+		appliers := compileSigma([]deps.IND{d})["R"]
+		a := &appliers[0]
+		if attrMask(e.Attrs)&^a.mask != 0 && wantOK {
+			t.Fatalf("trial %d: mask precheck rejected an applicable IND: %v to %v", trial, d, e)
+		}
+		key, ok := a.appendSuccKey(nil, e.Attrs)
+		if ok != wantOK {
+			t.Fatalf("trial %d: appendSuccKey ok=%v, apply ok=%v (%v to %v)", trial, ok, wantOK, d, e)
+		}
+		if !ok {
+			continue
+		}
+		if string(key) != want.key() {
+			t.Errorf("trial %d: key %q, want %q", trial, key, want.key())
+		}
+		succ := a.succAttrs(e.Attrs)
+		if !schema.EqualSeq(succ, want.Attrs) {
+			t.Errorf("trial %d: succAttrs %v, want %v", trial, succ, want.Attrs)
+		}
+	}
+}
+
+// TestDecideInternedStatsUnchanged pins the Stats of a known instance:
+// interning must not change what the search counts, only what it
+// allocates.
+func TestDecideInternedStatsUnchanged(t *testing.T) {
+	db, sigma, goal := chainInstance(40)
+	res, err := Decide(db, sigma, goal)
+	if err != nil || !res.Implied {
+		t.Fatalf("Decide: %v %v", res.Implied, err)
+	}
+	ok, naive := DecideNaive(sigma, goal)
+	if !ok {
+		t.Fatalf("DecideNaive disagrees")
+	}
+	// Both walk the same width-1 chain: identical distinct-expression and
+	// generation counts.
+	if res.Stats.Visited != naive.Visited || res.Stats.Generated != naive.Generated {
+		t.Errorf("interned stats drifted from the naive reference: %+v vs %+v", res.Stats, naive)
+	}
+	if res.Stats.ChainLength != 40 {
+		t.Errorf("ChainLength = %d, want 40", res.Stats.ChainLength)
+	}
+}
+
+// TestDecideInternedLargeFrontier exercises map growth and arena realloc
+// with a fan-out instance: every relation includes into k others.
+func TestDecideInternedLargeFrontier(t *testing.T) {
+	const n, k = 30, 3
+	var schemes []*schema.Scheme
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("R%d", i)
+		schemes = append(schemes, schema.MustScheme(names[i], "A", "B"))
+	}
+	db := schema.MustDatabase(schemes...)
+	var sigma []deps.IND
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k; j++ {
+			sigma = append(sigma, deps.NewIND(names[i], deps.Attrs("A", "B"),
+				names[(i+j)%n], deps.Attrs("B", "A")))
+		}
+	}
+	goal := deps.NewIND(names[0], deps.Attrs("A"), names[n-1], deps.Attrs("B"))
+	res, err := Decide(db, sigma, goal)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	naiveOK, _ := DecideNaive(sigma, goal)
+	if res.Implied != naiveOK {
+		t.Errorf("interned verdict %v disagrees with naive %v", res.Implied, naiveOK)
+	}
+	if res.Implied {
+		if err := CheckChain(sigma, goal, res.Chain, res.Via); err != nil {
+			t.Errorf("chain does not verify: %v", err)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Parallel counterexample search.
+//
+// Both phases of the search are embarrassingly parallel — candidate
+// databases are independent — but a naive fan-out would make the result
+// depend on scheduling. The contract here is bit-determinism: for fixed
+// Options the returned database is identical at any worker count,
+// because every candidate has a canonical index and the winner is the
+// lowest-index hit.
+//
+//   - Exhaustive phase: the candidate order is the serial recursion's
+//     order, decomposed as (relation-0 subset, rest). A producer emits
+//     relation-0 subsets in that canonical pre-order, workers claim them
+//     and enumerate the remaining relations depth-first; the first hit
+//     inside an item is that item's minimal candidate, and an atomic
+//     best-index lets higher-index work cancel early (the producer stops
+//     once everything it could emit is beaten, workers skip and abort
+//     beaten items).
+//
+//   - Random phase: trial t draws from its own PCG stream (Seed, t), so
+//     a trial's candidate depends only on Seed and t, never on which
+//     worker ran it; the winner is again the lowest-index hit. Trial 0
+//     of stream (Seed, 0) is exactly the serial generator's first draw.
+//
+// Work counters (checks, databases enumerated, trials) remain exact
+// counts of work performed, which under early cancellation depends on
+// timing; the returned database, the hits counter, and the winning trial
+// index do not.
+package search
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"indfd/internal/data"
+	"indfd/internal/schema"
+)
+
+// errPruned unwinds a worker out of an item whose index can no longer
+// win; it never escapes this file.
+var errPruned = errors.New("search: candidate pruned by a lower-index hit")
+
+// searcher carries the shared read-only inputs of both parallel phases.
+type searcher struct {
+	db        *schema.Database
+	names     []string
+	universes [][]data.Tuple
+	maxTuples int
+	workers   int
+	// check reports whether a candidate is a counterexample (satisfies Σ,
+	// violates the goal). It is called concurrently from every worker.
+	check func(*data.Database) (bool, error)
+}
+
+// raceState coordinates one deterministic parallel race.
+type raceState struct {
+	best atomic.Int64 // lowest hit index so far; math.MaxInt64 = none
+	done chan struct{}
+	once sync.Once
+
+	mu   sync.Mutex
+	hits map[int64]*data.Database
+	err  error
+}
+
+func newRaceState() *raceState {
+	s := &raceState{done: make(chan struct{}), hits: make(map[int64]*data.Database)}
+	s.best.Store(math.MaxInt64)
+	return s
+}
+
+// hit records a counterexample found at the given candidate index and
+// lowers the best index, cancelling all higher-index work.
+func (s *raceState) hit(idx int64, cand *data.Database) {
+	s.mu.Lock()
+	s.hits[idx] = cand
+	s.mu.Unlock()
+	for {
+		cur := s.best.Load()
+		if idx >= cur || s.best.CompareAndSwap(cur, idx) {
+			return
+		}
+	}
+}
+
+// fail records the first error and aborts the race.
+func (s *raceState) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.once.Do(func() { close(s.done) })
+}
+
+// finish resolves the race: the error if any worker failed, otherwise
+// the lowest-index hit.
+func (s *raceState) finish() (*data.Database, int64, bool, error) {
+	s.once.Do(func() { close(s.done) })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return nil, 0, false, s.err
+	}
+	best := s.best.Load()
+	if best == math.MaxInt64 {
+		return nil, 0, false, nil
+	}
+	return s.hits[best], best, true, nil
+}
+
+// exhaustItem is one unit of exhaustive work: the canonical index and
+// the fixed tuple subset of relation 0.
+type exhaustItem struct {
+	idx  int64
+	rel0 []data.Tuple
+}
+
+// subsetsPreorder walks the subsets of universe with at most maxTuples
+// members in the serial recursion's order — each subset first, then its
+// extensions by later tuples — calling emit with consecutive indexes.
+// emit returns false to stop the walk.
+func subsetsPreorder(universe []data.Tuple, maxTuples int, emit func(idx int64, subset []data.Tuple) bool) {
+	idx := int64(0)
+	var cur []data.Tuple
+	var rec func(start, left int) bool
+	rec = func(start, left int) bool {
+		if !emit(idx, append([]data.Tuple(nil), cur...)) {
+			return false
+		}
+		idx++
+		if left == 0 {
+			return true
+		}
+		for i := start; i < len(universe); i++ {
+			cur = append(cur, universe[i])
+			if !rec(i+1, left-1) {
+				return false
+			}
+			cur = cur[:len(cur)-1]
+		}
+		return true
+	}
+	rec(0, maxTuples)
+}
+
+// enumRest enumerates every database whose relation-0 tuples are fixed
+// to rel0 while relations 1..n-1 range over subsets of at most maxTuples
+// tuples, in the serial recursion's depth-first order, and returns the
+// first counterexample. check may return errPruned to abandon the item.
+func (s *searcher) enumRest(rel0 []data.Tuple, check func(*data.Database) (bool, error)) (*data.Database, bool, error) {
+	choice := make([][]data.Tuple, len(s.names))
+	choice[0] = rel0
+	var rec func(rel int) (*data.Database, bool, error)
+	rec = func(rel int) (*data.Database, bool, error) {
+		if rel == len(s.names) {
+			cand := data.NewDatabase(s.db)
+			for i, name := range s.names {
+				for _, t := range choice[i] {
+					cand.MustInsert(name, t)
+				}
+			}
+			ok, err := check(cand)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return cand, true, nil
+			}
+			return nil, false, nil
+		}
+		universe := s.universes[rel]
+		var pick func(start, left int) (*data.Database, bool, error)
+		pick = func(start, left int) (*data.Database, bool, error) {
+			cand, found, err := rec(rel + 1)
+			if err != nil || found {
+				return cand, found, err
+			}
+			if left == 0 {
+				return nil, false, nil
+			}
+			for i := start; i < len(universe); i++ {
+				choice[rel] = append(choice[rel], universe[i])
+				cand, found, err := pick(i+1, left-1)
+				choice[rel] = choice[rel][:len(choice[rel])-1]
+				if err != nil || found {
+					return cand, found, err
+				}
+			}
+			return nil, false, nil
+		}
+		return pick(0, s.maxTuples)
+	}
+	return rec(1)
+}
+
+// exhaustive runs the exhaustive phase across the searcher's workers and
+// returns the lowest-index counterexample of the space, identical to the
+// serial enumeration's first hit at any worker count.
+func (s *searcher) exhaustive() (*data.Database, bool, error) {
+	if len(s.names) == 0 {
+		// A scheme with no relations has exactly one (empty) database.
+		cand := data.NewDatabase(s.db)
+		ok, err := s.check(cand)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		return cand, true, nil
+	}
+	st := newRaceState()
+	items := make(chan exhaustItem, s.workers)
+	go func() {
+		defer close(items)
+		subsetsPreorder(s.universes[0], s.maxTuples, func(idx int64, subset []data.Tuple) bool {
+			if idx > st.best.Load() {
+				// Items are emitted in index order: everything from here
+				// on is beaten by an existing hit.
+				return false
+			}
+			select {
+			case items <- exhaustItem{idx: idx, rel0: subset}:
+				return true
+			case <-st.done:
+				return false
+			}
+		})
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range items {
+				if it.idx > st.best.Load() {
+					continue
+				}
+				cand, found, err := s.enumRest(it.rel0, func(cand *data.Database) (bool, error) {
+					if it.idx > st.best.Load() {
+						return false, errPruned
+					}
+					return s.check(cand)
+				})
+				switch {
+				case errors.Is(err, errPruned):
+					// A lower-index hit arrived mid-item; the item lost.
+				case err != nil:
+					st.fail(err)
+					return
+				case found:
+					st.hit(it.idx, cand)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cand, _, found, err := st.finish()
+	return cand, found, err
+}
+
+// random runs trials random candidates across the searcher's workers.
+// Trial t is generated from the PCG stream (seed, t), so its candidate
+// is a pure function of (seed, t); the returned counterexample is the
+// lowest-trial hit regardless of worker count. onTrial is invoked once
+// per trial actually generated (the work counter).
+func (s *searcher) random(seed int64, trials int, onTrial func()) (*data.Database, int64, bool, error) {
+	st := newRaceState()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := next.Add(1) - 1
+				if t >= int64(trials) || t > st.best.Load() {
+					return
+				}
+				select {
+				case <-st.done:
+					return
+				default:
+				}
+				onTrial()
+				r := rand.New(rand.NewPCG(uint64(seed), uint64(t)))
+				cand := data.NewDatabase(s.db)
+				for i, name := range s.names {
+					n := r.IntN(s.maxTuples + 1)
+					for j := 0; j < n; j++ {
+						cand.MustInsert(name, s.universes[i][r.IntN(len(s.universes[i]))])
+					}
+				}
+				ok, err := s.check(cand)
+				if err != nil {
+					st.fail(err)
+					return
+				}
+				if ok {
+					st.hit(t, cand)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return st.finish()
+}

@@ -11,7 +11,8 @@ package search
 import (
 	"context"
 	"fmt"
-	"math/rand/v2"
+	"log/slog"
+	"runtime"
 
 	"indfd/internal/data"
 	"indfd/internal/deps"
@@ -35,7 +36,19 @@ type Options struct {
 	Seed int64
 	// MaxExhaustive bounds the number of databases the exhaustive phase
 	// may enumerate; beyond it the phase is skipped (default 1 << 22).
+	// A skip is loud: it increments search.exhaustive_skipped and logs a
+	// warning, because a miss of a truncated search proves nothing about
+	// the bounded space.
 	MaxExhaustive int
+	// Workers is the number of goroutines each phase shards its
+	// candidates across (0 = runtime.GOMAXPROCS(0), 1 = serial). The
+	// result is bit-identical at any worker count: candidates carry
+	// canonical indexes and the lowest-index hit wins — see parallel.go
+	// for the determinism contract.
+	Workers int
+	// Logger receives the exhaustive-phase-skipped warning; nil uses
+	// slog.Default().
+	Logger *slog.Logger
 	// Obs, when non-nil, receives the search's work counters under the
 	// "search." namespace (databases enumerated, random trials,
 	// satisfaction checks). A nil registry costs nothing.
@@ -102,14 +115,13 @@ func Counterexample(db *schema.Database, sigma []deps.Dependency, goal deps.Depe
 		if err != nil {
 			return false, err
 		}
-		if !sat {
-			cHits.Inc()
-		}
 		return !sat, nil
 	}
 
-	// Exhaustive phase: enumerate tuple subsets per relation, with at most
-	// MaxTuples tuples each, over the value domain.
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	names := db.Names()
 	universes := make([][]data.Tuple, len(names))
 	total := 1.0
@@ -127,44 +139,62 @@ func Counterexample(db *schema.Database, sigma []deps.Dependency, goal deps.Depe
 		}
 		total *= float64(subsets)
 	}
+	eng := &searcher{db: db, names: names, universes: universes,
+		maxTuples: opt.MaxTuples, workers: workers}
+
+	// Exhaustive phase: enumerate tuple subsets per relation, with at most
+	// MaxTuples tuples each, over the value domain, sharded across the
+	// workers (lowest-index hit wins; see parallel.go).
 	if total <= float64(opt.MaxExhaustive) {
 		exSp := sp.StartSpan("search.exhaustive")
-		cand, found, err := exhaustive(db, names, universes, opt.MaxTuples, func(cand *data.Database) (bool, error) {
+		exSp.SetInt("workers", int64(workers))
+		eng.check = func(cand *data.Database) (bool, error) {
 			cEnumerated.Inc()
 			return check(cand)
-		})
-		exSp.End()
-		if err != nil || found {
-			return cand, found, err
 		}
+		cand, found, err := eng.exhaustive()
+		exSp.End()
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			cHits.Inc()
+			return cand, true, nil
+		}
+	} else {
+		// A silently skipped phase would make a miss read as "no
+		// counterexample exists within the bound" when the space was
+		// never scanned; say so, loudly and measurably.
+		opt.Obs.Counter("search.exhaustive_skipped").Inc()
+		sp.SetAttr("exhaustive_skipped", "true")
+		logger := opt.Logger
+		if logger == nil {
+			logger = slog.Default()
+		}
+		logger.Warn("search: exhaustive phase skipped, space exceeds MaxExhaustive; a miss no longer proves the bounded space is clear",
+			"space", total, "max_exhaustive", opt.MaxExhaustive,
+			"domain", opt.Domain, "max_tuples", opt.MaxTuples)
 	}
 
-	// Random phase.
+	// Random phase: per-trial PCG streams keep trial t's candidate a pure
+	// function of (Seed, t) at any worker count.
 	if opt.RandomTrials > 0 {
 		rndSp := sp.StartSpan("search.random")
 		defer rndSp.End()
+		rndSp.SetInt("workers", int64(workers))
 		seed := opt.Seed
 		if seed == 0 {
 			seed = 1
 		}
-		r := rand.New(rand.NewPCG(uint64(seed), 0))
-		for trial := 0; trial < opt.RandomTrials; trial++ {
-			cTrials.Inc()
-			cand := data.NewDatabase(db)
-			for i, name := range names {
-				n := r.IntN(opt.MaxTuples + 1)
-				for j := 0; j < n; j++ {
-					cand.MustInsert(name, universes[i][r.IntN(len(universes[i]))])
-				}
-			}
-			ok, err := check(cand)
-			if err != nil {
-				return nil, false, err
-			}
-			if ok {
-				rndSp.SetInt("trials", int64(trial+1))
-				return cand, true, nil
-			}
+		eng.check = check
+		cand, trial, found, err := eng.random(seed, opt.RandomTrials, cTrials.Inc)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			cHits.Inc()
+			rndSp.SetInt("trials", trial+1)
+			return cand, true, nil
 		}
 	}
 	return nil, false, nil
@@ -192,52 +222,4 @@ func allTuples(width, domain int) []data.Tuple {
 	}
 	rec(0)
 	return out
-}
-
-// exhaustive enumerates databases relation by relation (subsets of the
-// tuple universe with at most maxTuples members) and returns the first
-// counterexample.
-func exhaustive(db *schema.Database, names []string, universes [][]data.Tuple, maxTuples int, check func(*data.Database) (bool, error)) (*data.Database, bool, error) {
-	choice := make([][]data.Tuple, len(names))
-	var rec func(rel int) (*data.Database, bool, error)
-	rec = func(rel int) (*data.Database, bool, error) {
-		if rel == len(names) {
-			cand := data.NewDatabase(db)
-			for i, name := range names {
-				for _, t := range choice[i] {
-					cand.MustInsert(name, t)
-				}
-			}
-			ok, err := check(cand)
-			if err != nil {
-				return nil, false, err
-			}
-			if ok {
-				return cand, true, nil
-			}
-			return nil, false, nil
-		}
-		universe := universes[rel]
-		var pick func(start, left int) (*data.Database, bool, error)
-		pick = func(start, left int) (*data.Database, bool, error) {
-			cand, found, err := rec(rel + 1)
-			if err != nil || found {
-				return cand, found, err
-			}
-			if left == 0 {
-				return nil, false, nil
-			}
-			for i := start; i < len(universe); i++ {
-				choice[rel] = append(choice[rel], universe[i])
-				cand, found, err := pick(i+1, left-1)
-				choice[rel] = choice[rel][:len(choice[rel])-1]
-				if err != nil || found {
-					return cand, found, err
-				}
-			}
-			return nil, false, nil
-		}
-		return pick(0, maxTuples)
-	}
-	return rec(0)
 }

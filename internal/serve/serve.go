@@ -32,6 +32,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,16 @@ type Config struct {
 	SearchFallback bool
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// CacheSize bounds the answer cache (entries); 0 disables caching.
+	// Implication answers are pure functions of the request, so a hit is
+	// exact, not stale — but only complete answers are stored (a
+	// deadline-killed 503 is never cached). Responses carry X-Cache:
+	// HIT|MISS when the cache is on.
+	CacheSize int
+	// CacheTTL expires cached answers after this duration (0 = never).
+	// Answers cannot go stale; a TTL only bounds memory held by entries
+	// that stopped being asked for.
+	CacheTTL time.Duration
 }
 
 // Server answers implication traffic over HTTP. Create with New; the
@@ -82,6 +93,7 @@ type Server struct {
 	nextID  atomic.Uint64
 	idBase  string
 	started time.Time
+	cache   *core.AnswerCache
 
 	gInFlight *obs.Gauge
 	cSlow     *obs.Counter
@@ -118,6 +130,7 @@ func New(cfg Config) *Server {
 		gInFlight: cfg.Reg.Gauge("http.in_flight"),
 		cSlow:     cfg.Reg.Counter("http.slow_requests"),
 		cDeadline: cfg.Reg.Counter("serve.deadline_exceeded"),
+		cache:     core.NewAnswerCache(cfg.CacheSize, cfg.CacheTTL, cfg.Reg),
 	}
 	s.idBase = fmt.Sprintf("%x", s.started.UnixNano()&0xfffffff)
 
@@ -274,6 +287,30 @@ func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
 		Ctx:            ctx,
 	}
 
+	// Answer cache: implication is a pure function of (schema, Σ, goal,
+	// mode, engine budgets), so a fingerprint hit can be served without
+	// touching an engine. Metrics-carrying requests bypass the cache —
+	// their deltas describe this request's engine work, and a cached
+	// answer has none.
+	var cacheKey string
+	cacheable := s.cache != nil && !req.IncludeMetrics
+	if cacheable {
+		cacheKey = core.QueryFingerprint(file.DB, file.Sigma, q.Goal, resp.Mode,
+			append(core.FingerprintOptions(opt), "explain="+strconv.FormatBool(req.Explain))...)
+		lookup := time.Now()
+		if hit, ok := s.cache.Get(cacheKey); ok {
+			fillAnswer(&resp, hit.Answer)
+			resp.Explanation = hit.Explanation
+			resp.ElapsedUS = time.Since(lookup).Microseconds()
+			w.Header().Set("X-Cache", "HIT")
+			s.reg.Counter(obs.MetricName("serve.answers",
+				"engine", hit.Answer.Engine, "verdict", hit.Answer.Verdict.String())).Inc()
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		w.Header().Set("X-Cache", "MISS")
+	}
+
 	var before *obs.Snapshot
 	if req.IncludeMetrics {
 		before = s.reg.Snapshot()
@@ -297,6 +334,12 @@ func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
 
 	switch {
 	case err == nil:
+		// Only complete answers enter the cache: the deadline and error
+		// branches below return partial work that must never be replayed
+		// to a later client.
+		if cacheable {
+			s.cache.Put(cacheKey, core.CachedAnswer{Answer: a, Explanation: why})
+		}
 		s.reg.Counter(obs.MetricName("serve.answers",
 			"engine", a.Engine, "verdict", a.Verdict.String())).Inc()
 		s.writeJSON(w, http.StatusOK, resp)
