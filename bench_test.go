@@ -646,6 +646,85 @@ func BenchmarkSearchExhaustive(b *testing.B) {
 	}
 }
 
+// --- chase engine ablation: semi-naive vs naive reference -------------------
+
+// BenchmarkChaseEngines runs the semi-naive chase and the naive
+// reference engine (the pre-rewrite implementation, kept in
+// internal/chase as the differential oracle) on the chase workload
+// instances of internal/benchws. The spiral is the headline case: a
+// budget-bounded divergent chase where the reference rebuilds every
+// witness map over the whole tableau each round while the semi-naive
+// engine touches only the delta.
+func BenchmarkChaseEngines(b *testing.B) {
+	b.Run("spiral", func(b *testing.B) {
+		db, sigma, goal := benchws.SpiralInstance(4)
+		opt := chase.Options{MaxTuples: 1500}
+		b.Run("seminaive", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := chase.ImpliesFD(db, sigma, goal, opt)
+				if err != nil || res.Verdict != chase.Unknown {
+					b.Fatal("spiral chase wrong")
+				}
+			}
+		})
+		b.Run("reference", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := chase.ReferenceImpliesFD(db, sigma, goal, opt)
+				if err != nil || res.Verdict != chase.Unknown {
+					b.Fatal("spiral chase wrong")
+				}
+			}
+		})
+	})
+	b.Run("widefd", func(b *testing.B) {
+		db, sigma, goal := benchws.WideFDInstance(300)
+		b.Run("seminaive", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := chase.ImpliesRD(db, sigma, goal, chase.Options{})
+				if err != nil || res.Verdict != chase.Implied {
+					b.Fatal("widefd chase wrong")
+				}
+			}
+		})
+		b.Run("reference", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := chase.ReferenceImpliesRD(db, sigma, goal, chase.Options{})
+				if err != nil || res.Verdict != chase.Implied {
+					b.Fatal("widefd chase wrong")
+				}
+			}
+		})
+	})
+	b.Run("lemma72", func(b *testing.B) {
+		s, err := counterex.NewSection7(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("seminaive", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := s.Lemma72(chase.Options{})
+				if err != nil || res.Verdict != chase.Implied {
+					b.Fatal("Lemma 7.2 chase wrong")
+				}
+			}
+		})
+		b.Run("reference", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := chase.ReferenceImpliesFD(s.DB, s.Sigma, s.Goal, chase.Options{})
+				if err != nil || res.Verdict != chase.Implied {
+					b.Fatal("Lemma 7.2 chase wrong")
+				}
+			}
+		})
+	})
+}
+
 // --- machine-readable export and instrumentation-overhead guard -------------
 
 // benchJSON is the -benchjson flag: after the tests/benchmarks of this

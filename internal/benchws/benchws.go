@@ -50,6 +50,9 @@ func Workloads() []Workload {
 		{"fd_prove", fdWorkload},
 		{"unary_finite", unaryWorkload},
 		{"chase", chaseWorkload},
+		{"chase_lemma72", chaseLemma72Workload},
+		{"chase_spiral", chaseSpiralWorkload},
+		{"chase_widefd", chaseWideFDWorkload},
 		{"search", searchWorkload},
 		{"search_exhaustive", searchExhaustiveWorkload},
 		{"maintain", maintainWorkload},
@@ -157,6 +160,93 @@ func chaseWorkload(reg *obs.Registry) error {
 	}
 	if lres, err := s7.Lemma72(chase.Options{Obs: reg}); err != nil || lres.Verdict != chase.Implied {
 		return fmt.Errorf("lemma 7.2 workload wrong: %v", err)
+	}
+	return nil
+}
+
+// chaseLemma72Workload: the Lemma 7.2 derivation at n=6 — the deepest
+// fixed derivation the repo builds, an FD+IND interaction where every
+// round both adds tuples and equates values.
+func chaseLemma72Workload(reg *obs.Registry) error {
+	s7, err := counterex.NewSection7(6)
+	if err != nil {
+		return err
+	}
+	if res, err := s7.Lemma72(chase.Options{Obs: reg}); err != nil || res.Verdict != chase.Implied {
+		return fmt.Errorf("chase_lemma72 workload wrong: %v", err)
+	}
+	return nil
+}
+
+// SpiralInstance builds the k-deep IND spiral: relations L0..L(k-1) of
+// width three with INDs Li[B,C] ⊆ L(i+1 mod k)[A,B], so every new tuple
+// forces one more tuple (with one fresh null) in the next relation, and
+// the chase never reaches a fixpoint — it runs one round per generation
+// until the tuple budget stops it with verdict Unknown. A quiet FD on a
+// relation the spiral never touches rides along so FD machinery is
+// exercised without ever firing. This is the many-rounds stress the
+// semi-naive engine's delta-driven IND pass is built for; the naive
+// reference rebuilds every witness map over the whole tableau every
+// round.
+func SpiralInstance(k int) (*schema.Database, []deps.Dependency, deps.FD) {
+	schemes := []*schema.Scheme{schema.MustScheme("M", "A", "B")}
+	names := make([]string, k)
+	for i := 0; i < k; i++ {
+		names[i] = fmt.Sprintf("L%d", i)
+		schemes = append(schemes, schema.MustScheme(names[i], "A", "B", "C"))
+	}
+	db := schema.MustDatabase(schemes...)
+	sigma := []deps.Dependency{
+		deps.NewFD("M", deps.Attrs("A"), deps.Attrs("B")),
+	}
+	for i := 0; i < k; i++ {
+		sigma = append(sigma, deps.NewIND(names[i], deps.Attrs("B", "C"),
+			names[(i+1)%k], deps.Attrs("A", "B")))
+	}
+	return db, sigma, deps.NewFD("L0", deps.Attrs("A"), deps.Attrs("C"))
+}
+
+// chaseSpiralWorkload: the 4-deep spiral under a 1500-tuple budget —
+// about 750 rounds of pure delta work.
+func chaseSpiralWorkload(reg *obs.Registry) error {
+	db, sigma, goal := SpiralInstance(4)
+	res, err := chase.ImpliesFD(db, sigma, goal, chase.Options{Obs: reg, MaxTuples: 1500})
+	if err != nil || res.Verdict != chase.Unknown {
+		return fmt.Errorf("chase_spiral workload wrong: %v %v", res.Verdict, err)
+	}
+	return nil
+}
+
+// WideFDInstance builds the wide-FD tableau: P[A,B1..Bm], Q[X,Y], one
+// IND P[A,Bi] ⊆ Q[X,Y] per i, and the FD Q: X -> Y. Chasing the RD goal
+// P[B1 = Bm] pours m tuples into Q in one round, the FD collapses them
+// into one X-group (m-1 unions), and dedup removes all but one — a
+// union-heavy, re-keying-heavy contrast to the IND-heavy spiral.
+func WideFDInstance(m int) (*schema.Database, []deps.Dependency, deps.RD) {
+	attrs := []schema.Attribute{"A"}
+	for i := 1; i <= m; i++ {
+		attrs = append(attrs, schema.Attribute(fmt.Sprintf("B%d", i)))
+	}
+	db := schema.MustDatabase(
+		schema.MustScheme("P", attrs...),
+		schema.MustScheme("Q", "X", "Y"),
+	)
+	var sigma []deps.Dependency
+	for i := 1; i <= m; i++ {
+		sigma = append(sigma, deps.NewIND("P",
+			[]schema.Attribute{"A", schema.Attribute(fmt.Sprintf("B%d", i))},
+			"Q", deps.Attrs("X", "Y")))
+	}
+	sigma = append(sigma, deps.NewFD("Q", deps.Attrs("X"), deps.Attrs("Y")))
+	return db, sigma, deps.NewRD("P", deps.Attrs("B1"), deps.Attrs(fmt.Sprintf("B%d", m)))
+}
+
+// chaseWideFDWorkload: the m=300 wide-FD tableau, derived in two rounds.
+func chaseWideFDWorkload(reg *obs.Registry) error {
+	db, sigma, goal := WideFDInstance(300)
+	res, err := chase.ImpliesRD(db, sigma, goal, chase.Options{Obs: reg})
+	if err != nil || res.Verdict != chase.Implied {
+		return fmt.Errorf("chase_widefd workload wrong: %v %v", res.Verdict, err)
 	}
 	return nil
 }

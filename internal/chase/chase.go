@@ -11,6 +11,32 @@
 // sound for unrestricted implication, hence also for finite implication),
 // NotImplied (the chase reached a fixpoint; the resulting finite database
 // is a counterexample), or Unknown (budget exhausted).
+//
+// The engine is a semi-naive, delta-driven fixpoint. Instead of rescanning
+// the whole tableau every round and rebuilding every FD group and IND
+// witness map from scratch (the reference engine in reference.go still
+// does, as the differential-testing oracle), it maintains persistent
+// incremental indexes keyed by interned integers:
+//
+//   - every tuple carries its canonical key (the vector of union-find
+//     roots of its values) as a dense integer from a per-relation
+//     intern.Table, so duplicate detection on insert is one map probe
+//     instead of a linear rescan;
+//   - each IND keeps a refcounted witness index over its right-hand
+//     projection, updated on insert, re-key, and dedup-removal, and scans
+//     only the left-hand tuples added since its last pass (witnesses are
+//     monotone: unions never un-equate projections);
+//   - when a union merges two value classes, only the tuples referencing
+//     the merged class — tracked via per-class back-references — are
+//     re-keyed; per-relation version counters let FD and RD passes skip
+//     relations no union or insert has touched since their last clean
+//     scan;
+//   - the union-find unions by reference-count with path halving, while a
+//     per-class label records the representative the reference engine
+//     would have chosen, keeping trace output byte-identical.
+//
+// Verdicts, traces, counterexamples, and the chase.* counters are exactly
+// those of the reference engine; differential tests pin all four.
 package chase
 
 import (
@@ -20,6 +46,7 @@ import (
 
 	"indfd/internal/data"
 	"indfd/internal/deps"
+	"indfd/internal/intern"
 	"indfd/internal/obs"
 	"indfd/internal/schema"
 )
@@ -88,23 +115,56 @@ func (o Options) maxTuples() int {
 	return o.MaxTuples
 }
 
-// engine is a chase tableau: relations of tuples of value IDs, with a
-// union-find over the IDs. Constants are IDs with names; labeled nulls are
-// unnamed IDs.
+var errBudget = fmt.Errorf("chase: tuple budget exhausted")
+
+// engine is the semi-naive chase tableau. Values (constants and labeled
+// nulls) are int32 IDs under a union-find; tuples live in a flat arena
+// and are indexed per relation by insertion order, interned canonical
+// key, and the incremental witness indexes of the INDs targeting the
+// relation.
 type engine struct {
 	db      *schema.Database
-	fds     []deps.FD
-	rds     []deps.RD
-	inds    []deps.IND
-	parent  []int
-	name    []string // "" for nulls
-	consts  map[string]int
-	rels    map[string][][]int
-	tuples  int
 	max     int
-	trace   []string
 	doTrace bool
 	ctx     context.Context // nil = never cancelled
+	trace   []string
+
+	// Union-find over value IDs. label[r] (valid at structural roots) is
+	// the representative the reference engine would use — the ID that
+	// trace lines and exports print. name[id] is non-empty exactly for
+	// constants; watch[r] lists the tuples whose canonical key involves
+	// class r (concatenated on union, so the losing side's tuples are the
+	// ones re-keyed).
+	parent []int32
+	label  []int32
+	name   []string
+	watch  [][]int32
+	consts map[string]int32
+
+	// Tuple arena: vals is the flat value storage, tupOff/tupRel/tupKey/
+	// tupDead are parallel per-tuple slices. Tuple IDs increase in
+	// insertion order — the fact the INDs' delta scans binary-search on.
+	vals    []int32
+	tupOff  []int32
+	tupRel  []int32
+	tupKey  []int32
+	tupDead []bool
+	inDirty []bool
+	tuples  int
+
+	rels   []relState
+	relIdx map[string]int32
+
+	fds  []fdState
+	rds  []rdState
+	inds []indState
+
+	// dirty lists tuples whose canonical key is stale after unions; they
+	// are re-keyed in bulk by processDirty before dedup and the IND pass.
+	dirty []int32
+
+	keyBuf []byte // scratch for key assembly (reused, never retained)
+	tmp    []int32
 
 	// Possibly-nil instruments, fetched once per chase call; the hot
 	// loops touch them unconditionally (a nil receiver is a no-op).
@@ -115,14 +175,54 @@ type engine struct {
 	cRDFires  *obs.Counter // RD applications that equated values
 	cINDAdds  *obs.Counter // IND applications that added a tuple
 	cFixpoint *obs.Counter // FD fixpoint passes
+	cDelta    *obs.Counter // tuples scanned by delta-driven IND passes
+	cRekeyed  *obs.Counter // tuples re-keyed after class merges
+	cSkips    *obs.Counter // FD/RD scans skipped by the version gate
 	gTuples   *obs.Gauge   // high-water mark of live tableau tuples
+}
+
+// fdState is an FD of sigma compiled for repeated firing: resolved
+// positions, a persistent intern table for X-projection group keys, and
+// generation-stamped member lists (reset lazily per pass, so steady-state
+// passes allocate nothing). cleanAt is rels[ri].version+1 as of the last
+// scan that fired nothing, or 0; the scan is skipped while the version
+// matches.
+type fdState struct {
+	d       deps.FD
+	ri      int32
+	xs, ys  []int
+	keys    *intern.Table
+	members [][]int32
+	mgen    []uint32
+	gen     uint32
+	cleanAt uint64
+}
+
+// rdState is an RD of sigma compiled for repeated firing.
+type rdState struct {
+	d       deps.RD
+	ri      int32
+	xs, ys  []int
+	cleanAt uint64
+}
+
+// indState is an IND of sigma compiled for repeated firing: resolved
+// positions, the incremental witness index over its right-hand
+// projection, and the high-water tuple ID up to which every left-hand
+// tuple is known to have a witness.
+type indState struct {
+	d       deps.IND
+	lri     int32
+	rri     int32
+	xs, ys  []int
+	pi      *projIndex
+	maxSeen int32
 }
 
 func newEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engine, error) {
 	e := &engine{
 		db:      db,
-		consts:  make(map[string]int),
-		rels:    make(map[string][][]int),
+		consts:  make(map[string]int32),
 		max:     opt.maxTuples(),
 		doTrace: opt.Trace,
 		ctx:     opt.Ctx,
@@ -134,19 +234,75 @@ func newEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engi
 		cRDFires:  opt.Obs.Counter("chase.rd_applications"),
 		cINDAdds:  opt.Obs.Counter("chase.ind_applications"),
 		cFixpoint: opt.Obs.Counter("chase.fixpoint_passes"),
+		cDelta:    opt.Obs.Counter("chase.delta_tuples"),
+		cRekeyed:  opt.Obs.Counter("chase.rekeyed_tuples"),
+		cSkips:    opt.Obs.Counter("chase.scans_skipped"),
 		gTuples:   opt.Obs.Gauge("chase.tuples_peak"),
 	}
+	names := db.Names()
+	e.rels = make([]relState, len(names))
+	e.relIdx = make(map[string]int32, len(names))
+	for i, n := range names {
+		sch, _ := db.Scheme(n)
+		e.rels[i] = relState{name: n, width: sch.Width(), keys: intern.New(16)}
+		e.relIdx[n] = int32(i)
+	}
+	// INDs with the same right-hand relation and projection share one
+	// witness index: its content is a function of those two things alone,
+	// and a wide sigma (many INDs into one relation, as in the wide-FD
+	// workload) would otherwise pay one index update per IND per insert.
+	witnessIdx := make(map[string]*projIndex)
 	for _, d := range sigma {
 		if err := d.Validate(db); err != nil {
 			return nil, err
 		}
 		switch dd := d.(type) {
 		case deps.FD:
-			e.fds = append(e.fds, dd)
+			sch, _ := db.Scheme(dd.Rel)
+			xs, err := positionsOf(sch, dd.X)
+			if err != nil {
+				return nil, err
+			}
+			ys, err := positionsOf(sch, dd.Y)
+			if err != nil {
+				return nil, err
+			}
+			e.fds = append(e.fds, fdState{
+				d: dd, ri: e.relIdx[dd.Rel], xs: xs, ys: ys, keys: intern.New(16),
+			})
 		case deps.IND:
-			e.inds = append(e.inds, dd)
+			ls, _ := db.Scheme(dd.LRel)
+			rs, _ := db.Scheme(dd.RRel)
+			xs, err := positionsOf(ls, dd.X)
+			if err != nil {
+				return nil, err
+			}
+			ys, err := positionsOf(rs, dd.Y)
+			if err != nil {
+				return nil, err
+			}
+			rri := e.relIdx[dd.RRel]
+			wkey := fmt.Sprintf("%d:%v", rri, ys)
+			pi := witnessIdx[wkey]
+			if pi == nil {
+				pi = &projIndex{pos: ys, keys: intern.New(16)}
+				e.rels[rri].watchers = append(e.rels[rri].watchers, pi)
+				witnessIdx[wkey] = pi
+			}
+			e.inds = append(e.inds, indState{
+				d: dd, lri: e.relIdx[dd.LRel], rri: rri, xs: xs, ys: ys, pi: pi, maxSeen: -1,
+			})
 		case deps.RD:
-			e.rds = append(e.rds, dd)
+			sch, _ := db.Scheme(dd.Rel)
+			xs, err := positionsOf(sch, dd.X)
+			if err != nil {
+				return nil, err
+			}
+			ys, err := positionsOf(sch, dd.Y)
+			if err != nil {
+				return nil, err
+			}
+			e.rds = append(e.rds, rdState{d: dd, ri: e.relIdx[dd.Rel], xs: xs, ys: ys})
 		default:
 			return nil, fmt.Errorf("chase: only FDs, INDs and RDs may appear in sigma, got %v", d.Kind())
 		}
@@ -154,215 +310,115 @@ func newEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engi
 	return e, nil
 }
 
-func (e *engine) newNull() int {
-	id := len(e.parent)
-	e.parent = append(e.parent, id)
-	e.name = append(e.name, "")
-	return id
-}
-
-func (e *engine) newConst(name string) int {
-	if id, ok := e.consts[name]; ok {
-		return id
-	}
-	id := len(e.parent)
-	e.parent = append(e.parent, id)
-	e.name = append(e.name, name)
-	e.consts[name] = id
-	return id
-}
-
-func (e *engine) find(x int) int {
-	for e.parent[x] != x {
-		e.parent[x] = e.parent[e.parent[x]]
-		x = e.parent[x]
-	}
-	return x
-}
-
-// union merges the classes of a and b. Merging two distinct constants is a
-// hard contradiction (sigma plus the seed is unsatisfiable over distinct
-// constants) and reported as an error.
-func (e *engine) union(a, b int) (changed bool, err error) {
-	ra, rb := e.find(a), e.find(b)
-	if ra == rb {
-		return false, nil
-	}
-	na, nb := e.name[ra], e.name[rb]
-	if na != "" && nb != "" && na != nb {
-		return false, fmt.Errorf("chase: contradiction: constants %q and %q equated", na, nb)
-	}
-	// Keep the constant (if any) as the representative.
-	if na == "" && nb != "" {
-		ra, rb = rb, ra
-	}
-	e.parent[rb] = ra
-	e.cUnions.Inc()
-	return true, nil
-}
-
-// equal reports canonical equality.
-func (e *engine) equal(a, b int) bool { return e.find(a) == e.find(b) }
-
-// insert adds a tuple of value IDs to rel if no canonically-equal tuple is
-// already present. It enforces the tuple budget.
-func (e *engine) insert(rel string, t []int) (added bool, err error) {
-	key := e.tupleKey(t)
-	for _, u := range e.rels[rel] {
-		if e.tupleKey(u) == key {
-			return false, nil
+// positionsOf resolves an attribute sequence to scheme positions,
+// reporting an attribute the scheme does not have (instead of silently
+// mapping it to position 0).
+func positionsOf(s *schema.Scheme, attrs []schema.Attribute) ([]int, error) {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := s.Pos(a)
+		if !ok {
+			return nil, fmt.Errorf("chase: attribute %s not in scheme %s", a, s.Name())
 		}
+		out[i] = p
 	}
-	if e.tuples >= e.max {
-		return false, errBudget
-	}
-	e.rels[rel] = append(e.rels[rel], t)
-	e.tuples++
-	e.cTuples.Inc()
-	e.gTuples.SetMax(int64(e.tuples))
-	return true, nil
+	return out, nil
 }
 
-var errBudget = fmt.Errorf("chase: tuple budget exhausted")
-
-func (e *engine) tupleKey(t []int) string {
-	b := make([]byte, 0, len(t)*4)
-	for _, v := range t {
-		r := e.find(v)
-		b = append(b, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
-	}
-	return string(b)
-}
-
-// applyFDs fires every FD and RD until no more values are equated.
+// applyFDs fires every FD and RD until no more values are equated. Scans
+// keep the reference engine's full-scan-in-order structure (so fire order
+// and trace bytes are identical) but are skipped wholesale while the
+// relation's version is unchanged since the dependency's last clean scan
+// — unchanged version means unchanged membership and unchanged roots,
+// hence a scan that would fire nothing.
 func (e *engine) applyFDs() (changed bool, err error) {
 	for again := true; again; {
 		again = false
 		e.cFixpoint.Inc()
-		for _, r := range e.rds {
-			sch, _ := e.db.Scheme(r.Rel)
-			xs := positions(sch, r.X)
-			ys := positions(sch, r.Y)
-			for _, t := range e.rels[r.Rel] {
-				for i := range xs {
-					ch, err := e.union(t[xs[i]], t[ys[i]])
+		for i := range e.rds {
+			ds := &e.rds[i]
+			rel := &e.rels[ds.ri]
+			if ds.cleanAt == rel.version+1 {
+				e.cSkips.Inc()
+				continue
+			}
+			fired := false
+			for _, tid := range rel.order {
+				t := e.tupleVals(tid)
+				for j := range ds.xs {
+					ch, err := e.union(t[ds.xs[j]], t[ds.ys[j]])
 					if err != nil {
 						return changed, err
 					}
 					if ch {
-						again = true
-						changed = true
+						again, changed, fired = true, true, true
 						e.cRDFires.Inc()
-						e.tracef("RD %v equates %v and %v within %v", r, e.describe(t[xs[i]]), e.describe(t[ys[i]]), e.describeTuple(t))
+						if e.doTrace {
+							e.tracef("RD %v equates %v and %v within %v",
+								ds.d, e.describe(t[ds.xs[j]]), e.describe(t[ds.ys[j]]), e.describeTuple(t))
+						}
 					}
 				}
 			}
+			if fired {
+				ds.cleanAt = 0
+			} else {
+				ds.cleanAt = rel.version + 1
+			}
 		}
-		for _, f := range e.fds {
-			sch, _ := e.db.Scheme(f.Rel)
-			xs := positions(sch, f.X)
-			ys := positions(sch, f.Y)
-			groups := make(map[string][]int) // X-projection key -> first tuple index
-			tuples := e.rels[f.Rel]
-			for i, t := range tuples {
-				key := e.projKey(t, xs)
-				for _, j := range groups[key] {
-					u := tuples[j]
-					for _, y := range ys {
+		for i := range e.fds {
+			fs := &e.fds[i]
+			rel := &e.rels[fs.ri]
+			if fs.cleanAt == rel.version+1 {
+				e.cSkips.Inc()
+				continue
+			}
+			fired := false
+			fs.gen++
+			for _, tid := range rel.order {
+				t := e.tupleVals(tid)
+				// Group keys must use class labels, not structural roots:
+				// the reference engine groups by its own (label) roots, and
+				// mid-pass root changes make grouping sensitive to the
+				// representative choice.
+				b := e.appendLabelProjKey(e.keyBuf[:0], t, fs.xs)
+				kid, fresh := fs.keys.Intern(b)
+				e.keyBuf = b
+				if fresh {
+					fs.members = append(fs.members, nil)
+					fs.mgen = append(fs.mgen, 0)
+				}
+				if fs.mgen[kid] != fs.gen {
+					fs.mgen[kid] = fs.gen
+					fs.members[kid] = fs.members[kid][:0]
+				}
+				for _, uid := range fs.members[kid] {
+					u := e.tupleVals(uid)
+					for _, y := range fs.ys {
 						ch, err := e.union(t[y], u[y])
 						if err != nil {
 							return changed, err
 						}
 						if ch {
-							again = true
-							changed = true
+							again, changed, fired = true, true, true
 							e.cFDFires.Inc()
-							e.tracef("FD %v equates %v and %v (tuples %v, %v agree on %s)",
-								f, e.describe(t[y]), e.describe(u[y]), e.describeTuple(t), e.describeTuple(u), schema.JoinAttrs(f.X))
+							if e.doTrace {
+								e.tracef("FD %v equates %v and %v (tuples %v, %v agree on %s)",
+									fs.d, e.describe(t[y]), e.describe(u[y]), e.describeTuple(t), e.describeTuple(u), schema.JoinAttrs(fs.d.X))
+							}
 						}
 					}
 				}
-				groups[key] = append(groups[key], i)
+				fs.members[kid] = append(fs.members[kid], tid)
+			}
+			if fired {
+				fs.cleanAt = 0
+			} else {
+				fs.cleanAt = rel.version + 1
 			}
 		}
 	}
 	return changed, nil
-}
-
-func (e *engine) projKey(t []int, pos []int) string {
-	b := make([]byte, 0, len(pos)*4)
-	for _, p := range pos {
-		r := e.find(t[p])
-		b = append(b, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
-	}
-	return string(b)
-}
-
-// applyINDs fires every IND once: for each left tuple with no witness on
-// the right, a new right tuple is created with fresh nulls outside the
-// target columns.
-func (e *engine) applyINDs() (changed bool, err error) {
-	for _, d := range e.inds {
-		ls, _ := e.db.Scheme(d.LRel)
-		rs, _ := e.db.Scheme(d.RRel)
-		xs := positions(ls, d.X)
-		ys := positions(rs, d.Y)
-		// Index right-hand projections.
-		witnesses := make(map[string]bool)
-		for _, u := range e.rels[d.RRel] {
-			witnesses[e.projKey(u, ys)] = true
-		}
-		// Iterate over a snapshot: new tuples added to d.LRel (when LRel ==
-		// RRel) are handled in the next round.
-		snapshot := append([][]int(nil), e.rels[d.LRel]...)
-		for _, t := range snapshot {
-			key := e.projKey(t, xs)
-			if witnesses[key] {
-				continue
-			}
-			u := make([]int, rs.Width())
-			for i := range u {
-				u[i] = -1
-			}
-			for i := range ys {
-				u[ys[i]] = t[xs[i]]
-			}
-			for i := range u {
-				if u[i] == -1 {
-					u[i] = e.newNull()
-				}
-			}
-			added, err := e.insert(d.RRel, u)
-			if err != nil {
-				return changed, err
-			}
-			if added {
-				changed = true
-				witnesses[key] = true
-				e.cINDAdds.Inc()
-				e.tracef("IND %v adds %v to %s for %v", d, e.describeTuple(u), d.RRel, e.describeTuple(t))
-			}
-		}
-	}
-	return changed, nil
-}
-
-// dedup removes canonically duplicate tuples created by unions.
-func (e *engine) dedup() {
-	for rel, tuples := range e.rels {
-		seen := make(map[string]bool, len(tuples))
-		out := tuples[:0]
-		for _, t := range tuples {
-			k := e.tupleKey(t)
-			if seen[k] {
-				e.tuples--
-				continue
-			}
-			seen[k] = true
-			out = append(out, t)
-		}
-		e.rels[rel] = out
-	}
 }
 
 // cancelled reports the context's error, if any: the per-round
@@ -401,29 +457,20 @@ func (e *engine) run() (done bool, err error) {
 	}
 }
 
-func positions(s *schema.Scheme, attrs []schema.Attribute) []int {
-	out := make([]int, len(attrs))
-	for i, a := range attrs {
-		p, _ := s.Pos(a)
-		out[i] = p
-	}
-	return out
-}
-
 // export materializes the tableau as a concrete database: constants keep
 // their names, null classes become fresh values "_0", "_1", ... in a
 // deterministic order, skipping any name already taken by a constant (a
 // seed value may itself look like "_0").
 func (e *engine) export() *data.Database {
 	out := data.NewDatabase(e.db)
-	names := make(map[int]data.Value)
+	named := make(map[int32]data.Value)
 	next := 0
-	valueOf := func(id int) data.Value {
+	valueOf := func(id int32) data.Value {
 		r := e.find(id)
-		if e.name[r] != "" {
-			return data.Value(e.name[r])
+		if n := e.name[e.label[r]]; n != "" {
+			return data.Value(n)
 		}
-		if v, ok := names[r]; ok {
+		if v, ok := named[r]; ok {
 			return v
 		}
 		var v data.Value
@@ -434,11 +481,13 @@ func (e *engine) export() *data.Database {
 				break
 			}
 		}
-		names[r] = v
+		named[r] = v
 		return v
 	}
 	for _, rel := range e.db.Names() {
-		for _, t := range e.rels[rel] {
+		rs := &e.rels[e.relIdx[rel]]
+		for _, tid := range rs.order {
+			t := e.tupleVals(tid)
 			row := make(data.Tuple, len(t))
 			for i, id := range t {
 				row[i] = valueOf(id)
@@ -449,24 +498,24 @@ func (e *engine) export() *data.Database {
 	return out
 }
 
-// tracef appends a formatted trace line when tracing is on.
+// tracef appends a formatted trace line; callers guard with doTrace so
+// the disabled path never boxes the arguments.
 func (e *engine) tracef(format string, args ...any) {
-	if e.doTrace {
-		e.trace = append(e.trace, fmt.Sprintf(format, args...))
-	}
+	e.trace = append(e.trace, fmt.Sprintf(format, args...))
 }
 
-// describe renders a value id: its constant name, or _<root> for nulls.
-func (e *engine) describe(id int) string {
-	r := e.find(id)
-	if e.name[r] != "" {
-		return e.name[r]
+// describe renders a value id: its constant name, or _<label> for nulls
+// (the label is the representative the reference engine would print).
+func (e *engine) describe(id int32) string {
+	l := e.label[e.find(id)]
+	if e.name[l] != "" {
+		return e.name[l]
 	}
-	return fmt.Sprintf("_%d", r)
+	return fmt.Sprintf("_%d", l)
 }
 
 // describeTuple renders a tableau tuple.
-func (e *engine) describeTuple(t []int) string {
+func (e *engine) describeTuple(t []int32) string {
 	parts := make([]string, len(t))
 	for i, v := range t {
 		parts[i] = e.describe(v)

@@ -5,6 +5,7 @@ import (
 
 	"indfd/internal/data"
 	"indfd/internal/deps"
+	"indfd/internal/intern"
 	"indfd/internal/obs"
 	"indfd/internal/schema"
 )
@@ -128,25 +129,34 @@ func ImpliesFD(db *schema.Database, sigma []deps.Dependency, goal deps.FD, opt O
 		sp.SetAttr("goal", goal.String())
 	}
 	sch, _ := db.Scheme(goal.Rel)
-	t1 := make([]int, sch.Width())
-	t2 := make([]int, sch.Width())
+	t1 := make([]int32, sch.Width())
+	t2 := make([]int32, sch.Width())
 	for i := range t1 {
 		t1[i] = e.newNull()
 		t2[i] = e.newNull()
 	}
-	for _, a := range goal.X {
-		p, _ := sch.Pos(a)
+	xs, err := positionsOf(sch, goal.X)
+	if err != nil {
+		sp.End()
+		return Result{}, err
+	}
+	for _, p := range xs {
 		t2[p] = t1[p]
 	}
-	if _, err := e.insert(goal.Rel, t1); err != nil {
+	ri := e.relIdx[goal.Rel]
+	if _, err := e.insert(ri, t1); err != nil {
 		sp.End()
 		return Result{}, err
 	}
-	if _, err := e.insert(goal.Rel, t2); err != nil {
+	if _, err := e.insert(ri, t2); err != nil {
 		sp.End()
 		return Result{}, err
 	}
-	ys := positions(sch, goal.Y)
+	ys, err := positionsOf(sch, goal.Y)
+	if err != nil {
+		sp.End()
+		return Result{}, err
+	}
 	return e.runToGoal(func() bool {
 		for _, y := range ys {
 			if !e.equal(t1[y], t2[y]) {
@@ -158,7 +168,8 @@ func ImpliesFD(db *schema.Database, sigma []deps.Dependency, goal deps.FD, opt O
 }
 
 // ImpliesIND tests sigma ⊨ goal for an IND goal R[X] ⊆ S[Y] by chasing the
-// one-tuple tableau over R.
+// one-tuple tableau over R. The goal test is a probe of a witness index
+// registered on S before the seed is inserted.
 func ImpliesIND(db *schema.Database, sigma []deps.Dependency, goal deps.IND, opt Options) (Result, error) {
 	if err := goal.Validate(db); err != nil {
 		return Result{}, err
@@ -173,24 +184,31 @@ func ImpliesIND(db *schema.Database, sigma []deps.Dependency, goal deps.IND, opt
 	}
 	ls, _ := db.Scheme(goal.LRel)
 	rs, _ := db.Scheme(goal.RRel)
-	t := make([]int, ls.Width())
-	for i := range t {
-		t[i] = e.newNull()
-	}
-	if _, err := e.insert(goal.LRel, t); err != nil {
+	xs, err := positionsOf(ls, goal.X)
+	if err != nil {
 		sp.End()
 		return Result{}, err
 	}
-	xs := positions(ls, goal.X)
-	ys := positions(rs, goal.Y)
+	ys, err := positionsOf(rs, goal.Y)
+	if err != nil {
+		sp.End()
+		return Result{}, err
+	}
+	// The goal's own witness index, registered before any tuple exists so
+	// it sees every insert (including the seed itself when LRel == RRel).
+	rri := e.relIdx[goal.RRel]
+	gpi := &projIndex{pos: ys, keys: intern.New(16)}
+	e.rels[rri].watchers = append(e.rels[rri].watchers, gpi)
+	t := make([]int32, ls.Width())
+	for i := range t {
+		t[i] = e.newNull()
+	}
+	if _, err := e.insert(e.relIdx[goal.LRel], t); err != nil {
+		sp.End()
+		return Result{}, err
+	}
 	return e.runToGoal(func() bool {
-		want := e.projKey(t, xs)
-		for _, u := range e.rels[goal.RRel] {
-			if e.projKey(u, ys) == want {
-				return true
-			}
-		}
-		return false
+		return gpi.witnessed(e, t, xs)
 	}, sp)
 }
 
@@ -209,16 +227,24 @@ func ImpliesRD(db *schema.Database, sigma []deps.Dependency, goal deps.RD, opt O
 		sp.SetAttr("goal", goal.String())
 	}
 	sch, _ := db.Scheme(goal.Rel)
-	t := make([]int, sch.Width())
+	t := make([]int32, sch.Width())
 	for i := range t {
 		t[i] = e.newNull()
 	}
-	if _, err := e.insert(goal.Rel, t); err != nil {
+	if _, err := e.insert(e.relIdx[goal.Rel], t); err != nil {
 		sp.End()
 		return Result{}, err
 	}
-	xs := positions(sch, goal.X)
-	ys := positions(sch, goal.Y)
+	xs, err := positionsOf(sch, goal.X)
+	if err != nil {
+		sp.End()
+		return Result{}, err
+	}
+	ys, err := positionsOf(sch, goal.Y)
+	if err != nil {
+		sp.End()
+		return Result{}, err
+	}
 	return e.runToGoal(func() bool {
 		for i := range xs {
 			if !e.equal(t[xs[i]], t[ys[i]]) {
@@ -262,12 +288,13 @@ func Complete(seed *data.Database, sigma []deps.Dependency, opt Options) (*data.
 	defer sp.End()
 	for _, rel := range seed.Scheme().Names() {
 		r, _ := seed.Relation(rel)
+		ri := e.relIdx[rel]
 		for _, t := range r.Tuples() {
-			row := make([]int, len(t))
+			row := make([]int32, len(t))
 			for i, v := range t {
 				row[i] = e.newConst(string(v))
 			}
-			if _, err := e.insert(rel, row); err != nil {
+			if _, err := e.insert(ri, row); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,267 @@
+// Persistent incremental indexes of the semi-naive chase engine: the
+// labeled union-find over value IDs, the flat tuple arena, per-relation
+// interned-key state, and the refcounted witness indexes the INDs probe.
+// The invariants maintained here are what lets the fixpoint in chase.go
+// and delta.go skip work:
+//
+//   - watch[r] contains every live tuple whose canonical key involves
+//     class r, so a union knows exactly which tuples to re-key (the
+//     losing side's watchers) and which relations' versions to bump;
+//   - tupKey[tid] is the interned canonical key of the tuple, current
+//     whenever the dirty queue is empty (processDirty drains it before
+//     every dedup and IND pass), making duplicate detection one probe;
+//   - each projIndex refcounts live tuples per interned projection key,
+//     so "does a witness exist" is one probe too.
+
+package chase
+
+import (
+	"fmt"
+
+	"indfd/internal/intern"
+)
+
+// relState is the per-relation index: live tuples in insertion order, the
+// intern table of canonical tuple keys with live refcounts, a version
+// counter bumped on any membership or key change (the FD/RD skip gate),
+// and the witness indexes of the INDs whose right-hand side this relation
+// is.
+type relState struct {
+	name     string
+	width    int
+	order    []int32
+	keys     *intern.Table
+	count    []int32
+	seen     []uint32
+	sweep    uint32
+	version  uint64
+	dupDirty bool
+	watchers []*projIndex
+}
+
+// projIndex is the incremental witness index of one IND (or of an IND
+// goal): a refcount of live tuples per interned projection key of the
+// indexed relation, plus each tuple's current contribution so re-keying
+// and removal can decrement the right slot.
+type projIndex struct {
+	pos     []int
+	keys    *intern.Table
+	count   []int32
+	contrib []int32 // per tuple ID: interned key, or -1
+}
+
+func (pi *projIndex) ensure(tid int32) {
+	for int32(len(pi.contrib)) <= tid {
+		pi.contrib = append(pi.contrib, -1)
+	}
+}
+
+// add records a newly inserted tuple of the indexed relation.
+func (pi *projIndex) add(e *engine, tid int32, t []int32) {
+	b := e.appendProjKey(e.keyBuf[:0], t, pi.pos)
+	kid, fresh := pi.keys.Intern(b)
+	e.keyBuf = b
+	if fresh {
+		pi.count = append(pi.count, 0)
+	}
+	pi.count[kid]++
+	pi.ensure(tid)
+	pi.contrib[tid] = kid
+}
+
+// rekey moves a tuple's contribution after its classes merged.
+func (pi *projIndex) rekey(e *engine, tid int32, t []int32) {
+	b := e.appendProjKey(e.keyBuf[:0], t, pi.pos)
+	kid, fresh := pi.keys.Intern(b)
+	e.keyBuf = b
+	if fresh {
+		pi.count = append(pi.count, 0)
+	}
+	old := pi.contrib[tid]
+	if kid == old {
+		return
+	}
+	pi.count[old]--
+	pi.count[kid]++
+	pi.contrib[tid] = kid
+}
+
+// remove drops a tuple deleted by dedup.
+func (pi *projIndex) remove(tid int32) {
+	pi.count[pi.contrib[tid]]--
+	pi.contrib[tid] = -1
+}
+
+// witnessed reports whether some live indexed tuple's projection equals
+// t's projection at pos. Sound whenever the dirty queue is drained: all
+// keys then reflect current roots, so key equality is canonical equality.
+func (pi *projIndex) witnessed(e *engine, t []int32, pos []int) bool {
+	b := e.appendProjKey(e.keyBuf[:0], t, pos)
+	kid, ok := pi.keys.Lookup(b)
+	e.keyBuf = b
+	return ok && pi.count[kid] > 0
+}
+
+// appendRoot appends the 4-byte little-endian encoding of a root ID —
+// the same encoding the reference engine's string keys use.
+func appendRoot(b []byte, r int32) []byte {
+	return append(b, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+}
+
+// appendRootsKey appends the canonical key of a whole tuple.
+func (e *engine) appendRootsKey(b []byte, t []int32) []byte {
+	for _, v := range t {
+		b = appendRoot(b, e.find(v))
+	}
+	return b
+}
+
+// appendProjKey appends the canonical key of a tuple's projection.
+func (e *engine) appendProjKey(b []byte, t []int32, pos []int) []byte {
+	for _, p := range pos {
+		b = appendRoot(b, e.find(t[p]))
+	}
+	return b
+}
+
+// appendLabelProjKey is appendProjKey rendered through class labels — the
+// exact bytes the reference engine's projKey would produce. FD grouping
+// uses it because grouping happens mid-pass, across root changes, and so
+// observably depends on the representative choice.
+func (e *engine) appendLabelProjKey(b []byte, t []int32, pos []int) []byte {
+	for _, p := range pos {
+		b = appendRoot(b, e.label[e.find(t[p])])
+	}
+	return b
+}
+
+func (e *engine) newValue(name string) int32 {
+	id := int32(len(e.parent))
+	e.parent = append(e.parent, id)
+	e.label = append(e.label, id)
+	e.name = append(e.name, name)
+	e.watch = append(e.watch, nil)
+	return id
+}
+
+func (e *engine) newNull() int32 { return e.newValue("") }
+
+func (e *engine) newConst(name string) int32 {
+	if id, ok := e.consts[name]; ok {
+		return id
+	}
+	id := e.newValue(name)
+	e.consts[name] = id
+	return id
+}
+
+func (e *engine) find(x int32) int32 {
+	for e.parent[x] != x {
+		e.parent[x] = e.parent[e.parent[x]]
+		x = e.parent[x]
+	}
+	return x
+}
+
+// equal reports canonical equality.
+func (e *engine) equal(a, b int32) bool { return e.find(a) == e.find(b) }
+
+// union merges the classes of a and b. Merging two distinct constants is a
+// hard contradiction (sigma plus the seed is unsatisfiable over distinct
+// constants) and reported as an error.
+//
+// Structurally the side with fewer tuple references loses (so each tuple
+// is re-keyed O(log n) times over a run), but the class label follows the
+// reference engine's rule — the first argument's representative wins
+// unless only the second is a constant — because labels are what trace
+// lines and exports print. The losing side's watchers go on the dirty
+// queue and their relations' versions are bumped.
+func (e *engine) union(a, b int32) (changed bool, err error) {
+	ra, rb := e.find(a), e.find(b)
+	if ra == rb {
+		return false, nil
+	}
+	la, lb := e.label[ra], e.label[rb]
+	na, nb := e.name[la], e.name[lb]
+	if na != "" && nb != "" && na != nb {
+		return false, fmt.Errorf("chase: contradiction: constants %q and %q equated", na, nb)
+	}
+	winner := la
+	if na == "" && nb != "" {
+		winner = lb
+	}
+	if len(e.watch[ra]) < len(e.watch[rb]) {
+		ra, rb = rb, ra
+	}
+	e.parent[rb] = ra
+	e.label[ra] = winner
+	for _, tid := range e.watch[rb] {
+		e.markDirty(tid)
+	}
+	e.watch[ra] = append(e.watch[ra], e.watch[rb]...)
+	e.watch[rb] = nil
+	e.cUnions.Inc()
+	return true, nil
+}
+
+// markDirty queues a live tuple for re-keying and bumps its relation's
+// version (invalidating FD/RD clean-scan records).
+func (e *engine) markDirty(tid int32) {
+	if e.tupDead[tid] || e.inDirty[tid] {
+		return
+	}
+	e.inDirty[tid] = true
+	e.dirty = append(e.dirty, tid)
+	e.rels[e.tupRel[tid]].version++
+}
+
+// tupleVals returns the value IDs of a tuple (a view into the arena).
+func (e *engine) tupleVals(tid int32) []int32 {
+	off := e.tupOff[tid]
+	return e.vals[off : off+int32(e.rels[e.tupRel[tid]].width)]
+}
+
+// insert adds a tuple of value IDs to the relation if no canonically-equal
+// tuple is already present — one interned-key probe, not a linear rescan.
+// It enforces the tuple budget (probing first, like the reference: a
+// duplicate at the budget boundary is a no-op, not an exhaustion). The
+// new tuple is registered with the class watch lists and every witness
+// index on the relation.
+func (e *engine) insert(ri int32, t []int32) (added bool, err error) {
+	rs := &e.rels[ri]
+	b := e.appendRootsKey(e.keyBuf[:0], t)
+	e.keyBuf = b
+	if kid, ok := rs.keys.Lookup(b); ok && rs.count[kid] > 0 {
+		return false, nil
+	}
+	if e.tuples >= e.max {
+		return false, errBudget
+	}
+	kid, fresh := rs.keys.Intern(b)
+	if fresh {
+		rs.count = append(rs.count, 0)
+		rs.seen = append(rs.seen, 0)
+	}
+	tid := int32(len(e.tupOff))
+	e.tupOff = append(e.tupOff, int32(len(e.vals)))
+	e.vals = append(e.vals, t...)
+	e.tupRel = append(e.tupRel, ri)
+	e.tupKey = append(e.tupKey, kid)
+	e.tupDead = append(e.tupDead, false)
+	e.inDirty = append(e.inDirty, false)
+	rs.count[kid]++
+	rs.order = append(rs.order, tid)
+	rs.version++
+	e.tuples++
+	e.cTuples.Inc()
+	e.gTuples.SetMax(int64(e.tuples))
+	tv := e.tupleVals(tid)
+	for _, v := range tv {
+		r := e.find(v)
+		e.watch[r] = append(e.watch[r], tid)
+	}
+	for _, pi := range rs.watchers {
+		pi.add(e, tid, tv)
+	}
+	return true, nil
+}

@@ -458,3 +458,38 @@ func TestLemma72TraceGolden(t *testing.T) {
 		t.Errorf("trace has %d lines, golden has %d", len(gotLines), len(wantLines))
 	}
 }
+
+// TestLemma72TraceEnginesAgree pins the Lemma 7.2 derivation of the
+// semi-naive chase engine byte-for-byte against the naive reference
+// engine, at the golden n=2 and at a deeper n. The trace renders
+// union-find representatives, so this catches any drift in rule order,
+// representative choice, or formatting between the two engines.
+func TestLemma72TraceEnginesAgree(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		s, err := NewSection7(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Lemma72(chase.Options{Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := chase.ReferenceImpliesFD(s.DB, s.Sigma, s.Goal, chase.Options{Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Verdict != want.Verdict || got.Rounds != want.Rounds || got.Tuples != want.Tuples {
+			t.Fatalf("n=%d: verdict/rounds/tuples %v/%d/%d, reference %v/%d/%d",
+				n, got.Verdict, got.Rounds, got.Tuples, want.Verdict, want.Rounds, want.Tuples)
+		}
+		if len(got.Trace) != len(want.Trace) {
+			t.Fatalf("n=%d: trace has %d lines, reference has %d", n, len(got.Trace), len(want.Trace))
+		}
+		for i := range got.Trace {
+			if got.Trace[i] != want.Trace[i] {
+				t.Errorf("n=%d: trace line %d:\n  semi-naive: %q\n  reference:  %q",
+					n, i+1, got.Trace[i], want.Trace[i])
+			}
+		}
+	}
+}

@@ -61,9 +61,13 @@ func Closure(rel string, x []schema.Attribute, sigma []deps.FD) []schema.Attribu
 	// remaining[i] counts LHS attributes of fds[i] not yet in the closure.
 	remaining := make([]int, len(fds))
 	// byAttr[a] lists the FDs with a on the left-hand side.
-	byAttr := make(map[schema.Attribute][]int)
-	closure := make(attrSet)
-	var queue []schema.Attribute
+	lhs := 0
+	for _, f := range fds {
+		lhs += len(f.X)
+	}
+	byAttr := make(map[schema.Attribute][]int, lhs)
+	closure := make(attrSet, len(x))
+	queue := make([]schema.Attribute, 0, len(x))
 
 	add := func(a schema.Attribute) {
 		if !closure[a] {
@@ -87,11 +91,9 @@ func Closure(rel string, x []schema.Attribute, sigma []deps.FD) []schema.Attribu
 				add(b)
 			}
 		}
-		_ = f
 	}
-	for len(queue) > 0 {
-		a := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		a := queue[head]
 		for _, i := range byAttr[a] {
 			remaining[i]--
 			if remaining[i] == 0 {

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"indfd/internal/deps"
+	"indfd/internal/intern"
 	"indfd/internal/obs"
 	"indfd/internal/schema"
 )
@@ -149,10 +150,10 @@ func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal 
 		via    int32  // index into sigma of the IND used to reach this node
 	}
 	nodes := []node{{expr: start, mask: attrMask(start.Attrs), parent: -1, via: -1}}
-	in := newInterner(64)
+	in := intern.New(64)
 	var buf []byte
 	buf = appendKey(buf, start.Rel, start.Attrs)
-	in.intern(buf) // ID 0 == arena index 0
+	in.Intern(buf) // ID 0 == arena index 0
 	var st Stats
 	st.Visited = 1
 	st.FrontierPeak = 1
@@ -204,7 +205,7 @@ func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal 
 				continue
 			}
 			st.Generated++
-			if _, fresh := in.intern(key); !fresh {
+			if _, fresh := in.Intern(key); !fresh {
 				continue
 			}
 			st.Visited++

@@ -8,9 +8,9 @@
 // them) even when the successor had already been visited. This file
 // removes the per-duplicate cost entirely:
 //
-//   - an interner maps expression keys to dense int IDs; the visited set
-//     becomes the interner's map, and the goal test becomes an int
-//     compare against the target's ID;
+//   - an interner (the shared internal/intern.Table) maps expression
+//     keys to dense int IDs; the visited set becomes the interner's map,
+//     and the goal test becomes an int compare against the target's ID;
 //   - keys are assembled into one reusable []byte scratch buffer, and
 //     the map probe uses the m[string(buf)] form the compiler compiles
 //     to an allocation-free lookup — a duplicate successor allocates
@@ -19,40 +19,16 @@
 //     attribute→position projection map (built once, not per apply call)
 //     and a 64-bit Bloom mask of its left-hand attributes, so most
 //     inapplicable INDs are rejected with one AND instead of a map probe.
+//
+// The interner itself started life here and was extracted into
+// internal/intern when the semi-naive chase adopted the same idiom for
+// tuple and projection keys.
 package ind
 
 import (
 	"indfd/internal/deps"
 	"indfd/internal/schema"
 )
-
-// interner assigns dense IDs to expression keys. IDs are handed out in
-// first-seen order, so node ID i lives at index i of the caller's arena.
-type interner struct {
-	ids map[string]int32
-}
-
-func newInterner(capHint int) *interner {
-	return &interner{ids: make(map[string]int32, capHint)}
-}
-
-// intern returns the ID of the key in buf, minting the next dense ID on
-// first sight. Only a first sight allocates (the one string copy the
-// table keeps); probing with an existing key is allocation-free.
-func (in *interner) intern(buf []byte) (id int32, fresh bool) {
-	if id, ok := in.ids[string(buf)]; ok {
-		return id, false
-	}
-	id = int32(len(in.ids))
-	in.ids[string(buf)] = id
-	return id, true
-}
-
-// lookup probes without inserting; it never allocates.
-func (in *interner) lookup(buf []byte) (int32, bool) {
-	id, ok := in.ids[string(buf)]
-	return id, ok
-}
 
 // appendKey appends the canonical key of the expression rel[attrs] —
 // identical to Expression.key(), but into a caller-owned buffer.

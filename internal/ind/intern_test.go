@@ -6,25 +6,26 @@ import (
 	"testing"
 
 	"indfd/internal/deps"
+	"indfd/internal/intern"
 	"indfd/internal/schema"
 )
 
 func TestInternerDenseIDs(t *testing.T) {
-	in := newInterner(4)
+	in := intern.New(4)
 	keys := []string{"R[A]", "S[A,B]", "R[A]", "T[C]", "S[A,B]"}
 	wantID := []int32{0, 1, 0, 2, 1}
 	wantFresh := []bool{true, true, false, true, false}
 	for i, k := range keys {
-		id, fresh := in.intern([]byte(k))
+		id, fresh := in.Intern([]byte(k))
 		if id != wantID[i] || fresh != wantFresh[i] {
-			t.Errorf("intern(%q) = (%d, %v), want (%d, %v)", k, id, fresh, wantID[i], wantFresh[i])
+			t.Errorf("Intern(%q) = (%d, %v), want (%d, %v)", k, id, fresh, wantID[i], wantFresh[i])
 		}
 	}
-	if id, ok := in.lookup([]byte("T[C]")); !ok || id != 2 {
-		t.Errorf("lookup(T[C]) = (%d, %v), want (2, true)", id, ok)
+	if id, ok := in.Lookup([]byte("T[C]")); !ok || id != 2 {
+		t.Errorf("Lookup(T[C]) = (%d, %v), want (2, true)", id, ok)
 	}
-	if _, ok := in.lookup([]byte("T[D]")); ok {
-		t.Errorf("lookup(T[D]) found a key never interned")
+	if _, ok := in.Lookup([]byte("T[D]")); ok {
+		t.Errorf("Lookup(T[D]) found a key never interned")
 	}
 }
 

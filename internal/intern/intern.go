@@ -1,0 +1,47 @@
+// Package intern provides a tiny byte-key interner: a map from
+// canonical byte keys to dense int32 IDs, handed out in first-seen
+// order.
+//
+// The pattern it packages appeared first in the Corollary 3.2 IND
+// frontier (internal/ind) and now also drives the semi-naive chase
+// (internal/chase): hot loops that repeatedly identify composite values
+// (expression keys, tuple projections) assemble the key into one
+// caller-owned scratch buffer and probe with the m[string(buf)] form the
+// compiler compiles to an allocation-free lookup. Only the first sight
+// of a key allocates — the one string copy the table keeps — so probing
+// with already-seen keys costs no garbage at all. Dense IDs mean callers
+// can keep per-key state in flat slices indexed by ID instead of maps.
+package intern
+
+// Table assigns dense IDs to byte keys. The zero value is not ready for
+// use; call New.
+type Table struct {
+	ids map[string]int32
+}
+
+// New returns an empty table with room hinted for capHint keys.
+func New(capHint int) *Table {
+	return &Table{ids: make(map[string]int32, capHint)}
+}
+
+// Intern returns the ID of the key in buf, minting the next dense ID on
+// first sight. Only a first sight allocates (the string copy the table
+// keeps); probing with an existing key is allocation-free.
+func (t *Table) Intern(buf []byte) (id int32, fresh bool) {
+	if id, ok := t.ids[string(buf)]; ok {
+		return id, false
+	}
+	id = int32(len(t.ids))
+	t.ids[string(buf)] = id
+	return id, true
+}
+
+// Lookup probes without inserting; it never allocates.
+func (t *Table) Lookup(buf []byte) (int32, bool) {
+	id, ok := t.ids[string(buf)]
+	return id, ok
+}
+
+// Len is the number of distinct keys interned so far; the next fresh
+// key receives ID Len().
+func (t *Table) Len() int { return len(t.ids) }

@@ -1,0 +1,53 @@
+package intern
+
+import "testing"
+
+func TestInternDenseIDs(t *testing.T) {
+	tb := New(4)
+	id0, fresh := tb.Intern([]byte("alpha"))
+	if id0 != 0 || !fresh {
+		t.Fatalf("first key: id=%d fresh=%v, want 0 true", id0, fresh)
+	}
+	id1, fresh := tb.Intern([]byte("beta"))
+	if id1 != 1 || !fresh {
+		t.Fatalf("second key: id=%d fresh=%v, want 1 true", id1, fresh)
+	}
+	again, fresh := tb.Intern([]byte("alpha"))
+	if again != 0 || fresh {
+		t.Fatalf("re-intern: id=%d fresh=%v, want 0 false", again, fresh)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+}
+
+func TestLookupDoesNotInsert(t *testing.T) {
+	tb := New(0)
+	if _, ok := tb.Lookup([]byte("missing")); ok {
+		t.Fatal("Lookup invented a key")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Lookup inserted: Len = %d", tb.Len())
+	}
+	tb.Intern([]byte("x"))
+	if id, ok := tb.Lookup([]byte("x")); !ok || id != 0 {
+		t.Fatalf("Lookup(x) = %d %v, want 0 true", id, ok)
+	}
+}
+
+func TestInternProbeAllocFree(t *testing.T) {
+	tb := New(8)
+	key := []byte("already-interned-key")
+	tb.Intern(key)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, fresh := tb.Intern(key); fresh {
+			t.Fatal("key turned fresh")
+		}
+		if _, ok := tb.Lookup(key); !ok {
+			t.Fatal("key vanished")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("probing an existing key allocates %.1f times per run, want 0", allocs)
+	}
+}
