@@ -207,12 +207,14 @@ func (e *engine) union(a, b int32) (changed bool, err error) {
 // markDirty queues a live tuple for re-keying and bumps its relation's
 // version (invalidating FD/RD clean-scan records).
 func (e *engine) markDirty(tid int32) {
-	if e.tupDead[tid] || e.inDirty[tid] {
+	if e.tupDead[tid] {
 		return
 	}
-	e.inDirty[tid] = true
-	e.dirty = append(e.dirty, tid)
 	e.rels[e.tupRel[tid]].version++
+	if !e.inDirty[tid] {
+		e.inDirty[tid] = true
+		e.dirty = append(e.dirty, tid)
+	}
 }
 
 // tupleVals returns the value IDs of a tuple (a view into the arena).
