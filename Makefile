@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench benchjson bench-json bench-diff serve
+.PHONY: check build vet lint test race zeroalloc bench benchjson bench-json bench-diff serve
 
-check: build vet lint race
+check: build vet lint race zeroalloc
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The zero-cost-when-off gate: the chase with instrumentation and
+# provenance disabled must stay under its pinned allocation ceiling.
+# -count=1 defeats the test cache — an allocation regression must fail
+# here even when no _test.go file changed.
+zeroalloc:
+	$(GO) test -run TestZeroAlloc -count=1 .
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -808,3 +808,44 @@ func BenchmarkChaseObs(b *testing.B) {
 		}
 	})
 }
+
+// TestZeroAlloc is the `make check` gate for the zero-cost-when-off
+// contract of BenchmarkChaseObs: with instrumentation and provenance
+// both disabled (the Options zero value — what every caller gets unless
+// it opts in), the Proposition 4.1 chase must stay under its pinned
+// allocation ceiling. Both features hide behind predictable nil-checks,
+// so turning either one ON must be the only way to pay for it; a new
+// allocation on the disabled path fails this test before it fails a
+// benchmark diff.
+func TestZeroAlloc(t *testing.T) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	goal := deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y"))
+	run := func(opt chase.Options) float64 {
+		return testing.AllocsPerRun(200, func() {
+			res, err := chase.ImpliesFD(db, sigma, goal, opt)
+			if err != nil || res.Verdict != chase.Implied {
+				t.Fatal("chase wrong")
+			}
+		})
+	}
+	disabled := run(chase.Options{})
+	withProv := run(chase.Options{Provenance: true})
+	t.Logf("allocs/run: disabled %.1f, provenance %.1f", disabled, withProv)
+	// Measured 85 allocs/run; the ceiling leaves slack for toolchain
+	// drift, not for regressions (same pin as the chase package's
+	// TestDisabledObsAllocsPinned).
+	if disabled > 100 {
+		t.Errorf("disabled chase path allocates %.1f/run, ceiling 100", disabled)
+	}
+	if withProv <= disabled {
+		t.Errorf("provenance-on path allocates %.1f/run vs %.1f disabled; capture is not recording",
+			withProv, disabled)
+	}
+}

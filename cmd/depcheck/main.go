@@ -1,13 +1,17 @@
 // Command depcheck checks a concrete database (a directory of CSV files,
 // one per relation) against the dependencies of a .dep file, reports
 // every violation with the offending tuples, optionally repairs
-// referential-integrity violations by chasing the missing tuples in, and
+// referential-integrity violations by chasing the missing tuples in,
 // optionally prints design advice (derived keys, foreign keys, forced
-// column equalities, finite-only consequences, redundant declarations).
+// column equalities, finite-only consequences, redundant declarations),
+// and with -explain answers the file's implication queries with their
+// evidence: a formal ind/fd proof, the chase's provenance derivation
+// DAG (as text or Graphviz dot via -format), or a counterexample.
 //
 // Usage:
 //
 //	depcheck -deps schema.dep -data ./csvdir [-repair ./fixed] [-advise]
+//	         [-explain] [-format text|dot]
 //	         [-stats] [-trace-json FILE] [-pprof ADDR] [-memprofile FILE]
 //
 // With -stats, a metrics and span report (lint.* check counters plus the
@@ -28,6 +32,7 @@ import (
 
 	"indfd/internal/chase"
 	"indfd/internal/cliutil"
+	"indfd/internal/core"
 	"indfd/internal/data"
 	"indfd/internal/lint"
 	"indfd/internal/obs"
@@ -39,6 +44,8 @@ func main() {
 	dataDir := flag.String("data", "", "directory of <relation>.csv files")
 	repairDir := flag.String("repair", "", "write a repaired copy of the data to this directory")
 	advise := flag.Bool("advise", false, "print design advice for the dependency set")
+	explain := flag.Bool("explain", false, "answer the .dep file's queries with proofs/derivations/counterexamples")
+	format := flag.String("format", "text", "derivation output format for -explain: text or dot")
 	budget := flag.Int("budget", 1024, "chase tuple budget for repair and advice")
 	obsFlags := cliutil.Register(flag.CommandLine)
 	flag.Parse()
@@ -48,7 +55,7 @@ func main() {
 	}
 
 	reg := obsFlags.Registry()
-	code, err := run(os.Stdout, *depsPath, *dataDir, *repairDir, *advise, *budget, reg)
+	code, err := run(os.Stdout, *depsPath, *dataDir, *repairDir, *advise, *explain, *format, *budget, reg)
 	if ferr := obsFlags.Finish(reg); err == nil {
 		err = ferr
 	}
@@ -59,9 +66,12 @@ func main() {
 	os.Exit(code)
 }
 
-func run(w io.Writer, depsPath, dataDir, repairDir string, advise bool, budget int, reg *obs.Registry) (int, error) {
+func run(w io.Writer, depsPath, dataDir, repairDir string, advise, explain bool, format string, budget int, reg *obs.Registry) (int, error) {
 	if depsPath == "" {
 		return 1, fmt.Errorf("-deps is required")
+	}
+	if format != "text" && format != "dot" {
+		return 1, fmt.Errorf("-format must be text or dot, got %q", format)
 	}
 	f, err := os.Open(depsPath)
 	if err != nil {
@@ -73,6 +83,12 @@ func run(w io.Writer, depsPath, dataDir, repairDir string, advise bool, budget i
 		return 1, err
 	}
 	opt := chase.Options{MaxTuples: budget, Obs: reg}
+
+	if explain {
+		if err := runExplain(w, file, format, budget, reg); err != nil {
+			return 1, err
+		}
+	}
 
 	if advise {
 		// Parent every candidate-probe chase under one advise span so the
@@ -88,8 +104,8 @@ func run(w io.Writer, depsPath, dataDir, repairDir string, advise bool, budget i
 	}
 
 	if dataDir == "" {
-		if !advise {
-			return 1, fmt.Errorf("nothing to do: pass -data and/or -advise")
+		if !advise && !explain {
+			return 1, fmt.Errorf("nothing to do: pass -data, -advise and/or -explain")
 		}
 		return 0, nil
 	}
@@ -120,4 +136,45 @@ func run(w io.Writer, depsPath, dataDir, repairDir string, advise bool, budget i
 		fmt.Fprintf(w, "repaired: %d tuple(s) added, written to %s\n", added, repairDir)
 	}
 	return 3, nil
+}
+
+// runExplain answers every `? goal` / `?fin goal` query of the .dep
+// file with its evidence. Text format prints the verdict plus the
+// engine's explanation (ind/fd proof, chase derivation, unary
+// cardinality cycle, or counterexample); dot format renders the chase's
+// derivation DAG in Graphviz syntax and errors on answers that carry no
+// derivation (other engines, non-yes verdicts).
+func runExplain(w io.Writer, file *parser.File, format string, budget int, reg *obs.Registry) error {
+	if len(file.Queries) == 0 {
+		return fmt.Errorf("-explain needs at least one query (a `? goal` line) in the .dep file")
+	}
+	sys := core.NewSystem(file.DB)
+	if err := sys.Add(file.Sigma...); err != nil {
+		return err
+	}
+	opt := core.Options{ChaseMaxTuples: budget, Provenance: true, Obs: reg}
+	for _, q := range file.Queries {
+		a, why, err := sys.Explain(q.Goal, opt, q.Mode == parser.Finite)
+		if err != nil {
+			return err
+		}
+		if format == "dot" {
+			if a.Derivation == nil {
+				return fmt.Errorf("%v: no chase derivation to render as dot (verdict %v, engine %s)",
+					q.Goal, a.Verdict, a.Engine)
+			}
+			fmt.Fprint(w, a.Derivation.DOT())
+			continue
+		}
+		mode := "unrestricted"
+		if q.Mode == parser.Finite {
+			mode = "finite"
+		}
+		fmt.Fprintf(w, "? %v  [%s]\n", q.Goal, mode)
+		fmt.Fprintf(w, "verdict: %v  (engine %s)\n", a.Verdict, a.Engine)
+		if why != "" {
+			fmt.Fprintln(w, why)
+		}
+	}
+	return nil
 }

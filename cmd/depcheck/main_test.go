@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,12 @@ import (
 
 	"indfd/internal/obs"
 )
+
+// updateGolden regenerates the golden files instead of comparing (the
+// Lemma 7.2 trace-golden convention):
+//
+//	go test ./cmd/depcheck/ -run TestExplainLemma72DOTGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 const depFile = `
 schema CUST(CID, NAME)
@@ -39,7 +46,7 @@ func setup(t *testing.T, custCSV, ordCSV string) (depPath, dataDir string) {
 func TestCleanData(t *testing.T) {
 	dep, dir := setup(t, "CID,NAME\nc1,ann\n", "OID,CID\no1,c1\n")
 	var out bytes.Buffer
-	code, err := run(&out, dep, dir, "", false, 0, nil)
+	code, err := run(&out, dep, dir, "", false, false, "text", 0, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -52,7 +59,7 @@ func TestViolationsAndRepair(t *testing.T) {
 	dep, dir := setup(t, "CID,NAME\nc1,ann\n", "OID,CID\no1,c1\no2,c9\n")
 	repairDir := filepath.Join(t.TempDir(), "fixed")
 	var out bytes.Buffer
-	code, err := run(&out, dep, dir, repairDir, false, 0, nil)
+	code, err := run(&out, dep, dir, repairDir, false, false, "text", 0, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -64,7 +71,7 @@ func TestViolationsAndRepair(t *testing.T) {
 	}
 	// The repaired data passes a second check.
 	var out2 bytes.Buffer
-	code, err = run(&out2, dep, repairDir, "", false, 0, nil)
+	code, err = run(&out2, dep, repairDir, "", false, false, "text", 0, nil)
 	if err != nil {
 		t.Fatalf("re-check: %v", err)
 	}
@@ -76,7 +83,7 @@ func TestViolationsAndRepair(t *testing.T) {
 func TestAdvise(t *testing.T) {
 	dep, _ := setup(t, "CID,NAME\n", "OID,CID\n")
 	var out bytes.Buffer
-	code, err := run(&out, dep, "", "", true, 256, nil)
+	code, err := run(&out, dep, "", "", true, false, "text", 256, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -86,18 +93,103 @@ func TestAdvise(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	if _, err := run(&bytes.Buffer{}, "", "", "", false, 0, nil); err == nil {
+	if _, err := run(&bytes.Buffer{}, "", "", "", false, false, "text", 0, nil); err == nil {
 		t.Errorf("missing -deps should error")
 	}
 	dep, _ := setup(t, "CID,NAME\n", "OID,CID\n")
-	if _, err := run(&bytes.Buffer{}, dep, "", "", false, 0, nil); err == nil {
+	if _, err := run(&bytes.Buffer{}, dep, "", "", false, false, "text", 0, nil); err == nil {
 		t.Errorf("missing -data without -advise should error")
 	}
-	if _, err := run(&bytes.Buffer{}, dep, "/nonexistent-dir", "", false, 0, nil); err == nil {
+	if _, err := run(&bytes.Buffer{}, dep, "/nonexistent-dir", "", false, false, "text", 0, nil); err == nil {
 		t.Errorf("bad data dir should error")
 	}
-	if _, err := run(&bytes.Buffer{}, "/nonexistent.dep", "", "", true, 0, nil); err == nil {
+	if _, err := run(&bytes.Buffer{}, "/nonexistent.dep", "", "", true, false, "text", 0, nil); err == nil {
 		t.Errorf("bad deps path should error")
+	}
+}
+
+// TestExplainLemma72Text answers the Lemma 7.2 query (testdata mirrors
+// counterex.NewSection7(2)) in text mode: the verdict is yes via the
+// chase, and the derivation's node lines and goal line are printed.
+func TestExplainLemma72Text(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run(&out, filepath.Join("testdata", "lemma72.dep"), "", "", false, true, "text", 1024, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if code != 0 {
+		t.Fatalf("code = %d, output:\n%s", code, got)
+	}
+	for _, want := range []string{
+		"? F: A -> C  [unrestricted]",
+		"verdict: yes  (engine chase)",
+		"derivation of F: A -> C",
+		"seed F(",
+		"goal holds:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestExplainLemma72DOTGolden pins depcheck -explain -format dot on the
+// Lemma 7.2 instance byte for byte: the chase is deterministic, so the
+// derivation DAG — leaves the two seed F tuples, internal nodes the
+// FD/IND firings of Σ — renders identically on every run.
+func TestExplainLemma72DOTGolden(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run(&out, filepath.Join("testdata", "lemma72.dep"), "", "", false, true, "dot", 1024, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("code = %d, output:\n%s", code, out.String())
+	}
+	got := out.String()
+	path := filepath.Join("testdata", "lemma72.dot.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("dot output diverged from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestExplainErrors covers the -explain failure modes: a bad format, a
+// file with no query, and dot on an answer with no chase derivation.
+func TestExplainErrors(t *testing.T) {
+	dep, _ := setup(t, "CID,NAME\n", "OID,CID\n")
+	if _, err := run(&bytes.Buffer{}, dep, "", "", false, true, "svg", 0, nil); err == nil {
+		t.Errorf("bad -format should error")
+	}
+	if _, err := run(&bytes.Buffer{}, dep, "", "", false, true, "text", 0, nil); err == nil {
+		t.Errorf("-explain without queries should error")
+	}
+	// An FD-only query answers via the fd engine (no chase derivation):
+	// text mode prints the Armstrong proof, dot mode errors.
+	qdep := filepath.Join(t.TempDir(), "q.dep")
+	if err := os.WriteFile(qdep, []byte("schema R(A, B)\nR: A -> B\n? R: A -> B\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := run(&out, qdep, "", "", false, true, "text", 0, nil); err != nil {
+		t.Fatalf("fd explain: %v", err)
+	}
+	if !strings.Contains(out.String(), "verdict: yes  (engine fd)") {
+		t.Errorf("fd explain output:\n%s", out.String())
+	}
+	if _, err := run(&bytes.Buffer{}, qdep, "", "", false, true, "dot", 0, nil); err == nil {
+		t.Errorf("dot without a chase derivation should error")
 	}
 }
 
@@ -109,7 +201,7 @@ func TestRunInstrumented(t *testing.T) {
 	repairDir := filepath.Join(t.TempDir(), "fixed")
 	reg := obs.New()
 	var out bytes.Buffer
-	code, err := run(&out, dep, dir, repairDir, true, 256, reg)
+	code, err := run(&out, dep, dir, repairDir, true, false, "text", 256, reg)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -10,17 +10,22 @@
 //
 //	depserve [-addr :8377] [-deadline 10s] [-max-deadline 60s]
 //	         [-slow 500ms] [-budget N] [-search] [-span-cap 64]
-//	         [-cache-size 1024] [-cache-ttl 0]
+//	         [-cache-size 1024] [-cache-ttl 0] [-trace-buf 128]
 //	         [-stats] [-trace-json FILE] [-pprof ADDR] [-memprofile FILE]
 //
 // Endpoints (see internal/serve):
 //
 //	POST /v1/implies     implication query
+//	POST /v1/explain     implication query answered with its evidence
+//	                     (proof, derivation DAG, or counterexample)
 //	POST /v1/satisfies   satisfaction check of concrete tuples
 //	GET  /metrics        Prometheus text exposition
 //	GET  /healthz        liveness
 //	GET  /readyz         readiness (armed once the listener is bound)
 //	GET  /debug/obs      full metrics + recent query traces as JSON
+//	GET  /debug/traces   flight recorder: the last -trace-buf completed
+//	                     requests; every response's X-Trace-Id resolves
+//	                     at /debug/traces/{id}
 //	GET  /debug/pprof/   profiles and execution traces
 //
 // Logs are JSON on stderr, one record per request; requests slower than
@@ -57,12 +62,13 @@ func main() {
 	spanCap := flag.Int("span-cap", 64, "root query spans retained for /debug/obs (0 = unbounded)")
 	cacheSize := flag.Int("cache-size", 1024, "answer cache entries (0 disables caching)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "answer cache entry lifetime (0 = never expire)")
+	traceBuf := flag.Int("trace-buf", 128, "flight-recorder capacity for /debug/traces (negative disables)")
 	obsFlags := cliutil.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	if err := run(logger, *addr, *deadline, *maxDeadline, *slow, *budget, *search, *spanCap,
-		*cacheSize, *cacheTTL, obsFlags); err != nil {
+		*cacheSize, *cacheTTL, *traceBuf, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "depserve:", err)
 		os.Exit(1)
 	}
@@ -70,7 +76,7 @@ func main() {
 
 func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Duration,
 	budget int, search bool, spanCap, cacheSize int, cacheTTL time.Duration,
-	obsFlags *cliutil.ObsFlags) error {
+	traceBuf int, obsFlags *cliutil.ObsFlags) error {
 	// The server always runs instrumented — /metrics is its point — so
 	// the registry does not depend on the -stats/-trace-json flags.
 	reg := obs.New()
@@ -78,6 +84,10 @@ func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Dura
 	if err := obsFlags.StartPprof(); err != nil {
 		return err
 	}
+	// Runtime telemetry (goroutines, heap, GC) lands in process.* gauges
+	// on a ticker, so /metrics scrapes see live values between requests.
+	stopSampler := obs.StartRuntimeSampler(reg, 10*time.Second)
+	defer stopSampler()
 
 	srv := serve.New(serve.Config{
 		Reg:             reg,
@@ -89,6 +99,7 @@ func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Dura
 		SearchFallback:  search,
 		CacheSize:       cacheSize,
 		CacheTTL:        cacheTTL,
+		TraceBuffer:     traceBuf,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

@@ -94,6 +94,14 @@ type Options struct {
 	// machine-generated analogue of the step-by-step derivation in the
 	// proof of Lemma 7.2.
 	Trace bool
+	// Provenance records, per tuple, the IND firing that created it and,
+	// per union, the FD/RD firing that caused it; on an Implied verdict
+	// the goal is walked backwards through this log into
+	// Result.Derivation, a minimal proof DAG (see provenance.go).
+	// Capture is opt-in and free when disabled: every capture site is a
+	// single nil check, and verdicts, traces and counters are identical
+	// either way (differential-tested).
+	Provenance bool
 	// Obs, when non-nil, receives the chase's work counters under the
 	// "chase." namespace (rounds, tuples created, union-find merges,
 	// fixpoint passes, ...). A nil registry costs nothing: the engine
@@ -165,6 +173,13 @@ type engine struct {
 
 	keyBuf []byte // scratch for key assembly (reused, never retained)
 	tmp    []int32
+
+	// prov is the opt-in provenance log (nil = capture off, the
+	// default); goalDesc and goalProv are set by the entry points so
+	// extraction knows which equalities and tuples constitute the goal.
+	prov     *prov
+	goalDesc string
+	goalProv func() (pairs [][2]int32, goalTuples []int32, err error)
 
 	// Possibly-nil instruments, fetched once per chase call; the hot
 	// loops touch them unconditionally (a nil receiver is a no-op).
@@ -238,6 +253,9 @@ func newEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engi
 		cRekeyed:  opt.Obs.Counter("chase.rekeyed_tuples"),
 		cSkips:    opt.Obs.Counter("chase.scans_skipped"),
 		gTuples:   opt.Obs.Gauge("chase.tuples_peak"),
+	}
+	if opt.Provenance {
+		e.prov = newProv()
 	}
 	names := db.Names()
 	e.rels = make([]relState, len(names))
@@ -353,6 +371,9 @@ func (e *engine) applyFDs() (changed bool, err error) {
 					if ch {
 						again, changed, fired = true, true, true
 						e.cRDFires.Inc()
+						if e.prov != nil {
+							e.prov.noteUnion(evRD, int32(i), tid, -1, t[ds.xs[j]], t[ds.ys[j]])
+						}
 						if e.doTrace {
 							e.tracef("RD %v equates %v and %v within %v",
 								ds.d, e.describe(t[ds.xs[j]]), e.describe(t[ds.ys[j]]), e.describeTuple(t))
@@ -402,6 +423,9 @@ func (e *engine) applyFDs() (changed bool, err error) {
 						if ch {
 							again, changed, fired = true, true, true
 							e.cFDFires.Inc()
+							if e.prov != nil {
+								e.prov.noteUnion(evFD, int32(i), tid, uid, t[y], u[y])
+							}
 							if e.doTrace {
 								e.tracef("FD %v equates %v and %v (tuples %v, %v agree on %s)",
 									fs.d, e.describe(t[y]), e.describe(u[y]), e.describeTuple(t), e.describeTuple(u), schema.JoinAttrs(fs.d.X))

@@ -126,7 +126,15 @@ func (e *engine) applyINDs() (changed bool, err error) {
 					u[j] = e.newNull()
 				}
 			}
+			if e.prov != nil {
+				// Identify the pending insert as this IND firing on this
+				// witness tuple; insert's noteTuple consumes it.
+				e.prov.pendRule, e.prov.pendSrc = int32(i), tid
+			}
 			added, err := e.insert(is.rri, u)
+			if e.prov != nil {
+				e.prov.pendRule, e.prov.pendSrc = -1, -1
+			}
 			if err != nil {
 				return changed, err
 			}

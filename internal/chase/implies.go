@@ -41,6 +41,10 @@ type Result struct {
 	// Trace lists the rule applications performed, when Options.Trace was
 	// set.
 	Trace []string
+	// Derivation is the minimal proof DAG extracted from provenance; it
+	// is set exactly when Options.Provenance was set and Verdict ==
+	// Implied (Complete runs goal-less and never sets it).
+	Derivation *Derivation
 }
 
 // runToGoal chases until derived() holds, a fixpoint is reached, or the
@@ -105,6 +109,14 @@ func (e *engine) finish(res Result, v Verdict, sp *obs.Span) (Result, error) {
 	res.Verdict = v
 	res.Tuples = e.tuples
 	res.Trace = e.trace
+	if v == Implied && e.prov != nil && e.goalProv != nil {
+		d, err := e.extractDerivation()
+		if err != nil {
+			sp.End()
+			return res, err
+		}
+		res.Derivation = d
+	}
 	if sp != nil {
 		sp.SetAttr("verdict", v.String())
 		sp.SetInt("rounds", int64(res.Rounds))
@@ -157,6 +169,18 @@ func ImpliesFD(db *schema.Database, sigma []deps.Dependency, goal deps.FD, opt O
 		sp.End()
 		return Result{}, err
 	}
+	if e.prov != nil {
+		// The goal holds when the two seed tuples (IDs 0 and 1) agree on
+		// Y; t1/t2 hold the arena's structural value IDs.
+		e.goalDesc = goal.String()
+		e.goalProv = func() ([][2]int32, []int32, error) {
+			pairs := make([][2]int32, len(ys))
+			for i, y := range ys {
+				pairs[i] = [2]int32{t1[y], t2[y]}
+			}
+			return pairs, []int32{0, 1}, nil
+		}
+	}
 	return e.runToGoal(func() bool {
 		for _, y := range ys {
 			if !e.equal(t1[y], t2[y]) {
@@ -207,6 +231,33 @@ func ImpliesIND(db *schema.Database, sigma []deps.Dependency, goal deps.IND, opt
 		sp.End()
 		return Result{}, err
 	}
+	if e.prov != nil {
+		// The goal holds when some tuple of RRel canonically matches the
+		// seed's X projection; identify a concrete witness at extraction
+		// time (the index answers "exists", not "which").
+		e.goalDesc = goal.String()
+		e.goalProv = func() ([][2]int32, []int32, error) {
+			rs := &e.rels[rri]
+			for _, uid := range rs.order {
+				u := e.tupleVals(uid)
+				match := true
+				for j := range ys {
+					if !e.equal(t[xs[j]], u[ys[j]]) {
+						match = false
+						break
+					}
+				}
+				if match {
+					pairs := make([][2]int32, len(ys))
+					for j := range ys {
+						pairs[j] = [2]int32{t[xs[j]], u[ys[j]]}
+					}
+					return pairs, []int32{0, uid}, nil
+				}
+			}
+			return nil, nil, fmt.Errorf("chase: provenance found no witness tuple for %v", goal)
+		}
+	}
 	return e.runToGoal(func() bool {
 		return gpi.witnessed(e, t, xs)
 	}, sp)
@@ -244,6 +295,16 @@ func ImpliesRD(db *schema.Database, sigma []deps.Dependency, goal deps.RD, opt O
 	if err != nil {
 		sp.End()
 		return Result{}, err
+	}
+	if e.prov != nil {
+		e.goalDesc = goal.String()
+		e.goalProv = func() ([][2]int32, []int32, error) {
+			pairs := make([][2]int32, len(xs))
+			for i := range xs {
+				pairs[i] = [2]int32{t[xs[i]], t[ys[i]]}
+			}
+			return pairs, []int32{0}, nil
+		}
 	}
 	return e.runToGoal(func() bool {
 		for i := range xs {

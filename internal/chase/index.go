@@ -265,5 +265,8 @@ func (e *engine) insert(ri int32, t []int32) (added bool, err error) {
 	for _, pi := range rs.watchers {
 		pi.add(e, tid, tv)
 	}
+	if e.prov != nil {
+		e.prov.noteTuple(tid)
+	}
 	return true, nil
 }

@@ -1,0 +1,233 @@
+package chase
+
+// Tests of the provenance layer: (1) enabling capture is observably
+// inert — verdicts, rounds/tuples, traces, counterexamples, and
+// counters are byte-identical with provenance on and off, on the fixed
+// fixtures and on ~100 random instances; (2) every derivation extracted
+// from an Implied verdict is a sound proof — Verify replays it
+// mechanically and the goal equalities come out.
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"indfd/internal/deps"
+	"indfd/internal/obs"
+	"indfd/internal/schema"
+)
+
+// diffProvenance runs the semi-naive engine twice — provenance off and
+// on — and fails on any observable divergence; on an Implied verdict it
+// additionally replays the extracted derivation.
+func diffProvenance(t *testing.T, label string, db *schema.Database, sigma []deps.Dependency, goal deps.Dependency, opt Options) {
+	t.Helper()
+	regOff, regOn := obs.New(), obs.New()
+	optOff, optOn := opt, opt
+	optOff.Obs, optOff.Trace = regOff, true
+	optOn.Obs, optOn.Trace, optOn.Provenance = regOn, true, true
+	want, wantErr := Implies(db, sigma, goal, optOff)
+	got, gotErr := Implies(db, sigma, goal, optOn)
+	compareResults(t, label, got, gotErr, want, wantErr)
+	compareCounters(t, label, regOn, regOff)
+	if want.Derivation != nil {
+		t.Errorf("%s: derivation set with provenance off", label)
+	}
+	switch {
+	case gotErr != nil:
+	case got.Verdict == Implied && got.Derivation == nil:
+		t.Errorf("%s: Implied with provenance on but no derivation", label)
+	case got.Verdict != Implied && got.Derivation != nil:
+		t.Errorf("%s: derivation set on a %v verdict", label, got.Verdict)
+	case got.Derivation != nil:
+		checkDerivation(t, label, db, sigma, goal, got.Derivation)
+	}
+}
+
+// checkDerivation asserts the structural acceptance criteria on a
+// derivation — leaves are seed tuples, internal nodes are firings of
+// sigma, inputs precede their nodes — and then replays it with Verify.
+func checkDerivation(t *testing.T, label string, db *schema.Database, sigma []deps.Dependency, goal deps.Dependency, d *Derivation) {
+	t.Helper()
+	if d.Goal != goal.String() {
+		t.Errorf("%s: derivation goal %q, want %q", label, d.Goal, goal.String())
+	}
+	if len(d.Nodes) == 0 {
+		t.Fatalf("%s: empty derivation", label)
+	}
+	inSigma := make(map[string]bool, len(sigma))
+	for _, dep := range sigma {
+		inSigma[dep.String()] = true
+	}
+	seeds := 0
+	for i, n := range d.Nodes {
+		if n.ID != i {
+			t.Fatalf("%s: node %d has ID %d", label, i, n.ID)
+		}
+		for _, in := range n.Inputs {
+			if in >= i {
+				t.Fatalf("%s: node n%d depends on later node n%d", label, i, in)
+			}
+		}
+		switch n.Kind {
+		case "seed":
+			seeds++
+			if len(n.Inputs) != 0 || n.Rule != "" {
+				t.Errorf("%s: seed n%d has inputs %v rule %q", label, i, n.Inputs, n.Rule)
+			}
+		case "ind", "fd", "rd":
+			if len(n.Inputs) == 0 {
+				t.Errorf("%s: %s node n%d has no inputs", label, n.Kind, i)
+			}
+			if !inSigma[n.Rule] {
+				t.Errorf("%s: node n%d fires %q, which is not in sigma", label, i, n.Rule)
+			}
+		default:
+			t.Fatalf("%s: node n%d has kind %q", label, i, n.Kind)
+		}
+	}
+	if seeds == 0 {
+		t.Errorf("%s: derivation has no seed leaves", label)
+	}
+	if err := d.Verify(db, sigma); err != nil {
+		t.Errorf("%s: derivation does not replay: %v\n%s", label, err, d.String())
+	}
+	if s := d.String(); !strings.Contains(s, "derivation of "+goal.String()) {
+		t.Errorf("%s: String() missing goal header:\n%s", label, s)
+	}
+	if dot := d.DOT(); !strings.HasPrefix(dot, "digraph derivation {") || !strings.HasSuffix(dot, "}\n") {
+		t.Errorf("%s: DOT() malformed:\n%s", label, dot)
+	}
+}
+
+func TestProvenanceFixtures(t *testing.T) {
+	db41 := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma41 := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	diffProvenance(t, "prop4.1 fd", db41, sigma41,
+		deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{})
+	diffProvenance(t, "prop4.1 rd", db41, sigma41,
+		deps.NewRD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{})
+	diffProvenance(t, "prop4.1 not-implied", db41, sigma41,
+		deps.NewFD("S", deps.Attrs("U"), deps.Attrs("T")), Options{})
+
+	dbChain := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+		schema.MustScheme("T", "E", "F"),
+	)
+	sigmaChain := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("C")),
+		deps.NewIND("S", deps.Attrs("C"), "T", deps.Attrs("E")),
+	}
+	diffProvenance(t, "ind chain", dbChain, sigmaChain,
+		deps.NewIND("R", deps.Attrs("A"), "T", deps.Attrs("E")), Options{})
+	diffProvenance(t, "ind chain not-implied", dbChain, sigmaChain,
+		deps.NewIND("T", deps.Attrs("E"), "R", deps.Attrs("A")), Options{})
+
+	dbDiv, sigmaDiv, goalDiv := divergentInstance()
+	diffProvenance(t, "divergent", dbDiv, sigmaDiv, goalDiv, Options{MaxTuples: 64})
+	diffProvenance(t, "divergent tiny", dbDiv, sigmaDiv, goalDiv, Options{MaxTuples: 3})
+}
+
+// TestProvenanceRandom replays TestDifferentialRandom's generator with
+// provenance as the axis of comparison: ≥100 random instances must be
+// observably identical with capture on and off, and every Implied
+// verdict's derivation must pass Verify.
+func TestProvenanceRandom(t *testing.T) {
+	attrPool := []string{"A", "B", "C", "D"}
+	r := rand.New(rand.NewPCG(271, 828))
+	compared, implied, skipped := 0, 0, 0
+	for trial := 0; trial < 400; trial++ {
+		nRels := 2 + r.IntN(3)
+		schemes := make([]*schema.Scheme, nRels)
+		names := make([]string, nRels)
+		widths := make([]int, nRels)
+		for i := range schemes {
+			names[i] = fmt.Sprintf("R%d", i)
+			w := 2 + r.IntN(3)
+			widths[i] = w
+			attrs := make([]schema.Attribute, w)
+			for j := 0; j < w; j++ {
+				attrs[j] = schema.Attribute(attrPool[j])
+			}
+			schemes[i] = schema.MustScheme(names[i], attrs...)
+		}
+		db := schema.MustDatabase(schemes...)
+
+		pick := func(i, n int) []schema.Attribute {
+			perm := r.Perm(widths[i])[:n]
+			out := make([]schema.Attribute, n)
+			for k, p := range perm {
+				out[k] = schema.Attribute(attrPool[p])
+			}
+			return out
+		}
+		randFD := func() deps.Dependency {
+			i := r.IntN(nRels)
+			return deps.NewFD(names[i], pick(i, 1+r.IntN(widths[i]-1)), pick(i, 1))
+		}
+		randRD := func() deps.Dependency {
+			i := r.IntN(nRels)
+			return deps.NewRD(names[i], pick(i, 1), pick(i, 1))
+		}
+		randIND := func() deps.Dependency {
+			i, j := r.IntN(nRels), r.IntN(nRels)
+			w := 1 + r.IntN(min(widths[i], widths[j]))
+			return deps.NewIND(names[i], pick(i, w), names[j], pick(j, w))
+		}
+		var sigma []deps.Dependency
+		for k := 2 + r.IntN(4); k > 0; k-- {
+			switch r.IntN(4) {
+			case 0:
+				sigma = append(sigma, randFD())
+			case 1:
+				sigma = append(sigma, randRD())
+			default:
+				sigma = append(sigma, randIND())
+			}
+		}
+		var goal deps.Dependency
+		switch r.IntN(3) {
+		case 0:
+			goal = randFD()
+		case 1:
+			goal = randRD()
+		default:
+			goal = randIND()
+		}
+		opt := Options{MaxTuples: 40 + r.IntN(160)}
+		// Same non-termination probe as TestDifferentialRandom: skip
+		// instances that diverge without exhausting the budget.
+		probeCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		probeOpt := opt
+		probeOpt.Ctx = probeCtx
+		probeRes, probeErr := ReferenceImplies(db, sigma, goal, probeOpt)
+		cancel()
+		if probeErr != nil {
+			skipped++
+			continue
+		}
+		label := fmt.Sprintf("trial %d: %v |= %v", trial, sigma, goal)
+		diffProvenance(t, label, db, sigma, goal, opt)
+		compared++
+		if probeRes.Verdict == Implied {
+			implied++
+		}
+	}
+	t.Logf("compared %d random instances (%d implied, %d diverging skipped)", compared, implied, skipped)
+	if compared < 100 {
+		t.Errorf("only %d random instances compared; generator or probe broken", compared)
+	}
+	if implied < 10 {
+		t.Errorf("only %d implied instances; derivation replay barely exercised", implied)
+	}
+}

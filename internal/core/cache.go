@@ -74,6 +74,7 @@ func FingerprintOptions(opt Options) []string {
 	return []string{
 		"budget=" + strconv.Itoa(opt.ChaseMaxTuples),
 		"search=" + strconv.FormatBool(opt.SearchFallback),
+		"provenance=" + strconv.FormatBool(opt.Provenance),
 	}
 }
 

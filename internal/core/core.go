@@ -79,6 +79,11 @@ type Answer struct {
 	// ran: rounds executed and final tableau size.
 	ChaseRounds int
 	ChaseTuples int
+	// Derivation is the chase's minimal proof DAG, set when the chase
+	// answered Yes and Options.Provenance was on: leaves are the tableau's
+	// seed tuples, internal nodes are the FD/IND/RD firings that reach the
+	// goal. Render it with String or DOT, check it with Verify.
+	Derivation *chase.Derivation
 	// Metrics is a snapshot of Options.Obs taken when the query finished,
 	// nil when no registry was supplied. With a registry shared across
 	// queries the counters are cumulative.
@@ -95,6 +100,12 @@ type Options struct {
 	// SearchFallback enables a bounded finite-counterexample search when
 	// the chase is inconclusive; a hit turns Unknown into No.
 	SearchFallback bool
+	// Provenance makes the chase record per-tuple and per-union origins
+	// and extract a Derivation on Yes verdicts. It never changes
+	// verdicts, traces, or counters (differential tests pin this), and
+	// costs nothing when off; the ind/fd engines produce proofs
+	// unconditionally and ignore it.
+	Provenance bool
 	// Obs, when non-nil, collects every engine's counters, gauges and
 	// histograms for this query and gives the Answer a Metrics snapshot
 	// and a span tree. A nil registry makes instrumentation free (see
@@ -400,6 +411,7 @@ func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, op
 	}
 	res, err := chase.Implies(s.db, relevant, goal, chase.Options{
 		MaxTuples: opt.ChaseMaxTuples, Obs: opt.Obs, Span: sp, Ctx: opt.Ctx,
+		Provenance: opt.Provenance,
 	})
 	if err != nil {
 		// A cancelled chase returns the rounds and tuples it managed —
@@ -413,6 +425,7 @@ func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, op
 		// Chase derivations are sound for unrestricted implication, hence
 		// for finite implication as well.
 		cost.Verdict, cost.Engine = Yes, "chase"
+		cost.Derivation = res.Derivation
 		return cost, nil
 	case chase.NotImplied:
 		// The counterexample is finite, so it refutes both semantics.
@@ -446,10 +459,12 @@ func (s *System) Satisfies(db *data.Database) (bool, deps.Dependency, error) {
 }
 
 // Explain answers an implication query with a human-readable account of
-// why: a formal derivation for the ind/fd engines, the cardinality-cycle
-// explanation for the unary engine (the Theorem 4.4 counting argument),
-// or the counterexample for negative answers. The string is empty when
-// the engine has nothing beyond the verdict (chase Yes/Unknown).
+// why: a formal derivation for the ind/fd engines, the chase's
+// provenance derivation for chase Yes verdicts when Options.Provenance
+// is set, the cardinality-cycle explanation for the unary engine (the
+// Theorem 4.4 counting argument), or the counterexample for negative
+// answers. The string is empty when the engine has nothing beyond the
+// verdict (chase Yes without provenance, or Unknown).
 func (s *System) Explain(goal deps.Dependency, opt Options, finite bool) (Answer, string, error) {
 	var a Answer
 	var err error
@@ -464,6 +479,8 @@ func (s *System) Explain(goal deps.Dependency, opt Options, finite bool) (Answer
 	switch {
 	case a.Proof != "":
 		return a, a.Proof, nil
+	case a.Derivation != nil:
+		return a, a.Derivation.String(), nil
 	case a.Engine == "unary":
 		sys, err := unary.New(s.db, s.relevant(goal))
 		if err != nil {

@@ -196,10 +196,11 @@ const histBuckets = 65
 // magnitude. All methods are safe on a nil receiver and for concurrent
 // use.
 type Histogram struct {
-	count  atomic.Int64
-	sum    atomic.Int64
-	max    atomic.Int64
-	bucket [histBuckets]atomic.Int64
+	count    atomic.Int64
+	sum      atomic.Int64
+	max      atomic.Int64
+	bucket   [histBuckets]atomic.Int64
+	exemplar [histBuckets]atomic.Pointer[string]
 }
 
 // Observe records one value.
@@ -207,6 +208,26 @@ func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
+	h.bucket[h.observe(v)].Add(1)
+}
+
+// ObserveExemplar records one value and remembers traceID as the
+// bucket's exemplar: the identity of the most recent observation that
+// landed there, so a slow histogram bucket links directly to a recorded
+// trace (see Recorder.Get). The exemplar write is one atomic pointer
+// store; plain Observe never touches the exemplar slots, so hot paths
+// that have no trace to offer pay nothing for the feature.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.observe(v)
+	h.bucket[i].Add(1)
+	h.exemplar[i].Store(&traceID)
+}
+
+// observe updates count/sum/max and returns the bucket index for v.
+func (h *Histogram) observe(v int64) int {
 	h.count.Add(1)
 	h.sum.Add(v)
 	for {
@@ -215,18 +236,20 @@ func (h *Histogram) Observe(v int64) {
 			break
 		}
 	}
-	i := 0
 	if v > 0 {
-		i = bits.Len64(uint64(v))
+		return bits.Len64(uint64(v))
 	}
-	h.bucket[i].Add(1)
+	return 0
 }
 
 // Bucket is one non-empty histogram bucket: Count observations v with
-// v <= Le (and v greater than the previous bucket's Le).
+// v <= Le (and v greater than the previous bucket's Le). Exemplar, when
+// set, is the trace ID of the most recent ObserveExemplar observation
+// that landed in this bucket.
 type Bucket struct {
-	Le    int64 `json:"le"`
-	Count int64 `json:"count"`
+	Le       int64  `json:"le"`
+	Count    int64  `json:"count"`
+	Exemplar string `json:"exemplar,omitempty"`
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram.
@@ -254,7 +277,11 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		if i > 0 {
 			le = int64(1)<<uint(i) - 1
 		}
-		s.Buckets = append(s.Buckets, Bucket{Le: le, Count: n})
+		b := Bucket{Le: le, Count: n}
+		if ex := h.exemplar[i].Load(); ex != nil {
+			b.Exemplar = *ex
+		}
+		s.Buckets = append(s.Buckets, b)
 	}
 	return s
 }

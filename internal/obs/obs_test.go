@@ -104,7 +104,8 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	// Buckets: le=0 {0}, le=1 {1}, le=3 {2,3}, le=7 {4,7}, le=15 {8},
 	// le=1023 {1000}.
-	want := []Bucket{{0, 1}, {1, 1}, {3, 2}, {7, 2}, {15, 1}, {1023, 1}}
+	want := []Bucket{{Le: 0, Count: 1}, {Le: 1, Count: 1}, {Le: 3, Count: 2},
+		{Le: 7, Count: 2}, {Le: 15, Count: 1}, {Le: 1023, Count: 1}}
 	if !reflect.DeepEqual(s.Buckets, want) {
 		t.Errorf("buckets = %+v, want %+v", s.Buckets, want)
 	}

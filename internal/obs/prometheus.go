@@ -242,21 +242,39 @@ func splitLabelPairs(labels string) []string {
 // requests — depserve's setup — bracketing a request with two Snapshot
 // calls and diffing yields that request's own engine work, up to
 // concurrent traffic. A nil prev returns s minus its spans.
+//
+// Diff is total over the union of the two snapshots' series: a counter
+// or histogram present only in s diffs against zero, and one present
+// only in prev yields a negative delta rather than silently vanishing —
+// snapshots taken from different registries (or across a restart)
+// therefore diff deterministically instead of dropping series. Gauges
+// present only in prev are dropped: a gauge is a current level, and a
+// series s no longer has carries no current level to report.
 func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 	if s == nil {
 		return nil
 	}
 	d := &Snapshot{}
+	counter := func(name string, cur, old int64) {
+		if delta := cur - old; delta != 0 {
+			if d.Counters == nil {
+				d.Counters = make(map[string]int64)
+			}
+			d.Counters[name] = delta
+		}
+	}
 	for name, v := range s.Counters {
 		var old int64
 		if prev != nil {
 			old = prev.Counters[name]
 		}
-		if delta := v - old; delta != 0 {
-			if d.Counters == nil {
-				d.Counters = make(map[string]int64)
+		counter(name, v, old)
+	}
+	if prev != nil {
+		for name, old := range prev.Counters {
+			if _, ok := s.Counters[name]; !ok {
+				counter(name, 0, old)
 			}
-			d.Counters[name] = delta
 		}
 	}
 	if len(s.Gauges) > 0 {
@@ -265,23 +283,36 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 			d.Gauges[name] = v
 		}
 	}
-	for name, h := range s.Histograms {
-		var old HistogramSnapshot
-		if prev != nil {
-			old = prev.Histograms[name]
-		}
-		if dh, changed := diffHistogram(h, old); changed {
+	hist := func(name string, cur, old HistogramSnapshot) {
+		if dh, changed := diffHistogram(cur, old); changed {
 			if d.Histograms == nil {
 				d.Histograms = make(map[string]HistogramSnapshot)
 			}
 			d.Histograms[name] = dh
 		}
 	}
+	for name, h := range s.Histograms {
+		var old HistogramSnapshot
+		if prev != nil {
+			old = prev.Histograms[name]
+		}
+		hist(name, h, old)
+	}
+	if prev != nil {
+		for name, old := range prev.Histograms {
+			if _, ok := s.Histograms[name]; !ok {
+				hist(name, HistogramSnapshot{}, old)
+			}
+		}
+	}
 	return d
 }
 
-// diffHistogram subtracts old from cur bucket-wise. Max cannot be
-// differenced, so the current max is kept.
+// diffHistogram subtracts old from cur bucket-wise, over the union of
+// the two bucket sets (a bucket present only in old yields a negative
+// count, keeping the delta's bucket sum consistent with its Count).
+// Max cannot be differenced, so the current max is kept; exemplars
+// travel with the current buckets.
 func diffHistogram(cur, old HistogramSnapshot) (HistogramSnapshot, bool) {
 	if cur.Count == old.Count && cur.Sum == old.Sum {
 		return HistogramSnapshot{}, false
@@ -295,10 +326,20 @@ func diffHistogram(cur, old HistogramSnapshot) (HistogramSnapshot, bool) {
 	for _, b := range old.Buckets {
 		oldByLe[b.Le] = b.Count
 	}
+	seen := make(map[int64]bool, len(cur.Buckets))
 	for _, b := range cur.Buckets {
+		seen[b.Le] = true
 		if n := b.Count - oldByLe[b.Le]; n != 0 {
-			d.Buckets = append(d.Buckets, Bucket{Le: b.Le, Count: n})
+			d.Buckets = append(d.Buckets, Bucket{Le: b.Le, Count: n, Exemplar: b.Exemplar})
 		}
 	}
+	for _, b := range old.Buckets {
+		if !seen[b.Le] {
+			d.Buckets = append(d.Buckets, Bucket{Le: b.Le, Count: -b.Count})
+		}
+	}
+	// Keep buckets in ascending le order — WritePrometheus accumulates
+	// its cumulative counts in slice order.
+	sort.Slice(d.Buckets, func(i, j int) bool { return d.Buckets[i].Le < d.Buckets[j].Le })
 	return d, true
 }

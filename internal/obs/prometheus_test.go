@@ -217,3 +217,121 @@ func TestSpanCap(t *testing.T) {
 	var nilReg *Registry
 	nilReg.SetSpanCap(5)
 }
+
+// TestWritePrometheusEmptyHistogram pins the exposition of a histogram
+// that was created but never observed: Prometheus requires the family
+// to be present with a zero +Inf bucket, zero sum, and zero count —
+// not silently absent — so dashboards can tell "instrument exists,
+// nothing happened yet" from "instrument missing".
+func TestWritePrometheusEmptyHistogram(t *testing.T) {
+	reg := New()
+	_ = reg.Histogram("idle.latency_us")
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE idle_latency_us histogram",
+		`idle_latency_us_bucket{le="+Inf"} 0`,
+		"idle_latency_us_sum 0",
+		"idle_latency_us_count 0",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("empty-histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "idle_latency_us_bucket") != 1 {
+		t.Errorf("empty histogram must emit exactly the +Inf bucket:\n%s", out)
+	}
+}
+
+// TestWritePrometheusInfOnlyHistogram covers a snapshot whose histogram
+// carries a count but no finite buckets (the shape a Diff can produce
+// when every finite bucket delta cancels): the +Inf bucket must still
+// equal _count so the cumulative invariant holds.
+func TestWritePrometheusInfOnlyHistogram(t *testing.T) {
+	s := &Snapshot{
+		Histograms: map[string]HistogramSnapshot{
+			"odd": {Count: 5, Sum: 40},
+		},
+	}
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`odd_bucket{le="+Inf"} 5`,
+		"odd_sum 40",
+		"odd_count 5",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("+Inf-only exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "odd_bucket") != 1 {
+		t.Errorf("+Inf must be the only bucket line:\n%s", out)
+	}
+}
+
+// TestSnapshotDiffDisjointSeries pins Diff over series that exist in
+// only one of the two snapshots: current-only series diff against zero,
+// previous-only counters and histograms surface as negative deltas
+// (never silently vanish), and previous-only gauges are dropped — a
+// gauge the registry no longer has carries no current level.
+func TestSnapshotDiffDisjointSeries(t *testing.T) {
+	prev := New()
+	prev.Counter("gone.total").Add(4)
+	prev.Gauge("gone.level").Set(9)
+	prev.Histogram("gone.hist").Observe(3)
+	prev.Histogram("gone.hist").Observe(100)
+
+	cur := New()
+	cur.Counter("fresh.total").Add(2)
+	cur.Gauge("fresh.level").Set(1)
+	cur.Histogram("fresh.hist").Observe(5)
+
+	d := cur.Snapshot().Diff(prev.Snapshot())
+	if d.Counters["fresh.total"] != 2 {
+		t.Errorf("current-only counter diffs against zero, got %v", d.Counters)
+	}
+	if d.Counters["gone.total"] != -4 {
+		t.Errorf("previous-only counter must go negative, got %v", d.Counters)
+	}
+	if d.Gauges["fresh.level"] != 1 {
+		t.Errorf("current gauges keep their level, got %v", d.Gauges)
+	}
+	if _, ok := d.Gauges["gone.level"]; ok {
+		t.Errorf("previous-only gauges must be dropped, got %v", d.Gauges)
+	}
+	fh := d.Histograms["fresh.hist"]
+	if fh.Count != 1 || fh.Sum != 5 {
+		t.Errorf("current-only histogram delta = %+v", fh)
+	}
+	gh, ok := d.Histograms["gone.hist"]
+	if !ok {
+		t.Fatalf("previous-only histogram vanished from the diff")
+	}
+	if gh.Count != -2 || gh.Sum != -103 {
+		t.Errorf("previous-only histogram delta = %+v", gh)
+	}
+	for i, b := range gh.Buckets {
+		if b.Count >= 0 {
+			t.Errorf("previous-only bucket %d has non-negative count %+v", i, b)
+		}
+		if i > 0 && gh.Buckets[i-1].Le >= b.Le {
+			t.Errorf("delta buckets not in ascending le order: %+v", gh.Buckets)
+		}
+	}
+	// The negative delta must render without error and stay cumulative.
+	var b strings.Builder
+	if err := d.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Diffing identical snapshots in either direction is empty.
+	same := cur.Snapshot()
+	if e := same.Diff(same); len(e.Counters) != 0 || len(e.Histograms) != 0 {
+		t.Errorf("self-diff not empty: %+v", e)
+	}
+}

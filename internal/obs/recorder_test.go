@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderRecentNewestFirst(t *testing.T) {
+	rec := NewRecorder(16)
+	for i := 0; i < 5; i++ {
+		rec.Add(&RequestRecord{TraceID: fmt.Sprintf("t%d", i), Route: "/v1/implies"})
+	}
+	got := rec.Recent(0)
+	if len(got) != 5 {
+		t.Fatalf("Recent returned %d records, want 5", len(got))
+	}
+	for i, r := range got {
+		if want := fmt.Sprintf("t%d", 4-i); r.TraceID != want {
+			t.Errorf("Recent[%d] = %s, want %s (newest first)", i, r.TraceID, want)
+		}
+	}
+	if lim := rec.Recent(2); len(lim) != 2 || lim[0].TraceID != "t4" || lim[1].TraceID != "t3" {
+		t.Errorf("Recent(2) = %v", lim)
+	}
+}
+
+func TestRecorderEviction(t *testing.T) {
+	rec := NewRecorder(8)
+	n := rec.Cap()
+	if n < 8 {
+		t.Fatalf("Cap() = %d, want at least the requested 8", n)
+	}
+	total := n + 5
+	for i := 0; i < total; i++ {
+		rec.Add(&RequestRecord{TraceID: fmt.Sprintf("t%d", i)})
+	}
+	got := rec.Recent(0)
+	if len(got) != n {
+		t.Fatalf("after overflow: %d records retained, want capacity %d", len(got), n)
+	}
+	// The newest record survives, the oldest five were evicted.
+	if got[0].TraceID != fmt.Sprintf("t%d", total-1) {
+		t.Errorf("newest retained = %s, want t%d", got[0].TraceID, total-1)
+	}
+	for i := 0; i < 5; i++ {
+		if r := rec.Get(fmt.Sprintf("t%d", i)); r != nil {
+			t.Errorf("t%d should have been evicted, Get returned %+v", i, r)
+		}
+	}
+	if r := rec.Get(fmt.Sprintf("t%d", total-1)); r == nil {
+		t.Errorf("newest record not retrievable by trace ID")
+	}
+}
+
+func TestRecorderGet(t *testing.T) {
+	rec := NewRecorder(16)
+	want := &RequestRecord{
+		TraceID:    "abc123",
+		Route:      "/v1/implies",
+		Status:     200,
+		Start:      time.Unix(1700000000, 0),
+		DurationNS: 12345,
+		Verdict:    "yes",
+		Engine:     "chase",
+	}
+	rec.Add(want)
+	got := rec.Get("abc123")
+	if got == nil {
+		t.Fatal("Get returned nil for a retained trace ID")
+	}
+	if got.Route != want.Route || got.Verdict != want.Verdict || got.DurationNS != want.DurationNS {
+		t.Errorf("Get = %+v, want %+v", got, want)
+	}
+	if rec.Get("nope") != nil {
+		t.Errorf("Get of an unknown trace ID must return nil")
+	}
+}
+
+func TestRecorderNilSafety(t *testing.T) {
+	var rec *Recorder
+	rec.Add(&RequestRecord{TraceID: "x"})
+	if got := rec.Recent(10); got != nil {
+		t.Errorf("nil recorder Recent = %v", got)
+	}
+	if rec.Get("x") != nil {
+		t.Errorf("nil recorder Get must return nil")
+	}
+	if rec.Cap() != 0 {
+		t.Errorf("nil recorder Cap = %d", rec.Cap())
+	}
+	// Zero or negative capacity disables recording entirely.
+	if NewRecorder(0) != nil || NewRecorder(-1) != nil {
+		t.Errorf("NewRecorder(<=0) must return nil (disabled)")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rec.Add(&RequestRecord{TraceID: fmt.Sprintf("g%d-%d", g, i)})
+				rec.Recent(4)
+				rec.Get(fmt.Sprintf("g%d-%d", g, i/2))
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := rec.Recent(0)
+	if len(got) != rec.Cap() {
+		t.Fatalf("retained %d records, want full capacity %d", len(got), rec.Cap())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].seq < got[i].seq {
+			t.Fatalf("Recent not newest-first at %d", i)
+		}
+	}
+}
+
+// TestObserveExemplar pins the exemplar round trip: ObserveExemplar
+// stores the trace ID on the bucket the value lands in, the snapshot
+// carries it, and plain Observe never touches the slots.
+func TestObserveExemplar(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("lat")
+	h.Observe(2)              // le=3 bucket, no exemplar
+	h.ObserveExemplar(5, "a") // le=7 bucket
+	h.ObserveExemplar(6, "b") // le=7 bucket again: most recent wins
+	h.ObserveExemplar(900, "slow")
+
+	byLe := map[int64]Bucket{}
+	for _, b := range reg.Snapshot().Histograms["lat"].Buckets {
+		byLe[b.Le] = b
+	}
+	if b := byLe[3]; b.Exemplar != "" {
+		t.Errorf("plain Observe bucket has exemplar %q", b.Exemplar)
+	}
+	if b := byLe[7]; b.Exemplar != "b" {
+		t.Errorf("le=7 exemplar = %q, want most recent %q", b.Exemplar, "b")
+	}
+	if b := byLe[1023]; b.Exemplar != "slow" {
+		t.Errorf("le=1023 exemplar = %q, want %q", b.Exemplar, "slow")
+	}
+	// Exemplars are snapshot-only decoration: the exposition ignores
+	// them, so /metrics stays plain text-format 0.0.4.
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "slow") {
+		t.Errorf("exemplar leaked into the text exposition:\n%s", sb.String())
+	}
+	// Nil histogram: both paths are no-ops.
+	var nh *Histogram
+	nh.Observe(1)
+	nh.ObserveExemplar(1, "x")
+}
+
+func TestSampleRuntime(t *testing.T) {
+	reg := New()
+	SampleRuntime(reg)
+	snap := reg.Snapshot()
+	for _, g := range []string{
+		"process.goroutines",
+		"process.heap_alloc_bytes",
+		"process.memory_total_bytes",
+		"process.gomaxprocs",
+	} {
+		if snap.Gauges[g] <= 0 {
+			t.Errorf("gauge %s = %d, want > 0 (gauges: %v)", g, snap.Gauges[g], snap.Gauges)
+		}
+	}
+	// Never panics on a nil registry.
+	SampleRuntime(nil)
+}
+
+func TestStartRuntimeSampler(t *testing.T) {
+	reg := New()
+	stop := StartRuntimeSampler(reg, time.Hour)
+	// The sampler takes one sample synchronously on start, so gauges are
+	// live immediately even with a long interval.
+	if reg.Snapshot().Gauges["process.goroutines"] <= 0 {
+		t.Errorf("no immediate sample on start")
+	}
+	stop()
+	stop() // idempotent
+	if s := StartRuntimeSampler(nil, time.Millisecond); s == nil {
+		t.Errorf("nil-registry sampler must still return a stop func")
+	} else {
+		s()
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime telemetry: the Go runtime's own vitals — goroutines, heap,
+// GC cycles and pause time — sampled into ordinary gauges of a
+// Registry, so /metrics exposes the process next to the engines it
+// runs. SampleRuntime takes one sample; StartRuntimeSampler runs one on
+// a ticker for resident processes (depserve). Batch commands don't
+// need the ticker: cliutil's end-of-run report samples once at exit.
+
+// runtimeSamples is the fixed runtime/metrics set a sample reads. The
+// names are stable runtime/metrics identifiers; a sample that a Go
+// release does not support reports KindBad and is skipped.
+var runtimeSamples = []struct {
+	name  string
+	gauge string
+}{
+	{"/sched/goroutines:goroutines", "process.goroutines"},
+	{"/memory/classes/heap/objects:bytes", "process.heap_objects_bytes"},
+	{"/memory/classes/total:bytes", "process.memory_total_bytes"},
+	{"/gc/cycles/total:gc-cycles", "process.gc_cycles_total"},
+}
+
+// SampleRuntime reads one sample of the runtime's vitals into r's
+// gauges: the runtime/metrics set above plus heap-alloc bytes and
+// cumulative GC pause nanoseconds from runtime.ReadMemStats, and
+// GOMAXPROCS. A nil registry samples nothing.
+func SampleRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, s := range runtimeSamples {
+		samples[i].Name = s.name
+	}
+	metrics.Read(samples)
+	for i, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			r.Gauge(runtimeSamples[i].gauge).Set(int64(s.Value.Uint64()))
+		case metrics.KindFloat64:
+			r.Gauge(runtimeSamples[i].gauge).Set(int64(s.Value.Float64()))
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("process.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("process.gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+	r.Gauge("process.gomaxprocs").Set(int64(runtime.GOMAXPROCS(0)))
+}
+
+// StartRuntimeSampler samples the runtime into r's gauges now and then
+// every interval (default 10s when interval <= 0) until the returned
+// stop function is called. Stop is idempotent and waits for the
+// sampling goroutine to exit, so a caller can stop during shutdown
+// without racing a final sample against registry teardown.
+func StartRuntimeSampler(r *Registry, interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	SampleRuntime(r)
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				SampleRuntime(r)
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-exited
+		})
+	}
+}

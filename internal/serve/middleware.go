@@ -20,6 +20,20 @@ func RequestID(ctx context.Context) string {
 	return id
 }
 
+// recKey is the context key under which the draft flight-recorder
+// record travels from the middleware into the handler.
+type recKey struct{}
+
+// record returns the request's draft RequestRecord for the handler to
+// enrich (goal, verdict, engine, cache status, span tree), or nil when
+// the flight recorder is off or this route is not recorded. The
+// middleware finalizes and retains the record after the handler
+// returns.
+func record(ctx context.Context) *obs.RequestRecord {
+	rec, _ := ctx.Value(recKey{}).(*obs.RequestRecord)
+	return rec
+}
+
 // statusWriter captures the status code and body size a handler wrote,
 // so the access log and the http.requests counter can label by outcome.
 type statusWriter struct {
@@ -54,23 +68,36 @@ func (w *statusWriter) Flush() {
 
 // instrument wraps a handler with the per-request observability stack:
 // a request ID (assigned, stored in the context, and echoed in the
-// X-Request-ID response header), the http.in_flight gauge, a
-// per-endpoint latency histogram in microseconds, a
-// per-endpoint-and-status request counter, and one structured log
-// record per request — at Warn with a slow_query marker when the
-// request outran Config.SlowQuery, at Info otherwise.
+// X-Request-ID and X-Trace-Id response headers — the trace ID is the
+// request ID, and every response carries it), the http.in_flight gauge,
+// a per-endpoint latency histogram in microseconds with the trace ID as
+// each bucket's exemplar, a per-endpoint-and-status request counter, a
+// flight-recorder record (see obs.Recorder; the handler enriches the
+// draft via record(ctx)), and one structured log record per request —
+// at Warn with a slow_query marker when the request outran
+// Config.SlowQuery, at Info otherwise.
 //
 // route is the label the metrics carry; it is the registered pattern,
 // not the raw URL path, so label cardinality stays bounded no matter
-// what clients request.
+// what clients request. Liveness probes (/healthz, /readyz) are not
+// recorded — at typical probe rates they would evict every interesting
+// record — but still carry trace IDs and exemplars.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	// The instruments are resolved once at registration, not per
 	// request; the handler's hot path only touches atomics.
 	latency := s.reg.Histogram(obs.MetricName("http.latency_us", "path", route))
+	recorded := route != "/healthz" && route != "/readyz"
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := s.nextRequestID()
 		w.Header().Set("X-Request-ID", id)
-		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
+		w.Header().Set("X-Trace-Id", id)
+		ctx := context.WithValue(r.Context(), ridKey{}, id)
+		var rec *obs.RequestRecord
+		if recorded && s.rec != nil {
+			rec = &obs.RequestRecord{TraceID: id, Route: route}
+			ctx = context.WithValue(ctx, recKey{}, rec)
+		}
+		r = r.WithContext(ctx)
 
 		s.gInFlight.Add(1)
 		defer s.gInFlight.Add(-1)
@@ -83,9 +110,15 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			sw.status = http.StatusOK
 		}
 
-		latency.Observe(elapsed.Microseconds())
+		latency.ObserveExemplar(elapsed.Microseconds(), id)
 		s.reg.Counter(obs.MetricName("http.requests",
 			"path", route, "code", strconv.Itoa(sw.status))).Inc()
+		if rec != nil {
+			rec.Status = sw.status
+			rec.Start = start
+			rec.DurationNS = elapsed.Nanoseconds()
+			s.rec.Add(rec)
+		}
 
 		attrs := []any{
 			"request_id", id,

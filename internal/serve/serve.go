@@ -12,12 +12,20 @@
 //	POST /v1/implies    implication query (schema + Σ + goal in the .dep
 //	                    text forms), answered by the strongest exact
 //	                    engine; 503 with partial stats on deadline
+//	POST /v1/explain    implication query answered with its evidence: a
+//	                    formal ind/fd proof, the chase's provenance
+//	                    derivation DAG, or a counterexample
 //	POST /v1/satisfies  satisfaction check of concrete tuples against Σ
 //	GET  /metrics       Prometheus text exposition of the registry
 //	GET  /healthz       liveness (always 200 once the mux is up)
 //	GET  /readyz        readiness (503 until SetReady(true))
 //	GET  /debug/obs     full obs.Snapshot as JSON (counters, gauges,
 //	                    histograms, recent query span trees)
+//	GET  /debug/traces  the flight recorder: last N completed requests
+//	                    (span trees, verdicts, cache status), newest
+//	                    first; /debug/traces/{id} resolves one trace ID —
+//	                    the ID every response's X-Trace-Id header and
+//	                    every latency-histogram exemplar carries
 //	GET  /debug/pprof/  net/http/pprof profiles and execution traces
 package serve
 
@@ -31,12 +39,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"indfd/internal/chase"
 	"indfd/internal/core"
 	"indfd/internal/data"
 	"indfd/internal/obs"
@@ -80,6 +88,10 @@ type Config struct {
 	// Answers cannot go stale; a TTL only bounds memory held by entries
 	// that stopped being asked for.
 	CacheTTL time.Duration
+	// TraceBuffer is how many completed requests the flight recorder
+	// retains for /debug/traces (default 128; negative disables
+	// recording).
+	TraceBuffer int
 }
 
 // Server answers implication traffic over HTTP. Create with New; the
@@ -94,6 +106,7 @@ type Server struct {
 	idBase  string
 	started time.Time
 	cache   *core.AnswerCache
+	rec     *obs.Recorder
 
 	gInFlight *obs.Gauge
 	cSlow     *obs.Counter
@@ -122,6 +135,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.TraceBuffer == 0 {
+		cfg.TraceBuffer = 128
+	}
 	s := &Server{
 		cfg:       cfg,
 		reg:       cfg.Reg,
@@ -131,16 +147,20 @@ func New(cfg Config) *Server {
 		cSlow:     cfg.Reg.Counter("http.slow_requests"),
 		cDeadline: cfg.Reg.Counter("serve.deadline_exceeded"),
 		cache:     core.NewAnswerCache(cfg.CacheSize, cfg.CacheTTL, cfg.Reg),
+		rec:       obs.NewRecorder(cfg.TraceBuffer),
 	}
 	s.idBase = fmt.Sprintf("%x", s.started.UnixNano()&0xfffffff)
 
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/implies", s.instrument("/v1/implies", s.handleImplies))
+	mux.Handle("POST /v1/explain", s.instrument("/v1/explain", s.handleExplain))
 	mux.Handle("POST /v1/satisfies", s.instrument("/v1/satisfies", s.handleSatisfies))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.Handle("GET /debug/obs", s.instrument("/debug/obs", s.handleObs))
+	mux.Handle("GET /debug/traces", s.instrument("/debug/traces", s.handleTraces))
+	mux.Handle("GET /debug/traces/{id}", s.instrument("/debug/traces/{id}", s.handleTrace))
 	mux.Handle("GET /debug/pprof/", s.instrument("/debug/pprof", pprof.Index))
 	mux.Handle("GET /debug/pprof/cmdline", s.instrument("/debug/pprof", pprof.Cmdline))
 	mux.Handle("GET /debug/pprof/profile", s.instrument("/debug/pprof", pprof.Profile))
@@ -179,6 +199,10 @@ type ImpliesRequest struct {
 	// Explain adds the engine's explanation (derivation, cardinality
 	// cycle, or counterexample) to the response.
 	Explain bool `json:"explain,omitempty"`
+	// Provenance makes the chase record provenance and return a
+	// derivation DAG on yes verdicts. POST /v1/explain forces both
+	// Explain and Provenance on.
+	Provenance bool `json:"provenance,omitempty"`
 	// IncludeMetrics attaches this request's metric deltas (a
 	// Snapshot.Diff of the shared registry around the query; best-effort
 	// under concurrent traffic).
@@ -198,21 +222,25 @@ type INDStats struct {
 // verdict is "unknown" and the chase/IND stats hold the partial work
 // done before the deadline hit.
 type ImpliesResponse struct {
-	RequestID      string        `json:"request_id"`
-	Goal           string        `json:"goal,omitempty"`
-	Mode           string        `json:"mode,omitempty"`
-	Verdict        string        `json:"verdict,omitempty"`
-	Engine         string        `json:"engine,omitempty"`
-	Proof          string        `json:"proof,omitempty"`
-	Explanation    string        `json:"explanation,omitempty"`
-	Counterexample string        `json:"counterexample,omitempty"`
-	ChaseRounds    int           `json:"chase_rounds,omitempty"`
-	ChaseTuples    int           `json:"chase_tuples,omitempty"`
-	IND            *INDStats     `json:"ind,omitempty"`
-	ElapsedUS      int64         `json:"elapsed_us"`
-	DeadlineMS     int64         `json:"deadline_ms,omitempty"`
-	Metrics        *obs.Snapshot `json:"metrics,omitempty"`
-	Error          string        `json:"error,omitempty"`
+	RequestID      string `json:"request_id"`
+	Goal           string `json:"goal,omitempty"`
+	Mode           string `json:"mode,omitempty"`
+	Verdict        string `json:"verdict,omitempty"`
+	Engine         string `json:"engine,omitempty"`
+	Proof          string `json:"proof,omitempty"`
+	Explanation    string `json:"explanation,omitempty"`
+	Counterexample string `json:"counterexample,omitempty"`
+	// Derivation is the chase's proof DAG (leaves: seed tuples; internal
+	// nodes: FD/IND/RD firings), present on chase yes verdicts when the
+	// request asked for provenance.
+	Derivation  *chase.Derivation `json:"derivation,omitempty"`
+	ChaseRounds int               `json:"chase_rounds,omitempty"`
+	ChaseTuples int               `json:"chase_tuples,omitempty"`
+	IND         *INDStats         `json:"ind,omitempty"`
+	ElapsedUS   int64             `json:"elapsed_us"`
+	DeadlineMS  int64             `json:"deadline_ms,omitempty"`
+	Metrics     *obs.Snapshot     `json:"metrics,omitempty"`
+	Error       string            `json:"error,omitempty"`
 }
 
 // SatisfiesRequest is the POST /v1/satisfies body: a concrete database
@@ -239,6 +267,25 @@ func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	s.answerImplies(w, r, req)
+}
+
+// handleExplain is POST /v1/explain: the same request and response
+// shapes as /v1/implies, with Explain and Provenance forced on — the
+// response always carries the engine's evidence (a formal ind/fd proof,
+// the chase's derivation DAG, the unary engine's cardinality cycle, or
+// a counterexample) alongside the verdict.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ImpliesRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	req.Explain = true
+	req.Provenance = true
+	s.answerImplies(w, r, req)
+}
+
+func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req ImpliesRequest) {
 	resp := ImpliesResponse{RequestID: RequestID(r.Context())}
 	if req.Goal == "" {
 		s.badRequest(w, r, resp, "missing goal")
@@ -283,8 +330,18 @@ func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
 	opt := core.Options{
 		ChaseMaxTuples: budget,
 		SearchFallback: req.Search || s.cfg.SearchFallback,
+		Provenance:     req.Provenance,
 		Obs:            s.reg,
 		Ctx:            ctx,
+	}
+
+	// The flight-recorder draft (nil when recording is off) gets the
+	// query identity now and the outcome below; the middleware retains
+	// it when the response is done.
+	rec := record(r.Context())
+	if rec != nil {
+		rec.Goal = resp.Goal
+		rec.Mode = resp.Mode
 	}
 
 	// Answer cache: implication is a pure function of (schema, Σ, goal,
@@ -303,12 +360,20 @@ func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
 			resp.Explanation = hit.Explanation
 			resp.ElapsedUS = time.Since(lookup).Microseconds()
 			w.Header().Set("X-Cache", "HIT")
+			if rec != nil {
+				rec.Cache = "hit"
+				rec.Verdict = resp.Verdict
+				rec.Engine = resp.Engine
+			}
 			s.reg.Counter(obs.MetricName("serve.answers",
 				"engine", hit.Answer.Engine, "verdict", hit.Answer.Verdict.String())).Inc()
 			s.writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		w.Header().Set("X-Cache", "MISS")
+		if rec != nil {
+			rec.Cache = "miss"
+		}
 	}
 
 	var before *obs.Snapshot
@@ -330,6 +395,11 @@ func (s *Server) handleImplies(w http.ResponseWriter, r *http.Request) {
 	resp.Explanation = why
 	if req.IncludeMetrics {
 		resp.Metrics = s.reg.Snapshot().Diff(before)
+	}
+	if rec != nil {
+		rec.Verdict = resp.Verdict
+		rec.Engine = resp.Engine
+		rec.Trace = a.Trace
 	}
 
 	switch {
@@ -400,17 +470,52 @@ func (s *Server) handleSatisfies(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics refreshes the process gauges and writes the registry in
-// the Prometheus text format.
+// the Prometheus text format. depserve additionally runs
+// obs.StartRuntimeSampler so the gauges move between scrapes too.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	s.reg.Gauge("process.goroutines").Set(int64(runtime.NumGoroutine()))
-	s.reg.Gauge("process.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	obs.SampleRuntime(s.reg)
 	s.reg.Gauge("process.uptime_seconds").Set(int64(time.Since(s.started).Seconds()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.Snapshot().WritePrometheus(w); err != nil {
 		s.log.Error("metrics exposition failed", "err", err)
 	}
+}
+
+// handleTraces is GET /debug/traces: the flight recorder's retained
+// records, newest first; ?limit=N bounds the reply.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{
+				"request_id": RequestID(r.Context()),
+				"error":      "limit must be a non-negative integer",
+			})
+			return
+		}
+		limit = n
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": s.rec.Cap(),
+		"traces":   s.rec.Recent(limit),
+	})
+}
+
+// handleTrace is GET /debug/traces/{id}: one trace ID — the value of a
+// response's X-Trace-Id header or of a histogram bucket's exemplar —
+// resolved to its full record.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec := s.rec.Get(id)
+	if rec == nil {
+		s.writeJSON(w, http.StatusNotFound, map[string]string{
+			"request_id": RequestID(r.Context()),
+			"error":      "trace " + id + " not retained (evicted, never recorded, or recording off)",
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rec)
 }
 
 func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
@@ -439,11 +544,13 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	io.WriteString(w, `depserve — implication service for FDs and INDs
 POST /v1/implies     {"schema":["R(A,B)"],"sigma":["R: A -> B"],"goal":"R: A -> B"}
+POST /v1/explain     same body; answers with proof, derivation DAG, or counterexample
 POST /v1/satisfies   {"schema":[...],"sigma":[...],"data":{"R":[["a","b"]]}}
 GET  /metrics        Prometheus text exposition
 GET  /healthz        liveness
 GET  /readyz         readiness
 GET  /debug/obs      metrics + recent query traces as JSON
+GET  /debug/traces   flight recorder: last N requests (X-Trace-Id resolves at /debug/traces/{id})
 GET  /debug/pprof/   profiles
 `) //nolint:errcheck
 }
@@ -486,6 +593,7 @@ func fillAnswer(resp *ImpliesResponse, a core.Answer) {
 	}
 	resp.ChaseRounds = a.ChaseRounds
 	resp.ChaseTuples = a.ChaseTuples
+	resp.Derivation = a.Derivation
 	if st := a.INDStats; st != nil {
 		resp.IND = &INDStats{
 			Expanded:     st.Expanded,

@@ -336,3 +336,239 @@ func TestIndexAndNotFound(t *testing.T) {
 		t.Errorf("unknown path = %d, want 404", resp.StatusCode)
 	}
 }
+
+// TestTraceIDHeaderEverywhere pins the contract that every response —
+// success, client error, probe, 404 — carries an X-Trace-Id header
+// matching X-Request-ID, so any response can be correlated with logs
+// and (when recorded) resolved at /debug/traces/{id}.
+func TestTraceIDHeaderEverywhere(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	check := func(name string, resp *http.Response) {
+		t.Helper()
+		tid := resp.Header.Get("X-Trace-Id")
+		if tid == "" {
+			t.Errorf("%s: missing X-Trace-Id header", name)
+		}
+		if rid := resp.Header.Get("X-Request-ID"); tid != rid {
+			t.Errorf("%s: X-Trace-Id %q != X-Request-ID %q", name, tid, rid)
+		}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/implies", fastImplies)
+	check("implies 200", resp)
+	resp, _ = postJSON(t, ts.URL+"/v1/implies", `{`)
+	check("implies 400", resp)
+	for _, path := range []string{"/metrics", "/healthz", "/readyz", "/debug/traces", "/no/such/path", "/"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		check(path, r)
+	}
+}
+
+// tracesPayload is the /debug/traces response shape.
+type tracesPayload struct {
+	Capacity int                  `json:"capacity"`
+	Traces   []*obs.RequestRecord `json:"traces"`
+}
+
+// TestDebugTraces drives queries through the server and wants the
+// flight recorder to serve them back: newest first, with the query's
+// identity, outcome, and span tree; an X-Trace-Id from a live response
+// must resolve at /debug/traces/{id} to that request's record.
+func TestDebugTraces(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{TraceBuffer: 16})
+	resp1, _ := postJSON(t, ts.URL+"/v1/implies", fastImplies)
+	tid := resp1.Header.Get("X-Trace-Id")
+	if tid == "" {
+		t.Fatal("no X-Trace-Id on the query response")
+	}
+	// Probes must not flood the recorder.
+	for i := 0; i < 3; i++ {
+		r, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+
+	r, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	var got tracesPayload
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("/debug/traces: %v\n%s", err, b)
+	}
+	if got.Capacity < 16 {
+		t.Errorf("capacity = %d, want >= 16", got.Capacity)
+	}
+	var rec *obs.RequestRecord
+	for _, tr := range got.Traces {
+		if tr.Route == "/healthz" || tr.Route == "/readyz" {
+			t.Errorf("probe %s recorded in the flight recorder", tr.Route)
+		}
+		if tr.TraceID == tid {
+			rec = tr
+		}
+	}
+	if rec == nil {
+		t.Fatalf("query trace %s not in /debug/traces:\n%s", tid, b)
+	}
+	if rec.Route != "/v1/implies" || rec.Status != http.StatusOK {
+		t.Errorf("record route/status = %s/%d", rec.Route, rec.Status)
+	}
+	if rec.Verdict != "yes" || rec.Engine != "ind" || rec.Goal == "" {
+		t.Errorf("record query fields = %+v", rec)
+	}
+	if rec.DurationNS <= 0 {
+		t.Errorf("record duration = %d", rec.DurationNS)
+	}
+	if rec.Trace == nil || rec.Trace.Name == "" {
+		t.Errorf("record has no span tree: %+v", rec.Trace)
+	}
+
+	// The exemplar round trip: the ID resolves individually too.
+	r, err = http.Get(ts.URL + "/debug/traces/" + tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces/%s = %d:\n%s", tid, r.StatusCode, b)
+	}
+	var one obs.RequestRecord
+	if err := json.Unmarshal(b, &one); err != nil {
+		t.Fatalf("unmarshal single trace: %v", err)
+	}
+	if one.TraceID != tid || one.Verdict != "yes" {
+		t.Errorf("single trace = %+v, want the query record", one)
+	}
+	// Unknown and evicted IDs are 404; a bad limit is 400.
+	if r, _ = http.Get(ts.URL + "/debug/traces/nope"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/traces/nope = %d, want 404", r.StatusCode)
+	}
+	r.Body.Close()
+	if r, _ = http.Get(ts.URL + "/debug/traces?limit=bogus"); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("limit=bogus = %d, want 400", r.StatusCode)
+	}
+	r.Body.Close()
+	if r, _ = http.Get(ts.URL + "/debug/traces?limit=1"); true {
+		b, _ = io.ReadAll(r.Body)
+		r.Body.Close()
+		var lim tracesPayload
+		if err := json.Unmarshal(b, &lim); err != nil || len(lim.Traces) != 1 {
+			t.Errorf("limit=1 returned %d traces (err %v)", len(lim.Traces), err)
+		}
+	}
+}
+
+// TestDebugTracesExemplarLink checks the metrics side of the round
+// trip: after a query, the latency histogram's bucket exemplar is a
+// trace ID the recorder can resolve.
+func TestDebugTracesExemplarLink(t *testing.T) {
+	s, reg, ts := newTestServer(t, Config{TraceBuffer: 16})
+	postJSON(t, ts.URL+"/v1/implies", fastImplies)
+	var exemplar string
+	for name, h := range reg.Snapshot().Histograms {
+		if !strings.HasPrefix(name, "http.latency_us") || !strings.Contains(name, "/v1/implies") {
+			continue
+		}
+		for _, b := range h.Buckets {
+			if b.Exemplar != "" {
+				exemplar = b.Exemplar
+			}
+		}
+	}
+	if exemplar == "" {
+		t.Fatal("latency histogram has no exemplar after a query")
+	}
+	rec := s.rec.Get(exemplar)
+	if rec == nil {
+		t.Fatalf("exemplar %q does not resolve in the flight recorder", exemplar)
+	}
+	if rec.Route != "/v1/implies" {
+		t.Errorf("exemplar resolved to route %s", rec.Route)
+	}
+}
+
+// TestExplainEndpoint posts a mixed FD+IND goal to /v1/explain and
+// wants a chase answer that carries its provenance derivation DAG:
+// seed leaves, rule-firing internal nodes, and a non-empty rendered
+// explanation — without the client having to set explain/provenance
+// flags itself.
+func TestExplainEndpoint(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	req := `{
+		"schema": ["R(A, B)", "S(A, B)"],
+		"sigma": ["R[A,B] <= S[A,B]", "S: A -> B"],
+		"goal": "R: A -> B"
+	}`
+	resp, body := postJSON(t, ts.URL+"/v1/explain", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; body %s", resp.StatusCode, body)
+	}
+	var out ImpliesResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, body)
+	}
+	if out.Verdict != "yes" || out.Engine != "chase" {
+		t.Fatalf("verdict/engine = %q/%q, want yes/chase", out.Verdict, out.Engine)
+	}
+	if out.Explanation == "" {
+		t.Errorf("explain endpoint returned no explanation")
+	}
+	d := out.Derivation
+	if d == nil {
+		t.Fatalf("no derivation in /v1/explain response:\n%s", body)
+	}
+	seeds, inds, fds, _ := d.Stats()
+	if seeds != 2 || inds == 0 || fds == 0 {
+		t.Errorf("derivation stats seeds=%d inds=%d fds=%d, want 2/>0/>0", seeds, inds, fds)
+	}
+	if len(d.Checks) == 0 {
+		t.Errorf("derivation has no goal checks")
+	}
+	// A pure-IND goal answers via the ind engine: still 200, with the
+	// formal proof as the explanation and no derivation.
+	resp, body = postJSON(t, ts.URL+"/v1/explain", fastImplies)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ind explain status = %d; body %s", resp.StatusCode, body)
+	}
+	var out2 ImpliesResponse
+	if err := json.Unmarshal(body, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Engine != "ind" || out2.Explanation == "" || out2.Derivation != nil {
+		t.Errorf("ind explain: engine=%q explanation=%d bytes derivation=%v",
+			out2.Engine, len(out2.Explanation), out2.Derivation)
+	}
+}
+
+// TestTraceBufferDisabled turns the recorder off and wants the debug
+// endpoints to degrade gracefully rather than 500.
+func TestTraceBufferDisabled(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{TraceBuffer: -1})
+	postJSON(t, ts.URL+"/v1/implies", fastImplies)
+	r, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	var got tracesPayload
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("disabled recorder /debug/traces: %v\n%s", err, b)
+	}
+	if got.Capacity != 0 || len(got.Traces) != 0 {
+		t.Errorf("disabled recorder returned capacity=%d traces=%d", got.Capacity, len(got.Traces))
+	}
+	if r, _ = http.Get(ts.URL + "/debug/traces/anything"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled recorder trace lookup = %d, want 404", r.StatusCode)
+	}
+	r.Body.Close()
+}
