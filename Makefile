@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race zeroalloc bench benchjson bench-json bench-diff serve
+.PHONY: check build vet lint test race zeroalloc bench benchjson bench-json bench-diff serve slo-gate
 
 check: build vet lint race zeroalloc
 
@@ -55,3 +55,20 @@ bench-diff:
 # Run the implication service locally with live /metrics.
 serve:
 	$(GO) run ./cmd/depserve
+
+# The loadgen-driven SLO gate: boot depserve on a scratch port, drive
+# the built-in benchws-derived mix at a constant rate, and fail when the
+# overall latency or error-rate SLO breaks or a per-scenario p99 runs
+# past 4x the committed BENCH_slo.json baseline. The SLO bounds are
+# generous on purpose — this gate catches a serve-path that started
+# blocking (a full exporter queue, a lock on the hot path), not
+# microsecond drift; cmd/benchdiff owns the fine-grained engine timings.
+# SLO_report.json is the fresh report; CI uploads it as an artifact.
+slo-gate:
+	$(GO) build -o /tmp/depserve ./cmd/depserve
+	$(GO) build -o /tmp/loadgen ./cmd/loadgen
+	/tmp/depserve -addr 127.0.0.1:8399 & echo $$! > /tmp/depserve.pid; \
+	trap 'kill $$(cat /tmp/depserve.pid) 2>/dev/null' EXIT; \
+	/tmp/loadgen -target http://127.0.0.1:8399 -qps 150 -duration 5s -warmup 1s \
+		-slo 'p99<250ms,errs<1%' -baseline BENCH_slo.json -tolerance 4.0 \
+		-report SLO_report.json

@@ -11,6 +11,7 @@
 //	depserve [-addr :8377] [-deadline 10s] [-max-deadline 60s]
 //	         [-slow 500ms] [-budget N] [-search] [-span-cap 64]
 //	         [-cache-size 1024] [-cache-ttl 0] [-trace-buf 128]
+//	         [-otlp-file FILE] [-otlp-endpoint URL]
 //	         [-stats] [-trace-json FILE] [-pprof ADDR] [-memprofile FILE]
 //
 // Endpoints (see internal/serve):
@@ -23,14 +24,19 @@
 //	GET  /healthz        liveness
 //	GET  /readyz         readiness (armed once the listener is bound)
 //	GET  /debug/obs      full metrics + recent query traces as JSON
+//	GET  /debug/otlp     spans + metrics as one OTLP/JSON document
 //	GET  /debug/traces   flight recorder: the last -trace-buf completed
 //	                     requests; every response's X-Trace-Id resolves
 //	                     at /debug/traces/{id}
 //	GET  /debug/pprof/   profiles and execution traces
 //
 // Logs are JSON on stderr, one record per request; requests slower than
-// -slow are logged at Warn with slow_query=true. On SIGINT/SIGTERM the
-// server drains in-flight requests, then writes the -stats / -trace-json
+// -slow are logged at Warn with slow_query=true. Every request carries
+// W3C trace context (an incoming traceparent's trace ID is honored),
+// and -otlp-file / -otlp-endpoint stream completed requests plus
+// periodic metric snapshots as OTLP/JSON batches without ever blocking
+// the serve path. On SIGINT/SIGTERM the server drains in-flight
+// requests, flushes the exporter, then writes the -stats / -trace-json
 // / -memprofile end-of-run artifacts like the batch commands do.
 package main
 
@@ -63,12 +69,14 @@ func main() {
 	cacheSize := flag.Int("cache-size", 1024, "answer cache entries (0 disables caching)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "answer cache entry lifetime (0 = never expire)")
 	traceBuf := flag.Int("trace-buf", 128, "flight-recorder capacity for /debug/traces (negative disables)")
+	otlpFile := flag.String("otlp-file", "", "append OTLP/JSON telemetry batches to this file (JSONL)")
+	otlpEndpoint := flag.String("otlp-endpoint", "", "POST OTLP/JSON telemetry batches to this URL")
 	obsFlags := cliutil.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	if err := run(logger, *addr, *deadline, *maxDeadline, *slow, *budget, *search, *spanCap,
-		*cacheSize, *cacheTTL, *traceBuf, obsFlags); err != nil {
+		*cacheSize, *cacheTTL, *traceBuf, *otlpFile, *otlpEndpoint, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "depserve:", err)
 		os.Exit(1)
 	}
@@ -76,7 +84,7 @@ func main() {
 
 func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Duration,
 	budget int, search bool, spanCap, cacheSize int, cacheTTL time.Duration,
-	traceBuf int, obsFlags *cliutil.ObsFlags) error {
+	traceBuf int, otlpFile, otlpEndpoint string, obsFlags *cliutil.ObsFlags) error {
 	// The server always runs instrumented — /metrics is its point — so
 	// the registry does not depend on the -stats/-trace-json flags.
 	reg := obs.New()
@@ -89,6 +97,23 @@ func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Dura
 	stopSampler := obs.StartRuntimeSampler(reg, 10*time.Second)
 	defer stopSampler()
 
+	// OTLP export is off unless a sink is named; the exporter batches on
+	// its own goroutine and the serve path only ever does a non-blocking
+	// hand-off (a slow sink drops records into obs.export_dropped).
+	exporter, err := obs.NewExporter(obs.ExporterConfig{
+		Reg:      reg,
+		FilePath: otlpFile,
+		Endpoint: otlpEndpoint,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := exporter.Close(); err != nil {
+			logger.Error("otlp exporter close failed", "err", err)
+		}
+	}()
+
 	srv := serve.New(serve.Config{
 		Reg:             reg,
 		Logger:          logger,
@@ -100,6 +125,7 @@ func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Dura
 		CacheSize:       cacheSize,
 		CacheTTL:        cacheTTL,
 		TraceBuffer:     traceBuf,
+		Exporter:        exporter,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

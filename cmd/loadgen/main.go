@@ -1,0 +1,676 @@
+// Command loadgen closes the telemetry loop: an open-loop constant-rate
+// load generator for a running depserve, with per-route latency
+// histograms, a JSON report, and an SLO gate that turns "is the service
+// fast enough" into a CI exit code.
+//
+//	loadgen -target http://127.0.0.1:8080 -qps 200 -duration 10s \
+//	        -warmup 2s -slo 'p99<25ms,errs<0.1%' -report SLO_report.json
+//
+// The generator is open-loop: requests fire on a fixed schedule whether
+// or not earlier ones have returned, so a slow server accumulates
+// in-flight work and the measured latency includes queueing — the
+// honest client-side view (a closed loop would let the server pace the
+// test and hide its own slowness; see the coordinated-omission
+// literature). Each request is one goroutine; latencies land in the
+// same log₂ histograms the server itself uses, and quantiles are
+// estimated from the buckets with linear interpolation.
+//
+// The workload is a JSON-lines file of named scenarios (route, body,
+// weight); without -workload a built-in mix runs: an IND-chain
+// implication, an FD proof via /v1/explain, the benchws IND spiral
+// under a small budget, and the wide-FD tableau — the same instance
+// families the committed engine baseline measures, now measured
+// end-to-end through the HTTP layer.
+//
+// SLOs are a comma-separated clause list over the whole run:
+// p50/p90/p95/p99/mean/max compare against a duration ("p99<25ms"),
+// errs against a percentage of non-2xx responses ("errs<0.1%"). Any
+// breached clause makes loadgen exit 1, so `make slo-gate` fails the
+// build. -baseline compares the fresh report's per-route p99s against a
+// committed report (BENCH_slo.json) and fails past -tolerance; CI runs
+// that step as advisory, since shared runners are slower and noisier
+// than the machine that produced the baseline.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indfd/internal/benchws"
+	"indfd/internal/deps"
+	"indfd/internal/obs"
+	"indfd/internal/schema"
+)
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.Target, "target", "http://127.0.0.1:8080", "base URL of the depserve under test")
+	flag.Float64Var(&cfg.QPS, "qps", 100, "request rate (open loop; requests fire on schedule regardless of completions)")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "measured run length")
+	flag.DurationVar(&cfg.Warmup, "warmup", 0, "unmeasured warmup at the same rate (caches, page faults, JIT-free but honest)")
+	flag.StringVar(&cfg.WorkloadPath, "workload", "", "JSON-lines scenario file (default: built-in benchws-derived mix)")
+	flag.StringVar(&cfg.SLO, "slo", "", "comma-separated clauses, e.g. 'p99<25ms,errs<0.1%'; any breach exits 1")
+	flag.StringVar(&cfg.ReportPath, "report", "", "write the JSON report here ('-' or empty: stdout)")
+	flag.StringVar(&cfg.BaselinePath, "baseline", "", "committed report to compare per-route p99s against")
+	flag.Float64Var(&cfg.Tolerance, "tolerance", 2.0, "max fresh/baseline p99 ratio before the comparison fails")
+	flag.DurationVar(&cfg.Timeout, "timeout", 5*time.Second, "per-request timeout")
+	flag.DurationVar(&cfg.ReadyTimeout, "ready-timeout", 10*time.Second, "how long to poll /readyz before giving up (0: skip the poll)")
+	flag.Parse()
+
+	report, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if cfg.ReportPath != "" && cfg.ReportPath != "-" {
+		if err := os.WriteFile(cfg.ReportPath, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: report written to %s\n", cfg.ReportPath)
+	} else {
+		os.Stdout.Write(out) //nolint:errcheck
+	}
+	summarize(report)
+	if len(report.Breaches) > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: SLO breached:\n  %s\n", strings.Join(report.Breaches, "\n  "))
+		os.Exit(1)
+	}
+	if cfg.SLO != "" {
+		fmt.Printf("loadgen: SLO %q held\n", cfg.SLO)
+	}
+}
+
+type config struct {
+	Target       string
+	QPS          float64
+	Duration     time.Duration
+	Warmup       time.Duration
+	WorkloadPath string
+	SLO          string
+	ReportPath   string
+	BaselinePath string
+	Tolerance    float64
+	Timeout      time.Duration
+	ReadyTimeout time.Duration
+}
+
+// scenario is one weighted request shape. Method defaults to POST when
+// a body is present, GET otherwise.
+type scenario struct {
+	Name   string `json:"name"`
+	Route  string `json:"route"`
+	Method string `json:"method,omitempty"`
+	Body   string `json:"body,omitempty"`
+	Weight int    `json:"weight,omitempty"`
+}
+
+// RouteStats is one scenario's (or the whole run's) latency and error
+// summary, quantiles estimated from the log₂ histogram buckets.
+type RouteStats struct {
+	Count  int64 `json:"count"`
+	Errors int64 `json:"errors"`
+	P50US  int64 `json:"p50_us"`
+	P90US  int64 `json:"p90_us"`
+	P95US  int64 `json:"p95_us"`
+	P99US  int64 `json:"p99_us"`
+	MeanUS int64 `json:"mean_us"`
+	MaxUS  int64 `json:"max_us"`
+}
+
+// Report is the loadgen run summary — the artifact CI uploads and the
+// baseline the next run compares against.
+type Report struct {
+	Target     string                 `json:"target"`
+	QPS        float64                `json:"qps"`
+	DurationMS int64                  `json:"duration_ms"`
+	WarmupMS   int64                  `json:"warmup_ms,omitempty"`
+	Sent       int64                  `json:"sent"`
+	Completed  int64                  `json:"completed"`
+	Errors     int64                  `json:"errors"`
+	ErrorRate  float64                `json:"error_rate"`
+	Overall    RouteStats             `json:"overall"`
+	Routes     map[string]*RouteStats `json:"routes"`
+	SLO        string                 `json:"slo,omitempty"`
+	Breaches   []string               `json:"breaches,omitempty"`
+}
+
+// run executes the full generator lifecycle: readiness poll, warmup,
+// measured run, report, SLO and baseline evaluation. It returns an
+// error only for operational failures; SLO breaches come back in the
+// report so the caller (main, or a test) decides the exit code.
+func run(cfg config) (*Report, error) {
+	if cfg.QPS <= 0 {
+		return nil, fmt.Errorf("-qps must be positive, got %g", cfg.QPS)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("-duration must be positive, got %v", cfg.Duration)
+	}
+	clauses, err := parseSLO(cfg.SLO)
+	if err != nil {
+		return nil, err
+	}
+	scenarios, err := loadScenarios(cfg.WorkloadPath)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	if cfg.ReadyTimeout > 0 {
+		if err := waitReady(client, cfg.Target, cfg.ReadyTimeout); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.Warmup > 0 {
+		// Warmup fills the answer cache and faults in code paths; its
+		// samples land in a throwaway registry.
+		fire(client, cfg, scenarios, cfg.Warmup, obs.New())
+	}
+	reg := obs.New()
+	sent := fire(client, cfg, scenarios, cfg.Duration, reg)
+
+	report := buildReport(cfg, reg, sent)
+	report.SLO = cfg.SLO
+	report.Breaches = evalSLO(clauses, report)
+	if cfg.BaselinePath != "" {
+		breaches, err := compareBaseline(cfg.BaselinePath, cfg.Tolerance, report)
+		if err != nil {
+			return nil, err
+		}
+		report.Breaches = append(report.Breaches, breaches...)
+	}
+	return report, nil
+}
+
+// fire runs the open loop for d at cfg.QPS over the weighted scenarios,
+// recording latencies into reg, and returns how many requests were
+// launched. It waits for in-flight requests to finish (bounded by the
+// per-request timeout) so every launched request is also counted.
+func fire(client *http.Client, cfg config, scenarios []scenario, d time.Duration, reg *obs.Registry) int64 {
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	totalWeight := 0
+	for _, sc := range scenarios {
+		totalWeight += sc.Weight
+	}
+	var wg sync.WaitGroup
+	var sent atomic.Int64
+	deadline := time.Now().Add(d)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for now := time.Now(); now.Before(deadline); now = <-ticker.C {
+		sc := pick(scenarios, totalWeight)
+		sent.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doRequest(client, cfg.Target, sc, reg)
+		}()
+	}
+	wg.Wait()
+	return sent.Load()
+}
+
+// pick draws one scenario by weight.
+func pick(scenarios []scenario, totalWeight int) scenario {
+	n := rand.IntN(totalWeight)
+	for _, sc := range scenarios {
+		if n < sc.Weight {
+			return sc
+		}
+		n -= sc.Weight
+	}
+	return scenarios[len(scenarios)-1]
+}
+
+// doRequest issues one request and records its latency (microseconds)
+// and outcome. Any transport error or non-2xx status counts as an
+// error — a 503 deadline kill is a latency SLO's concern too, but it
+// is first of all not a served answer.
+func doRequest(client *http.Client, target string, sc scenario, reg *obs.Registry) {
+	method := sc.Method
+	if method == "" {
+		if sc.Body != "" {
+			method = http.MethodPost
+		} else {
+			method = http.MethodGet
+		}
+	}
+	var body *bytes.Reader
+	if sc.Body != "" {
+		body = bytes.NewReader([]byte(sc.Body))
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, target+sc.Route, body)
+	if err != nil {
+		reg.Counter(obs.MetricName("loadgen.errors", "scenario", sc.Name)).Inc()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	elapsed := time.Since(start).Microseconds()
+	ok := err == nil && resp.StatusCode >= 200 && resp.StatusCode < 300
+	if err == nil {
+		// Drain so the transport reuses connections; a generator that
+		// opens a new connection per request measures the TCP stack.
+		var sink [512]byte
+		for {
+			if _, rerr := resp.Body.Read(sink[:]); rerr != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+	}
+	reg.Histogram(obs.MetricName("loadgen.latency_us", "scenario", sc.Name)).Observe(elapsed)
+	if !ok {
+		reg.Counter(obs.MetricName("loadgen.errors", "scenario", sc.Name)).Inc()
+	}
+}
+
+// waitReady polls GET /readyz until it answers 200, the server is
+// reachable but has no /readyz (404 — not a depserve, but usable), or
+// the timeout lapses.
+func waitReady(client *http.Client, target string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(target + "/readyz")
+		if err == nil {
+			drainClose(resp)
+			if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotFound {
+				return nil
+			}
+			lastErr = fmt.Errorf("/readyz answered %d", resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("target %s not ready after %v: %v", target, timeout, lastErr)
+}
+
+func drainClose(resp *http.Response) {
+	var sink [512]byte
+	for {
+		if _, err := resp.Body.Read(sink[:]); err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+}
+
+// --- report -----------------------------------------------------------------
+
+// buildReport turns the run's registry into the Report: per-scenario
+// stats from each latency histogram plus an overall aggregate.
+func buildReport(cfg config, reg *obs.Registry, sent int64) *Report {
+	snap := reg.Snapshot()
+	report := &Report{
+		Target:     cfg.Target,
+		QPS:        cfg.QPS,
+		DurationMS: cfg.Duration.Milliseconds(),
+		WarmupMS:   cfg.Warmup.Milliseconds(),
+		Sent:       sent,
+		Routes:     map[string]*RouteStats{},
+	}
+	overall := obs.HistogramSnapshot{}
+	merged := map[int64]int64{}
+	for name, h := range snap.Histograms {
+		sc := seriesLabel(name, "scenario")
+		if sc == "" {
+			continue
+		}
+		st := statsFrom(h)
+		report.Routes[sc] = st
+		report.Completed += h.Count
+		overall.Count += h.Count
+		overall.Sum += h.Sum
+		if h.Max > overall.Max {
+			overall.Max = h.Max
+		}
+		for _, b := range h.Buckets {
+			merged[b.Le] += b.Count
+		}
+	}
+	les := make([]int64, 0, len(merged))
+	for le := range merged {
+		les = append(les, le)
+	}
+	sort.Slice(les, func(i, j int) bool { return les[i] < les[j] })
+	for _, le := range les {
+		overall.Buckets = append(overall.Buckets, obs.Bucket{Le: le, Count: merged[le]})
+	}
+	report.Overall = *statsFrom(overall)
+	for name, v := range snap.Counters {
+		if sc := seriesLabel(name, "scenario"); sc != "" && strings.HasPrefix(name, "loadgen.errors{") {
+			if st, ok := report.Routes[sc]; ok {
+				st.Errors = v
+			}
+			report.Errors += v
+		}
+	}
+	report.Overall.Errors = report.Errors
+	if report.Completed > 0 {
+		report.ErrorRate = float64(report.Errors) / float64(report.Completed)
+	}
+	return report
+}
+
+// statsFrom estimates the quantile set from one histogram snapshot.
+func statsFrom(h obs.HistogramSnapshot) *RouteStats {
+	st := &RouteStats{Count: h.Count, MaxUS: h.Max}
+	if h.Count > 0 {
+		st.MeanUS = h.Sum / h.Count
+	}
+	st.P50US = quantile(h, 0.50)
+	st.P90US = quantile(h, 0.90)
+	st.P95US = quantile(h, 0.95)
+	st.P99US = quantile(h, 0.99)
+	return st
+}
+
+// quantile estimates the q-quantile from log₂ buckets: find the bucket
+// the rank lands in and interpolate linearly between its bounds; the
+// top bucket is capped at the observed max, so a single slow outlier
+// cannot be reported slower than it was.
+func quantile(h obs.HistogramSnapshot, q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	var lo int64
+	for _, b := range h.Buckets {
+		prev := cum
+		cum += b.Count
+		if float64(cum) >= rank && b.Count > 0 {
+			hi := b.Le
+			if hi > h.Max {
+				hi = h.Max
+			}
+			if hi <= lo {
+				return hi
+			}
+			frac := (rank - float64(prev)) / float64(b.Count)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		lo = b.Le + 1
+	}
+	return h.Max
+}
+
+// seriesLabel extracts one label value from an obs.MetricName-encoded
+// series name, "" when absent.
+func seriesLabel(series, key string) string {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return ""
+	}
+	for _, pair := range strings.Split(strings.TrimSuffix(series[i+1:], "}"), `",`) {
+		k, v, ok := strings.Cut(pair, `="`)
+		if ok && k == key {
+			return strings.TrimSuffix(v, `"`)
+		}
+	}
+	return ""
+}
+
+func summarize(r *Report) {
+	names := make([]string, 0, len(r.Routes))
+	for name := range r.Routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-18s %8s %8s %9s %9s %9s %9s\n",
+		"scenario", "count", "errors", "p50", "p95", "p99", "max")
+	row := func(name string, st *RouteStats) {
+		fmt.Printf("%-18s %8d %8d %8dus %8dus %8dus %8dus\n",
+			name, st.Count, st.Errors, st.P50US, st.P95US, st.P99US, st.MaxUS)
+	}
+	for _, name := range names {
+		row(name, r.Routes[name])
+	}
+	row("OVERALL", &r.Overall)
+}
+
+// --- SLO --------------------------------------------------------------------
+
+// sloClause is one parsed "metric<bound" term.
+type sloClause struct {
+	metric string // p50, p90, p95, p99, mean, max, errs
+	// boundUS for latency clauses (microseconds); boundRate for errs
+	// (fraction, 0.001 == 0.1%).
+	boundUS   int64
+	boundRate float64
+	text      string
+}
+
+// parseSLO parses "p99<25ms,errs<0.1%"-style clause lists.
+func parseSLO(s string) ([]sloClause, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var clauses []sloClause
+	for _, term := range strings.Split(s, ",") {
+		term = strings.TrimSpace(term)
+		metric, bound, ok := strings.Cut(term, "<")
+		if !ok {
+			return nil, fmt.Errorf("SLO clause %q: want metric<bound", term)
+		}
+		metric = strings.ToLower(strings.TrimSpace(metric))
+		bound = strings.TrimSpace(bound)
+		c := sloClause{metric: metric, text: term}
+		switch metric {
+		case "p50", "p90", "p95", "p99", "mean", "max":
+			d, err := time.ParseDuration(bound)
+			if err != nil {
+				return nil, fmt.Errorf("SLO clause %q: %v", term, err)
+			}
+			c.boundUS = d.Microseconds()
+		case "errs":
+			pct, ok := strings.CutSuffix(bound, "%")
+			if !ok {
+				return nil, fmt.Errorf("SLO clause %q: errs bound must be a percentage like 0.1%%", term)
+			}
+			f, err := strconv.ParseFloat(pct, 64)
+			if err != nil {
+				return nil, fmt.Errorf("SLO clause %q: %v", term, err)
+			}
+			c.boundRate = f / 100
+		default:
+			return nil, fmt.Errorf("SLO clause %q: unknown metric %q (want p50/p90/p95/p99/mean/max/errs)", term, metric)
+		}
+		clauses = append(clauses, c)
+	}
+	return clauses, nil
+}
+
+// evalSLO checks every clause against the overall stats and returns a
+// message per breach.
+func evalSLO(clauses []sloClause, r *Report) []string {
+	var breaches []string
+	get := func(metric string) int64 {
+		switch metric {
+		case "p50":
+			return r.Overall.P50US
+		case "p90":
+			return r.Overall.P90US
+		case "p95":
+			return r.Overall.P95US
+		case "p99":
+			return r.Overall.P99US
+		case "mean":
+			return r.Overall.MeanUS
+		default:
+			return r.Overall.MaxUS
+		}
+	}
+	for _, c := range clauses {
+		if c.metric == "errs" {
+			if r.ErrorRate >= c.boundRate && !(r.ErrorRate == 0 && c.boundRate == 0) {
+				breaches = append(breaches, fmt.Sprintf("%s: error rate %.3f%% (%d/%d) >= %.3f%%",
+					c.text, r.ErrorRate*100, r.Errors, r.Completed, c.boundRate*100))
+			}
+			continue
+		}
+		if got := get(c.metric); got >= c.boundUS {
+			breaches = append(breaches, fmt.Sprintf("%s: %s = %dus >= %dus",
+				c.text, c.metric, got, c.boundUS))
+		}
+	}
+	return breaches
+}
+
+// compareBaseline loads a committed Report and flags any route whose
+// fresh p99 exceeds tolerance × the baseline p99. Routes absent on
+// either side are skipped — workload changes are not regressions.
+func compareBaseline(path string, tolerance float64, fresh *Report) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	var breaches []string
+	for name, st := range fresh.Routes {
+		bst, ok := base.Routes[name]
+		if !ok || bst.P99US <= 0 || st.Count == 0 {
+			continue
+		}
+		ratio := float64(st.P99US) / float64(bst.P99US)
+		if ratio > tolerance {
+			breaches = append(breaches, fmt.Sprintf(
+				"baseline: %s p99 %dus vs %dus (%.2fx > %.2fx)",
+				name, st.P99US, bst.P99US, ratio, tolerance))
+		}
+	}
+	sort.Strings(breaches)
+	return breaches, nil
+}
+
+// --- workload ---------------------------------------------------------------
+
+// loadScenarios reads a JSON-lines workload file; an empty path yields
+// the built-in mix.
+func loadScenarios(path string) ([]scenario, error) {
+	if path == "" {
+		return defaultScenarios(), nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var scenarios []scenario
+	for ln, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var sc scenario
+		if err := json.Unmarshal([]byte(line), &sc); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, ln+1, err)
+		}
+		if sc.Name == "" || sc.Route == "" {
+			return nil, fmt.Errorf("%s:%d: scenario needs name and route", path, ln+1)
+		}
+		if sc.Weight <= 0 {
+			sc.Weight = 1
+		}
+		scenarios = append(scenarios, sc)
+	}
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("%s: no scenarios", path)
+	}
+	return scenarios, nil
+}
+
+// defaultScenarios is the built-in mix: the instance families behind
+// the committed engine baseline, rendered into the serve API's .dep
+// text forms so the generator needs no extra fixture files.
+func defaultScenarios() []scenario {
+	spiralDB, spiralSigma, spiralGoal := benchws.SpiralInstance(3)
+	wideDB, wideSigma, wideGoal := benchws.WideFDInstance(20)
+	return []scenario{
+		{
+			Name:  "implies_ind",
+			Route: "/v1/implies",
+			Body: impliesBody(
+				[]string{"MGR(NAME,DEPT)", "EMP(NAME,DEPT,SAL)"},
+				[]string{"MGR[NAME,DEPT] <= EMP[NAME,DEPT]"},
+				"MGR[NAME] <= EMP[NAME]", 0),
+			Weight: 4,
+		},
+		{
+			Name:  "explain_fd",
+			Route: "/v1/explain",
+			Body: impliesBody(
+				[]string{"R(A,B,C,D)"},
+				[]string{"R: A -> B", "R: B -> C", "R: C -> D"},
+				"R: A -> D", 0),
+			Weight: 3,
+		},
+		{
+			Name:   "implies_spiral",
+			Route:  "/v1/implies",
+			Body:   renderInstance(spiralDB, spiralSigma, spiralGoal.String(), 200),
+			Weight: 2,
+		},
+		{
+			Name:   "implies_widefd",
+			Route:  "/v1/implies",
+			Body:   renderInstance(wideDB, wideSigma, wideGoal.String(), 0),
+			Weight: 1,
+		},
+	}
+}
+
+// renderInstance serializes a benchws instance into an implies body:
+// the schema and dependency String() forms are exactly the serve API's
+// input grammar.
+func renderInstance(db *schema.Database, sigma []deps.Dependency, goal string, budget int) string {
+	var schemes, sigmaStrs []string
+	for _, name := range db.Names() {
+		s, _ := db.Scheme(name)
+		schemes = append(schemes, s.String())
+	}
+	for _, d := range sigma {
+		sigmaStrs = append(sigmaStrs, d.String())
+	}
+	return impliesBody(schemes, sigmaStrs, goal, budget)
+}
+
+// impliesBody renders an ImpliesRequest JSON body.
+func impliesBody(schema, sigma []string, goal string, budget int) string {
+	req := map[string]any{"schema": schema, "sigma": sigma, "goal": goal}
+	if budget > 0 {
+		req["budget"] = budget
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"indfd/internal/obs"
+	"indfd/internal/serve"
+)
+
+func TestParseSLO(t *testing.T) {
+	clauses, err := parseSLO("p99<25ms, errs<0.1%,mean<1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clauses) != 3 {
+		t.Fatalf("clauses = %d, want 3", len(clauses))
+	}
+	if clauses[0].metric != "p99" || clauses[0].boundUS != 25_000 {
+		t.Errorf("clause 0 = %+v", clauses[0])
+	}
+	if clauses[1].metric != "errs" || clauses[1].boundRate != 0.001 {
+		t.Errorf("clause 1 = %+v", clauses[1])
+	}
+	if clauses[2].boundUS != 1_000_000 {
+		t.Errorf("clause 2 = %+v", clauses[2])
+	}
+	if c, err := parseSLO(""); err != nil || c != nil {
+		t.Errorf("empty SLO = %v, %v", c, err)
+	}
+	for _, bad := range []string{"p99=25ms", "p42<1ms", "errs<0.1", "p99<fast"} {
+		if _, err := parseSLO(bad); err == nil {
+			t.Errorf("parseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEvalSLO(t *testing.T) {
+	r := &Report{
+		Completed: 1000, Errors: 5, ErrorRate: 0.005,
+		Overall: RouteStats{P99US: 30_000, MeanUS: 2_000},
+	}
+	clauses, _ := parseSLO("p99<25ms,errs<0.1%,mean<10ms")
+	breaches := evalSLO(clauses, r)
+	if len(breaches) != 2 {
+		t.Fatalf("breaches = %v, want p99 and errs", breaches)
+	}
+	clauses, _ = parseSLO("p99<50ms,errs<1%,mean<10ms")
+	if breaches := evalSLO(clauses, r); len(breaches) != 0 {
+		t.Errorf("healthy run breached: %v", breaches)
+	}
+}
+
+// TestQuantile builds a histogram with a known distribution and wants
+// the quantile estimates inside the right buckets.
+func TestQuantile(t *testing.T) {
+	reg := obs.New()
+	h := reg.Histogram("q")
+	// 99 observations at ~100us, one at ~10000us.
+	for i := 0; i < 99; i++ {
+		h.Observe(100)
+	}
+	h.Observe(10_000)
+	snap := reg.Snapshot().Histograms["q"]
+	p50 := quantile(snap, 0.50)
+	if p50 < 64 || p50 > 127 {
+		t.Errorf("p50 = %d, want inside the 100us bucket [64,127]", p50)
+	}
+	// p99 rank is 99, still inside the 100us mass.
+	if p99 := quantile(snap, 0.99); p99 < 64 || p99 > 127 {
+		t.Errorf("p99 = %d, want inside the 100us bucket", p99)
+	}
+	// p100 hits the outlier but is capped at the true max.
+	if p100 := quantile(snap, 1.0); p100 != 10_000 {
+		t.Errorf("p100 = %d, want capped at max 10000", p100)
+	}
+	if q := quantile(obs.HistogramSnapshot{}, 0.5); q != 0 {
+		t.Errorf("quantile of empty histogram = %d", q)
+	}
+}
+
+func TestLoadScenariosFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.workload")
+	content := `# comment
+{"name":"ping","route":"/healthz","weight":2}
+
+{"name":"imp","route":"/v1/implies","body":"{}"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scs, err := loadScenarios(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 || scs[0].Name != "ping" || scs[0].Weight != 2 || scs[1].Weight != 1 {
+		t.Errorf("scenarios = %+v", scs)
+	}
+	if _, err := loadScenarios(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing workload file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.workload")
+	os.WriteFile(bad, []byte(`{"route":"/x"}`), 0o644) //nolint:errcheck
+	if _, err := loadScenarios(bad); err == nil {
+		t.Error("nameless scenario accepted")
+	}
+}
+
+// TestDefaultScenariosValid renders the built-in mix and wants every
+// body to be valid JSON aimed at a real route.
+func TestDefaultScenariosValid(t *testing.T) {
+	for _, sc := range defaultScenarios() {
+		if !strings.HasPrefix(sc.Route, "/v1/") {
+			t.Errorf("%s: route %q", sc.Name, sc.Route)
+		}
+		var req map[string]any
+		if err := json.Unmarshal([]byte(sc.Body), &req); err != nil {
+			t.Errorf("%s: body not JSON: %v", sc.Name, err)
+		}
+		if req["goal"] == "" {
+			t.Errorf("%s: no goal", sc.Name)
+		}
+		if sc.Weight <= 0 {
+			t.Errorf("%s: weight %d", sc.Name, sc.Weight)
+		}
+	}
+}
+
+// newDepserve builds a real serve.Server for the generator to hit,
+// optionally wrapped in an artificial per-request delay.
+func newDepserve(t *testing.T, delay time.Duration) *httptest.Server {
+	t.Helper()
+	s := serve.New(serve.Config{
+		Reg:    obs.New(),
+		Logger: slog.New(slog.NewJSONHandler(io.Discard, nil)),
+	})
+	s.SetReady(true)
+	h := s.Handler()
+	if delay > 0 {
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(delay)
+			inner.ServeHTTP(w, r)
+		})
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunAgainstDepserve is the end-to-end healthy path: a short run
+// against a live server must complete every launched request, report
+// per-scenario stats, and hold a generous SLO.
+func TestRunAgainstDepserve(t *testing.T) {
+	ts := newDepserve(t, 0)
+	report, err := run(config{
+		Target:       ts.URL,
+		QPS:          200,
+		Duration:     500 * time.Millisecond,
+		Timeout:      5 * time.Second,
+		ReadyTimeout: 5 * time.Second,
+		SLO:          "p99<10s,errs<50%",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sent == 0 || report.Completed != report.Sent {
+		t.Errorf("sent %d, completed %d — open loop must account for every launch",
+			report.Sent, report.Completed)
+	}
+	if report.Errors != 0 {
+		t.Errorf("errors = %d against a healthy server", report.Errors)
+	}
+	if len(report.Routes) == 0 {
+		t.Fatalf("no per-scenario stats")
+	}
+	for name, st := range report.Routes {
+		if st.Count == 0 || st.P99US == 0 || st.MaxUS == 0 {
+			t.Errorf("%s stats empty: %+v", name, st)
+		}
+		if st.P50US > st.P99US || st.P99US > st.MaxUS {
+			t.Errorf("%s quantiles not monotone: %+v", name, st)
+		}
+	}
+	if len(report.Breaches) != 0 {
+		t.Errorf("generous SLO breached: %v", report.Breaches)
+	}
+}
+
+// TestRunDetectsSlowServer is the acceptance path for the gate: an
+// artificially slowed handler must breach a tight latency SLO — the
+// breach lands in the report, and main would exit nonzero.
+func TestRunDetectsSlowServer(t *testing.T) {
+	ts := newDepserve(t, 30*time.Millisecond)
+	report, err := run(config{
+		Target:       ts.URL,
+		QPS:          50,
+		Duration:     300 * time.Millisecond,
+		Timeout:      5 * time.Second,
+		ReadyTimeout: 5 * time.Second,
+		SLO:          "p50<5ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Breaches) == 0 {
+		t.Fatalf("30ms-delayed server held p50<5ms: %+v", report.Overall)
+	}
+	if !strings.Contains(report.Breaches[0], "p50") {
+		t.Errorf("breach message %q does not name the clause", report.Breaches[0])
+	}
+}
+
+// TestRunCountsErrors points the generator at a server that always
+// fails and wants the errs clause to trip.
+func TestRunCountsErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	report, err := run(config{
+		Target:       ts.URL,
+		QPS:          100,
+		Duration:     200 * time.Millisecond,
+		Timeout:      time.Second,
+		ReadyTimeout: time.Second,
+		SLO:          "errs<1%",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors == 0 || report.ErrorRate < 0.99 {
+		t.Errorf("errors = %d rate %.2f against an always-500 server", report.Errors, report.ErrorRate)
+	}
+	if len(report.Breaches) == 0 {
+		t.Error("errs<1% held against an always-500 server")
+	}
+}
+
+// TestCompareBaseline pins the regression arithmetic: a fresh p99 past
+// tolerance × baseline breaches; new and vanished routes are skipped.
+func TestCompareBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := &Report{Routes: map[string]*RouteStats{
+		"a":    {Count: 10, P99US: 100},
+		"b":    {Count: 10, P99US: 100},
+		"gone": {Count: 10, P99US: 100},
+	}}
+	raw, _ := json.Marshal(base)
+	path := filepath.Join(dir, "BENCH_slo.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &Report{Routes: map[string]*RouteStats{
+		"a":   {Count: 10, P99US: 150}, // 1.5x: fine at 2.0
+		"b":   {Count: 10, P99US: 500}, // 5x: breach
+		"new": {Count: 10, P99US: 9999},
+	}}
+	breaches, err := compareBaseline(path, 2.0, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breaches) != 1 || !strings.Contains(breaches[0], "b p99") {
+		t.Errorf("breaches = %v, want exactly route b", breaches)
+	}
+	if _, err := compareBaseline(filepath.Join(dir, "missing"), 2.0, fresh); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}
+
+// TestWaitReadyTimeout wants a crisp error when nothing is listening.
+func TestWaitReadyTimeout(t *testing.T) {
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	err := waitReady(client, "http://127.0.0.1:1", 200*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "not ready") {
+		t.Errorf("waitReady against a dead port = %v", err)
+	}
+}

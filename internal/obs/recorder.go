@@ -20,8 +20,16 @@ import (
 // and the query's span tree.
 type RequestRecord struct {
 	// TraceID is the request's identity — the same ID the X-Trace-Id
-	// response header, the access log, and histogram exemplars carry.
+	// response header, the traceparent response header, the access log,
+	// and histogram exemplars carry. With trace-context propagation on
+	// (internal/serve) it is a W3C 32-hex trace ID, honored from the
+	// caller's traceparent when one arrived valid.
 	TraceID string `json:"trace_id"`
+	// SpanID is the server's own 16-hex span ID for this request (the
+	// parent-id the response traceparent advertises); ParentSpanID is
+	// the caller's span ID when the request carried a valid traceparent.
+	SpanID       string `json:"span_id,omitempty"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
 	// Route is the registered route pattern (bounded cardinality).
 	Route string `json:"route"`
 	// Status is the HTTP status code of the response.

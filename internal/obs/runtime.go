@@ -2,6 +2,7 @@ package obs
 
 import (
 	"runtime"
+	"runtime/debug"
 	"runtime/metrics"
 	"sync"
 	"time"
@@ -27,10 +28,57 @@ var runtimeSamples = []struct {
 	{"/gc/cycles/total:gc-cycles", "process.gc_cycles_total"},
 }
 
+// processStart anchors process.uptime_seconds: the package is
+// initialized once, as early as any instrument that could observe it.
+var processStart = time.Now()
+
+// buildInfo resolves the binary's identity once: the main module
+// version, the Go toolchain, and the VCS revision debug.ReadBuildInfo
+// embeds at link time ("unknown" where the build carries no stamp —
+// test binaries and plain `go run` do not).
+var buildInfo = sync.OnceValues(func() (BuildIdentity, bool) {
+	id := BuildIdentity{Version: "unknown", GoVersion: runtime.Version(), Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return id, false
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		id.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			id.Revision = s.Value
+		}
+	}
+	return id, true
+})
+
+// BuildIdentity is the binary's provenance as telemetry reports it: in
+// the process.build_info gauge labels, the /healthz body, and the OTLP
+// resource attributes (service.version, vcs.revision).
+type BuildIdentity struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"`
+}
+
+// Build returns the binary's identity (module version, Go toolchain,
+// VCS revision), with "unknown" for fields the build did not stamp.
+func Build() BuildIdentity {
+	id, _ := buildInfo()
+	return id
+}
+
+// Uptime returns how long the process has been running.
+func Uptime() time.Duration { return time.Since(processStart) }
+
 // SampleRuntime reads one sample of the runtime's vitals into r's
 // gauges: the runtime/metrics set above plus heap-alloc bytes and
-// cumulative GC pause nanoseconds from runtime.ReadMemStats, and
-// GOMAXPROCS. A nil registry samples nothing.
+// cumulative GC pause nanoseconds from runtime.ReadMemStats,
+// GOMAXPROCS, process.uptime_seconds, and the constant
+// process.build_info gauge (value 1, identity in the labels — the
+// Prometheus build-info idiom, so a dashboard can join any series to
+// the exact binary that produced it). A nil registry samples nothing.
 func SampleRuntime(r *Registry) {
 	if r == nil {
 		return
@@ -53,6 +101,10 @@ func SampleRuntime(r *Registry) {
 	r.Gauge("process.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
 	r.Gauge("process.gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
 	r.Gauge("process.gomaxprocs").Set(int64(runtime.GOMAXPROCS(0)))
+	r.Gauge("process.uptime_seconds").Set(int64(Uptime().Seconds()))
+	id := Build()
+	r.Gauge(MetricName("process.build_info",
+		"version", id.Version, "goversion", id.GoVersion, "revision", id.Revision)).Set(1)
 }
 
 // StartRuntimeSampler samples the runtime into r's gauges now and then

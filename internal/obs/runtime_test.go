@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSampleRuntimeUptimeAndBuildInfo pins the PR-6 additions to the
+// process.* gauge set: a nonnegative uptime and the constant
+// build-info gauge with identity labels.
+func TestSampleRuntimeUptimeAndBuildInfo(t *testing.T) {
+	reg := New()
+	SampleRuntime(reg)
+	snap := reg.Snapshot()
+	up, ok := snap.Gauges["process.uptime_seconds"]
+	if !ok || up < 0 {
+		t.Errorf("process.uptime_seconds = %d (present %t)", up, ok)
+	}
+	var info string
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, "process.build_info{") {
+			info = name
+			if v != 1 {
+				t.Errorf("%s = %d, want 1", name, v)
+			}
+		}
+	}
+	if info == "" {
+		t.Fatalf("no process.build_info gauge in %v", sortedKeys(snap.Gauges))
+	}
+	for _, label := range []string{"version=", "goversion=", "revision="} {
+		if !strings.Contains(info, label) {
+			t.Errorf("build_info labels missing %s: %s", label, info)
+		}
+	}
+	id := Build()
+	if !strings.HasPrefix(id.GoVersion, "go") {
+		t.Errorf("Build().GoVersion = %q", id.GoVersion)
+	}
+	if id.Version == "" || id.Revision == "" {
+		t.Errorf("Build() has empty fields: %+v", id)
+	}
+	if Uptime() <= 0 {
+		t.Errorf("Uptime() = %v", Uptime())
+	}
+}
+
+// TestRuntimeSamplerDoubleStop is the regression test for the stop
+// function's contract: idempotent and safe to call concurrently —
+// depserve's shutdown path (deferred stop plus signal-path stop) must
+// not panic on a double close or hang waiting for an exited goroutine.
+func TestRuntimeSamplerDoubleStop(t *testing.T) {
+	reg := New()
+	stop := StartRuntimeSampler(reg, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stop()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent stops did not all return")
+	}
+	stop() // and once more, sequentially, for good measure
+
+	// The nil-registry sampler's stop must be equally callable.
+	nilStop := StartRuntimeSampler(nil, time.Millisecond)
+	nilStop()
+	nilStop()
+}
+
+// TestObserveExemplarConcurrent hammers one histogram's exemplar slots
+// from many goroutines under the race detector (make race runs this
+// package with -race): the atomic-pointer protocol must keep every
+// published exemplar a complete string and the counts exact.
+func TestObserveExemplarConcurrent(t *testing.T) {
+	h := New().Histogram("lat")
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Everything lands in the same bucket, so the exemplar
+				// slot is contended on every observation.
+				h.ObserveExemplar(100, fmt.Sprintf("trace-%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.snapshot()
+	if snap.Count != workers*perWorker {
+		t.Errorf("count = %d, want %d", snap.Count, workers*perWorker)
+	}
+	if len(snap.Buckets) != 1 {
+		t.Fatalf("buckets = %d, want 1", len(snap.Buckets))
+	}
+	ex := snap.Buckets[0].Exemplar
+	if !strings.HasPrefix(ex, "trace-") || strings.Count(ex, "-") != 2 {
+		t.Errorf("exemplar %q is not one complete trace ID", ex)
+	}
+}
+
+// TestRecorderEvictionAtRingBoundary walks the recorder through the
+// exact boundary: at capacity every record is retained; one past it,
+// exactly the oldest is gone and the newest is present.
+func TestRecorderEvictionAtRingBoundary(t *testing.T) {
+	r := NewRecorder(recorderShards) // one slot per shard: cap == shard count
+	capN := r.Cap()
+	if capN != recorderShards {
+		t.Fatalf("cap = %d, want %d", capN, recorderShards)
+	}
+	add := func(i int) string {
+		id := fmt.Sprintf("t%03d", i)
+		r.Add(&RequestRecord{TraceID: id})
+		return id
+	}
+	ids := make([]string, 0, capN+1)
+	for i := 0; i < capN; i++ {
+		ids = append(ids, add(i))
+	}
+	// Exactly full: nothing evicted yet.
+	if got := len(r.Recent(0)); got != capN {
+		t.Fatalf("at capacity Recent = %d records, want %d", got, capN)
+	}
+	for _, id := range ids {
+		if r.Get(id) == nil {
+			t.Errorf("record %s evicted before capacity was exceeded", id)
+		}
+	}
+	// One more: the overwritten slot is the oldest record of the shard
+	// the new sequence number lands in — which is the overall oldest,
+	// since fills are round-robin.
+	newest := add(capN)
+	if got := len(r.Recent(0)); got != capN {
+		t.Fatalf("past capacity Recent = %d records, want %d", got, capN)
+	}
+	if r.Get(newest) == nil {
+		t.Errorf("newest record %s not retained", newest)
+	}
+	if r.Get(ids[0]) != nil {
+		t.Errorf("oldest record %s still retained past the ring boundary", ids[0])
+	}
+	for _, id := range ids[1:] {
+		if r.Get(id) == nil {
+			t.Errorf("record %s wrongly evicted (only the oldest should go)", id)
+		}
+	}
+	recent := r.Recent(0)
+	if recent[0].TraceID != newest {
+		t.Errorf("Recent[0] = %s, want newest %s", recent[0].TraceID, newest)
+	}
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Error-response envelope: every error this server emits — handler
+// 400s/404s, the mux's own 404/405s for unknown paths and methods,
+// http.Error stragglers inside std handlers — reaches the client as
+// `{"error": "..."}` with Content-Type application/json, so API
+// clients parse one shape for every status. Handlers that already
+// write JSON (the writeJSON path, which sets its Content-Type before
+// WriteHeader) pass through untouched; the wrapper only rewrites
+// responses that would otherwise leave as plain text with a status of
+// 400 or above. Success responses of any content type (the /metrics
+// text exposition, pprof profiles) are never touched.
+
+// jsonErrors wraps the whole mux, converting plain-text error
+// responses into the JSON envelope.
+func jsonErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ew := &envelopeWriter{ResponseWriter: w}
+		next.ServeHTTP(ew, r)
+		ew.finish()
+	})
+}
+
+// envelopeWriter intercepts WriteHeader: a status >= 400 with a
+// non-JSON (or unset) content type switches to buffering — the
+// handler's plain-text body is captured and, at finish, re-emitted as
+// the JSON envelope with the text as the error message.
+type envelopeWriter struct {
+	http.ResponseWriter
+	status    int
+	rewriting bool
+	wrote     bool // WriteHeader forwarded to the underlying writer
+	buf       bytes.Buffer
+}
+
+func (w *envelopeWriter) WriteHeader(code int) {
+	if w.wrote || w.rewriting {
+		return
+	}
+	ct := w.Header().Get("Content-Type")
+	if code >= http.StatusBadRequest && !strings.HasPrefix(ct, "application/json") {
+		w.status = code
+		w.rewriting = true
+		return
+	}
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if w.rewriting {
+		return w.buf.Write(b)
+	}
+	if !w.wrote {
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards when streaming; while buffering an error body there
+// is nothing worth flushing.
+func (w *envelopeWriter) Flush() {
+	if w.rewriting {
+		return
+	}
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// finish emits the buffered error as the JSON envelope. Headers the
+// handler set (Allow on a 405, X-Content-Type-Options) survive;
+// Content-Type and Content-Length are replaced to match the new body.
+func (w *envelopeWriter) finish() {
+	if !w.rewriting {
+		return
+	}
+	msg := strings.TrimSpace(w.buf.String())
+	if msg == "" {
+		msg = http.StatusText(w.status)
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Del("Content-Length")
+	w.ResponseWriter.WriteHeader(w.status)
+	enc := json.NewEncoder(w.ResponseWriter)
+	enc.SetEscapeHTML(false)
+	enc.Encode(map[string]string{"error": msg}) //nolint:errcheck
+}

@@ -68,20 +68,26 @@ func (w *statusWriter) Flush() {
 
 // instrument wraps a handler with the per-request observability stack:
 // a request ID (assigned, stored in the context, and echoed in the
-// X-Request-ID and X-Trace-Id response headers — the trace ID is the
-// request ID, and every response carries it), the http.in_flight gauge,
-// a per-endpoint latency histogram in microseconds with the trace ID as
-// each bucket's exemplar, a per-endpoint-and-status request counter, a
-// flight-recorder record (see obs.Recorder; the handler enriches the
-// draft via record(ctx)), and one structured log record per request —
-// at Warn with a slow_query marker when the request outran
-// Config.SlowQuery, at Info otherwise.
+// X-Request-ID response header), W3C trace context — an incoming valid
+// traceparent's trace ID is honored, a malformed or absent one falls
+// back to a freshly minted ID, and every response carries `traceparent`
+// (with this server's own span ID as parent-id), an echoed
+// `tracestate`, and the same trace ID in the legacy X-Trace-Id header —
+// the http.in_flight gauge, a per-endpoint latency histogram in
+// microseconds with the trace ID as each bucket's exemplar, a
+// per-endpoint-and-status request counter, a flight-recorder record
+// (see obs.Recorder; the handler enriches the draft via record(ctx))
+// that also feeds the OTLP exporter, and one structured log record per
+// request — at Warn with a slow_query marker when the request outran
+// Config.SlowQuery, at Info otherwise. The trace ID in the record, the
+// exemplars, the access log and both response headers is one and the
+// same string, so any of them resolves at /debug/traces/{id}.
 //
 // route is the label the metrics carry; it is the registered pattern,
 // not the raw URL path, so label cardinality stays bounded no matter
 // what clients request. Liveness probes (/healthz, /readyz) are not
-// recorded — at typical probe rates they would evict every interesting
-// record — but still carry trace IDs and exemplars.
+// recorded or exported — at typical probe rates they would evict every
+// interesting record — but still carry trace IDs and exemplars.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	// The instruments are resolved once at registration, not per
 	// request; the handler's hot path only touches atomics.
@@ -89,12 +95,30 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	recorded := route != "/healthz" && route != "/readyz"
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := s.nextRequestID()
+		tc := traceContext{spanID: newSpanID()}
+		if trace, parent, ok := parseTraceparent(r.Header.Get("traceparent")); ok {
+			tc.traceID, tc.parentSpanID, tc.remote = trace, parent, true
+			s.cTraceHonored.Inc()
+			if state := r.Header.Get("tracestate"); state != "" {
+				w.Header().Set("tracestate", state)
+			}
+		} else {
+			tc.traceID = newTraceID()
+			s.cTraceMinted.Inc()
+		}
 		w.Header().Set("X-Request-ID", id)
-		w.Header().Set("X-Trace-Id", id)
+		w.Header().Set("X-Trace-Id", tc.traceID)
+		w.Header().Set("traceparent", formatTraceparent(tc.traceID, tc.spanID))
 		ctx := context.WithValue(r.Context(), ridKey{}, id)
+		ctx = context.WithValue(ctx, traceKey{}, tc)
 		var rec *obs.RequestRecord
-		if recorded && s.rec != nil {
-			rec = &obs.RequestRecord{TraceID: id, Route: route}
+		if recorded && (s.rec != nil || s.exp != nil) {
+			rec = &obs.RequestRecord{
+				TraceID:      tc.traceID,
+				SpanID:       tc.spanID,
+				ParentSpanID: tc.parentSpanID,
+				Route:        route,
+			}
 			ctx = context.WithValue(ctx, recKey{}, rec)
 		}
 		r = r.WithContext(ctx)
@@ -110,7 +134,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			sw.status = http.StatusOK
 		}
 
-		latency.ObserveExemplar(elapsed.Microseconds(), id)
+		latency.ObserveExemplar(elapsed.Microseconds(), tc.traceID)
 		s.reg.Counter(obs.MetricName("http.requests",
 			"path", route, "code", strconv.Itoa(sw.status))).Inc()
 		if rec != nil {
@@ -118,10 +142,12 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			rec.Start = start
 			rec.DurationNS = elapsed.Nanoseconds()
 			s.rec.Add(rec)
+			s.exp.Export(rec)
 		}
 
 		attrs := []any{
 			"request_id", id,
+			"trace_id", tc.traceID,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"route", route,

@@ -17,16 +17,27 @@
 //	                    derivation DAG, or a counterexample
 //	POST /v1/satisfies  satisfaction check of concrete tuples against Σ
 //	GET  /metrics       Prometheus text exposition of the registry
-//	GET  /healthz       liveness (always 200 once the mux is up)
+//	GET  /healthz       liveness (always 200 once the mux is up; JSON
+//	                    body with uptime and build identity)
 //	GET  /readyz        readiness (503 until SetReady(true))
 //	GET  /debug/obs     full obs.Snapshot as JSON (counters, gauges,
 //	                    histograms, recent query span trees)
+//	GET  /debug/otlp    the same telemetry as one OTLP/JSON document
+//	                    (resourceSpans from the flight recorder,
+//	                    resourceMetrics from the registry)
 //	GET  /debug/traces  the flight recorder: last N completed requests
 //	                    (span trees, verdicts, cache status), newest
 //	                    first; /debug/traces/{id} resolves one trace ID —
 //	                    the ID every response's X-Trace-Id header and
 //	                    every latency-histogram exemplar carries
 //	GET  /debug/pprof/  net/http/pprof profiles and execution traces
+//
+// Every request is stamped with W3C trace context: a valid incoming
+// traceparent's trace ID is honored (so depserve's spans land in the
+// caller's trace), otherwise one is minted; the response carries
+// traceparent, an echoed tracestate, and the legacy X-Trace-Id. Every
+// error response, including the mux's own 404/405s, is the JSON
+// envelope {"error": "..."}.
 package serve
 
 import (
@@ -92,6 +103,15 @@ type Config struct {
 	// retains for /debug/traces (default 128; negative disables
 	// recording).
 	TraceBuffer int
+	// Exporter, when non-nil, receives every completed (non-probe)
+	// request record for OTLP export (see obs.NewExporter; depserve
+	// builds one from -otlp-file / -otlp-endpoint). The hand-off is one
+	// non-blocking channel send: a slow collector drops records (counted
+	// in obs.export_dropped), never delays a response.
+	Exporter *obs.Exporter
+	// Service names the OTLP resource served at /debug/otlp (default
+	// "depserve").
+	Service string
 }
 
 // Server answers implication traffic over HTTP. Create with New; the
@@ -107,10 +127,13 @@ type Server struct {
 	started time.Time
 	cache   *core.AnswerCache
 	rec     *obs.Recorder
+	exp     *obs.Exporter
 
-	gInFlight *obs.Gauge
-	cSlow     *obs.Counter
-	cDeadline *obs.Counter
+	gInFlight     *obs.Gauge
+	cSlow         *obs.Counter
+	cDeadline     *obs.Counter
+	cTraceHonored *obs.Counter
+	cTraceMinted  *obs.Counter
 }
 
 // New builds a Server. It panics when cfg.Reg is nil — the server
@@ -138,16 +161,22 @@ func New(cfg Config) *Server {
 	if cfg.TraceBuffer == 0 {
 		cfg.TraceBuffer = 128
 	}
+	if cfg.Service == "" {
+		cfg.Service = "depserve"
+	}
 	s := &Server{
-		cfg:       cfg,
-		reg:       cfg.Reg,
-		log:       cfg.Logger,
-		started:   time.Now(),
-		gInFlight: cfg.Reg.Gauge("http.in_flight"),
-		cSlow:     cfg.Reg.Counter("http.slow_requests"),
-		cDeadline: cfg.Reg.Counter("serve.deadline_exceeded"),
-		cache:     core.NewAnswerCache(cfg.CacheSize, cfg.CacheTTL, cfg.Reg),
-		rec:       obs.NewRecorder(cfg.TraceBuffer),
+		cfg:           cfg,
+		reg:           cfg.Reg,
+		log:           cfg.Logger,
+		started:       time.Now(),
+		gInFlight:     cfg.Reg.Gauge("http.in_flight"),
+		cSlow:         cfg.Reg.Counter("http.slow_requests"),
+		cDeadline:     cfg.Reg.Counter("serve.deadline_exceeded"),
+		cTraceHonored: cfg.Reg.Counter("http.traceparent_honored"),
+		cTraceMinted:  cfg.Reg.Counter("http.traceparent_minted"),
+		cache:         core.NewAnswerCache(cfg.CacheSize, cfg.CacheTTL, cfg.Reg),
+		rec:           obs.NewRecorder(cfg.TraceBuffer),
+		exp:           cfg.Exporter,
 	}
 	s.idBase = fmt.Sprintf("%x", s.started.UnixNano()&0xfffffff)
 
@@ -159,6 +188,7 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.Handle("GET /debug/obs", s.instrument("/debug/obs", s.handleObs))
+	mux.Handle("GET /debug/otlp", s.instrument("/debug/otlp", s.handleOTLP))
 	mux.Handle("GET /debug/traces", s.instrument("/debug/traces", s.handleTraces))
 	mux.Handle("GET /debug/traces/{id}", s.instrument("/debug/traces/{id}", s.handleTrace))
 	mux.Handle("GET /debug/pprof/", s.instrument("/debug/pprof", pprof.Index))
@@ -167,7 +197,9 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /debug/pprof/symbol", s.instrument("/debug/pprof", pprof.Symbol))
 	mux.Handle("GET /debug/pprof/trace", s.instrument("/debug/pprof", pprof.Trace))
 	mux.Handle("GET /", s.instrument("/", s.handleIndex))
-	s.handler = mux
+	// The envelope goes outside the mux so the mux's own 404/405
+	// responses (unknown paths, wrong methods) come back JSON too.
+	s.handler = jsonErrors(mux)
 	return s
 }
 
@@ -474,7 +506,6 @@ func (s *Server) handleSatisfies(w http.ResponseWriter, r *http.Request) {
 // obs.StartRuntimeSampler so the gauges move between scrapes too.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.SampleRuntime(s.reg)
-	s.reg.Gauge("process.uptime_seconds").Set(int64(time.Since(s.started).Seconds()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.Snapshot().WritePrometheus(w); err != nil {
 		s.log.Error("metrics exposition failed", "err", err)
@@ -525,16 +556,33 @@ func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleOTLP is GET /debug/otlp: the registry snapshot plus the flight
+// recorder's retained requests rendered as one OTLP/JSON document
+// (resourceSpans + resourceMetrics), the same encoding the exporter
+// ships — curl it into any OTLP-ingesting backend or jq it locally.
+func (s *Server) handleOTLP(w http.ResponseWriter, r *http.Request) {
+	doc := obs.OTLPExport(s.reg.Snapshot(), s.rec.Recent(0),
+		obs.OTLPResourceFor(s.cfg.Service), time.Now())
+	w.Header().Set("Content-Type", "application/json")
+	if err := doc.WriteOTLP(w); err != nil {
+		s.log.Error("otlp exposition failed", "err", err)
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	io.WriteString(w, "ok\n") //nolint:errcheck
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(obs.Uptime().Seconds()),
+		"build":          obs.Build(),
+	})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
-		http.Error(w, "starting", http.StatusServiceUnavailable)
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
 		return
 	}
-	io.WriteString(w, "ready\n") //nolint:errcheck
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -550,6 +598,7 @@ GET  /metrics        Prometheus text exposition
 GET  /healthz        liveness
 GET  /readyz         readiness
 GET  /debug/obs      metrics + recent query traces as JSON
+GET  /debug/otlp     spans + metrics as one OTLP/JSON document
 GET  /debug/traces   flight recorder: last N requests (X-Trace-Id resolves at /debug/traces/{id})
 GET  /debug/pprof/   profiles
 `) //nolint:errcheck

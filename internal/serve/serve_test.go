@@ -338,19 +338,33 @@ func TestIndexAndNotFound(t *testing.T) {
 }
 
 // TestTraceIDHeaderEverywhere pins the contract that every response —
-// success, client error, probe, 404 — carries an X-Trace-Id header
-// matching X-Request-ID, so any response can be correlated with logs
-// and (when recorded) resolved at /debug/traces/{id}.
+// success, client error, probe, 404 — carries a W3C trace identity: a
+// 32-hex X-Trace-Id, a valid traceparent whose trace-id field is that
+// same ID, and a separate X-Request-ID, so any response can be
+// correlated with logs and (when recorded) resolved at
+// /debug/traces/{id}.
 func TestTraceIDHeaderEverywhere(t *testing.T) {
 	_, _, ts := newTestServer(t, Config{})
 	check := func(name string, resp *http.Response) {
 		t.Helper()
 		tid := resp.Header.Get("X-Trace-Id")
-		if tid == "" {
-			t.Errorf("%s: missing X-Trace-Id header", name)
+		if len(tid) != 32 || !isLowerHex(tid) {
+			t.Errorf("%s: X-Trace-Id %q is not a 32-hex W3C trace ID", name, tid)
 		}
-		if rid := resp.Header.Get("X-Request-ID"); tid != rid {
-			t.Errorf("%s: X-Trace-Id %q != X-Request-ID %q", name, tid, rid)
+		tp := resp.Header.Get("traceparent")
+		trace, parent, ok := parseTraceparent(tp)
+		if !ok {
+			t.Errorf("%s: response traceparent %q does not parse", name, tp)
+		} else {
+			if trace != tid {
+				t.Errorf("%s: traceparent trace-id %q != X-Trace-Id %q", name, trace, tid)
+			}
+			if len(parent) != 16 || allZero(parent) {
+				t.Errorf("%s: traceparent span-id %q invalid", name, parent)
+			}
+		}
+		if rid := resp.Header.Get("X-Request-ID"); rid == "" {
+			t.Errorf("%s: missing X-Request-ID header", name)
 		}
 	}
 	resp, _ := postJSON(t, ts.URL+"/v1/implies", fastImplies)

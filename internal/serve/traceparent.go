@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/): the
+// traceparent header carries "<version>-<trace-id>-<parent-id>-<flags>"
+// with a 2-hex version, a 32-hex trace ID, a 16-hex parent span ID and
+// 2-hex flags, all lowercase, IDs never all-zero. depserve is one hop
+// inside somebody else's optimizer or data-quality pipeline, so it
+// honors an incoming trace ID — the whole point of propagation is that
+// the caller's backend sees this service's spans under the caller's
+// trace — and advertises its own span ID back in the response
+// traceparent. A missing or malformed header falls back to a freshly
+// minted trace ID; either way every response carries a valid
+// traceparent plus the legacy X-Trace-Id.
+
+// traceKey is the context key under which the request's trace context
+// travels.
+type traceKey struct{}
+
+// traceContext is the per-request W3C identity the middleware resolves.
+type traceContext struct {
+	traceID      string // 32-hex; incoming when valid, else minted
+	spanID       string // 16-hex; this server's own span, always minted
+	parentSpanID string // 16-hex; the caller's span ID, "" when none
+	remote       bool   // true when traceID was honored from the caller
+}
+
+// TraceID returns the request's W3C trace ID — the value of the
+// response's X-Trace-Id header and traceparent trace-id field — or ""
+// when the context did not pass through the middleware.
+func TraceID(ctx context.Context) string {
+	tc, _ := ctx.Value(traceKey{}).(traceContext)
+	return tc.traceID
+}
+
+// parseTraceparent validates an incoming traceparent header and
+// extracts the trace ID and the caller's span ID. It accepts version
+// 00 exactly and tolerates future versions (> 00, != ff) that keep the
+// first four fields parseable, per the spec's forward-compatibility
+// rule; anything else — wrong lengths, uppercase hex, all-zero IDs,
+// version ff — is rejected and the caller falls back to a minted ID.
+func parseTraceparent(h string) (traceID, parentSpanID string, ok bool) {
+	// "ver-traceid-spanid-flags" = 2+1+32+1+16+1+2 = 55 bytes minimum;
+	// future versions may append "-..." suffixes.
+	if len(h) < 55 {
+		return "", "", false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	ver, trace, parent, flags := h[0:2], h[3:35], h[36:52], h[53:55]
+	if !isLowerHex(ver) || ver == "ff" {
+		return "", "", false
+	}
+	if ver == "00" && len(h) != 55 {
+		return "", "", false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return "", "", false
+	}
+	if !isLowerHex(trace) || allZero(trace) {
+		return "", "", false
+	}
+	if !isLowerHex(parent) || allZero(parent) {
+		return "", "", false
+	}
+	if !isLowerHex(flags) {
+		return "", "", false
+	}
+	return trace, parent, true
+}
+
+// formatTraceparent renders the response header: version 00, the
+// request's trace ID, this server's span ID, flags 01 (sampled — the
+// span was recorded, that is what the flight recorder and exporter
+// do).
+func formatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// newTraceID mints a 32-hex W3C trace ID. math/rand/v2's global
+// generator is runtime-seeded, so IDs differ across processes; the
+// low-order OR guarantees the all-zero ID (invalid per spec) is
+// unreachable.
+func newTraceID() string {
+	return fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64()|1)
+}
+
+// newSpanID mints a 16-hex W3C span ID.
+func newSpanID() string {
+	return fmt.Sprintf("%016x", rand.Uint64()|1)
+}
+
+// isLowerHex reports whether s is entirely lowercase hex digits.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// allZero reports whether s is all '0's.
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
