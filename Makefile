@@ -41,7 +41,7 @@ bench:
 # (interned IND frontier, exhaustive search sharding) as a smoke check.
 # CI runs this to keep the baseline honest.
 bench-json:
-	$(GO) test -run TestMain -bench 'BenchmarkChaseObs$$|BenchmarkINDDecide$$|BenchmarkSearchExhaustive$$' -benchjson BENCH_engines.json .
+	$(GO) test -run TestMain -bench 'BenchmarkChaseObs$$|BenchmarkChaseProfile$$|BenchmarkINDDecide$$|BenchmarkSearchExhaustive$$' -benchjson BENCH_engines.json .
 
 benchjson: bench-json
 
@@ -63,7 +63,10 @@ serve:
 # generous on purpose — this gate catches a serve-path that started
 # blocking (a full exporter queue, a lock on the hot path), not
 # microsecond drift; cmd/benchdiff owns the fine-grained engine timings.
-# SLO_report.json is the fresh report; CI uploads it as an artifact.
+# SLO_report.json is the fresh report; CI uploads it as an artifact,
+# together with digests_snapshot.json — the query-digest store's view of
+# the load it just served (per-fingerprint counts, latency histograms,
+# hot dependencies), pulled from /debug/digests before the server dies.
 slo-gate:
 	$(GO) build -o /tmp/depserve ./cmd/depserve
 	$(GO) build -o /tmp/loadgen ./cmd/loadgen
@@ -71,4 +74,8 @@ slo-gate:
 	trap 'kill $$(cat /tmp/depserve.pid) 2>/dev/null' EXIT; \
 	/tmp/loadgen -target http://127.0.0.1:8399 -qps 150 -duration 5s -warmup 1s \
 		-slo 'p99<250ms,errs<1%' -baseline BENCH_slo.json -tolerance 4.0 \
-		-report SLO_report.json
+		-report SLO_report.json; \
+	rc=$$?; \
+	curl -fsS 'http://127.0.0.1:8399/debug/digests?limit=64' -o digests_snapshot.json \
+		|| echo 'digests snapshot unavailable'; \
+	exit $$rc

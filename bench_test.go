@@ -837,10 +837,13 @@ func TestZeroAlloc(t *testing.T) {
 	}
 	disabled := run(chase.Options{})
 	withProv := run(chase.Options{Provenance: true})
-	t.Logf("allocs/run: disabled %.1f, provenance %.1f", disabled, withProv)
+	withProf := run(chase.Options{Profile: true})
+	t.Logf("allocs/run: disabled %.1f, provenance %.1f, profile %.1f", disabled, withProv, withProf)
 	// Measured 85 allocs/run; the ceiling leaves slack for toolchain
 	// drift, not for regressions (same pin as the chase package's
-	// TestDisabledObsAllocsPinned).
+	// TestDisabledObsAllocsPinned). The zero value disables obs,
+	// provenance AND the per-dependency profiler, so this one ceiling
+	// pins all three off-switches at once.
 	if disabled > 100 {
 		t.Errorf("disabled chase path allocates %.1f/run, ceiling 100", disabled)
 	}
@@ -848,4 +851,38 @@ func TestZeroAlloc(t *testing.T) {
 		t.Errorf("provenance-on path allocates %.1f/run vs %.1f disabled; capture is not recording",
 			withProv, disabled)
 	}
+	if withProf <= disabled {
+		t.Errorf("profile-on path allocates %.1f/run vs %.1f disabled; attribution is not recording",
+			withProf, disabled)
+	}
+}
+
+// BenchmarkChaseProfile is the per-dependency profiler's ablation: the
+// Lemma 7.2 chase with attribution off (the default) and on. The off
+// column must match the uninstrumented engine — the profiler hides
+// behind the same single-nil-check pattern as provenance — and the on
+// column prices the two time.Now calls per member scan.
+func BenchmarkChaseProfile(b *testing.B) {
+	s, err := counterex.NewSection7(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := s.Lemma72(chase.Options{})
+			if err != nil || res.Verdict != chase.Implied {
+				b.Fatal("Lemma 7.2 chase wrong")
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := s.Lemma72(chase.Options{Profile: true})
+			if err != nil || res.Verdict != chase.Implied || res.Profile == nil {
+				b.Fatal("profiled Lemma 7.2 chase wrong")
+			}
+		}
+	})
 }

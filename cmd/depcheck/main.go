@@ -6,12 +6,15 @@
 // column equalities, finite-only consequences, redundant declarations),
 // and with -explain answers the file's implication queries with their
 // evidence: a formal ind/fd proof, the chase's provenance derivation
-// DAG (as text or Graphviz dot via -format), or a counterexample.
+// DAG (as text or Graphviz dot via -format), or a counterexample. With
+// -profile each query's answer is followed by its per-dependency cost
+// table — which members of Σ fired, how many tuples they produced and
+// scanned, and where the engine's time went — hottest first.
 //
 // Usage:
 //
 //	depcheck -deps schema.dep -data ./csvdir [-repair ./fixed] [-advise]
-//	         [-explain] [-format text|dot]
+//	         [-explain] [-format text|dot] [-profile]
 //	         [-stats] [-trace-json FILE] [-pprof ADDR] [-memprofile FILE]
 //
 // With -stats, a metrics and span report (lint.* check counters plus the
@@ -45,6 +48,7 @@ func main() {
 	repairDir := flag.String("repair", "", "write a repaired copy of the data to this directory")
 	advise := flag.Bool("advise", false, "print design advice for the dependency set")
 	explain := flag.Bool("explain", false, "answer the .dep file's queries with proofs/derivations/counterexamples")
+	profile := flag.Bool("profile", false, "answer the .dep file's queries with per-dependency cost tables")
 	format := flag.String("format", "text", "derivation output format for -explain: text or dot")
 	budget := flag.Int("budget", 1024, "chase tuple budget for repair and advice")
 	obsFlags := cliutil.Register(flag.CommandLine)
@@ -55,7 +59,7 @@ func main() {
 	}
 
 	reg := obsFlags.Registry()
-	code, err := run(os.Stdout, *depsPath, *dataDir, *repairDir, *advise, *explain, *format, *budget, reg)
+	code, err := run(os.Stdout, *depsPath, *dataDir, *repairDir, *advise, *explain, *profile, *format, *budget, reg)
 	if ferr := obsFlags.Finish(reg); err == nil {
 		err = ferr
 	}
@@ -66,7 +70,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(w io.Writer, depsPath, dataDir, repairDir string, advise, explain bool, format string, budget int, reg *obs.Registry) (int, error) {
+func run(w io.Writer, depsPath, dataDir, repairDir string, advise, explain, profile bool, format string, budget int, reg *obs.Registry) (int, error) {
 	if depsPath == "" {
 		return 1, fmt.Errorf("-deps is required")
 	}
@@ -90,6 +94,12 @@ func run(w io.Writer, depsPath, dataDir, repairDir string, advise, explain bool,
 		}
 	}
 
+	if profile {
+		if err := runProfile(w, file, budget, reg); err != nil {
+			return 1, err
+		}
+	}
+
 	if advise {
 		// Parent every candidate-probe chase under one advise span so the
 		// trace stays one tree rather than hundreds of roots.
@@ -104,8 +114,8 @@ func run(w io.Writer, depsPath, dataDir, repairDir string, advise, explain bool,
 	}
 
 	if dataDir == "" {
-		if !advise && !explain {
-			return 1, fmt.Errorf("nothing to do: pass -data, -advise and/or -explain")
+		if !advise && !explain && !profile {
+			return 1, fmt.Errorf("nothing to do: pass -data, -advise, -explain and/or -profile")
 		}
 		return 0, nil
 	}
@@ -136,6 +146,46 @@ func run(w io.Writer, depsPath, dataDir, repairDir string, advise, explain bool,
 		fmt.Fprintf(w, "repaired: %d tuple(s) added, written to %s\n", added, repairDir)
 	}
 	return 3, nil
+}
+
+// runProfile answers every query of the .dep file with profiling on and
+// prints each verdict followed by the per-dependency cost table —
+// firings, tuples produced and scanned, scan time and rounds active per
+// member of Σ, hottest first. Queries the polynomial fd/unary closures
+// answer carry no profile (those engines do not iterate per member).
+func runProfile(w io.Writer, file *parser.File, budget int, reg *obs.Registry) error {
+	if len(file.Queries) == 0 {
+		return fmt.Errorf("-profile needs at least one query (a `? goal` line) in the .dep file")
+	}
+	sys := core.NewSystem(file.DB)
+	if err := sys.Add(file.Sigma...); err != nil {
+		return err
+	}
+	opt := core.Options{ChaseMaxTuples: budget, Profile: true, Obs: reg}
+	for _, q := range file.Queries {
+		var a core.Answer
+		var err error
+		if q.Mode == parser.Finite {
+			a, err = sys.ImpliesFinite(q.Goal, opt)
+		} else {
+			a, err = sys.Implies(q.Goal, opt)
+		}
+		if err != nil {
+			return err
+		}
+		mode := "unrestricted"
+		if q.Mode == parser.Finite {
+			mode = "finite"
+		}
+		fmt.Fprintf(w, "? %v  [%s]\n", q.Goal, mode)
+		fmt.Fprintf(w, "verdict: %v  (engine %s)\n", a.Verdict, a.Engine)
+		if a.DepProfile != nil {
+			fmt.Fprint(w, a.DepProfile.Table())
+		} else {
+			fmt.Fprintf(w, "(engine %s reports no per-dependency profile)\n", a.Engine)
+		}
+	}
+	return nil
 }
 
 // runExplain answers every `? goal` / `?fin goal` query of the .dep

@@ -46,7 +46,7 @@ func setup(t *testing.T, custCSV, ordCSV string) (depPath, dataDir string) {
 func TestCleanData(t *testing.T) {
 	dep, dir := setup(t, "CID,NAME\nc1,ann\n", "OID,CID\no1,c1\n")
 	var out bytes.Buffer
-	code, err := run(&out, dep, dir, "", false, false, "text", 0, nil)
+	code, err := run(&out, dep, dir, "", false, false, false, "text", 0, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -59,7 +59,7 @@ func TestViolationsAndRepair(t *testing.T) {
 	dep, dir := setup(t, "CID,NAME\nc1,ann\n", "OID,CID\no1,c1\no2,c9\n")
 	repairDir := filepath.Join(t.TempDir(), "fixed")
 	var out bytes.Buffer
-	code, err := run(&out, dep, dir, repairDir, false, false, "text", 0, nil)
+	code, err := run(&out, dep, dir, repairDir, false, false, false, "text", 0, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -71,7 +71,7 @@ func TestViolationsAndRepair(t *testing.T) {
 	}
 	// The repaired data passes a second check.
 	var out2 bytes.Buffer
-	code, err = run(&out2, dep, repairDir, "", false, false, "text", 0, nil)
+	code, err = run(&out2, dep, repairDir, "", false, false, false, "text", 0, nil)
 	if err != nil {
 		t.Fatalf("re-check: %v", err)
 	}
@@ -83,7 +83,7 @@ func TestViolationsAndRepair(t *testing.T) {
 func TestAdvise(t *testing.T) {
 	dep, _ := setup(t, "CID,NAME\n", "OID,CID\n")
 	var out bytes.Buffer
-	code, err := run(&out, dep, "", "", true, false, "text", 256, nil)
+	code, err := run(&out, dep, "", "", true, false, false, "text", 256, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -93,17 +93,17 @@ func TestAdvise(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	if _, err := run(&bytes.Buffer{}, "", "", "", false, false, "text", 0, nil); err == nil {
+	if _, err := run(&bytes.Buffer{}, "", "", "", false, false, false, "text", 0, nil); err == nil {
 		t.Errorf("missing -deps should error")
 	}
 	dep, _ := setup(t, "CID,NAME\n", "OID,CID\n")
-	if _, err := run(&bytes.Buffer{}, dep, "", "", false, false, "text", 0, nil); err == nil {
+	if _, err := run(&bytes.Buffer{}, dep, "", "", false, false, false, "text", 0, nil); err == nil {
 		t.Errorf("missing -data without -advise should error")
 	}
-	if _, err := run(&bytes.Buffer{}, dep, "/nonexistent-dir", "", false, false, "text", 0, nil); err == nil {
+	if _, err := run(&bytes.Buffer{}, dep, "/nonexistent-dir", "", false, false, false, "text", 0, nil); err == nil {
 		t.Errorf("bad data dir should error")
 	}
-	if _, err := run(&bytes.Buffer{}, "/nonexistent.dep", "", "", true, false, "text", 0, nil); err == nil {
+	if _, err := run(&bytes.Buffer{}, "/nonexistent.dep", "", "", true, false, false, "text", 0, nil); err == nil {
 		t.Errorf("bad deps path should error")
 	}
 }
@@ -113,7 +113,7 @@ func TestErrors(t *testing.T) {
 // chase, and the derivation's node lines and goal line are printed.
 func TestExplainLemma72Text(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run(&out, filepath.Join("testdata", "lemma72.dep"), "", "", false, true, "text", 1024, nil)
+	code, err := run(&out, filepath.Join("testdata", "lemma72.dep"), "", "", false, true, false, "text", 1024, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -140,7 +140,7 @@ func TestExplainLemma72Text(t *testing.T) {
 // FD/IND firings of Σ — renders identically on every run.
 func TestExplainLemma72DOTGolden(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run(&out, filepath.Join("testdata", "lemma72.dep"), "", "", false, true, "dot", 1024, nil)
+	code, err := run(&out, filepath.Join("testdata", "lemma72.dep"), "", "", false, true, false, "dot", 1024, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -169,10 +169,10 @@ func TestExplainLemma72DOTGolden(t *testing.T) {
 // file with no query, and dot on an answer with no chase derivation.
 func TestExplainErrors(t *testing.T) {
 	dep, _ := setup(t, "CID,NAME\n", "OID,CID\n")
-	if _, err := run(&bytes.Buffer{}, dep, "", "", false, true, "svg", 0, nil); err == nil {
+	if _, err := run(&bytes.Buffer{}, dep, "", "", false, true, false, "svg", 0, nil); err == nil {
 		t.Errorf("bad -format should error")
 	}
-	if _, err := run(&bytes.Buffer{}, dep, "", "", false, true, "text", 0, nil); err == nil {
+	if _, err := run(&bytes.Buffer{}, dep, "", "", false, true, false, "text", 0, nil); err == nil {
 		t.Errorf("-explain without queries should error")
 	}
 	// An FD-only query answers via the fd engine (no chase derivation):
@@ -182,13 +182,13 @@ func TestExplainErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if _, err := run(&out, qdep, "", "", false, true, "text", 0, nil); err != nil {
+	if _, err := run(&out, qdep, "", "", false, true, false, "text", 0, nil); err != nil {
 		t.Fatalf("fd explain: %v", err)
 	}
 	if !strings.Contains(out.String(), "verdict: yes  (engine fd)") {
 		t.Errorf("fd explain output:\n%s", out.String())
 	}
-	if _, err := run(&bytes.Buffer{}, qdep, "", "", false, true, "dot", 0, nil); err == nil {
+	if _, err := run(&bytes.Buffer{}, qdep, "", "", false, true, false, "dot", 0, nil); err == nil {
 		t.Errorf("dot without a chase derivation should error")
 	}
 }
@@ -201,7 +201,7 @@ func TestRunInstrumented(t *testing.T) {
 	repairDir := filepath.Join(t.TempDir(), "fixed")
 	reg := obs.New()
 	var out bytes.Buffer
-	code, err := run(&out, dep, dir, repairDir, true, false, "text", 256, reg)
+	code, err := run(&out, dep, dir, repairDir, true, false, false, "text", 256, reg)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -227,5 +227,50 @@ func TestRunInstrumented(t *testing.T) {
 		if sp.Name == "depcheck.advise" && len(sp.Children) == 0 {
 			t.Errorf("advise span has no probe children")
 		}
+	}
+}
+
+// TestProfileLemma72 answers the Lemma 7.2 query with -profile: the
+// chase decides it, and the per-dependency cost table attributes
+// firings to the members of Σ that the derivation uses.
+func TestProfileLemma72(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run(&out, filepath.Join("testdata", "lemma72.dep"), "", "", false, false, true, "text", 1024, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if code != 0 {
+		t.Fatalf("code = %d, output:\n%s", code, got)
+	}
+	for _, want := range []string{
+		"? F: A -> C  [unrestricted]",
+		"verdict: yes  (engine chase)",
+		"KIND", "FIRINGS", "SCANNED", "DEPENDENCY",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestProfileErrors covers -profile failure modes: no queries in the
+// file, and the no-profile note for engines that report none.
+func TestProfileErrors(t *testing.T) {
+	dep, _ := setup(t, "CID,NAME\n", "OID,CID\n")
+	if _, err := run(&bytes.Buffer{}, dep, "", "", false, false, true, "text", 0, nil); err == nil {
+		t.Errorf("-profile without queries should error")
+	}
+	// An FD-only query answers via the fd engine, which has no profile.
+	qdep := filepath.Join(t.TempDir(), "q.dep")
+	if err := os.WriteFile(qdep, []byte("schema R(A, B)\nR: A -> B\n? R: A -> B\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := run(&out, qdep, "", "", false, false, true, "text", 0, nil); err != nil {
+		t.Fatalf("fd profile: %v", err)
+	}
+	if !strings.Contains(out.String(), "no per-dependency profile") {
+		t.Errorf("fd profile output:\n%s", out.String())
 	}
 }

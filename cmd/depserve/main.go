@@ -11,7 +11,7 @@
 //	depserve [-addr :8377] [-deadline 10s] [-max-deadline 60s]
 //	         [-slow 500ms] [-budget N] [-search] [-span-cap 64]
 //	         [-cache-size 1024] [-cache-ttl 0] [-trace-buf 128]
-//	         [-otlp-file FILE] [-otlp-endpoint URL]
+//	         [-digest-size 256] [-otlp-file FILE] [-otlp-endpoint URL]
 //	         [-stats] [-trace-json FILE] [-pprof ADDR] [-memprofile FILE]
 //
 // Endpoints (see internal/serve):
@@ -28,6 +28,10 @@
 //	GET  /debug/traces   flight recorder: the last -trace-buf completed
 //	                     requests; every response's X-Trace-Id resolves
 //	                     at /debug/traces/{id}
+//	GET  /debug/digests  query-digest analytics: the -digest-size hottest
+//	                     query shapes by total engine time, with call
+//	                     counts, latency histograms, error/cache-hit
+//	                     rates and merged per-dependency cost profiles
 //	GET  /debug/pprof/   profiles and execution traces
 //
 // Logs are JSON on stderr, one record per request; requests slower than
@@ -69,6 +73,7 @@ func main() {
 	cacheSize := flag.Int("cache-size", 1024, "answer cache entries (0 disables caching)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "answer cache entry lifetime (0 = never expire)")
 	traceBuf := flag.Int("trace-buf", 128, "flight-recorder capacity for /debug/traces (negative disables)")
+	digestSize := flag.Int("digest-size", 256, "query digests retained for /debug/digests (negative disables)")
 	otlpFile := flag.String("otlp-file", "", "append OTLP/JSON telemetry batches to this file (JSONL)")
 	otlpEndpoint := flag.String("otlp-endpoint", "", "POST OTLP/JSON telemetry batches to this URL")
 	obsFlags := cliutil.Register(flag.CommandLine)
@@ -76,7 +81,7 @@ func main() {
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	if err := run(logger, *addr, *deadline, *maxDeadline, *slow, *budget, *search, *spanCap,
-		*cacheSize, *cacheTTL, *traceBuf, *otlpFile, *otlpEndpoint, obsFlags); err != nil {
+		*cacheSize, *cacheTTL, *traceBuf, *digestSize, *otlpFile, *otlpEndpoint, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "depserve:", err)
 		os.Exit(1)
 	}
@@ -84,7 +89,7 @@ func main() {
 
 func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Duration,
 	budget int, search bool, spanCap, cacheSize int, cacheTTL time.Duration,
-	traceBuf int, otlpFile, otlpEndpoint string, obsFlags *cliutil.ObsFlags) error {
+	traceBuf, digestSize int, otlpFile, otlpEndpoint string, obsFlags *cliutil.ObsFlags) error {
 	// The server always runs instrumented — /metrics is its point — so
 	// the registry does not depend on the -stats/-trace-json flags.
 	reg := obs.New()
@@ -125,6 +130,7 @@ func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Dura
 		CacheSize:       cacheSize,
 		CacheTTL:        cacheTTL,
 		TraceBuffer:     traceBuf,
+		DigestSize:      digestSize,
 		Exporter:        exporter,
 	})
 	httpSrv := &http.Server{

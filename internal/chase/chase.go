@@ -43,6 +43,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"indfd/internal/data"
 	"indfd/internal/deps"
@@ -102,6 +103,13 @@ type Options struct {
 	// single nil check, and verdicts, traces and counters are identical
 	// either way (differential-tested).
 	Provenance bool
+	// Profile attributes the chase's work — firings, tuples produced,
+	// tuples scanned, scan wall time, rounds active — to each member of
+	// sigma, into Result.Profile (see profile.go). Like Provenance it is
+	// opt-in and free when disabled (single nil check per capture site,
+	// allocation-identical off path) and never changes verdicts, traces
+	// or counters.
+	Profile bool
 	// Obs, when non-nil, receives the chase's work counters under the
 	// "chase." namespace (rounds, tuples created, union-find merges,
 	// fixpoint passes, ...). A nil registry costs nothing: the engine
@@ -181,6 +189,13 @@ type engine struct {
 	goalDesc string
 	goalProv func() (pairs [][2]int32, goalTuples []int32, err error)
 
+	// prof is the opt-in per-dependency cost profiler (nil = off, the
+	// default); round is the current chase round, maintained
+	// unconditionally (one integer increment) for rounds-active
+	// attribution.
+	prof  *engineProfile
+	round int64
+
 	// Possibly-nil instruments, fetched once per chase call; the hot
 	// loops touch them unconditionally (a nil receiver is a no-op).
 	cRounds   *obs.Counter // chase rounds (IND pass + FD fixpoint)
@@ -257,6 +272,7 @@ func newEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engi
 	if opt.Provenance {
 		e.prov = newProv()
 	}
+	doProfile := opt.Profile
 	names := db.Names()
 	e.rels = make([]relState, len(names))
 	e.relIdx = make(map[string]int32, len(names))
@@ -325,6 +341,9 @@ func newEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engi
 			return nil, fmt.Errorf("chase: only FDs, INDs and RDs may appear in sigma, got %v", d.Kind())
 		}
 	}
+	if doProfile {
+		e.prof = newEngineProfile(len(e.fds), len(e.rds), len(e.inds))
+	}
 	return e, nil
 }
 
@@ -360,6 +379,10 @@ func (e *engine) applyFDs() (changed bool, err error) {
 				e.cSkips.Inc()
 				continue
 			}
+			var scanStart time.Time
+			if e.prof != nil {
+				scanStart = time.Now()
+			}
 			fired := false
 			for _, tid := range rel.order {
 				t := e.tupleVals(tid)
@@ -374,12 +397,20 @@ func (e *engine) applyFDs() (changed bool, err error) {
 						if e.prov != nil {
 							e.prov.noteUnion(evRD, int32(i), tid, -1, t[ds.xs[j]], t[ds.ys[j]])
 						}
+						if e.prof != nil {
+							e.prof.rd[i].fire(e.round)
+						}
 						if e.doTrace {
 							e.tracef("RD %v equates %v and %v within %v",
 								ds.d, e.describe(t[ds.xs[j]]), e.describe(t[ds.ys[j]]), e.describeTuple(t))
 						}
 					}
 				}
+			}
+			if e.prof != nil {
+				a := &e.prof.rd[i]
+				a.scanned += int64(len(rel.order))
+				a.scanNS += time.Since(scanStart).Nanoseconds()
 			}
 			if fired {
 				ds.cleanAt = 0
@@ -393,6 +424,10 @@ func (e *engine) applyFDs() (changed bool, err error) {
 			if fs.cleanAt == rel.version+1 {
 				e.cSkips.Inc()
 				continue
+			}
+			var scanStart time.Time
+			if e.prof != nil {
+				scanStart = time.Now()
 			}
 			fired := false
 			fs.gen++
@@ -426,6 +461,9 @@ func (e *engine) applyFDs() (changed bool, err error) {
 							if e.prov != nil {
 								e.prov.noteUnion(evFD, int32(i), tid, uid, t[y], u[y])
 							}
+							if e.prof != nil {
+								e.prof.fd[i].fire(e.round)
+							}
 							if e.doTrace {
 								e.tracef("FD %v equates %v and %v (tuples %v, %v agree on %s)",
 									fs.d, e.describe(t[y]), e.describe(u[y]), e.describeTuple(t), e.describeTuple(u), schema.JoinAttrs(fs.d.X))
@@ -434,6 +472,11 @@ func (e *engine) applyFDs() (changed bool, err error) {
 					}
 				}
 				fs.members[kid] = append(fs.members[kid], tid)
+			}
+			if e.prof != nil {
+				a := &e.prof.fd[i]
+				a.scanned += int64(len(rel.order))
+				a.scanNS += time.Since(scanStart).Nanoseconds()
 			}
 			if fired {
 				fs.cleanAt = 0
@@ -463,6 +506,7 @@ func (e *engine) run() (done bool, err error) {
 			return false, err
 		}
 		e.cRounds.Inc()
+		e.round++
 		fdChanged, err := e.applyFDs()
 		if err != nil {
 			return false, err

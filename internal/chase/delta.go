@@ -6,7 +6,10 @@
 
 package chase
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // processDirty re-keys every tuple queued by unions since the last drain:
 // its canonical tuple key moves to the interned key of its current roots
@@ -102,6 +105,10 @@ func (e *engine) applyINDs() (changed bool, err error) {
 		if is.maxSeen >= 0 {
 			start = sort.Search(len(order), func(k int) bool { return order[k] > is.maxSeen })
 		}
+		var scanStart time.Time
+		if e.prof != nil {
+			scanStart = time.Now()
+		}
 		for k := start; k < len(order); k++ {
 			tid := order[k]
 			t := e.tupleVals(tid)
@@ -141,10 +148,20 @@ func (e *engine) applyINDs() (changed bool, err error) {
 			if added {
 				changed = true
 				e.cINDAdds.Inc()
+				if e.prof != nil {
+					a := &e.prof.ind[i]
+					a.fire(e.round)
+					a.produced++
+				}
 				if e.doTrace {
 					e.tracef("IND %v adds %v to %s for %v", is.d, e.describeTuple(u), is.d.RRel, e.describeTuple(t))
 				}
 			}
+		}
+		if e.prof != nil {
+			a := &e.prof.ind[i]
+			a.scanned += int64(len(order) - start)
+			a.scanNS += time.Since(scanStart).Nanoseconds()
 		}
 		if len(order) > start {
 			is.maxSeen = order[len(order)-1]

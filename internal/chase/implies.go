@@ -45,6 +45,10 @@ type Result struct {
 	// is set exactly when Options.Provenance was set and Verdict ==
 	// Implied (Complete runs goal-less and never sets it).
 	Derivation *Derivation
+	// Profile is the per-dependency cost attribution, set exactly when
+	// Options.Profile was set (including on cancellation, so partial
+	// work is still attributable). Entries are hottest-first.
+	Profile *obs.DepProfile
 }
 
 // runToGoal chases until derived() holds, a fixpoint is reached, or the
@@ -60,6 +64,7 @@ func (e *engine) runToGoal(derived func() bool, sp *obs.Span) (Result, error) {
 		if err := e.cancelled(); err != nil {
 			res.Tuples = e.tuples
 			res.Trace = e.trace
+			res.Profile = e.buildProfile()
 			if sp != nil {
 				sp.SetAttr("cancelled", err.Error())
 				sp.SetInt("rounds", int64(res.Rounds))
@@ -70,6 +75,7 @@ func (e *engine) runToGoal(derived func() bool, sp *obs.Span) (Result, error) {
 		}
 		res.Rounds++
 		e.cRounds.Inc()
+		e.round++
 		var round *obs.Span
 		if res.Rounds <= spanRoundCap {
 			round = sp.StartSpan("round")
@@ -109,6 +115,7 @@ func (e *engine) finish(res Result, v Verdict, sp *obs.Span) (Result, error) {
 	res.Verdict = v
 	res.Tuples = e.tuples
 	res.Trace = e.trace
+	res.Profile = e.buildProfile()
 	if v == Implied && e.prov != nil && e.goalProv != nil {
 		d, err := e.extractDerivation()
 		if err != nil {

@@ -1,0 +1,152 @@
+package chase
+
+import (
+	"context"
+	"testing"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// prop41Sigma is the Proposition 4.1 fixture: the IND feeds S and the
+// FD fires on it; a third, irrelevant FD stays cold.
+func prop41Sigma() (*schema.Database, []deps.Dependency, deps.FD) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+		deps.NewFD("R", deps.Attrs("X", "Y"), deps.Attrs("X")), // trivial, never equates
+	}
+	return db, sigma, deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y"))
+}
+
+// TestProfileDifferential pins that profiling only observes: verdicts,
+// rounds, tuples, traces and derivations are identical with Profile on
+// and off, the profile is present exactly when requested.
+func TestProfileDifferential(t *testing.T) {
+	db, sigma, goal := prop41Sigma()
+	plain, err := ImpliesFD(db, sigma, goal, Options{Trace: true, Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ImpliesFD(db, sigma, goal, Options{Trace: true, Provenance: true, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Profile != nil {
+		t.Errorf("unprofiled run carries a profile")
+	}
+	if prof.Profile == nil {
+		t.Fatalf("profiled run carries no profile")
+	}
+	if plain.Verdict != prof.Verdict || plain.Rounds != prof.Rounds || plain.Tuples != prof.Tuples {
+		t.Errorf("profiling changed the outcome: %v/%d/%d vs %v/%d/%d",
+			plain.Verdict, plain.Rounds, plain.Tuples, prof.Verdict, prof.Rounds, prof.Tuples)
+	}
+	if len(plain.Trace) != len(prof.Trace) {
+		t.Errorf("profiling changed the trace: %d vs %d lines", len(plain.Trace), len(prof.Trace))
+	}
+	if (plain.Derivation == nil) != (prof.Derivation == nil) {
+		t.Errorf("profiling changed derivation extraction")
+	}
+}
+
+// TestProfileAttribution checks the fixture's known firing pattern: the
+// IND adds exactly the two witness tuples, the S FD equates their U
+// values, and the trivial R FD scans but never fires.
+func TestProfileAttribution(t *testing.T) {
+	db, sigma, goal := prop41Sigma()
+	res, err := ImpliesFD(db, sigma, goal, Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied {
+		t.Fatalf("verdict %v, want implied", res.Verdict)
+	}
+	p := res.Profile
+	if len(p.Deps) != len(sigma) {
+		t.Fatalf("profile has %d entries, want one per Σ member (%d): %+v", len(p.Deps), len(sigma), p.Deps)
+	}
+	byDep := map[string]int{}
+	for i, d := range p.Deps {
+		byDep[d.Dep] = i
+	}
+	indCost := p.Deps[byDep[sigma[0].String()]]
+	if indCost.Kind != "ind" || indCost.Firings != 2 || indCost.Produced != 2 {
+		t.Errorf("IND attribution = %+v, want 2 firings producing 2 tuples", indCost)
+	}
+	sFD := p.Deps[byDep[sigma[1].String()]]
+	if sFD.Kind != "fd" || sFD.Firings != 1 {
+		t.Errorf("S FD attribution = %+v, want exactly 1 firing", sFD)
+	}
+	if sFD.Rounds != 1 {
+		t.Errorf("S FD rounds-active = %d, want 1", sFD.Rounds)
+	}
+	cold := p.Deps[byDep[sigma[2].String()]]
+	if cold.Firings != 0 {
+		t.Errorf("trivial FD fired: %+v", cold)
+	}
+	if cold.Scanned == 0 {
+		t.Errorf("cold member reported no scans — cold entries must still appear with their scan cost: %+v", cold)
+	}
+	// The list is sorted hottest-first with workless entries last.
+	for i := 1; i < len(p.Deps); i++ {
+		if p.Deps[i-1].ScanNS < p.Deps[i].ScanNS &&
+			p.Deps[i-1].Firings < p.Deps[i].Firings {
+			t.Errorf("profile not hottest-first at %d: %+v", i, p.Deps)
+		}
+	}
+}
+
+// TestProfileRoundsActive checks the rounds-active dedup on a chain
+// that takes several rounds: F[B] <= F[A] style INDs fire in multiple
+// rounds and each round counts once.
+func TestProfileRoundsActive(t *testing.T) {
+	db := schema.MustDatabase(schema.MustScheme("F", "A", "B", "C"))
+	sigma := []deps.Dependency{
+		deps.NewIND("F", deps.Attrs("B", "C"), "F", deps.Attrs("A", "B")),
+		deps.NewFD("F", deps.Attrs("A"), deps.Attrs("B")),
+	}
+	res, err := ImpliesFD(db, sigma, deps.NewFD("F", deps.Attrs("A"), deps.Attrs("C")), Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied {
+		t.Fatalf("verdict %v, want implied", res.Verdict)
+	}
+	for _, d := range res.Profile.Deps {
+		if d.Firings > 0 && d.Rounds == 0 {
+			t.Errorf("%s fired %d times but reports 0 active rounds", d.Dep, d.Firings)
+		}
+		if d.Rounds > int64(res.Rounds) {
+			t.Errorf("%s active in %d rounds, chase only ran %d", d.Dep, d.Rounds, res.Rounds)
+		}
+		if d.Rounds > d.Firings {
+			t.Errorf("%s rounds %d exceeds firings %d", d.Dep, d.Rounds, d.Firings)
+		}
+	}
+}
+
+// TestProfileOnCancellation pins that a deadline-killed chase still
+// attributes the partial work it did.
+func TestProfileOnCancellation(t *testing.T) {
+	// A divergent instance: F[B] <= F[A] with an FD that keeps the chase
+	// from closing, budgeted high enough to outlive the cancelled ctx.
+	db := schema.MustDatabase(schema.MustScheme("F", "A", "B"))
+	sigma := []deps.Dependency{
+		deps.NewIND("F", deps.Attrs("B"), "F", deps.Attrs("A")),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the first round's probe trips
+	res, err := ImpliesFD(db, sigma, deps.NewFD("F", deps.Attrs("A"), deps.Attrs("B")),
+		Options{Profile: true, Ctx: ctx, MaxTuples: 1 << 20})
+	if err == nil {
+		t.Fatalf("cancelled chase returned verdict %v without error", res.Verdict)
+	}
+	if res.Profile == nil {
+		t.Errorf("cancelled chase dropped its partial profile")
+	}
+}

@@ -79,9 +79,10 @@ func FingerprintOptions(opt Options) []string {
 }
 
 // CachedAnswer is the unit an AnswerCache stores: a complete Answer plus
-// the engine's explanation when the caller requested one. Metrics and
-// Trace are per-query observability, not part of the answer, and are
-// stripped before storage.
+// the engine's explanation when the caller requested one. Metrics, Trace
+// and DepProfile are per-query observability, not part of the answer,
+// and are stripped before storage (a cached profile would misreport the
+// hit's cost — scan times are wall-clock measurements of the miss).
 type CachedAnswer struct {
 	Answer      Answer
 	Explanation string
@@ -189,6 +190,7 @@ func (c *AnswerCache) Put(key string, val CachedAnswer) {
 	// The answer is the payload; per-query observability is not.
 	val.Answer.Metrics = nil
 	val.Answer.Trace = nil
+	val.Answer.DepProfile = nil
 	var expires time.Time
 	if c.ttl > 0 {
 		expires = c.now().Add(c.ttl)

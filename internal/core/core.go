@@ -91,6 +91,12 @@ type Answer struct {
 	// Trace is this query's span tree (engine dispatch down to chase
 	// rounds), nil when no registry was supplied.
 	Trace *obs.SpanSnapshot
+	// DepProfile is the per-dependency cost attribution, set when
+	// Options.Profile was on and the engine that ran supports profiling
+	// (chase and the Corollary 3.2 IND search; the polynomial fd/unary
+	// closures do not iterate per member and report none). It is set on
+	// deadline errors too, attributing the partial work.
+	DepProfile *obs.DepProfile
 }
 
 // Options configures a query.
@@ -106,6 +112,12 @@ type Options struct {
 	// costs nothing when off; the ind/fd engines produce proofs
 	// unconditionally and ignore it.
 	Provenance bool
+	// Profile makes the chase and IND engines attribute their work —
+	// firings, tuples produced, tuples scanned, scan time, rounds active
+	// — to individual members of Σ, reported as Answer.DepProfile. Like
+	// Provenance it never changes verdicts, traces, or counters, and
+	// costs nothing when off.
+	Profile bool
 	// Obs, when non-nil, collects every engine's counters, gauges and
 	// histograms for this query and gives the Answer a Metrics snapshot
 	// and a span tree. A nil registry makes instrumentation free (see
@@ -320,24 +332,33 @@ func (s *System) query(goal deps.Dependency, opt Options, finite bool) (Answer, 
 	return a, nil
 }
 
+// decideIND dispatches to the plain or the profiled Corollary 3.2
+// search; the profiled run is verdict- and stats-identical.
+func decideIND(opt Options, db *schema.Database, sigma []deps.IND, goal deps.IND) (ind.Result, error) {
+	if opt.Profile {
+		return ind.DecideProfile(opt.Ctx, db, sigma, goal)
+	}
+	return ind.DecideCtx(opt.Ctx, db, sigma, goal)
+}
+
 func (s *System) queryIND(relevant []deps.Dependency, goal deps.IND, opt Options, sp *obs.Span) (Answer, error) {
 	sigma := deps.NewSet(relevant...).INDs()
 	dsp := sp.StartSpan("ind.decide")
-	res, err := ind.DecideCtx(opt.Ctx, s.db, sigma, goal)
+	res, err := decideIND(opt, s.db, sigma, goal)
 	dsp.SetInt("expanded", int64(res.Stats.Expanded))
 	dsp.SetInt("visited", int64(res.Stats.Visited))
 	dsp.End()
 	res.Stats.Record(opt.Obs)
 	if err != nil {
 		// A cancelled search carries its partial stats out with the error.
-		return Answer{Verdict: Unknown, Engine: "ind", INDStats: &res.Stats}, err
+		return Answer{Verdict: Unknown, Engine: "ind", INDStats: &res.Stats, DepProfile: res.Profile}, err
 	}
 	if res.Implied {
 		p, err := ind.FromChain(res.Chain, res.Via)
 		if err != nil {
 			return Answer{}, err
 		}
-		return Answer{Verdict: Yes, Engine: "ind", Proof: p.String(), INDStats: &res.Stats}, nil
+		return Answer{Verdict: Yes, Engine: "ind", Proof: p.String(), INDStats: &res.Stats, DepProfile: res.Profile}, nil
 	}
 	csp := sp.StartSpan("ind.counterexample")
 	ce, _, err := ind.Counterexample(s.db, sigma, goal)
@@ -345,7 +366,7 @@ func (s *System) queryIND(relevant []deps.Dependency, goal deps.IND, opt Options
 	if err != nil {
 		return Answer{}, err
 	}
-	return Answer{Verdict: No, Engine: "ind", Counterexample: ce, INDStats: &res.Stats}, nil
+	return Answer{Verdict: No, Engine: "ind", Counterexample: ce, INDStats: &res.Stats, DepProfile: res.Profile}, nil
 }
 
 func (s *System) queryFD(relevant []deps.Dependency, goal deps.FD, opt Options, sp *obs.Span) (Answer, error) {
@@ -388,18 +409,18 @@ func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, op
 	switch g := goal.(type) {
 	case deps.IND:
 		dsp := sp.StartSpan("ind.decide")
-		res, err := ind.DecideCtx(opt.Ctx, s.db, relSet.INDs(), g)
+		res, err := decideIND(opt, s.db, relSet.INDs(), g)
 		dsp.End()
 		res.Stats.Record(opt.Obs)
 		if err != nil {
-			return Answer{Verdict: Unknown, Engine: "ind", INDStats: &res.Stats}, err
+			return Answer{Verdict: Unknown, Engine: "ind", INDStats: &res.Stats, DepProfile: res.Profile}, err
 		}
 		if res.Implied {
 			p, err := ind.FromChain(res.Chain, res.Via)
 			if err != nil {
 				return Answer{}, err
 			}
-			return Answer{Verdict: Yes, Engine: "ind", Proof: p.String(), INDStats: &res.Stats}, nil
+			return Answer{Verdict: Yes, Engine: "ind", Proof: p.String(), INDStats: &res.Stats, DepProfile: res.Profile}, nil
 		}
 	case deps.FD:
 		psp := sp.StartSpan("fd.prove")
@@ -411,15 +432,15 @@ func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, op
 	}
 	res, err := chase.Implies(s.db, relevant, goal, chase.Options{
 		MaxTuples: opt.ChaseMaxTuples, Obs: opt.Obs, Span: sp, Ctx: opt.Ctx,
-		Provenance: opt.Provenance,
+		Provenance: opt.Provenance, Profile: opt.Profile,
 	})
 	if err != nil {
 		// A cancelled chase returns the rounds and tuples it managed —
 		// the partial stats a server reports alongside the 503.
 		return Answer{Verdict: Unknown, Engine: "chase",
-			ChaseRounds: res.Rounds, ChaseTuples: res.Tuples}, err
+			ChaseRounds: res.Rounds, ChaseTuples: res.Tuples, DepProfile: res.Profile}, err
 	}
-	cost := Answer{ChaseRounds: res.Rounds, ChaseTuples: res.Tuples}
+	cost := Answer{ChaseRounds: res.Rounds, ChaseTuples: res.Tuples, DepProfile: res.Profile}
 	switch res.Verdict {
 	case chase.Implied:
 		// Chase derivations are sound for unrestricted implication, hence

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"indfd/internal/deps"
+	"indfd/internal/schema"
+)
+
+// TestProfileThreadedThroughEngines pins Options.Profile end to end:
+// the chase and IND engines report an Answer.DepProfile with one entry
+// per relevant Σ member, the fd engine reports none, and a profile-off
+// query carries none.
+func TestProfileThreadedThroughEngines(t *testing.T) {
+	// Chase dispatch (FDs + a binary IND): Proposition 4.1.
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	s := NewSystem(db)
+	if err := s.Add(
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	goal := deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y"))
+	a, err := s.Implies(goal, Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != Yes || a.Engine != "chase" {
+		t.Fatalf("answer = %+v", a)
+	}
+	if a.DepProfile == nil || len(a.DepProfile.Deps) != 2 {
+		t.Fatalf("chase DepProfile = %+v, want 2 entries", a.DepProfile)
+	}
+	off, err := s.Implies(goal, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.DepProfile != nil {
+		t.Errorf("profile-off answer carries a profile")
+	}
+
+	// IND dispatch: the Corollary 3.2 search's attribution.
+	si := NewSystem(managerDB())
+	if err := si.Add(deps.NewIND("MGR", deps.Attrs("NAME", "DEPT"), "EMP", deps.Attrs("NAME", "DEPT"))); err != nil {
+		t.Fatal(err)
+	}
+	ai, err := si.Implies(deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME")), Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.Engine != "ind" || ai.DepProfile == nil || len(ai.DepProfile.Deps) != 1 {
+		t.Errorf("ind answer = engine %s, profile %+v", ai.Engine, ai.DepProfile)
+	}
+	if ai.DepProfile.Deps[0].Kind != "ind" || ai.DepProfile.Deps[0].Firings == 0 {
+		t.Errorf("ind attribution = %+v", ai.DepProfile.Deps[0])
+	}
+
+	// fd dispatch: the closure does not iterate per member — no profile,
+	// but also no error.
+	sf := NewSystem(schema.MustDatabase(schema.MustScheme("R", "A", "B", "C")))
+	if err := sf.Add(deps.NewFD("R", deps.Attrs("A"), deps.Attrs("B")),
+		deps.NewFD("R", deps.Attrs("B"), deps.Attrs("C"))); err != nil {
+		t.Fatal(err)
+	}
+	af, err := sf.Implies(deps.NewFD("R", deps.Attrs("A"), deps.Attrs("C")), Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af.Engine != "fd" || af.DepProfile != nil {
+		t.Errorf("fd answer = engine %s, profile %+v (want none)", af.Engine, af.DepProfile)
+	}
+}
+
+// TestCacheStripsDepProfile pins that a profile never enters the answer
+// cache: its scan times are wall-clock measurements of one concrete
+// run, meaningless when replayed to a later hit.
+func TestCacheStripsDepProfile(t *testing.T) {
+	c := NewAnswerCache(8, 0, nil)
+	prof, err := func() (Answer, error) {
+		db := schema.MustDatabase(
+			schema.MustScheme("R", "X", "Y"),
+			schema.MustScheme("S", "T", "U"),
+		)
+		s := NewSystem(db)
+		if err := s.Add(
+			deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+			deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+		); err != nil {
+			return Answer{}, err
+		}
+		return s.Implies(deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{Profile: true})
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.DepProfile == nil {
+		t.Fatal("profiled answer has no profile")
+	}
+	c.Put("k", CachedAnswer{Answer: prof})
+	hit, ok := c.Get("k")
+	if !ok {
+		t.Fatal("cache miss after Put")
+	}
+	if hit.Answer.DepProfile != nil {
+		t.Errorf("cached answer retains a DepProfile")
+	}
+}

@@ -552,3 +552,53 @@ func TestLemma72DerivationReplay(t *testing.T) {
 		}
 	}
 }
+
+// TestLemma72ProfileMatchesDerivation cross-checks the two attribution
+// systems on the Lemma 7.2 instance: the Σ members the cost profiler
+// reports as having fired must be exactly the rules appearing in the
+// provenance derivation DAG. The minimal proof the DAG extracts and the
+// raw firing log the profiler keeps are built independently (one by
+// backward reachability from the goal, one by forward counting at the
+// firing sites), so their agreement on this instance — where the chase
+// stops the moment the goal holds and every firing feeds the equality
+// chain — pins both against each other.
+func TestLemma72ProfileMatchesDerivation(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		s, err := NewSection7(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Lemma72(chase.Options{Provenance: true, Profile: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != chase.Implied || res.Derivation == nil || res.Profile == nil {
+			t.Fatalf("n=%d: verdict %v, derivation %v, profile %v", n, res.Verdict, res.Derivation != nil, res.Profile != nil)
+		}
+		derivRules := map[string]bool{}
+		for _, node := range res.Derivation.Nodes {
+			if node.Kind != "seed" {
+				derivRules[node.Rule] = true
+			}
+		}
+		fired := map[string]bool{}
+		for _, d := range res.Profile.Deps {
+			if d.Firings > 0 {
+				fired[d.Dep] = true
+			}
+		}
+		for r := range derivRules {
+			if !fired[r] {
+				t.Errorf("n=%d: derivation uses %q but the profiler saw no firing", n, r)
+			}
+		}
+		for r := range fired {
+			if !derivRules[r] {
+				t.Errorf("n=%d: profiler counted firings for %q but the derivation does not use it", n, r)
+			}
+		}
+		if len(res.Profile.Deps) != len(s.Sigma) {
+			t.Errorf("n=%d: profile has %d entries, want one per Σ member (%d)", n, len(res.Profile.Deps), len(s.Sigma))
+		}
+	}
+}

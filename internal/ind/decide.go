@@ -94,6 +94,13 @@ type Result struct {
 	Via []deps.IND
 	// Stats describes the search.
 	Stats Stats
+	// Profile is the per-dependency cost attribution over sigma, set
+	// exactly when the run came through DecideProfile: one entry per
+	// member (cold members included), hottest-first. Scanned counts the
+	// frontier nodes the member was tried on, Firings the successor
+	// expressions it generated, Produced the fresh expressions among
+	// them. The search does no per-member timing, so ScanNS stays 0.
+	Profile *obs.DepProfile
 }
 
 // Decide reports whether sigma logically implies the IND goal, using the
@@ -120,6 +127,28 @@ const ctxCheckMask = 63
 // instances are exactly the ones whose frontier grows exponentially. A
 // nil ctx never cancels.
 func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal deps.IND) (Result, error) {
+	return decide(ctx, db, sigma, goal, false)
+}
+
+// DecideProfile is DecideCtx with per-dependency cost attribution: the
+// Result carries a Profile with one entry per member of sigma. The
+// profiled run visits the same expressions in the same order and
+// returns the same verdict, chain and stats; profiling only observes.
+func DecideProfile(ctx context.Context, db *schema.Database, sigma []deps.IND, goal deps.IND) (Result, error) {
+	return decide(ctx, db, sigma, goal, true)
+}
+
+// indAgg accumulates one sigma member's search work (see Result.Profile
+// for the field semantics). The profiled path mirrors the chase
+// engine's single-nil-check pattern: prof stays nil unless profiling
+// was requested, so the plain DecideCtx path is allocation-identical.
+type indAgg struct {
+	scanned  int64
+	firings  int64
+	produced int64
+}
+
+func decide(ctx context.Context, db *schema.Database, sigma []deps.IND, goal deps.IND, profile bool) (Result, error) {
 	if db != nil {
 		if err := goal.Validate(db); err != nil {
 			return Result{}, err
@@ -139,6 +168,25 @@ func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal 
 	// masks, indexed by left-hand relation name, so successor generation
 	// only touches applicable INDs and pays no per-apply map construction.
 	byLRel := compileSigma(sigma)
+
+	var prof []indAgg
+	if profile {
+		prof = make([]indAgg, len(sigma))
+	}
+	buildProf := func() *obs.DepProfile {
+		if prof == nil {
+			return nil
+		}
+		p := &obs.DepProfile{Deps: make([]obs.DepCost, len(sigma))}
+		for i := range sigma {
+			p.Deps[i] = obs.DepCost{
+				Dep: sigma[i].String(), Kind: "ind",
+				Firings: prof[i].firings, Produced: prof[i].produced, Scanned: prof[i].scanned,
+			}
+		}
+		p.Sort()
+		return p
+	}
 
 	// node is an arena entry; node i is the expression the interner
 	// assigned ID i, so the visited set, the arena, and the BFS frontier
@@ -174,7 +222,7 @@ func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal 
 			}
 		}
 		st.ChainLength = len(chain)
-		return Result{Implied: true, Chain: chain, Via: via, Stats: st}
+		return Result{Implied: true, Chain: chain, Via: via, Stats: st, Profile: buildProf()}
 	}
 
 	if startKey == targetKey {
@@ -183,7 +231,7 @@ func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal 
 	for head := 0; head < len(nodes); head++ {
 		if ctx != nil && head&ctxCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
-				return Result{Stats: st}, err
+				return Result{Stats: st, Profile: buildProf()}, err
 			}
 		}
 		// Copy what the successor loop reads out of the arena: appends
@@ -193,6 +241,9 @@ func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal 
 		appliers := byLRel[curRel]
 		for ai := range appliers {
 			a := &appliers[ai]
+			if prof != nil {
+				prof[a.si].scanned++
+			}
 			if curMask&^a.mask != 0 {
 				// Some attribute of the expression hashes outside the
 				// IND's left-hand side: IND2 cannot apply. The mask is a
@@ -205,10 +256,16 @@ func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal 
 				continue
 			}
 			st.Generated++
+			if prof != nil {
+				prof[a.si].firings++
+			}
 			if _, fresh := in.Intern(key); !fresh {
 				continue
 			}
 			st.Visited++
+			if prof != nil {
+				prof[a.si].produced++
+			}
 			succAttrs := a.succAttrs(curAttrs)
 			nodes = append(nodes, node{
 				expr:   Expression{Rel: a.d.RRel, Attrs: succAttrs},
@@ -226,7 +283,7 @@ func DecideCtx(ctx context.Context, db *schema.Database, sigma []deps.IND, goal 
 			}
 		}
 	}
-	return Result{Implied: false, Stats: st}, nil
+	return Result{Implied: false, Stats: st, Profile: buildProf()}, nil
 }
 
 // apply computes the successor of expr under the IND d, if any: when every

@@ -1,0 +1,111 @@
+package ind
+
+import (
+	"context"
+	"testing"
+
+	"indfd/internal/deps"
+)
+
+// TestDecideProfileDifferential pins that the profiled search is
+// observationally identical to the plain one — same verdict, chain,
+// and stats — and that only the profiled run carries a profile.
+func TestDecideProfileDifferential(t *testing.T) {
+	db := twoRelDB()
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("D", "E")),
+		deps.NewIND("S", deps.Attrs("D", "E"), "T", deps.Attrs("G", "H")),
+		deps.NewIND("T", deps.Attrs("I"), "T", deps.Attrs("G")), // never on the chain
+	}
+	goal := deps.NewIND("R", deps.Attrs("A"), "T", deps.Attrs("G"))
+	plain, err := DecideCtx(nil, db, sigma, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := DecideProfile(nil, db, sigma, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Profile != nil {
+		t.Errorf("plain run carries a profile")
+	}
+	if prof.Profile == nil {
+		t.Fatalf("profiled run carries no profile")
+	}
+	if plain.Implied != prof.Implied || plain.Stats != prof.Stats || len(plain.Chain) != len(prof.Chain) {
+		t.Errorf("profiling changed the search: %+v vs %+v", plain, prof)
+	}
+}
+
+// TestDecideProfileAttribution checks the transitivity fixture's known
+// pattern: each chain IND generates exactly one fresh successor, and
+// the off-chain IND is scanned but never applies.
+func TestDecideProfileAttribution(t *testing.T) {
+	db := twoRelDB()
+	sigma := []deps.IND{
+		deps.NewIND("R", deps.Attrs("A", "B"), "S", deps.Attrs("D", "E")),
+		deps.NewIND("S", deps.Attrs("D", "E"), "T", deps.Attrs("G", "H")),
+		deps.NewIND("T", deps.Attrs("I"), "T", deps.Attrs("G")),
+	}
+	res, err := DecideProfile(nil, db, sigma, deps.NewIND("R", deps.Attrs("A"), "T", deps.Attrs("G")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Implied {
+		t.Fatalf("transitive chain not implied")
+	}
+	p := res.Profile
+	if len(p.Deps) != len(sigma) {
+		t.Fatalf("profile has %d entries, want one per member (%d)", len(p.Deps), len(sigma))
+	}
+	byDep := map[string]DepCostView{}
+	for _, d := range p.Deps {
+		byDep[d.Dep] = DepCostView{Firings: d.Firings, Produced: d.Produced, Scanned: d.Scanned}
+	}
+	for _, chain := range sigma[:2] {
+		c := byDep[chain.String()]
+		if c.Firings != 1 || c.Produced != 1 {
+			t.Errorf("%v: firings/produced = %d/%d, want 1/1", chain, c.Firings, c.Produced)
+		}
+		if c.Scanned == 0 {
+			t.Errorf("%v: never considered", chain)
+		}
+	}
+	off := byDep[sigma[2].String()]
+	if off.Firings != 0 || off.Produced != 0 {
+		t.Errorf("off-chain IND fired: %+v", off)
+	}
+	var totalFirings, totalProduced int64
+	for _, d := range p.Deps {
+		totalFirings += d.Firings
+		totalProduced += d.Produced
+	}
+	if totalFirings != int64(res.Stats.Generated) {
+		t.Errorf("sum of firings %d != Stats.Generated %d", totalFirings, res.Stats.Generated)
+	}
+	// Visited counts the start expression too, which no member produced.
+	if totalProduced != int64(res.Stats.Visited-1) {
+		t.Errorf("sum of produced %d != Stats.Visited-1 %d", totalProduced, res.Stats.Visited-1)
+	}
+}
+
+// DepCostView keeps the attribution comparison independent of field
+// order in obs.DepCost.
+type DepCostView struct {
+	Firings, Produced, Scanned int64
+}
+
+// TestDecideProfileOnCancellation pins that a cancelled search still
+// reports the partial attribution.
+func TestDecideProfileOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sigma := []deps.IND{deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("D"))}
+	res, err := DecideProfile(ctx, nil, sigma, deps.NewIND("R", deps.Attrs("A"), "T", deps.Attrs("G")))
+	if err == nil {
+		t.Fatalf("cancelled search returned %+v without error", res)
+	}
+	if res.Profile == nil {
+		t.Errorf("cancelled search dropped its partial profile")
+	}
+}

@@ -20,6 +20,7 @@ func otlpFixture() (*Snapshot, []*RequestRecord) {
 	reg.Counter(MetricName("http.requests", "path", "/v1/implies", "code", "200")).Add(7)
 	reg.Gauge("http.in_flight").Set(2)
 	reg.Gauge(MetricName("process.build_info", "version", "v1.2.3", "goversion", "go1.22", "revision", "abc123")).Set(1)
+	reg.Counter("obs.export_dropped").Add(3)
 	h := reg.Histogram(MetricName("http.latency_us", "path", "/v1/implies"))
 	h.Observe(90)
 	h.ObserveExemplar(1500, "4bf92f3577b34da6a3ce929d0e0e4736")

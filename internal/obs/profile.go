@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file defines the per-dependency cost profile: the unit of
+// workload attribution the chase and IND engines emit when profiling is
+// requested (see chase.Options.Profile and ind.DecideProfile), the
+// query-digest store aggregates (digest.go), and depcheck -profile
+// renders. It lives here rather than in an engine package because both
+// engines produce it and the digest store — which must not import the
+// engines — merges it; a dependency is identified by its rendered text,
+// nothing engine-internal.
+
+// DepCost is one Σ member's share of a query's engine work. Which
+// fields are populated depends on the engine: the chase fills all of
+// them (firings, tuples produced, tuples scanned, scan wall time,
+// rounds active), the Corollary 3.2 IND search fills Firings (successor
+// expressions generated), Produced (fresh expressions reached) and
+// Scanned (times the member was considered against a frontier node).
+type DepCost struct {
+	// Dep is the dependency's rendered form ("R: A -> B",
+	// "R[A] <= S[B]") — the attribution key.
+	Dep string `json:"dep"`
+	// Kind is "fd", "ind", or "rd".
+	Kind string `json:"kind"`
+	// Firings counts the applications that changed the state: FD/RD
+	// firings that equated values, IND firings that added a tuple, IND2
+	// steps that generated a successor expression.
+	Firings int64 `json:"firings"`
+	// Produced counts what the firings created: tableau tuples for
+	// chase INDs, fresh expressions for the IND search.
+	Produced int64 `json:"produced,omitempty"`
+	// Scanned counts the candidates examined on this member's behalf
+	// (tuples scanned by its passes; frontier nodes it was tried on).
+	Scanned int64 `json:"scanned,omitempty"`
+	// ScanNS is the wall time spent scanning for this member, in
+	// nanoseconds (chase only).
+	ScanNS int64 `json:"scan_ns,omitempty"`
+	// Rounds is the number of chase rounds in which this member fired.
+	Rounds int64 `json:"rounds_active,omitempty"`
+}
+
+// hotter orders DepCosts hottest-first: scan time, then firings, then
+// scanned, with the rendered dependency as the deterministic tiebreak.
+func hotter(a, b DepCost) bool {
+	if a.ScanNS != b.ScanNS {
+		return a.ScanNS > b.ScanNS
+	}
+	if a.Firings != b.Firings {
+		return a.Firings > b.Firings
+	}
+	if a.Scanned != b.Scanned {
+		return a.Scanned > b.Scanned
+	}
+	return a.Dep < b.Dep
+}
+
+// DepProfile is a query's per-dependency cost attribution: one DepCost
+// per Σ member the engine compiled (cold members included — knowing a
+// dependency never fired is as actionable as knowing one burned the
+// time). Engines return it sorted hottest-first.
+type DepProfile struct {
+	Deps []DepCost `json:"deps"`
+}
+
+// Sort orders the profile hottest-first (scan time, then firings, then
+// scanned, then name). A nil profile is a no-op.
+func (p *DepProfile) Sort() {
+	if p == nil {
+		return
+	}
+	sort.Slice(p.Deps, func(i, j int) bool { return hotter(p.Deps[i], p.Deps[j]) })
+}
+
+// Merge accumulates another profile into p, matching entries by
+// (Kind, Dep); unmatched entries are appended. Used by the digest store
+// to fold one query's attribution into a digest's running totals. The
+// result is re-sorted hottest-first.
+func (p *DepProfile) Merge(q *DepProfile) {
+	if p == nil || q == nil {
+		return
+	}
+	type key struct{ kind, dep string }
+	idx := make(map[key]int, len(p.Deps))
+	for i, d := range p.Deps {
+		idx[key{d.Kind, d.Dep}] = i
+	}
+	for _, d := range q.Deps {
+		k := key{d.Kind, d.Dep}
+		if i, ok := idx[k]; ok {
+			p.Deps[i].Firings += d.Firings
+			p.Deps[i].Produced += d.Produced
+			p.Deps[i].Scanned += d.Scanned
+			p.Deps[i].ScanNS += d.ScanNS
+			p.Deps[i].Rounds += d.Rounds
+		} else {
+			idx[k] = len(p.Deps)
+			p.Deps = append(p.Deps, d)
+		}
+	}
+	p.Sort()
+}
+
+// Hot returns the k hottest entries that did any work (fired or
+// scanned), newly allocated. k <= 0 means no limit.
+func (p *DepProfile) Hot(k int) []DepCost {
+	if p == nil {
+		return nil
+	}
+	var out []DepCost
+	for _, d := range p.Deps {
+		if d.Firings == 0 && d.Scanned == 0 {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return hotter(out[i], out[j]) })
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// TotalNS sums the profile's attributed scan time.
+func (p *DepProfile) TotalNS() int64 {
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for _, d := range p.Deps {
+		n += d.ScanNS
+	}
+	return n
+}
+
+// Table renders the profile as an aligned text table, hottest-first —
+// the depcheck -profile output.
+func (p *DepProfile) Table() string {
+	if p == nil || len(p.Deps) == 0 {
+		return "(no dependencies profiled)\n"
+	}
+	sorted := append([]DepCost(nil), p.Deps...)
+	sort.Slice(sorted, func(i, j int) bool { return hotter(sorted[i], sorted[j]) })
+	rows := make([][6]string, 0, len(sorted)+1)
+	rows = append(rows, [6]string{"KIND", "FIRINGS", "PRODUCED", "SCANNED", "SCAN", "DEPENDENCY"})
+	for _, d := range sorted {
+		rows = append(rows, [6]string{
+			d.Kind,
+			fmt.Sprintf("%d", d.Firings),
+			fmt.Sprintf("%d", d.Produced),
+			fmt.Sprintf("%d", d.Scanned),
+			fmtNS(d.ScanNS),
+			d.Dep,
+		})
+	}
+	var width [5]int
+	for _, r := range rows {
+		for i := 0; i < 5; i++ {
+			if len(r[i]) > width[i] {
+				width[i] = len(r[i])
+			}
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		for i := 0; i < 5; i++ {
+			fmt.Fprintf(&b, "%-*s  ", width[i], r[i])
+		}
+		b.WriteString(r[5])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// fmtNS renders nanoseconds compactly for the table (0 stays "0" so
+// engines that do not measure time — the IND search — read cleanly).
+func fmtNS(ns int64) string {
+	switch {
+	case ns == 0:
+		return "0"
+	case ns < 1e3:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1fus", float64(ns)/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	}
+}

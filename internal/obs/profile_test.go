@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDepProfileSortHottestFirst(t *testing.T) {
+	p := &DepProfile{Deps: []DepCost{
+		{Dep: "b", Kind: "fd", ScanNS: 10},
+		{Dep: "a", Kind: "fd", ScanNS: 10},
+		{Dep: "hot", Kind: "ind", ScanNS: 500},
+		{Dep: "fires", Kind: "fd", ScanNS: 10, Firings: 3},
+	}}
+	p.Sort()
+	want := []string{"hot", "fires", "a", "b"}
+	for i, w := range want {
+		if p.Deps[i].Dep != w {
+			t.Fatalf("Sort order[%d] = %q, want %q (full: %+v)", i, p.Deps[i].Dep, w, p.Deps)
+		}
+	}
+	var nilP *DepProfile
+	nilP.Sort() // must not panic
+}
+
+func TestDepProfileMerge(t *testing.T) {
+	p := &DepProfile{Deps: []DepCost{
+		{Dep: "R: A -> B", Kind: "fd", Firings: 1, Scanned: 10, ScanNS: 100},
+	}}
+	q := &DepProfile{Deps: []DepCost{
+		{Dep: "R: A -> B", Kind: "fd", Firings: 2, Scanned: 5, ScanNS: 50, Produced: 1, Rounds: 1},
+		{Dep: "R[A] <= S[B]", Kind: "ind", Firings: 7, ScanNS: 700},
+	}}
+	p.Merge(q)
+	if len(p.Deps) != 2 {
+		t.Fatalf("merged profile has %d entries, want 2: %+v", len(p.Deps), p.Deps)
+	}
+	// Re-sorted hottest first: the IND's 700ns beats the FD's 150ns.
+	if p.Deps[0].Dep != "R[A] <= S[B]" || p.Deps[0].Firings != 7 {
+		t.Errorf("hottest entry = %+v", p.Deps[0])
+	}
+	fd := p.Deps[1]
+	if fd.Firings != 3 || fd.Scanned != 15 || fd.ScanNS != 150 || fd.Produced != 1 || fd.Rounds != 1 {
+		t.Errorf("accumulated FD entry = %+v", fd)
+	}
+	// Same Dep text under a different Kind stays a separate entry.
+	p.Merge(&DepProfile{Deps: []DepCost{{Dep: "R: A -> B", Kind: "rd", Firings: 1}}})
+	if len(p.Deps) != 3 {
+		t.Errorf("kind should discriminate merge keys: %+v", p.Deps)
+	}
+	p.Merge(nil) // must not panic
+}
+
+func TestDepProfileHot(t *testing.T) {
+	p := &DepProfile{Deps: []DepCost{
+		{Dep: "cold", Kind: "fd"}, // no work: excluded
+		{Dep: "warm", Kind: "fd", Scanned: 1},
+		{Dep: "hot", Kind: "ind", Firings: 5, ScanNS: 100},
+	}}
+	hot := p.Hot(0)
+	if len(hot) != 2 || hot[0].Dep != "hot" || hot[1].Dep != "warm" {
+		t.Errorf("Hot(0) = %+v", hot)
+	}
+	if got := p.Hot(1); len(got) != 1 || got[0].Dep != "hot" {
+		t.Errorf("Hot(1) = %+v", got)
+	}
+	// Hot allocates fresh: mutating it must not touch the profile.
+	hot[0].Firings = 999
+	if p.Deps[2].Firings == 999 {
+		t.Errorf("Hot aliases the profile's backing array")
+	}
+	var nilP *DepProfile
+	if nilP.Hot(3) != nil {
+		t.Errorf("nil profile Hot should be nil")
+	}
+}
+
+func TestDepProfileTotalNS(t *testing.T) {
+	p := &DepProfile{Deps: []DepCost{{ScanNS: 40}, {ScanNS: 2}}}
+	if p.TotalNS() != 42 {
+		t.Errorf("TotalNS = %d, want 42", p.TotalNS())
+	}
+	var nilP *DepProfile
+	if nilP.TotalNS() != 0 {
+		t.Errorf("nil TotalNS should be 0")
+	}
+}
+
+func TestDepProfileTable(t *testing.T) {
+	p := &DepProfile{Deps: []DepCost{
+		{Dep: "F: A -> B", Kind: "fd", Firings: 2, Scanned: 8, ScanNS: 1500},
+		{Dep: "F[B] <= F[A]", Kind: "ind", Firings: 1, Produced: 1, Scanned: 3, ScanNS: 2_500_000},
+	}}
+	got := p.Table()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want header + 2:\n%s", len(lines), got)
+	}
+	if !strings.Contains(lines[0], "KIND") || !strings.Contains(lines[0], "DEPENDENCY") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Hottest first: the IND's 2.5ms beats the FD's 1.5us.
+	if !strings.Contains(lines[1], "F[B] <= F[A]") || !strings.Contains(lines[1], "2.5ms") {
+		t.Errorf("hottest row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "1.5us") {
+		t.Errorf("second row = %q", lines[2])
+	}
+	var nilP *DepProfile
+	if !strings.Contains(nilP.Table(), "no dependencies") {
+		t.Errorf("nil Table = %q", nilP.Table())
+	}
+}
+
+func TestFmtNS(t *testing.T) {
+	for _, tc := range []struct {
+		ns   int64
+		want string
+	}{{0, "0"}, {999, "999ns"}, {1500, "1.5us"}, {2_500_000, "2.5ms"}, {3_210_000_000, "3.21s"}} {
+		if got := fmtNS(tc.ns); got != tc.want {
+			t.Errorf("fmtNS(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}

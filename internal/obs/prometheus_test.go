@@ -27,6 +27,12 @@ func goldenRegistry() *Registry {
 	reg.Counter(MetricName("quote.test", "q", `a"b\c`+"\n")).Inc()
 	reg.Gauge("http.in_flight").Set(2)
 	reg.Gauge("chase.tuples_peak").SetMax(17)
+	// The exporter and digest-store counters are registered eagerly at
+	// construction (NewExporter, NewDigestStore), so a real exposition
+	// carries them at zero before any traffic; the golden pins that a
+	// zero-valued counter is exposed, not elided.
+	reg.Counter("obs.export_dropped")
+	reg.Counter("obs.digest_evictions")
 	h := reg.Histogram("ind.chain_length")
 	h.Observe(1)
 	h.Observe(3)

@@ -51,6 +51,9 @@ type RequestRecord struct {
 	// Trace is the query's span tree (engine dispatch down to chase
 	// rounds), nil for requests that ran no engine.
 	Trace *SpanSnapshot `json:"trace,omitempty"`
+	// DepProfile is the query's per-dependency cost attribution, set when
+	// the request asked for profiling.
+	DepProfile *DepProfile `json:"dep_profile,omitempty"`
 
 	seq uint64 // recorder-assigned, for newest-first ordering
 }

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"indfd/internal/obs"
+)
+
+// profiledImplies is fastImplies with per-dependency profiling on: same
+// schema, Σ and goal, so the two spellings share a query fingerprint.
+const profiledImplies = `{
+	"schema": ["MGR(NAME, DEPT)", "EMP(NAME, DEPT, SAL)"],
+	"sigma": ["MGR[NAME,DEPT] <= EMP[NAME,DEPT]"],
+	"goal": "MGR[NAME] <= EMP[NAME]",
+	"profile": true
+}`
+
+// digestsReply mirrors handleDigests' envelope.
+type digestsReply struct {
+	Capacity int                  `json:"capacity"`
+	Digests  []obs.DigestSnapshot `json:"digests"`
+}
+
+func getDigests(t *testing.T, base, query string) digestsReply {
+	t.Helper()
+	resp, body := getHdr(t, base+"/debug/digests"+query, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/digests%s = %d\n%s", query, resp.StatusCode, body)
+	}
+	var out digestsReply
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("digests reply: %v\n%s", err, body)
+	}
+	return out
+}
+
+// TestDigestsEndpoint drives the workload-analytics loop end to end:
+// repeated spellings of one query aggregate under one fingerprint
+// (cache hits included), distinct queries get distinct digests, the
+// reply is sorted hottest-first, and ?limit bounds it.
+func TestDigestsEndpoint(t *testing.T) {
+	_, reg, ts := newTestServer(t, Config{CacheSize: 64})
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/implies", fastImplies)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("implies #%d = %d\n%s", i, resp.StatusCode, body)
+		}
+	}
+	other := strings.Replace(fastImplies, `"MGR[NAME] <= EMP[NAME]"`, `"MGR[DEPT] <= EMP[DEPT]"`, 1)
+	if resp, body := postJSON(t, ts.URL+"/v1/implies", other); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second query = %d\n%s", resp.StatusCode, body)
+	}
+
+	out := getDigests(t, ts.URL, "")
+	if out.Capacity != 256 {
+		t.Errorf("capacity = %d, want the 256 default", out.Capacity)
+	}
+	if len(out.Digests) != 2 {
+		t.Fatalf("digests = %d entries, want 2:\n%+v", len(out.Digests), out.Digests)
+	}
+	var hot *obs.DigestSnapshot
+	for i := range out.Digests {
+		if out.Digests[i].Count == 3 {
+			hot = &out.Digests[i]
+		}
+	}
+	if hot == nil {
+		t.Fatalf("no digest aggregated the 3 identical posts: %+v", out.Digests)
+	}
+	// Two of the three identical posts were served from the answer cache
+	// and still count — the digest sees the workload, not just the misses.
+	if hot.CacheHits != 2 {
+		t.Errorf("cache_hits = %d, want 2", hot.CacheHits)
+	}
+	if hot.Query == "" || hot.Fingerprint == "" {
+		t.Errorf("digest lost its identity: %+v", hot)
+	}
+	if hot.LatencyUS.Count != 3 {
+		t.Errorf("latency histogram count = %d, want 3", hot.LatencyUS.Count)
+	}
+	if out.Digests[0].TotalNS < out.Digests[1].TotalNS {
+		t.Errorf("digests not sorted by total time: %d before %d",
+			out.Digests[0].TotalNS, out.Digests[1].TotalNS)
+	}
+	if got := getDigests(t, ts.URL, "?limit=1"); len(got.Digests) != 1 {
+		t.Errorf("limit=1 returned %d digests", len(got.Digests))
+	}
+	if n := reg.Counter("obs.digest_observations").Value(); n != 4 {
+		t.Errorf("obs.digest_observations = %d, want 4", n)
+	}
+
+	// Bad limits get the same JSON envelope as /debug/traces.
+	resp, body := getHdr(t, ts.URL+"/debug/digests?limit=x", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("limit=x = %d, want 400", resp.StatusCode)
+	}
+	var env map[string]string
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("400 body is not JSON: %v\n%s", err, body)
+	}
+	if env["request_id"] == "" || env["error"] == "" {
+		t.Errorf("400 envelope = %+v, want request_id and error", env)
+	}
+}
+
+// TestProfiledRequest pins the serve-layer profile contract: a profiled
+// request returns dep_profile, bypasses the answer cache, and still
+// lands in the same digest as its unprofiled spelling — whose hot_deps
+// then carry the merged attribution.
+func TestProfiledRequest(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{CacheSize: 64})
+	resp, body := postJSON(t, ts.URL+"/v1/implies", profiledImplies)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profiled implies = %d\n%s", resp.StatusCode, body)
+	}
+	// Profiled requests bypass the cache entirely: no HIT, no MISS.
+	if got := resp.Header.Get("X-Cache"); got != "" {
+		t.Errorf("X-Cache = %q on a profiled request, want no header", got)
+	}
+	var out ImpliesResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, body)
+	}
+	if out.DepProfile == nil || len(out.DepProfile.Deps) != 1 {
+		t.Fatalf("dep_profile = %+v, want the one Σ member", out.DepProfile)
+	}
+	dc := out.DepProfile.Deps[0]
+	if dc.Kind != "ind" || dc.Firings == 0 {
+		t.Errorf("attribution = %+v, want a fired ind entry", dc)
+	}
+
+	// An unprofiled response carries no profile...
+	resp2, body2 := postJSON(t, ts.URL+"/v1/implies", fastImplies)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("plain implies = %d\n%s", resp2.StatusCode, body2)
+	}
+	if strings.Contains(string(body2), "dep_profile") {
+		t.Errorf("unprofiled response leaks dep_profile:\n%s", body2)
+	}
+
+	// ...but both spellings share one digest, which keeps the profile.
+	out2 := getDigests(t, ts.URL, "")
+	if len(out2.Digests) != 1 {
+		t.Fatalf("profiled and plain runs split into %d digests, want 1: %+v",
+			len(out2.Digests), out2.Digests)
+	}
+	d := out2.Digests[0]
+	if d.Count != 2 {
+		t.Errorf("digest count = %d, want 2", d.Count)
+	}
+	if len(d.HotDeps) == 0 || d.HotDeps[0].Firings == 0 {
+		t.Errorf("digest hot_deps = %+v, want the profiled run's attribution", d.HotDeps)
+	}
+}
+
+// TestDigestsDisabled pins the off switch: a negative DigestSize serves
+// an empty reply and the implies path keeps working untracked.
+func TestDigestsDisabled(t *testing.T) {
+	_, reg, ts := newTestServer(t, Config{DigestSize: -1})
+	if resp, body := postJSON(t, ts.URL+"/v1/implies", fastImplies); resp.StatusCode != http.StatusOK {
+		t.Fatalf("implies with digests off = %d\n%s", resp.StatusCode, body)
+	}
+	out := getDigests(t, ts.URL, "")
+	if out.Capacity != 0 || len(out.Digests) != 0 {
+		t.Errorf("digests off: capacity %d, %d entries, want 0/0", out.Capacity, len(out.Digests))
+	}
+	if n := reg.Counter("obs.digest_observations").Value(); n != 0 {
+		t.Errorf("obs.digest_observations = %d with digests off", n)
+	}
+}
+
+// assert404Envelope checks the /debug/traces/{id} miss contract: 404,
+// JSON, request_id, and an error naming the ID.
+func assert404Envelope(t *testing.T, url, id string) {
+	t.Helper()
+	resp, body := getHdr(t, url, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET %s = %d, want 404\n%s", url, resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("404 Content-Type = %q, want application/json", ct)
+	}
+	var env map[string]string
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("404 body is not JSON: %v\n%s", err, body)
+	}
+	if env["request_id"] == "" {
+		t.Errorf("404 envelope missing request_id: %+v", env)
+	}
+	if !strings.Contains(env["error"], id) {
+		t.Errorf("404 error %q does not name the trace ID %q", env["error"], id)
+	}
+}
+
+// TestTraceLookupMisses is the regression suite for /debug/traces/{id}
+// misses: an ID that never existed, an ID whose record was evicted, and
+// a recorder that is disabled outright must all answer with the same
+// 404 JSON envelope — never a panic, an empty 200, or a bare 404.
+func TestTraceLookupMisses(t *testing.T) {
+	t.Run("unknown id", func(t *testing.T) {
+		_, _, ts := newTestServer(t, Config{TraceBuffer: 4})
+		assert404Envelope(t, ts.URL+"/debug/traces/deadbeefdeadbeefdeadbeefdeadbeef",
+			"deadbeefdeadbeefdeadbeefdeadbeef")
+	})
+
+	t.Run("evicted id", func(t *testing.T) {
+		// TraceBuffer 1 rounds up to one slot per recorder shard; records
+		// land in shards round-robin by sequence, so 8 further recorded
+		// requests deterministically evict the first.
+		_, _, ts := newTestServer(t, Config{TraceBuffer: 1})
+		resp, _ := postJSON(t, ts.URL+"/v1/implies", fastImplies)
+		id := resp.Header.Get("X-Trace-Id")
+		if id == "" {
+			t.Fatal("no X-Trace-Id on the recorded request")
+		}
+		if r, body := getHdr(t, ts.URL+"/debug/traces/"+id, nil); r.StatusCode != http.StatusOK {
+			t.Fatalf("fresh record not resolvable: %d\n%s", r.StatusCode, body)
+		}
+		for i := 0; i < 8; i++ {
+			getHdr(t, ts.URL+"/debug/traces", nil) // each listing is itself recorded
+		}
+		assert404Envelope(t, ts.URL+"/debug/traces/"+id, id)
+	})
+
+	t.Run("recorder off", func(t *testing.T) {
+		_, _, ts := newTestServer(t, Config{TraceBuffer: -1})
+		resp, _ := postJSON(t, ts.URL+"/v1/implies", fastImplies)
+		id := resp.Header.Get("X-Trace-Id")
+		if id == "" {
+			t.Fatal("trace IDs must still be issued with recording off")
+		}
+		assert404Envelope(t, ts.URL+"/debug/traces/"+id, id)
+	})
+}

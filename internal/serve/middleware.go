@@ -99,7 +99,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		if trace, parent, ok := parseTraceparent(r.Header.Get("traceparent")); ok {
 			tc.traceID, tc.parentSpanID, tc.remote = trace, parent, true
 			s.cTraceHonored.Inc()
-			if state := r.Header.Get("tracestate"); state != "" {
+			if state := truncateTracestate(r.Header.Get("tracestate")); state != "" {
 				w.Header().Set("tracestate", state)
 			}
 		} else {

@@ -30,6 +30,11 @@
 //	                    first; /debug/traces/{id} resolves one trace ID —
 //	                    the ID every response's X-Trace-Id header and
 //	                    every latency-histogram exemplar carries
+//	GET  /debug/digests query-digest analytics: per query shape (the
+//	                    canonical fingerprint) the call count, latency
+//	                    histogram, error and cache-hit rates, and the
+//	                    merged per-dependency cost profile, sorted by
+//	                    total engine time
 //	GET  /debug/pprof/  net/http/pprof profiles and execution traces
 //
 // Every request is stamped with W3C trace context: a valid incoming
@@ -103,6 +108,11 @@ type Config struct {
 	// retains for /debug/traces (default 128; negative disables
 	// recording).
 	TraceBuffer int
+	// DigestSize bounds the query-digest store serving /debug/digests:
+	// the number of distinct query fingerprints whose workload statistics
+	// are retained, admitted by space-saving replacement (default 256;
+	// negative disables digests).
+	DigestSize int
 	// Exporter, when non-nil, receives every completed (non-probe)
 	// request record for OTLP export (see obs.NewExporter; depserve
 	// builds one from -otlp-file / -otlp-endpoint). The hand-off is one
@@ -128,6 +138,7 @@ type Server struct {
 	cache   *core.AnswerCache
 	rec     *obs.Recorder
 	exp     *obs.Exporter
+	dig     *obs.DigestStore
 
 	gInFlight     *obs.Gauge
 	cSlow         *obs.Counter
@@ -161,6 +172,9 @@ func New(cfg Config) *Server {
 	if cfg.TraceBuffer == 0 {
 		cfg.TraceBuffer = 128
 	}
+	if cfg.DigestSize == 0 {
+		cfg.DigestSize = 256
+	}
 	if cfg.Service == "" {
 		cfg.Service = "depserve"
 	}
@@ -177,6 +191,7 @@ func New(cfg Config) *Server {
 		cache:         core.NewAnswerCache(cfg.CacheSize, cfg.CacheTTL, cfg.Reg),
 		rec:           obs.NewRecorder(cfg.TraceBuffer),
 		exp:           cfg.Exporter,
+		dig:           obs.NewDigestStore(cfg.DigestSize, cfg.Reg),
 	}
 	s.idBase = fmt.Sprintf("%x", s.started.UnixNano()&0xfffffff)
 
@@ -191,6 +206,7 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /debug/otlp", s.instrument("/debug/otlp", s.handleOTLP))
 	mux.Handle("GET /debug/traces", s.instrument("/debug/traces", s.handleTraces))
 	mux.Handle("GET /debug/traces/{id}", s.instrument("/debug/traces/{id}", s.handleTrace))
+	mux.Handle("GET /debug/digests", s.instrument("/debug/digests", s.handleDigests))
 	mux.Handle("GET /debug/pprof/", s.instrument("/debug/pprof", pprof.Index))
 	mux.Handle("GET /debug/pprof/cmdline", s.instrument("/debug/pprof", pprof.Cmdline))
 	mux.Handle("GET /debug/pprof/profile", s.instrument("/debug/pprof", pprof.Profile))
@@ -239,6 +255,11 @@ type ImpliesRequest struct {
 	// Snapshot.Diff of the shared registry around the query; best-effort
 	// under concurrent traffic).
 	IncludeMetrics bool `json:"include_metrics,omitempty"`
+	// Profile attributes the engine's work — firings, tuples, scan time —
+	// to individual members of sigma and returns the attribution as
+	// dep_profile. Like include_metrics it describes this request's
+	// engine work, so profiled requests bypass the answer cache.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // INDStats mirrors ind.Stats with JSON names.
@@ -269,10 +290,14 @@ type ImpliesResponse struct {
 	ChaseRounds int               `json:"chase_rounds,omitempty"`
 	ChaseTuples int               `json:"chase_tuples,omitempty"`
 	IND         *INDStats         `json:"ind,omitempty"`
-	ElapsedUS   int64             `json:"elapsed_us"`
-	DeadlineMS  int64             `json:"deadline_ms,omitempty"`
-	Metrics     *obs.Snapshot     `json:"metrics,omitempty"`
-	Error       string            `json:"error,omitempty"`
+	// DepProfile is the per-dependency cost attribution, present when the
+	// request set profile and the engine that ran supports it (chase and
+	// the IND search). Entries are hottest-first.
+	DepProfile *obs.DepProfile `json:"dep_profile,omitempty"`
+	ElapsedUS  int64           `json:"elapsed_us"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
+	Metrics    *obs.Snapshot   `json:"metrics,omitempty"`
+	Error      string          `json:"error,omitempty"`
 }
 
 // SatisfiesRequest is the POST /v1/satisfies body: a concrete database
@@ -363,6 +388,7 @@ func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req Impli
 		ChaseMaxTuples: budget,
 		SearchFallback: req.Search || s.cfg.SearchFallback,
 		Provenance:     req.Provenance,
+		Profile:        req.Profile,
 		Obs:            s.reg,
 		Ctx:            ctx,
 	}
@@ -378,16 +404,21 @@ func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req Impli
 
 	// Answer cache: implication is a pure function of (schema, Σ, goal,
 	// mode, engine budgets), so a fingerprint hit can be served without
-	// touching an engine. Metrics-carrying requests bypass the cache —
-	// their deltas describe this request's engine work, and a cached
-	// answer has none.
-	var cacheKey string
-	cacheable := s.cache != nil && !req.IncludeMetrics
-	if cacheable {
-		cacheKey = core.QueryFingerprint(file.DB, file.Sigma, q.Goal, resp.Mode,
+	// touching an engine. Metrics-carrying and profiled requests bypass
+	// the cache — their deltas and attributions describe this request's
+	// engine work, and a cached answer has none. The fingerprint doubles
+	// as the query-digest key (a profile flag is deliberately NOT part of
+	// it, so profiled and unprofiled spellings of one query land in one
+	// digest), so it is computed whenever either consumer is on.
+	var fingerprint string
+	cacheable := s.cache != nil && !req.IncludeMetrics && !req.Profile
+	if cacheable || s.dig != nil {
+		fingerprint = core.QueryFingerprint(file.DB, file.Sigma, q.Goal, resp.Mode,
 			append(core.FingerprintOptions(opt), "explain="+strconv.FormatBool(req.Explain))...)
+	}
+	if cacheable {
 		lookup := time.Now()
-		if hit, ok := s.cache.Get(cacheKey); ok {
+		if hit, ok := s.cache.Get(fingerprint); ok {
 			fillAnswer(&resp, hit.Answer)
 			resp.Explanation = hit.Explanation
 			resp.ElapsedUS = time.Since(lookup).Microseconds()
@@ -397,6 +428,10 @@ func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req Impli
 				rec.Verdict = resp.Verdict
 				rec.Engine = resp.Engine
 			}
+			s.dig.Observe(obs.DigestObservation{
+				Fingerprint: fingerprint, Query: resp.Goal,
+				DurationNS: resp.ElapsedUS * 1e3, CacheHit: true,
+			})
 			s.reg.Counter(obs.MetricName("serve.answers",
 				"engine", hit.Answer.Engine, "verdict", hit.Answer.Verdict.String())).Inc()
 			s.writeJSON(w, http.StatusOK, resp)
@@ -432,6 +467,14 @@ func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req Impli
 		rec.Verdict = resp.Verdict
 		rec.Engine = resp.Engine
 		rec.Trace = a.Trace
+		rec.DepProfile = a.DepProfile
+	}
+	observeDigest := func(errOutcome bool) {
+		s.dig.Observe(obs.DigestObservation{
+			Fingerprint: fingerprint, Query: resp.Goal,
+			DurationNS: resp.ElapsedUS * 1e3, Err: errOutcome,
+			Profile: a.DepProfile,
+		})
 	}
 
 	switch {
@@ -440,8 +483,9 @@ func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req Impli
 		// branches below return partial work that must never be replayed
 		// to a later client.
 		if cacheable {
-			s.cache.Put(cacheKey, core.CachedAnswer{Answer: a, Explanation: why})
+			s.cache.Put(fingerprint, core.CachedAnswer{Answer: a, Explanation: why})
 		}
+		observeDigest(false)
 		s.reg.Counter(obs.MetricName("serve.answers",
 			"engine", a.Engine, "verdict", a.Verdict.String())).Inc()
 		s.writeJSON(w, http.StatusOK, resp)
@@ -451,11 +495,13 @@ func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req Impli
 		// the general FD+IND implication problem is undecidable and this
 		// instance outran its deadline.
 		s.cDeadline.Inc()
+		observeDigest(true)
 		s.reg.Counter(obs.MetricName("serve.answers",
 			"engine", a.Engine, "verdict", "deadline")).Inc()
 		resp.Error = err.Error()
 		s.writeJSON(w, http.StatusServiceUnavailable, resp)
 	default:
+		observeDigest(true)
 		resp.Error = err.Error()
 		s.writeJSON(w, http.StatusInternalServerError, resp)
 	}
@@ -549,6 +595,31 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, rec)
 }
 
+// handleDigests is GET /debug/digests: the query-digest store's
+// workload summary — one entry per retained query fingerprint, sorted
+// by total engine time (the hottest query shapes first), each with call
+// counts, error/cache-hit counts, a log₂ latency histogram and the
+// merged per-dependency profile of its profiled runs. ?limit=N bounds
+// the reply.
+func (s *Server) handleDigests(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{
+				"request_id": RequestID(r.Context()),
+				"error":      "limit must be a non-negative integer",
+			})
+			return
+		}
+		limit = n
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": s.dig.Cap(),
+		"digests":  s.dig.Snapshot(limit),
+	})
+}
+
 func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
@@ -600,6 +671,7 @@ GET  /readyz         readiness
 GET  /debug/obs      metrics + recent query traces as JSON
 GET  /debug/otlp     spans + metrics as one OTLP/JSON document
 GET  /debug/traces   flight recorder: last N requests (X-Trace-Id resolves at /debug/traces/{id})
+GET  /debug/digests  query digests: hottest query shapes by total engine time
 GET  /debug/pprof/   profiles
 `) //nolint:errcheck
 }
@@ -643,6 +715,7 @@ func fillAnswer(resp *ImpliesResponse, a core.Answer) {
 	resp.ChaseRounds = a.ChaseRounds
 	resp.ChaseTuples = a.ChaseTuples
 	resp.Derivation = a.Derivation
+	resp.DepProfile = a.DepProfile
 	if st := a.INDStats; st != nil {
 		resp.IND = &INDStats{
 			Expanded:     st.Expanded,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"strings"
 )
 
 // W3C Trace Context (https://www.w3.org/TR/trace-context/): the
@@ -81,6 +82,27 @@ func parseTraceparent(h string) (traceID, parentSpanID string, ok bool) {
 // do).
 func formatTraceparent(traceID, spanID string) string {
 	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// maxTracestateLen is the W3C tracestate size bound: the spec requires
+// propagators to pass at least 512 bytes and permits trimming beyond
+// that, provided entries are dropped whole (section 3.3.1.5).
+const maxTracestateLen = 512
+
+// truncateTracestate bounds an echoed tracestate header to
+// maxTracestateLen bytes, cutting only at list-member boundaries — a
+// partially transmitted member would corrupt the vendor key/value it
+// belongs to. Headers within the bound pass through verbatim; an
+// oversized single member (no comma to cut at) drops entirely.
+func truncateTracestate(state string) string {
+	if len(state) <= maxTracestateLen {
+		return state
+	}
+	cut := strings.LastIndexByte(state[:maxTracestateLen+1], ',')
+	if cut < 0 {
+		return ""
+	}
+	return strings.TrimRight(state[:cut], " \t,")
 }
 
 // newTraceID mints a 32-hex W3C trace ID. math/rand/v2's global

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestTruncateTracestate pins the W3C tracestate size policy: values at
+// or under 512 bytes pass through byte-for-byte; longer ones are cut at
+// the last member boundary that fits, never mid-member; a single
+// oversized member leaves nothing to echo.
+func TestTruncateTracestate(t *testing.T) {
+	long := strings.Repeat("x", 600)
+	members := make([]string, 0, 40)
+	for len(strings.Join(members, ",")) <= 540 {
+		members = append(members, "v"+string(rune('a'+len(members)%26))+"=t61rcWkgMzE")
+	}
+	many := strings.Join(members, ",")
+	for _, tc := range []struct {
+		name, in, want string
+	}{
+		{"empty", "", ""},
+		{"single member", "congo=t61rcWkgMzE", "congo=t61rcWkgMzE"},
+		{"exactly 512", strings.Repeat("a", 505) + "=" + strings.Repeat("b", 6), strings.Repeat("a", 505) + "=" + strings.Repeat("b", 6)},
+		{"oversized single member", "k=" + long, ""},
+		{"oversized first member", "k=" + long + ",rojo=1", ""},
+	} {
+		if got := truncateTracestate(tc.in); got != tc.want {
+			t.Errorf("%s: truncateTracestate(%d bytes) = %q, want %q", tc.name, len(tc.in), got, tc.want)
+		}
+	}
+
+	got := truncateTracestate(many)
+	if len(got) > maxTracestateLen {
+		t.Fatalf("truncated tracestate is %d bytes, cap %d", len(got), maxTracestateLen)
+	}
+	if got == "" || !strings.HasPrefix(many, got) {
+		t.Fatalf("truncation rewrote members: %q", got)
+	}
+	if strings.HasSuffix(got, ",") {
+		t.Errorf("truncated value ends in a separator: %q", got)
+	}
+	// Every retained member survives whole: the byte after the cut in the
+	// original must be the comma that separated it from the dropped tail.
+	if many[len(got)] != ',' {
+		t.Errorf("cut mid-member: %q then %q", got[len(got)-8:], many[len(got):len(got)+8])
+	}
+}
+
+// TestTracestateTruncatedOverHTTP drives the limit through the
+// middleware: an oversized header is echoed truncated at a member
+// boundary, and one giant member is dropped rather than mangled.
+func TestTracestateTruncatedOverHTTP(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	send := func(state string) string {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/implies", strings.NewReader(fastImplies))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("traceparent", sampleTraceparent)
+		req.Header.Set("tracestate", state)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("implies = %d", resp.StatusCode)
+		}
+		return resp.Header.Get("tracestate")
+	}
+
+	var members []string
+	for i := 0; i < 60; i++ {
+		members = append(members, "m"+string(rune('a'+i%26))+"=0123456789")
+	}
+	oversized := strings.Join(members, ",")
+	got := send(oversized)
+	if got == "" || len(got) > maxTracestateLen {
+		t.Fatalf("echoed tracestate is %d bytes, want 1..%d", len(got), maxTracestateLen)
+	}
+	if !strings.HasPrefix(oversized, got) || oversized[len(got)] != ',' {
+		t.Errorf("echo not cut at a member boundary: %q", got)
+	}
+
+	if got := send("k=" + strings.Repeat("z", 600)); got != "" {
+		t.Errorf("oversized single member echoed as %q, want dropped", got)
+	}
+}
