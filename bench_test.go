@@ -725,6 +725,71 @@ func BenchmarkChaseEngines(b *testing.B) {
 	})
 }
 
+// --- parallel chase and engine-pool ablations --------------------------------
+
+// BenchmarkChaseParallel is the sharded-pass ablation: the scan-heavy
+// 8-relation spiral (each round re-scans every relation for eight FDs
+// that never fire) at 1, 2, 4 and 8 workers. Verdicts, traces and
+// counters are bit-identical across the columns (differential-tested in
+// internal/chase); only the wall clock may differ. Run with -cpu
+// 1,2,8 to also vary GOMAXPROCS. The wall-clock speedup tracks real
+// cores: on a single-core host the higher-worker columns instead pin
+// the sharding overhead (they must stay within noise of workers=1).
+func BenchmarkChaseParallel(b *testing.B) {
+	db, sigma, goal := benchws.SpiralScanInstance(8)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := chase.Options{MaxTuples: 4096, Workers: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := chase.ImpliesFD(db, sigma, goal, opt)
+				if err != nil || res.Verdict != chase.Unknown {
+					b.Fatal("spiral-scan chase wrong")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChasePool is the cross-request pooling ablation: the warm
+// repeat-request steady state of the Proposition 4.1 implication with
+// engine-state recycling on and off. The pooled column is the depserve
+// hot path (near-zero allocations; TestZeroAlloc pins it exactly).
+func BenchmarkChasePool(b *testing.B) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	goal := deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y"))
+	b.Run("unpooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := chase.ImpliesFD(db, sigma, goal, chase.Options{})
+			if err != nil || res.Verdict != chase.Implied {
+				b.Fatal("chase wrong")
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		opt := chase.Options{Pool: chase.NewEnginePool(nil)}
+		if _, err := chase.ImpliesFD(db, sigma, goal, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := chase.ImpliesFD(db, sigma, goal, opt)
+			if err != nil || res.Verdict != chase.Implied {
+				b.Fatal("chase wrong")
+			}
+		}
+	})
+}
+
 // --- machine-readable export and instrumentation-overhead guard -------------
 
 // benchJSON is the -benchjson flag: after the tests/benchmarks of this
@@ -838,8 +903,17 @@ func TestZeroAlloc(t *testing.T) {
 	disabled := run(chase.Options{})
 	withProv := run(chase.Options{Provenance: true})
 	withProf := run(chase.Options{Profile: true})
-	t.Logf("allocs/run: disabled %.1f, provenance %.1f, profile %.1f", disabled, withProv, withProf)
-	// Measured 85 allocs/run; the ceiling leaves slack for toolchain
+	pool := chase.NewEnginePool(nil)
+	pooledOpt := chase.Options{Pool: pool}
+	if _, err := chase.ImpliesFD(db, sigma, goal, pooledOpt); err != nil {
+		t.Fatal(err) // prime: the first request builds the engine the rest reuse
+	}
+	pooled := run(pooledOpt)
+	t.Logf("allocs/run: disabled %.1f, provenance %.1f, profile %.1f, warm pooled %.1f",
+		disabled, withProv, withProf, pooled)
+	// Measured 96 allocs/run (85 before the engine pool's pointer-entry
+	// interner: a few extra cold-compile allocations bought an exactly-
+	// zero warm pooled path); the ceiling leaves slack for toolchain
 	// drift, not for regressions (same pin as the chase package's
 	// TestDisabledObsAllocsPinned). The zero value disables obs,
 	// provenance AND the per-dependency profiler, so this one ceiling
@@ -854,6 +928,14 @@ func TestZeroAlloc(t *testing.T) {
 	if withProf <= disabled {
 		t.Errorf("profile-on path allocates %.1f/run vs %.1f disabled; attribution is not recording",
 			withProf, disabled)
+	}
+	// The pooled serve hot path is pinned EXACTLY: a warm engine replays
+	// the whole chase in recycled arenas, indexes and union-find state,
+	// so a repeat request for a cached (schema, sigma) shape must not
+	// allocate at all. (Not under -race: sync.Pool drops Puts at random
+	// there and the instrumentation itself allocates.)
+	if !raceDetectorEnabled && pooled != 0 {
+		t.Errorf("warm pooled chase path allocates %.1f/run, want exactly 0", pooled)
 	}
 }
 

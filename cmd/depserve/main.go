@@ -12,6 +12,7 @@
 //	         [-slow 500ms] [-budget N] [-search] [-span-cap 64]
 //	         [-cache-size 1024] [-cache-ttl 0] [-trace-buf 128]
 //	         [-digest-size 256] [-otlp-file FILE] [-otlp-endpoint URL]
+//	         [-chase-workers N] [-pool=false]
 //	         [-stats] [-trace-json FILE] [-pprof ADDR] [-memprofile FILE]
 //
 // Endpoints (see internal/serve):
@@ -76,12 +77,15 @@ func main() {
 	digestSize := flag.Int("digest-size", 256, "query digests retained for /debug/digests (negative disables)")
 	otlpFile := flag.String("otlp-file", "", "append OTLP/JSON telemetry batches to this file (JSONL)")
 	otlpEndpoint := flag.String("otlp-endpoint", "", "POST OTLP/JSON telemetry batches to this URL")
+	chaseWorkers := flag.Int("chase-workers", 0, "shard chase delta scans across this many workers (0 or 1 = sequential; verdicts are bit-identical either way)")
+	pool := flag.Bool("pool", true, "recycle chase engine state across requests keyed by (schema, sigma)")
 	obsFlags := cliutil.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	if err := run(logger, *addr, *deadline, *maxDeadline, *slow, *budget, *search, *spanCap,
-		*cacheSize, *cacheTTL, *traceBuf, *digestSize, *otlpFile, *otlpEndpoint, obsFlags); err != nil {
+		*cacheSize, *cacheTTL, *traceBuf, *digestSize, *otlpFile, *otlpEndpoint,
+		*chaseWorkers, *pool, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "depserve:", err)
 		os.Exit(1)
 	}
@@ -89,7 +93,8 @@ func main() {
 
 func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Duration,
 	budget int, search bool, spanCap, cacheSize int, cacheTTL time.Duration,
-	traceBuf, digestSize int, otlpFile, otlpEndpoint string, obsFlags *cliutil.ObsFlags) error {
+	traceBuf, digestSize int, otlpFile, otlpEndpoint string,
+	chaseWorkers int, pool bool, obsFlags *cliutil.ObsFlags) error {
 	// The server always runs instrumented — /metrics is its point — so
 	// the registry does not depend on the -stats/-trace-json flags.
 	reg := obs.New()
@@ -132,6 +137,8 @@ func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Dura
 		TraceBuffer:     traceBuf,
 		DigestSize:      digestSize,
 		Exporter:        exporter,
+		ChaseWorkers:    chaseWorkers,
+		PoolDisabled:    !pool,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

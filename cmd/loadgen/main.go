@@ -22,6 +22,14 @@
 // families the committed engine baseline measures, now measured
 // end-to-end through the HTTP layer.
 //
+// Besides latency, the report records the server's allocation price:
+// the target's cumulative heap-allocation gauge is scraped from
+// /metrics before and after the measured window and the delta lands in
+// the report as server_allocs and allocs_per_request. With the chase
+// engine pool on (depserve's default), the per-request figure is the
+// HTTP/JSON floor — the engines themselves run allocation-free on warm
+// repeats.
+//
 // SLOs are a comma-separated clause list over the whole run:
 // p50/p90/p95/p99/mean/max compare against a duration ("p99<25ms"),
 // errs against a percentage of non-2xx responses ("errs<0.1%"). Any
@@ -33,6 +41,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -148,8 +157,16 @@ type Report struct {
 	ErrorRate  float64                `json:"error_rate"`
 	Overall    RouteStats             `json:"overall"`
 	Routes     map[string]*RouteStats `json:"routes"`
-	SLO        string                 `json:"slo,omitempty"`
-	Breaches   []string               `json:"breaches,omitempty"`
+	// ServerAllocs is the target's heap-allocation count over the
+	// measured window (the process_heap_allocs_total gauge scraped from
+	// /metrics before and after), and AllocsPerRequest divides it by the
+	// completed requests — the steady-state allocation price of one
+	// served query, which the chase engine pool drives toward the fixed
+	// HTTP/JSON floor. Zero when the target exposes no such gauge.
+	ServerAllocs     int64    `json:"server_allocs,omitempty"`
+	AllocsPerRequest float64  `json:"allocs_per_request,omitempty"`
+	SLO              string   `json:"slo,omitempty"`
+	Breaches         []string `json:"breaches,omitempty"`
 }
 
 // run executes the full generator lifecycle: readiness poll, warmup,
@@ -183,10 +200,19 @@ func run(cfg config) (*Report, error) {
 		// samples land in a throwaway registry.
 		fire(client, cfg, scenarios, cfg.Warmup, obs.New())
 	}
+	allocsBefore, haveAllocs := scrapeServerAllocs(client, cfg.Target)
 	reg := obs.New()
 	sent := fire(client, cfg, scenarios, cfg.Duration, reg)
 
 	report := buildReport(cfg, reg, sent)
+	if haveAllocs {
+		if after, ok := scrapeServerAllocs(client, cfg.Target); ok && after >= allocsBefore {
+			report.ServerAllocs = after - allocsBefore
+			if report.Completed > 0 {
+				report.AllocsPerRequest = float64(report.ServerAllocs) / float64(report.Completed)
+			}
+		}
+	}
 	report.SLO = cfg.SLO
 	report.Breaches = evalSLO(clauses, report)
 	if cfg.BaselinePath != "" {
@@ -318,6 +344,39 @@ func drainClose(resp *http.Response) {
 		}
 	}
 	resp.Body.Close()
+}
+
+// scrapeServerAllocs reads the target's cumulative heap-allocation
+// count (the process_heap_allocs_total gauge depserve's /metrics
+// refreshes on every scrape). Differencing two scrapes around the
+// measured window yields the server's allocations per request. A
+// target without the gauge (or without /metrics at all) reports
+// ok=false and the run simply omits the allocation columns — the
+// generator works against any HTTP service, not just depserve.
+func scrapeServerAllocs(client *http.Client, target string) (n int64, ok bool) {
+	resp, err := client.Get(target + "/metrics")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		rest, found := strings.CutPrefix(line, "process_heap_allocs_total ")
+		if !found {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return 0, false
+		}
+		return int64(v), true
+	}
+	return 0, false
 }
 
 // --- report -----------------------------------------------------------------

@@ -52,6 +52,7 @@ func Workloads() []Workload {
 		{"chase", chaseWorkload},
 		{"chase_lemma72", chaseLemma72Workload},
 		{"chase_spiral", chaseSpiralWorkload},
+		{"chase_spiral_scan", chaseSpiralScanWorkload},
 		{"chase_widefd", chaseWideFDWorkload},
 		{"search", searchWorkload},
 		{"search_exhaustive", searchExhaustiveWorkload},
@@ -204,6 +205,37 @@ func SpiralInstance(k int) (*schema.Database, []deps.Dependency, deps.FD) {
 			names[(i+1)%k], deps.Attrs("A", "B")))
 	}
 	return db, sigma, deps.NewFD("L0", deps.Attrs("A"), deps.Attrs("C"))
+}
+
+// SpiralScanInstance is SpiralInstance with one never-firing FD
+// Li: (C, B) -> A per spiral relation. Every tuple the spiral pours
+// into Li carries a fresh null in C, so the (C, B) groups stay
+// singletons forever and the FDs never fire — but each relation's
+// version bumps every round, so each FD re-scans the whole growing
+// relation every round: the chase becomes FD-scan dominated (quadratic
+// in rounds) while remaining byte-deterministic. This is the workload
+// the sharded delta passes are measured on (BenchmarkChaseParallel):
+// k independent full-relation scans per round, embarrassingly parallel
+// across the compile-order regions.
+func SpiralScanInstance(k int) (*schema.Database, []deps.Dependency, deps.FD) {
+	db, sigma, goal := SpiralInstance(k)
+	for i := 0; i < k; i++ {
+		sigma = append(sigma, deps.NewFD(fmt.Sprintf("L%d", i),
+			deps.Attrs("C", "B"), deps.Attrs("A")))
+	}
+	return db, sigma, goal
+}
+
+// chaseSpiralScanWorkload: the 8-relation scan-heavy spiral under a
+// 1024-tuple budget — the sequential baseline of the parallel-chase
+// ablation.
+func chaseSpiralScanWorkload(reg *obs.Registry) error {
+	db, sigma, goal := SpiralScanInstance(8)
+	res, err := chase.ImpliesFD(db, sigma, goal, chase.Options{Obs: reg, MaxTuples: 1024})
+	if err != nil || res.Verdict != chase.Unknown {
+		return fmt.Errorf("chase_spiral_scan workload wrong: %v %v", res.Verdict, err)
+	}
+	return nil
 }
 
 // chaseSpiralWorkload: the 4-deep spiral under a 1500-tuple budget —

@@ -110,6 +110,30 @@ type Options struct {
 	// allocation-identical off path) and never changes verdicts, traces
 	// or counters.
 	Profile bool
+	// Workers bounds the worker pool the delta passes shard their scans
+	// across. 0 or 1 runs the classic sequential engine; N > 1 runs the
+	// read-only probe phases of each FD/RD fixpoint pass and each IND
+	// delta pass on N goroutines and applies the proposed firings
+	// through a single deterministic merge in (dependency compile index,
+	// tuple arena offset) order — verdicts, traces, provenance DAGs and
+	// profiles are byte-identical to the sequential engine at any
+	// GOMAXPROCS (differential-tested, like the PR 3 parallel search).
+	Workers int
+	// ParThreshold is the minimum number of scannable items (tuples
+	// across the pass's open scan regions) before a pass is sharded;
+	// smaller passes run sequentially, parallel overhead being larger
+	// than the scan. 0 means DefaultParThreshold; negative forces
+	// sharding at any size (tests use this to exercise the merge on
+	// tiny fixtures).
+	ParThreshold int
+	// Pool, when non-nil, recycles compiled engines across runs keyed by
+	// a (schema, sigma) fingerprint: a hit skips compilation and reuses
+	// the tuple arena, interners, union-find backing and witness indexes
+	// of a structurally reset engine, making the warm steady state of a
+	// resident server allocation-free. Engines are returned to the pool
+	// only after an error-free run; a chase killed mid-round (deadline,
+	// cancellation, contradiction) is poisoned and discarded.
+	Pool *EnginePool
 	// Obs, when non-nil, receives the chase's work counters under the
 	// "chase." namespace (rounds, tuples created, union-find merges,
 	// fixpoint passes, ...). A nil registry costs nothing: the engine
@@ -124,11 +148,32 @@ type Options struct {
 // DefaultMaxTuples is the default tuple budget.
 const DefaultMaxTuples = 4096
 
+// DefaultParThreshold is the default minimum scan size (items across a
+// pass's open regions) before the pass is sharded across workers.
+const DefaultParThreshold = 1024
+
 func (o Options) maxTuples() int {
 	if o.MaxTuples <= 0 {
 		return DefaultMaxTuples
 	}
 	return o.MaxTuples
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+func (o Options) parThreshold() int {
+	if o.ParThreshold == 0 {
+		return DefaultParThreshold
+	}
+	if o.ParThreshold < 0 {
+		return 0
+	}
+	return o.ParThreshold
 }
 
 var errBudget = fmt.Errorf("chase: tuple budget exhausted")
@@ -179,8 +224,9 @@ type engine struct {
 	// are re-keyed in bulk by processDirty before dedup and the IND pass.
 	dirty []int32
 
-	keyBuf []byte // scratch for key assembly (reused, never retained)
-	tmp    []int32
+	keyBuf    []byte // scratch for key assembly (reused, never retained)
+	tmp       []int32
+	tmpStarts []int32 // per-IND delta starts, reused by the sharded pass
 
 	// prov is the opt-in provenance log (nil = capture off, the
 	// default); goalDesc and goalProv are set by the entry points so
@@ -188,6 +234,33 @@ type engine struct {
 	prov     *prov
 	goalDesc string
 	goalProv func() (pairs [][2]int32, goalTuples []int32, err error)
+
+	// Goal state, set by the Implies entry points and read by
+	// goalDerived once per round. Kept as plain engine fields (not a
+	// closure) so a pooled engine's warm path allocates nothing: the
+	// buffers are reused across runs.
+	goalKind uint8 // goalNone/goalFD/goalIND/goalRD
+	goalT1   []int32
+	goalT2   []int32
+	goalXs   []int
+	goalYs   []int
+	gpi      *projIndex // IND goal witness index, reused across runs
+	gpiRel   int32      // relation gpi is registered on, -1 when none
+
+	// par is the worker runner for sharded delta passes (nil = the
+	// sequential engine, the default); parTh gates tiny passes and
+	// parUsed marks a round that ran at least one sharded region.
+	par     *parRunner
+	parTh   int
+	parUsed bool
+
+	// pool bookkeeping: the pool this engine is released to (nil =
+	// unpooled) and the sigma it was compiled from, retained so a pool
+	// hit can verify the cached compilation matches the request without
+	// allocating.
+	pool    *EnginePool
+	poolKey uint64
+	sigma   []deps.Dependency
 
 	// prof is the opt-in per-dependency cost profiler (nil = off, the
 	// default); round is the current chase round, maintained
@@ -208,6 +281,8 @@ type engine struct {
 	cDelta    *obs.Counter // tuples scanned by delta-driven IND passes
 	cRekeyed  *obs.Counter // tuples re-keyed after class merges
 	cSkips    *obs.Counter // FD/RD scans skipped by the version gate
+	cParRnds  *obs.Counter // rounds that ran at least one sharded region
+	cConflict *obs.Counter // speculative probe results invalidated at merge
 	gTuples   *obs.Gauge   // high-water mark of live tableau tuples
 }
 
@@ -249,30 +324,23 @@ type indState struct {
 	maxSeen int32
 }
 
-func newEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engine, error) {
-	e := &engine{
-		db:      db,
-		consts:  make(map[string]int32),
-		max:     opt.maxTuples(),
-		doTrace: opt.Trace,
-		ctx:     opt.Ctx,
+// Goal kinds for goalDerived.
+const (
+	goalNone uint8 = iota
+	goalFD
+	goalIND
+	goalRD
+)
 
-		cRounds:   opt.Obs.Counter("chase.rounds"),
-		cTuples:   opt.Obs.Counter("chase.tuples_created"),
-		cUnions:   opt.Obs.Counter("chase.unions"),
-		cFDFires:  opt.Obs.Counter("chase.fd_applications"),
-		cRDFires:  opt.Obs.Counter("chase.rd_applications"),
-		cINDAdds:  opt.Obs.Counter("chase.ind_applications"),
-		cFixpoint: opt.Obs.Counter("chase.fixpoint_passes"),
-		cDelta:    opt.Obs.Counter("chase.delta_tuples"),
-		cRekeyed:  opt.Obs.Counter("chase.rekeyed_tuples"),
-		cSkips:    opt.Obs.Counter("chase.scans_skipped"),
-		gTuples:   opt.Obs.Gauge("chase.tuples_peak"),
+// newEngine compiles sigma against db into a fresh engine; arm must be
+// called before running (acquireEngine does both).
+func newEngine(db *schema.Database, sigma []deps.Dependency) (*engine, error) {
+	e := &engine{
+		db:     db,
+		consts: make(map[string]int32),
+		sigma:  sigma,
+		gpiRel: -1,
 	}
-	if opt.Provenance {
-		e.prov = newProv()
-	}
-	doProfile := opt.Profile
 	names := db.Names()
 	e.rels = make([]relState, len(names))
 	e.relIdx = make(map[string]int32, len(names))
@@ -341,10 +409,167 @@ func newEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engi
 			return nil, fmt.Errorf("chase: only FDs, INDs and RDs may appear in sigma, got %v", d.Kind())
 		}
 	}
-	if doProfile {
-		e.prof = newEngineProfile(len(e.fds), len(e.rds), len(e.inds))
-	}
 	return e, nil
+}
+
+// arm readies an engine (fresh or pooled) for one run: budget, context,
+// instruments, opt-in capture state, and the worker runner. Everything
+// arm touches is per-run; the compiled structure (positions, shared
+// witness indexes) is untouched.
+func (e *engine) arm(opt Options) {
+	e.max = opt.maxTuples()
+	e.doTrace = opt.Trace
+	e.ctx = opt.Ctx
+
+	e.cRounds = opt.Obs.Counter("chase.rounds")
+	e.cTuples = opt.Obs.Counter("chase.tuples_created")
+	e.cUnions = opt.Obs.Counter("chase.unions")
+	e.cFDFires = opt.Obs.Counter("chase.fd_applications")
+	e.cRDFires = opt.Obs.Counter("chase.rd_applications")
+	e.cINDAdds = opt.Obs.Counter("chase.ind_applications")
+	e.cFixpoint = opt.Obs.Counter("chase.fixpoint_passes")
+	e.cDelta = opt.Obs.Counter("chase.delta_tuples")
+	e.cRekeyed = opt.Obs.Counter("chase.rekeyed_tuples")
+	e.cSkips = opt.Obs.Counter("chase.scans_skipped")
+	e.cParRnds = opt.Obs.Counter("chase.parallel_rounds")
+	e.cConflict = opt.Obs.Counter("chase.worker_merge_conflicts")
+	e.gTuples = opt.Obs.Gauge("chase.tuples_peak")
+
+	if opt.Provenance {
+		e.prov = newProv()
+	} else {
+		e.prov = nil
+	}
+	if opt.Profile {
+		e.prof = newEngineProfile(len(e.fds), len(e.rds), len(e.inds))
+	} else {
+		e.prof = nil
+	}
+	if w := opt.workers(); w > 1 {
+		if e.par == nil || e.par.workers != w {
+			e.par = newParRunner(w)
+		}
+		e.parTh = opt.parThreshold()
+	} else {
+		e.par = nil
+	}
+}
+
+// acquireEngine returns an armed engine for db and sigma: a pooled one
+// when opt.Pool holds a structurally reset engine compiled from an
+// identical schema and sigma, else a freshly compiled one. The caller
+// must pair it with e.release(err).
+func acquireEngine(db *schema.Database, sigma []deps.Dependency, opt Options) (*engine, error) {
+	if opt.Pool != nil {
+		key := poolFingerprint(db, sigma)
+		if e := opt.Pool.get(key, db, sigma); e != nil {
+			e.arm(opt)
+			return e, nil
+		}
+		e, err := newEngine(db, sigma)
+		if err != nil {
+			return nil, err
+		}
+		e.pool, e.poolKey = opt.Pool, key
+		e.arm(opt)
+		return e, nil
+	}
+	e, err := newEngine(db, sigma)
+	if err != nil {
+		return nil, err
+	}
+	e.arm(opt)
+	return e, nil
+}
+
+// release ends a run: the worker runner is stopped (no goroutine may
+// outlive the run and touch a recycled engine), and a pooled engine is
+// structurally reset and returned to its pool — unless the run errored
+// (deadline, cancellation, contradiction, or any other mid-round kill),
+// in which case its state is partial and it is discarded so no later
+// request can observe it. A budget-exhausted Unknown verdict is not an
+// error: that chase stopped at a clean round boundary.
+func (e *engine) release(err error) {
+	if e.par != nil {
+		e.par.stop()
+	}
+	if e.pool == nil {
+		return
+	}
+	if err != nil {
+		e.pool.discard(e)
+		return
+	}
+	e.reset()
+	e.pool.put(e)
+}
+
+// reset returns the engine to its just-compiled state while keeping
+// every backing allocation: slices are truncated in place, interners
+// start a new epoch (cached key strings stay warm), and per-dependency
+// scan state is rewound. A reset engine re-running the same query
+// performs the same work with zero steady-state allocations.
+func (e *engine) reset() {
+	e.parent = e.parent[:0]
+	e.label = e.label[:0]
+	e.name = e.name[:0]
+	e.watch = e.watch[:0]
+	clear(e.consts)
+
+	e.vals = e.vals[:0]
+	e.tupOff = e.tupOff[:0]
+	e.tupRel = e.tupRel[:0]
+	e.tupKey = e.tupKey[:0]
+	e.tupDead = e.tupDead[:0]
+	e.inDirty = e.inDirty[:0]
+	e.tuples = 0
+	e.dirty = e.dirty[:0]
+
+	// Result.Trace aliases e.trace: the returned slice belongs to the
+	// caller now, so drop the reference instead of truncating.
+	e.trace = nil
+	e.round = 0
+	e.prov = nil
+	e.prof = nil
+	e.goalDesc = ""
+	e.goalProv = nil
+	e.goalKind = goalNone
+	e.parUsed = false
+
+	// The IND goal's witness index is appended to its relation's watcher
+	// list last (after compilation); pop it before rewinding the
+	// relations so a later request never probes a stale goal index.
+	if e.gpiRel >= 0 {
+		ws := e.rels[e.gpiRel].watchers
+		e.rels[e.gpiRel].watchers = ws[:len(ws)-1]
+		e.gpiRel = -1
+	}
+	for i := range e.rels {
+		rs := &e.rels[i]
+		rs.order = rs.order[:0]
+		rs.keys.Reset()
+		rs.count = rs.count[:0]
+		rs.seen = rs.seen[:0]
+		rs.sweep = 0
+		rs.version = 0
+		rs.dupDirty = false
+		for _, pi := range rs.watchers {
+			pi.reset()
+		}
+	}
+	for i := range e.fds {
+		fs := &e.fds[i]
+		fs.keys.Reset()
+		fs.members = fs.members[:0]
+		fs.mgen = fs.mgen[:0]
+		fs.cleanAt = 0
+	}
+	for i := range e.rds {
+		e.rds[i].cleanAt = 0
+	}
+	for i := range e.inds {
+		e.inds[i].maxSeen = -1
+	}
 }
 
 // positionsOf resolves an attribute sequence to scheme positions,
@@ -372,120 +597,181 @@ func (e *engine) applyFDs() (changed bool, err error) {
 	for again := true; again; {
 		again = false
 		e.cFixpoint.Inc()
-		for i := range e.rds {
-			ds := &e.rds[i]
-			rel := &e.rels[ds.ri]
-			if ds.cleanAt == rel.version+1 {
-				e.cSkips.Inc()
-				continue
-			}
-			var scanStart time.Time
-			if e.prof != nil {
-				scanStart = time.Now()
-			}
-			fired := false
-			for _, tid := range rel.order {
-				t := e.tupleVals(tid)
-				for j := range ds.xs {
-					ch, err := e.union(t[ds.xs[j]], t[ds.ys[j]])
-					if err != nil {
-						return changed, err
-					}
-					if ch {
-						again, changed, fired = true, true, true
-						e.cRDFires.Inc()
-						if e.prov != nil {
-							e.prov.noteUnion(evRD, int32(i), tid, -1, t[ds.xs[j]], t[ds.ys[j]])
-						}
-						if e.prof != nil {
-							e.prof.rd[i].fire(e.round)
-						}
-						if e.doTrace {
-							e.tracef("RD %v equates %v and %v within %v",
-								ds.d, e.describe(t[ds.xs[j]]), e.describe(t[ds.ys[j]]), e.describeTuple(t))
-						}
-					}
-				}
-			}
-			if e.prof != nil {
-				a := &e.prof.rd[i]
-				a.scanned += int64(len(rel.order))
-				a.scanNS += time.Since(scanStart).Nanoseconds()
-			}
-			if fired {
-				ds.cleanAt = 0
-			} else {
-				ds.cleanAt = rel.version + 1
-			}
+		var fired bool
+		var err error
+		if e.par != nil {
+			fired, err = e.fdPassPar()
+		} else {
+			fired, err = e.fdPassSeq()
 		}
-		for i := range e.fds {
-			fs := &e.fds[i]
-			rel := &e.rels[fs.ri]
-			if fs.cleanAt == rel.version+1 {
-				e.cSkips.Inc()
-				continue
-			}
-			var scanStart time.Time
-			if e.prof != nil {
-				scanStart = time.Now()
-			}
-			fired := false
-			fs.gen++
-			for _, tid := range rel.order {
-				t := e.tupleVals(tid)
-				// Group keys must use class labels, not structural roots:
-				// the reference engine groups by its own (label) roots, and
-				// mid-pass root changes make grouping sensitive to the
-				// representative choice.
-				b := e.appendLabelProjKey(e.keyBuf[:0], t, fs.xs)
-				kid, fresh := fs.keys.Intern(b)
-				e.keyBuf = b
-				if fresh {
-					fs.members = append(fs.members, nil)
-					fs.mgen = append(fs.mgen, 0)
-				}
-				if fs.mgen[kid] != fs.gen {
-					fs.mgen[kid] = fs.gen
-					fs.members[kid] = fs.members[kid][:0]
-				}
-				for _, uid := range fs.members[kid] {
-					u := e.tupleVals(uid)
-					for _, y := range fs.ys {
-						ch, err := e.union(t[y], u[y])
-						if err != nil {
-							return changed, err
-						}
-						if ch {
-							again, changed, fired = true, true, true
-							e.cFDFires.Inc()
-							if e.prov != nil {
-								e.prov.noteUnion(evFD, int32(i), tid, uid, t[y], u[y])
-							}
-							if e.prof != nil {
-								e.prof.fd[i].fire(e.round)
-							}
-							if e.doTrace {
-								e.tracef("FD %v equates %v and %v (tuples %v, %v agree on %s)",
-									fs.d, e.describe(t[y]), e.describe(u[y]), e.describeTuple(t), e.describeTuple(u), schema.JoinAttrs(fs.d.X))
-							}
-						}
-					}
-				}
-				fs.members[kid] = append(fs.members[kid], tid)
-			}
-			if e.prof != nil {
-				a := &e.prof.fd[i]
-				a.scanned += int64(len(rel.order))
-				a.scanNS += time.Since(scanStart).Nanoseconds()
-			}
-			if fired {
-				fs.cleanAt = 0
-			} else {
-				fs.cleanAt = rel.version + 1
-			}
+		if fired {
+			again, changed = true, true
+		}
+		if err != nil {
+			return changed, err
 		}
 	}
 	return changed, nil
+}
+
+// fdPassSeq is one sequential RD-then-FD pass in compile order.
+func (e *engine) fdPassSeq() (fired bool, err error) {
+	for i := range e.rds {
+		ds := &e.rds[i]
+		if ds.cleanAt == e.rels[ds.ri].version+1 {
+			e.cSkips.Inc()
+			continue
+		}
+		f, err := e.scanRD(i)
+		fired = fired || f
+		if err != nil {
+			return fired, err
+		}
+	}
+	for i := range e.fds {
+		fs := &e.fds[i]
+		if fs.cleanAt == e.rels[fs.ri].version+1 {
+			e.cSkips.Inc()
+			continue
+		}
+		f, err := e.scanFD(i)
+		fired = fired || f
+		if err != nil {
+			return fired, err
+		}
+	}
+	return fired, nil
+}
+
+// scanRD fires e.rds[i] over its whole relation; the caller has already
+// decided the version gate.
+func (e *engine) scanRD(i int) (fired bool, err error) {
+	ds := &e.rds[i]
+	rel := &e.rels[ds.ri]
+	var scanStart time.Time
+	if e.prof != nil {
+		scanStart = time.Now()
+	}
+	for _, tid := range rel.order {
+		t := e.tupleVals(tid)
+		for j := range ds.xs {
+			ch, err := e.union(t[ds.xs[j]], t[ds.ys[j]])
+			if err != nil {
+				return fired, err
+			}
+			if ch {
+				fired = true
+				e.cRDFires.Inc()
+				if e.prov != nil {
+					e.prov.noteUnion(evRD, int32(i), tid, -1, t[ds.xs[j]], t[ds.ys[j]])
+				}
+				if e.prof != nil {
+					e.prof.rd[i].fire(e.round)
+				}
+				if e.doTrace {
+					e.tracef("RD %v equates %v and %v within %v",
+						ds.d, e.describe(t[ds.xs[j]]), e.describe(t[ds.ys[j]]), e.describeTuple(t))
+				}
+			}
+		}
+	}
+	if e.prof != nil {
+		a := &e.prof.rd[i]
+		a.scanned += int64(len(rel.order))
+		a.scanNS += time.Since(scanStart).Nanoseconds()
+	}
+	if fired {
+		ds.cleanAt = 0
+	} else {
+		ds.cleanAt = rel.version + 1
+	}
+	return fired, nil
+}
+
+// scanFD fires e.fds[i] over its whole relation; the caller has already
+// decided the version gate.
+func (e *engine) scanFD(i int) (fired bool, err error) {
+	fs := &e.fds[i]
+	rel := &e.rels[fs.ri]
+	var scanStart time.Time
+	if e.prof != nil {
+		scanStart = time.Now()
+	}
+	fs.gen++
+	for _, tid := range rel.order {
+		t := e.tupleVals(tid)
+		// Group keys must use class labels, not structural roots:
+		// the reference engine groups by its own (label) roots, and
+		// mid-pass root changes make grouping sensitive to the
+		// representative choice.
+		b := e.appendLabelProjKey(e.keyBuf[:0], t, fs.xs)
+		kid, fresh := fs.keys.Intern(b)
+		e.keyBuf = b
+		if fresh {
+			fs.addGroup()
+		}
+		if fs.mgen[kid] != fs.gen {
+			fs.mgen[kid] = fs.gen
+			fs.members[kid] = fs.members[kid][:0]
+		}
+		for _, uid := range fs.members[kid] {
+			u := e.tupleVals(uid)
+			for _, y := range fs.ys {
+				ch, err := e.union(t[y], u[y])
+				if err != nil {
+					return fired, err
+				}
+				if ch {
+					fired = true
+					e.cFDFires.Inc()
+					if e.prov != nil {
+						e.prov.noteUnion(evFD, int32(i), tid, uid, t[y], u[y])
+					}
+					if e.prof != nil {
+						e.prof.fd[i].fire(e.round)
+					}
+					if e.doTrace {
+						e.tracef("FD %v equates %v and %v (tuples %v, %v agree on %s)",
+							fs.d, e.describe(t[y]), e.describe(u[y]), e.describeTuple(t), e.describeTuple(u), schema.JoinAttrs(fs.d.X))
+					}
+				}
+			}
+		}
+		fs.members[kid] = append(fs.members[kid], tid)
+	}
+	if e.prof != nil {
+		a := &e.prof.fd[i]
+		a.scanned += int64(len(rel.order))
+		a.scanNS += time.Since(scanStart).Nanoseconds()
+	}
+	if fired {
+		fs.cleanAt = 0
+	} else {
+		fs.cleanAt = rel.version + 1
+	}
+	return fired, nil
+}
+
+// addGroup appends one group slot to the FD's member lists, reusing a
+// slot left behind by a pool reset when one exists — so a warm pooled
+// run's first scan allocates no fresh inner slices.
+func (fs *fdState) addGroup() {
+	if n := len(fs.members); n < cap(fs.members) {
+		fs.members = fs.members[:n+1]
+		fs.members[n] = fs.members[n][:0]
+	} else {
+		fs.members = append(fs.members, nil)
+	}
+	fs.mgen = append(fs.mgen, 0)
+}
+
+// endRound closes a round's parallelism accounting: a round in which at
+// least one pass ran sharded counts once in chase.parallel_rounds.
+func (e *engine) endRound() {
+	if e.parUsed {
+		e.cParRnds.Inc()
+		e.parUsed = false
+	}
 }
 
 // cancelled reports the context's error, if any: the per-round
@@ -513,6 +799,7 @@ func (e *engine) run() (done bool, err error) {
 		}
 		e.dedup()
 		indChanged, err := e.applyINDs()
+		e.endRound()
 		if err == errBudget {
 			return false, nil
 		}

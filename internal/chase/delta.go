@@ -94,17 +94,33 @@ func (e *engine) dedup() {
 // or this IND created one), so the next scan starts past maxSeen. Tuple
 // IDs increase along the insertion order, making the delta a suffix.
 func (e *engine) applyINDs() (changed bool, err error) {
+	if e.par != nil {
+		if ran, changed, err := e.indPassPar(); ran {
+			return changed, err
+		}
+	}
+	return e.indPassSeq()
+}
+
+// indDeltaStart returns the index into order of the first tuple past
+// the IND's witnessed high-water mark. order is sorted (tuple IDs
+// increase along insertion order), so the delta is the suffix from it.
+func indDeltaStart(order []int32, maxSeen int32) int {
+	if maxSeen < 0 {
+		return 0
+	}
+	return sort.Search(len(order), func(k int) bool { return order[k] > maxSeen })
+}
+
+// indPassSeq is the sequential IND delta pass.
+func (e *engine) indPassSeq() (changed bool, err error) {
 	for i := range e.inds {
 		is := &e.inds[i]
 		lrel := &e.rels[is.lri]
-		width := e.rels[is.rri].width
 		// Snapshot the order slice header: tuples this pass appends (when
 		// LRel == RRel) are handled in the next round, as in the reference.
 		order := lrel.order
-		start := 0
-		if is.maxSeen >= 0 {
-			start = sort.Search(len(order), func(k int) bool { return order[k] > is.maxSeen })
-		}
+		start := indDeltaStart(order, is.maxSeen)
 		var scanStart time.Time
 		if e.prof != nil {
 			scanStart = time.Now()
@@ -116,46 +132,12 @@ func (e *engine) applyINDs() (changed bool, err error) {
 			if is.pi.witnessed(e, t, is.xs) {
 				continue
 			}
-			u := e.tmp
-			if cap(u) < width {
-				u = make([]int32, width)
-			}
-			u = u[:width]
-			e.tmp = u
-			for j := range u {
-				u[j] = -1
-			}
-			for j := range is.ys {
-				u[is.ys[j]] = t[is.xs[j]]
-			}
-			for j := range u {
-				if u[j] == -1 {
-					u[j] = e.newNull()
-				}
-			}
-			if e.prov != nil {
-				// Identify the pending insert as this IND firing on this
-				// witness tuple; insert's noteTuple consumes it.
-				e.prov.pendRule, e.prov.pendSrc = int32(i), tid
-			}
-			added, err := e.insert(is.rri, u)
-			if e.prov != nil {
-				e.prov.pendRule, e.prov.pendSrc = -1, -1
-			}
+			added, err := e.fireIND(i, tid, t)
 			if err != nil {
 				return changed, err
 			}
 			if added {
 				changed = true
-				e.cINDAdds.Inc()
-				if e.prof != nil {
-					a := &e.prof.ind[i]
-					a.fire(e.round)
-					a.produced++
-				}
-				if e.doTrace {
-					e.tracef("IND %v adds %v to %s for %v", is.d, e.describeTuple(u), is.d.RRel, e.describeTuple(t))
-				}
 			}
 		}
 		if e.prof != nil {
@@ -168,4 +150,55 @@ func (e *engine) applyINDs() (changed bool, err error) {
 		}
 	}
 	return changed, nil
+}
+
+// fireIND applies IND i to the unwitnessed left tuple tid (values t):
+// it builds the new right tuple with fresh nulls outside the target
+// columns and inserts it, attributing provenance, profile, trace and
+// counters exactly as the reference engine would. The caller has
+// already established that tid has no witness.
+func (e *engine) fireIND(i int, tid int32, t []int32) (added bool, err error) {
+	is := &e.inds[i]
+	width := e.rels[is.rri].width
+	u := e.tmp
+	if cap(u) < width {
+		u = make([]int32, width)
+	}
+	u = u[:width]
+	e.tmp = u
+	for j := range u {
+		u[j] = -1
+	}
+	for j := range is.ys {
+		u[is.ys[j]] = t[is.xs[j]]
+	}
+	for j := range u {
+		if u[j] == -1 {
+			u[j] = e.newNull()
+		}
+	}
+	if e.prov != nil {
+		// Identify the pending insert as this IND firing on this
+		// witness tuple; insert's noteTuple consumes it.
+		e.prov.pendRule, e.prov.pendSrc = int32(i), tid
+	}
+	added, err = e.insert(is.rri, u)
+	if e.prov != nil {
+		e.prov.pendRule, e.prov.pendSrc = -1, -1
+	}
+	if err != nil {
+		return false, err
+	}
+	if added {
+		e.cINDAdds.Inc()
+		if e.prof != nil {
+			a := &e.prof.ind[i]
+			a.fire(e.round)
+			a.produced++
+		}
+		if e.doTrace {
+			e.tracef("IND %v adds %v to %s for %v", is.d, e.describeTuple(u), is.d.RRel, e.describeTuple(t))
+		}
+	}
+	return added, nil
 }

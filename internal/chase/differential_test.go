@@ -142,73 +142,81 @@ func TestDifferentialFixtures(t *testing.T) {
 	diffImplies(t, "divergent tiny", dbDiv, sigmaDiv, goalDiv, Options{MaxTuples: 3})
 }
 
+// randomImpliesInstance draws one random implication instance — schema,
+// dependency set, goal, and tuple budget — from r. Shared by the
+// engine-vs-reference and parallel-vs-sequential differential tests so
+// both sweep the same instance distribution.
+func randomImpliesInstance(r *rand.Rand) (*schema.Database, []deps.Dependency, deps.Dependency, Options) {
+	attrPool := []string{"A", "B", "C", "D"}
+	nRels := 2 + r.IntN(3)
+	schemes := make([]*schema.Scheme, nRels)
+	names := make([]string, nRels)
+	widths := make([]int, nRels)
+	for i := range schemes {
+		names[i] = fmt.Sprintf("R%d", i)
+		w := 2 + r.IntN(3)
+		widths[i] = w
+		attrs := make([]schema.Attribute, w)
+		for j := 0; j < w; j++ {
+			attrs[j] = schema.Attribute(attrPool[j])
+		}
+		schemes[i] = schema.MustScheme(names[i], attrs...)
+	}
+	db := schema.MustDatabase(schemes...)
+
+	pick := func(i, n int) []schema.Attribute {
+		perm := r.Perm(widths[i])[:n]
+		out := make([]schema.Attribute, n)
+		for k, p := range perm {
+			out[k] = schema.Attribute(attrPool[p])
+		}
+		return out
+	}
+	randFD := func() deps.Dependency {
+		i := r.IntN(nRels)
+		return deps.NewFD(names[i], pick(i, 1+r.IntN(widths[i]-1)), pick(i, 1))
+	}
+	randRD := func() deps.Dependency {
+		i := r.IntN(nRels)
+		return deps.NewRD(names[i], pick(i, 1), pick(i, 1))
+	}
+	randIND := func() deps.Dependency {
+		i, j := r.IntN(nRels), r.IntN(nRels)
+		w := 1 + r.IntN(min(widths[i], widths[j]))
+		return deps.NewIND(names[i], pick(i, w), names[j], pick(j, w))
+	}
+	var sigma []deps.Dependency
+	for k := 2 + r.IntN(4); k > 0; k-- {
+		switch r.IntN(4) {
+		case 0:
+			sigma = append(sigma, randFD())
+		case 1:
+			sigma = append(sigma, randRD())
+		default:
+			sigma = append(sigma, randIND())
+		}
+	}
+	var goal deps.Dependency
+	switch r.IntN(3) {
+	case 0:
+		goal = randFD()
+	case 1:
+		goal = randRD()
+	default:
+		goal = randIND()
+	}
+	return db, sigma, goal, Options{MaxTuples: 40 + r.IntN(160)}
+}
+
 // TestDifferentialRandom compares the engines on seeded random schemas,
 // dependency sets, and goals — a mix of all three verdicts and of
 // contradiction errors under Complete-style constant seeding is expected
 // and checked line-for-line.
 func TestDifferentialRandom(t *testing.T) {
-	attrPool := []string{"A", "B", "C", "D"}
 	r := rand.New(rand.NewPCG(42, 7))
 	compared, skipped := 0, 0
 	for trial := 0; trial < 400; trial++ {
-		nRels := 2 + r.IntN(3)
-		schemes := make([]*schema.Scheme, nRels)
-		names := make([]string, nRels)
-		widths := make([]int, nRels)
-		for i := range schemes {
-			names[i] = fmt.Sprintf("R%d", i)
-			w := 2 + r.IntN(3)
-			widths[i] = w
-			attrs := make([]schema.Attribute, w)
-			for j := 0; j < w; j++ {
-				attrs[j] = schema.Attribute(attrPool[j])
-			}
-			schemes[i] = schema.MustScheme(names[i], attrs...)
-		}
-		db := schema.MustDatabase(schemes...)
-
-		pick := func(i, n int) []schema.Attribute {
-			perm := r.Perm(widths[i])[:n]
-			out := make([]schema.Attribute, n)
-			for k, p := range perm {
-				out[k] = schema.Attribute(attrPool[p])
-			}
-			return out
-		}
-		randFD := func() deps.Dependency {
-			i := r.IntN(nRels)
-			return deps.NewFD(names[i], pick(i, 1+r.IntN(widths[i]-1)), pick(i, 1))
-		}
-		randRD := func() deps.Dependency {
-			i := r.IntN(nRels)
-			return deps.NewRD(names[i], pick(i, 1), pick(i, 1))
-		}
-		randIND := func() deps.Dependency {
-			i, j := r.IntN(nRels), r.IntN(nRels)
-			w := 1 + r.IntN(min(widths[i], widths[j]))
-			return deps.NewIND(names[i], pick(i, w), names[j], pick(j, w))
-		}
-		var sigma []deps.Dependency
-		for k := 2 + r.IntN(4); k > 0; k-- {
-			switch r.IntN(4) {
-			case 0:
-				sigma = append(sigma, randFD())
-			case 1:
-				sigma = append(sigma, randRD())
-			default:
-				sigma = append(sigma, randIND())
-			}
-		}
-		var goal deps.Dependency
-		switch r.IntN(3) {
-		case 0:
-			goal = randFD()
-		case 1:
-			goal = randRD()
-		default:
-			goal = randIND()
-		}
-		opt := Options{MaxTuples: 40 + r.IntN(160)}
+		db, sigma, goal, opt := randomImpliesInstance(r)
 		// A chase can diverge without exhausting the live-tuple budget
 		// (dedup keeps freeing it while unions fire forever) — in both
 		// engines alike. Probe the instance on the reference engine under

@@ -51,11 +51,37 @@ type Result struct {
 	Profile *obs.DepProfile
 }
 
-// runToGoal chases until derived() holds, a fixpoint is reached, or the
+// goalDerived reports whether the entry point's goal now holds — the
+// per-round check runToGoal runs after every FD pass. It reads the
+// engine's goal fields directly (no closure) so a pooled warm run
+// allocates nothing.
+func (e *engine) goalDerived() bool {
+	switch e.goalKind {
+	case goalFD:
+		for _, y := range e.goalYs {
+			if !e.equal(e.goalT1[y], e.goalT2[y]) {
+				return false
+			}
+		}
+		return true
+	case goalIND:
+		return e.gpi.witnessed(e, e.goalT1, e.goalXs)
+	case goalRD:
+		for i := range e.goalXs {
+			if !e.equal(e.goalT1[e.goalXs[i]], e.goalT1[e.goalYs[i]]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// runToGoal chases until the goal holds, a fixpoint is reached, or the
 // budget runs out, checking the goal after every FD pass. The span (nil
 // when instrumentation is off) gets one child per round up to
 // spanRoundCap, and verdict/rounds/tuples attributes at the end.
-func (e *engine) runToGoal(derived func() bool, sp *obs.Span) (Result, error) {
+func (e *engine) runToGoal(sp *obs.Span) (Result, error) {
 	res := Result{}
 	for {
 		// The cancellation probe runs once per round, so a cancelled
@@ -85,7 +111,7 @@ func (e *engine) runToGoal(derived func() bool, sp *obs.Span) (Result, error) {
 			return res, err
 		}
 		e.dedup()
-		if derived() {
+		if e.goalDerived() {
 			round.SetInt("tuples", int64(e.tuples))
 			round.End()
 			return e.finish(res, Implied, sp)
@@ -93,6 +119,7 @@ func (e *engine) runToGoal(derived func() bool, sp *obs.Span) (Result, error) {
 		indChanged, err := e.applyINDs()
 		round.SetInt("tuples", int64(e.tuples))
 		round.End()
+		e.endRound()
 		if err == errBudget {
 			return e.finish(res, Unknown, sp)
 		}
@@ -112,6 +139,7 @@ func (e *engine) runToGoal(derived func() bool, sp *obs.Span) (Result, error) {
 // finish seals the result with the verdict and final tableau size, and
 // closes the span with verdict/rounds/tuples attributes.
 func (e *engine) finish(res Result, v Verdict, sp *obs.Span) (Result, error) {
+	e.endRound()
 	res.Verdict = v
 	res.Tuples = e.tuples
 	res.Trace = e.trace
@@ -133,33 +161,63 @@ func (e *engine) finish(res Result, v Verdict, sp *obs.Span) (Result, error) {
 	return res, nil
 }
 
+// resizeI32 returns s with length n, reusing its backing array when the
+// capacity allows (pooled scratch never shrinks).
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// positionsInto is positionsOf into a reused buffer.
+func positionsInto(dst []int, s *schema.Scheme, attrs []schema.Attribute) ([]int, error) {
+	dst = dst[:0]
+	for _, a := range attrs {
+		p, ok := s.Pos(a)
+		if !ok {
+			return dst, fmt.Errorf("chase: attribute %s not in scheme %s", a, s.Name())
+		}
+		dst = append(dst, p)
+	}
+	return dst, nil
+}
+
 // ImpliesFD tests sigma ⊨ goal for an FD goal R: X -> Y by chasing the
 // two-tuple tableau that agrees exactly on X.
 func ImpliesFD(db *schema.Database, sigma []deps.Dependency, goal deps.FD, opt Options) (Result, error) {
 	if err := goal.Validate(db); err != nil {
 		return Result{}, err
 	}
-	e, err := newEngine(db, sigma, opt)
+	e, err := acquireEngine(db, sigma, opt)
 	if err != nil {
 		return Result{}, err
 	}
+	res, err := e.impliesFD(goal, opt)
+	e.release(err)
+	return res, err
+}
+
+func (e *engine) impliesFD(goal deps.FD, opt Options) (Result, error) {
 	sp := opt.startSpan("chase.fd")
 	if sp != nil {
 		sp.SetAttr("goal", goal.String())
 	}
-	sch, _ := db.Scheme(goal.Rel)
-	t1 := make([]int32, sch.Width())
-	t2 := make([]int32, sch.Width())
+	sch, _ := e.db.Scheme(goal.Rel)
+	e.goalT1 = resizeI32(e.goalT1, sch.Width())
+	e.goalT2 = resizeI32(e.goalT2, sch.Width())
+	t1, t2 := e.goalT1, e.goalT2
 	for i := range t1 {
 		t1[i] = e.newNull()
 		t2[i] = e.newNull()
 	}
-	xs, err := positionsOf(sch, goal.X)
+	var err error
+	e.goalXs, err = positionsInto(e.goalXs, sch, goal.X)
 	if err != nil {
 		sp.End()
 		return Result{}, err
 	}
-	for _, p := range xs {
+	for _, p := range e.goalXs {
 		t2[p] = t1[p]
 	}
 	ri := e.relIdx[goal.Rel]
@@ -171,14 +229,16 @@ func ImpliesFD(db *schema.Database, sigma []deps.Dependency, goal deps.FD, opt O
 		sp.End()
 		return Result{}, err
 	}
-	ys, err := positionsOf(sch, goal.Y)
+	e.goalYs, err = positionsInto(e.goalYs, sch, goal.Y)
 	if err != nil {
 		sp.End()
 		return Result{}, err
 	}
+	e.goalKind = goalFD
 	if e.prov != nil {
 		// The goal holds when the two seed tuples (IDs 0 and 1) agree on
 		// Y; t1/t2 hold the arena's structural value IDs.
+		ys := e.goalYs
 		e.goalDesc = goal.String()
 		e.goalProv = func() ([][2]int32, []int32, error) {
 			pairs := make([][2]int32, len(ys))
@@ -188,14 +248,7 @@ func ImpliesFD(db *schema.Database, sigma []deps.Dependency, goal deps.FD, opt O
 			return pairs, []int32{0, 1}, nil
 		}
 	}
-	return e.runToGoal(func() bool {
-		for _, y := range ys {
-			if !e.equal(t1[y], t2[y]) {
-				return false
-			}
-		}
-		return true
-	}, sp)
+	return e.runToGoal(sp)
 }
 
 // ImpliesIND tests sigma ⊨ goal for an IND goal R[X] ⊆ S[Y] by chasing the
@@ -205,32 +258,50 @@ func ImpliesIND(db *schema.Database, sigma []deps.Dependency, goal deps.IND, opt
 	if err := goal.Validate(db); err != nil {
 		return Result{}, err
 	}
-	e, err := newEngine(db, sigma, opt)
+	e, err := acquireEngine(db, sigma, opt)
 	if err != nil {
 		return Result{}, err
 	}
+	res, err := e.impliesIND(goal, opt)
+	e.release(err)
+	return res, err
+}
+
+func (e *engine) impliesIND(goal deps.IND, opt Options) (Result, error) {
 	sp := opt.startSpan("chase.ind")
 	if sp != nil {
 		sp.SetAttr("goal", goal.String())
 	}
-	ls, _ := db.Scheme(goal.LRel)
-	rs, _ := db.Scheme(goal.RRel)
-	xs, err := positionsOf(ls, goal.X)
+	ls, _ := e.db.Scheme(goal.LRel)
+	rs, _ := e.db.Scheme(goal.RRel)
+	var err error
+	e.goalXs, err = positionsInto(e.goalXs, ls, goal.X)
 	if err != nil {
 		sp.End()
 		return Result{}, err
 	}
-	ys, err := positionsOf(rs, goal.Y)
+	e.goalYs, err = positionsInto(e.goalYs, rs, goal.Y)
 	if err != nil {
 		sp.End()
 		return Result{}, err
 	}
+	xs, ys := e.goalXs, e.goalYs
 	// The goal's own witness index, registered before any tuple exists so
 	// it sees every insert (including the seed itself when LRel == RRel).
+	// The index object is part of the engine's pooled scratch; reset
+	// unregisters it (see engine.reset), so re-registration here reuses
+	// both the object and the popped watcher slot.
 	rri := e.relIdx[goal.RRel]
-	gpi := &projIndex{pos: ys, keys: intern.New(16)}
-	e.rels[rri].watchers = append(e.rels[rri].watchers, gpi)
-	t := make([]int32, ls.Width())
+	if e.gpi == nil {
+		e.gpi = &projIndex{keys: intern.New(16)}
+	} else {
+		e.gpi.reset()
+	}
+	e.gpi.pos = ys
+	e.rels[rri].watchers = append(e.rels[rri].watchers, e.gpi)
+	e.gpiRel = rri
+	e.goalT1 = resizeI32(e.goalT1, ls.Width())
+	t := e.goalT1
 	for i := range t {
 		t[i] = e.newNull()
 	}
@@ -238,6 +309,7 @@ func ImpliesIND(db *schema.Database, sigma []deps.Dependency, goal deps.IND, opt
 		sp.End()
 		return Result{}, err
 	}
+	e.goalKind = goalIND
 	if e.prov != nil {
 		// The goal holds when some tuple of RRel canonically matches the
 		// seed's X projection; identify a concrete witness at extraction
@@ -265,9 +337,7 @@ func ImpliesIND(db *schema.Database, sigma []deps.Dependency, goal deps.IND, opt
 			return nil, nil, fmt.Errorf("chase: provenance found no witness tuple for %v", goal)
 		}
 	}
-	return e.runToGoal(func() bool {
-		return gpi.witnessed(e, t, xs)
-	}, sp)
+	return e.runToGoal(sp)
 }
 
 // ImpliesRD tests sigma ⊨ goal for an RD goal R[X = Y] by chasing the
@@ -276,16 +346,23 @@ func ImpliesRD(db *schema.Database, sigma []deps.Dependency, goal deps.RD, opt O
 	if err := goal.Validate(db); err != nil {
 		return Result{}, err
 	}
-	e, err := newEngine(db, sigma, opt)
+	e, err := acquireEngine(db, sigma, opt)
 	if err != nil {
 		return Result{}, err
 	}
+	res, err := e.impliesRD(goal, opt)
+	e.release(err)
+	return res, err
+}
+
+func (e *engine) impliesRD(goal deps.RD, opt Options) (Result, error) {
 	sp := opt.startSpan("chase.rd")
 	if sp != nil {
 		sp.SetAttr("goal", goal.String())
 	}
-	sch, _ := db.Scheme(goal.Rel)
-	t := make([]int32, sch.Width())
+	sch, _ := e.db.Scheme(goal.Rel)
+	e.goalT1 = resizeI32(e.goalT1, sch.Width())
+	t := e.goalT1
 	for i := range t {
 		t[i] = e.newNull()
 	}
@@ -293,17 +370,20 @@ func ImpliesRD(db *schema.Database, sigma []deps.Dependency, goal deps.RD, opt O
 		sp.End()
 		return Result{}, err
 	}
-	xs, err := positionsOf(sch, goal.X)
+	var err error
+	e.goalXs, err = positionsInto(e.goalXs, sch, goal.X)
 	if err != nil {
 		sp.End()
 		return Result{}, err
 	}
-	ys, err := positionsOf(sch, goal.Y)
+	e.goalYs, err = positionsInto(e.goalYs, sch, goal.Y)
 	if err != nil {
 		sp.End()
 		return Result{}, err
 	}
+	e.goalKind = goalRD
 	if e.prov != nil {
+		xs, ys := e.goalXs, e.goalYs
 		e.goalDesc = goal.String()
 		e.goalProv = func() ([][2]int32, []int32, error) {
 			pairs := make([][2]int32, len(xs))
@@ -313,14 +393,7 @@ func ImpliesRD(db *schema.Database, sigma []deps.Dependency, goal deps.RD, opt O
 			return pairs, []int32{0}, nil
 		}
 	}
-	return e.runToGoal(func() bool {
-		for i := range xs {
-			if !e.equal(t[xs[i]], t[ys[i]]) {
-				return false
-			}
-		}
-		return true
-	}, sp)
+	return e.runToGoal(sp)
 }
 
 // Implies dispatches on the kind of the goal dependency.
@@ -348,10 +421,16 @@ func Implies(db *schema.Database, sigma []deps.Dependency, goal deps.Dependency,
 // Section 7's counterexample databases (Figs 7.1, 7.4, 7.5) are built this
 // way: a small seed in relation F, completed under (a subset of) Σ.
 func Complete(seed *data.Database, sigma []deps.Dependency, opt Options) (*data.Database, error) {
-	e, err := newEngine(seed.Scheme(), sigma, opt)
+	e, err := acquireEngine(seed.Scheme(), sigma, opt)
 	if err != nil {
 		return nil, err
 	}
+	out, err := e.complete(seed, opt)
+	e.release(err)
+	return out, err
+}
+
+func (e *engine) complete(seed *data.Database, opt Options) (*data.Database, error) {
 	sp := opt.startSpan("chase.complete")
 	defer sp.End()
 	for _, rel := range seed.Scheme().Names() {

@@ -92,6 +92,14 @@ func (pi *projIndex) remove(tid int32) {
 	pi.contrib[tid] = -1
 }
 
+// reset rewinds the index to empty while keeping its backing
+// allocations warm (pool reuse).
+func (pi *projIndex) reset() {
+	pi.keys.Reset()
+	pi.count = pi.count[:0]
+	pi.contrib = pi.contrib[:0]
+}
+
 // witnessed reports whether some live indexed tuple's projection equals
 // t's projection at pos. Sound whenever the dirty queue is drained: all
 // keys then reflect current roots, so key equality is canonical equality.
@@ -140,7 +148,15 @@ func (e *engine) newValue(name string) int32 {
 	e.parent = append(e.parent, id)
 	e.label = append(e.label, id)
 	e.name = append(e.name, name)
-	e.watch = append(e.watch, nil)
+	// Reuse a watch-list slot left behind by a pool reset when one
+	// exists (the inner slice keeps its capacity), so a warm pooled
+	// run's inserts allocate nothing.
+	if n := len(e.watch); n < cap(e.watch) {
+		e.watch = e.watch[:n+1]
+		e.watch[n] = e.watch[n][:0]
+	} else {
+		e.watch = append(e.watch, nil)
+	}
 	return id
 }
 
@@ -158,6 +174,16 @@ func (e *engine) newConst(name string) int32 {
 func (e *engine) find(x int32) int32 {
 	for e.parent[x] != x {
 		e.parent[x] = e.parent[e.parent[x]]
+		x = e.parent[x]
+	}
+	return x
+}
+
+// findRO is find without path halving: workers probing a frozen
+// tableau concurrently must not write parent (that would race), and
+// path halving keeps chains short enough that the pure walk is cheap.
+func (e *engine) findRO(x int32) int32 {
+	for e.parent[x] != x {
 		x = e.parent[x]
 	}
 	return x
@@ -199,7 +225,10 @@ func (e *engine) union(a, b int32) (changed bool, err error) {
 		e.markDirty(tid)
 	}
 	e.watch[ra] = append(e.watch[ra], e.watch[rb]...)
-	e.watch[rb] = nil
+	// Truncate (not nil) the loser's list: rb is no longer a root so the
+	// contents are dead, but the backing array stays warm for the slot's
+	// next life after a pool reset.
+	e.watch[rb] = e.watch[rb][:0]
 	e.cUnions.Inc()
 	return true, nil
 }

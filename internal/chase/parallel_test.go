@@ -1,0 +1,180 @@
+package chase
+
+// Differential pinning of the sharded delta passes against the
+// sequential semi-naive engine: at any worker count the parallel engine
+// must be bit-deterministic — same verdicts, rounds, tuples,
+// byte-identical traces, identical counterexamples, and identical
+// chase.* counters including the semi-naive extras (delta_tuples,
+// rekeyed_tuples, scans_skipped). ParThreshold: -1 forces sharding even
+// on tiny instances so every pass actually exercises the probe/merge
+// machinery.
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"indfd/internal/deps"
+	"indfd/internal/obs"
+	"indfd/internal/schema"
+)
+
+var parWorkerCounts = []int{2, 8}
+
+// parCounters is everything the sequential and sharded engines must
+// agree on — the reference set plus the semi-naive extras. Only the
+// sharding telemetry itself (chase.parallel_rounds,
+// chase.worker_merge_conflicts) is excluded: it reports how the work
+// was scheduled, not what the chase computed.
+var parCounters = append([]string{
+	"chase.delta_tuples",
+	"chase.rekeyed_tuples",
+	"chase.scans_skipped",
+}, refCounters...)
+
+// diffParallel runs the same instance sequentially and with w workers
+// (sharding forced) and fails on any observable divergence.
+func diffParallel(t *testing.T, label string, db *schema.Database, sigma []deps.Dependency, goal deps.Dependency, opt Options, w int) {
+	t.Helper()
+	regSeq, regPar := obs.New(), obs.New()
+	optSeq, optPar := opt, opt
+	optSeq.Obs, optSeq.Trace = regSeq, true
+	optPar.Obs, optPar.Trace = regPar, true
+	optPar.Workers, optPar.ParThreshold = w, -1
+	want, wantErr := Implies(db, sigma, goal, optSeq)
+	got, gotErr := Implies(db, sigma, goal, optPar)
+	compareResults(t, label, got, gotErr, want, wantErr)
+	for _, name := range parCounters {
+		if g, s := regPar.Counter(name).Value(), regSeq.Counter(name).Value(); g != s {
+			t.Errorf("%s: counter %s = %d parallel, %d sequential", label, name, g, s)
+		}
+	}
+	if g, s := regPar.Gauge("chase.tuples_peak").Value(), regSeq.Gauge("chase.tuples_peak").Value(); g != s {
+		t.Errorf("%s: gauge chase.tuples_peak = %d parallel, %d sequential", label, g, s)
+	}
+}
+
+func TestParallelDifferentialFixtures(t *testing.T) {
+	db41 := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma41 := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	dbChain := schema.MustDatabase(
+		schema.MustScheme("R", "A", "B"),
+		schema.MustScheme("S", "C", "D"),
+		schema.MustScheme("T", "E", "F"),
+	)
+	sigmaChain := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("A"), "S", deps.Attrs("C")),
+		deps.NewIND("S", deps.Attrs("C"), "T", deps.Attrs("E")),
+	}
+	dbDiv, sigmaDiv, goalDiv := divergentInstance()
+	for _, w := range parWorkerCounts {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			diffParallel(t, "prop4.1 fd", db41, sigma41,
+				deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{}, w)
+			diffParallel(t, "prop4.1 rd", db41, sigma41,
+				deps.NewRD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{}, w)
+			diffParallel(t, "prop4.1 not-implied", db41, sigma41,
+				deps.NewFD("S", deps.Attrs("U"), deps.Attrs("T")), Options{}, w)
+			diffParallel(t, "ind chain", dbChain, sigmaChain,
+				deps.NewIND("R", deps.Attrs("A"), "T", deps.Attrs("E")), Options{}, w)
+			diffParallel(t, "ind chain not-implied", dbChain, sigmaChain,
+				deps.NewIND("T", deps.Attrs("E"), "R", deps.Attrs("A")), Options{}, w)
+			diffParallel(t, "divergent", dbDiv, sigmaDiv, goalDiv, Options{MaxTuples: 64}, w)
+			diffParallel(t, "divergent tiny", dbDiv, sigmaDiv, goalDiv, Options{MaxTuples: 3}, w)
+		})
+	}
+}
+
+// TestParallelDifferentialRandom sweeps the sharded engine against the
+// sequential one over the same seeded instance distribution the
+// engine-vs-reference differential uses, at every worker count.
+func TestParallelDifferentialRandom(t *testing.T) {
+	r := rand.New(rand.NewPCG(42, 7))
+	compared, skipped := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		db, sigma, goal, opt := randomImpliesInstance(r)
+		// Same divergence probe as TestDifferentialRandom: skip the
+		// instances that don't terminate on their own.
+		probeCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		probeOpt := opt
+		probeOpt.Ctx = probeCtx
+		_, probeErr := Implies(db, sigma, goal, probeOpt)
+		cancel()
+		if probeErr != nil {
+			skipped++
+			continue
+		}
+		for _, w := range parWorkerCounts {
+			label := fmt.Sprintf("trial %d (workers=%d): %v |= %v", trial, w, sigma, goal)
+			diffParallel(t, label, db, sigma, goal, opt, w)
+		}
+		compared++
+	}
+	t.Logf("compared %d random instances at workers %v (%d diverging instances skipped)",
+		compared, parWorkerCounts, skipped)
+	if compared < 100 {
+		t.Errorf("only %d random instances compared; generator or probe broken", compared)
+	}
+}
+
+// TestParallelRoundsCounted checks the scheduling telemetry: with
+// sharding forced, chase.parallel_rounds advances and the sequential
+// engine never touches it.
+func TestParallelRoundsCounted(t *testing.T) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	goal := deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y"))
+
+	reg := obs.New()
+	if _, err := ImpliesFD(db, sigma, goal, Options{Obs: reg, Workers: 4, ParThreshold: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("chase.parallel_rounds").Value() == 0 {
+		t.Error("sharding forced but chase.parallel_rounds stayed 0")
+	}
+
+	seq := obs.New()
+	if _, err := ImpliesFD(db, sigma, goal, Options{Obs: seq}); err != nil {
+		t.Fatal(err)
+	}
+	if v := seq.Counter("chase.parallel_rounds").Value(); v != 0 {
+		t.Errorf("sequential run counted %d parallel rounds", v)
+	}
+}
+
+// TestParallelThresholdFallsBack pins the default behavior: below
+// ParThreshold the engine runs the sequential passes even when workers
+// are configured, so tiny requests never pay the fan-out overhead.
+func TestParallelThresholdFallsBack(t *testing.T) {
+	db := schema.MustDatabase(
+		schema.MustScheme("R", "X", "Y"),
+		schema.MustScheme("S", "T", "U"),
+	)
+	sigma := []deps.Dependency{
+		deps.NewIND("R", deps.Attrs("X", "Y"), "S", deps.Attrs("T", "U")),
+		deps.NewFD("S", deps.Attrs("T"), deps.Attrs("U")),
+	}
+	goal := deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y"))
+	reg := obs.New()
+	// Default threshold (1024 delta items) is far above this fixture.
+	if _, err := ImpliesFD(db, sigma, goal, Options{Obs: reg, Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("chase.parallel_rounds").Value(); v != 0 {
+		t.Errorf("tiny instance still took %d sharded rounds; threshold gate broken", v)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package chase
+
+// See race_enabled_test.go.
+const raceDetectorEnabled = false

@@ -134,6 +134,16 @@ type Options struct {
 	// and unary engines always run to completion. A nil Ctx never
 	// cancels.
 	Ctx context.Context
+	// ChaseWorkers shards the chase's delta scans across a bounded worker
+	// pool when a pass is large enough (see chase.Options.Workers).
+	// Verdicts, traces and counters are bit-identical to the sequential
+	// engine at any worker count; 0 or 1 keeps the chase sequential.
+	ChaseWorkers int
+	// ChasePool, when non-nil, recycles chase engine state across queries
+	// keyed by a (schema, sigma) fingerprint, making warm repeat queries
+	// nearly allocation-free (see chase.EnginePool). Safe to share across
+	// concurrent queries.
+	ChasePool *chase.EnginePool
 }
 
 // System is a database scheme plus a dependency set Σ.
@@ -433,6 +443,7 @@ func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, op
 	res, err := chase.Implies(s.db, relevant, goal, chase.Options{
 		MaxTuples: opt.ChaseMaxTuples, Obs: opt.Obs, Span: sp, Ctx: opt.Ctx,
 		Provenance: opt.Provenance, Profile: opt.Profile,
+		Workers: opt.ChaseWorkers, Pool: opt.ChasePool,
 	})
 	if err != nil {
 		// A cancelled chase returns the rounds and tuples it managed —

@@ -11,37 +11,86 @@
 // of a key allocates — the one string copy the table keeps — so probing
 // with already-seen keys costs no garbage at all. Dense IDs mean callers
 // can keep per-key state in flat slices indexed by ID instead of maps.
+//
+// Tables are resettable in O(1): Reset bumps an epoch instead of
+// clearing the map, so a pooled engine that replays the same keys after
+// a reset re-interns them without re-copying the strings — the warm
+// steady state allocates nothing at all.
 package intern
+
+// resetDropCap bounds how many distinct keys a reset keeps cached. A
+// table that accumulated more than this across epochs drops its map on
+// the next Reset, trading one rebuild for bounded memory in pools fed
+// by adversarial key streams.
+const resetDropCap = 1 << 16
 
 // Table assigns dense IDs to byte keys. The zero value is not ready for
 // use; call New.
 type Table struct {
-	ids map[string]int32
+	ids   map[string]*entry
+	next  int32
+	epoch uint32
+}
+
+// entry is a key's ID stamped with the epoch that minted it; entries
+// from earlier epochs are invisible but keep their string allocation
+// warm for re-interning. Entries are pointers so a stale-epoch hit can
+// be revived in place — a map *assignment* with a string(buf) key would
+// re-copy the key, only lookups get the allocation-free conversion. (A
+// uint32 epoch wraps after 2^32 Resets; a pooled engine resetting once
+// per request would need 136 years at 1 req/s to get there.)
+type entry struct {
+	id    int32
+	epoch uint32
 }
 
 // New returns an empty table with room hinted for capHint keys.
 func New(capHint int) *Table {
-	return &Table{ids: make(map[string]int32, capHint)}
+	return &Table{ids: make(map[string]*entry, capHint)}
 }
 
 // Intern returns the ID of the key in buf, minting the next dense ID on
-// first sight. Only a first sight allocates (the string copy the table
-// keeps); probing with an existing key is allocation-free.
+// first sight. Only a first sight of a key the table has never held
+// allocates (the string copy the table keeps, plus its entry); probing
+// with an existing key — including one cached from a previous epoch —
+// is allocation-free.
 func (t *Table) Intern(buf []byte) (id int32, fresh bool) {
-	if id, ok := t.ids[string(buf)]; ok {
-		return id, false
+	if en, ok := t.ids[string(buf)]; ok {
+		if en.epoch == t.epoch {
+			return en.id, false
+		}
+		en.id = t.next
+		en.epoch = t.epoch
+		t.next++
+		return en.id, true
 	}
-	id = int32(len(t.ids))
-	t.ids[string(buf)] = id
+	id = t.next
+	t.next++
+	t.ids[string(buf)] = &entry{id: id, epoch: t.epoch}
 	return id, true
 }
 
 // Lookup probes without inserting; it never allocates.
 func (t *Table) Lookup(buf []byte) (int32, bool) {
-	id, ok := t.ids[string(buf)]
-	return id, ok
+	en, ok := t.ids[string(buf)]
+	if !ok || en.epoch != t.epoch {
+		return 0, false
+	}
+	return en.id, true
 }
 
-// Len is the number of distinct keys interned so far; the next fresh
-// key receives ID Len().
-func (t *Table) Len() int { return len(t.ids) }
+// Len is the number of distinct keys interned in the current epoch; the
+// next fresh key receives ID Len().
+func (t *Table) Len() int { return int(t.next) }
+
+// Reset empties the table in O(1) by starting a new epoch. The key
+// strings cached by earlier epochs are kept (so re-interning them after
+// the reset allocates nothing) unless the table has grown past
+// resetDropCap distinct keys, in which case the map is dropped.
+func (t *Table) Reset() {
+	t.epoch++
+	t.next = 0
+	if len(t.ids) > resetDropCap {
+		t.ids = make(map[string]*entry, 64)
+	}
+}

@@ -51,3 +51,50 @@ func TestInternProbeAllocFree(t *testing.T) {
 		t.Errorf("probing an existing key allocates %.1f times per run, want 0", allocs)
 	}
 }
+
+func TestResetStartsNewEpoch(t *testing.T) {
+	tb := New(4)
+	tb.Intern([]byte("alpha"))
+	tb.Intern([]byte("beta"))
+	tb.Reset()
+	if tb.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", tb.Len())
+	}
+	if _, ok := tb.Lookup([]byte("alpha")); ok {
+		t.Fatal("pre-reset key visible after Reset")
+	}
+	// Re-interning in a fresh order re-mints dense IDs from 0.
+	id, fresh := tb.Intern([]byte("beta"))
+	if id != 0 || !fresh {
+		t.Fatalf("first post-reset key: id=%d fresh=%v, want 0 true", id, fresh)
+	}
+	id, fresh = tb.Intern([]byte("alpha"))
+	if id != 1 || !fresh {
+		t.Fatalf("second post-reset key: id=%d fresh=%v, want 1 true", id, fresh)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+}
+
+func TestResetWarmReplayAllocFree(t *testing.T) {
+	tb := New(8)
+	keys := [][]byte{[]byte("k1"), []byte("k2"), []byte("k3")}
+	for _, k := range keys {
+		tb.Intern(k)
+	}
+	// A reset + replay of keys seen in any earlier epoch must not
+	// allocate: the map still owns the string copies.
+	allocs := testing.AllocsPerRun(200, func() {
+		tb.Reset()
+		for i, k := range keys {
+			id, fresh := tb.Intern(k)
+			if int(id) != i || !fresh {
+				t.Fatalf("replay of %q: id=%d fresh=%v", k, id, fresh)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm replay allocates %.1f times per run, want 0", allocs)
+	}
+}

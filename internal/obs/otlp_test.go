@@ -17,6 +17,11 @@ import (
 func otlpFixture() (*Snapshot, []*RequestRecord) {
 	reg := New()
 	reg.Counter("chase.rounds").Add(42)
+	reg.Counter("chase.parallel_rounds").Add(9)
+	reg.Counter("chase.worker_merge_conflicts").Add(2)
+	reg.Counter("pool.hits").Add(11)
+	reg.Counter("pool.misses").Add(4)
+	reg.Counter("pool.discards").Add(1)
 	reg.Counter(MetricName("http.requests", "path", "/v1/implies", "code", "200")).Add(7)
 	reg.Gauge("http.in_flight").Set(2)
 	reg.Gauge(MetricName("process.build_info", "version", "v1.2.3", "goversion", "go1.22", "revision", "abc123")).Set(1)

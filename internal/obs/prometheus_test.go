@@ -20,6 +20,11 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 func goldenRegistry() *Registry {
 	reg := New()
 	reg.Counter("chase.rounds").Add(42)
+	reg.Counter("chase.parallel_rounds").Add(9)
+	reg.Counter("chase.worker_merge_conflicts").Add(2)
+	reg.Counter("pool.hits").Add(11)
+	reg.Counter("pool.misses").Add(4)
+	reg.Counter("pool.discards").Add(1)
 	reg.Counter(MetricName("http.requests", "path", "/v1/implies", "code", "200")).Add(7)
 	reg.Counter(MetricName("http.requests", "path", "/v1/implies", "code", "503")).Add(1)
 	reg.Counter(MetricName("http.requests", "path", "/metrics", "code", "200")).Add(3)

@@ -26,6 +26,10 @@ var runtimeSamples = []struct {
 	{"/memory/classes/heap/objects:bytes", "process.heap_objects_bytes"},
 	{"/memory/classes/total:bytes", "process.memory_total_bytes"},
 	{"/gc/cycles/total:gc-cycles", "process.gc_cycles_total"},
+	// Cumulative heap allocation count: loadgen scrapes this before and
+	// after a measured window to report allocs-per-request, the number
+	// the engine pool exists to drive toward zero.
+	{"/gc/heap/allocs:objects", "process.heap_allocs_total"},
 }
 
 // processStart anchors process.uptime_seconds: the package is

@@ -175,6 +175,19 @@ func (d *Database) String() string {
 // attribute. Both sides of an IND and each side of an FD must be distinct
 // sequences (Section 2 of the paper).
 func Distinct(seq []Attribute) bool {
+	// Dependency sides are a handful of attributes; the quadratic scan
+	// is both faster and allocation-free there (goal validation sits on
+	// the pooled serve path, which pins zero steady-state allocations).
+	if len(seq) <= 16 {
+		for i := 1; i < len(seq); i++ {
+			for j := 0; j < i; j++ {
+				if seq[j] == seq[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	seen := make(map[Attribute]bool, len(seq))
 	for _, a := range seq {
 		if seen[a] {

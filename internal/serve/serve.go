@@ -122,6 +122,18 @@ type Config struct {
 	// Service names the OTLP resource served at /debug/otlp (default
 	// "depserve").
 	Service string
+	// ChaseWorkers shards each chase round's delta scans across this
+	// many workers when a pass is large enough (0 or 1 = sequential).
+	// Verdicts, traces and counters are bit-identical to the sequential
+	// engine at any worker count.
+	ChaseWorkers int
+	// PoolDisabled turns off cross-request chase-engine pooling. Pooling
+	// is on by default: engines are recycled keyed by a (schema, sigma)
+	// fingerprint, making warm repeat requests nearly allocation-free
+	// (pool.hits/misses/discards count its behavior). Engines from
+	// requests killed by deadline or cancellation are discarded, never
+	// reused.
+	PoolDisabled bool
 }
 
 // Server answers implication traffic over HTTP. Create with New; the
@@ -139,6 +151,7 @@ type Server struct {
 	rec     *obs.Recorder
 	exp     *obs.Exporter
 	dig     *obs.DigestStore
+	pool    *chase.EnginePool
 
 	gInFlight     *obs.Gauge
 	cSlow         *obs.Counter
@@ -194,6 +207,9 @@ func New(cfg Config) *Server {
 		dig:           obs.NewDigestStore(cfg.DigestSize, cfg.Reg),
 	}
 	s.idBase = fmt.Sprintf("%x", s.started.UnixNano()&0xfffffff)
+	if !cfg.PoolDisabled {
+		s.pool = chase.NewEnginePool(cfg.Reg)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/implies", s.instrument("/v1/implies", s.handleImplies))
@@ -391,6 +407,8 @@ func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req Impli
 		Profile:        req.Profile,
 		Obs:            s.reg,
 		Ctx:            ctx,
+		ChaseWorkers:   s.cfg.ChaseWorkers,
+		ChasePool:      s.pool,
 	}
 
 	// The flight-recorder draft (nil when recording is off) gets the
