@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race zeroalloc bench benchjson bench-json bench-diff serve slo-gate
+.PHONY: check build vet lint test race race-hammer zeroalloc bench benchjson bench-json bench-diff serve slo-gate
 
 check: build vet lint race zeroalloc
 
@@ -25,6 +25,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The registry's concurrency pin, repeated across GOMAXPROCS settings:
+# 32 writers republishing a schema against 32 readers running batches,
+# every answer checked against the Σ its echoed version published.
+race-hammer:
+	$(GO) test -race -cpu 1,2,8 -run TestRegistryRaceHammer -count=1 ./internal/serve/
+
 # The zero-cost-when-off gate: the chase with instrumentation and
 # provenance disabled must stay under its pinned allocation ceiling.
 # -count=1 defeats the test cache — an allocation regression must fail
@@ -41,7 +47,7 @@ bench:
 # (interned IND frontier, exhaustive search sharding) as a smoke check.
 # CI runs this to keep the baseline honest.
 bench-json:
-	$(GO) test -run TestMain -bench 'BenchmarkChaseObs$$|BenchmarkChaseProfile$$|BenchmarkChaseParallel$$|BenchmarkChasePool$$|BenchmarkINDDecide$$|BenchmarkSearchExhaustive$$' -benchjson BENCH_engines.json .
+	$(GO) test -run TestMain -bench 'BenchmarkChaseObs$$|BenchmarkChaseProfile$$|BenchmarkChaseParallel$$|BenchmarkChasePool$$|BenchmarkINDDecide$$|BenchmarkSearchExhaustive$$|BenchmarkBatchImplies$$|BenchmarkFootprintCache$$' -benchjson BENCH_engines.json .
 
 benchjson: bench-json
 

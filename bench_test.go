@@ -8,13 +8,20 @@ package indfd
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/big"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"indfd/internal/benchws"
 	"indfd/internal/chase"
+	"indfd/internal/core"
 	"indfd/internal/counterex"
 	"indfd/internal/data"
 	"indfd/internal/deps"
@@ -32,6 +39,7 @@ import (
 	"indfd/internal/rules"
 	"indfd/internal/schema"
 	"indfd/internal/search"
+	"indfd/internal/serve"
 	"indfd/internal/td"
 	"indfd/internal/unary"
 )
@@ -964,6 +972,139 @@ func BenchmarkChaseProfile(b *testing.B) {
 			res, err := s.Lemma72(chase.Options{Profile: true})
 			if err != nil || res.Verdict != chase.Implied || res.Profile == nil {
 				b.Fatal("profiled Lemma 7.2 chase wrong")
+			}
+		}
+	})
+}
+
+// --- batch implication and the footprint-keyed answer cache ----------------
+
+// benchServer boots an in-process depserve on a discard logger.
+func benchServer(b *testing.B, cacheSize int) *httptest.Server {
+	b.Helper()
+	s := serve.New(serve.Config{
+		Reg:       obs.New(),
+		Logger:    slog.New(slog.NewJSONHandler(io.Discard, nil)),
+		CacheSize: cacheSize,
+	})
+	s.SetReady(true)
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchPost(b *testing.B, url, body string) {
+	b.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+}
+
+// benchBatchInstance renders the shared instance: R(A0..A31) with the
+// 31-step FD chain, and n goals R: A0 -> Ai cycling the chain depths.
+func benchBatchInstance(n int) (schemaJSON, sigmaJSON string, goals []string) {
+	attrs := make([]string, 32)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("A%d", i)
+	}
+	schemaJSON = fmt.Sprintf(`["R(%s)"]`, strings.Join(attrs, ", "))
+	members := make([]string, 31)
+	for i := range members {
+		members[i] = fmt.Sprintf(`"R: A%d -> A%d"`, i, i+1)
+	}
+	sigmaJSON = "[" + strings.Join(members, ", ") + "]"
+	goals = make([]string, n)
+	for i := range goals {
+		goals[i] = fmt.Sprintf("R: A0 -> A%d", 1+i%31)
+	}
+	return schemaJSON, sigmaJSON, goals
+}
+
+// BenchmarkBatchImplies is the batch-vs-sequential ablation: n goals
+// answered by one POST /v1/batch against n separate POST /v1/implies,
+// all against the same inline 32-attribute FD-chain schema with the
+// cache off, so the comparison isolates what the batch endpoint
+// amortizes — one parse, one compiled system, one warm engine pool per
+// request instead of per goal. The sequential ns/op and the batch
+// ns/goal metric are directly comparable; the acceptance bar is
+// batch=100 at least 5x below sequential.
+func BenchmarkBatchImplies(b *testing.B) {
+	ts := benchServer(b, 0)
+	b.Run("sequential", func(b *testing.B) {
+		schemaJSON, sigmaJSON, goals := benchBatchInstance(100)
+		bodies := make([]string, len(goals))
+		for i, g := range goals {
+			bodies[i] = fmt.Sprintf(`{"schema": %s, "sigma": %s, "goal": %q}`,
+				schemaJSON, sigmaJSON, g)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, ts.URL+"/v1/implies", bodies[i%len(bodies)])
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/goal")
+	})
+	for _, size := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			schemaJSON, sigmaJSON, goals := benchBatchInstance(size)
+			quoted := make([]string, len(goals))
+			for i, g := range goals {
+				quoted[i] = fmt.Sprintf("%q", g)
+			}
+			body := fmt.Sprintf(`{"schema": %s, "sigma": %s, "goals": [%s]}`,
+				schemaJSON, sigmaJSON, strings.Join(quoted, ", "))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchPost(b, ts.URL+"/v1/batch", body)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/goal")
+		})
+	}
+}
+
+// BenchmarkFootprintCache times the answer cache's serving hot path —
+// the same /v1/implies request against a cold server (full engine run
+// every time) and a warm one (footprint-keyed hit) — plus the
+// cache-side cost of one tagged insert and its surgical invalidation.
+func BenchmarkFootprintCache(b *testing.B) {
+	schemaJSON, sigmaJSON, goals := benchBatchInstance(31)
+	body := fmt.Sprintf(`{"schema": %s, "sigma": %s, "goal": %q}`,
+		schemaJSON, sigmaJSON, goals[30])
+	b.Run("uncached", func(b *testing.B) {
+		ts := benchServer(b, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, ts.URL+"/v1/implies", body)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		ts := benchServer(b, 1024)
+		benchPost(b, ts.URL+"/v1/implies", body) // prime: every timed request hits
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, ts.URL+"/v1/implies", body)
+		}
+	})
+	b.Run("invalidate", func(b *testing.B) {
+		cache := core.NewAnswerCache(4096, time.Hour, nil)
+		val := core.CachedAnswer{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			key := fmt.Sprintf("k%d", i&1023)
+			cache.PutTagged(key, val, []string{"m1", "m2"})
+			if n := cache.InvalidateMembers("m1"); n != 1 {
+				b.Fatalf("invalidated %d entries, want 1", n)
 			}
 		}
 	})

@@ -13,6 +13,7 @@
 //	         [-cache-size 1024] [-cache-ttl 0] [-trace-buf 128]
 //	         [-digest-size 256] [-otlp-file FILE] [-otlp-endpoint URL]
 //	         [-chase-workers N] [-pool=false]
+//	         [-max-batch 256] [-batch-fanout N]
 //	         [-stats] [-trace-json FILE] [-pprof ADDR] [-memprofile FILE]
 //
 // Endpoints (see internal/serve):
@@ -21,6 +22,14 @@
 //	POST /v1/explain     implication query answered with its evidence
 //	                     (proof, derivation DAG, or counterexample)
 //	POST /v1/satisfies   satisfaction check of concrete tuples
+//	POST /v1/batch       up to -max-batch goals against one inline or
+//	                     registered Σ, one shared setup, fanned across
+//	                     -batch-fanout workers
+//	PUT/GET/DELETE /v1/schemas/{name}  named-schema registry: versioned,
+//	                     pre-compiled (schema, Σ) sets with warm engine
+//	                     pools; edits surgically evict only the cached
+//	                     answers whose footprint used a changed member
+//	POST /v1/schemas/{name}/algebra    union/intersect/minimal-cover
 //	GET  /metrics        Prometheus text exposition
 //	GET  /healthz        liveness
 //	GET  /readyz         readiness (armed once the listener is bound)
@@ -79,13 +88,15 @@ func main() {
 	otlpEndpoint := flag.String("otlp-endpoint", "", "POST OTLP/JSON telemetry batches to this URL")
 	chaseWorkers := flag.Int("chase-workers", 0, "shard chase delta scans across this many workers (0 or 1 = sequential; verdicts are bit-identical either way)")
 	pool := flag.Bool("pool", true, "recycle chase engine state across requests keyed by (schema, sigma)")
+	maxBatch := flag.Int("max-batch", 256, "cap on the goals in one /v1/batch request")
+	batchFanout := flag.Int("batch-fanout", 0, "workers a batch's goals fan across (0 = GOMAXPROCS)")
 	obsFlags := cliutil.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	if err := run(logger, *addr, *deadline, *maxDeadline, *slow, *budget, *search, *spanCap,
 		*cacheSize, *cacheTTL, *traceBuf, *digestSize, *otlpFile, *otlpEndpoint,
-		*chaseWorkers, *pool, obsFlags); err != nil {
+		*chaseWorkers, *pool, *maxBatch, *batchFanout, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "depserve:", err)
 		os.Exit(1)
 	}
@@ -94,7 +105,7 @@ func main() {
 func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Duration,
 	budget int, search bool, spanCap, cacheSize int, cacheTTL time.Duration,
 	traceBuf, digestSize int, otlpFile, otlpEndpoint string,
-	chaseWorkers int, pool bool, obsFlags *cliutil.ObsFlags) error {
+	chaseWorkers int, pool bool, maxBatch, batchFanout int, obsFlags *cliutil.ObsFlags) error {
 	// The server always runs instrumented — /metrics is its point — so
 	// the registry does not depend on the -stats/-trace-json flags.
 	reg := obs.New()
@@ -139,6 +150,8 @@ func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Dura
 		Exporter:        exporter,
 		ChaseWorkers:    chaseWorkers,
 		PoolDisabled:    !pool,
+		MaxBatch:        maxBatch,
+		BatchFanout:     batchFanout,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

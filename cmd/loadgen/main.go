@@ -18,9 +18,19 @@
 // The workload is a JSON-lines file of named scenarios (route, body,
 // weight); without -workload a built-in mix runs: an IND-chain
 // implication, an FD proof via /v1/explain, the benchws IND spiral
-// under a small budget, and the wide-FD tableau — the same instance
-// families the committed engine baseline measures, now measured
-// end-to-end through the HTTP layer.
+// under a small budget, the wide-FD tableau, a schema registration and
+// a named-schema batch — the same instance families the committed
+// engine baseline measures, now measured end-to-end through the HTTP
+// layer.
+//
+// Two scenario kinds get special handling. "register_schema" scenarios
+// default to the PUT method and are additionally fired once,
+// synchronously, before warmup — so scenarios that reference a
+// registered schema by name never race their own registration — and
+// then keep firing inside the weighted mix, exercising version bumps
+// and the footprint cache sweep under load. "batch" scenarios default
+// to the /v1/batch route; their bodies pose many goals per request, so
+// their latency is a per-batch figure, not per-goal.
 //
 // Besides latency, the report records the server's allocation price:
 // the target's cumulative heap-allocation gauge is scraped from
@@ -124,11 +134,47 @@ type config struct {
 // scenario is one weighted request shape. Method defaults to POST when
 // a body is present, GET otherwise.
 type scenario struct {
-	Name   string `json:"name"`
+	Name string `json:"name"`
+	// Kind marks scenarios with special handling: "register_schema"
+	// (method defaults to PUT; fired once before warmup so named-schema
+	// scenarios never observe their schema unregistered) and "batch"
+	// (route defaults to /v1/batch). Empty for plain request scenarios.
+	Kind   string `json:"kind,omitempty"`
 	Route  string `json:"route"`
 	Method string `json:"method,omitempty"`
 	Body   string `json:"body,omitempty"`
 	Weight int    `json:"weight,omitempty"`
+}
+
+// Scenario kinds with generator-side behavior beyond "send the body".
+const (
+	kindRegisterSchema = "register_schema"
+	kindBatch          = "batch"
+)
+
+// normalize applies the kind's defaults and rejects unknown kinds.
+func (sc *scenario) normalize() error {
+	switch sc.Kind {
+	case "":
+	case kindRegisterSchema:
+		if sc.Method == "" {
+			sc.Method = http.MethodPut
+		}
+	case kindBatch:
+		if sc.Route == "" {
+			sc.Route = "/v1/batch"
+		}
+	default:
+		return fmt.Errorf("unknown scenario kind %q (want %q or %q)",
+			sc.Kind, kindRegisterSchema, kindBatch)
+	}
+	if sc.Name == "" || sc.Route == "" {
+		return fmt.Errorf("scenario needs name and route")
+	}
+	if sc.Weight <= 0 {
+		sc.Weight = 1
+	}
+	return nil
 }
 
 // RouteStats is one scenario's (or the whole run's) latency and error
@@ -193,6 +239,13 @@ func run(cfg config) (*Report, error) {
 		if err := waitReady(client, cfg.Target, cfg.ReadyTimeout); err != nil {
 			return nil, err
 		}
+	}
+
+	// Registered schemas are preloaded before any load fires — a batch
+	// scenario drawn before its register_schema scenario would otherwise
+	// 404 on a fresh server.
+	if err := preloadSchemas(client, cfg.Target, scenarios); err != nil {
+		return nil, err
 	}
 
 	if cfg.Warmup > 0 {
@@ -312,6 +365,36 @@ func doRequest(client *http.Client, target string, sc scenario, reg *obs.Registr
 	if !ok {
 		reg.Counter(obs.MetricName("loadgen.errors", "scenario", sc.Name)).Inc()
 	}
+}
+
+// preloadSchemas fires every register_schema scenario once,
+// synchronously, before the load starts — a batch scenario drawn before
+// its register_schema scenario would otherwise 404 on a fresh server. A
+// registration the target rejects is warned about, not fatal: every
+// named-batch sample then errors during the drive, and the errs SLO
+// clause reports the broken target instead of the run dying silently.
+func preloadSchemas(client *http.Client, target string, scenarios []scenario) error {
+	for _, sc := range scenarios {
+		if sc.Kind != kindRegisterSchema {
+			continue
+		}
+		req, err := http.NewRequest(http.MethodPut, target+sc.Route, bytes.NewReader([]byte(sc.Body)))
+		if err != nil {
+			return fmt.Errorf("preload %s: %v", sc.Name, err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: preload %s: %v\n", sc.Name, err)
+			continue
+		}
+		status := resp.StatusCode
+		drainClose(resp)
+		if status < 200 || status >= 300 {
+			fmt.Fprintf(os.Stderr, "loadgen: preload %s: %s answered %d\n", sc.Name, sc.Route, status)
+		}
+	}
+	return nil
 }
 
 // waitReady polls GET /readyz until it answers 200, the server is
@@ -636,7 +719,13 @@ func compareBaseline(path string, tolerance float64, fresh *Report) ([]string, e
 // the built-in mix.
 func loadScenarios(path string) ([]scenario, error) {
 	if path == "" {
-		return defaultScenarios(), nil
+		scenarios := defaultScenarios()
+		for i := range scenarios {
+			if err := scenarios[i].normalize(); err != nil {
+				return nil, fmt.Errorf("builtin scenario %s: %v", scenarios[i].Name, err)
+			}
+		}
+		return scenarios, nil
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -652,11 +741,8 @@ func loadScenarios(path string) ([]scenario, error) {
 		if err := json.Unmarshal([]byte(line), &sc); err != nil {
 			return nil, fmt.Errorf("%s:%d: %v", path, ln+1, err)
 		}
-		if sc.Name == "" || sc.Route == "" {
-			return nil, fmt.Errorf("%s:%d: scenario needs name and route", path, ln+1)
-		}
-		if sc.Weight <= 0 {
-			sc.Weight = 1
+		if err := sc.normalize(); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, ln+1, err)
 		}
 		scenarios = append(scenarios, sc)
 	}
@@ -672,6 +758,7 @@ func loadScenarios(path string) ([]scenario, error) {
 func defaultScenarios() []scenario {
 	spiralDB, spiralSigma, spiralGoal := benchws.SpiralInstance(3)
 	wideDB, wideSigma, wideGoal := benchws.WideFDInstance(20)
+	chainSchema, chainSigma, chainGoals := fdChainInstance(10)
 	return []scenario{
 		{
 			Name:  "implies_ind",
@@ -703,7 +790,58 @@ func defaultScenarios() []scenario {
 			Body:   renderInstance(wideDB, wideSigma, wideGoal.String(), 0),
 			Weight: 1,
 		},
+		{
+			Name:   "register_schema",
+			Kind:   kindRegisterSchema,
+			Route:  "/v1/schemas/chain",
+			Body:   registerBody(chainSchema, chainSigma),
+			Weight: 1,
+		},
+		{
+			Name:   "batch_named",
+			Kind:   kindBatch,
+			Route:  "/v1/batch",
+			Body:   batchBody("chain", chainGoals),
+			Weight: 2,
+		},
 	}
+}
+
+// fdChainInstance renders the n-attribute FD chain R: A0 -> A1 -> ... ->
+// A(n-1) in the serve API's text forms, plus a spread of chain-prefix
+// goals for the batch scenario (all implied, all with distinct relevant
+// footprints of increasing depth).
+func fdChainInstance(n int) (schema, sigma, goals []string) {
+	attrs := make([]string, n)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("A%d", i)
+	}
+	schema = []string{"R(" + strings.Join(attrs, ",") + ")"}
+	for i := 0; i+1 < n; i++ {
+		sigma = append(sigma, fmt.Sprintf("R: A%d -> A%d", i, i+1))
+	}
+	for i := 1; i < n; i++ {
+		goals = append(goals, fmt.Sprintf("R: A0 -> A%d", i))
+	}
+	return schema, sigma, goals
+}
+
+// registerBody renders a PUT /v1/schemas/{name} body.
+func registerBody(schema, sigma []string) string {
+	b, err := json.Marshal(map[string]any{"schema": schema, "sigma": sigma})
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// batchBody renders a POST /v1/batch body against a registered name.
+func batchBody(name string, goals []string) string {
+	b, err := json.Marshal(map[string]any{"schema_name": name, "goals": goals})
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
 }
 
 // renderInstance serializes a benchws instance into an implies body:

@@ -57,6 +57,8 @@ func Workloads() []Workload {
 		{"search", searchWorkload},
 		{"search_exhaustive", searchExhaustiveWorkload},
 		{"maintain", maintainWorkload},
+		{"batch_implies", batchImpliesWorkload},
+		{"footprint_cache", footprintCacheWorkload},
 	}
 }
 

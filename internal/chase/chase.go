@@ -110,6 +110,15 @@ type Options struct {
 	// allocation-identical off path) and never changes verdicts, traces
 	// or counters.
 	Profile bool
+	// Footprint records which members of sigma the run actually touched —
+	// fired at least once or scanned at least one tuple — into
+	// Result.Used, rendered in each member's String() form. It is the
+	// cheap sibling of Profile: the same per-member capture sites flip a
+	// counter, but no scan timers run (no time.Now calls), so the serve
+	// layer can afford it on every cacheable request. Footprints feed the
+	// answer cache's per-member invalidation index; like Provenance and
+	// Profile, capture never changes verdicts, traces or counters.
+	Footprint bool
 	// Workers bounds the worker pool the delta passes shard their scans
 	// across. 0 or 1 runs the classic sequential engine; N > 1 runs the
 	// read-only probe phases of each FD/RD fixpoint pass and each IND
@@ -440,8 +449,13 @@ func (e *engine) arm(opt Options) {
 	} else {
 		e.prov = nil
 	}
-	if opt.Profile {
+	if opt.Profile || opt.Footprint {
+		// Footprint-only capture reuses the profiler's aggregates but skips
+		// the scan timers (timed == false): the firings/scanned counts are
+		// all a footprint needs, and clock calls are the profiler's only
+		// real cost.
 		e.prof = newEngineProfile(len(e.fds), len(e.rds), len(e.inds))
+		e.prof.timed = opt.Profile
 	} else {
 		e.prof = nil
 	}
@@ -649,7 +663,7 @@ func (e *engine) scanRD(i int) (fired bool, err error) {
 	ds := &e.rds[i]
 	rel := &e.rels[ds.ri]
 	var scanStart time.Time
-	if e.prof != nil {
+	if e.profTimed() {
 		scanStart = time.Now()
 	}
 	for _, tid := range rel.order {
@@ -678,7 +692,9 @@ func (e *engine) scanRD(i int) (fired bool, err error) {
 	if e.prof != nil {
 		a := &e.prof.rd[i]
 		a.scanned += int64(len(rel.order))
-		a.scanNS += time.Since(scanStart).Nanoseconds()
+		if e.prof.timed {
+			a.scanNS += time.Since(scanStart).Nanoseconds()
+		}
 	}
 	if fired {
 		ds.cleanAt = 0
@@ -694,7 +710,7 @@ func (e *engine) scanFD(i int) (fired bool, err error) {
 	fs := &e.fds[i]
 	rel := &e.rels[fs.ri]
 	var scanStart time.Time
-	if e.prof != nil {
+	if e.profTimed() {
 		scanStart = time.Now()
 	}
 	fs.gen++
@@ -742,7 +758,9 @@ func (e *engine) scanFD(i int) (fired bool, err error) {
 	if e.prof != nil {
 		a := &e.prof.fd[i]
 		a.scanned += int64(len(rel.order))
-		a.scanNS += time.Since(scanStart).Nanoseconds()
+		if e.prof.timed {
+			a.scanNS += time.Since(scanStart).Nanoseconds()
+		}
 	}
 	if fired {
 		fs.cleanAt = 0

@@ -122,7 +122,7 @@ func (e *engine) indPassSeq() (changed bool, err error) {
 		order := lrel.order
 		start := indDeltaStart(order, is.maxSeen)
 		var scanStart time.Time
-		if e.prof != nil {
+		if e.profTimed() {
 			scanStart = time.Now()
 		}
 		for k := start; k < len(order); k++ {
@@ -143,7 +143,9 @@ func (e *engine) indPassSeq() (changed bool, err error) {
 		if e.prof != nil {
 			a := &e.prof.ind[i]
 			a.scanned += int64(len(order) - start)
-			a.scanNS += time.Since(scanStart).Nanoseconds()
+			if e.prof.timed {
+				a.scanNS += time.Since(scanStart).Nanoseconds()
+			}
 		}
 		if len(order) > start {
 			is.maxSeen = order[len(order)-1]

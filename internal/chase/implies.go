@@ -49,6 +49,12 @@ type Result struct {
 	// Options.Profile was set (including on cancellation, so partial
 	// work is still attributable). Entries are hottest-first.
 	Profile *obs.DepProfile
+	// Used is the run's footprint: the Σ members that fired at least
+	// once or scanned at least one tuple, in their String() form, in
+	// compile order. Set when Options.Footprint or Options.Profile was
+	// set. Members the run never touched are absent — the answer cache
+	// uses that to invalidate per-member instead of per-Σ.
+	Used []string
 }
 
 // goalDerived reports whether the entry point's goal now holds — the
@@ -91,6 +97,7 @@ func (e *engine) runToGoal(sp *obs.Span) (Result, error) {
 			res.Tuples = e.tuples
 			res.Trace = e.trace
 			res.Profile = e.buildProfile()
+			res.Used = e.buildUsed()
 			if sp != nil {
 				sp.SetAttr("cancelled", err.Error())
 				sp.SetInt("rounds", int64(res.Rounds))
@@ -144,6 +151,7 @@ func (e *engine) finish(res Result, v Verdict, sp *obs.Span) (Result, error) {
 	res.Tuples = e.tuples
 	res.Trace = e.trace
 	res.Profile = e.buildProfile()
+	res.Used = e.buildUsed()
 	if v == Implied && e.prov != nil && e.goalProv != nil {
 		d, err := e.extractDerivation()
 		if err != nil {

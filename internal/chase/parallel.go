@@ -163,7 +163,7 @@ func (p *parRunner) runBatch(e *engine) {
 
 func (e *engine) runProbeTask(t *parTask, w int) {
 	var start time.Time
-	if e.prof != nil {
+	if e.profTimed() {
 		start = time.Now()
 	}
 	switch t.kind {
@@ -174,7 +174,7 @@ func (e *engine) runProbeTask(t *parTask, w int) {
 	case taskIND:
 		e.probeIND(t, w)
 	}
-	if e.prof != nil {
+	if e.profTimed() {
 		t.ns = time.Since(start).Nanoseconds()
 	}
 }
@@ -422,7 +422,7 @@ func (e *engine) indPassPar() (ran bool, changed bool, err error) {
 		start := int(starts[i])
 		frozenLen := 0
 		var scanStart time.Time
-		if e.prof != nil {
+		if e.profTimed() {
 			scanStart = time.Now()
 		}
 		for ; ti < len(p.tasks) && p.tasks[ti].dep == int32(i); ti++ {
@@ -475,7 +475,9 @@ func (e *engine) indPassPar() (ran bool, changed bool, err error) {
 		if e.prof != nil {
 			a := &e.prof.ind[i]
 			a.scanned += int64(len(order) - start)
-			a.scanNS += time.Since(scanStart).Nanoseconds()
+			if e.prof.timed {
+				a.scanNS += time.Since(scanStart).Nanoseconds()
+			}
 		}
 		if len(order) > start {
 			is.maxSeen = order[len(order)-1]

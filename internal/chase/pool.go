@@ -85,6 +85,22 @@ func (p *EnginePool) discard(*engine) {
 	p.discards.Inc()
 }
 
+// Warm compiles sigma against db and parks the engine in the pool, so
+// the first real request for that (schema, sigma) shape hits warm. A
+// freshly compiled engine is already in the structurally reset state
+// put expects (arm, not compilation, readies per-run state). The schema
+// registry uses this to pay compilation at registration time instead of
+// on the first query.
+func (p *EnginePool) Warm(db *schema.Database, sigma []deps.Dependency) error {
+	e, err := newEngine(db, sigma)
+	if err != nil {
+		return err
+	}
+	e.pool, e.poolKey = p, poolFingerprint(db, sigma)
+	p.put(e)
+	return nil
+}
+
 // matches reports whether the engine was compiled from exactly this
 // schema and sigma — relation names, attribute sequences, and every
 // dependency field-by-field, in order. It allocates nothing (it runs on

@@ -40,11 +40,23 @@ func (a *depAgg) fire(round int64) {
 }
 
 // engineProfile holds the per-member aggregates, parallel to the
-// engine's compiled e.fds / e.rds / e.inds slices.
+// engine's compiled e.fds / e.rds / e.inds slices. timed distinguishes
+// the full profiler (Options.Profile: scan timers run, buildProfile
+// renders) from footprint-only capture (Options.Footprint alone: the
+// same firings/scanned counters feed buildUsed, but no time.Now calls
+// are made — the clock is the profiler's only real per-scan cost).
 type engineProfile struct {
-	fd  []depAgg
-	rd  []depAgg
-	ind []depAgg
+	fd    []depAgg
+	rd    []depAgg
+	ind   []depAgg
+	timed bool
+}
+
+// profTimed reports whether scan timers should run: profiling is on and
+// in full (timed) mode. Footprint-only capture keeps e.prof non-nil but
+// untimed, so timer sites guard on this instead of e.prof != nil.
+func (e *engine) profTimed() bool {
+	return e.prof != nil && e.prof.timed
 }
 
 func newEngineProfile(nfd, nrd, nind int) *engineProfile {
@@ -57,9 +69,10 @@ func newEngineProfile(nfd, nrd, nind int) *engineProfile {
 
 // buildProfile renders the aggregates as the exported profile, one
 // entry per compiled Σ member (cold members included), hottest first.
-// Returns nil when profiling was off.
+// Returns nil when profiling was off (footprint-only capture does not
+// produce a profile: its scanNS would be zero and misleading).
 func (e *engine) buildProfile() *obs.DepProfile {
-	if e.prof == nil {
+	if e.prof == nil || !e.prof.timed {
 		return nil
 	}
 	p := &obs.DepProfile{Deps: make([]obs.DepCost, 0, len(e.fds)+len(e.rds)+len(e.inds))}
@@ -81,4 +94,33 @@ func (e *engine) buildProfile() *obs.DepProfile {
 	}
 	p.Sort()
 	return p
+}
+
+// buildUsed renders the run's footprint: the Σ members that did any
+// work — fired at least once or scanned at least one tuple — in their
+// String() form, in compile order (fds, rds, inds). Nil when neither
+// Footprint nor Profile was requested. A member that merely exists in
+// Σ but never participated is excluded; that exclusion is what lets
+// the answer cache invalidate per-member instead of per-Σ.
+func (e *engine) buildUsed() []string {
+	if e.prof == nil {
+		return nil
+	}
+	used := make([]string, 0, len(e.fds)+len(e.rds)+len(e.inds))
+	for i := range e.fds {
+		if a := &e.prof.fd[i]; a.firings > 0 || a.scanned > 0 {
+			used = append(used, e.fds[i].d.String())
+		}
+	}
+	for i := range e.rds {
+		if a := &e.prof.rd[i]; a.firings > 0 || a.scanned > 0 {
+			used = append(used, e.rds[i].d.String())
+		}
+	}
+	for i := range e.inds {
+		if a := &e.prof.ind[i]; a.firings > 0 || a.scanned > 0 {
+			used = append(used, e.inds[i].d.String())
+		}
+	}
+	return used
 }

@@ -38,28 +38,34 @@ import (
 // explain). Two queries with equal fingerprints have byte-identical
 // complete answers.
 func QueryFingerprint(db *schema.Database, sigma []deps.Dependency, goal deps.Dependency, mode string, extras ...string) string {
-	h := sha256.New()
-	write := func(s string) {
-		h.Write([]byte(s))
-		h.Write([]byte{0})
-	}
-	names := append([]string(nil), db.Names()...)
-	sort.Strings(names)
-	for _, name := range names {
-		s, _ := db.Scheme(name)
-		write(s.String())
-	}
-	write("|sigma")
 	keys := make([]string, len(sigma))
 	for i, d := range sigma {
 		keys[i] = d.Key()
 	}
 	sort.Strings(keys)
-	for _, k := range keys {
+	return fingerprintHash(db.Canonical(), keys, goal.Key(), mode, extras)
+}
+
+// fingerprintHash is the one hasher behind every fingerprint variant:
+// QueryFingerprint sorts its member keys and calls it, System.QueryKey
+// feeds it the presorted keys from the component index. Sharing the
+// byte layout here is what makes the two byte-identical.
+func fingerprintHash(canon string, sortedKeys []string, goalKey, mode string, extras []string) string {
+	h := sha256.New()
+	write := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	// The scheme's canonical render is maintained by Database.Add, so
+	// the hot per-query path hashes one prebuilt string instead of
+	// re-rendering every relation.
+	write(canon)
+	write("|sigma")
+	for _, k := range sortedKeys {
 		write(k)
 	}
 	write("|goal")
-	write(goal.Key())
+	write(goalKey)
 	write(mode)
 	for _, e := range extras {
 		write(e)
@@ -67,15 +73,37 @@ func QueryFingerprint(db *schema.Database, sigma []deps.Dependency, goal deps.De
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// QueryKey is the footprint-aware fingerprint computed from the
+// precompiled component index: byte-identical to
+// FootprintFingerprint(DB(), Relevant(goal), goal, mode, extras...) —
+// both feed fingerprintHash the same sorted member keys — but without
+// re-rendering or re-sorting Σ per query.
+func (s *System) QueryKey(goal deps.Dependency, mode string, extras ...string) string {
+	return fingerprintHash(s.db.Canonical(), s.relevantIndex(goal).keys, goal.Key(), mode, extras)
+}
+
 // FingerprintOptions renders the answer-shaping members of Options into
 // fingerprint extras. Obs and Ctx are deliberately absent: they shape
-// observability and deadlines, not the answer.
+// observability and deadlines, not the answer. Footprint is absent too:
+// like Profile capture it never changes the answer, only whether
+// Answer.Footprint is recorded, and serve strips that from responses.
 func FingerprintOptions(opt Options) []string {
 	return []string{
 		"budget=" + strconv.Itoa(opt.ChaseMaxTuples),
 		"search=" + strconv.FormatBool(opt.SearchFallback),
 		"provenance=" + strconv.FormatBool(opt.Provenance),
 	}
+}
+
+// FootprintFingerprint is the footprint-aware cache key: QueryFingerprint
+// computed over scope = Relevant(goal) instead of all of Σ. The Answer is
+// a pure function of (scheme, Relevant(goal), goal, mode, options) — core
+// restricts Σ to the goal's IND-connected component before dispatching —
+// so keying on the component is exact: adding or editing a member outside
+// the component leaves every such key, and hence the hit-rate, unchanged,
+// where the whole-Σ QueryFingerprint would miss on all of them.
+func FootprintFingerprint(db *schema.Database, scope []deps.Dependency, goal deps.Dependency, mode string, extras ...string) string {
+	return QueryFingerprint(db, scope, goal, mode, extras...)
 }
 
 // CachedAnswer is the unit an AnswerCache stores: a complete Answer plus
@@ -101,9 +129,19 @@ type AnswerCache struct {
 	ttl      time.Duration
 	now      func() time.Time // injectable for TTL tests
 
-	hits      *obs.Counter
-	misses    *obs.Counter
-	evictions *obs.Counter
+	// Reverse index for footprint invalidation: canonical member key →
+	// set of cache fingerprints whose answer depended on that member
+	// (tags supplied to PutTagged). Guarded by its own mutex, never held
+	// together with a shard lock (shard ops collect work under the shard
+	// lock and touch the index after unlocking), so the two lock classes
+	// cannot deadlock.
+	idxMu sync.Mutex
+	idx   map[string]map[string]struct{}
+
+	hits           *obs.Counter
+	misses         *obs.Counter
+	evictions      *obs.Counter
+	footprintEvict *obs.Counter
 }
 
 type cacheShard struct {
@@ -116,6 +154,10 @@ type cacheEntry struct {
 	key     string
 	val     CachedAnswer
 	expires time.Time // zero = no expiry
+	// tags are the canonical member keys this answer's footprint touched
+	// (nil for untagged Put); each tag holds a reverse-index edge that
+	// must be dropped when the entry leaves the cache.
+	tags []string
 }
 
 // NewAnswerCache builds a cache holding at most size entries in total
@@ -129,12 +171,14 @@ func NewAnswerCache(size int, ttl time.Duration, reg *obs.Registry) *AnswerCache
 	}
 	per := (size + cacheShards - 1) / cacheShards
 	c := &AnswerCache{
-		perShard:  per,
-		ttl:       ttl,
-		now:       time.Now,
-		hits:      reg.Counter("cache.hits"),
-		misses:    reg.Counter("cache.misses"),
-		evictions: reg.Counter("cache.evictions"),
+		perShard:       per,
+		ttl:            ttl,
+		now:            time.Now,
+		idx:            make(map[string]map[string]struct{}),
+		hits:           reg.Counter("cache.hits"),
+		misses:         reg.Counter("cache.misses"),
+		evictions:      reg.Counter("cache.evictions"),
+		footprintEvict: reg.Counter("cache.footprint_invalidations"),
 	}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*list.Element, per)
@@ -161,9 +205,9 @@ func (c *AnswerCache) Get(key string) (CachedAnswer, bool) {
 	}
 	sh := c.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	el, ok := sh.entries[key]
 	if !ok {
+		sh.mu.Unlock()
 		c.misses.Inc()
 		return CachedAnswer{}, false
 	}
@@ -171,12 +215,16 @@ func (c *AnswerCache) Get(key string) (CachedAnswer, bool) {
 	if !e.expires.IsZero() && c.now().After(e.expires) {
 		sh.lru.Remove(el)
 		delete(sh.entries, key)
+		sh.mu.Unlock()
+		c.untag(e) // index update outside the shard lock (lock ordering)
 		c.misses.Inc()
 		return CachedAnswer{}, false
 	}
 	sh.lru.MoveToFront(el)
+	val := e.val
+	sh.mu.Unlock()
 	c.hits.Inc()
-	return e.val, true
+	return val, true
 }
 
 // Put stores a complete answer under the fingerprint, evicting the
@@ -184,6 +232,14 @@ func (c *AnswerCache) Get(key string) (CachedAnswer, bool) {
 // not Put partial answers (cancelled or deadline-killed queries); the
 // cache cannot tell them apart from complete ones.
 func (c *AnswerCache) Put(key string, val CachedAnswer) {
+	c.PutTagged(key, val, nil)
+}
+
+// PutTagged is Put plus footprint registration: tags are the canonical
+// Key()s of the Σ members the answer depended on (AnswerFootprint), and
+// InvalidateMembers on any of them later drops the entry. Nil tags
+// stores an entry no member edit can target.
+func (c *AnswerCache) PutTagged(key string, val CachedAnswer, tags []string) {
 	if c == nil {
 		return
 	}
@@ -195,24 +251,111 @@ func (c *AnswerCache) Put(key string, val CachedAnswer) {
 	if c.ttl > 0 {
 		expires = c.now().Add(c.ttl)
 	}
+	// Index edges to drop and add are decided under the shard lock but
+	// applied after unlocking, so the shard and index locks never nest.
+	var dropped *cacheEntry
+	entry := &cacheEntry{key: key, val: val, expires: expires, tags: tags}
 	sh := c.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if el, ok := sh.entries[key]; ok {
-		e := el.Value.(*cacheEntry)
-		e.val, e.expires = val, expires
+		old := el.Value.(*cacheEntry)
+		el.Value = entry
 		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		c.untag(old)
+		c.tag(entry)
 		return
 	}
 	if sh.lru.Len() >= c.perShard {
 		oldest := sh.lru.Back()
 		if oldest != nil {
 			sh.lru.Remove(oldest)
-			delete(sh.entries, oldest.Value.(*cacheEntry).key)
+			dropped = oldest.Value.(*cacheEntry)
+			delete(sh.entries, dropped.key)
 			c.evictions.Inc()
 		}
 	}
-	sh.entries[key] = sh.lru.PushFront(&cacheEntry{key: key, val: val, expires: expires})
+	sh.entries[key] = sh.lru.PushFront(entry)
+	sh.mu.Unlock()
+	c.untag(dropped)
+	c.tag(entry)
+}
+
+// tag registers the entry's fingerprint under each of its member tags.
+func (c *AnswerCache) tag(e *cacheEntry) {
+	if e == nil || len(e.tags) == 0 {
+		return
+	}
+	c.idxMu.Lock()
+	for _, t := range e.tags {
+		s, ok := c.idx[t]
+		if !ok {
+			s = make(map[string]struct{})
+			c.idx[t] = s
+		}
+		s[e.key] = struct{}{}
+	}
+	c.idxMu.Unlock()
+}
+
+// untag drops the entry's reverse-index edges after it left the cache.
+func (c *AnswerCache) untag(e *cacheEntry) {
+	if e == nil || len(e.tags) == 0 {
+		return
+	}
+	c.idxMu.Lock()
+	for _, t := range e.tags {
+		if s, ok := c.idx[t]; ok {
+			delete(s, e.key)
+			if len(s) == 0 {
+				delete(c.idx, t)
+			}
+		}
+	}
+	c.idxMu.Unlock()
+}
+
+// InvalidateMembers drops every cached answer whose footprint touched
+// any of the given members (canonical Key()s), returning the number of
+// entries removed and counting each as cache.footprint_invalidations.
+// The registry calls this on a Σ edit: only answers that actually used
+// the edited member pay, answers over disjoint parts of the scheme stay
+// warm. Concurrent PutTagged calls racing this are benign — a tag
+// registered after the sweep keeps its entry, which is still a correct
+// answer for its own fingerprint (keys bind the full relevant Σ).
+func (c *AnswerCache) InvalidateMembers(memberKeys ...string) int {
+	if c == nil {
+		return 0
+	}
+	// Collect the doomed fingerprints under the index lock, then walk
+	// their shards without holding it.
+	doomed := make(map[string]struct{})
+	c.idxMu.Lock()
+	for _, m := range memberKeys {
+		for k := range c.idx[m] {
+			doomed[k] = struct{}{}
+		}
+	}
+	c.idxMu.Unlock()
+	removed := 0
+	for k := range doomed {
+		sh := c.shardFor(k)
+		sh.mu.Lock()
+		el, ok := sh.entries[k]
+		var e *cacheEntry
+		if ok {
+			e = el.Value.(*cacheEntry)
+			sh.lru.Remove(el)
+			delete(sh.entries, k)
+		}
+		sh.mu.Unlock()
+		if ok {
+			c.untag(e)
+			c.footprintEvict.Inc()
+			removed++
+		}
+	}
+	return removed
 }
 
 // Len reports the live entry count across all shards (expired entries

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 
 	"indfd/internal/chase"
@@ -85,8 +86,11 @@ type Answer struct {
 	// goal. Render it with String or DOT, check it with Verify.
 	Derivation *chase.Derivation
 	// Metrics is a snapshot of Options.Obs taken when the query finished,
-	// nil when no registry was supplied. With a registry shared across
-	// queries the counters are cumulative.
+	// present only when Options.Metrics asked for it. With a registry
+	// shared across queries the counters are cumulative — and on a
+	// long-lived registry the snapshot deep-copies every retained span
+	// tree, which is why it is opt-in: a server answering thousands of
+	// goals against one registry must not pay that copy per goal.
 	Metrics *obs.Snapshot
 	// Trace is this query's span tree (engine dispatch down to chase
 	// rounds), nil when no registry was supplied.
@@ -97,6 +101,12 @@ type Answer struct {
 	// closures do not iterate per member and report none). It is set on
 	// deadline errors too, attributing the partial work.
 	DepProfile *obs.DepProfile
+	// Footprint lists the Σ members the chase actually touched (fired or
+	// scanned), in their String() form, when Options.Footprint or
+	// Options.Profile was on and the chase ran. The answer cache derives
+	// per-member invalidation tags from it (see AnswerFootprint); it is
+	// deterministic for a given query, unlike Metrics/Trace/DepProfile.
+	Footprint []string
 }
 
 // Options configures a query.
@@ -118,11 +128,20 @@ type Options struct {
 	// Provenance it never changes verdicts, traces, or counters, and
 	// costs nothing when off.
 	Profile bool
+	// Footprint makes the chase record which members of Σ it touched
+	// (Answer.Footprint) without the profiler's scan timers — cheap
+	// enough for every cacheable request. Like Profile it never changes
+	// verdicts, traces, or counters.
+	Footprint bool
 	// Obs, when non-nil, collects every engine's counters, gauges and
-	// histograms for this query and gives the Answer a Metrics snapshot
-	// and a span tree. A nil registry makes instrumentation free (see
-	// internal/obs).
+	// histograms for this query and gives the Answer a span tree. A nil
+	// registry makes instrumentation free (see internal/obs).
 	Obs *obs.Registry
+	// Metrics additionally gives the Answer a full registry snapshot
+	// (counters, gauges, histograms, retained spans) when Obs is set.
+	// The snapshot is O(everything the registry holds), not O(this
+	// query), so callers that track deltas themselves leave it off.
+	Metrics bool
 	// Ctx, when non-nil, imposes a cooperative deadline on the engines
 	// whose cost the paper proves can blow up: the chase (checked once
 	// per round), the Corollary 3.2 IND search (checked every few
@@ -146,10 +165,96 @@ type Options struct {
 	ChasePool *chase.EnginePool
 }
 
+// compIndex is one IND-connected component of Σ with everything a query
+// over it needs precomputed: the members (Σ insertion order), their
+// kind projections, their sorted canonical keys (the fingerprint body),
+// and the String()→Key() map the footprint tagger walks. Built once per
+// Add, read by every query.
+type compIndex struct {
+	members []deps.Dependency
+	fds     []deps.FD
+	inds    []deps.IND
+	keys    []string          // member Key()s, sorted
+	strKey  map[string]string // member String() → Key()
+	// provers holds the compiled FD closure per relation (see
+	// fd.Prover), present on the indexes Add precomputes; the throwaway
+	// indexes built per bridging-IND query skip the compile because an
+	// IND goal never consults an FD prover.
+	provers map[string]*fd.Prover
+	// Fragment flags over the members alone (the goal folds in at
+	// dispatch): vacuously true when the component is empty.
+	allINDs, allFDs, allUnary bool
+}
+
+func buildCompIndex(members []deps.Dependency) *compIndex {
+	ci := &compIndex{
+		members: slices.Clip(members),
+		keys:    make([]string, 0, len(members)),
+		strKey:  make(map[string]string, len(members)),
+		allINDs: true, allFDs: true, allUnary: true,
+	}
+	for _, d := range members {
+		k := d.Key()
+		ci.keys = append(ci.keys, k)
+		ci.strKey[d.String()] = k
+		switch dd := d.(type) {
+		case deps.FD:
+			ci.fds = append(ci.fds, dd)
+			ci.allINDs = false
+		case deps.IND:
+			ci.inds = append(ci.inds, dd)
+			ci.allFDs = false
+			if dd.Width() != 1 {
+				ci.allUnary = false
+			}
+		default:
+			ci.allINDs, ci.allFDs, ci.allUnary = false, false, false
+		}
+	}
+	slices.Sort(ci.keys)
+	return ci
+}
+
+// compile builds the per-relation FD provers; called on the indexes
+// that outlive a single query (everything reindex stores).
+func (ci *compIndex) compile() *compIndex {
+	ci.provers = make(map[string]*fd.Prover)
+	for _, f := range ci.fds {
+		if _, ok := ci.provers[f.Rel]; !ok {
+			ci.provers[f.Rel] = fd.NewProver(f.Rel, ci.fds)
+		}
+	}
+	return ci
+}
+
+// prover returns the compiled FD closure for rel; nil (a valid empty
+// prover) when rel has no FDs. An index that skipped compiling — the
+// per-query bridging case — compiles on the spot rather than answer
+// from an empty FD set.
+func (ci *compIndex) prover(rel string) *fd.Prover {
+	if p, ok := ci.provers[rel]; ok {
+		return p
+	}
+	if ci.provers == nil && len(ci.fds) > 0 {
+		return fd.NewProver(rel, ci.fds)
+	}
+	return nil
+}
+
+// emptyComp is the index of a goal component Σ says nothing about.
+var emptyComp = buildCompIndex(nil).compile()
+
 // System is a database scheme plus a dependency set Σ.
 type System struct {
 	db    *schema.Database
 	sigma *deps.Set
+	// comp maps every relation Σ names to its IND-connected component
+	// root, and comps holds each component's precompiled index. Both
+	// are rebuilt eagerly by Add — queries only read them, so a
+	// compiled System is safe to share across goroutines (registry
+	// entries and batch workers do).
+	comp  map[string]string
+	comps map[string]*compIndex
 }
 
 // NewSystem creates a System over the scheme.
@@ -175,17 +280,12 @@ func (s *System) Add(ds ...deps.Dependency) error {
 		}
 	}
 	s.sigma.Add(ds...)
+	s.reindex()
 	return nil
 }
 
-// relevant returns the members of Σ over relations in the same connected
-// component as the goal's relations, where two relations are connected
-// when an IND of Σ spans them. Dependencies outside the component cannot
-// affect the implication: a counterexample over the component extends to
-// the full scheme with empty relations elsewhere, and any model of Σ
-// restricts to a model of the component. Restricting keeps queries about
-// one part of a large scheme in the strongest exact engine.
-func (s *System) relevant(goal deps.Dependency) []deps.Dependency {
+// reindex rebuilds the IND-connectivity component index after Σ changed.
+func (s *System) reindex() {
 	parent := map[string]string{}
 	var find func(string) string
 	find = func(x string) string {
@@ -200,67 +300,208 @@ func (s *System) relevant(goal deps.Dependency) []deps.Dependency {
 		parent[x] = root
 		return root
 	}
-	union := func(a, b string) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[rb] = ra
-		}
-	}
 	for _, d := range s.sigma.All() {
 		if ind, ok := d.(deps.IND); ok {
-			union(ind.LRel, ind.RRel)
+			ra, rb := find(ind.LRel), find(ind.RRel)
+			if ra != rb {
+				parent[rb] = ra
+			}
 		}
 	}
-	goalRels := map[string]bool{}
-	switch g := goal.(type) {
-	case deps.FD:
-		goalRels[find(g.Rel)] = true
-	case deps.RD:
-		goalRels[find(g.Rel)] = true
-	case deps.IND:
-		goalRels[find(g.LRel)] = true
-		goalRels[find(g.RRel)] = true
-	default:
-		return s.sigma.All()
+	s.comp = make(map[string]string)
+	byRoot := make(map[string][]deps.Dependency)
+	rootOf := func(rel string) string {
+		root := find(rel)
+		s.comp[rel] = root
+		return root
 	}
-	var out []deps.Dependency
 	for _, d := range s.sigma.All() {
-		var in bool
+		var root string
 		switch dd := d.(type) {
 		case deps.FD:
-			in = goalRels[find(dd.Rel)]
+			root = rootOf(dd.Rel)
 		case deps.RD:
-			in = goalRels[find(dd.Rel)]
+			root = rootOf(dd.Rel)
 		case deps.IND:
-			in = goalRels[find(dd.LRel)] || goalRels[find(dd.RRel)]
+			root = rootOf(dd.LRel)
+			rootOf(dd.RRel)
+		default:
+			continue
 		}
-		if in {
-			out = append(out, d)
-		}
+		byRoot[root] = append(byRoot[root], d)
 	}
-	return out
+	s.comps = make(map[string]*compIndex, len(byRoot))
+	for root, members := range byRoot {
+		s.comps[root] = buildCompIndex(members).compile()
+	}
 }
 
-// classify inspects the relevant part of Σ plus the goal and picks an
-// engine.
-func (s *System) classify(sigma []deps.Dependency, goal deps.Dependency) string {
-	allINDs, allFDs, allUnary := true, true, true
-	consider := append([]deps.Dependency{}, sigma...)
-	consider = append(consider, goal)
-	for _, d := range consider {
-		switch dd := d.(type) {
-		case deps.IND:
-			allFDs = false
-			if dd.Width() != 1 {
-				allUnary = false
-			}
-		case deps.FD:
-			// FDs of any shape stay in the unary (KCV) fragment.
-			allINDs = false
-			_ = dd
-		default:
-			allINDs, allFDs, allUnary = false, false, false
+// relevantIndex returns the precompiled component index for the goal's
+// IND-connected component. Goals bridging two components (an IND whose
+// sides no Σ member connects) get a merged index built on the fly.
+func (s *System) relevantIndex(goal deps.Dependency) *compIndex {
+	rootOf := func(rel string) string {
+		if root, ok := s.comp[rel]; ok {
+			return root
 		}
+		return rel
+	}
+	lookup := func(root string) *compIndex {
+		if ci, ok := s.comps[root]; ok {
+			return ci
+		}
+		return emptyComp
+	}
+	switch g := goal.(type) {
+	case deps.FD:
+		return lookup(rootOf(g.Rel))
+	case deps.RD:
+		return lookup(rootOf(g.Rel))
+	case deps.IND:
+		ra, rb := rootOf(g.LRel), rootOf(g.RRel)
+		if ra == rb {
+			return lookup(ra)
+		}
+		a, b := lookup(ra), lookup(rb)
+		if len(a.members) == 0 {
+			return b
+		}
+		if len(b.members) == 0 {
+			return a
+		}
+		// Merge in Σ insertion order so engine behavior matches a Σ
+		// restricted to the two components.
+		merged := make([]deps.Dependency, 0, len(a.members)+len(b.members))
+		want := map[string]bool{ra: true, rb: true}
+		for _, d := range s.sigma.All() {
+			var root string
+			switch dd := d.(type) {
+			case deps.FD:
+				root = rootOf(dd.Rel)
+			case deps.RD:
+				root = rootOf(dd.Rel)
+			case deps.IND:
+				root = rootOf(dd.LRel)
+			}
+			if want[root] {
+				merged = append(merged, d)
+			}
+		}
+		return buildCompIndex(merged)
+	default:
+		return buildCompIndex(s.sigma.All())
+	}
+}
+
+// relevant returns the members of Σ over relations in the same connected
+// component as the goal's relations, where two relations are connected
+// when an IND of Σ spans them. Dependencies outside the component cannot
+// affect the implication: a counterexample over the component extends to
+// the full scheme with empty relations elsewhere, and any model of Σ
+// restricts to a model of the component. Restricting keeps queries about
+// one part of a large scheme in the strongest exact engine.
+func (s *System) relevant(goal deps.Dependency) []deps.Dependency {
+	// The component index is precomputed by Add; a relation no IND
+	// touches roots its own singleton component. The returned slice is
+	// shared and must be treated as read-only by every engine.
+	return s.relevantIndex(goal).members
+}
+
+// Relevant is the exported view of relevant: the members of Σ that can
+// affect an implication query for goal (the IND-connected component of
+// the goal's relations). The answer cache keys on exactly this set —
+// the Answer is a function of (scheme, Relevant(goal), goal, mode,
+// options) — so edits outside the component leave cached keys valid.
+func (s *System) Relevant(goal deps.Dependency) []deps.Dependency {
+	return s.relevant(goal)
+}
+
+// AnswerFootprint maps an answer to the canonical Key()s of the scope
+// members it depended on, for the cache's per-member invalidation
+// index. Precision ladder: the provenance derivation's rule set (Yes
+// verdicts with Provenance on) ⊆ the chase footprint (members that
+// fired or scanned) ⊆ the profiler's fired/scanned set ⊆ all of scope.
+// Coarser is always sound — tagging an answer with extra members only
+// means an edit to them invalidates an entry it didn't need to — so the
+// fallback for engines that report nothing (fd/unary closures) is the
+// whole scope.
+func AnswerFootprint(a *Answer, scope []deps.Dependency) []string {
+	byString := make(map[string]string, len(scope))
+	for _, d := range scope {
+		byString[d.String()] = d.Key()
+	}
+	allKeys := make([]string, 0, len(scope))
+	for _, d := range scope {
+		allKeys = append(allKeys, d.Key())
+	}
+	return footprintKeys(a, byString, allKeys)
+}
+
+// AnswerTags is AnswerFootprint over the goal's precompiled component
+// index: the same member keys, computed without re-rendering the scope
+// (the String()→Key() map and key list were built once at Add). The
+// returned slice may alias the index and must not be mutated.
+func (s *System) AnswerTags(a *Answer, goal deps.Dependency) []string {
+	ci := s.relevantIndex(goal)
+	return footprintKeys(a, ci.strKey, ci.keys)
+}
+
+// footprintKeys walks the precision ladder shared by AnswerFootprint and
+// AnswerTags: strKey maps member String()→Key(), allKeys is the whole
+// scope's key set (the coarse fallback).
+func footprintKeys(a *Answer, strKey map[string]string, allKeys []string) []string {
+	pick := func(names []string) []string {
+		keys := make([]string, 0, len(names))
+		seen := make(map[string]bool, len(names))
+		for _, n := range names {
+			k, ok := strKey[n]
+			if !ok || seen[k] {
+				continue
+			}
+			seen[k] = true
+			keys = append(keys, k)
+		}
+		return keys
+	}
+	if a.Derivation != nil {
+		names := make([]string, 0, len(a.Derivation.Nodes))
+		for _, n := range a.Derivation.Nodes {
+			if n.Rule != "" {
+				names = append(names, n.Rule)
+			}
+		}
+		return pick(names)
+	}
+	if a.Footprint != nil {
+		return pick(a.Footprint)
+	}
+	if a.DepProfile != nil {
+		names := make([]string, 0, len(a.DepProfile.Deps))
+		for _, c := range a.DepProfile.Deps {
+			if c.Firings > 0 || c.Scanned > 0 {
+				names = append(names, c.Dep)
+			}
+		}
+		return pick(names)
+	}
+	return allKeys
+}
+
+// classify folds the goal's kind into the component's precomputed
+// fragment flags and picks an engine.
+func classify(ci *compIndex, goal deps.Dependency) string {
+	allINDs, allFDs, allUnary := ci.allINDs, ci.allFDs, ci.allUnary
+	switch g := goal.(type) {
+	case deps.IND:
+		allFDs = false
+		if g.Width() != 1 {
+			allUnary = false
+		}
+	case deps.FD:
+		// FDs of any shape stay in the unary (KCV) fragment.
+		allINDs = false
+	default:
+		allINDs, allFDs, allUnary = false, false, false
 	}
 	switch {
 	case allINDs:
@@ -294,8 +535,9 @@ func (s *System) query(goal deps.Dependency, opt Options, finite bool) (Answer, 
 	if err := goal.Validate(s.db); err != nil {
 		return Answer{}, err
 	}
-	relevant := s.relevant(goal)
-	engine := s.classify(relevant, goal)
+	ci := s.relevantIndex(goal)
+	relevant := ci.members
+	engine := classify(ci, goal)
 	sp := opt.Obs.StartSpan("core.query")
 	sp.SetAttr("goal", goal.String())
 	if finite {
@@ -310,13 +552,13 @@ func (s *System) query(goal deps.Dependency, opt Options, finite bool) (Answer, 
 	var err error
 	switch engine {
 	case "ind":
-		a, err = s.queryIND(relevant, goal.(deps.IND), opt, sp)
+		a, err = s.queryIND(ci, goal.(deps.IND), opt, sp)
 	case "fd":
-		a, err = s.queryFD(relevant, goal.(deps.FD), opt, sp)
+		a, err = s.queryFD(ci, goal.(deps.FD), opt, sp)
 	case "unary":
 		a, err = s.queryUnary(relevant, goal, opt, finite, sp)
 	default:
-		a, err = s.queryChase(relevant, goal, opt, finite, sp)
+		a, err = s.queryChase(ci, goal, opt, finite, sp)
 	}
 	if err != nil {
 		// a may carry partial work counters (a cancelled chase or IND
@@ -325,7 +567,9 @@ func (s *System) query(goal deps.Dependency, opt Options, finite bool) (Answer, 
 		sp.SetAttr("error", err.Error())
 		sp.End()
 		if opt.Obs != nil {
-			a.Metrics = opt.Obs.Snapshot()
+			if opt.Metrics {
+				a.Metrics = opt.Obs.Snapshot()
+			}
 			a.Trace = sp.Snapshot()
 		}
 		return a, err
@@ -336,7 +580,9 @@ func (s *System) query(goal deps.Dependency, opt Options, finite bool) (Answer, 
 	sp.SetAttr("verdict", a.Verdict.String())
 	sp.End()
 	if opt.Obs != nil {
-		a.Metrics = opt.Obs.Snapshot()
+		if opt.Metrics {
+			a.Metrics = opt.Obs.Snapshot()
+		}
 		a.Trace = sp.Snapshot()
 	}
 	return a, nil
@@ -351,8 +597,8 @@ func decideIND(opt Options, db *schema.Database, sigma []deps.IND, goal deps.IND
 	return ind.DecideCtx(opt.Ctx, db, sigma, goal)
 }
 
-func (s *System) queryIND(relevant []deps.Dependency, goal deps.IND, opt Options, sp *obs.Span) (Answer, error) {
-	sigma := deps.NewSet(relevant...).INDs()
+func (s *System) queryIND(ci *compIndex, goal deps.IND, opt Options, sp *obs.Span) (Answer, error) {
+	sigma := ci.inds
 	dsp := sp.StartSpan("ind.decide")
 	res, err := decideIND(opt, s.db, sigma, goal)
 	dsp.SetInt("expanded", int64(res.Stats.Expanded))
@@ -379,10 +625,9 @@ func (s *System) queryIND(relevant []deps.Dependency, goal deps.IND, opt Options
 	return Answer{Verdict: No, Engine: "ind", Counterexample: ce, INDStats: &res.Stats, DepProfile: res.Profile}, nil
 }
 
-func (s *System) queryFD(relevant []deps.Dependency, goal deps.FD, opt Options, sp *obs.Span) (Answer, error) {
-	sigma := deps.NewSet(relevant...).FDs()
+func (s *System) queryFD(ci *compIndex, goal deps.FD, opt Options, sp *obs.Span) (Answer, error) {
 	psp := sp.StartSpan("fd.prove")
-	p, ok := fd.ProveObs(sigma, goal, opt.Obs)
+	p, ok := ci.prover(goal.Rel).Prove(goal, opt.Obs)
 	psp.End()
 	if ok {
 		return Answer{Verdict: Yes, Engine: "fd", Proof: p.String()}, nil
@@ -412,14 +657,14 @@ func (s *System) queryUnary(relevant []deps.Dependency, goal deps.Dependency, op
 	return Answer{Verdict: No, Engine: "unary"}, nil
 }
 
-func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, opt Options, finite bool, sp *obs.Span) (Answer, error) {
-	relSet := deps.NewSet(relevant...)
+func (s *System) queryChase(ci *compIndex, goal deps.Dependency, opt Options, finite bool, sp *obs.Span) (Answer, error) {
+	relevant := ci.members
 	// Fast path: a goal already provable from the same-class fragment of
 	// Σ is implied a fortiori, and those engines produce formal proofs.
 	switch g := goal.(type) {
 	case deps.IND:
 		dsp := sp.StartSpan("ind.decide")
-		res, err := decideIND(opt, s.db, relSet.INDs(), g)
+		res, err := decideIND(opt, s.db, ci.inds, g)
 		dsp.End()
 		res.Stats.Record(opt.Obs)
 		if err != nil {
@@ -434,7 +679,7 @@ func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, op
 		}
 	case deps.FD:
 		psp := sp.StartSpan("fd.prove")
-		p, ok := fd.ProveObs(relSet.FDs(), g, opt.Obs)
+		p, ok := ci.prover(g.Rel).Prove(g, opt.Obs)
 		psp.End()
 		if ok {
 			return Answer{Verdict: Yes, Engine: "fd", Proof: p.String()}, nil
@@ -442,16 +687,18 @@ func (s *System) queryChase(relevant []deps.Dependency, goal deps.Dependency, op
 	}
 	res, err := chase.Implies(s.db, relevant, goal, chase.Options{
 		MaxTuples: opt.ChaseMaxTuples, Obs: opt.Obs, Span: sp, Ctx: opt.Ctx,
-		Provenance: opt.Provenance, Profile: opt.Profile,
+		Provenance: opt.Provenance, Profile: opt.Profile, Footprint: opt.Footprint,
 		Workers: opt.ChaseWorkers, Pool: opt.ChasePool,
 	})
 	if err != nil {
 		// A cancelled chase returns the rounds and tuples it managed —
 		// the partial stats a server reports alongside the 503.
 		return Answer{Verdict: Unknown, Engine: "chase",
-			ChaseRounds: res.Rounds, ChaseTuples: res.Tuples, DepProfile: res.Profile}, err
+			ChaseRounds: res.Rounds, ChaseTuples: res.Tuples, DepProfile: res.Profile,
+			Footprint: res.Used}, err
 	}
-	cost := Answer{ChaseRounds: res.Rounds, ChaseTuples: res.Tuples, DepProfile: res.Profile}
+	cost := Answer{ChaseRounds: res.Rounds, ChaseTuples: res.Tuples, DepProfile: res.Profile,
+		Footprint: res.Used}
 	switch res.Verdict {
 	case chase.Implied:
 		// Chase derivations are sound for unrestricted implication, hence

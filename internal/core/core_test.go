@@ -346,7 +346,7 @@ func TestInstrumentedQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := obs.New()
-	a, err := s.Implies(deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME")), Options{Obs: reg})
+	a, err := s.Implies(deps.NewIND("MGR", deps.Attrs("NAME"), "EMP", deps.Attrs("NAME")), Options{Obs: reg, Metrics: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +383,7 @@ func TestInstrumentedChaseQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := obs.New()
-	a, err := s.Implies(deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{Obs: reg})
+	a, err := s.Implies(deps.NewFD("R", deps.Attrs("X"), deps.Attrs("Y")), Options{Obs: reg, Metrics: true})
 	if err != nil {
 		t.Fatal(err)
 	}

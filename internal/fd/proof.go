@@ -2,6 +2,7 @@ package fd
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"indfd/internal/deps"
@@ -131,13 +132,24 @@ func (p Proof) Verify(sigma []deps.FD) error {
 	return nil
 }
 
-// String renders the proof as a numbered derivation.
+// String renders the proof as a numbered derivation. Direct builder
+// writes, not Fprintf: proofs render on the serving hot path (every fd
+// Yes answer carries one), and reflective formatting dominated it.
 func (p Proof) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "goal: %v\n", p.Goal)
-	fmt.Fprintf(&b, "  start with %s (reflexivity)\n", schema.JoinAttrs(p.Goal.X))
+	b.WriteString("goal: ")
+	b.WriteString(p.Goal.String())
+	b.WriteString("\n  start with ")
+	b.WriteString(schema.JoinAttrs(p.Goal.X))
+	b.WriteString(" (reflexivity)\n")
 	for i, s := range p.Steps {
-		fmt.Fprintf(&b, "  %d. derive %s via %v (augmentation + transitivity)\n", i+1, s.Derived, s.Via)
+		b.WriteString("  ")
+		b.WriteString(strconv.Itoa(i + 1))
+		b.WriteString(". derive ")
+		b.WriteString(string(s.Derived))
+		b.WriteString(" via ")
+		b.WriteString(s.Via.String())
+		b.WriteString(" (augmentation + transitivity)\n")
 	}
 	b.WriteString("  qed")
 	return b.String()

@@ -1,0 +1,175 @@
+package fd
+
+import (
+	"indfd/internal/deps"
+	"indfd/internal/obs"
+	"indfd/internal/schema"
+)
+
+// Prover is a compiled FD set over one relation: every attribute the
+// FDs mention is assigned a bit position, and each FD's sides become
+// bitmasks, so the closure fixpoint runs on word operations instead of
+// per-attribute map probes. Compiling costs what one ProveObs call's
+// setup used to; a server compiles once per Σ edit (see core's
+// component index) and answers every goal against the compiled form.
+//
+// A Prover is immutable after NewProver and safe for concurrent use.
+// Prove is step-for-step identical to ProveObs over the same FDs: the
+// fixpoint visits FDs in the same order and derives attributes in the
+// same order, so proofs, pass counts, and derivation counters match.
+type Prover struct {
+	rel   string
+	fds   []deps.FD
+	idx   map[schema.Attribute]int
+	attrs []schema.Attribute
+	words int        // bitset length: ceil(len(attrs)/64)
+	x, y  [][]uint64 // per-FD side masks
+}
+
+// NewProver compiles the FDs of sigma over relation rel. FDs over other
+// relations are ignored, mirroring ProveObs's own filter.
+func NewProver(rel string, sigma []deps.FD) *Prover {
+	p := &Prover{rel: rel, idx: make(map[schema.Attribute]int)}
+	for _, g := range sigma {
+		if g.Rel == rel {
+			p.fds = append(p.fds, g)
+		}
+	}
+	intern := func(a schema.Attribute) int {
+		i, ok := p.idx[a]
+		if !ok {
+			i = len(p.attrs)
+			p.idx[a] = i
+			p.attrs = append(p.attrs, a)
+		}
+		return i
+	}
+	for _, g := range p.fds {
+		for _, a := range g.X {
+			intern(a)
+		}
+		for _, a := range g.Y {
+			intern(a)
+		}
+	}
+	p.words = (len(p.attrs) + 63) / 64
+	if p.words == 0 {
+		p.words = 1
+	}
+	mask := func(seq []schema.Attribute) []uint64 {
+		m := make([]uint64, p.words)
+		for _, a := range seq {
+			i := p.idx[a]
+			m[i/64] |= 1 << (i % 64)
+		}
+		return m
+	}
+	p.x = make([][]uint64, len(p.fds))
+	p.y = make([][]uint64, len(p.fds))
+	for i, g := range p.fds {
+		p.x[i] = mask(g.X)
+		p.y[i] = mask(g.Y)
+	}
+	return p
+}
+
+// coversMask reports whether every bit of need is set in have.
+func coversMask(have, need []uint64) bool {
+	for w := range need {
+		if need[w]&^have[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Prove is ProveObs against the compiled FD set: the same derivation
+// (byte-identical Proof), the same fd.* counter increments, no per-call
+// index building. A nil Prover behaves like a compile of zero FDs.
+func (p *Prover) Prove(f deps.FD, reg *obs.Registry) (Proof, bool) {
+	if p == nil {
+		return ProveObs(nil, f, reg)
+	}
+	reg.Counter("fd.prove_calls").Inc()
+	cPasses := reg.Counter("fd.closure_passes")
+	cDerived := reg.Counter("fd.attrs_derived")
+	closure := make([]uint64, p.words)
+	for _, a := range f.X {
+		if i, ok := p.idx[a]; ok {
+			closure[i/64] |= 1 << (i % 64)
+		}
+	}
+	derivedBy := make([]int32, len(p.attrs))
+	for i := range derivedBy {
+		derivedBy[i] = -1
+	}
+	for changed := true; changed; {
+		changed = false
+		cPasses.Inc()
+		for gi := range p.fds {
+			if !coversMask(closure, p.x[gi]) {
+				continue
+			}
+			if coversMask(closure, p.y[gi]) {
+				continue // nothing new from this FD
+			}
+			for _, b := range p.fds[gi].Y {
+				i := p.idx[b]
+				if closure[i/64]&(1<<(i%64)) == 0 {
+					closure[i/64] |= 1 << (i % 64)
+					derivedBy[i] = int32(gi)
+					cDerived.Inc()
+					changed = true
+				}
+			}
+		}
+	}
+	inX := func(a schema.Attribute) bool {
+		for _, q := range f.X {
+			if q == a {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range f.Y {
+		if i, ok := p.idx[b]; ok {
+			if closure[i/64]&(1<<(i%64)) != 0 {
+				continue
+			}
+			return Proof{}, false
+		}
+		// An attribute no FD mentions is derivable only by reflexivity.
+		if !inX(b) {
+			return Proof{}, false
+		}
+	}
+	// Walk back from the goal attributes, collecting needed steps in the
+	// same post-order as ProveObs.
+	needed := make([]bool, len(p.attrs))
+	var ordered []Step
+	var visit func(a schema.Attribute)
+	visit = func(a schema.Attribute) {
+		if inX(a) {
+			return
+		}
+		i, ok := p.idx[a]
+		if !ok || needed[i] {
+			return
+		}
+		needed[i] = true
+		gi := derivedBy[i]
+		if gi < 0 {
+			return // unreachable when the closure covers f.Y
+		}
+		g := &p.fds[gi]
+		for _, q := range g.X {
+			visit(q)
+		}
+		ordered = append(ordered, Step{Derived: a, Via: *g})
+	}
+	for _, b := range f.Y {
+		visit(b)
+	}
+	return Proof{Goal: f, Steps: ordered}, true
+}

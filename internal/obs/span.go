@@ -15,15 +15,17 @@ import (
 // or nil *Span returns nil, and every method on a nil *Span is a no-op, so
 // callers thread a possibly-nil span without branching.
 //
-// A Span's own fields are written by the goroutine that created it;
-// attaching children and snapshotting are guarded by a mutex, so sibling
-// spans may be created from concurrent goroutines (core.ImpliesAll does).
+// A Span is shared between the goroutine running it and any goroutine
+// snapshotting the registry (a registered span is visible to
+// Registry.Snapshot while still running), so every mutable field — end
+// time, attributes, children — is guarded by the mutex. Sibling spans
+// may be created from concurrent goroutines (core.ImpliesAll does).
 type Span struct {
 	name  string
 	start time.Time
-	end   time.Time // zero while running
 
 	mu       sync.Mutex
+	end      time.Time // zero while running
 	attrs    []Attr
 	children []*Span
 }
@@ -63,10 +65,14 @@ func (s *Span) StartSpan(name string) *Span {
 // End closes the span, fixing its duration. Ending twice keeps the first
 // end time.
 func (s *Span) End() {
-	if s == nil || !s.end.IsZero() {
+	if s == nil {
 		return
 	}
-	s.end = time.Now()
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
 }
 
 // SetAttr annotates the span with a string value.
@@ -104,13 +110,13 @@ func (s *Span) Snapshot() *SpanSnapshot {
 		return nil
 	}
 	out := &SpanSnapshot{Name: s.name}
+	s.mu.Lock()
 	if s.end.IsZero() {
 		out.DurationNS = time.Since(s.start).Nanoseconds()
 		out.Running = true
 	} else {
 		out.DurationNS = s.end.Sub(s.start).Nanoseconds()
 	}
-	s.mu.Lock()
 	out.Attrs = append([]Attr(nil), s.attrs...)
 	children := append([]*Span(nil), s.children...)
 	s.mu.Unlock()

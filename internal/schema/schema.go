@@ -11,7 +11,7 @@ package schema
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -109,6 +109,10 @@ func (s *Scheme) String() string {
 type Database struct {
 	order   []string
 	schemes map[string]*Scheme
+	// canon is the name-sorted render of every scheme, rebuilt by Add.
+	// Fingerprinting a query hashes the whole scheme, so keeping the
+	// render current on (rare) Adds makes it free on (hot) queries.
+	canon string
 }
 
 // NewDatabase builds a database scheme from the given relation schemes. It
@@ -142,8 +146,21 @@ func (d *Database) Add(s *Scheme) error {
 	}
 	d.schemes[s.name] = s
 	d.order = append(d.order, s.name)
+	names := slices.Clone(d.order)
+	slices.Sort(names)
+	var b strings.Builder
+	for _, name := range names {
+		b.WriteString(d.schemes[name].String())
+		b.WriteByte(0)
+	}
+	d.canon = b.String()
 	return nil
 }
+
+// Canonical returns a canonical render of the database scheme: every
+// relation scheme in name order, NUL-separated. Two databases have equal
+// canonical forms exactly when they have the same schemes.
+func (d *Database) Canonical() string { return d.canon }
 
 // Scheme returns the relation scheme with the given name.
 func (d *Database) Scheme(name string) (*Scheme, bool) {
@@ -227,16 +244,11 @@ func SubsetOf(x, y []Attribute) bool {
 
 // SortedSet returns the distinct attributes of seq in sorted order.
 func SortedSet(seq []Attribute) []Attribute {
-	set := make(map[Attribute]bool, len(seq))
-	for _, a := range seq {
-		set[a] = true
-	}
-	out := make([]Attribute, 0, len(set))
-	for a := range set {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	// Hot path: attribute lists are tiny and this runs per dependency
+	// Key(), so sort-and-compact a copy instead of churning a map.
+	out := slices.Clone(seq)
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 // JoinAttrs renders an attribute sequence as "A,B,C".

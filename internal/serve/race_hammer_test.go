@@ -1,0 +1,136 @@
+package serve
+
+// Registry race hammer: concurrent writers republishing a schema while
+// readers run batches against it. Every batch answer must be consistent
+// with a Σ that actually existed under the version the response echoes —
+// no torn reads of a half-swapped entry, no answer computed from one Σ
+// and stamped with another's version. Run under -race (make race-hammer
+// exercises -cpu 1,2,8).
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRaceHammer(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{CacheSize: 256, MaxBatch: 16})
+
+	// Two alternating publications of the same name. Under sigmaChain the
+	// goal R: A -> C is implied (yes); under sigmaCut it is not (no).
+	const (
+		sigmaChain = `{"schema": ["R(A, B, C)"], "sigma": ["R: A -> B", "R: B -> C"]}`
+		sigmaCut   = `{"schema": ["R(A, B, C)"], "sigma": ["R: A -> B"]}`
+		batchBody  = `{"schema_name": "hammer", "goals": ["R: A -> C", "R: A -> B"]}`
+	)
+	if r, b := putJSON(t, ts.URL+"/v1/schemas/hammer", sigmaChain); r.StatusCode != http.StatusOK {
+		t.Fatalf("seed PUT = %d\n%s", r.StatusCode, b)
+	}
+
+	const (
+		writers        = 32
+		readers        = 32
+		putsPerWriter  = 8
+		readsPerReader = 8
+	)
+
+	// versionSigma records, for every successful PUT, which Σ that
+	// version published. Versions are allocated under the registry's
+	// lock, so each maps to exactly one Σ.
+	var (
+		mu           sync.Mutex
+		versionSigma = map[int64]string{1: sigmaChain}
+	)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, writers*putsPerWriter+readers*readsPerReader)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < putsPerWriter; i++ {
+				body := sigmaChain
+				if (w+i)%2 == 1 {
+					body = sigmaCut
+				}
+				r, raw := putJSON(t, ts.URL+"/v1/schemas/hammer", body)
+				if r.StatusCode != http.StatusOK {
+					errs <- "PUT status " + r.Status
+					continue
+				}
+				var resp SchemaResponse
+				if err := json.Unmarshal(raw, &resp); err != nil {
+					errs <- "PUT decode: " + err.Error()
+					continue
+				}
+				mu.Lock()
+				versionSigma[resp.Version] = body
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	type observed struct {
+		version int64
+		chainV  string // verdict for R: A -> C
+		directV string // verdict for R: A -> B
+	}
+	seen := make(chan observed, readers*readsPerReader)
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readsPerReader; i++ {
+				r, raw := postJSON(t, ts.URL+"/v1/batch", batchBody)
+				if r.StatusCode != http.StatusOK {
+					errs <- "batch status " + r.Status
+					continue
+				}
+				var resp BatchResponse
+				if err := json.Unmarshal(raw, &resp); err != nil {
+					errs <- "batch decode: " + err.Error()
+					continue
+				}
+				if len(resp.Answers) != 2 {
+					errs <- "batch returned wrong answer count"
+					continue
+				}
+				seen <- observed{resp.Version, resp.Answers[0].Verdict, resp.Answers[1].Verdict}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(seen)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// Post-hoc consistency: each response's version must name a recorded
+	// publication, and its verdicts must match that publication's Σ.
+	checked := 0
+	for obs := range seen {
+		sigma, ok := versionSigma[obs.version]
+		if !ok {
+			t.Errorf("batch echoed version %d, which no successful PUT published", obs.version)
+			continue
+		}
+		want := "yes"
+		if sigma == sigmaCut {
+			want = "no"
+		}
+		if obs.chainV != want {
+			t.Errorf("version %d: R: A -> C = %q, but that version's Σ implies %q",
+				obs.version, obs.chainV, want)
+		}
+		if obs.directV != "yes" {
+			t.Errorf("version %d: R: A -> B = %q, implied under every published Σ",
+				obs.version, obs.directV)
+		}
+		checked++
+	}
+	if checked < readers*readsPerReader/2 {
+		t.Errorf("only %d batch responses checked; hammer lost too many reads", checked)
+	}
+}

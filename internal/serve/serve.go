@@ -16,6 +16,18 @@
 //	                    formal ind/fd proof, the chase's provenance
 //	                    derivation DAG, or a counterexample
 //	POST /v1/satisfies  satisfaction check of concrete tuples against Σ
+//	POST /v1/batch      up to max-batch goals against one inline or
+//	                    registered Σ, answered with one shared setup;
+//	                    per-goal answers carry cache and timing fields
+//	PUT  /v1/schemas/{name}   register a named (schema, Σ) set, pre-
+//	                    compiled (parse, canonical Σ, warm engine pool);
+//	                    re-PUT bumps the version and surgically evicts
+//	                    only cached answers that used a changed member
+//	GET  /v1/schemas          list registered schemas
+//	GET  /v1/schemas/{name}   current version's schema and Σ
+//	DELETE /v1/schemas/{name} remove (version numbers never reused)
+//	POST /v1/schemas/{name}/algebra  union/intersect/minimal-cover over
+//	                    registered Σ sets
 //	GET  /metrics       Prometheus text exposition of the registry
 //	GET  /healthz       liveness (always 200 once the mux is up; JSON
 //	                    body with uptime and build identity)
@@ -55,6 +67,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -63,8 +76,11 @@ import (
 	"indfd/internal/chase"
 	"indfd/internal/core"
 	"indfd/internal/data"
+	"indfd/internal/deps"
 	"indfd/internal/obs"
 	"indfd/internal/parser"
+	"indfd/internal/registry"
+	"indfd/internal/schema"
 )
 
 // Config parameterizes a Server. The zero value of every field has a
@@ -134,6 +150,13 @@ type Config struct {
 	// requests killed by deadline or cancellation are discarded, never
 	// reused.
 	PoolDisabled bool
+	// MaxBatch caps the number of goals in one POST /v1/batch body
+	// (default 256).
+	MaxBatch int
+	// BatchFanout bounds the worker group a batch's goals fan across
+	// (default GOMAXPROCS). A request's fanout field can lower it per
+	// batch, never raise it.
+	BatchFanout int
 }
 
 // Server answers implication traffic over HTTP. Create with New; the
@@ -152,6 +175,7 @@ type Server struct {
 	exp     *obs.Exporter
 	dig     *obs.DigestStore
 	pool    *chase.EnginePool
+	schemas *registry.Registry
 
 	gInFlight     *obs.Gauge
 	cSlow         *obs.Counter
@@ -191,6 +215,12 @@ func New(cfg Config) *Server {
 	if cfg.Service == "" {
 		cfg.Service = "depserve"
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.BatchFanout <= 0 {
+		cfg.BatchFanout = runtime.GOMAXPROCS(0)
+	}
 	s := &Server{
 		cfg:           cfg,
 		reg:           cfg.Reg,
@@ -205,6 +235,7 @@ func New(cfg Config) *Server {
 		rec:           obs.NewRecorder(cfg.TraceBuffer),
 		exp:           cfg.Exporter,
 		dig:           obs.NewDigestStore(cfg.DigestSize, cfg.Reg),
+		schemas:       registry.New(cfg.Reg),
 	}
 	s.idBase = fmt.Sprintf("%x", s.started.UnixNano()&0xfffffff)
 	if !cfg.PoolDisabled {
@@ -215,6 +246,12 @@ func New(cfg Config) *Server {
 	mux.Handle("POST /v1/implies", s.instrument("/v1/implies", s.handleImplies))
 	mux.Handle("POST /v1/explain", s.instrument("/v1/explain", s.handleExplain))
 	mux.Handle("POST /v1/satisfies", s.instrument("/v1/satisfies", s.handleSatisfies))
+	mux.Handle("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	mux.Handle("GET /v1/schemas", s.instrument("/v1/schemas", s.handleSchemaList))
+	mux.Handle("PUT /v1/schemas/{name}", s.instrument("/v1/schemas/{name}", s.handleSchemaPut))
+	mux.Handle("GET /v1/schemas/{name}", s.instrument("/v1/schemas/{name}", s.handleSchemaGet))
+	mux.Handle("DELETE /v1/schemas/{name}", s.instrument("/v1/schemas/{name}", s.handleSchemaDelete))
+	mux.Handle("POST /v1/schemas/{name}/algebra", s.instrument("/v1/schemas/{name}/algebra", s.handleSchemaAlgebra))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
@@ -251,7 +288,12 @@ func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 type ImpliesRequest struct {
 	Schema []string `json:"schema"`
 	Sigma  []string `json:"sigma"`
-	Goal   string   `json:"goal"`
+	// SchemaName answers against a registered schema (PUT /v1/schemas/
+	// {name}) instead of an inline one: the pre-compiled entry supplies
+	// the scheme, Σ and a warm engine pool, so the request body carries
+	// only the goal. Mutually exclusive with Schema/Sigma.
+	SchemaName string `json:"schema_name,omitempty"`
+	Goal       string `json:"goal"`
 	// Finite asks for finite implication (⊨fin) instead of unrestricted.
 	Finite bool `json:"finite,omitempty"`
 	// Budget overrides the server's chase tuple budget for this query.
@@ -358,44 +400,100 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	s.answerImplies(w, r, req)
 }
 
-func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req ImpliesRequest) {
-	resp := ImpliesResponse{RequestID: RequestID(r.Context())}
-	if req.Goal == "" {
-		s.badRequest(w, r, resp, "missing goal")
-		return
+// prepared is one request's shared setup — the system, the engine pool,
+// and the parsed goals — paid once and reused by every goal. For
+// /v1/implies that is one goal; for /v1/batch it is the whole point:
+// the parse/canonicalize/validate pass and (for registered schemas) the
+// compiled system amortize across up to MaxBatch goals.
+type prepared struct {
+	sys   *core.System
+	pool  *chase.EnginePool
+	goals []deps.Dependency
+	// schemaName and version identify the registry entry when the
+	// request referenced one ("" / 0 for inline schemas).
+	schemaName string
+	version    int64
+}
+
+// prepare resolves a request's schema into a ready system and parses
+// its goals. With schemaName set the registry supplies the pre-compiled
+// entry (schema, canonical Σ, warm pool) and only the goals are parsed,
+// against the entry's schema; otherwise the inline schema+Σ+goals
+// document is parsed and validated in one pass.
+func (s *Server) prepare(schemaName string, schemaLines, sigma, goals []string, finite bool) (*prepared, error) {
+	for _, g := range goals {
+		if g == "" {
+			return nil, errors.New("missing goal")
+		}
 	}
-	file, err := parser.ParseString(depDocument(req.Schema, req.Sigma, req.Goal, req.Finite))
+	if schemaName != "" {
+		if len(schemaLines) > 0 || len(sigma) > 0 {
+			return nil, errors.New("schema_name and inline schema/sigma are mutually exclusive")
+		}
+		e, ok := s.schemas.Get(schemaName)
+		if !ok {
+			return nil, fmt.Errorf("schema %q is not registered", schemaName)
+		}
+		file, err := parser.ParseString(goalDocument(e.DB, goals, finite))
+		if err != nil {
+			return nil, err
+		}
+		if len(file.Queries) != len(goals) || len(file.TDQueries) != 0 {
+			return nil, errors.New("every goal must be a single FD, IND or RD")
+		}
+		p := &prepared{sys: e.Sys, pool: e.Pool, schemaName: e.Name, version: e.Version}
+		for _, q := range file.Queries {
+			p.goals = append(p.goals, q.Goal)
+		}
+		return p, nil
+	}
+	file, err := parser.ParseString(depDocument(schemaLines, sigma, goals, finite))
 	if err != nil {
-		s.badRequest(w, r, resp, err.Error())
-		return
+		return nil, err
 	}
-	if len(file.Queries) != 1 || len(file.TDQueries) != 0 {
-		s.badRequest(w, r, resp, "goal must be a single FD, IND or RD")
-		return
+	if len(file.Queries) != len(goals) || len(file.TDQueries) != 0 {
+		return nil, errors.New("every goal must be a single FD, IND or RD")
 	}
-	q := file.Queries[0]
 	sys := core.NewSystem(file.DB)
 	if err := sys.Add(file.Sigma...); err != nil {
-		s.badRequest(w, r, resp, err.Error())
-		return
+		return nil, err
 	}
-	resp.Goal = q.Goal.String()
-	resp.Mode = "unrestricted"
-	if req.Finite {
-		resp.Mode = "finite"
+	p := &prepared{sys: sys, pool: s.pool}
+	for _, q := range file.Queries {
+		p.goals = append(p.goals, q.Goal)
 	}
+	return p, nil
+}
 
+// requestDeadline resolves a request's timeout_ms against the server's
+// default and cap.
+func (s *Server) requestDeadline(timeoutMS int64) time.Duration {
 	deadline := s.cfg.DefaultDeadline
-	if req.TimeoutMS > 0 {
-		deadline = time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeoutMS > 0 {
+		deadline = time.Duration(timeoutMS) * time.Millisecond
 	}
 	if deadline > s.cfg.MaxDeadline {
 		deadline = s.cfg.MaxDeadline
 	}
-	resp.DeadlineMS = deadline.Milliseconds()
-	ctx, cancel := context.WithTimeout(r.Context(), deadline)
-	defer cancel()
+	return deadline
+}
 
+// solveGoal answers one goal against a prepared system — the single
+// engine path behind /v1/implies, /v1/explain and every goal of a
+// /v1/batch, so batch answers are byte-identical to per-request ones by
+// construction. It returns the response body, its HTTP status, and the
+// cache disposition ("hit", "miss", or "" when the goal bypassed the
+// cache). Each call observes its own per-goal digest, so /debug/digests
+// aggregates batch traffic per query shape, not per batch envelope.
+func (s *Server) solveGoal(ctx context.Context, p *prepared, goal deps.Dependency, req ImpliesRequest, requestID string, rec *obs.RequestRecord, deadlineMS int64) (ImpliesResponse, int, string) {
+	resp := ImpliesResponse{RequestID: requestID, Goal: goal.String(), Mode: "unrestricted", DeadlineMS: deadlineMS}
+	if req.Finite {
+		resp.Mode = "finite"
+	}
+	if rec != nil {
+		rec.Goal = resp.Goal
+		rec.Mode = resp.Mode
+	}
 	budget := req.Budget
 	if budget <= 0 {
 		budget = s.cfg.ChaseBudget
@@ -408,39 +506,38 @@ func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req Impli
 		Obs:            s.reg,
 		Ctx:            ctx,
 		ChaseWorkers:   s.cfg.ChaseWorkers,
-		ChasePool:      s.pool,
+		ChasePool:      p.pool,
 	}
 
-	// The flight-recorder draft (nil when recording is off) gets the
-	// query identity now and the outcome below; the middleware retains
-	// it when the response is done.
-	rec := record(r.Context())
-	if rec != nil {
-		rec.Goal = resp.Goal
-		rec.Mode = resp.Mode
-	}
-
-	// Answer cache: implication is a pure function of (schema, Σ, goal,
-	// mode, engine budgets), so a fingerprint hit can be served without
-	// touching an engine. Metrics-carrying and profiled requests bypass
-	// the cache — their deltas and attributions describe this request's
-	// engine work, and a cached answer has none. The fingerprint doubles
-	// as the query-digest key (a profile flag is deliberately NOT part of
-	// it, so profiled and unprofiled spellings of one query land in one
-	// digest), so it is computed whenever either consumer is on.
+	// Answer cache: the answer is a pure function of (schema,
+	// Relevant(goal), goal, mode, engine budgets) — core restricts Σ to
+	// the goal's IND-connected component before dispatch — so the key
+	// binds that component, not all of Σ: editing or registering members
+	// outside it leaves every such key warm. Metrics-carrying and
+	// profiled requests bypass the cache — their deltas and attributions
+	// describe this request's engine work, and a cached answer has none.
+	// The fingerprint doubles as the query-digest key (a profile flag is
+	// deliberately NOT part of it, so profiled and unprofiled spellings
+	// of one query land in one digest), so it is computed whenever
+	// either consumer is on.
 	var fingerprint string
 	cacheable := s.cache != nil && !req.IncludeMetrics && !req.Profile
+	cacheStatus := ""
 	if cacheable || s.dig != nil {
-		fingerprint = core.QueryFingerprint(file.DB, file.Sigma, q.Goal, resp.Mode,
+		fingerprint = p.sys.QueryKey(goal, resp.Mode,
 			append(core.FingerprintOptions(opt), "explain="+strconv.FormatBool(req.Explain))...)
 	}
 	if cacheable {
+		// Footprint capture (which members the chase touched) feeds the
+		// cache's per-member invalidation index; it is cheap (no scan
+		// timers) and never changes the answer.
+		opt.Footprint = true
+		cacheStatus = "miss"
 		lookup := time.Now()
 		if hit, ok := s.cache.Get(fingerprint); ok {
 			fillAnswer(&resp, hit.Answer)
 			resp.Explanation = hit.Explanation
 			resp.ElapsedUS = time.Since(lookup).Microseconds()
-			w.Header().Set("X-Cache", "HIT")
 			if rec != nil {
 				rec.Cache = "hit"
 				rec.Verdict = resp.Verdict
@@ -452,10 +549,8 @@ func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req Impli
 			})
 			s.reg.Counter(obs.MetricName("serve.answers",
 				"engine", hit.Answer.Engine, "verdict", hit.Answer.Verdict.String())).Inc()
-			s.writeJSON(w, http.StatusOK, resp)
-			return
+			return resp, http.StatusOK, "hit"
 		}
-		w.Header().Set("X-Cache", "MISS")
 		if rec != nil {
 			rec.Cache = "miss"
 		}
@@ -468,12 +563,13 @@ func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req Impli
 	start := time.Now()
 	var a core.Answer
 	var why string
+	var err error
 	if req.Explain {
-		a, why, err = sys.Explain(q.Goal, opt, req.Finite)
+		a, why, err = p.sys.Explain(goal, opt, req.Finite)
 	} else if req.Finite {
-		a, err = sys.ImpliesFinite(q.Goal, opt)
+		a, err = p.sys.ImpliesFinite(goal, opt)
 	} else {
-		a, err = sys.Implies(q.Goal, opt)
+		a, err = p.sys.Implies(goal, opt)
 	}
 	resp.ElapsedUS = time.Since(start).Microseconds()
 	fillAnswer(&resp, a)
@@ -497,16 +593,22 @@ func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req Impli
 
 	switch {
 	case err == nil:
-		// Only complete answers enter the cache: the deadline and error
-		// branches below return partial work that must never be replayed
-		// to a later client.
-		if cacheable {
-			s.cache.Put(fingerprint, core.CachedAnswer{Answer: a, Explanation: why})
+		// Only complete answers enter the cache: budget-killed partials
+		// (verdict unknown) and the deadline and error branches below
+		// return partial work that must never be replayed
+		// to a later client. The tags — the members the answer actually
+		// depended on (derivation rules, chase footprint, or all of the
+		// relevant scope) — let a registry edit evict exactly the entries
+		// it could have changed.
+		if cacheable && a.Verdict != core.Unknown {
+			s.cache.PutTagged(fingerprint,
+				core.CachedAnswer{Answer: a, Explanation: why},
+				p.sys.AnswerTags(&a, goal))
 		}
 		observeDigest(false)
 		s.reg.Counter(obs.MetricName("serve.answers",
 			"engine", a.Engine, "verdict", a.Verdict.String())).Inc()
-		s.writeJSON(w, http.StatusOK, resp)
+		return resp, http.StatusOK, cacheStatus
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		// The engines return their partial work with the error; the 503
 		// tells the client the instance, not the server, is the problem —
@@ -517,12 +619,40 @@ func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req Impli
 		s.reg.Counter(obs.MetricName("serve.answers",
 			"engine", a.Engine, "verdict", "deadline")).Inc()
 		resp.Error = err.Error()
-		s.writeJSON(w, http.StatusServiceUnavailable, resp)
+		return resp, http.StatusServiceUnavailable, cacheStatus
 	default:
 		observeDigest(true)
 		resp.Error = err.Error()
-		s.writeJSON(w, http.StatusInternalServerError, resp)
+		return resp, http.StatusInternalServerError, cacheStatus
 	}
+}
+
+func (s *Server) answerImplies(w http.ResponseWriter, r *http.Request, req ImpliesRequest) {
+	resp := ImpliesResponse{RequestID: RequestID(r.Context())}
+	if req.Goal == "" {
+		s.badRequest(w, r, resp, "missing goal")
+		return
+	}
+	p, err := s.prepare(req.SchemaName, req.Schema, req.Sigma, []string{req.Goal}, req.Finite)
+	if err != nil {
+		s.badRequest(w, r, resp, err.Error())
+		return
+	}
+	deadline := s.requestDeadline(req.TimeoutMS)
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	// The flight-recorder draft (nil when recording is off) gets the
+	// query identity and outcome inside solveGoal; the middleware
+	// retains it when the response is done.
+	resp, status, cacheStatus := s.solveGoal(ctx, p, p.goals[0], req,
+		resp.RequestID, record(r.Context()), deadline.Milliseconds())
+	switch cacheStatus {
+	case "hit":
+		w.Header().Set("X-Cache", "HIT")
+	case "miss":
+		w.Header().Set("X-Cache", "MISS")
+	}
+	s.writeJSON(w, status, resp)
 }
 
 func (s *Server) handleSatisfies(w http.ResponseWriter, r *http.Request) {
@@ -531,7 +661,7 @@ func (s *Server) handleSatisfies(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := SatisfiesResponse{RequestID: RequestID(r.Context())}
-	file, err := parser.ParseString(depDocument(req.Schema, req.Sigma, "", false))
+	file, err := parser.ParseString(depDocument(req.Schema, req.Sigma, nil, false))
 	if err != nil {
 		s.badRequestSat(w, resp, err.Error())
 		return
@@ -683,6 +813,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 POST /v1/implies     {"schema":["R(A,B)"],"sigma":["R: A -> B"],"goal":"R: A -> B"}
 POST /v1/explain     same body; answers with proof, derivation DAG, or counterexample
 POST /v1/satisfies   {"schema":[...],"sigma":[...],"data":{"R":[["a","b"]]}}
+POST /v1/batch       {"schema_name":"orders","goals":["R: A -> B", ...]} — many goals, one setup
+PUT  /v1/schemas/{name}   {"schema":[...],"sigma":[...]} — register a pre-compiled named Σ
+GET  /v1/schemas          list; GET/DELETE /v1/schemas/{name} inspect/remove
+POST /v1/schemas/{name}/algebra  {"op":"union|intersect|minimal-cover","with":"other"}
 GET  /metrics        Prometheus text exposition
 GET  /healthz        liveness
 GET  /readyz         readiness
@@ -697,10 +831,10 @@ GET  /debug/pprof/   profiles
 // --- helpers ----------------------------------------------------------------
 
 // depDocument assembles a .dep text document from the request's parts;
-// goal == "" omits the query line (the satisfies path).
-func depDocument(schema, sigma []string, goal string, finite bool) string {
+// nil goals omit the query lines (the satisfies path).
+func depDocument(schemaLines, sigma, goals []string, finite bool) string {
 	var b strings.Builder
-	for _, s := range schema {
+	for _, s := range schemaLines {
 		b.WriteString("schema ")
 		b.WriteString(s)
 		b.WriteByte('\n')
@@ -709,16 +843,39 @@ func depDocument(schema, sigma []string, goal string, finite bool) string {
 		b.WriteString(d)
 		b.WriteByte('\n')
 	}
-	if goal != "" {
+	writeGoals(&b, goals, finite)
+	return b.String()
+}
+
+// goalDocument renders a goals-only .dep document against a registered
+// schema: its scheme declarations (for validation) plus the query
+// lines, no Σ — the registry entry already holds the canonical Σ, so a
+// batch against a registered schema re-parses nothing but the goals.
+func goalDocument(db *schema.Database, goals []string, finite bool) string {
+	var b strings.Builder
+	for _, n := range db.Names() {
+		sch, _ := db.Scheme(n)
+		b.WriteString("schema ")
+		b.WriteString(sch.String())
+		b.WriteByte('\n')
+	}
+	writeGoals(&b, goals, finite)
+	return b.String()
+}
+
+func writeGoals(b *strings.Builder, goals []string, finite bool) {
+	for _, g := range goals {
+		if g == "" {
+			continue
+		}
 		if finite {
 			b.WriteString("?fin ")
 		} else {
 			b.WriteString("? ")
 		}
-		b.WriteString(goal)
+		b.WriteString(g)
 		b.WriteByte('\n')
 	}
-	return b.String()
 }
 
 // fillAnswer copies a core.Answer (possibly partial, on the deadline
