@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race race-hammer zeroalloc bench benchjson bench-json bench-diff serve slo-gate
+.PHONY: check build vet lint test race race-hammer zeroalloc bench benchjson bench-json bench-diff serve slo-gate watchdog-test
 
 check: build vet lint race zeroalloc
 
@@ -73,10 +73,15 @@ serve:
 # together with digests_snapshot.json — the query-digest store's view of
 # the load it just served (per-fingerprint counts, latency histograms,
 # hot dependencies), pulled from /debug/digests before the server dies.
+# The server runs with the example watchdog rules and a 500ms sampling
+# tick; after the window, timeseries_snapshot.json and
+# alerts_snapshot.json capture the retained history and any alert
+# transitions the run provoked (also uploaded as CI artifacts).
 slo-gate:
 	$(GO) build -o /tmp/depserve ./cmd/depserve
 	$(GO) build -o /tmp/loadgen ./cmd/loadgen
-	/tmp/depserve -addr 127.0.0.1:8399 & echo $$! > /tmp/depserve.pid; \
+	/tmp/depserve -addr 127.0.0.1:8399 -ts-resolution 500ms \
+		-alert-rules examples/depserve.rules & echo $$! > /tmp/depserve.pid; \
 	trap 'kill $$(cat /tmp/depserve.pid) 2>/dev/null' EXIT; \
 	/tmp/loadgen -target http://127.0.0.1:8399 -qps 150 -duration 5s -warmup 1s \
 		-slo 'p99<250ms,errs<1%' -baseline BENCH_slo.json -tolerance 4.0 \
@@ -84,4 +89,15 @@ slo-gate:
 	rc=$$?; \
 	curl -fsS 'http://127.0.0.1:8399/debug/digests?limit=64' -o digests_snapshot.json \
 		|| echo 'digests snapshot unavailable'; \
+	curl -fsS 'http://127.0.0.1:8399/debug/timeseries' -o timeseries_snapshot.json \
+		|| echo 'timeseries snapshot unavailable'; \
+	curl -fsS 'http://127.0.0.1:8399/debug/alerts' -o alerts_snapshot.json \
+		|| echo 'alerts snapshot unavailable'; \
 	exit $$rc
+
+# The watchdog's end-to-end pin under the race detector: depserve's
+# serve surface with an induced latency fault must fire the burn-rate
+# alert within one evaluation tick, degrade /readyz, and resolve once
+# the fault clears.
+watchdog-test:
+	$(GO) test -race -run TestWatchdogBurnRateIntegration -count=1 ./internal/serve/

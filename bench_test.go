@@ -35,6 +35,7 @@ import (
 	"indfd/internal/maintain"
 	"indfd/internal/mvd"
 	"indfd/internal/obs"
+	"indfd/internal/obs/tsdb"
 	"indfd/internal/perm"
 	"indfd/internal/rules"
 	"indfd/internal/schema"
@@ -944,6 +945,29 @@ func TestZeroAlloc(t *testing.T) {
 	// there and the instrumentation itself allocates.)
 	if !raceDetectorEnabled && pooled != 0 {
 		t.Errorf("warm pooled chase path allocates %.1f/run, want exactly 0", pooled)
+	}
+
+	// Telemetry history and alerting off (-ts-resolution 0) must be
+	// free: every nil-receiver entry point depserve's loop and handlers
+	// can hit is pinned at EXACTLY zero allocations.
+	var store *tsdb.Store
+	var wd *tsdb.Watchdog
+	snap := obs.New().Snapshot()
+	off := testing.AllocsPerRun(200, func() {
+		store.Sample(snap, time.Time{})
+		if store.Query(tsdb.QueryOptions{}) != nil {
+			t.Fatal("nil store query returned series")
+		}
+		if _, ok := store.WindowSum("serve.requests_total", time.Minute); ok {
+			t.Fatal("nil store window returned data")
+		}
+		wd.Evaluate(time.Time{})
+		if wd.Active() != nil || wd.CriticalNames() != nil {
+			t.Fatal("nil watchdog returned alerts")
+		}
+	})
+	if off != 0 {
+		t.Errorf("disabled tsdb+watchdog path allocates %.1f/run, want exactly 0", off)
 	}
 }
 

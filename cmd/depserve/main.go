@@ -14,6 +14,7 @@
 //	         [-digest-size 256] [-otlp-file FILE] [-otlp-endpoint URL]
 //	         [-chase-workers N] [-pool=false]
 //	         [-max-batch 256] [-batch-fanout N]
+//	         [-ts-resolution 2s] [-ts-retention 15m] [-alert-rules FILE]
 //	         [-stats] [-trace-json FILE] [-pprof ADDR] [-memprofile FILE]
 //
 // Endpoints (see internal/serve):
@@ -42,6 +43,16 @@
 //	                     query shapes by total engine time, with call
 //	                     counts, latency histograms, error/cache-hit
 //	                     rates and merged per-dependency cost profiles
+//	GET  /debug/timeseries  retained telemetry history: the in-process
+//	                     tsdb samples every counter delta, gauge value
+//	                     and histogram quantile each -ts-resolution tick
+//	                     and keeps -ts-retention of fine history plus a
+//	                     coarser downsampled tier (cmd/deptop renders it
+//	                     live; -ts-resolution 0 turns history off)
+//	GET  /debug/alerts   the SLO watchdog: -alert-rules threshold and
+//	                     multi-window burn-rate rules evaluated every
+//	                     tick; firing critical alerts flip /readyz to a
+//	                     degraded body naming the alert
 //	GET  /debug/pprof/   profiles and execution traces
 //
 // Logs are JSON on stderr, one record per request; requests slower than
@@ -69,6 +80,7 @@ import (
 
 	"indfd/internal/cliutil"
 	"indfd/internal/obs"
+	"indfd/internal/obs/tsdb"
 	"indfd/internal/serve"
 )
 
@@ -90,13 +102,17 @@ func main() {
 	pool := flag.Bool("pool", true, "recycle chase engine state across requests keyed by (schema, sigma)")
 	maxBatch := flag.Int("max-batch", 256, "cap on the goals in one /v1/batch request")
 	batchFanout := flag.Int("batch-fanout", 0, "workers a batch's goals fan across (0 = GOMAXPROCS)")
+	tsResolution := flag.Duration("ts-resolution", 2*time.Second, "time-series sample interval for /debug/timeseries (0 disables history and alerting)")
+	tsRetention := flag.Duration("ts-retention", 15*time.Minute, "fine-resolution history retained (a coarser tier keeps 8x longer)")
+	alertRules := flag.String("alert-rules", "", "watchdog rules file: threshold and burn-rate SLO rules evaluated every tick")
 	obsFlags := cliutil.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	if err := run(logger, *addr, *deadline, *maxDeadline, *slow, *budget, *search, *spanCap,
 		*cacheSize, *cacheTTL, *traceBuf, *digestSize, *otlpFile, *otlpEndpoint,
-		*chaseWorkers, *pool, *maxBatch, *batchFanout, obsFlags); err != nil {
+		*chaseWorkers, *pool, *maxBatch, *batchFanout,
+		*tsResolution, *tsRetention, *alertRules, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "depserve:", err)
 		os.Exit(1)
 	}
@@ -105,7 +121,9 @@ func main() {
 func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Duration,
 	budget int, search bool, spanCap, cacheSize int, cacheTTL time.Duration,
 	traceBuf, digestSize int, otlpFile, otlpEndpoint string,
-	chaseWorkers int, pool bool, maxBatch, batchFanout int, obsFlags *cliutil.ObsFlags) error {
+	chaseWorkers int, pool bool, maxBatch, batchFanout int,
+	tsResolution, tsRetention time.Duration, alertRules string,
+	obsFlags *cliutil.ObsFlags) error {
 	// The server always runs instrumented — /metrics is its point — so
 	// the registry does not depend on the -stats/-trace-json flags.
 	reg := obs.New()
@@ -135,6 +153,36 @@ func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Dura
 		}
 	}()
 
+	// Continuous telemetry: the tsdb ring samples the registry every
+	// -ts-resolution tick and the watchdog evaluates -alert-rules
+	// against the retained history. -ts-resolution 0 turns both off —
+	// the nil store and nil watchdog are valid no-op values everywhere.
+	store := tsdb.New(tsdb.Config{
+		Resolution: tsResolution,
+		Retention:  tsRetention,
+		Reg:        reg,
+	})
+	var watchdog *tsdb.Watchdog
+	if alertRules != "" {
+		if store == nil {
+			return fmt.Errorf("-alert-rules needs time-series history; raise -ts-resolution above 0")
+		}
+		text, err := os.ReadFile(alertRules)
+		if err != nil {
+			return err
+		}
+		rules, err := tsdb.ParseRules(string(text))
+		if err != nil {
+			return fmt.Errorf("%s: %v", alertRules, err)
+		}
+		if len(rules) == 0 {
+			return fmt.Errorf("%s: no rules (comments and blank lines only)", alertRules)
+		}
+		watchdog = tsdb.NewWatchdog(store, rules, reg, nil)
+		logger.Info("watchdog armed", "rules", len(rules), "file", alertRules,
+			"tick", tsResolution.String())
+	}
+
 	srv := serve.New(serve.Config{
 		Reg:             reg,
 		Logger:          logger,
@@ -152,7 +200,14 @@ func run(logger *slog.Logger, addr string, deadline, maxDeadline, slow time.Dura
 		PoolDisabled:    !pool,
 		MaxBatch:        maxBatch,
 		BatchFanout:     batchFanout,
+		TSDB:            store,
+		Watchdog:        watchdog,
 	})
+	// Alert transitions mirror into the server's flight recorder so
+	// /debug/traces interleaves them with the requests that caused them.
+	watchdog.SetRecorder(srv.Recorder())
+	stopTelemetry := tsdb.StartLoop(reg, store, watchdog, tsResolution)
+	defer stopTelemetry()
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,

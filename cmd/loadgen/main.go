@@ -56,6 +56,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net/http"
 	"os"
@@ -70,6 +71,7 @@ import (
 	"indfd/internal/deps"
 	"indfd/internal/obs"
 	"indfd/internal/schema"
+	"indfd/internal/slo"
 )
 
 func main() {
@@ -213,6 +215,13 @@ type Report struct {
 	AllocsPerRequest float64  `json:"allocs_per_request,omitempty"`
 	SLO              string   `json:"slo,omitempty"`
 	Breaches         []string `json:"breaches,omitempty"`
+	// Timeseries is the server's own view of the run: the
+	// /debug/timeseries series matching serve.http_latency, scraped
+	// after the measured window. The client-side quantiles above and
+	// this server-side history into one artifact lets a breach be read
+	// from both ends (queueing shows only client-side; a mid-run spike
+	// shows only here). Absent when the target keeps no history.
+	Timeseries json.RawMessage `json:"timeseries,omitempty"`
 }
 
 // run executes the full generator lifecycle: readiness poll, warmup,
@@ -266,6 +275,7 @@ func run(cfg config) (*Report, error) {
 			}
 		}
 	}
+	report.Timeseries = scrapeTimeseries(client, cfg.Target, cfg.Duration+cfg.Warmup)
 	report.SLO = cfg.SLO
 	report.Breaches = evalSLO(clauses, report)
 	if cfg.BaselinePath != "" {
@@ -519,47 +529,19 @@ func buildReport(cfg config, reg *obs.Registry, sent int64) *Report {
 	return report
 }
 
-// statsFrom estimates the quantile set from one histogram snapshot.
+// statsFrom estimates the quantile set from one histogram snapshot,
+// with the shared obs estimator (the same one the server's tsdb uses,
+// so client- and server-side quantiles agree by construction).
 func statsFrom(h obs.HistogramSnapshot) *RouteStats {
 	st := &RouteStats{Count: h.Count, MaxUS: h.Max}
 	if h.Count > 0 {
 		st.MeanUS = h.Sum / h.Count
 	}
-	st.P50US = quantile(h, 0.50)
-	st.P90US = quantile(h, 0.90)
-	st.P95US = quantile(h, 0.95)
-	st.P99US = quantile(h, 0.99)
+	st.P50US = h.Quantile(0.50)
+	st.P90US = h.Quantile(0.90)
+	st.P95US = h.Quantile(0.95)
+	st.P99US = h.Quantile(0.99)
 	return st
-}
-
-// quantile estimates the q-quantile from log₂ buckets: find the bucket
-// the rank lands in and interpolate linearly between its bounds; the
-// top bucket is capped at the observed max, so a single slow outlier
-// cannot be reported slower than it was.
-func quantile(h obs.HistogramSnapshot, q float64) int64 {
-	if h.Count == 0 {
-		return 0
-	}
-	rank := q * float64(h.Count)
-	var cum int64
-	var lo int64
-	for _, b := range h.Buckets {
-		prev := cum
-		cum += b.Count
-		if float64(cum) >= rank && b.Count > 0 {
-			hi := b.Le
-			if hi > h.Max {
-				hi = h.Max
-			}
-			if hi <= lo {
-				return hi
-			}
-			frac := (rank - float64(prev)) / float64(b.Count)
-			return lo + int64(frac*float64(hi-lo))
-		}
-		lo = b.Le + 1
-	}
-	return h.Max
 }
 
 // seriesLabel extracts one label value from an obs.MetricName-encoded
@@ -598,59 +580,28 @@ func summarize(r *Report) {
 
 // --- SLO --------------------------------------------------------------------
 
-// sloClause is one parsed "metric<bound" term.
-type sloClause struct {
-	metric string // p50, p90, p95, p99, mean, max, errs
-	// boundUS for latency clauses (microseconds); boundRate for errs
-	// (fraction, 0.001 == 0.1%).
-	boundUS   int64
-	boundRate float64
-	text      string
-}
-
-// parseSLO parses "p99<25ms,errs<0.1%"-style clause lists.
-func parseSLO(s string) ([]sloClause, error) {
-	if strings.TrimSpace(s) == "" {
-		return nil, nil
+// parseSLO parses "p99<25ms,errs<0.1%"-style clause lists with the
+// shared grammar (internal/slo — the same one the depserve watchdog's
+// -alert-rules file speaks). Labeled selectors like
+// p99{route=/v1/implies}<5ms are valid grammar but rejected here: the
+// generator aggregates per scenario, not per server route, so a route
+// selector would silently gate on nothing.
+func parseSLO(s string) ([]slo.Clause, error) {
+	clauses, err := slo.Parse(s)
+	if err != nil {
+		return nil, err
 	}
-	var clauses []sloClause
-	for _, term := range strings.Split(s, ",") {
-		term = strings.TrimSpace(term)
-		metric, bound, ok := strings.Cut(term, "<")
-		if !ok {
-			return nil, fmt.Errorf("SLO clause %q: want metric<bound", term)
+	for _, c := range clauses {
+		if len(c.Labels) > 0 {
+			return nil, fmt.Errorf("SLO clause %q: labeled selectors are for the server-side watchdog (-alert-rules); loadgen gates on overall stats only", c.Text)
 		}
-		metric = strings.ToLower(strings.TrimSpace(metric))
-		bound = strings.TrimSpace(bound)
-		c := sloClause{metric: metric, text: term}
-		switch metric {
-		case "p50", "p90", "p95", "p99", "mean", "max":
-			d, err := time.ParseDuration(bound)
-			if err != nil {
-				return nil, fmt.Errorf("SLO clause %q: %v", term, err)
-			}
-			c.boundUS = d.Microseconds()
-		case "errs":
-			pct, ok := strings.CutSuffix(bound, "%")
-			if !ok {
-				return nil, fmt.Errorf("SLO clause %q: errs bound must be a percentage like 0.1%%", term)
-			}
-			f, err := strconv.ParseFloat(pct, 64)
-			if err != nil {
-				return nil, fmt.Errorf("SLO clause %q: %v", term, err)
-			}
-			c.boundRate = f / 100
-		default:
-			return nil, fmt.Errorf("SLO clause %q: unknown metric %q (want p50/p90/p95/p99/mean/max/errs)", term, metric)
-		}
-		clauses = append(clauses, c)
 	}
 	return clauses, nil
 }
 
 // evalSLO checks every clause against the overall stats and returns a
 // message per breach.
-func evalSLO(clauses []sloClause, r *Report) []string {
+func evalSLO(clauses []slo.Clause, r *Report) []string {
 	var breaches []string
 	get := func(metric string) int64 {
 		switch metric {
@@ -669,19 +620,45 @@ func evalSLO(clauses []sloClause, r *Report) []string {
 		}
 	}
 	for _, c := range clauses {
-		if c.metric == "errs" {
-			if r.ErrorRate >= c.boundRate && !(r.ErrorRate == 0 && c.boundRate == 0) {
+		if c.IsErrs() {
+			if r.ErrorRate >= c.BoundRate && !(r.ErrorRate == 0 && c.BoundRate == 0) {
 				breaches = append(breaches, fmt.Sprintf("%s: error rate %.3f%% (%d/%d) >= %.3f%%",
-					c.text, r.ErrorRate*100, r.Errors, r.Completed, c.boundRate*100))
+					c.Text, r.ErrorRate*100, r.Errors, r.Completed, c.BoundRate*100))
 			}
 			continue
 		}
-		if got := get(c.metric); got >= c.boundUS {
+		if got := get(c.Metric); got >= c.BoundUS {
 			breaches = append(breaches, fmt.Sprintf("%s: %s = %dus >= %dus",
-				c.text, c.metric, got, c.boundUS))
+				c.Text, c.Metric, got, c.BoundUS))
 		}
 	}
 	return breaches
+}
+
+// scrapeTimeseries fetches the server-side latency history covering
+// the run (GET /debug/timeseries, serve.http_latency series only) for
+// the report. Best-effort: a target without the endpoint, with history
+// off, or answering garbage yields nil and the report simply omits the
+// field.
+func scrapeTimeseries(client *http.Client, target string, window time.Duration) json.RawMessage {
+	url := fmt.Sprintf("%s/debug/timeseries?match=serve.http_latency&since=%s",
+		target, (window + 30*time.Second).String())
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var body struct {
+		Enabled bool `json:"enabled"`
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil || json.Unmarshal(raw, &body) != nil || !body.Enabled {
+		return nil
+	}
+	return json.RawMessage(raw)
 }
 
 // compareBaseline loads a committed Report and flags any route whose

@@ -24,13 +24,13 @@ func TestParseSLO(t *testing.T) {
 	if len(clauses) != 3 {
 		t.Fatalf("clauses = %d, want 3", len(clauses))
 	}
-	if clauses[0].metric != "p99" || clauses[0].boundUS != 25_000 {
+	if clauses[0].Metric != "p99" || clauses[0].BoundUS != 25_000 {
 		t.Errorf("clause 0 = %+v", clauses[0])
 	}
-	if clauses[1].metric != "errs" || clauses[1].boundRate != 0.001 {
+	if clauses[1].Metric != "errs" || clauses[1].BoundRate != 0.001 {
 		t.Errorf("clause 1 = %+v", clauses[1])
 	}
-	if clauses[2].boundUS != 1_000_000 {
+	if clauses[2].BoundUS != 1_000_000 {
 		t.Errorf("clause 2 = %+v", clauses[2])
 	}
 	if c, err := parseSLO(""); err != nil || c != nil {
@@ -40,6 +40,12 @@ func TestParseSLO(t *testing.T) {
 		if _, err := parseSLO(bad); err == nil {
 			t.Errorf("parseSLO(%q) accepted", bad)
 		}
+	}
+	// Valid shared grammar, but loadgen-side meaningless: route
+	// selectors belong to the watchdog, and the rejection must say so.
+	if _, err := parseSLO("p99{route=/v1/implies}<5ms"); err == nil ||
+		!strings.Contains(err.Error(), "alert-rules") {
+		t.Errorf("labeled selector rejection = %v", err)
 	}
 }
 
@@ -60,7 +66,8 @@ func TestEvalSLO(t *testing.T) {
 }
 
 // TestQuantile builds a histogram with a known distribution and wants
-// the quantile estimates inside the right buckets.
+// the shared obs estimator (which the report quantiles ride on) to
+// land inside the right buckets.
 func TestQuantile(t *testing.T) {
 	reg := obs.New()
 	h := reg.Histogram("q")
@@ -70,19 +77,19 @@ func TestQuantile(t *testing.T) {
 	}
 	h.Observe(10_000)
 	snap := reg.Snapshot().Histograms["q"]
-	p50 := quantile(snap, 0.50)
+	p50 := snap.Quantile(0.50)
 	if p50 < 64 || p50 > 127 {
 		t.Errorf("p50 = %d, want inside the 100us bucket [64,127]", p50)
 	}
 	// p99 rank is 99, still inside the 100us mass.
-	if p99 := quantile(snap, 0.99); p99 < 64 || p99 > 127 {
+	if p99 := snap.Quantile(0.99); p99 < 64 || p99 > 127 {
 		t.Errorf("p99 = %d, want inside the 100us bucket", p99)
 	}
 	// p100 hits the outlier but is capped at the true max.
-	if p100 := quantile(snap, 1.0); p100 != 10_000 {
+	if p100 := snap.Quantile(1.0); p100 != 10_000 {
 		t.Errorf("p100 = %d, want capped at max 10000", p100)
 	}
-	if q := quantile(obs.HistogramSnapshot{}, 0.5); q != 0 {
+	if q := (obs.HistogramSnapshot{}).Quantile(0.5); q != 0 {
 		t.Errorf("quantile of empty histogram = %d", q)
 	}
 }

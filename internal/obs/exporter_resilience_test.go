@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestExporterSlowEndpointNeverBlocks points the exporter at a
+// collector that takes 100ms per document and floods it: every Export
+// call must return immediately (the serve path never pays for a slow
+// sink), the bounded queue must drop the overflow, and the drops must
+// be counted in obs.export_dropped.
+func TestExporterSlowEndpointNeverBlocks(t *testing.T) {
+	var serving atomic.Int64
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serving.Add(1)
+		time.Sleep(100 * time.Millisecond)
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+	}))
+	t.Cleanup(slow.Close)
+
+	reg := New()
+	e, err := NewExporter(ExporterConfig{
+		Reg:       reg,
+		Endpoint:  slow.URL,
+		QueueSize: 4,
+		BatchSize: 2,
+		// Tight flush so the exporter goroutine is stuck inside the slow
+		// POST while Exports keep arriving.
+		FlushInterval:   5 * time.Millisecond,
+		MetricsInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 200
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		e.Export(&RequestRecord{TraceID: "t", Route: "/v1/implies"})
+	}
+	elapsed := time.Since(start)
+	// 200 channel sends must take microseconds; give three orders of
+	// magnitude of slack and it is still far under one slow POST.
+	if elapsed > 50*time.Millisecond {
+		t.Errorf("%d Exports took %v against a stalled sink — Export blocked", n, elapsed)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	dropped := snap.Counters["obs.export_dropped"]
+	if dropped == 0 {
+		t.Error("no drops counted with a 4-slot queue under a 200-record flood")
+	}
+	if exported := snap.Counters["obs.export_spans"]; exported+dropped != n {
+		t.Errorf("spans %d + dropped %d != %d sent — records vanished", exported, dropped, n)
+	}
+	if serving.Load() == 0 {
+		t.Error("the slow sink never saw a document")
+	}
+}
+
+// TestExporterErroringEndpoint points the exporter at a collector that
+// always answers 500: failures land in obs.export_errors, Export stays
+// non-blocking, and Close still succeeds.
+func TestExporterErroringEndpoint(t *testing.T) {
+	erroring := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		http.Error(w, "collector on fire", http.StatusInternalServerError)
+	}))
+	t.Cleanup(erroring.Close)
+
+	reg := New()
+	e, err := NewExporter(ExporterConfig{
+		Reg:             reg,
+		Endpoint:        erroring.URL,
+		BatchSize:       1,
+		FlushInterval:   time.Hour, // flush on batch size only
+		MetricsInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Export(&RequestRecord{TraceID: "t", Route: "/v1/implies"})
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Snapshot().Counters["obs.export_errors"] == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["obs.export_errors"] == 0 {
+		t.Error("500s from the sink not counted in obs.export_errors")
+	}
+	// The batch was written (and counted) even though the sink rejected
+	// it — errors are counted, not retried, by design.
+	if snap.Counters["obs.export_batches"] == 0 {
+		t.Error("no batches attempted")
+	}
+}
+
+// TestExporterCloseFlushesFinalSnapshotOnce pins the shutdown
+// contract: Close drains the queue, emits exactly one final metrics
+// document, and a second Close emits nothing more.
+func TestExporterCloseFlushesFinalSnapshotOnce(t *testing.T) {
+	var mu sync.Mutex
+	var metricsDocs, spanDocs int
+	sink := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		if strings.Contains(string(body), "resourceMetrics") {
+			metricsDocs++
+		}
+		if strings.Contains(string(body), "resourceSpans") {
+			spanDocs++
+		}
+		mu.Unlock()
+	}))
+	t.Cleanup(sink.Close)
+
+	reg := New()
+	reg.Counter("some.counter").Inc()
+	e, err := NewExporter(ExporterConfig{
+		Reg:      reg,
+		Endpoint: sink.URL,
+		// Both timers effectively off: only Close can flush.
+		FlushInterval:   time.Hour,
+		MetricsInterval: time.Hour,
+		BatchSize:       1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Export(&RequestRecord{TraceID: "t", Route: "/v1/implies"})
+	e.Export(&RequestRecord{TraceID: "u", Route: "/v1/explain"})
+
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil { // idempotent, and must not re-flush
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if metricsDocs != 1 {
+		t.Errorf("final metrics documents = %d, want exactly 1", metricsDocs)
+	}
+	if spanDocs != 1 {
+		t.Errorf("span documents = %d, want the queued records drained into 1", spanDocs)
+	}
+	if got := reg.Snapshot().Counters["obs.export_spans"]; got != 2 {
+		t.Errorf("obs.export_spans = %d, want both queued records", got)
+	}
+}

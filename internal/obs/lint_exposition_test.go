@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Metric-name literals as they appear at instrumentation sites. The
+// full-call pattern requires the closing paren so that dynamic names
+// built by concatenation (e.g. `Gauge("benchws." + name)`) are skipped
+// — those cannot be pinned statically. MetricName("base", ...) calls
+// contribute their base family.
+var (
+	fullCallRe   = regexp.MustCompile(`(?:Counter|Gauge|Histogram)\(\s*"([A-Za-z0-9._]+)"\s*\)`)
+	metricNameRe = regexp.MustCompile(`MetricName\(\s*"([A-Za-z0-9._]+)"`)
+)
+
+// TestExpositionCompleteness greps every non-test Go file under
+// internal/ for Counter/Gauge/Histogram metric-name literals and
+// asserts each family appears in the Prometheus exposition golden.
+// A failure means an instrument was added without extending
+// goldenRegistry — exactly the gap that let obs.export_dropped ship
+// without exposition coverage before PR 7.
+func TestExpositionCompleteness(t *testing.T) {
+	families := map[string][]string{} // family -> files using it
+	root := ".."                      // internal/
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, re := range []*regexp.Regexp{fullCallRe, metricNameRe} {
+			for _, m := range re.FindAllStringSubmatch(string(src), -1) {
+				families[m[1]] = append(families[m[1]], path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(families) < 50 {
+		t.Fatalf("found only %d metric families under internal/ — the scan regex broke", len(families))
+	}
+
+	golden := ""
+	for _, name := range []string{"metrics.golden", "otlp.golden"} {
+		raw, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("read golden (regenerate with -update): %v", err)
+		}
+		golden += string(raw)
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		// metrics.golden carries the sanitized Prometheus family
+		// (counters gain a _total suffix); the OTLP golden carries the
+		// raw dotted name. Either proves exposition coverage.
+		fam := sanitizeFamily(name)
+		if strings.Contains(golden, "# TYPE "+fam+" ") ||
+			strings.Contains(golden, "# TYPE "+fam+"_total ") ||
+			strings.Contains(golden, `"`+name+`"`) {
+			continue
+		}
+		t.Errorf("metric %q (used in %s) missing from exposition goldens — add it to goldenRegistry and run -update",
+			name, families[name][0])
+	}
+}

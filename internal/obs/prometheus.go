@@ -129,7 +129,13 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	for series, v := range s.Counters {
 		raw, labels := splitSeries(series)
-		f := family(raw, "counter", "_total")
+		// Instruments already named *_total (serve.requests_total, …)
+		// must not expose as *_total_total.
+		suffix := "_total"
+		if strings.HasSuffix(raw, "_total") {
+			suffix = ""
+		}
+		f := family(raw, "counter", suffix)
 		f.series = append(f.series, sampleLine(f.name, labels, v))
 	}
 	for series, v := range s.Gauges {

@@ -46,6 +46,44 @@ func goldenRegistry() *Registry {
 	lat := reg.Histogram(MetricName("http.latency_us", "path", "/v1/implies"))
 	lat.Observe(120)
 	lat.Observe(90000)
+	// Every remaining family instrumented anywhere under internal/ is
+	// pinned here with synthetic values so TestExpositionCompleteness
+	// can assert the exposition covers the full inventory. Values are
+	// deterministic (index-derived) — only presence and format matter.
+	for i, name := range []string{
+		"batch.goal_errors", "batch.goals", "batch.requests",
+		"cache.evictions", "cache.footprint_invalidations", "cache.hits", "cache.misses",
+		"chase.delta_tuples", "chase.fd_applications", "chase.fixpoint_passes",
+		"chase.ind_applications", "chase.rd_applications", "chase.rekeyed_tuples",
+		"chase.scans_skipped", "chase.tuples_created", "chase.unions",
+		"fd.attrs_derived", "fd.closure_passes", "fd.prove_calls",
+		"http.slow_requests", "http.traceparent_honored", "http.traceparent_minted",
+		"ind.expanded", "ind.generated", "ind.visited",
+		"lint.deps_checked", "lint.violations",
+		"maintain.cascade_tuples", "maintain.deletes", "maintain.fd_checks",
+		"maintain.ind_checks", "maintain.inserts", "maintain.rejects",
+		"obs.digest_observations", "obs.export_batches", "obs.export_errors", "obs.export_spans",
+		"registry.deletes", "registry.hits", "registry.misses", "registry.puts",
+		"search.checks", "search.databases_enumerated", "search.exhaustive_skipped",
+		"search.hits", "search.random_trials",
+		"serve.deadline_exceeded", "serve.errors_total", "serve.requests_total",
+		"tsdb.samples", "tsdb.series_dropped",
+		"unary.cycle_rounds", "unary.reversed_fds", "unary.reversed_inds", "unary.systems_built",
+		"watchdog.alerts_fired", "watchdog.alerts_resolved",
+	} {
+		reg.Counter(name).Add(int64(i + 1))
+	}
+	for i, name := range []string{
+		"ind.frontier_peak", "maintain.index_entries", "obs.digest_entries",
+		"process.gc_pause_total_ns", "process.gomaxprocs", "process.heap_alloc_bytes",
+		"process.uptime_seconds", "registry.schemas", "tsdb.series",
+		"unary.columns", "unary.ind_closure_edges", "watchdog.alerts_active",
+	} {
+		reg.Gauge(name).Set(int64(i + 1))
+	}
+	reg.Histogram("serve.http_latency").Observe(1234)
+	reg.Gauge(MetricName("process.build_info", "version", "v0.0.0", "goversion", "go1.22", "revision", "dev")).Set(1)
+	reg.Counter(MetricName("serve.satisfies", "verdict", "yes")).Inc()
 	return reg
 }
 

@@ -1,0 +1,34 @@
+package obs
+
+// Quantile estimates the q-quantile (0 < q <= 1) of a histogram
+// snapshot from its log₂ buckets: find the bucket the rank lands in
+// and interpolate linearly between its bounds. The top bucket is
+// capped at the observed max, so a single slow outlier cannot be
+// reported slower than it was. This is the estimator every consumer of
+// these histograms shares — loadgen's report quantiles, the tsdb's
+// per-tick quantile series — so their numbers agree by construction.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count <= 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	var lo int64
+	for _, b := range h.Buckets {
+		prev := cum
+		cum += b.Count
+		if float64(cum) >= rank && b.Count > 0 {
+			hi := b.Le
+			if hi > h.Max {
+				hi = h.Max
+			}
+			if hi <= lo {
+				return hi
+			}
+			frac := (rank - float64(prev)) / float64(b.Count)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		lo = b.Le + 1
+	}
+	return h.Max
+}

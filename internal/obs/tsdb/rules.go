@@ -1,0 +1,120 @@
+package tsdb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"indfd/internal/slo"
+)
+
+// This file parses the -alert-rules file. The format is line-based,
+// one rule per line, # comments and blank lines ignored:
+//
+//	<name> <severity> <clause> [for <duration>] [burn <factor>x over <long>/<short>]
+//
+//	# p99 of the implies route must stay under 250ms for 10s straight
+//	implies_p99 warning p99{route=/v1/implies}<250ms for 10s
+//	# the classic multi-window burn-rate page on the error budget
+//	err_budget critical errs<1% burn 14x over 1h/5m
+//	# overall latency SLO, burn-rate form: fire when the windowed p99
+//	# runs at 2x its bound in both windows
+//	latency_burn critical p99<50ms burn 2x over 5m/1m
+//
+// The clause is exactly loadgen's SLO grammar (internal/slo), so an
+// SLO already gating CI drops into a rules file unchanged.
+
+// ParseRules parses a rules document. Rule names must be unique; the
+// `max` metric is rejected (per-window maxima cannot be recovered from
+// cumulative histograms, so a max rule would silently evaluate the
+// whole process lifetime).
+func ParseRules(text string) ([]Rule, error) {
+	var rules []Rule
+	seen := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := parseRuleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rules line %d: %v", ln+1, err)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("rules line %d: duplicate rule name %q", ln+1, r.Name)
+		}
+		seen[r.Name] = true
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func parseRuleLine(line string) (Rule, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Rule{}, fmt.Errorf("want '<name> <severity> <clause> [for <dur>] [burn <f>x over <long>/<short>]', got %q", line)
+	}
+	r := Rule{Name: fields[0], Severity: Severity(strings.ToLower(fields[1]))}
+	if r.Severity != SeverityCritical && r.Severity != SeverityWarning {
+		return Rule{}, fmt.Errorf("severity %q: want critical or warning", fields[1])
+	}
+	clause, err := slo.ParseClause(fields[2])
+	if err != nil {
+		return Rule{}, err
+	}
+	if clause.Metric == "max" {
+		return Rule{}, fmt.Errorf("clause %q: max is not evaluable over a window (cumulative histograms keep no per-window max); use p99", fields[2])
+	}
+	r.Clause = clause
+	r.ClauseText = clause.Text
+
+	rest := fields[3:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "for":
+			if len(rest) < 2 {
+				return Rule{}, fmt.Errorf("'for' needs a duration")
+			}
+			d, err := time.ParseDuration(rest[1])
+			if err != nil {
+				return Rule{}, fmt.Errorf("'for %s': %v", rest[1], err)
+			}
+			r.For = d
+			rest = rest[2:]
+		case "burn":
+			// burn <factor>x over <long>/<short>
+			if len(rest) < 4 || rest[2] != "over" {
+				return Rule{}, fmt.Errorf("want 'burn <factor>x over <long>/<short>'")
+			}
+			factorStr, ok := strings.CutSuffix(rest[1], "x")
+			if !ok {
+				return Rule{}, fmt.Errorf("burn factor %q: want e.g. 14x", rest[1])
+			}
+			factor, err := strconv.ParseFloat(factorStr, 64)
+			if err != nil || factor <= 0 {
+				return Rule{}, fmt.Errorf("burn factor %q: want a positive number followed by x", rest[1])
+			}
+			longStr, shortStr, ok := strings.Cut(rest[3], "/")
+			if !ok {
+				return Rule{}, fmt.Errorf("burn windows %q: want <long>/<short>", rest[3])
+			}
+			long, err := time.ParseDuration(longStr)
+			if err != nil {
+				return Rule{}, fmt.Errorf("burn long window %q: %v", longStr, err)
+			}
+			short, err := time.ParseDuration(shortStr)
+			if err != nil {
+				return Rule{}, fmt.Errorf("burn short window %q: %v", shortStr, err)
+			}
+			if short > long {
+				return Rule{}, fmt.Errorf("burn windows %q: short window exceeds long", rest[3])
+			}
+			r.Burn = &Burn{Factor: factor, Long: long, Short: short}
+			rest = rest[4:]
+		default:
+			return Rule{}, fmt.Errorf("unexpected token %q", rest[0])
+		}
+	}
+	return r, nil
+}

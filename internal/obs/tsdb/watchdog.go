@@ -1,0 +1,457 @@
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"indfd/internal/obs"
+	"indfd/internal/slo"
+)
+
+// This file is the watchdog: a rules engine that evaluates SLO clauses
+// over the tsdb's rings on every sample tick, so the process itself
+// notices an SLO burn instead of waiting for the offline `make
+// slo-gate` run. Rules come in two shapes:
+//
+//   - threshold: "the clause must hold"; the rule fires once the
+//     clause has been violated continuously for its `for` duration
+//     (default: one tick), and resolves when it holds again.
+//
+//   - burn-rate: "the clause is the SLO; alert when the budget burns
+//     faster than factor× in BOTH a long and a short trailing window"
+//     — the classic multi-window form: the long window filters noise,
+//     the short window makes both firing and resolving fast. For an
+//     errs clause the burn rate is errorRate/budget; for a latency
+//     clause it is the windowed quantile over its bound.
+//
+// Firing and resolving append events to a bounded alert log and to the
+// flight recorder (route "watchdog", so `/debug/traces` interleaves
+// alerts with the requests that caused them), move the
+// watchdog.alerts_active gauge and the alerts_fired/alerts_resolved
+// counters, and — while any critical rule is firing — flip /readyz to
+// a degraded body (internal/serve asks CriticalNames on every probe).
+
+// Severity ranks a rule. Critical alerts degrade /readyz; warnings
+// only log and count.
+type Severity string
+
+const (
+	SeverityCritical Severity = "critical"
+	SeverityWarning  Severity = "warning"
+)
+
+// Burn is the multi-window burn-rate modifier of a rule.
+type Burn struct {
+	// Factor is the burn multiple that fires the rule (e.g. 14 means
+	// the budget is burning 14× too fast).
+	Factor float64 `json:"factor"`
+	// Long and Short are the two trailing windows; both must exceed
+	// Factor to fire, and the rule resolves when Short drops back
+	// under.
+	Long  time.Duration `json:"long_ns"`
+	Short time.Duration `json:"short_ns"`
+}
+
+// Rule is one watchdog rule.
+type Rule struct {
+	Name     string     `json:"name"`
+	Severity Severity   `json:"severity"`
+	Clause   slo.Clause `json:"-"`
+	// ClauseText is the clause as written (serialized stand-in for
+	// Clause).
+	ClauseText string `json:"clause"`
+	// For is the threshold rule's required violation duration before
+	// firing (0 = one tick). Ignored for burn rules, whose windows play
+	// that role.
+	For time.Duration `json:"for_ns,omitempty"`
+	// Burn, when non-nil, makes this a burn-rate rule.
+	Burn *Burn `json:"burn,omitempty"`
+}
+
+// ruleState is one rule's evaluation state.
+type ruleState struct {
+	rule Rule
+	// violatedSince is when the current uninterrupted violation began
+	// (zero = not violating).
+	violatedSince time.Time
+	firing        bool
+	firedAt       time.Time
+	lastValue     float64
+}
+
+// Alert is one rule's live status as /debug/alerts reports it.
+type Alert struct {
+	Name     string   `json:"name"`
+	Severity Severity `json:"severity"`
+	Clause   string   `json:"clause"`
+	// State is "firing" or "pending" (violating, but not yet for the
+	// rule's `for` duration).
+	State string `json:"state"`
+	// Since is when the violation began; FiredAt when it crossed into
+	// firing.
+	Since   time.Time `json:"since"`
+	FiredAt time.Time `json:"fired_at,omitempty"`
+	// Value is the most recent evaluated value: a burn multiple for
+	// burn rules, microseconds for latency thresholds, a rate for errs.
+	Value   float64 `json:"value"`
+	Message string  `json:"message"`
+}
+
+// AlertEvent is one fire/resolve transition as the alert log retains
+// it.
+type AlertEvent struct {
+	Time     time.Time `json:"time"`
+	Name     string    `json:"name"`
+	Severity Severity  `json:"severity"`
+	// State is "fired" or "resolved".
+	State   string  `json:"state"`
+	Value   float64 `json:"value"`
+	Message string  `json:"message"`
+}
+
+// Watchdog evaluates rules against a Store. Create with NewWatchdog;
+// nil is the valid "alerting off" watchdog (Evaluate, Active,
+// CriticalNames and Events are no-ops on nil).
+type Watchdog struct {
+	store *Store
+	rec   *obs.Recorder
+
+	mu     sync.Mutex
+	rules  []*ruleState
+	log    []AlertEvent // bounded ring, oldest first once full
+	logCap int
+	logPos int
+	logLen int
+	seq    uint64
+
+	gActive   *obs.Gauge
+	cFired    *obs.Counter
+	cResolved *obs.Counter
+}
+
+// NewWatchdog builds a watchdog over store. A nil store or an empty
+// rule set returns nil — alerting needs both history and rules.
+// Events land in reg's watchdog.* meters and, when rec is non-nil, in
+// the flight recorder.
+func NewWatchdog(store *Store, rules []Rule, reg *obs.Registry, rec *obs.Recorder) *Watchdog {
+	if store == nil || len(rules) == 0 {
+		return nil
+	}
+	w := &Watchdog{
+		store:     store,
+		rec:       rec,
+		logCap:    256,
+		gActive:   reg.Gauge("watchdog.alerts_active"),
+		cFired:    reg.Counter("watchdog.alerts_fired"),
+		cResolved: reg.Counter("watchdog.alerts_resolved"),
+	}
+	w.log = make([]AlertEvent, w.logCap)
+	for i := range rules {
+		w.rules = append(w.rules, &ruleState{rule: rules[i]})
+	}
+	return w
+}
+
+// SetRecorder connects (or replaces) the flight recorder alert events
+// mirror into. depserve calls this after serve.New, because the server
+// owns the recorder and the watchdog must exist before the server
+// (serve.Config carries it). Nil-safe.
+func (w *Watchdog) SetRecorder(rec *obs.Recorder) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.rec = rec
+	w.mu.Unlock()
+}
+
+// Rules returns the rule set (nil for the nil watchdog).
+func (w *Watchdog) Rules() []Rule {
+	if w == nil {
+		return nil
+	}
+	out := make([]Rule, len(w.rules))
+	for i, st := range w.rules {
+		out[i] = st.rule
+	}
+	return out
+}
+
+// Evaluate runs every rule against the store's current rings. Call it
+// after each Sample tick (the depserve sampler loop does both
+// back-to-back). Nil-safe.
+func (w *Watchdog) Evaluate(now time.Time) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	active := int64(0)
+	for _, st := range w.rules {
+		w.evaluateRule(st, now)
+		if st.firing {
+			active++
+		}
+	}
+	w.gActive.Set(active)
+}
+
+// evaluateRule advances one rule's state machine. Caller holds w.mu.
+func (w *Watchdog) evaluateRule(st *ruleState, now time.Time) {
+	violated, value, ok := w.check(st.rule)
+	if !ok {
+		// No data in the window: hold the current state. An idle server
+		// neither fires nor resolves on silence.
+		return
+	}
+	st.lastValue = value
+	if violated {
+		if st.violatedSince.IsZero() {
+			st.violatedSince = now
+		}
+		need := st.rule.For
+		if st.rule.Burn != nil {
+			need = 0 // the burn windows already encode persistence
+		}
+		if !st.firing && now.Sub(st.violatedSince) >= need {
+			st.firing = true
+			st.firedAt = now
+			w.cFired.Inc()
+			w.event(AlertEvent{
+				Time: now, Name: st.rule.Name, Severity: st.rule.Severity,
+				State: "fired", Value: value,
+				Message: w.message(st.rule, value),
+			})
+		}
+		return
+	}
+	st.violatedSince = time.Time{}
+	if st.firing {
+		st.firing = false
+		w.cResolved.Inc()
+		w.event(AlertEvent{
+			Time: now, Name: st.rule.Name, Severity: st.rule.Severity,
+			State: "resolved", Value: value,
+			Message: w.message(st.rule, value),
+		})
+	}
+}
+
+// check evaluates one rule's clause. ok is false when the window holds
+// no data.
+func (w *Watchdog) check(r Rule) (violated bool, value float64, ok bool) {
+	if r.Burn != nil {
+		longV, okL := w.clauseValue(r.Clause, r.Burn.Long)
+		shortV, okS := w.clauseValue(r.Clause, r.Burn.Short)
+		if !okL || !okS {
+			return false, 0, false
+		}
+		bound := clauseBound(r.Clause)
+		if bound <= 0 {
+			return false, 0, false
+		}
+		burnLong, burnShort := longV/bound, shortV/bound
+		// Both windows must burn to fire; the short window alone
+		// resolves (it recovers first when the fault clears).
+		burning := burnLong >= r.Burn.Factor && burnShort >= r.Burn.Factor
+		return burning, burnShort, true
+	}
+	window := r.For
+	if window <= 0 {
+		window = w.store.Resolution()
+	}
+	v, okV := w.clauseValue(r.Clause, window)
+	if !okV {
+		return false, 0, false
+	}
+	return v >= clauseBound(r.Clause), v, true
+}
+
+// clauseValue reads a clause's current value over a trailing window:
+// the error rate for errs clauses, the windowed quantile average (in
+// microseconds) for latency clauses.
+func (w *Watchdog) clauseValue(c slo.Clause, window time.Duration) (float64, bool) {
+	if c.IsErrs() {
+		reqs, okR := w.store.WindowSum("serve.requests_total", window)
+		if !okR || reqs <= 0 {
+			return 0, false
+		}
+		errs, okE := w.store.WindowSum("serve.errors_total", window)
+		if !okE {
+			errs = 0
+		}
+		return errs / reqs, true
+	}
+	return w.store.WindowAvg(LatencySeries(c), window)
+}
+
+// clauseBound is the clause's bound in the same unit clauseValue
+// reads: a rate for errs, microseconds for latency.
+func clauseBound(c slo.Clause) float64 {
+	if c.IsErrs() {
+		return c.BoundRate
+	}
+	return float64(c.BoundUS)
+}
+
+// LatencySeries resolves a latency clause to its tsdb series name: the
+// route-agnostic serve.http_latency aggregate, or — with a
+// {route=...} selector — that route's http.latency_us series. Both
+// are observed in microseconds by the serve middleware.
+func LatencySeries(c slo.Clause) string {
+	base := "serve.http_latency"
+	if route, ok := c.Labels["route"]; ok {
+		base = obs.MetricName("http.latency_us", "path", route)
+	}
+	return base + ":" + c.Metric
+}
+
+// message renders a human line for logs and the degraded readyz body.
+func (w *Watchdog) message(r Rule, value float64) string {
+	if r.Burn != nil {
+		return fmt.Sprintf("%s: SLO %s burning at %.1fx (threshold %gx over %v/%v)",
+			r.Name, r.Clause.Text, value, r.Burn.Factor, r.Burn.Long, r.Burn.Short)
+	}
+	if r.Clause.IsErrs() {
+		return fmt.Sprintf("%s: error rate %.3f%% violates %s", r.Name, value*100, r.Clause.Text)
+	}
+	return fmt.Sprintf("%s: %s = %s violates %s", r.Name, r.Clause.Metric,
+		time.Duration(value)*time.Microsecond, r.Clause.Text)
+}
+
+// event appends to the bounded log and mirrors the transition into the
+// flight recorder. Caller holds w.mu.
+func (w *Watchdog) event(ev AlertEvent) {
+	w.log[w.logPos] = ev
+	w.logPos = (w.logPos + 1) % w.logCap
+	if w.logLen < w.logCap {
+		w.logLen++
+	}
+	w.seq++
+	if w.rec != nil {
+		w.rec.Add(&obs.RequestRecord{
+			TraceID: "watchdog-" + strconv.FormatUint(w.seq, 10),
+			Route:   "watchdog",
+			Start:   ev.Time,
+			Verdict: ev.State,
+			Goal:    ev.Name,
+			Attrs: []obs.Attr{
+				{Key: "severity", Value: string(ev.Severity)},
+				{Key: "message", Value: ev.Message},
+				{Key: "value", Value: strconv.FormatFloat(ev.Value, 'g', 4, 64)},
+			},
+		})
+	}
+}
+
+// Active returns the currently violating rules (firing first, then
+// pending), nil when quiet or for the nil watchdog.
+func (w *Watchdog) Active() []Alert {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []Alert
+	for _, st := range w.rules {
+		if st.violatedSince.IsZero() && !st.firing {
+			continue
+		}
+		a := Alert{
+			Name:     st.rule.Name,
+			Severity: st.rule.Severity,
+			Clause:   st.rule.ClauseText,
+			State:    "pending",
+			Since:    st.violatedSince,
+			Value:    st.lastValue,
+			Message:  w.message(st.rule, st.lastValue),
+		}
+		if st.firing {
+			a.State = "firing"
+			a.FiredAt = st.firedAt
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if (out[i].State == "firing") != (out[j].State == "firing") {
+			return out[i].State == "firing"
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// CriticalNames returns the names of firing critical rules — the list
+// /readyz reports while degraded. Nil for the nil watchdog or when
+// healthy.
+func (w *Watchdog) CriticalNames() []string {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var names []string
+	for _, st := range w.rules {
+		if st.firing && st.rule.Severity == SeverityCritical {
+			names = append(names, st.rule.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Events returns up to limit retained fire/resolve events, newest
+// first (limit <= 0: all). Nil for the nil watchdog.
+func (w *Watchdog) Events(limit int) []AlertEvent {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]AlertEvent, 0, w.logLen)
+	for i := 0; i < w.logLen; i++ {
+		idx := (w.logPos - 1 - i + w.logCap*2) % w.logCap
+		out = append(out, w.log[idx])
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// StartLoop runs the continuous-telemetry tick on its own goroutine:
+// every interval it snapshots reg into the store and evaluates the
+// watchdog. The returned stop function is idempotent and waits for
+// the loop to exit. Either store or wd may be nil (sampling without
+// alerting, or neither).
+func StartLoop(reg *obs.Registry, store *Store, wd *Watchdog, interval time.Duration) (stop func()) {
+	if store == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				store.Sample(reg.Snapshot(), now)
+				wd.Evaluate(now)
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-exited
+		})
+	}
+}

@@ -1,0 +1,287 @@
+package tsdb
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"indfd/internal/obs"
+)
+
+func TestParseRulesGrammar(t *testing.T) {
+	rules, err := ParseRules(`
+# comment, then a blank line
+
+implies_p99 warning p99{route=/v1/implies}<250ms for 10s
+err_budget critical errs<1% burn 14x over 1h/5m
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(rules))
+	}
+	r := rules[0]
+	if r.Name != "implies_p99" || r.Severity != SeverityWarning || r.For != 10*time.Second {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	if r.Clause.Labels["route"] != "/v1/implies" || r.Clause.BoundUS != 250_000 {
+		t.Errorf("rule 0 clause = %+v", r.Clause)
+	}
+	b := rules[1].Burn
+	if b == nil || b.Factor != 14 || b.Long != time.Hour || b.Short != 5*time.Minute {
+		t.Errorf("rule 1 burn = %+v", b)
+	}
+	if !rules[1].Clause.IsErrs() || rules[1].Clause.BoundRate != 0.01 {
+		t.Errorf("rule 1 clause = %+v", rules[1].Clause)
+	}
+}
+
+func TestParseRulesRejects(t *testing.T) {
+	for _, tc := range []struct{ text, wantErr string }{
+		{"a critical p99<1ms\na warning p50<1ms", "duplicate"},
+		{"a fatal p99<1ms", "severity"},
+		{"a critical max<1ms", "max"},
+		{"a critical p99<1ms burn 2x over 1m/5m", "short window exceeds"},
+		{"a critical p99<1ms burn 2 over 1m/5s", "factor"},
+		{"a critical p99<1ms burn 2x above 1m/5s", "burn"},
+		{"a critical p99<1ms for", "'for' needs"},
+		{"a critical", "want"},
+		{"a critical p99<1ms wat", "unexpected token"},
+		{"a critical p42<1ms", "unknown metric"},
+	} {
+		_, err := ParseRules(tc.text)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ParseRules(%q) = %v, want error containing %q", tc.text, err, tc.wantErr)
+		}
+	}
+}
+
+func TestNewWatchdogNil(t *testing.T) {
+	rules, _ := ParseRules("a critical p99<1ms")
+	if NewWatchdog(nil, rules, obs.New(), nil) != nil {
+		t.Error("watchdog over a nil store")
+	}
+	s, _ := newStore(t, 0)
+	if NewWatchdog(s, nil, obs.New(), nil) != nil {
+		t.Error("watchdog with no rules")
+	}
+	var w *Watchdog
+	w.Evaluate(base) // must not panic
+	w.SetRecorder(nil)
+	if w.Active() != nil || w.CriticalNames() != nil || w.Events(0) != nil || w.Rules() != nil {
+		t.Error("nil watchdog accessors not nil")
+	}
+}
+
+// wdHarness drives a store+watchdog with synthetic ticks: each tick
+// observes count latency samples (µs) plus a request/error counter
+// step, then samples and evaluates — exactly what depserve's loop does.
+type wdHarness struct {
+	t      *testing.T
+	store  *Store
+	wd     *Watchdog
+	meters *obs.Registry
+	data   *obs.Registry
+	now    time.Time
+}
+
+func newHarness(t *testing.T, rulesText string, rec *obs.Recorder) *wdHarness {
+	t.Helper()
+	meters := obs.New()
+	store := New(Config{Resolution: time.Second, Retention: time.Minute, Reg: meters})
+	rules, err := ParseRules(rulesText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := NewWatchdog(store, rules, meters, rec)
+	if wd == nil {
+		t.Fatal("NewWatchdog returned nil")
+	}
+	return &wdHarness{t: t, store: store, wd: wd, meters: meters, data: obs.New(), now: base}
+}
+
+// tick drives one telemetry tick: count observations at latUS, reqs
+// requests of which errs failed.
+func (h *wdHarness) tick(latUS int64, count, reqs, errs int) {
+	h.t.Helper()
+	lat := h.data.Histogram("serve.http_latency")
+	for i := 0; i < count; i++ {
+		lat.Observe(latUS)
+	}
+	h.data.Counter("serve.requests_total").Add(int64(reqs))
+	h.data.Counter("serve.errors_total").Add(int64(errs))
+	h.store.Sample(h.data.Snapshot(), h.now)
+	h.wd.Evaluate(h.now)
+	h.now = h.now.Add(time.Second)
+}
+
+// TestThresholdRule pins the pending → firing → resolved state machine
+// of a `for`-duration threshold rule.
+func TestThresholdRule(t *testing.T) {
+	h := newHarness(t, "slow warning p99<5ms for 2s", nil)
+	h.tick(10_000, 50, 50, 0) // violating from the first tick
+	active := h.wd.Active()
+	if len(active) != 1 || active[0].State != "pending" {
+		t.Fatalf("after 1 violating tick: %+v", active)
+	}
+	h.tick(10_000, 50, 50, 0)
+	h.tick(10_000, 50, 50, 0) // 2s of violation elapsed → fires
+	active = h.wd.Active()
+	if len(active) != 1 || active[0].State != "firing" {
+		t.Fatalf("after 3 violating ticks: %+v", active)
+	}
+	if !strings.Contains(active[0].Message, "slow") || !strings.Contains(active[0].Message, "p99<5ms") {
+		t.Errorf("message = %q", active[0].Message)
+	}
+	// A warning must not degrade readiness.
+	if names := h.wd.CriticalNames(); names != nil {
+		t.Errorf("CriticalNames = %v for a warning rule", names)
+	}
+	// Recovery: fast ticks push the windowed p99 under the bound. The
+	// threshold window is max(for, resolution) = 2s, so two fast ticks
+	// flush the slow ones out.
+	h.tick(100, 50, 50, 0)
+	h.tick(100, 50, 50, 0)
+	h.tick(100, 50, 50, 0)
+	if active := h.wd.Active(); len(active) != 0 {
+		t.Fatalf("after recovery: %+v", active)
+	}
+	events := h.wd.Events(0)
+	if len(events) != 2 || events[0].State != "resolved" || events[1].State != "fired" {
+		t.Fatalf("events = %+v, want fired then resolved (newest first)", events)
+	}
+	ms := h.meters.Snapshot()
+	if ms.Counters["watchdog.alerts_fired"] != 1 || ms.Counters["watchdog.alerts_resolved"] != 1 {
+		t.Errorf("meters = fired %d resolved %d", ms.Counters["watchdog.alerts_fired"], ms.Counters["watchdog.alerts_resolved"])
+	}
+	if ms.Gauges["watchdog.alerts_active"] != 0 {
+		t.Errorf("alerts_active = %d after resolve", ms.Gauges["watchdog.alerts_active"])
+	}
+}
+
+// TestBurnRateRule pins the multi-window semantics: both windows must
+// burn to fire, the short window alone resolves.
+func TestBurnRateRule(t *testing.T) {
+	rec := obs.NewRecorder(16)
+	h := newHarness(t, "lat_burn critical p99<1ms burn 2x over 6s/2s", rec)
+	// 5ms latencies burn at 5x the 1ms SLO.
+	for i := 0; i < 7; i++ {
+		h.tick(5_000, 50, 50, 0)
+	}
+	active := h.wd.Active()
+	if len(active) != 1 || active[0].State != "firing" {
+		t.Fatalf("sustained 5x burn not firing: %+v", active)
+	}
+	if active[0].Value < 2 {
+		t.Errorf("burn value = %v, want >= factor", active[0].Value)
+	}
+	if names := h.wd.CriticalNames(); len(names) != 1 || names[0] != "lat_burn" {
+		t.Errorf("CriticalNames = %v", names)
+	}
+	// Recovery: fast traffic empties the short window first. Three fast
+	// ticks put the 2s window fully under the bound while the 6s window
+	// still remembers the burn — the rule must resolve anyway.
+	h.tick(100, 50, 50, 0)
+	h.tick(100, 50, 50, 0)
+	h.tick(100, 50, 50, 0)
+	if names := h.wd.CriticalNames(); names != nil {
+		t.Fatalf("short-window recovery did not resolve: %v", names)
+	}
+	// Alert transitions landed in the flight recorder, route "watchdog".
+	recs := rec.Recent(0)
+	var fired, resolved bool
+	for _, r := range recs {
+		if r.Route != "watchdog" || r.Goal != "lat_burn" {
+			continue
+		}
+		switch r.Verdict {
+		case "fired":
+			fired = true
+		case "resolved":
+			resolved = true
+		}
+	}
+	if !fired || !resolved {
+		t.Errorf("recorder saw fired=%v resolved=%v in %d records", fired, resolved, len(recs))
+	}
+}
+
+// TestErrsRule pins the error-budget clause: rate = errors/requests
+// over the window.
+func TestErrsRule(t *testing.T) {
+	h := newHarness(t, "errbudget critical errs<1%", nil)
+	h.tick(100, 10, 10, 0) // first tick: counters' first sight, no deltas
+	h.tick(100, 100, 100, 10)
+	if names := h.wd.CriticalNames(); len(names) != 1 {
+		t.Fatalf("10%% error rate not firing: active=%+v", h.wd.Active())
+	}
+	h.tick(100, 100, 100, 0)
+	if names := h.wd.CriticalNames(); names != nil {
+		t.Fatalf("clean tick did not resolve: %v", names)
+	}
+}
+
+// TestNoDataHoldsState pins the silence semantics: an idle server
+// neither fires nor resolves.
+func TestNoDataHoldsState(t *testing.T) {
+	h := newHarness(t, "errbudget critical errs<1%", nil)
+	h.tick(100, 10, 10, 0)
+	h.tick(100, 100, 100, 50)
+	if len(h.wd.CriticalNames()) != 1 {
+		t.Fatal("not firing before silence")
+	}
+	// Idle ticks: zero request deltas → the errs clause has no data.
+	for i := 0; i < 5; i++ {
+		h.tick(0, 0, 0, 0)
+	}
+	if len(h.wd.CriticalNames()) != 1 {
+		t.Error("silence resolved the alert; no-data must hold state")
+	}
+	if ev := h.wd.Events(0); len(ev) != 1 {
+		t.Errorf("silence emitted events: %+v", ev)
+	}
+}
+
+func TestEventsLimitAndOrder(t *testing.T) {
+	h := newHarness(t, "errbudget warning errs<1%", nil)
+	h.tick(100, 10, 10, 0)
+	for i := 0; i < 4; i++ {
+		h.tick(100, 100, 100, 50) // fire
+		h.tick(100, 100, 100, 0)  // resolve
+	}
+	all := h.wd.Events(0)
+	if len(all) != 8 {
+		t.Fatalf("events = %d, want 8", len(all))
+	}
+	if all[0].State != "resolved" || all[1].State != "fired" {
+		t.Errorf("order not newest-first: %v %v", all[0].State, all[1].State)
+	}
+	if lim := h.wd.Events(3); len(lim) != 3 {
+		t.Errorf("Events(3) = %d", len(lim))
+	}
+}
+
+// TestStartLoop exercises the production ticker end to end and the
+// idempotent stop.
+func TestStartLoop(t *testing.T) {
+	meters := obs.New()
+	store := New(Config{Resolution: 5 * time.Millisecond, Retention: time.Second, Reg: meters})
+	data := obs.New()
+	data.Gauge("g").Set(1)
+	stop := StartLoop(data, store, nil, 5*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for store.SeriesCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if store.SeriesCount() == 0 {
+		t.Error("loop never sampled")
+	}
+	if meters.Snapshot().Counters["tsdb.samples"] == 0 {
+		t.Error("tsdb.samples never moved")
+	}
+	// A nil store is a no-op loop.
+	StartLoop(data, nil, nil, time.Millisecond)()
+}

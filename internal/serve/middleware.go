@@ -128,6 +128,9 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		if d := s.testDelayNS.Load(); d > 0 {
+			time.Sleep(time.Duration(d)) // test-only latency fault injection
+		}
 		h(sw, r)
 		elapsed := time.Since(start)
 		if sw.status == 0 {
@@ -135,6 +138,16 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		}
 
 		latency.ObserveExemplar(elapsed.Microseconds(), tc.traceID)
+		// The route-agnostic aggregate series feed the tsdb and the
+		// watchdog's selector-less SLO clauses: one latency histogram
+		// (µs) over every route, a total-request counter, and an error
+		// counter. Errors are 5xx only — a client's 400 is not a burn on
+		// the server's error budget, but a deadline-killed 503 is.
+		s.hLatency.Observe(elapsed.Microseconds())
+		s.cRequests.Inc()
+		if sw.status >= 500 {
+			s.cErrors.Inc()
+		}
 		s.reg.Counter(obs.MetricName("http.requests",
 			"path", route, "code", strconv.Itoa(sw.status))).Inc()
 		if rec != nil {

@@ -47,6 +47,11 @@
 //	                    histogram, error and cache-hit rates, and the
 //	                    merged per-dependency cost profile, sorted by
 //	                    total engine time
+//	GET  /debug/timeseries  retained telemetry history from the tsdb
+//	                    ring (per-tick counter deltas, gauge values and
+//	                    histogram quantiles; ?since= ?step= ?match=)
+//	GET  /debug/alerts  the watchdog: rules, active alerts, and the
+//	                    bounded fire/resolve event log
 //	GET  /debug/pprof/  net/http/pprof profiles and execution traces
 //
 // Every request is stamped with W3C trace context: a valid incoming
@@ -78,6 +83,7 @@ import (
 	"indfd/internal/data"
 	"indfd/internal/deps"
 	"indfd/internal/obs"
+	"indfd/internal/obs/tsdb"
 	"indfd/internal/parser"
 	"indfd/internal/registry"
 	"indfd/internal/schema"
@@ -157,6 +163,15 @@ type Config struct {
 	// (default GOMAXPROCS). A request's fanout field can lower it per
 	// batch, never raise it.
 	BatchFanout int
+	// TSDB, when non-nil, serves GET /debug/timeseries: the in-process
+	// time-series history the depserve sampler loop feeds (see
+	// internal/obs/tsdb). The server only reads it; the caller owns the
+	// sampling ticker.
+	TSDB *tsdb.Store
+	// Watchdog, when non-nil, serves GET /debug/alerts and degrades
+	// /readyz while critical alerts fire. The caller owns its
+	// evaluation ticker (alongside the TSDB sampler).
+	Watchdog *tsdb.Watchdog
 }
 
 // Server answers implication traffic over HTTP. Create with New; the
@@ -176,12 +191,24 @@ type Server struct {
 	dig     *obs.DigestStore
 	pool    *chase.EnginePool
 	schemas *registry.Registry
+	ts      *tsdb.Store
+	wd      *tsdb.Watchdog
 
 	gInFlight     *obs.Gauge
 	cSlow         *obs.Counter
 	cDeadline     *obs.Counter
 	cTraceHonored *obs.Counter
 	cTraceMinted  *obs.Counter
+	cRequests     *obs.Counter
+	cErrors       *obs.Counter
+	hLatency      *obs.Histogram
+
+	// testDelayNS, when positive, sleeps every instrumented request by
+	// that many nanoseconds before the handler runs — the latency-fault
+	// injector the watchdog integration test flips while traffic flies
+	// (an atomic, so flipping it mid-run is race-clean). Never set in
+	// production.
+	testDelayNS atomic.Int64
 }
 
 // New builds a Server. It panics when cfg.Reg is nil — the server
@@ -231,6 +258,11 @@ func New(cfg Config) *Server {
 		cDeadline:     cfg.Reg.Counter("serve.deadline_exceeded"),
 		cTraceHonored: cfg.Reg.Counter("http.traceparent_honored"),
 		cTraceMinted:  cfg.Reg.Counter("http.traceparent_minted"),
+		cRequests:     cfg.Reg.Counter("serve.requests_total"),
+		cErrors:       cfg.Reg.Counter("serve.errors_total"),
+		hLatency:      cfg.Reg.Histogram("serve.http_latency"),
+		ts:            cfg.TSDB,
+		wd:            cfg.Watchdog,
 		cache:         core.NewAnswerCache(cfg.CacheSize, cfg.CacheTTL, cfg.Reg),
 		rec:           obs.NewRecorder(cfg.TraceBuffer),
 		exp:           cfg.Exporter,
@@ -255,11 +287,16 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
-	mux.Handle("GET /debug/obs", s.instrument("/debug/obs", s.handleObs))
-	mux.Handle("GET /debug/otlp", s.instrument("/debug/otlp", s.handleOTLP))
-	mux.Handle("GET /debug/traces", s.instrument("/debug/traces", s.handleTraces))
-	mux.Handle("GET /debug/traces/{id}", s.instrument("/debug/traces/{id}", s.handleTrace))
-	mux.Handle("GET /debug/digests", s.instrument("/debug/digests", s.handleDigests))
+	// Every JSON /debug endpoint goes through debugJSON (debug.go):
+	// Cache-Control: no-store plus an explicit Content-Type charset,
+	// uniformly — diagnostic bodies must never come back from a cache.
+	mux.Handle("GET /debug/obs", s.instrument("/debug/obs", debugJSON(s.handleObs)))
+	mux.Handle("GET /debug/otlp", s.instrument("/debug/otlp", debugJSON(s.handleOTLP)))
+	mux.Handle("GET /debug/traces", s.instrument("/debug/traces", debugJSON(s.handleTraces)))
+	mux.Handle("GET /debug/traces/{id}", s.instrument("/debug/traces/{id}", debugJSON(s.handleTrace)))
+	mux.Handle("GET /debug/digests", s.instrument("/debug/digests", debugJSON(s.handleDigests)))
+	mux.Handle("GET /debug/timeseries", s.instrument("/debug/timeseries", debugJSON(s.handleTimeseries)))
+	mux.Handle("GET /debug/alerts", s.instrument("/debug/alerts", debugJSON(s.handleAlerts)))
 	mux.Handle("GET /debug/pprof/", s.instrument("/debug/pprof", pprof.Index))
 	mux.Handle("GET /debug/pprof/cmdline", s.instrument("/debug/pprof", pprof.Cmdline))
 	mux.Handle("GET /debug/pprof/profile", s.instrument("/debug/pprof", pprof.Profile))
@@ -274,6 +311,11 @@ func New(cfg Config) *Server {
 
 // Handler returns the instrumented mux.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// Recorder returns the server's flight recorder (nil when TraceBuffer
+// is negative). depserve hands it to the watchdog so alert transitions
+// interleave with request traces at /debug/traces.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
 
 // SetReady flips the /readyz verdict; depserve arms it once the
 // listener is bound.
@@ -769,7 +811,7 @@ func (s *Server) handleDigests(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
 		s.log.Error("obs snapshot failed", "err", err)
 	}
@@ -782,7 +824,7 @@ func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleOTLP(w http.ResponseWriter, r *http.Request) {
 	doc := obs.OTLPExport(s.reg.Snapshot(), s.rec.Recent(0),
 		obs.OTLPResourceFor(s.cfg.Service), time.Now())
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if err := doc.WriteOTLP(w); err != nil {
 		s.log.Error("otlp exposition failed", "err", err)
 	}
@@ -796,9 +838,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is readiness plus health: 503 until the listener is
+// bound, then "ready" — unless the watchdog has critical alerts
+// firing, in which case the body reports "degraded" with the alert
+// names and messages. The status stays 200 while degraded: the
+// process is still serving (a latency SLO burn is not a reason for an
+// orchestrator to kill the pod), but any probe, dashboard, or deptop
+// sees the degradation and its cause immediately.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		return
+	}
+	if names := s.wd.CriticalNames(); len(names) > 0 {
+		alerts := s.wd.Active()
+		msgs := make([]string, 0, len(alerts))
+		for _, a := range alerts {
+			if a.State == "firing" && a.Severity == tsdb.SeverityCritical {
+				msgs = append(msgs, a.Message)
+			}
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "degraded",
+			"alerts":   names,
+			"messages": msgs,
+		})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -824,6 +888,8 @@ GET  /debug/obs      metrics + recent query traces as JSON
 GET  /debug/otlp     spans + metrics as one OTLP/JSON document
 GET  /debug/traces   flight recorder: last N requests (X-Trace-Id resolves at /debug/traces/{id})
 GET  /debug/digests  query digests: hottest query shapes by total engine time
+GET  /debug/timeseries  retained telemetry history (?since=5m&step=10s&match=substr)
+GET  /debug/alerts   watchdog rules, active alerts, fire/resolve event log
 GET  /debug/pprof/   profiles
 `) //nolint:errcheck
 }
@@ -928,7 +994,7 @@ func (s *Server) badRequestSat(w http.ResponseWriter, resp SatisfiesResponse, ms
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)

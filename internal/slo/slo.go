@@ -1,0 +1,144 @@
+// Package slo is the shared grammar for service-level-objective
+// clauses: the "p99<25ms,errs<0.1%" terms cmd/loadgen gates CI on and
+// the tsdb watchdog evaluates continuously inside depserve. One parser
+// serves both so an SLO written for the offline gate can be handed to
+// -alert-rules verbatim and mean the same thing.
+//
+// A clause is metric[{label=value,...}]<bound:
+//
+//	p99<25ms                   overall p99 latency under 25ms
+//	p99{route=/v1/implies}<5ms one route's p99 under 5ms
+//	errs<0.1%                  error rate under 0.1%
+//
+// Latency metrics (p50, p90, p95, p99, mean, max) bound a
+// time.Duration; errs bounds a percentage of failed requests. Clause
+// lists are comma-separated; selectors, when present, narrow the
+// metric to one labeled series (the watchdog resolves them against the
+// per-route histograms; loadgen, which only aggregates overall,
+// rejects them).
+package slo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Clause is one parsed metric<bound term.
+type Clause struct {
+	// Metric is the lowercased metric name: p50, p90, p95, p99, mean,
+	// max, or errs.
+	Metric string
+	// Labels is the optional {key=value,...} selector, nil when absent.
+	Labels map[string]string
+	// BoundUS is the latency bound in microseconds (latency metrics).
+	BoundUS int64
+	// BoundRate is the error-rate bound as a fraction (errs; 0.001 ==
+	// 0.1%).
+	BoundRate float64
+	// Text is the clause as written, for reports and alert messages.
+	Text string
+}
+
+// IsErrs reports whether the clause bounds the error rate rather than
+// a latency quantile.
+func (c Clause) IsErrs() bool { return c.Metric == "errs" }
+
+// Bound renders the clause's bound for messages: a duration for
+// latency clauses, a percentage for errs.
+func (c Clause) Bound() string {
+	if c.IsErrs() {
+		return fmt.Sprintf("%g%%", c.BoundRate*100)
+	}
+	return (time.Duration(c.BoundUS) * time.Microsecond).String()
+}
+
+// latencyMetrics is the quantile/aggregate vocabulary.
+var latencyMetrics = map[string]bool{
+	"p50": true, "p90": true, "p95": true, "p99": true,
+	"mean": true, "max": true,
+}
+
+// Parse parses a comma-separated clause list ("p99<25ms,errs<0.1%").
+// An empty or blank string parses to nil, no error.
+func Parse(s string) ([]Clause, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var clauses []Clause
+	for _, term := range strings.Split(s, ",") {
+		c, err := ParseClause(term)
+		if err != nil {
+			return nil, err
+		}
+		clauses = append(clauses, c)
+	}
+	return clauses, nil
+}
+
+// ParseClause parses one metric[{selector}]<bound term.
+func ParseClause(term string) (Clause, error) {
+	term = strings.TrimSpace(term)
+	head, bound, ok := strings.Cut(term, "<")
+	if !ok {
+		return Clause{}, fmt.Errorf("SLO clause %q: want metric<bound", term)
+	}
+	head = strings.TrimSpace(head)
+	bound = strings.TrimSpace(bound)
+	c := Clause{Text: term}
+	if i := strings.IndexByte(head, '{'); i >= 0 {
+		sel := head[i:]
+		head = head[:i]
+		labels, err := parseSelector(term, sel)
+		if err != nil {
+			return Clause{}, err
+		}
+		c.Labels = labels
+	}
+	c.Metric = strings.ToLower(strings.TrimSpace(head))
+	switch {
+	case latencyMetrics[c.Metric]:
+		d, err := time.ParseDuration(bound)
+		if err != nil {
+			return Clause{}, fmt.Errorf("SLO clause %q: %v", term, err)
+		}
+		c.BoundUS = d.Microseconds()
+	case c.Metric == "errs":
+		pct, ok := strings.CutSuffix(bound, "%")
+		if !ok {
+			return Clause{}, fmt.Errorf("SLO clause %q: errs bound must be a percentage like 0.1%%", term)
+		}
+		f, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			return Clause{}, fmt.Errorf("SLO clause %q: %v", term, err)
+		}
+		c.BoundRate = f / 100
+	default:
+		return Clause{}, fmt.Errorf("SLO clause %q: unknown metric %q (want p50/p90/p95/p99/mean/max/errs)", term, c.Metric)
+	}
+	return c, nil
+}
+
+// parseSelector parses a "{key=value,...}" block. Values run to the
+// next comma or closing brace; quoting is not needed because route
+// patterns contain neither.
+func parseSelector(term, sel string) (map[string]string, error) {
+	body, ok := strings.CutSuffix(strings.TrimPrefix(sel, "{"), "}")
+	if !ok {
+		return nil, fmt.Errorf("SLO clause %q: unclosed selector", term)
+	}
+	labels := make(map[string]string)
+	for _, pair := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("SLO clause %q: selector term %q: want key=value", term, pair)
+		}
+		labels[k] = v
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("SLO clause %q: empty selector", term)
+	}
+	return labels, nil
+}

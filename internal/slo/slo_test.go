@@ -1,0 +1,74 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	clauses, err := Parse("p99<25ms, errs<0.1%,mean<1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clauses) != 3 {
+		t.Fatalf("clauses = %d, want 3", len(clauses))
+	}
+	if clauses[0].Metric != "p99" || clauses[0].BoundUS != 25_000 {
+		t.Errorf("clause 0 = %+v", clauses[0])
+	}
+	if clauses[1].Metric != "errs" || clauses[1].BoundRate != 0.001 || !clauses[1].IsErrs() {
+		t.Errorf("clause 1 = %+v", clauses[1])
+	}
+	if clauses[2].BoundUS != 1_000_000 {
+		t.Errorf("clause 2 = %+v", clauses[2])
+	}
+	if c, err := Parse("  "); err != nil || c != nil {
+		t.Errorf("blank SLO = %v, %v", c, err)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, bad := range []string{
+		"p99=25ms",          // no comparator
+		"p42<1ms",           // unknown quantile
+		"errs<0.1",          // errs without %
+		"p99<fast",          // not a duration
+		"p99{route=}<5ms",   // empty selector value
+		"p99{route<5ms",     // unclosed selector
+		"p99{}<5ms",         // empty selector
+		"p99{route}<5ms",    // selector term without =
+		"<5ms",              // no metric
+		"p99<25ms,,p50<1ms", // empty term in a list
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSelector(t *testing.T) {
+	c, err := ParseClause("p99{route=/v1/implies}<5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Metric != "p99" || c.BoundUS != 5_000 {
+		t.Errorf("clause = %+v", c)
+	}
+	if c.Labels["route"] != "/v1/implies" {
+		t.Errorf("labels = %v", c.Labels)
+	}
+	if c.Text != "p99{route=/v1/implies}<5ms" {
+		t.Errorf("text = %q", c.Text)
+	}
+}
+
+func TestBound(t *testing.T) {
+	c, _ := ParseClause("p99<25ms")
+	if got := c.Bound(); got != "25ms" {
+		t.Errorf("latency bound = %q", got)
+	}
+	c, _ = ParseClause("errs<0.1%")
+	if got := c.Bound(); !strings.Contains(got, "0.1") || !strings.HasSuffix(got, "%") {
+		t.Errorf("errs bound = %q", got)
+	}
+}
